@@ -1,0 +1,115 @@
+//===- bench/bench_blind_vs_structured.cpp - The §II Radamsa study ----------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's §II preliminary study: a structure-blind byte
+/// mutator (the Radamsa stand-in) against alive-mutate's structured
+/// mutation engine, over the same corpus. The paper's observations:
+/// "the vast majority of mutated LLVM IR files were invalid", the loadable
+/// ones were "almost all boring", and the structured mutator "can create
+/// valid LLVM IR 100% of the time".
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "core/BlindMutator.h"
+#include "core/FunctionInfo.h"
+#include "core/Mutator.h"
+#include "corpus/Corpus.h"
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+
+#include <cstdio>
+
+using namespace alive;
+
+int main() {
+  const unsigned MutantsPerFile = 200;
+  std::vector<std::string> Files = generateCorpusFiles(7, 12);
+
+  std::printf("=== Structure-blind vs structured mutation (paper §II) ===\n");
+  std::printf("corpus: %zu files, %u mutants per file per condition\n\n",
+              Files.size(), MutantsPerFile);
+
+  // Condition 1: blind byte mutation.
+  uint64_t ParseFail = 0, VerifyFail = 0, Boring = 0, Interesting = 0;
+  RandomGenerator BlindRNG(1);
+  for (const std::string &Original : Files) {
+    for (unsigned I = 0; I != MutantsPerFile; ++I) {
+      std::string Mut = blindMutate(Original, BlindRNG);
+      switch (classifyBlindMutant(Original, Mut)) {
+      case BlindOutcome::ParseError:
+        ++ParseFail;
+        break;
+      case BlindOutcome::Invalid:
+        ++VerifyFail;
+        break;
+      case BlindOutcome::Boring:
+        ++Boring;
+        break;
+      case BlindOutcome::Interesting:
+        ++Interesting;
+        break;
+      }
+    }
+  }
+  uint64_t Total = (uint64_t)Files.size() * MutantsPerFile;
+
+  // Condition 2: structured mutation.
+  uint64_t SValid = 0, SInvalid = 0, SChanged = 0;
+  for (const std::string &Original : Files) {
+    std::string Err;
+    auto Master = parseModule(Original, Err);
+    if (!Master)
+      continue;
+    std::string BaseText = printModule(*Master);
+    std::vector<std::pair<std::string, std::unique_ptr<OriginalFunctionInfo>>>
+        Infos;
+    for (Function *F : Master->functions())
+      if (!F->isDeclaration() && !F->isIntrinsic())
+        Infos.push_back(
+            {F->getName(), std::make_unique<OriginalFunctionInfo>(*F)});
+    MutationOptions MOpts;
+    for (unsigned I = 0; I != MutantsPerFile; ++I) {
+      auto Mutant = cloneModule(*Master);
+      RandomGenerator RNG(1000 + I);
+      Mutator Mut(RNG, MOpts);
+      for (auto &[Name, Info] : Infos) {
+        MutantInfo MI(*Mutant->getFunction(Name), *Info);
+        Mut.mutateFunction(MI);
+      }
+      std::vector<std::string> Errors;
+      if (verifyModule(*Mutant, Errors)) {
+        ++SValid;
+        SChanged += printModule(*Mutant) != BaseText;
+      } else {
+        ++SInvalid;
+      }
+    }
+  }
+
+  auto pct = [&](uint64_t N, uint64_t D) { return 100.0 * N / D; };
+  std::printf("structure-blind (Radamsa-style) mutants:\n");
+  std::printf("  parse failure:        %6llu  (%5.1f%%)\n",
+              (unsigned long long)ParseFail, pct(ParseFail, Total));
+  std::printf("  verifier failure:     %6llu  (%5.1f%%)\n",
+              (unsigned long long)VerifyFail, pct(VerifyFail, Total));
+  std::printf("  boring (rename-only): %6llu  (%5.1f%%)\n",
+              (unsigned long long)Boring, pct(Boring, Total));
+  std::printf("  interesting:          %6llu  (%5.1f%%)\n",
+              (unsigned long long)Interesting, pct(Interesting, Total));
+  std::printf("\nstructured (alive-mutate) mutants:\n");
+  std::printf("  valid:                %6llu  (%5.1f%%)   [paper: 100%%]\n",
+              (unsigned long long)SValid, pct(SValid, Total));
+  std::printf("  invalid:              %6llu  (%5.1f%%)\n",
+              (unsigned long long)SInvalid, pct(SInvalid, Total));
+  std::printf("  semantically changed: %6llu  (%5.1f%%)\n",
+              (unsigned long long)SChanged, pct(SChanged, Total));
+  std::printf("\n=> blind mutation wastes most CPU time on unloadable or "
+              "boring inputs;\n   structured mutation is valid every time "
+              "(paper §II).\n");
+  return SInvalid == 0 ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+//===- bench/bench_micro.cpp - google-benchmark microbenchmarks ------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the hot primitives of the fuzzing
+/// loop: module cloning (the in-process substitute for parse/print),
+/// parsing, printing, one mutation round, single-pass optimization, and
+/// one interpreter execution. These are the quantities the Figure 2
+/// overhead argument is made of.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "core/FunctionInfo.h"
+#include "core/Mutator.h"
+#include "corpus/Corpus.h"
+#include "ir/Interpreter.h"
+#include "opt/Pass.h"
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+#include "smt/BitBlaster.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace alive;
+
+namespace {
+
+const std::string &testIR() {
+  static const std::string IR = paperListingSeeds()[1]; // @test9 module
+  return IR;
+}
+
+std::unique_ptr<Module> parsedModule() {
+  std::string Err;
+  auto M = parseModule(testIR(), Err);
+  assert(M);
+  return M;
+}
+
+void BM_ParseModule(benchmark::State &State) {
+  for (auto _ : State) {
+    std::string Err;
+    auto M = parseModule(testIR(), Err);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_ParseModule);
+
+void BM_PrintModule(benchmark::State &State) {
+  auto M = parsedModule();
+  for (auto _ : State) {
+    std::string S = printModule(*M);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_PrintModule);
+
+void BM_CloneModule(benchmark::State &State) {
+  auto M = parsedModule();
+  for (auto _ : State) {
+    auto C = cloneModule(*M);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_CloneModule);
+
+void BM_VerifyModule(benchmark::State &State) {
+  auto M = parsedModule();
+  for (auto _ : State) {
+    std::vector<std::string> Errors;
+    bool Ok = verifyModule(*M, Errors);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_VerifyModule);
+
+void BM_Preprocess(benchmark::State &State) {
+  auto M = parsedModule();
+  Function *F = M->getFunction("test9");
+  for (auto _ : State) {
+    OriginalFunctionInfo Info(*F);
+    benchmark::DoNotOptimize(&Info);
+  }
+}
+BENCHMARK(BM_Preprocess);
+
+void BM_MutateRound(benchmark::State &State) {
+  auto M = parsedModule();
+  Function *F = M->getFunction("test9");
+  OriginalFunctionInfo Info(*F);
+  MutationOptions Opts;
+  uint64_t Seed = 0;
+  for (auto _ : State) {
+    auto Mutant = cloneModule(*M);
+    RandomGenerator RNG(++Seed);
+    Mutator Mut(RNG, Opts);
+    MutantInfo MI(*Mutant->getFunction("test9"), Info);
+    auto Applied = Mut.mutateFunction(MI);
+    benchmark::DoNotOptimize(Applied);
+  }
+}
+BENCHMARK(BM_MutateRound);
+
+void BM_OptimizeO2(benchmark::State &State) {
+  auto M = parsedModule();
+  for (auto _ : State) {
+    auto C = cloneModule(*M);
+    PassManager PM;
+    std::string Err;
+    buildPipeline("O2", PM, Err);
+    PM.runToFixpoint(*C);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_OptimizeO2);
+
+void BM_InterpreterRun(benchmark::State &State) {
+  std::string Err;
+  auto M = parseModule(R"(
+define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, %y
+  %b = mul i32 %a, 3
+  %c = icmp slt i32 %b, %y
+  %r = select i1 %c, i32 %a, i32 %b
+  ret i32 %r
+}
+)",
+                       Err);
+  Function *F = M->getFunction("f");
+  ExecOptions Opts;
+  for (auto _ : State) {
+    Memory Mem;
+    Interpreter I(Mem, Opts);
+    ExecResult R = I.run(*F, {ConcVal::scalar(APInt(32, 7)),
+                              ConcVal::scalar(APInt(32, 9))});
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_InterpreterRun);
+
+void BM_SatEquivalenceQuery(benchmark::State &State) {
+  for (auto _ : State) {
+    TermBuilder B;
+    TermRef X = B.mkVar(16, "x");
+    SatSolver S;
+    BitBlaster BB(S);
+    // Prove (x*2 == x+x): UNSAT query.
+    BB.assertTrue(B.mkNe(B.mkMul(X, B.mkConst(16, 2)), B.mkAdd(X, X)));
+    auto R = S.solve();
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_SatEquivalenceQuery);
+
+void BM_APIntMul64(benchmark::State &State) {
+  APInt A(64, 0x123456789ABCDEFULL), Bv(64, 0xFEDCBA987654321ULL);
+  for (auto _ : State) {
+    APInt C = A * Bv;
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_APIntMul64);
+
+} // namespace
+
+BENCHMARK_MAIN();

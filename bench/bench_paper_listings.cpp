@@ -1,0 +1,147 @@
+//===- bench/bench_paper_listings.cpp - Figure 1 / Listings replay ---------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays the paper's concrete bug exhibits end-to-end through the seeded
+/// buggy passes and the translation validator:
+///
+///   Figure 1 (Listings 1-3):   the clamp canonicalization miscompile
+///   Listing 15 (PR 52884):     the nuw+nsw smax crash
+///   Listing 16 (PR 64687):     the non-power-of-two alignment crash
+///   Listing 17 (PR 59836):     the (zext a)*(zext b) precondition bug
+///   Listing 18 (PR 55129):     the zero-width bitfield extract
+///   Listing 19 (PR 55342):     the promoted-constant compare
+///
+/// Each row shows the validator's verdict (and counterexample) with the
+/// seeded defect enabled, and that the fixed compiler is clean.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/BugInjection.h"
+#include "opt/Pass.h"
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+#include "tv/RefinementChecker.h"
+
+#include <cstdio>
+
+using namespace alive;
+
+namespace {
+
+struct Exhibit {
+  const char *Title;
+  BugId Bug;
+  const char *Passes;
+  const char *IR; // function must be named @f
+};
+
+void runExhibit(const Exhibit &E) {
+  std::printf("--- %s [PR%s] ---\n", E.Title, bugInfo(E.Bug).IssueId);
+
+  for (int Buggy = 1; Buggy >= 0; --Buggy) {
+    BugConfig::disableAll();
+    if (Buggy)
+      BugConfig::enable(E.Bug);
+
+    std::string Err;
+    auto M = parseModule(E.IR, Err);
+    if (!M) {
+      std::printf("  parse error: %s\n", Err.c_str());
+      return;
+    }
+    auto Original = cloneModule(*M);
+    PassManager PM;
+    buildPipeline(E.Passes, PM, Err);
+    bool Crashed = false;
+    std::string CrashWhat;
+    try {
+      PM.runToFixpoint(*M);
+    } catch (const OptimizerCrash &C) {
+      Crashed = true;
+      CrashWhat = C.What;
+    }
+
+    std::printf("  %-18s", Buggy ? "buggy compiler:" : "fixed compiler:");
+    if (Crashed) {
+      std::printf(" CRASH (%s)\n", CrashWhat.c_str());
+      continue;
+    }
+    TVResult R = checkRefinement(*Original->getFunction("f"),
+                                 *M->getFunction("f"));
+    std::printf(" %s%s%s\n", tvVerdictName(R.Verdict),
+                R.Detail.empty() ? "" : " - ", R.Detail.c_str());
+  }
+  BugConfig::disableAll();
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Replaying the paper's bug exhibits ===\n\n");
+
+  runExhibit({"Figure 1: clamp canonicalization (Listings 1-3)",
+              BugId::PR53252, "instcombine",
+              R"(define i32 @f(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, 0
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = icmp ult i32 %x, 65536
+  %1 = xor i1 %t2, true
+  %r = select i1 %1, i32 %x, i32 %t1
+  ret i32 %r
+}
+)"});
+
+  runExhibit({"Listing 15: smax of add nuw nsw", BugId::PR52884,
+              "instcombine",
+              R"(define i8 @f(i8 %x) {
+  %1 = add nuw nsw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}
+)"});
+
+  runExhibit({"Listing 16: 123-byte alignment", BugId::PR64687,
+              "infer-alignment",
+              R"(define i8 @f(ptr dereferenceable(246) %p) {
+  %v = load i8, ptr %p, align 123
+  ret i8 %v
+}
+)"});
+
+  runExhibit({"Listing 17: (zext a)*(zext b) precondition", BugId::PR59836,
+              "instcombine",
+              R"(define i12 @f(i8 %a, i8 %b) {
+  %za = zext i8 %a to i12
+  %zb = zext i8 %b to i12
+  %m = mul i12 %za, %zb
+  ret i12 %m
+}
+)"});
+
+  runExhibit({"Listing 18: zero-width bitfield extract", BugId::PR55129,
+              "lowering",
+              R"(define i64 @f(i1 %b) {
+  %1 = zext i1 %b to i64
+  %2 = lshr i64 %1, 1
+  ret i64 %2
+}
+)"});
+
+  runExhibit({"Listing 19: promoted-constant compare", BugId::PR55342,
+              "lowering",
+              R"(define i32 @f(i8 %v) {
+  %1 = sub i8 -66, 0
+  %2 = add i8 %1, %v
+  %3 = icmp ugt i8 %2, -31
+  %4 = select i1 %3, i32 1, i32 0
+  ret i32 %4
+}
+)"});
+
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- examples/quickstart.cpp - Five-minute tour of the public API --------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shortest useful program: parse a function, generate a few mutants,
+/// optimize one, and translation-validate the optimization — the complete
+/// mutate-optimize-verify loop, spelled out by hand.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/FunctionInfo.h"
+#include "core/Mutator.h"
+#include "opt/Pass.h"
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+#include "tv/RefinementChecker.h"
+
+#include <cstdio>
+
+using namespace alive;
+
+int main() {
+  // 1. Parse a unit test (the paper's running example, Listing 4).
+  const std::string Source = R"(
+declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q, align 4
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q, align 4
+  %c = sub i32 %a, %b
+  ret i32 %c
+}
+)";
+  std::string Err;
+  std::unique_ptr<Module> M = parseModule(Source, Err);
+  if (!M) {
+    std::fprintf(stderr, "parse error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("== original ==\n%s\n", printFunction(*M->getFunction("test9")).c_str());
+
+  // 2. Preprocess once (dominance, literal constants, shuffle ranges —
+  //    paper §III-A), then generate three mutants from three seeds.
+  Function *F = M->getFunction("test9");
+  OriginalFunctionInfo Info(*F);
+
+  for (uint64_t Seed : {7ull, 8ull, 9ull}) {
+    std::unique_ptr<Module> MutantModule = cloneModule(*M);
+    RandomGenerator RNG(Seed);
+    MutationOptions MOpts;
+    Mutator Mut(RNG, MOpts);
+    MutantInfo MI(*MutantModule->getFunction("test9"), Info);
+    std::vector<MutationKind> Applied = Mut.mutateFunction(MI);
+
+    std::printf("== mutant (seed %llu; ", (unsigned long long)Seed);
+    for (size_t I = 0; I != Applied.size(); ++I)
+      std::printf("%s%s", I ? ", " : "", mutationKindName(Applied[I]));
+    std::printf(") ==\n%s\n",
+                printFunction(*MutantModule->getFunction("test9")).c_str());
+
+    // 3. Optimize the mutant with the -O2 pipeline.
+    std::unique_ptr<Module> Snapshot = cloneModule(*MutantModule);
+    PassManager PM;
+    buildPipeline("O2", PM, Err);
+    PM.runToFixpoint(*MutantModule);
+
+    // 4. Check that the optimized code refines the mutant.
+    TVResult R = checkRefinement(*Snapshot->getFunction("test9"),
+                                 *MutantModule->getFunction("test9"));
+    std::printf("   optimizer verdict: %s%s%s\n\n", tvVerdictName(R.Verdict),
+                R.Detail.empty() ? "" : " — ", R.Detail.c_str());
+  }
+  return 0;
+}

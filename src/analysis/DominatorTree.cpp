@@ -1,0 +1,132 @@
+//===- analysis/DominatorTree.cpp - Dominance analysis --------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+
+#include <algorithm>
+
+using namespace alive;
+
+DominatorTree::DominatorTree(const Function &F) : F(F) {
+  assert(!F.isDeclaration() && "dominance of a declaration");
+
+  // Depth-first post-order over the CFG.
+  std::vector<const BasicBlock *> PostOrder;
+  std::map<const BasicBlock *, unsigned> State; // 0 unseen, 1 open, 2 done
+  std::vector<std::pair<const BasicBlock *, unsigned>> Stack;
+  const BasicBlock *Entry = F.getEntryBlock();
+  Stack.push_back({Entry, 0});
+  State[Entry] = 1;
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextSucc < Succs.size()) {
+      const BasicBlock *S = Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(BB);
+    State[BB] = 2;
+    Stack.pop_back();
+  }
+
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    RPONumber[RPO[I]] = I;
+
+  // Cooper-Harvey-Kennedy iteration.
+  IDom.assign(RPO.size(), nullptr);
+  IDom[0] = Entry; // entry's idom is itself during iteration
+  auto intersect = [&](const BasicBlock *A, const BasicBlock *B) {
+    while (A != B) {
+      while (RPONumber.at(A) > RPONumber.at(B))
+        A = IDom[RPONumber.at(A)];
+      while (RPONumber.at(B) > RPONumber.at(A))
+        B = IDom[RPONumber.at(B)];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1; I != RPO.size(); ++I) {
+      const BasicBlock *BB = RPO[I];
+      const BasicBlock *NewIDom = nullptr;
+      for (const BasicBlock *Pred : F.predecessors(BB)) {
+        if (!RPONumber.count(Pred) || !IDom[RPONumber.at(Pred)])
+          continue; // unreachable or not yet processed
+        NewIDom = NewIDom ? intersect(NewIDom, Pred) : Pred;
+      }
+      if (NewIDom && IDom[I] != NewIDom) {
+        IDom[I] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+const BasicBlock *DominatorTree::getIDom(const BasicBlock *BB) const {
+  auto It = RPONumber.find(BB);
+  if (It == RPONumber.end() || It->second == 0)
+    return nullptr;
+  return IDom[It->second];
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  // Walk B's idom chain up to the entry.
+  const BasicBlock *Cur = B;
+  for (;;) {
+    if (Cur == A)
+      return true;
+    unsigned N = RPONumber.at(Cur);
+    if (N == 0)
+      return false;
+    Cur = IDom[N];
+  }
+}
+
+bool DominatorTree::valueAvailableAt(const Value *Def, const BasicBlock *BB,
+                                     unsigned InstIdx) const {
+  if (isa<Constant>(Def) || isa<Argument>(Def))
+    return true;
+  const auto *I = dyn_cast<Instruction>(Def);
+  if (!I)
+    return false;
+  const BasicBlock *DefBB = I->getParent();
+  if (DefBB == BB) {
+    unsigned DefIdx = BB->indexOf(I);
+    // Phi definitions are conceptually at the top of the block: available
+    // at every non-phi position and at later phi positions.
+    if (isa<PhiNode>(I)) {
+      if (InstIdx >= BB->size())
+        return true;
+      return InstIdx > DefIdx || !isa<PhiNode>(BB->getInst(InstIdx));
+    }
+    return DefIdx < InstIdx;
+  }
+  return dominates(DefBB, BB) && DefBB != BB;
+}
+
+bool DominatorTree::dominatesUse(const Value *Def, const Instruction *U,
+                                 unsigned OpIdx) const {
+  if (isa<Constant>(Def) || isa<Argument>(Def))
+    return true;
+  const auto *I = dyn_cast<Instruction>(Def);
+  if (!I)
+    return false;
+  if (const auto *Phi = dyn_cast<PhiNode>(U)) {
+    // A phi use must be available at the end of the incoming block.
+    const BasicBlock *In = Phi->getIncomingBlock(OpIdx);
+    return valueAvailableAt(Def, In, In->size());
+  }
+  const BasicBlock *UseBB = U->getParent();
+  return valueAvailableAt(Def, UseBB, UseBB->indexOf(U));
+}

@@ -1,0 +1,71 @@
+//===- analysis/DominatorTree.h - Dominance analysis -----------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-level dominator tree (Cooper-Harvey-Kennedy iterative algorithm)
+/// plus value-level dominance queries. The mutator's central primitive —
+/// "randomly generate a dominating SSA value with a compatible type for a
+/// given program point" (paper §IV-F) — is built on these queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_DOMINATORTREE_H
+#define ANALYSIS_DOMINATORTREE_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <vector>
+
+namespace alive {
+
+/// Dominator tree over the CFG of one function. Computed once; valid as
+/// long as the CFG (blocks and edges) is unchanged. Instruction-level
+/// queries consult current instruction positions, so they stay correct
+/// under within-block mutations.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  const Function &getFunction() const { return F; }
+
+  /// True if \p BB is reachable from the entry block.
+  bool isReachable(const BasicBlock *BB) const {
+    return RPONumber.count(BB) != 0;
+  }
+
+  /// Immediate dominator, or null for the entry/unreachable blocks.
+  const BasicBlock *getIDom(const BasicBlock *BB) const;
+
+  /// Block-level dominance (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// True if the definition of \p Def is available at program point
+  /// (\p BB, \p InstIdx) — i.e. a new use inserted at that position would
+  /// satisfy SSA dominance. Arguments and constants are always available.
+  /// An instruction is available at later positions of its own block and
+  /// everywhere its block strictly... dominates.
+  bool valueAvailableAt(const Value *Def, const BasicBlock *BB,
+                        unsigned InstIdx) const;
+
+  /// SSA check: does \p Def dominate the use at operand \p OpIdx of \p U?
+  /// Phi uses are checked at the end of the incoming block.
+  bool dominatesUse(const Value *Def, const Instruction *U,
+                    unsigned OpIdx) const;
+
+  /// Blocks in reverse post-order (entry first, reachable only).
+  const std::vector<const BasicBlock *> &rpo() const { return RPO; }
+
+private:
+  const Function &F;
+  std::vector<const BasicBlock *> RPO;
+  std::map<const BasicBlock *, unsigned> RPONumber;
+  std::vector<const BasicBlock *> IDom; // indexed by RPO number
+};
+
+} // namespace alive
+
+#endif // ANALYSIS_DOMINATORTREE_H

@@ -1,0 +1,141 @@
+//===- analysis/KnownBits.cpp - Bit-level value analysis ------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KnownBits.h"
+
+#include "ir/Constants.h"
+
+using namespace alive;
+
+KnownBits alive::computeKnownBits(const Value *V, unsigned Depth) {
+  assert(V->getType()->isIntegerTy() && "known bits of non-integer");
+  unsigned W = V->getType()->getIntegerBitWidth();
+  KnownBits K(W);
+
+  if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+    K.One = CI->getValue();
+    K.Zero = ~CI->getValue();
+    return K;
+  }
+  if (Depth == 0)
+    return K;
+
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return K;
+
+  switch (I->getKind()) {
+  case Value::VK_BinaryInst: {
+    const auto *B = cast<BinaryInst>(I);
+    KnownBits L = computeKnownBits(B->getLHS(), Depth - 1);
+    KnownBits R = computeKnownBits(B->getRHS(), Depth - 1);
+    switch (B->getBinOp()) {
+    case BinaryInst::And:
+      K.One = L.One & R.One;
+      K.Zero = L.Zero | R.Zero;
+      break;
+    case BinaryInst::Or:
+      K.One = L.One | R.One;
+      K.Zero = L.Zero & R.Zero;
+      break;
+    case BinaryInst::Xor:
+      K.One = (L.One & R.Zero) | (L.Zero & R.One);
+      K.Zero = (L.Zero & R.Zero) | (L.One & R.One);
+      break;
+    case BinaryInst::Shl:
+      if (const auto *Amt = dyn_cast<ConstantInt>(B->getRHS())) {
+        if (Amt->getValue().ult(APInt(W, W))) {
+          unsigned S = (unsigned)Amt->getValue().getZExtValue();
+          K.One = L.One.shl(S);
+          K.Zero = L.Zero.shl(S) | APInt::getLowBitsSet(W, S);
+        }
+      }
+      break;
+    case BinaryInst::LShr:
+      if (const auto *Amt = dyn_cast<ConstantInt>(B->getRHS())) {
+        if (Amt->getValue().ult(APInt(W, W))) {
+          unsigned S = (unsigned)Amt->getValue().getZExtValue();
+          K.One = L.One.lshr(S);
+          K.Zero = L.Zero.lshr(S) | APInt::getHighBitsSet(W, S);
+        }
+      }
+      break;
+    case BinaryInst::URem:
+      if (const auto *D = dyn_cast<ConstantInt>(B->getRHS())) {
+        if (D->getValue().isPowerOf2())
+          K.Zero = ~(D->getValue() - APInt::getOne(W));
+      }
+      break;
+    case BinaryInst::UDiv:
+      if (const auto *D = dyn_cast<ConstantInt>(B->getRHS())) {
+        if (D->getValue().isPowerOf2())
+          K.Zero = APInt::getHighBitsSet(W, D->getValue().logBase2());
+      }
+      break;
+    case BinaryInst::Add: {
+      // If the low n bits of both operands are known zero, no carries reach
+      // bit n, so the sum's low n bits are zero too.
+      unsigned LZ = std::min((~L.Zero).countTrailingZeros(),
+                             (~R.Zero).countTrailingZeros());
+      if (LZ > 0)
+        K.Zero = APInt::getLowBitsSet(W, std::min(LZ, W));
+      break;
+    }
+    default:
+      break;
+    }
+    break;
+  }
+  case Value::VK_CastInst: {
+    const auto *C = cast<CastInst>(I);
+    KnownBits S = computeKnownBits(C->getSrc(), Depth - 1);
+    unsigned SW = S.getBitWidth();
+    switch (C->getCastOp()) {
+    case CastInst::ZExt:
+      K.One = S.One.zext(W);
+      K.Zero = S.Zero.zext(W) | APInt::getHighBitsSet(W, W - SW);
+      break;
+    case CastInst::SExt:
+      if (S.isNonNegative()) {
+        K.One = S.One.zext(W);
+        K.Zero = S.Zero.zext(W) | APInt::getHighBitsSet(W, W - SW);
+      } else if (S.isNegative()) {
+        K.One = S.One.zext(W) | APInt::getHighBitsSet(W, W - SW);
+        K.Zero = S.Zero.zext(W);
+      }
+      break;
+    case CastInst::Trunc:
+      K.One = S.One.trunc(W);
+      K.Zero = S.Zero.trunc(W);
+      break;
+    }
+    break;
+  }
+  case Value::VK_SelectInst: {
+    const auto *S = cast<SelectInst>(I);
+    KnownBits T = computeKnownBits(S->getTrueValue(), Depth - 1);
+    KnownBits F = computeKnownBits(S->getFalseValue(), Depth - 1);
+    K.One = T.One & F.One;
+    K.Zero = T.Zero & F.Zero;
+    break;
+  }
+  case Value::VK_ICmpInst:
+    // i1 result: nothing known beyond the width.
+    break;
+  default:
+    break;
+  }
+
+  assert((K.Zero & K.One).isZero() && "contradictory known bits");
+  return K;
+}
+
+bool alive::haveNoCommonBits(const Value *A, const Value *B) {
+  KnownBits KA = computeKnownBits(A);
+  KnownBits KB = computeKnownBits(B);
+  // Every bit must be known-zero on at least one side.
+  return (KA.Zero | KB.Zero).isAllOnes();
+}

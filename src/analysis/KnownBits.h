@@ -1,0 +1,55 @@
+//===- analysis/KnownBits.h - Bit-level value analysis ---------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small known-bits analysis in the style of llvm::KnownBits. InstCombine
+/// rules use it for preconditions ("no common bits set", "known
+/// non-negative", ...), and several seeded Table I defects are precisely
+/// bugs where such a precondition was checked too weakly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_KNOWNBITS_H
+#define ANALYSIS_KNOWNBITS_H
+
+#include "ir/Instruction.h"
+#include "support/APInt.h"
+
+namespace alive {
+
+/// Bit-level facts about a value: Zero has a 1 for every bit known to be 0,
+/// One has a 1 for every bit known to be 1. Zero & One == 0 always.
+struct KnownBits {
+  APInt Zero, One;
+
+  explicit KnownBits(unsigned Bits)
+      : Zero(APInt::getZero(Bits)), One(APInt::getZero(Bits)) {}
+
+  unsigned getBitWidth() const { return Zero.getBitWidth(); }
+  bool isNonNegative() const { return Zero.testBit(getBitWidth() - 1); }
+  bool isNegative() const { return One.testBit(getBitWidth() - 1); }
+  bool isConstant() const { return (Zero | One).isAllOnes(); }
+  const APInt &getConstant() const {
+    assert(isConstant() && "not a constant");
+    return One;
+  }
+  /// Upper bound on the unsigned value.
+  APInt umax() const { return ~Zero; }
+  /// Lower bound on the unsigned value.
+  APInt umin() const { return One; }
+};
+
+/// Computes known bits for \p V, recursing at most \p Depth levels through
+/// operands. \p V must have integer type.
+KnownBits computeKnownBits(const Value *V, unsigned Depth = 6);
+
+/// True if V1 and V2 provably have no common set bits
+/// (so V1 + V2 == V1 | V2).
+bool haveNoCommonBits(const Value *A, const Value *B);
+
+} // namespace alive
+
+#endif // ANALYSIS_KNOWNBITS_H

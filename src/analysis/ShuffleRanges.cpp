@@ -1,0 +1,46 @@
+//===- analysis/ShuffleRanges.cpp - Shufflable instruction ranges ---------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ShuffleRanges.h"
+
+using namespace alive;
+
+bool alive::isShufflable(const BasicBlock &BB, unsigned Begin, unsigned End) {
+  for (unsigned I = Begin; I != End; ++I) {
+    const Instruction *A = BB.getInst(I);
+    if (isa<PhiNode>(A) || A->isTerminator())
+      return false;
+    for (unsigned J = Begin; J != I; ++J)
+      if (A->usesValue(BB.getInst(J)))
+        return false;
+  }
+  return true;
+}
+
+std::vector<ShuffleRange> alive::computeShuffleRanges(const Function &F,
+                                                      unsigned MinSize) {
+  std::vector<ShuffleRange> Ranges;
+  for (unsigned B = 0; B != F.getNumBlocks(); ++B) {
+    const BasicBlock *BB = F.getBlock(B);
+    unsigned N = BB->size();
+    unsigned Start = 0;
+    while (Start < N) {
+      const Instruction *First = BB->getInst(Start);
+      if (isa<PhiNode>(First) || First->isTerminator()) {
+        ++Start;
+        continue;
+      }
+      // Greedily extend the range while independence holds.
+      unsigned End = Start + 1;
+      while (End < N && isShufflable(*BB, Start, End + 1))
+        ++End;
+      if (End - Start >= MinSize)
+        Ranges.push_back({B, Start, End});
+      Start = End;
+    }
+  }
+  return Ranges;
+}

@@ -1,0 +1,47 @@
+//===- analysis/ShuffleRanges.h - Shufflable instruction ranges -*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Precomputes maximal ranges of consecutive instructions without mutual
+/// SSA dependencies, which the §IV-D shuffle mutation can permute freely
+/// without breaking SSA invariants. Computed once during the preprocessing
+/// phase "so that this mutation can be performed rapidly" (paper §IV-D).
+/// Note that only SSA dependencies matter: the mutation is free to change
+/// semantics (e.g. moving loads across calls), since it is the optimizer,
+/// not the mutator, that must be semantics-preserving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_SHUFFLERANGES_H
+#define ANALYSIS_SHUFFLERANGES_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace alive {
+
+/// A shufflable range: instructions [Begin, End) of block #BlockIdx.
+struct ShuffleRange {
+  unsigned BlockIdx;
+  unsigned Begin;
+  unsigned End;
+
+  unsigned size() const { return End - Begin; }
+};
+
+/// Computes all maximal shufflable ranges of at least \p MinSize
+/// instructions. Phis and terminators are never part of a range.
+std::vector<ShuffleRange> computeShuffleRanges(const Function &F,
+                                               unsigned MinSize = 2);
+
+/// True if instructions [Begin, End) of \p BB have no mutual dependencies
+/// (no instruction in the range uses another instruction in the range).
+bool isShufflable(const BasicBlock &BB, unsigned Begin, unsigned End);
+
+} // namespace alive
+
+#endif // ANALYSIS_SHUFFLERANGES_H

@@ -1,0 +1,313 @@
+//===- analysis/Verifier.cpp - IR well-formedness checks ------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+
+#include "analysis/DominatorTree.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace alive;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> &Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run();
+
+private:
+  void err(const std::string &Msg) {
+    Errors.push_back("@" + F.getName() + ": " + Msg);
+  }
+  void checkInstruction(const Instruction *I);
+
+  const Function &F;
+  std::vector<std::string> &Errors;
+};
+
+bool FunctionVerifier::run() {
+  size_t ErrorsBefore = Errors.size();
+
+  if (F.isDeclaration())
+    return true;
+  if (F.getNumBlocks() == 0) {
+    err("definition has no blocks");
+    return false;
+  }
+
+  // Structural checks that must pass before dominance makes sense.
+  for (BasicBlock *BB : F.blocks()) {
+    if (BB->empty() || !BB->getTerminator()) {
+      err("block '" + BB->getName() + "' lacks a terminator");
+      return false;
+    }
+    bool SeenNonPhi = false, SeenTerm = false;
+    for (Instruction *I : BB->insts()) {
+      if (SeenTerm)
+        err("instruction after terminator in block '" + BB->getName() + "'");
+      if (isa<PhiNode>(I)) {
+        if (SeenNonPhi)
+          err("phi not grouped at block start in '" + BB->getName() + "'");
+      } else {
+        SeenNonPhi = true;
+      }
+      if (I->isTerminator())
+        SeenTerm = true;
+      if (I->getParent() != BB)
+        err("instruction parent link broken in '" + BB->getName() + "'");
+      // Successors must belong to this function.
+      for (BasicBlock *S : getSuccessors(I))
+        if (S->getParent() != &F)
+          err("branch to foreign block");
+    }
+  }
+  if (Errors.size() != ErrorsBefore)
+    return false;
+
+  if (!F.predecessors(F.getEntryBlock()).empty())
+    err("entry block has predecessors");
+
+  DominatorTree DT(F);
+
+  for (BasicBlock *BB : F.blocks()) {
+    // Phi incoming lists must exactly match predecessors.
+    std::vector<BasicBlock *> Preds = F.predecessors(BB);
+    for (Instruction *I : BB->insts()) {
+      const auto *Phi = dyn_cast<PhiNode>(I);
+      if (!Phi)
+        break;
+      std::set<const BasicBlock *> Seen;
+      for (unsigned K = 0; K != Phi->getNumIncoming(); ++K) {
+        const BasicBlock *In = Phi->getIncomingBlock(K);
+        if (!Seen.insert(In).second)
+          err("phi has duplicate incoming block '" + In->getName() + "'");
+        if (std::find(Preds.begin(), Preds.end(), In) == Preds.end())
+          err("phi incoming block '" + In->getName() +
+              "' is not a predecessor");
+      }
+      for (const BasicBlock *P : Preds)
+        if (!Seen.count(P))
+          err("phi missing incoming value for predecessor '" + P->getName() +
+              "'");
+    }
+
+    for (Instruction *I : BB->insts()) {
+      checkInstruction(I);
+      // SSA dominance for every operand (only in reachable code; LLVM
+      // likewise exempts unreachable blocks).
+      if (!DT.isReachable(BB))
+        continue;
+      for (unsigned Op = 0; Op != I->getNumOperands(); ++Op) {
+        const Value *V = I->getOperand(Op);
+        if (const auto *DefI = dyn_cast<Instruction>(V)) {
+          if (DefI->getFunction() != &F) {
+            err("operand defined in another function");
+            continue;
+          }
+          if (!DT.isReachable(DefI->getParent()))
+            err("reachable use of a value defined in unreachable code");
+          else if (!DT.dominatesUse(V, I, Op))
+            err("definition of " + DefI->getOpcodeName() +
+                " does not dominate a use in block '" + BB->getName() + "'");
+        } else if (const auto *A = dyn_cast<Argument>(V)) {
+          bool Ours = false;
+          for (unsigned K = 0; K != F.getNumArgs(); ++K)
+            Ours |= F.getArg(K) == A;
+          if (!Ours)
+            err("operand argument belongs to another function");
+        }
+      }
+    }
+  }
+
+  return Errors.size() == ErrorsBefore;
+}
+
+void FunctionVerifier::checkInstruction(const Instruction *I) {
+  switch (I->getKind()) {
+  case Value::VK_BinaryInst: {
+    const auto *B = cast<BinaryInst>(I);
+    if (B->getLHS()->getType() != B->getRHS()->getType() ||
+        B->getLHS()->getType() != B->getType())
+      err("binary op type mismatch");
+    if (!B->getType()->isIntOrIntVectorTy())
+      err("binary op on non-integer type");
+    if ((B->hasNUW() || B->hasNSW()) &&
+        !BinaryInst::supportsNUWNSW(B->getBinOp()))
+      err("nuw/nsw on unsupported opcode " + B->getOpcodeName());
+    if (B->isExact() && !BinaryInst::supportsExact(B->getBinOp()))
+      err("exact on unsupported opcode " + B->getOpcodeName());
+    break;
+  }
+  case Value::VK_ICmpInst: {
+    const auto *C = cast<ICmpInst>(I);
+    if (C->getLHS()->getType() != C->getRHS()->getType())
+      err("icmp operand type mismatch");
+    if (!C->getLHS()->getType()->isIntegerTy() &&
+        !C->getLHS()->getType()->isPointerTy())
+      err("icmp on unsupported type");
+    if (!C->getType()->isBoolTy())
+      err("icmp must produce i1");
+    break;
+  }
+  case Value::VK_SelectInst: {
+    const auto *S = cast<SelectInst>(I);
+    if (!S->getCondition()->getType()->isBoolTy())
+      err("select condition must be i1");
+    if (S->getTrueValue()->getType() != S->getFalseValue()->getType() ||
+        S->getTrueValue()->getType() != S->getType())
+      err("select arm type mismatch");
+    break;
+  }
+  case Value::VK_CastInst: {
+    const auto *C = cast<CastInst>(I);
+    Type *SrcTy = C->getSrc()->getType();
+    if (!SrcTy->isIntegerTy() || !C->getType()->isIntegerTy()) {
+      err("cast on non-integer type");
+      break;
+    }
+    unsigned SW = SrcTy->getIntegerBitWidth();
+    unsigned DW = C->getType()->getIntegerBitWidth();
+    if (C->getCastOp() == CastInst::Trunc ? SW <= DW : SW >= DW)
+      err("cast width invalid for " + I->getOpcodeName());
+    break;
+  }
+  case Value::VK_PhiNode: {
+    const auto *P = cast<PhiNode>(I);
+    for (unsigned K = 0; K != P->getNumIncoming(); ++K)
+      if (P->getIncomingValue(K)->getType() != P->getType())
+        err("phi incoming value type mismatch");
+    break;
+  }
+  case Value::VK_CallInst: {
+    const auto *C = cast<CallInst>(I);
+    const FunctionType *FT = C->getCallee()->getFunctionType();
+    if (FT->getNumParams() != C->getNumArgs()) {
+      err("call argument count mismatch");
+      break;
+    }
+    for (unsigned K = 0; K != C->getNumArgs(); ++K)
+      if (C->getArg(K)->getType() != FT->getParamType(K))
+        err("call argument type mismatch at position " + std::to_string(K));
+    if (C->getType() != FT->getReturnType())
+      err("call return type mismatch");
+    break;
+  }
+  case Value::VK_LoadInst:
+    if (!cast<LoadInst>(I)->getPointer()->getType()->isPointerTy())
+      err("load pointer operand is not a pointer");
+    if (!I->getType()->isFirstClassTy())
+      err("load of non-first-class type");
+    break;
+  case Value::VK_StoreInst: {
+    const auto *S = cast<StoreInst>(I);
+    if (!S->getPointer()->getType()->isPointerTy())
+      err("store pointer operand is not a pointer");
+    if (!S->getValueOperand()->getType()->isFirstClassTy())
+      err("store of non-first-class type");
+    break;
+  }
+  case Value::VK_GEPInst: {
+    const auto *G = cast<GEPInst>(I);
+    if (!G->getPointer()->getType()->isPointerTy())
+      err("gep pointer operand is not a pointer");
+    if (!G->getIndex()->getType()->isIntegerTy())
+      err("gep index is not an integer");
+    break;
+  }
+  case Value::VK_ExtractElementInst: {
+    const auto *E = cast<ExtractElementInst>(I);
+    const auto *VT = dyn_cast<VectorType>(E->getVector()->getType());
+    if (!VT)
+      err("extractelement on non-vector");
+    else if (VT->getElementType() != E->getType())
+      err("extractelement result type mismatch");
+    break;
+  }
+  case Value::VK_InsertElementInst: {
+    const auto *E = cast<InsertElementInst>(I);
+    const auto *VT = dyn_cast<VectorType>(E->getVector()->getType());
+    if (!VT)
+      err("insertelement on non-vector");
+    else if (VT->getElementType() != E->getElement()->getType())
+      err("insertelement element type mismatch");
+    break;
+  }
+  case Value::VK_ShuffleVectorInst: {
+    const auto *SV = cast<ShuffleVectorInst>(I);
+    const auto *InTy = dyn_cast<VectorType>(SV->getV1()->getType());
+    if (!InTy || SV->getV1()->getType() != SV->getV2()->getType()) {
+      err("shufflevector input type mismatch");
+      break;
+    }
+    for (int Lane : SV->getMask())
+      if (Lane >= (int)(2 * InTy->getNumElements()))
+        err("shufflevector mask lane out of range");
+    break;
+  }
+  case Value::VK_ReturnInst: {
+    const auto *R = cast<ReturnInst>(I);
+    Type *Expected = F.getReturnType();
+    if (Expected->isVoidTy()) {
+      if (R->getReturnValue())
+        err("ret with value in void function");
+    } else if (!R->getReturnValue() ||
+               R->getReturnValue()->getType() != Expected) {
+      err("ret value type mismatch");
+    }
+    break;
+  }
+  case Value::VK_BranchInst: {
+    const auto *B = cast<BranchInst>(I);
+    if (B->isConditional() && !B->getCondition()->getType()->isBoolTy())
+      err("branch condition must be i1");
+    break;
+  }
+  case Value::VK_SwitchInst: {
+    const auto *S = cast<SwitchInst>(I);
+    if (!S->getCondition()->getType()->isIntegerTy()) {
+      err("switch condition must be integer");
+      break;
+    }
+    unsigned W = S->getCondition()->getType()->getIntegerBitWidth();
+    for (unsigned K = 0; K != S->getNumCases(); ++K)
+      if (S->getCaseValue(K).getBitWidth() != W)
+        err("switch case width mismatch");
+    break;
+  }
+  case Value::VK_FreezeInst:
+  case Value::VK_AllocaInst:
+  case Value::VK_UnreachableInst:
+    break;
+  default:
+    err("unknown instruction kind");
+  }
+}
+
+} // namespace
+
+bool alive::verifyFunction(const Function &F,
+                           std::vector<std::string> &Errors) {
+  return FunctionVerifier(F, Errors).run();
+}
+
+bool alive::verifyModule(const Module &M, std::vector<std::string> &Errors) {
+  bool Ok = true;
+  for (Function *F : M.functions())
+    Ok &= verifyFunction(*F, Errors);
+  return Ok;
+}
+
+std::string alive::verifyError(const Function &F) {
+  std::vector<std::string> Errors;
+  if (verifyFunction(F, Errors))
+    return "";
+  return Errors.front();
+}

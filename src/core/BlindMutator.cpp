@@ -1,0 +1,87 @@
+//===- core/BlindMutator.cpp - Structure-blind byte mutator ----------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BlindMutator.h"
+
+#include "analysis/Verifier.h"
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+
+using namespace alive;
+
+std::string alive::blindMutate(const std::string &Text, RandomGenerator &RNG,
+                               unsigned MaxOps) {
+  std::string S = Text;
+  unsigned Ops = 1 + (unsigned)RNG.below(MaxOps);
+  for (unsigned K = 0; K != Ops && !S.empty(); ++K) {
+    size_t Pos = RNG.below(S.size());
+    switch (RNG.below(6)) {
+    case 0: // bit flip
+      S[Pos] = (char)(S[Pos] ^ (1 << RNG.below(8)));
+      break;
+    case 1: // random byte
+      S[Pos] = (char)RNG.below(256);
+      break;
+    case 2: { // delete a span
+      size_t Len = 1 + RNG.below(8);
+      S.erase(Pos, std::min(Len, S.size() - Pos));
+      break;
+    }
+    case 3: { // duplicate a span
+      size_t Len = 1 + RNG.below(16);
+      Len = std::min(Len, S.size() - Pos);
+      S.insert(Pos, S.substr(Pos, Len));
+      break;
+    }
+    case 4: { // ASCII digit twiddle (the classic numeric heuristic)
+      // Find a digit near Pos.
+      size_t P = Pos;
+      while (P < S.size() && !isdigit((unsigned char)S[P]))
+        ++P;
+      if (P < S.size())
+        S[P] = (char)('0' + RNG.below(10));
+      break;
+    }
+    case 5: { // swap two bytes
+      size_t Q = RNG.below(S.size());
+      std::swap(S[Pos], S[Q]);
+      break;
+    }
+    }
+  }
+  return S;
+}
+
+BlindOutcome alive::classifyBlindMutant(const std::string &Original,
+                                        const std::string &Mutant) {
+  std::string Err;
+  auto M = parseModule(Mutant, Err);
+  if (!M)
+    return BlindOutcome::ParseError;
+  std::vector<std::string> Errors;
+  if (!verifyModule(*M, Errors))
+    return BlindOutcome::Invalid;
+
+  // "Boring": after erasing all value/block names and reprinting (which
+  // also strips whitespace and comments), the mutant matches the original
+  // — i.e. "something like a variable name or debug metadata" changed.
+  auto canonicalText = [](Module &Mod) {
+    for (Function *F : Mod.functions()) {
+      for (unsigned I = 0; I != F->getNumArgs(); ++I)
+        F->getArg(I)->setName("");
+      for (BasicBlock *BB : F->blocks()) {
+        BB->setName("");
+        for (Instruction *I : BB->insts())
+          I->setName("");
+      }
+    }
+    return printModule(Mod);
+  };
+  auto O = parseModule(Original, Err);
+  if (O && canonicalText(*O) == canonicalText(*M))
+    return BlindOutcome::Boring;
+  return BlindOutcome::Interesting;
+}

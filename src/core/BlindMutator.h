@@ -1,0 +1,45 @@
+//===- core/BlindMutator.h - Structure-blind byte mutator ------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Radamsa-style structure-blind byte mutator over textual IR, used to
+/// reproduce the paper's §II preliminary study: "the vast majority of
+/// mutated LLVM IR files were invalid and could not be loaded by the
+/// compiler ... the mutants that could be loaded were almost all boring."
+/// The mutation menu mirrors common byte-fuzzer heuristics: bit flips,
+/// byte swaps, token duplication/deletion, ASCII digit twiddling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORE_BLINDMUTATOR_H
+#define CORE_BLINDMUTATOR_H
+
+#include "support/RandomGenerator.h"
+
+#include <string>
+
+namespace alive {
+
+/// Applies 1..\p MaxOps random byte-level mutations to \p Text.
+std::string blindMutate(const std::string &Text, RandomGenerator &RNG,
+                        unsigned MaxOps = 4);
+
+/// Classification of a blind mutant, for the §II study.
+enum class BlindOutcome {
+  ParseError, ///< could not be loaded at all
+  Invalid,    ///< parsed but fails the verifier
+  Boring,     ///< parses and is textually/structurally unchanged modulo
+              ///< names, whitespace or comments
+  Interesting ///< a semantically distinct, valid mutant
+};
+
+/// Parses & classifies a blind mutant relative to its original.
+BlindOutcome classifyBlindMutant(const std::string &Original,
+                                 const std::string &Mutant);
+
+} // namespace alive
+
+#endif // CORE_BLINDMUTATOR_H

@@ -1,0 +1,124 @@
+//===- core/FunctionInfo.cpp - Two-level mutation info cache ---------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FunctionInfo.h"
+
+#include "analysis/DominatorTree.h"
+
+using namespace alive;
+
+OriginalFunctionInfo::OriginalFunctionInfo(const Function &F)
+    : NumBlocks(F.getNumBlocks()) {
+  DominatorTree DT(F);
+  DomMatrix.assign((size_t)NumBlocks * NumBlocks, false);
+  Reachable.assign(NumBlocks, false);
+  for (unsigned A = 0; A != NumBlocks; ++A) {
+    Reachable[A] = DT.isReachable(F.getBlock(A));
+    for (unsigned B = 0; B != NumBlocks; ++B)
+      DomMatrix[(size_t)A * NumBlocks + B] =
+          DT.dominates(F.getBlock(A), F.getBlock(B));
+  }
+
+  // Literal-constant inventory.
+  for (BasicBlock *BB : F.blocks())
+    for (Instruction *I : BB->insts())
+      for (const Value *Op : I->operands())
+        if (const auto *CI = dyn_cast<ConstantInt>(Op))
+          Literals.push_back(CI->getValue());
+
+  Ranges = computeShuffleRanges(F);
+}
+
+const std::map<const Instruction *, unsigned> &
+MutantInfo::positionsFor(const BasicBlock *BB) {
+  auto It = Positions.find(BB);
+  if (It != Positions.end())
+    return It->second;
+  std::map<const Instruction *, unsigned> Map;
+  for (unsigned I = 0; I != BB->size(); ++I)
+    Map[BB->getInst(I)] = I;
+  return Positions.emplace(BB, std::move(Map)).first->second;
+}
+
+unsigned MutantInfo::positionOf(const Instruction *I) {
+  const auto &Map = positionsFor(I->getParent());
+  auto It = Map.find(I);
+  assert(It != Map.end() && "stale position cache");
+  return It->second;
+}
+
+bool MutantInfo::valueAvailableAt(const Value *Def, const BasicBlock *BB,
+                                  unsigned InstIdx) {
+  if (isa<Constant>(Def) || isa<Argument>(Def))
+    return true;
+  const auto *I = dyn_cast<Instruction>(Def);
+  if (!I)
+    return false;
+  const BasicBlock *DefBB = I->getParent();
+  if (DefBB == BB) {
+    unsigned DefIdx = positionOf(I);
+    if (isa<PhiNode>(I)) {
+      if (InstIdx >= BB->size())
+        return true;
+      return InstIdx > DefIdx || !isa<PhiNode>(BB->getInst(InstIdx));
+    }
+    return DefIdx < InstIdx;
+  }
+  // Cross-block availability: the immutable original dominance matrix
+  // (level 2) — valid because mutations never alter the CFG.
+  const Function &F = *BB->getParent();
+  unsigned A = F.indexOfBlock(DefBB), B = F.indexOfBlock(BB);
+  return Base.blockReachable(A) && Base.blockReachable(B) &&
+         Base.blockDominates(A, B);
+}
+
+std::vector<Value *> MutantInfo::availableValues(Type *Ty,
+                                                 const BasicBlock *BB,
+                                                 unsigned InstIdx) {
+  std::vector<Value *> Out;
+  for (unsigned I = 0; I != Mutant.getNumArgs(); ++I)
+    if (Mutant.getArg(I)->getType() == Ty)
+      Out.push_back(Mutant.getArg(I));
+  for (BasicBlock *Cand : Mutant.blocks())
+    for (Instruction *I : Cand->insts())
+      if (I->getType() == Ty && valueAvailableAt(I, BB, InstIdx))
+        Out.push_back(I);
+  return Out;
+}
+
+std::vector<ShuffleRange> MutantInfo::shuffleRangesFor(const BasicBlock *BB) {
+  unsigned BlockIdx = Mutant.indexOfBlock(BB);
+  // Untouched block: serve the precomputed level-2 ranges.
+  if (!Dirty.count(BB)) {
+    std::vector<ShuffleRange> Out;
+    for (const ShuffleRange &R : Base.shuffleRanges())
+      if (R.BlockIdx == BlockIdx)
+        Out.push_back(R);
+    return Out;
+  }
+  // Dirty block: recompute (and cache until next invalidation).
+  auto It = MutantRanges.find(BB);
+  if (It != MutantRanges.end())
+    return It->second;
+  std::vector<ShuffleRange> Out;
+  unsigned N = BB->size();
+  unsigned Start = 0;
+  while (Start < N) {
+    const Instruction *First = BB->getInst(Start);
+    if (isa<PhiNode>(First) || First->isTerminator()) {
+      ++Start;
+      continue;
+    }
+    unsigned End = Start + 1;
+    while (End < N && isShufflable(*BB, Start, End + 1))
+      ++End;
+    if (End - Start >= 2)
+      Out.push_back({BlockIdx, Start, End});
+    Start = End;
+  }
+  MutantRanges[BB] = Out;
+  return Out;
+}

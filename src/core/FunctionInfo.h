@@ -1,0 +1,112 @@
+//===- core/FunctionInfo.h - Two-level mutation info cache -----*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §III-B two-level data structure. Preprocessing computes
+/// immutable facts about each ORIGINAL function once (block-level dominance
+/// matrix, literal-constant inventory, shufflable ranges) — "these steps
+/// are done early to avoid slowing down the main mutation loop". Every
+/// mutant then carries a thin overlay with mutant-specific state
+/// (instruction positions in blocks it has dirtied); queries hit the
+/// overlay first and fall back to the immutable original information.
+///
+/// The mutations never change the CFG (blocks or edges), which is what
+/// keeps the original block-dominance level valid for every mutant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORE_FUNCTIONINFO_H
+#define CORE_FUNCTIONINFO_H
+
+#include "analysis/ShuffleRanges.h"
+#include "ir/Module.h"
+#include "support/APInt.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace alive {
+
+/// Immutable preprocessing results for one original function (level 2).
+class OriginalFunctionInfo {
+public:
+  explicit OriginalFunctionInfo(const Function &F);
+
+  unsigned getNumBlocks() const { return NumBlocks; }
+
+  /// Block-level dominance by block index (reflexive).
+  bool blockDominates(unsigned A, unsigned B) const {
+    return DomMatrix[A * NumBlocks + B];
+  }
+  bool blockReachable(unsigned B) const { return Reachable[B]; }
+
+  /// Literal integer constants found in the code, "that will be randomly
+  /// changed later, during mutation" (paper §III-A).
+  const std::vector<APInt> &literalConstants() const { return Literals; }
+
+  /// Precomputed maximal shufflable ranges (paper §IV-D).
+  const std::vector<ShuffleRange> &shuffleRanges() const { return Ranges; }
+
+private:
+  unsigned NumBlocks;
+  std::vector<bool> DomMatrix;
+  std::vector<bool> Reachable;
+  std::vector<APInt> Literals;
+  std::vector<ShuffleRange> Ranges;
+};
+
+/// Mutant-specific overlay (level 1). Owns nothing; wraps the mutant
+/// function and the original info.
+class MutantInfo {
+public:
+  MutantInfo(Function &Mutant, const OriginalFunctionInfo &Base)
+      : Mutant(Mutant), Base(Base) {}
+
+  Function &getFunction() { return Mutant; }
+  const OriginalFunctionInfo &base() const { return Base; }
+
+  /// Must be called whenever a mutation changes instruction positions in
+  /// \p BB; invalidates the overlay's position cache for that block.
+  void invalidateBlock(const BasicBlock *BB) {
+    Positions.erase(BB);
+    MutantRanges.erase(BB);
+    Dirty.insert(BB);
+  }
+
+  /// Current position of \p I in its block (overlay-cached).
+  unsigned positionOf(const Instruction *I);
+
+  /// True when a use of \p Def inserted at (\p BB, \p InstIdx) would
+  /// satisfy SSA dominance. Combines the overlay's instruction positions
+  /// with the immutable block-dominance matrix.
+  bool valueAvailableAt(const Value *Def, const BasicBlock *BB,
+                        unsigned InstIdx);
+
+  /// All values of type \p Ty available at (\p BB, \p InstIdx): arguments
+  /// and dominating instruction results.
+  std::vector<Value *> availableValues(Type *Ty, const BasicBlock *BB,
+                                       unsigned InstIdx);
+
+  /// Shufflable ranges for \p BB: the precomputed original ranges when the
+  /// block is untouched, else recomputed (and cached) for the mutant.
+  std::vector<ShuffleRange> shuffleRangesFor(const BasicBlock *BB);
+
+private:
+  const std::map<const Instruction *, unsigned> &
+  positionsFor(const BasicBlock *BB);
+
+  Function &Mutant;
+  const OriginalFunctionInfo &Base;
+  std::map<const BasicBlock *, std::map<const Instruction *, unsigned>>
+      Positions;
+  std::map<const BasicBlock *, std::vector<ShuffleRange>> MutantRanges;
+  std::set<const BasicBlock *> Dirty;
+};
+
+} // namespace alive
+
+#endif // CORE_FUNCTIONINFO_H

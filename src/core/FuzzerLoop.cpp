@@ -1,0 +1,181 @@
+//===- core/FuzzerLoop.cpp - In-process mutate/optimize/verify loop --------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FuzzerLoop.h"
+
+#include "analysis/Verifier.h"
+#include "opt/BugInjection.h"
+#include "opt/Pass.h"
+#include "parser/Printer.h"
+#include "support/Timer.h"
+
+#include <fstream>
+
+using namespace alive;
+
+FuzzerLoop::FuzzerLoop(const FuzzOptions &Opts) : Opts(Opts) {}
+FuzzerLoop::~FuzzerLoop() = default;
+
+unsigned FuzzerLoop::loadModule(std::unique_ptr<Module> M) {
+  Master = std::move(M);
+  Preprocessed.clear();
+
+  for (Function *F : Master->functions()) {
+    if (F->isDeclaration() || F->isIntrinsic())
+      continue;
+    // §III-A: "checks that Alive2 can process each function ... any
+    // function that cannot be handled is removed"; "any function whose
+    // un-mutated form would cause a translation validation error is
+    // dropped: there is no point mutating these."
+    if (Opts.SelfCheckOnLoad) {
+      TVResult Self = checkSelfRefinement(*F, Opts.TV);
+      if (Self.Verdict != TVVerdict::Correct) {
+        ++Stats.FunctionsDropped;
+        continue;
+      }
+    }
+    // §III-A preprocessing: dominance, literal constants, shuffle ranges.
+    Preprocessed.push_back(
+        {F->getName(), std::make_unique<OriginalFunctionInfo>(*F)});
+  }
+  return (unsigned)Preprocessed.size();
+}
+
+std::vector<std::string> FuzzerLoop::testableFunctions() const {
+  std::vector<std::string> Names;
+  for (const auto &[Name, _] : Preprocessed)
+    Names.push_back(Name);
+  return Names;
+}
+
+std::unique_ptr<Module>
+FuzzerLoop::makeMutant(uint64_t Seed, std::vector<std::string> *AppliedOut) {
+  // §III-B: "Alive-mutate makes a copy of the in-memory IR, and then
+  // selects and applies one or more mutation operators on each function."
+  std::unique_ptr<Module> Mutant = cloneModule(*Master);
+  RandomGenerator RNG(Seed);
+  Mutator Mut(RNG, Opts.Mutation);
+
+  for (const auto &[Name, Info] : Preprocessed) {
+    Function *F = Mutant->getFunction(Name);
+    assert(F && "testable function missing from clone");
+    MutantInfo MI(*F, *Info);
+    std::vector<MutationKind> Applied = Mut.mutateFunction(MI);
+    Stats.MutationsApplied += Applied.size();
+    if (AppliedOut)
+      for (MutationKind K : Applied)
+        AppliedOut->push_back(std::string(Name) + ":" +
+                              mutationKindName(K));
+  }
+  return Mutant;
+}
+
+void FuzzerLoop::runIteration(uint64_t Seed) {
+  Timer Phase;
+
+  std::unique_ptr<Module> Mutant = makeMutant(Seed);
+  ++Stats.MutantsGenerated;
+  Stats.MutateSeconds += Phase.seconds();
+
+  if (Opts.VerifyMutants) {
+    std::vector<std::string> Errors;
+    if (!verifyModule(*Mutant, Errors)) {
+      // Must never happen: the paper's core validity claim.
+      ++Stats.InvalidMutants;
+      BugRecord R;
+      R.Kind = BugRecord::Crash;
+      R.FunctionName = "<mutator>";
+      R.MutantSeed = Seed;
+      R.Detail = "INVALID MUTANT: " + Errors.front();
+      R.MutantIR = printModule(*Mutant);
+      Bugs.push_back(R);
+      return;
+    }
+  }
+  if (!Opts.SaveDir.empty() && Opts.SaveAll)
+    saveMutant(*Mutant, Seed, /*Failing=*/false);
+
+  // Snapshot the mutant before optimization (the TV "source").
+  std::unique_ptr<Module> Source = cloneModule(*Mutant);
+
+  // §III-C: optimize. Simulated optimizer aborts surface as crash bugs.
+  Phase.reset();
+  PassManager PM;
+  std::string Err;
+  bool PipelineOk = buildPipeline(Opts.Passes, PM, Err);
+  assert(PipelineOk && "invalid pipeline");
+  (void)PipelineOk;
+  try {
+    PM.runToFixpoint(*Mutant);
+  } catch (const OptimizerCrash &C) {
+    Stats.OptimizeSeconds += Phase.seconds();
+    ++Stats.Crashes;
+    BugRecord R;
+    R.Kind = BugRecord::Crash;
+    R.FunctionName = "";
+    R.MutantSeed = Seed;
+    R.Detail = C.What;
+    R.IssueId = bugInfo(C.Id).IssueId;
+    R.MutantIR = printModule(*Source);
+    Bugs.push_back(R);
+    if (!Opts.SaveDir.empty())
+      saveMutant(*Source, Seed, /*Failing=*/true);
+    return;
+  }
+  ++Stats.Optimized;
+  Stats.OptimizeSeconds += Phase.seconds();
+
+  // §III-D: refinement check per testable function.
+  Phase.reset();
+  for (const auto &[Name, Info] : Preprocessed) {
+    Function *Src = Source->getFunction(Name);
+    Function *Tgt = Mutant->getFunction(Name);
+    if (!Src || !Tgt || Tgt->isDeclaration())
+      continue;
+    TVResult R = checkRefinement(*Src, *Tgt, Opts.TV);
+    ++Stats.Verified;
+    if (R.Verdict == TVVerdict::Incorrect) {
+      ++Stats.RefinementFailures;
+      BugRecord B;
+      B.Kind = BugRecord::Miscompile;
+      B.FunctionName = Name;
+      B.MutantSeed = Seed;
+      B.Detail = R.Detail;
+      B.MutantIR = printFunction(*Src) + "\n; optimized to:\n" +
+                   printFunction(*Tgt);
+      Bugs.push_back(B);
+      if (!Opts.SaveDir.empty())
+        saveMutant(*Source, Seed, /*Failing=*/true);
+    } else if (R.Verdict == TVVerdict::Inconclusive) {
+      ++Stats.Inconclusive;
+    }
+  }
+  Stats.VerifySeconds += Phase.seconds();
+}
+
+const FuzzStats &FuzzerLoop::run() {
+  Timer Total;
+  uint64_t Iter = 0;
+  // §III-E: loop until the iteration count or the time budget is reached.
+  for (;;) {
+    if (Opts.Iterations && Iter >= Opts.Iterations)
+      break;
+    if (Opts.TimeLimitSeconds > 0 && Total.seconds() >= Opts.TimeLimitSeconds)
+      break;
+    runIteration(Opts.BaseSeed + Iter);
+    ++Iter;
+  }
+  Stats.TotalSeconds = Total.seconds();
+  return Stats;
+}
+
+void FuzzerLoop::saveMutant(const Module &M, uint64_t Seed, bool Failing) {
+  std::string Path = Opts.SaveDir + "/mutant-" + std::to_string(Seed) +
+                     (Failing ? "-failing" : "") + ".ll";
+  std::ofstream Out(Path);
+  if (Out)
+    Out << "; mutant seed " << Seed << "\n" << printModule(M);
+}

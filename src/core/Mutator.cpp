@@ -1,0 +1,763 @@
+//===- core/Mutator.cpp - The alive-mutate mutation engine -----------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Mutator.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace alive;
+
+const char *alive::mutationKindName(MutationKind K) {
+  switch (K) {
+  case MutationKind::Attributes:
+    return "attributes";
+  case MutationKind::Inline:
+    return "inline";
+  case MutationKind::RemoveCall:
+    return "remove-call";
+  case MutationKind::Shuffle:
+    return "shuffle";
+  case MutationKind::Arith:
+    return "arith";
+  case MutationKind::Use:
+    return "use";
+  case MutationKind::Move:
+    return "move";
+  case MutationKind::Bitwidth:
+    return "bitwidth";
+  case MutationKind::NumKinds:
+    break;
+  }
+  return "?";
+}
+
+bool Mutator::apply(MutationKind K, MutantInfo &MI) {
+  switch (K) {
+  case MutationKind::Attributes:
+    return mutateAttributes(MI);
+  case MutationKind::Inline:
+    return mutateInline(MI);
+  case MutationKind::RemoveCall:
+    return mutateRemoveCall(MI);
+  case MutationKind::Shuffle:
+    return mutateShuffle(MI);
+  case MutationKind::Arith:
+    return mutateArith(MI);
+  case MutationKind::Use:
+    return mutateUse(MI);
+  case MutationKind::Move:
+    return mutateMove(MI);
+  case MutationKind::Bitwidth:
+    return mutateBitwidth(MI);
+  case MutationKind::NumKinds:
+    break;
+  }
+  return false;
+}
+
+std::vector<MutationKind> Mutator::mutateFunction(MutantInfo &MI) {
+  std::vector<MutationKind> Applied;
+  unsigned Target = 1 + (unsigned)RNG.below(Opts.MaxMutationsPerFunction);
+  unsigned Attempts = 0;
+  while (Applied.size() < Target && Attempts++ < Target * 6) {
+    MutationKind K = RNG.pick(Opts.EnabledKinds);
+    if (apply(K, MI))
+      Applied.push_back(K);
+  }
+  return Applied;
+}
+
+//===----------------------------------------------------------------------===//
+// §IV-A: attributes
+//===----------------------------------------------------------------------===//
+
+bool Mutator::mutateAttributes(MutantInfo &MI) {
+  Function &F = MI.getFunction();
+  Module &M = *F.getParent();
+
+  // Candidates: the function itself and any callee declarations reachable
+  // from it (toggling an external declaration's attributes changes the
+  // facts the optimizer may exploit — paper Listing 5 toggles nofree).
+  std::vector<Function *> Targets{&F};
+  for (BasicBlock *BB : F.blocks())
+    for (Instruction *I : BB->insts())
+      if (auto *C = dyn_cast<CallInst>(I))
+        if (!C->getCallee()->isIntrinsic())
+          Targets.push_back(C->getCallee());
+  (void)M;
+
+  Function *T = RNG.pick(Targets);
+  // Choose a function-level or a parameter-level toggle.
+  if (T->getNumArgs() == 0 || RNG.flip()) {
+    T->toggleFnAttr(RNG.pick(allFnAttrs()));
+    return true;
+  }
+  unsigned ArgIdx = (unsigned)RNG.below(T->getNumArgs());
+  ParamAttrs &PA = T->paramAttrs(ArgIdx);
+  bool IsPointer = T->getArg(ArgIdx)->getType()->isPointerTy();
+  switch (RNG.below(IsPointer ? 5 : 1)) {
+  case 0:
+    PA.NoUndef = !PA.NoUndef;
+    break;
+  case 1:
+    PA.NoCapture = !PA.NoCapture;
+    break;
+  case 2:
+    PA.NonNull = !PA.NonNull;
+    break;
+  case 3:
+    PA.ReadOnly = !PA.ReadOnly;
+    break;
+  case 4: {
+    static const uint64_t Sizes[] = {0, 1, 2, 4, 8, 16};
+    PA.Dereferenceable = Sizes[RNG.below(std::size(Sizes))];
+    break;
+  }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// §IV-B: inlining a function other than the intended callee
+//===----------------------------------------------------------------------===//
+
+bool Mutator::mutateInline(MutantInfo &MI) {
+  Function &F = MI.getFunction();
+  Module &M = *F.getParent();
+
+  // Call sites whose callee is a plain function (not an intrinsic).
+  struct Site {
+    BasicBlock *BB;
+    unsigned Idx;
+    CallInst *Call;
+  };
+  std::vector<Site> Sites;
+  for (BasicBlock *BB : F.blocks())
+    for (unsigned I = 0; I != BB->size(); ++I)
+      if (auto *C = dyn_cast<CallInst>(BB->getInst(I)))
+        if (!C->getCallee()->isIntrinsic())
+          Sites.push_back({BB, I, C});
+  if (Sites.empty())
+    return false;
+  Site S = RNG.pick(Sites);
+
+  // Candidate bodies: defined single-block functions (other than F) with a
+  // signature compatible with the call site. "We abuse the inliner ... by
+  // asking it to inline functions other than the intended inlining target."
+  std::vector<Function *> Bodies;
+  for (Function *Cand : M.functions()) {
+    if (Cand == &F || Cand->isDeclaration() || Cand->getNumBlocks() != 1)
+      continue;
+    if (Cand->getType() != S.Call->getCallee()->getType())
+      continue;
+    if (!Cand->getEntryBlock()->getTerminator() ||
+        !isa<ReturnInst>(Cand->getEntryBlock()->getTerminator()))
+      continue;
+    Bodies.push_back(Cand);
+  }
+  if (Bodies.empty())
+    return false;
+  Function *Body = RNG.pick(Bodies);
+
+  // Splice a clone of Body's single block at the call site, mapping its
+  // arguments to the call's arguments.
+  std::map<const Value *, Value *> Map;
+  for (unsigned I = 0; I != Body->getNumArgs(); ++I)
+    Map[Body->getArg(I)] = S.Call->getArg(I);
+
+  unsigned InsertAt = S.Idx;
+  Value *RetVal = nullptr;
+  for (Instruction *I : Body->getEntryBlock()->insts()) {
+    if (auto *Ret = dyn_cast<ReturnInst>(I)) {
+      if (Value *RV = Ret->getReturnValue()) {
+        auto It = Map.find(RV);
+        RetVal = It != Map.end() ? It->second : RV;
+      }
+      break;
+    }
+    // Clone with mapped operands. Reuse the module-level cloning helper by
+    // going through a single-instruction copy.
+    Function *Tmp = nullptr;
+    (void)Tmp;
+    // Manual clone: all instruction kinds a single-block body can contain.
+    Instruction *NewI = nullptr;
+    auto mapOp = [&](unsigned K) -> Value * {
+      Value *Op = I->getOperand(K);
+      auto It = Map.find(Op);
+      return It != Map.end() ? It->second : Op;
+    };
+    switch (I->getKind()) {
+    case Value::VK_BinaryInst: {
+      auto *B = cast<BinaryInst>(I);
+      auto *NB = new BinaryInst(B->getBinOp(), mapOp(0), mapOp(1));
+      NB->setNUW(B->hasNUW());
+      NB->setNSW(B->hasNSW());
+      NB->setExact(B->isExact());
+      NewI = NB;
+      break;
+    }
+    case Value::VK_ICmpInst: {
+      auto *C = cast<ICmpInst>(I);
+      NewI = new ICmpInst(C->getPredicate(), mapOp(0), mapOp(1),
+                          M.getTypes().getIntTy(1));
+      break;
+    }
+    case Value::VK_SelectInst:
+      NewI = new SelectInst(mapOp(0), mapOp(1), mapOp(2));
+      break;
+    case Value::VK_CastInst: {
+      auto *C = cast<CastInst>(I);
+      NewI = new CastInst(C->getCastOp(), mapOp(0), C->getType());
+      break;
+    }
+    case Value::VK_FreezeInst:
+      NewI = new FreezeInst(mapOp(0));
+      break;
+    case Value::VK_CallInst: {
+      auto *C = cast<CallInst>(I);
+      std::vector<Value *> Args;
+      for (unsigned K = 0; K != C->getNumArgs(); ++K)
+        Args.push_back(mapOp(K));
+      NewI = new CallInst(C->getCallee(), Args, C->getType());
+      break;
+    }
+    case Value::VK_LoadInst: {
+      auto *L = cast<LoadInst>(I);
+      NewI = new LoadInst(L->getType(), mapOp(0), L->getAlign());
+      break;
+    }
+    case Value::VK_StoreInst: {
+      auto *St = cast<StoreInst>(I);
+      NewI = new StoreInst(mapOp(0), mapOp(1), M.getTypes().getVoidTy(),
+                           St->getAlign());
+      break;
+    }
+    case Value::VK_AllocaInst: {
+      auto *A = cast<AllocaInst>(I);
+      NewI = new AllocaInst(A->getAllocatedType(), M.getTypes().getPointerTy(),
+                            A->getAlign());
+      break;
+    }
+    case Value::VK_GEPInst: {
+      auto *G = cast<GEPInst>(I);
+      NewI = new GEPInst(G->getSourceElementType(), mapOp(0), mapOp(1),
+                         M.getTypes().getPointerTy(), G->isInBounds());
+      break;
+    }
+    default:
+      // Unsupported body instruction: bail out of this inline attempt,
+      // leaving already-spliced instructions (they are valid and the call
+      // remains — still a well-formed mutant).
+      return InsertAt != S.Idx;
+    }
+    S.BB->insert(InsertAt++, std::unique_ptr<Instruction>(NewI));
+    Map[I] = NewI;
+  }
+
+  // Replace the call.
+  unsigned CallIdx = InsertAt;
+  assert(S.BB->getInst(CallIdx) == S.Call && "call position drifted");
+  (void)CallIdx;
+  if (!S.Call->getType()->isVoidTy()) {
+    if (!RetVal)
+      RetVal = randomConstant(M, S.Call->getType(), RNG, Opts.ValueSource);
+    if (auto *RC = dyn_cast<Constant>(RetVal))
+      (void)RC;
+    S.Call->replaceAllUsesWith(RetVal);
+  }
+  S.BB->erase(S.Call);
+  MI.invalidateBlock(S.BB);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// §IV-C: removing void calls
+//===----------------------------------------------------------------------===//
+
+bool Mutator::mutateRemoveCall(MutantInfo &MI) {
+  Function &F = MI.getFunction();
+  std::vector<std::pair<BasicBlock *, CallInst *>> Candidates;
+  for (BasicBlock *BB : F.blocks())
+    for (Instruction *I : BB->insts())
+      if (auto *C = dyn_cast<CallInst>(I))
+        if (C->getType()->isVoidTy())
+          Candidates.push_back({BB, C});
+  if (Candidates.empty())
+    return false;
+  auto [BB, Call] = RNG.pick(Candidates);
+  BB->erase(Call);
+  MI.invalidateBlock(BB);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// §IV-D: shuffling dependence-free ranges
+//===----------------------------------------------------------------------===//
+
+bool Mutator::mutateShuffle(MutantInfo &MI) {
+  Function &F = MI.getFunction();
+  if (F.getNumBlocks() == 0)
+    return false;
+  BasicBlock *BB = F.getBlock((unsigned)RNG.below(F.getNumBlocks()));
+  std::vector<ShuffleRange> Ranges = MI.shuffleRangesFor(BB);
+  if (Ranges.empty())
+    return false;
+  const ShuffleRange R = RNG.pick(Ranges);
+  assert(isShufflable(*BB, R.Begin, R.End) && "stale shuffle range");
+
+  // Detach the range, permute, reinsert.
+  std::vector<std::unique_ptr<Instruction>> Chunk;
+  for (unsigned I = R.End; I-- > R.Begin;)
+    Chunk.push_back(BB->take(BB->getInst(I)));
+  // Chunk is reversed; shuffle it outright (identity permutations allowed —
+  // the mutation still counts as applied, matching a random permutation).
+  RNG.shuffle(Chunk);
+  for (auto &I : Chunk)
+    BB->insert(R.Begin, std::move(I));
+  MI.invalidateBlock(BB);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// §IV-E: arithmetic mutations
+//===----------------------------------------------------------------------===//
+
+bool Mutator::mutateArith(MutantInfo &MI) {
+  Function &F = MI.getFunction();
+  Module &M = *F.getParent();
+
+  // Candidate actions over arithmetic-ish instructions (GEPs count as
+  // arithmetic per the paper; loads/stores expose their align knob, the
+  // analog of Listing 16's unusual alignment).
+  struct Action {
+    Instruction *I;
+    unsigned Which;
+  };
+  std::vector<Action> Actions;
+  for (BasicBlock *BB : F.blocks()) {
+    for (Instruction *I : BB->insts()) {
+      if (auto *B = dyn_cast<BinaryInst>(I)) {
+        Actions.push_back({B, 0}); // change opcode
+        Actions.push_back({B, 1}); // swap operands
+        if (BinaryInst::supportsNUWNSW(B->getBinOp()) ||
+            BinaryInst::supportsExact(B->getBinOp()))
+          Actions.push_back({B, 2}); // toggle a flag
+        if (isa<ConstantInt>(B->getLHS()) || isa<ConstantInt>(B->getRHS()))
+          Actions.push_back({B, 3}); // replace a literal constant
+        if (isa<ConstantVector>(B->getLHS()) ||
+            isa<ConstantVector>(B->getRHS()))
+          Actions.push_back({B, 9}); // replace a vector literal
+      } else if (auto *C = dyn_cast<ICmpInst>(I)) {
+        Actions.push_back({C, 4}); // change predicate
+        Actions.push_back({C, 1}); // swap operands
+        if (isa<ConstantInt>(C->getLHS()) || isa<ConstantInt>(C->getRHS()))
+          Actions.push_back({C, 3});
+      } else if (auto *G = dyn_cast<GEPInst>(I)) {
+        if (isa<ConstantInt>(G->getIndex()))
+          Actions.push_back({G, 5}); // replace gep index constant
+        Actions.push_back({G, 6});   // toggle inbounds
+      } else if (isa<LoadInst>(I) || isa<StoreInst>(I)) {
+        Actions.push_back({I, 7}); // randomize alignment
+      } else if (auto *Call = dyn_cast<CallInst>(I)) {
+        // Toggle i1 immediate flags of intrinsics (abs/ctlz/cttz).
+        if (Call->getCallee()->isIntrinsic())
+          for (unsigned K = 0; K != Call->getNumArgs(); ++K)
+            if (Call->getArg(K)->getType()->isBoolTy() &&
+                isa<ConstantInt>(Call->getArg(K)))
+              Actions.push_back({Call, 8});
+      }
+    }
+  }
+  if (Actions.empty())
+    return false;
+  Action A = RNG.pick(Actions);
+
+  switch (A.Which) {
+  case 0: { // change opcode (e.g. the paper's and -> xor in Figure 1)
+    auto *B = cast<BinaryInst>(A.I);
+    auto NewOp = (BinaryInst::BinOp)RNG.below(BinaryInst::NumBinOps);
+    if (NewOp == B->getBinOp())
+      NewOp = (BinaryInst::BinOp)((NewOp + 1) % BinaryInst::NumBinOps);
+    B->setBinOp(NewOp);
+    // Clear flags the new opcode cannot carry.
+    if (!BinaryInst::supportsNUWNSW(NewOp)) {
+      B->setNUW(false);
+      B->setNSW(false);
+    }
+    if (!BinaryInst::supportsExact(NewOp))
+      B->setExact(false);
+    return true;
+  }
+  case 1: { // swap operands
+    auto *U = cast<User>((Value *)A.I);
+    Value *L = U->getOperand(0), *R = U->getOperand(1);
+    U->setOperand(0, R);
+    U->setOperand(1, L);
+    return true;
+  }
+  case 2: { // toggle flags (possibly several, paper Listing 9)
+    auto *B = cast<BinaryInst>(A.I);
+    bool Toggled = false;
+    if (BinaryInst::supportsNUWNSW(B->getBinOp())) {
+      if (RNG.flip()) {
+        B->setNUW(!B->hasNUW());
+        Toggled = true;
+      }
+      if (RNG.flip()) {
+        B->setNSW(!B->hasNSW());
+        Toggled = true;
+      }
+    }
+    if (BinaryInst::supportsExact(B->getBinOp()) && (RNG.flip() || !Toggled))
+      B->setExact(!B->isExact());
+    return true;
+  }
+  case 3: { // replace a literal constant with a random value
+    auto *U = cast<User>((Value *)A.I);
+    std::vector<unsigned> ConstSlots;
+    for (unsigned K = 0; K != U->getNumOperands(); ++K)
+      if (isa<ConstantInt>(U->getOperand(K)))
+        ConstSlots.push_back(K);
+    unsigned Slot = RNG.pick(ConstSlots);
+    auto *IT = cast<IntegerType>(U->getOperand(Slot)->getType());
+    // Half the time pick a constant seen elsewhere in the original code
+    // (the preprocessed literal inventory), otherwise fully random.
+    APInt NewVal = APInt::getZero(IT->getBitWidth());
+    const std::vector<APInt> &Pool = MI.base().literalConstants();
+    bool FromPool = !Pool.empty() && RNG.flip();
+    if (FromPool) {
+      const APInt &P = RNG.pick(Pool);
+      NewVal = P.getBitWidth() == IT->getBitWidth()
+                   ? P
+                   : P.zextOrTrunc(IT->getBitWidth());
+    } else {
+      NewVal = RNG.nextAPInt(IT->getBitWidth());
+    }
+    U->setOperand(Slot, M.getConstants().getInt(IT, NewVal));
+    return true;
+  }
+  case 4: { // change icmp predicate
+    auto *C = cast<ICmpInst>(A.I);
+    auto NewP = (ICmpInst::Predicate)RNG.below(ICmpInst::NumPreds);
+    if (NewP == C->getPredicate())
+      NewP = ICmpInst::getInversePredicate(NewP);
+    C->setPredicate(NewP);
+    return true;
+  }
+  case 5: { // replace gep index constant
+    auto *G = cast<GEPInst>(A.I);
+    auto *IT = cast<IntegerType>(G->getIndex()->getType());
+    // Small offsets, biased around zero.
+    int64_t Off = (int64_t)RNG.below(9) - 4;
+    G->setOperand(1, M.getConstants().getInt(
+                         IT, APInt(IT->getBitWidth(), (uint64_t)Off, true)));
+    return true;
+  }
+  case 6: { // toggle inbounds
+    auto *G = cast<GEPInst>(A.I);
+    G->setInBounds(!G->isInBounds());
+    return true;
+  }
+  case 7: { // randomize alignment (including unusual values, Listing 16)
+    static const unsigned Aligns[] = {1, 1, 2, 4, 8, 16, 3, 123};
+    unsigned NewAlign = Aligns[RNG.below(std::size(Aligns))];
+    if (auto *L = dyn_cast<LoadInst>(A.I))
+      L->setAlign(NewAlign);
+    else
+      cast<StoreInst>(A.I)->setAlign(NewAlign);
+    return true;
+  }
+  case 9: { // replace a vector literal (lanes may become poison/undef)
+    auto *U = cast<User>((Value *)A.I);
+    std::vector<unsigned> Slots;
+    for (unsigned K = 0; K != U->getNumOperands(); ++K)
+      if (isa<ConstantVector>(U->getOperand(K)))
+        Slots.push_back(K);
+    unsigned Slot = RNG.pick(Slots);
+    ValueSourceOptions VecOpts = Opts.ValueSource;
+    VecOpts.PoisonPercent = 25; // lane-level, so keep lanes interesting
+    U->setOperand(Slot, randomConstant(M, U->getOperand(Slot)->getType(),
+                                       RNG, VecOpts));
+    return true;
+  }
+  case 8: { // toggle an intrinsic's boolean immediate
+    auto *Call = cast<CallInst>(A.I);
+    std::vector<unsigned> Slots;
+    for (unsigned K = 0; K != Call->getNumArgs(); ++K)
+      if (Call->getArg(K)->getType()->isBoolTy() &&
+          isa<ConstantInt>(Call->getArg(K)))
+        Slots.push_back(K);
+    unsigned Slot = RNG.pick(Slots);
+    bool Cur = !cast<ConstantInt>(Call->getArg(Slot))->isZero();
+    Call->setOperand(Slot,
+                     M.getConstants().getBool(M.getTypes(), !Cur));
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// §IV-F: mutating uses
+//===----------------------------------------------------------------------===//
+
+bool Mutator::mutateUse(MutantInfo &MI) {
+  Function &F = MI.getFunction();
+
+  // Candidate operand slots: first-class-typed operands. Phi incoming
+  // values are included; their replacement is generated at the end of the
+  // incoming block, where a phi use must be available.
+  struct Slot {
+    BasicBlock *BB;
+    Instruction *I;
+    unsigned OpIdx;
+  };
+  std::vector<Slot> Slots;
+  for (BasicBlock *BB : F.blocks())
+    for (Instruction *I : BB->insts())
+      for (unsigned K = 0; K != I->getNumOperands(); ++K)
+        if (I->getOperand(K)->getType()->isFirstClassTy())
+          Slots.push_back({BB, I, K});
+  if (Slots.empty())
+    return false;
+  Slot S = RNG.pick(Slots);
+
+  BasicBlock *InsBB;
+  unsigned Pos;
+  if (auto *Phi = dyn_cast<PhiNode>(S.I)) {
+    InsBB = Phi->getIncomingBlock(S.OpIdx);
+    Pos = InsBB->size() - 1; // before the incoming block's terminator
+  } else {
+    InsBB = S.BB;
+    Pos = MI.positionOf(S.I);
+  }
+  Value *New = randomDominatingValue(MI, S.I->getOperand(S.OpIdx)->getType(),
+                                     InsBB, Pos, RNG, Opts.ValueSource,
+                                     /*Avoid=*/S.I);
+  // Pos may have advanced past inserted instructions; the instruction
+  // itself shifted accordingly, and New dominates the new position.
+  S.I->setOperand(S.OpIdx, New);
+  MI.invalidateBlock(InsBB);
+  if (InsBB != S.BB)
+    MI.invalidateBlock(S.BB);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// §IV-G: moving an instruction
+//===----------------------------------------------------------------------===//
+
+bool Mutator::mutateMove(MutantInfo &MI) {
+  Function &F = MI.getFunction();
+
+  struct Cand {
+    BasicBlock *BB;
+    Instruction *I;
+  };
+  std::vector<Cand> Cands;
+  for (BasicBlock *BB : F.blocks())
+    for (Instruction *I : BB->insts())
+      if (!isa<PhiNode>(I) && !I->isTerminator())
+        Cands.push_back({BB, I});
+  if (Cands.empty())
+    return false;
+  Cand C = RNG.pick(Cands);
+  BasicBlock *BB = C.BB;
+
+  // Legal target positions: after the phi prefix, before the terminator.
+  unsigned FirstPos = 0;
+  while (FirstPos < BB->size() && isa<PhiNode>(BB->getInst(FirstPos)))
+    ++FirstPos;
+  unsigned LastPos = BB->size() - 1; // before terminator
+  if (LastPos <= FirstPos)
+    return false;
+  unsigned OldPos = MI.positionOf(C.I);
+  unsigned NewPos = FirstPos + (unsigned)RNG.below(LastPos - FirstPos);
+
+  if (NewPos == OldPos)
+    return false;
+
+  auto Owned = BB->take(C.I);
+  BB->insert(NewPos, std::move(Owned));
+  MI.invalidateBlock(BB);
+
+  if (NewPos < OldPos) {
+    // Moved earlier: operands defined in (NewPos, OldPos] are now below the
+    // instruction; find substitutes (paper Listing 12).
+    for (unsigned K = 0; K != C.I->getNumOperands(); ++K) {
+      Value *Op = C.I->getOperand(K);
+      if (!MI.valueAvailableAt(Op, BB, NewPos)) {
+        unsigned Pos = NewPos;
+        Value *Repl = randomDominatingValue(MI, Op->getType(), BB, Pos, RNG,
+                                            Opts.ValueSource, /*Avoid=*/C.I);
+        C.I->setOperand(K, Repl);
+        MI.invalidateBlock(BB);
+      }
+    }
+  } else {
+    // Moved later: users in [OldPos, NewPos) lost dominance; rewrite their
+    // uses of C.I with substitutes.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (User *U : C.I->users()) {
+        auto *UI = dyn_cast<Instruction>((Value *)U);
+        if (!UI)
+          continue;
+        unsigned UseIdx = UI->getOperandIndex(C.I);
+        bool Ok;
+        if (auto *Phi = dyn_cast<PhiNode>(UI)) {
+          const BasicBlock *In = Phi->getIncomingBlock(UseIdx);
+          Ok = MI.valueAvailableAt(C.I, In, In->size());
+        } else {
+          Ok = MI.valueAvailableAt(C.I, UI->getParent(),
+                                   MI.positionOf(UI));
+        }
+        if (Ok)
+          continue;
+        // Phi users take their replacement at the end of the incoming
+        // block (before its terminator) so insertion stays legal.
+        BasicBlock *UBB;
+        unsigned Pos;
+        if (auto *Phi = dyn_cast<PhiNode>(UI)) {
+          UBB = Phi->getIncomingBlock(UseIdx);
+          Pos = UBB->size() - 1;
+        } else {
+          UBB = UI->getParent();
+          Pos = MI.positionOf(UI);
+        }
+        Value *Repl = randomDominatingValue(MI, C.I->getType(), UBB, Pos,
+                                            RNG, Opts.ValueSource,
+                                            /*Avoid=*/C.I);
+        UI->setOperand(UseIdx, Repl);
+        MI.invalidateBlock(UBB);
+        Changed = true;
+        break; // user list changed; restart
+      }
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// §IV-H: changing bitwidths along a use path
+//===----------------------------------------------------------------------===//
+
+bool Mutator::mutateBitwidth(MutantInfo &MI) {
+  Function &F = MI.getFunction();
+  Module &M = *F.getParent();
+  TypeContext &TC = M.getTypes();
+
+  // Eligible roots/path nodes: fully bitwidth-polymorphic scalar binary
+  // instructions (paper §IV-H).
+  auto eligible = [](const Instruction *I) {
+    return isa<BinaryInst>(I) && I->getType()->isIntegerTy();
+  };
+
+  std::vector<Instruction *> Roots;
+  for (BasicBlock *BB : F.blocks())
+    for (Instruction *I : BB->insts())
+      if (eligible(I))
+        Roots.push_back(I);
+  if (Roots.empty())
+    return false;
+  Instruction *Root = RNG.pick(Roots);
+  unsigned OldW = Root->getType()->getIntegerBitWidth();
+
+  // Pick a new width != old (1..128, biased toward nearby odd widths like
+  // the paper's i26 example).
+  unsigned NewW;
+  do {
+    if (RNG.chance(2, 3)) {
+      int Delta = (int)RNG.below(17) - 8;
+      int W = (int)OldW + Delta;
+      NewW = (unsigned)std::max(1, std::min(64, W));
+    } else {
+      NewW = 1 + (unsigned)RNG.below(64);
+    }
+  } while (NewW == OldW);
+  Type *NewTy = TC.getIntTy(NewW);
+  Type *OldTy = Root->getType();
+
+  // Random root-to-leaf path through the use tree (paper Figures 4/5).
+  std::vector<Instruction *> Path{Root};
+  for (;;) {
+    Instruction *Last = Path.back();
+    std::vector<Instruction *> NextCands;
+    for (User *U : Last->users()) {
+      auto *UI = dyn_cast<Instruction>((Value *)U);
+      if (UI && eligible(UI) && UI->getType() == OldTy &&
+          std::find(Path.begin(), Path.end(), UI) == Path.end())
+        NextCands.push_back(UI);
+    }
+    if (NextCands.empty() || RNG.chance(1, 3))
+      break;
+    Path.push_back(RNG.pick(NextCands));
+  }
+
+  bool Narrowing = NewW < OldW;
+  auto adaptTo = [&](Value *V, Type *DstTy, BasicBlock *BB,
+                     unsigned &Pos) -> Value * {
+    unsigned DW = DstTy->getIntegerBitWidth();
+    unsigned SW = V->getType()->getIntegerBitWidth();
+    if (SW == DW)
+      return V;
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return M.getConstants().getInt(
+          cast<IntegerType>(DstTy),
+          DW < SW ? CI->getValue().trunc(DW)
+                  : (RNG.flip() ? CI->getValue().zext(DW)
+                                : CI->getValue().sext(DW)));
+    CastInst::CastOp Op =
+        DW < SW ? CastInst::Trunc
+                : (RNG.flip() ? CastInst::ZExt : CastInst::SExt);
+    auto *Cast = new CastInst(Op, V, DstTy);
+    BB->insert(Pos, std::unique_ptr<Instruction>(Cast));
+    ++Pos;
+    return Cast;
+  };
+
+  // Build the new-width versions along the path.
+  std::map<Instruction *, Instruction *> NewVersion;
+  for (Instruction *Node : Path) {
+    auto *B = cast<BinaryInst>(Node);
+    BasicBlock *BB = Node->getParent();
+    unsigned Pos = BB->indexOf(Node);
+    Value *Ops[2];
+    for (unsigned K = 0; K != 2; ++K) {
+      Value *Op = B->getOperand(K);
+      auto *PrevI = dyn_cast<Instruction>(Op);
+      auto It = PrevI ? NewVersion.find(PrevI) : NewVersion.end();
+      Ops[K] = It != NewVersion.end()
+                   ? (Value *)It->second
+                   : adaptTo(Op, NewTy, BB, Pos);
+    }
+    auto *NB = new BinaryInst(B->getBinOp(), Ops[0], Ops[1]);
+    NB->copyFlags(*B);
+    BB->insert(Pos, std::unique_ptr<Instruction>(NB));
+    NewVersion[Node] = NB;
+    MI.invalidateBlock(BB);
+  }
+
+  // Re-point users: path nodes keep wiring through new versions; all other
+  // users get a cast back to the original width (Figure 5, Listing 13).
+  (void)Narrowing;
+  for (auto It = Path.rbegin(); It != Path.rend(); ++It) {
+    Instruction *Node = *It;
+    Instruction *NewI = NewVersion[Node];
+    BasicBlock *BB = Node->getParent();
+    if (Node->hasUses()) {
+      unsigned Pos = BB->indexOf(NewI) + 1;
+      Value *Back = adaptTo(NewI, OldTy, BB, Pos);
+      Node->replaceAllUsesWith(Back);
+    }
+    BB->erase(Node);
+    MI.invalidateBlock(BB);
+  }
+  return true;
+}

@@ -1,0 +1,125 @@
+//===- core/ValueSource.cpp - Random dominating value primitive ------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ValueSource.h"
+
+using namespace alive;
+
+Constant *alive::randomConstant(Module &M, Type *Ty, RandomGenerator &RNG,
+                                const ValueSourceOptions &Opts) {
+  ConstantPoolCtx &CP = M.getConstants();
+  if (RNG.chance(Opts.PoisonPercent, 100))
+    return RNG.flip() ? (Constant *)CP.getPoison(Ty)
+                      : (Constant *)CP.getUndef(Ty);
+  if (Ty->isPointerTy())
+    return CP.getNullPtr(Ty);
+  if (auto *VT = dyn_cast<VectorType>(Ty)) {
+    std::vector<Constant *> Elems;
+    for (unsigned I = 0; I != VT->getNumElements(); ++I) {
+      // Individual lanes can be poison/undef — real vector constants in
+      // LLVM unit tests frequently carry poison lanes.
+      if (RNG.chance(Opts.PoisonPercent, 100))
+        Elems.push_back(RNG.flip()
+                            ? (Constant *)CP.getPoison(VT->getElementType())
+                            : (Constant *)CP.getUndef(VT->getElementType()));
+      else
+        Elems.push_back(CP.getInt(
+            cast<IntegerType>(VT->getElementType()),
+            RNG.nextAPInt(VT->getElementType()->getIntegerBitWidth())));
+    }
+    return CP.getVector(VT, Elems);
+  }
+  auto *IT = cast<IntegerType>(Ty);
+  return CP.getInt(IT, RNG.nextAPInt(IT->getBitWidth()));
+}
+
+namespace {
+
+/// Creates a fresh random instruction producing \p Ty at the program point
+/// and returns it; operands come from the primitive recursively.
+Value *freshInstruction(MutantInfo &MI, Type *Ty, BasicBlock *BB,
+                        unsigned &InstIdx, RandomGenerator &RNG,
+                        const ValueSourceOptions &Opts, unsigned Depth) {
+  Module &M = *MI.getFunction().getParent();
+  auto operand = [&](Type *OpTy) {
+    return randomDominatingValue(MI, OpTy, BB, InstIdx, RNG, Opts, nullptr,
+                                 Depth + 1);
+  };
+
+  Instruction *NewI = nullptr;
+  if (Ty->isBoolTy() && RNG.chance(1, 2)) {
+    // icmp over a random integer type.
+    unsigned W = 1u << RNG.below(7); // 1..64
+    Type *OpTy = M.getTypes().getIntTy(W);
+    Value *L = operand(OpTy);
+    Value *R = operand(OpTy);
+    NewI = new ICmpInst((ICmpInst::Predicate)RNG.below(ICmpInst::NumPreds),
+                        L, R, M.getTypes().getIntTy(1));
+  } else if (RNG.chance(1, 4)) {
+    // Intrinsic call (paper Listing 14 generated an smin call).
+    static const IntrinsicID Choices[] = {
+        IntrinsicID::SMin,    IntrinsicID::SMax,    IntrinsicID::UMin,
+        IntrinsicID::UMax,    IntrinsicID::UAddSat, IntrinsicID::USubSat,
+        IntrinsicID::SAddSat, IntrinsicID::SSubSat};
+    IntrinsicID ID = Choices[RNG.below(std::size(Choices))];
+    Function *Callee = M.getOrInsertIntrinsic(ID, Ty);
+    Value *A = operand(Ty);
+    Value *B = operand(Ty);
+    NewI = new CallInst(Callee, {A, B}, Ty);
+  } else {
+    // Random binary operation, with random flags where legal.
+    auto Op = (BinaryInst::BinOp)RNG.below(BinaryInst::NumBinOps);
+    Value *L = operand(Ty);
+    Value *R = operand(Ty);
+    auto *Bin = new BinaryInst(Op, L, R);
+    if (BinaryInst::supportsNUWNSW(Op)) {
+      Bin->setNUW(RNG.flip());
+      Bin->setNSW(RNG.flip());
+    }
+    if (BinaryInst::supportsExact(Op))
+      Bin->setExact(RNG.flip());
+    NewI = Bin;
+  }
+
+  BB->insert(InstIdx, std::unique_ptr<Instruction>(NewI));
+  ++InstIdx;
+  MI.invalidateBlock(BB);
+  return NewI;
+}
+
+} // namespace
+
+Value *alive::randomDominatingValue(MutantInfo &MI, Type *Ty, BasicBlock *BB,
+                                    unsigned &InstIdx, RandomGenerator &RNG,
+                                    const ValueSourceOptions &Opts,
+                                    const Value *Avoid, unsigned Depth) {
+  Module &M = *MI.getFunction().getParent();
+  bool CanRecurse = Depth < Opts.MaxDepth && Ty->isIntegerTy();
+
+  // Weighted choice: existing value / constant / fresh parameter / fresh
+  // instruction.
+  unsigned Roll = (unsigned)RNG.below(100);
+
+  if (Roll < 50) {
+    std::vector<Value *> Candidates = MI.availableValues(Ty, BB, InstIdx);
+    if (Avoid)
+      Candidates.erase(
+          std::remove(Candidates.begin(), Candidates.end(), Avoid),
+          Candidates.end());
+    if (!Candidates.empty())
+      return RNG.pick(Candidates);
+    // Fall through to other sources.
+  }
+  if (Roll < 75 || (!CanRecurse && !Opts.AllowFreshParameters))
+    return randomConstant(M, Ty, RNG, Opts);
+  if (Roll < 85 && Opts.AllowFreshParameters) {
+    // Fresh function parameter (paper Listing 11).
+    return MI.getFunction().addArgument(Ty, "");
+  }
+  if (CanRecurse)
+    return freshInstruction(MI, Ty, BB, InstIdx, RNG, Opts, Depth);
+  return randomConstant(M, Ty, RNG, Opts);
+}

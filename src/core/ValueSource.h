@@ -1,0 +1,53 @@
+//===- core/ValueSource.h - Random dominating value primitive --*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The primitive alive-mutate "makes heavy use of": for a given program
+/// point, randomly produce a dominating SSA value with a compatible type
+/// (paper §IV-F). The value might be one that already exists (argument or
+/// instruction result), a fresh literal constant, a fresh function
+/// parameter, or a fresh randomly generated instruction whose operands are
+/// chosen by recursively invoking the same primitive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORE_VALUESOURCE_H
+#define CORE_VALUESOURCE_H
+
+#include "core/FunctionInfo.h"
+#include "support/RandomGenerator.h"
+
+namespace alive {
+
+/// Tunables for value generation.
+struct ValueSourceOptions {
+  /// Maximum recursion depth for fresh-instruction generation.
+  unsigned MaxDepth = 2;
+  /// Probability (percent) that a random constant is poison or undef.
+  unsigned PoisonPercent = 4;
+  /// Allow growing the signature with fresh parameters (paper Listing 11).
+  bool AllowFreshParameters = true;
+};
+
+/// Produces a value of type \p Ty that dominates program point
+/// (\p BB, \p InstIdx) in the mutant. May insert new instructions before
+/// \p InstIdx (advancing it) and may append fresh function parameters.
+/// \p Avoid, when non-null, is never returned as an *existing* value
+/// (used when replacing an operand so the replacement differs).
+Value *randomDominatingValue(MutantInfo &MI, Type *Ty, BasicBlock *BB,
+                             unsigned &InstIdx, RandomGenerator &RNG,
+                             const ValueSourceOptions &Opts,
+                             const Value *Avoid = nullptr,
+                             unsigned Depth = 0);
+
+/// Random constant of first-class type \p Ty (integers biased to corner
+/// values; occasionally poison/undef per \p Opts).
+Constant *randomConstant(Module &M, Type *Ty, RandomGenerator &RNG,
+                         const ValueSourceOptions &Opts);
+
+} // namespace alive
+
+#endif // CORE_VALUESOURCE_H

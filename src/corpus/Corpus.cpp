@@ -1,0 +1,503 @@
+//===- corpus/Corpus.cpp - Test-corpus generation ---------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+
+#include <cassert>
+
+using namespace alive;
+
+const std::vector<std::string> &alive::paperListingSeeds() {
+  static const std::vector<std::string> Seeds = {
+      // Listing 1: the unit test behind Figure 1.
+      R"(define i32 @t1_ult_slt_0(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, -16
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = add i32 %x, 16
+  %t3 = icmp ult i32 %t2, 144
+  %r = select i1 %t3, i32 %x, i32 %t1
+  ret i32 %r
+}
+)",
+      // Listing 4: @test9 (the running example), with its @clobber callee.
+      R"(declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q, align 4
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q, align 4
+  %c = sub i32 %a, %b
+  ret i32 %c
+}
+
+define void @f(ptr %ptr) {
+  store i32 42, ptr %ptr, align 4
+  ret void
+}
+)",
+      // Listing 15 neighborhood: smax over an offset add.
+      R"(define i8 @smax_offset(i8 %x) {
+  %1 = add nuw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}
+)",
+      // Listing 17 neighborhood: pr4917-style overflow check.
+      R"(define i1 @pr4917_4(i32 %x) {
+entry:
+  %r = zext i32 %x to i64
+  %mul = mul i64 %r, %r
+  %res = icmp ule i64 %mul, 4294967295
+  ret i1 %res
+}
+)",
+      // Listing 18: the zero-width bitfield extract.
+      R"(define i64 @lsr_zext_i1_i64(i1 %b) {
+  %1 = zext i1 %b to i64
+  %2 = lshr i64 %1, 1
+  ret i64 %2
+}
+)",
+      // Listing 19: promoted-constant compare.
+      R"(define i32 @fcmp_promote() {
+  %1 = sub i8 -66, 0
+  %2 = icmp ugt i8 -31, %1
+  %3 = select i1 %2, i32 1, i32 0
+  ret i32 %3
+}
+)",
+      // Listing 16 neighborhood: aligned load via assume-like contract.
+      R"(define i8 @align_non_pow2(ptr dereferenceable(16) %p) {
+  %v = load i8, ptr %p, align 8
+  ret i8 %v
+}
+)",
+  };
+  return Seeds;
+}
+
+const std::vector<NearMissSeed> &alive::nearMissSeeds() {
+  // Every seed is VALID and passes translation validation un-mutated, even
+  // with all defects injected — the campaign's discoveries must come from
+  // mutants, exactly as in the paper (pristine regression tests are green).
+  static const std::vector<NearMissSeed> Seeds = {
+      {"53252", // Figure 1: needs and->xor opcode change + constant change
+       R"(define i32 @clamp_like(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, 0
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = icmp ult i32 %x, 65536
+  %neg = and i1 %t2, true
+  %r = select i1 %neg, i32 %x, i32 %t1
+  ret i32 %r
+}
+)"},
+      {"50693", // needs constant -2 -> -1
+       R"(define i8 @opposite_shifts(i8 %x) {
+  %a = shl i8 -2, %x
+  %b = lshr i8 %a, %x
+  ret i8 %b
+}
+)"},
+      {"53218", // needs a flag toggle so the duplicate loses nsw
+       R"(define i32 @gvn_twins(i32 %x, i32 %y) {
+  %a = add nsw i32 %x, %y
+  %b = add nsw i32 %x, %y
+  ret i32 %b
+}
+)"},
+      {"55003", // needs the nsw on the shl to be toggled off
+       R"(define i8 @sext_inreg(i8 %x) {
+  %a = shl nsw i8 %x, 3
+  %b = ashr i8 %a, 3
+  ret i8 %b
+}
+)"},
+      {"55201", // needs the mask constant weakened
+       R"(define i32 @masked_rotate(i32 %x) {
+  %hi = shl i32 %x, 8
+  %himask = and i32 %hi, -256
+  %lo = lshr i32 %x, 24
+  %r = or i32 %himask, %lo
+  ret i32 %r
+}
+)"},
+      {"55129", // needs the shift amount changed from 0 to >= 1
+       R"(define i64 @bool_shift(i1 %b) {
+  %1 = zext i1 %b to i64
+  %2 = lshr i64 %1, 0
+  ret i64 %2
+}
+)"},
+      {"55271", // needs the is_int_min_poison flag toggled to false
+       R"(define i8 @abs_poison(i8 %x) {
+  %r = call i8 @llvm.abs.i8(i8 %x, i1 true)
+  ret i8 %r
+}
+)"},
+      {"55284", // needs C1 mutated into a subset of C2
+       R"(define i8 @or_and(i8 %x) {
+  %o = or i8 %x, 48
+  %a = and i8 %o, 15
+  ret i8 %a
+}
+)"},
+      {"55287", // needs a use-mutation making the mul operand differ
+       R"(define i8 @urem_expand(i8 %x, i8 %y, i8 %z) {
+  %d = udiv i8 %x, %y
+  %m = mul i8 %d, %y
+  %r = sub i8 %x, %m
+  ret i8 %r
+}
+)"},
+      {"55296", // needs the divisor constant pushed past 255
+       R"(define i8 @narrow_urem(i8 %x) {
+  %z = zext i8 %x to i32
+  %r = urem i32 %z, 200
+  %t = trunc i32 %r to i8
+  ret i8 %t
+}
+)"},
+      {"55342", // needs the compared constant to go negative
+       R"(define i32 @promote_ugt(i8 %v) {
+  %1 = sub i8 -66, 0
+  %2 = add i8 %1, %v
+  %3 = icmp ugt i8 %2, 31
+  %4 = select i1 %3, i32 1, i32 0
+  ret i32 %4
+}
+)"},
+      {"55490",
+       R"(define i32 @promote_ult(i8 %v) {
+  %1 = icmp ult i8 %v, 10
+  %2 = select i1 %1, i32 1, i32 0
+  ret i32 %2
+}
+)"},
+      {"55627",
+       R"(define i32 @promote_eq(i8 %v) {
+  %1 = icmp eq i8 %v, 3
+  %2 = select i1 %1, i32 1, i32 0
+  ret i32 %2
+}
+)"},
+      {"55484", // a true i32 rotate; constant mutation (24 -> 8 from the
+                 // literal pool) turns it into the half-word-swap shape
+                 // that MatchBSwapHWordLow mis-matched at wide types
+       R"(define i32 @rot8(i32 %x) {
+  %hi = shl i32 %x, 8
+  %lo = lshr i32 %x, 24
+  %r = or i32 %hi, %lo
+  ret i32 %r
+}
+)"},
+      {"55833", // needs the lshr amount mutated so C1 + n == W - 1
+       R"(define i8 @bitfield(i8 %x) {
+  %s = lshr i8 %x, 1
+  %r = and i8 %s, 31
+  ret i8 %r
+}
+)"},
+      {"58109", // needs a use/constant mutation to reach usub.sat lowering
+       R"(define i8 @sat_sub(i8 %x, i8 %y) {
+  %r = call i8 @llvm.usub.sat.i8(i8 %x, i8 0)
+  ret i8 %r
+}
+)"},
+      {"58321", // needs a flag toggle making %a possibly-poison
+       R"(define i8 @freeze_ret(i8 %x) {
+  %a = add i8 %x, 100
+  %fr = freeze i8 %a
+  ret i8 %fr
+}
+)"},
+      {"58431", // needs the middle width mutated so trunc/zext stop matching
+       R"(define i16 @zext_trunc(i16 %x) {
+  %t = trunc i16 %x to i8
+  %z = zext i8 %t to i16
+  ret i16 %z
+}
+)"},
+      {"59836", // needs the result width narrowed below S1+S2
+       R"(define i16 @zext_mul(i8 %a, i8 %b) {
+  %za = zext i8 %a to i16
+  %zb = zext i8 %b to i16
+  %m = mul i16 %za, %zb
+  ret i16 %m
+}
+)"},
+      {"52884", // needs nsw toggled on (Listing 15 has only nuw here)
+       R"(define i8 @smax_offset2(i8 %x) {
+  %1 = add nuw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}
+)"},
+      {"51618", // needs a use-mutation introducing undef into the phi
+       R"(define i32 @phi_merge(i1 %c, i32 %x, i32 %y) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ %x, %a ], [ %y, %b ]
+  ret i32 %p
+}
+)"},
+      {"56377", // needs the extract index pushed out of range
+       R"(define i8 @shuffle_extract(<4 x i8> %v, <4 x i8> %w) {
+  %s = shufflevector <4 x i8> %v, <4 x i8> %w, <4 x i32> <i32 0, i32 5, i32 2, i32 7>
+  %r = extractelement <4 x i8> %s, i32 3
+  ret i8 %r
+}
+)"},
+      {"56463", // needs a use-mutation turning the pointer into poison
+       R"(declare void @escape(ptr)
+
+define void @escape_null() {
+  call void @escape(ptr null)
+  ret void
+}
+)"},
+      {"56945", // needs a constant replaced by poison
+       R"(define i8 @fold_smax() {
+  %m = call i8 @llvm.smax.i8(i8 -5, i8 3)
+  ret i8 %m
+}
+)"},
+      {"56968", // needs the shift amount bumped from 7 to 8
+       R"(define i8 @shift_edge(i8 %x) {
+  %r = shl i8 %x, 7
+  ret i8 %r
+}
+)"},
+      {"56981", // needs the i1 immediate toggled to true
+       R"(define i8 @ctlz_zero() {
+  %r = call i8 @llvm.ctlz.i8(i8 0, i1 false)
+  ret i8 %r
+}
+)"},
+      {"58423", // needs a use-mutation adding a second use of the shl
+       R"(define i32 @rotate_cse(i32 %x, i32 %y) {
+  %hi = shl i32 %x, 5
+  %lo = lshr i32 %x, 27
+  %r = or i32 %hi, %lo
+  %extra = add i32 %y, %r
+  ret i32 %extra
+}
+)"},
+      {"58425", // needs a bitwidth mutation into the 65..127 range
+       R"(define i64 @legal_udiv(i64 %x, i64 %y) {
+  %s = or i64 %y, 1
+  %d = udiv i64 %x, %s
+  %r = add i64 %d, %x
+  ret i64 %r
+}
+)"},
+      {"59757", // needs a use-mutation turning the format pointer null
+       R"(declare i32 @printf(ptr)
+
+define i32 @print_it(ptr nonnull %fmt) {
+  %r = call i32 @printf(ptr %fmt)
+  ret i32 %r
+}
+)"},
+      {"64687", // needs the alignment mutated to a non-power-of-two
+       R"(define i8 @aligned_load(ptr dereferenceable(246) %p) {
+  %v = load i8, ptr %p, align 2
+  ret i8 %v
+}
+)"},
+      {"64661", // needs the second store's constant mutated to differ
+       R"(declare void @use(ptr)
+
+define void @auto_init() {
+  %p = alloca i32, align 4
+  store i32 7, ptr %p, align 4
+  store i32 7, ptr %p, align 4
+  call void @use(ptr %p)
+  ret void
+}
+)"},
+      {"72035", // needs the gep index mutated off zero
+       R"(define i32 @sroa_gep(i32 %x) {
+  %p = alloca i32, align 4
+  %q = getelementptr i8, ptr %p, i64 0
+  store i32 %x, ptr %p, align 4
+  %v = load i32, ptr %p, align 4
+  ret i32 %v
+}
+)"},
+      {"72034", // needs a constant-vector lane mutated to poison
+       R"(define i8 @scalarize(<2 x i8> %v) {
+  %s = add <2 x i8> %v, <i8 3, i8 5>
+  %r = extractelement <2 x i8> %s, i32 0
+  ret i8 %r
+}
+)"},
+  };
+  return Seeds;
+}
+
+//===----------------------------------------------------------------------===//
+// Random module generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds one random single- or multi-block integer function.
+void generateFunction(Module &M, RandomGenerator &RNG,
+                      const std::string &Name) {
+  TypeContext &TC = M.getTypes();
+  static const unsigned Widths[] = {1, 8, 16, 32, 64};
+  auto randWidth = [&] { return Widths[RNG.below(std::size(Widths))]; };
+
+  // Signature: 1..3 integer args, sometimes a pointer.
+  unsigned NumArgs = 1 + (unsigned)RNG.below(3);
+  std::vector<Type *> Params;
+  for (unsigned I = 0; I != NumArgs; ++I)
+    Params.push_back(RNG.chance(1, 6) ? (Type *)TC.getPointerTy()
+                                      : (Type *)TC.getIntTy(randWidth()));
+  unsigned RetW = randWidth();
+  Type *RetTy = TC.getIntTy(RetW);
+  Function *F = M.createFunction(TC.getFunctionTy(RetTy, Params), Name);
+  for (unsigned I = 0; I != NumArgs; ++I) {
+    F->getArg(I)->setName("a" + std::to_string(I));
+    if (Params[I]->isPointerTy())
+      F->paramAttrs(I).Dereferenceable = 8;
+  }
+
+  BasicBlock *BB = F->addBlock("entry");
+  ConstantPoolCtx &CP = M.getConstants();
+
+  // Values available per width.
+  std::vector<Value *> Pool;
+  for (unsigned I = 0; I != NumArgs; ++I)
+    if (!Params[I]->isPointerTy())
+      Pool.push_back(F->getArg(I));
+
+  auto pickOfWidth = [&](unsigned W) -> Value * {
+    std::vector<Value *> Xs;
+    for (Value *V : Pool)
+      if (V->getType()->isIntegerTy() &&
+          V->getType()->getIntegerBitWidth() == W)
+        Xs.push_back(V);
+    if (!Xs.empty() && RNG.chance(3, 4))
+      return RNG.pick(Xs);
+    return CP.getInt(TC.getIntTy(W), RNG.nextAPInt(W));
+  };
+
+  unsigned NumInsts = 3 + (unsigned)RNG.below(9);
+  for (unsigned K = 0; K != NumInsts; ++K) {
+    unsigned W = randWidth();
+    Instruction *NewI = nullptr;
+    switch (RNG.below(6)) {
+    case 0:
+    case 1: { // binop (most common, like real InstCombine tests)
+      auto Op = (BinaryInst::BinOp)RNG.below(BinaryInst::NumBinOps);
+      // Avoid generating certain-UB divisions by non-poolable zero: use
+      // 'or 1' guarded divisors occasionally; plain random is fine since
+      // UB-on-some-inputs is allowed in tests.
+      auto *B = new BinaryInst(Op, pickOfWidth(W), pickOfWidth(W));
+      if (BinaryInst::supportsNUWNSW(Op)) {
+        B->setNUW(RNG.chance(1, 4));
+        B->setNSW(RNG.chance(1, 3));
+      }
+      if (BinaryInst::supportsExact(Op))
+        B->setExact(RNG.chance(1, 5));
+      NewI = B;
+      break;
+    }
+    case 2: { // icmp
+      NewI = new ICmpInst((ICmpInst::Predicate)RNG.below(ICmpInst::NumPreds),
+                          pickOfWidth(W), pickOfWidth(W), TC.getIntTy(1));
+      break;
+    }
+    case 3: { // select over an i1 from the pool (or fresh compare)
+      Value *Cond = nullptr;
+      for (Value *V : Pool)
+        if (V->getType()->isBoolTy() && RNG.flip()) {
+          Cond = V;
+          break;
+        }
+      if (!Cond) {
+        auto *C = new ICmpInst(
+            (ICmpInst::Predicate)RNG.below(ICmpInst::NumPreds),
+            pickOfWidth(W), pickOfWidth(W), TC.getIntTy(1));
+        BB->append(std::unique_ptr<Instruction>(C));
+        Pool.push_back(C);
+        Cond = C;
+      }
+      NewI = new SelectInst(Cond, pickOfWidth(W), pickOfWidth(W));
+      break;
+    }
+    case 4: { // cast
+      unsigned W2 = randWidth();
+      if (W2 == W)
+        W2 = W == 64 ? 32 : W * 2 > 128 ? 1 : W + 8;
+      Value *Src = pickOfWidth(W);
+      if (W2 > W)
+        NewI = new CastInst(RNG.flip() ? CastInst::ZExt : CastInst::SExt,
+                            Src, TC.getIntTy(W2));
+      else if (W2 < W)
+        NewI = new CastInst(CastInst::Trunc, Src, TC.getIntTy(W2));
+      else
+        NewI = new BinaryInst(BinaryInst::Add, Src, pickOfWidth(W));
+      break;
+    }
+    case 5: { // intrinsic
+      static const IntrinsicID Ids[] = {
+          IntrinsicID::SMin, IntrinsicID::SMax,    IntrinsicID::UMin,
+          IntrinsicID::UMax, IntrinsicID::UAddSat, IntrinsicID::USubSat};
+      IntrinsicID ID = Ids[RNG.below(std::size(Ids))];
+      Function *Callee = M.getOrInsertIntrinsic(ID, TC.getIntTy(W));
+      NewI = new CallInst(Callee, {pickOfWidth(W), pickOfWidth(W)},
+                          TC.getIntTy(W));
+      break;
+    }
+    }
+    BB->append(std::unique_ptr<Instruction>(NewI));
+    Pool.push_back(NewI);
+  }
+
+  // Return a value of the chosen return width.
+  BB->append(std::make_unique<ReturnInst>(pickOfWidth(RetW), TC.getVoidTy()));
+}
+
+} // namespace
+
+std::unique_ptr<Module> alive::generateRandomModule(uint64_t Seed,
+                                                    unsigned NumFunctions) {
+  auto M = std::make_unique<Module>();
+  RandomGenerator RNG(Seed);
+  for (unsigned I = 0; I != NumFunctions; ++I)
+    generateFunction(*M, RNG, "fn" + std::to_string(I));
+  return M;
+}
+
+std::vector<std::string> alive::generateCorpusFiles(uint64_t Seed,
+                                                    unsigned Count,
+                                                    size_t MaxBytes) {
+  std::vector<std::string> Files;
+  RandomGenerator RNG(Seed);
+  // Sprinkle the paper listings through the corpus, then generated files.
+  for (const std::string &S : paperListingSeeds())
+    if (Files.size() < Count && S.size() <= MaxBytes)
+      Files.push_back(S);
+  uint64_t Sub = 0;
+  while (Files.size() < Count) {
+    auto M = generateRandomModule(Seed * 7919 + ++Sub,
+                                  1 + (unsigned)RNG.below(3));
+    std::string Text = printModule(*M);
+    if (Text.size() <= MaxBytes)
+      Files.push_back(Text);
+  }
+  return Files;
+}

@@ -1,0 +1,47 @@
+//===- ir/Attributes.cpp - Function and parameter attributes -------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Attributes.h"
+
+#include <cassert>
+
+using namespace alive;
+
+const char *alive::fnAttrName(FnAttr A) {
+  switch (A) {
+  case FnAttr::NoFree:
+    return "nofree";
+  case FnAttr::WillReturn:
+    return "willreturn";
+  case FnAttr::NoUnwind:
+    return "nounwind";
+  case FnAttr::ReadNone:
+    return "readnone";
+  case FnAttr::ReadOnly:
+    return "readonly";
+  case FnAttr::NoReturn:
+    return "noreturn";
+  case FnAttr::None:
+    break;
+  }
+  assert(false && "not a single attribute");
+  return "";
+}
+
+std::string ParamAttrs::str() const {
+  std::string S;
+  if (NoCapture)
+    S += " nocapture";
+  if (NonNull)
+    S += " nonnull";
+  if (NoUndef)
+    S += " noundef";
+  if (ReadOnly)
+    S += " readonly";
+  if (Dereferenceable)
+    S += " dereferenceable(" + std::to_string(Dereferenceable) + ")";
+  return S;
+}

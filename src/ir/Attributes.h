@@ -1,0 +1,86 @@
+//===- ir/Attributes.h - Function and parameter attributes -----*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function- and parameter-level attributes (paper §IV-A). Attributes assert
+/// facts the optimizer may exploit; the attribute-toggling mutation flips
+/// them because "it is easy for compiler developers to forget to
+/// consistently enforce their special semantics."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_ATTRIBUTES_H
+#define IR_ATTRIBUTES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+/// Function-level attributes, stored as a bitmask.
+enum class FnAttr : unsigned {
+  None = 0,
+  /// Does not call a memory-deallocation function.
+  NoFree = 1u << 0,
+  /// Always returns (no infinite loops, no abort).
+  WillReturn = 1u << 1,
+  /// Never unwinds.
+  NoUnwind = 1u << 2,
+  /// Reads no memory and has no side effects.
+  ReadNone = 1u << 3,
+  /// May read but never writes memory.
+  ReadOnly = 1u << 4,
+  /// Never returns to the caller.
+  NoReturn = 1u << 5,
+};
+
+inline FnAttr operator|(FnAttr A, FnAttr B) {
+  return FnAttr(unsigned(A) | unsigned(B));
+}
+inline FnAttr operator&(FnAttr A, FnAttr B) {
+  return FnAttr(unsigned(A) & unsigned(B));
+}
+inline FnAttr operator^(FnAttr A, FnAttr B) {
+  return FnAttr(unsigned(A) ^ unsigned(B));
+}
+inline bool any(FnAttr A) { return unsigned(A) != 0; }
+
+/// All toggleable function attributes, for the §IV-A mutation.
+inline const std::vector<FnAttr> &allFnAttrs() {
+  static const std::vector<FnAttr> Attrs = {
+      FnAttr::NoFree,   FnAttr::WillReturn, FnAttr::NoUnwind,
+      FnAttr::ReadNone, FnAttr::ReadOnly,   FnAttr::NoReturn};
+  return Attrs;
+}
+
+const char *fnAttrName(FnAttr A);
+
+/// Per-parameter attributes.
+struct ParamAttrs {
+  bool NoCapture = false;
+  bool NonNull = false;
+  bool NoUndef = false;
+  bool ReadOnly = false;
+  /// 0 means absent; otherwise the guaranteed-dereferenceable byte count.
+  uint64_t Dereferenceable = 0;
+
+  bool operator==(const ParamAttrs &O) const {
+    return NoCapture == O.NoCapture && NonNull == O.NonNull &&
+           NoUndef == O.NoUndef && ReadOnly == O.ReadOnly &&
+           Dereferenceable == O.Dereferenceable;
+  }
+
+  bool empty() const { return *this == ParamAttrs(); }
+
+  /// Renders as " nocapture nonnull dereferenceable(8)" etc. (leading
+  /// space per token), for the printer.
+  std::string str() const;
+};
+
+} // namespace alive
+
+#endif // IR_ATTRIBUTES_H

@@ -1,0 +1,137 @@
+//===- ir/BasicBlock.h - Basic block ---------------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block: an ordered list of instructions ending in a terminator.
+/// The block owns its instructions; the mutator moves instructions around by
+/// detaching (take) and re-inserting them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_BASICBLOCK_H
+#define IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace alive {
+
+class Function;
+
+/// A basic block. Blocks are Values (of label type) so branch targets fit
+/// the value model.
+class BasicBlock : public Value {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_BasicBlock; }
+
+  BasicBlock(Type *LabelTy, const std::string &Name) : Value(VK_BasicBlock, LabelTy) {
+    setName(Name);
+  }
+
+  Function *getParent() const { return Parent; }
+
+  unsigned size() const { return (unsigned)Insts.size(); }
+  bool empty() const { return Insts.empty(); }
+  Instruction *getInst(unsigned I) const {
+    assert(I < Insts.size() && "instruction index out of range");
+    return Insts[I].get();
+  }
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// The terminator, or null if the block is malformed/incomplete.
+  Instruction *getTerminator() const {
+    return !Insts.empty() && Insts.back()->isTerminator() ? Insts.back().get()
+                                                          : nullptr;
+  }
+
+  /// Position of \p I within the block; asserts membership.
+  unsigned indexOf(const Instruction *I) const {
+    for (unsigned Idx = 0; Idx != Insts.size(); ++Idx)
+      if (Insts[Idx].get() == I)
+        return Idx;
+    assert(false && "instruction not in this block");
+    return ~0U;
+  }
+
+  /// Appends \p I (typically a terminator last).
+  Instruction *append(std::unique_ptr<Instruction> I) {
+    return insert((unsigned)Insts.size(), std::move(I));
+  }
+
+  /// Inserts \p I at position \p Idx.
+  Instruction *insert(unsigned Idx, std::unique_ptr<Instruction> I) {
+    assert(Idx <= Insts.size() && "insert position out of range");
+    assert(!I->Parent && "instruction already has a parent");
+    I->Parent = this;
+    Instruction *Raw = I.get();
+    Insts.insert(Insts.begin() + Idx, std::move(I));
+    return Raw;
+  }
+
+  /// Detaches \p I from the block without destroying it.
+  std::unique_ptr<Instruction> take(Instruction *I) {
+    unsigned Idx = indexOf(I);
+    std::unique_ptr<Instruction> Owned = std::move(Insts[Idx]);
+    Insts.erase(Insts.begin() + Idx);
+    Owned->Parent = nullptr;
+    return Owned;
+  }
+
+  /// Destroys \p I. The instruction must have no remaining uses.
+  void erase(Instruction *I) {
+    assert(!I->hasUses() && "erasing an instruction that still has uses");
+    take(I);
+  }
+
+  /// Iteration over raw instruction pointers.
+  class InstRange {
+  public:
+    explicit InstRange(const std::vector<std::unique_ptr<Instruction>> &V)
+        : Vec(V) {}
+    class Iter {
+    public:
+      Iter(const std::vector<std::unique_ptr<Instruction>> &V, size_t I)
+          : Vec(V), Idx(I) {}
+      Instruction *operator*() const { return Vec[Idx].get(); }
+      Iter &operator++() {
+        ++Idx;
+        return *this;
+      }
+      bool operator!=(const Iter &O) const { return Idx != O.Idx; }
+
+    private:
+      const std::vector<std::unique_ptr<Instruction>> &Vec;
+      size_t Idx;
+    };
+    Iter begin() const { return Iter(Vec, 0); }
+    Iter end() const { return Iter(Vec, Vec.size()); }
+
+  private:
+    const std::vector<std::unique_ptr<Instruction>> &Vec;
+  };
+  InstRange insts() const { return InstRange(Insts); }
+
+  /// Predecessor blocks (computed by scanning users of this block's label
+  /// is not possible since branches store raw successor pointers; instead
+  /// Function provides predecessor queries).
+  std::vector<BasicBlock *> successors() const {
+    Instruction *T = getTerminator();
+    return T ? getSuccessors(T) : std::vector<BasicBlock *>();
+  }
+
+private:
+  friend class Function;
+  Function *Parent = nullptr;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+} // namespace alive
+
+#endif // IR_BASICBLOCK_H

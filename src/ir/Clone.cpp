@@ -1,0 +1,342 @@
+//===- ir/Clone.cpp - Deep cloning of functions and modules ---------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep cloning. The fuzzing loop makes a copy of the in-memory IR before
+/// every mutation round (paper §III-B), and translation validation clones
+/// the mutant so the "source" snapshot survives optimization of the
+/// "target". Cloning translates types and constants into the destination
+/// module's interning contexts, so cross-module clones are safe.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include <map>
+
+using namespace alive;
+
+Type *alive::translateType(const Type *T, TypeContext &Dst) {
+  switch (T->getKind()) {
+  case Type::VoidTyKind:
+    return Dst.getVoidTy();
+  case Type::LabelTyKind:
+    return Dst.getLabelTy();
+  case Type::PointerTyKind:
+    return Dst.getPointerTy();
+  case Type::IntegerTyKind:
+    return Dst.getIntTy(T->getIntegerBitWidth());
+  case Type::VectorTyKind: {
+    const auto *VT = cast<VectorType>(T);
+    return Dst.getVectorTy(translateType(VT->getElementType(), Dst),
+                           VT->getNumElements());
+  }
+  case Type::FunctionTyKind: {
+    const auto *FT = cast<FunctionType>(T);
+    std::vector<Type *> Params;
+    for (Type *P : FT->params())
+      Params.push_back(translateType(P, Dst));
+    return Dst.getFunctionTy(translateType(FT->getReturnType(), Dst), Params);
+  }
+  }
+  assert(false && "unknown type kind");
+  return nullptr;
+}
+
+namespace {
+
+/// State for one cloning operation.
+struct Cloner {
+  Module &Dst;
+  std::map<const Value *, Value *> ValueMap;
+  /// Deferred operand fixups for forward references.
+  struct Fixup {
+    User *U;
+    unsigned OpIdx;
+    const Value *SrcVal;
+  };
+  std::vector<Fixup> Fixups;
+
+  explicit Cloner(Module &Dst) : Dst(Dst) {}
+
+  Constant *translateConstant(const Constant *C) {
+    TypeContext &TC = Dst.getTypes();
+    ConstantPoolCtx &CP = Dst.getConstants();
+    switch (C->getKind()) {
+    case Value::VK_ConstantInt: {
+      const auto *CI = cast<ConstantInt>(C);
+      return CP.getInt(cast<IntegerType>(translateType(C->getType(), TC)),
+                       CI->getValue());
+    }
+    case Value::VK_ConstantPoison:
+      return CP.getPoison(translateType(C->getType(), TC));
+    case Value::VK_ConstantUndef:
+      return CP.getUndef(translateType(C->getType(), TC));
+    case Value::VK_ConstantNullPtr:
+      return CP.getNullPtr(translateType(C->getType(), TC));
+    case Value::VK_ConstantVector: {
+      const auto *CV = cast<ConstantVector>(C);
+      std::vector<Constant *> Elems;
+      for (unsigned I = 0; I != CV->getNumElements(); ++I)
+        Elems.push_back(translateConstant(CV->getElement(I)));
+      return CP.getVector(
+          cast<VectorType>(translateType(C->getType(), TC)), Elems);
+    }
+    default:
+      assert(false && "not a constant");
+      return nullptr;
+    }
+  }
+
+  /// Maps a source operand. Returns a placeholder undef when the source
+  /// value has not been cloned yet (forward reference); the caller records
+  /// a fixup.
+  Value *mapOperand(const Value *V, bool &NeedsFixup) {
+    NeedsFixup = false;
+    if (const auto *C = dyn_cast<Constant>(V))
+      return translateConstant(C);
+    auto It = ValueMap.find(V);
+    if (It != ValueMap.end())
+      return It->second;
+    NeedsFixup = true;
+    return Dst.getConstants().getUndef(
+        translateType(V->getType(), Dst.getTypes()));
+  }
+
+  BasicBlock *mapBlock(const BasicBlock *BB) {
+    auto It = ValueMap.find(BB);
+    assert(It != ValueMap.end() && "block not cloned yet");
+    return cast<BasicBlock>(It->second);
+  }
+
+  /// Resolves the destination callee for a cloned call. Reuses a function
+  /// with the same name in Dst, otherwise clones a declaration.
+  Function *mapCallee(const Function *F) {
+    auto It = ValueMap.find(F);
+    if (It != ValueMap.end())
+      return cast<Function>(It->second);
+    if (Function *Existing = Dst.getFunction(F->getName())) {
+      ValueMap[F] = Existing;
+      return Existing;
+    }
+    auto *FT = cast<FunctionType>(translateType(F->getType(), Dst.getTypes()));
+    Function *NewF = Dst.createFunction(FT, F->getName());
+    NewF->setIntrinsicID(F->getIntrinsicID());
+    NewF->setFnAttrs(F->getFnAttrs());
+    for (unsigned I = 0; I != F->getNumArgs(); ++I)
+      NewF->paramAttrs(I) = F->paramAttrs(I);
+    ValueMap[F] = NewF;
+    return NewF;
+  }
+
+  Instruction *cloneInstruction(const Instruction *I);
+  void cloneBody(const Function &Src, Function *NewF);
+};
+
+Instruction *Cloner::cloneInstruction(const Instruction *I) {
+  TypeContext &TC = Dst.getTypes();
+  Type *VoidTy = TC.getVoidTy();
+
+  // Gathers mapped operands, recording fixups for forward references.
+  auto Op = [&](unsigned Idx) {
+    bool NeedsFixup;
+    Value *V = mapOperand(I->getOperand(Idx), NeedsFixup);
+    return std::pair<Value *, bool>(V, NeedsFixup);
+  };
+  Instruction *New = nullptr;
+  std::vector<unsigned> PendingFixups; // operand indices needing fixup
+
+  auto Take = [&](unsigned Idx) {
+    auto [V, Fix] = Op(Idx);
+    if (Fix)
+      PendingFixups.push_back(Idx);
+    return V;
+  };
+
+  switch (I->getKind()) {
+  case Value::VK_BinaryInst: {
+    const auto *B = cast<BinaryInst>(I);
+    auto *NB = new BinaryInst(B->getBinOp(), Take(0), Take(1));
+    NB->setNUW(B->hasNUW());
+    NB->setNSW(B->hasNSW());
+    NB->setExact(B->isExact());
+    New = NB;
+    break;
+  }
+  case Value::VK_ICmpInst: {
+    const auto *C = cast<ICmpInst>(I);
+    New = new ICmpInst(C->getPredicate(), Take(0), Take(1), TC.getIntTy(1));
+    break;
+  }
+  case Value::VK_SelectInst:
+    New = new SelectInst(Take(0), Take(1), Take(2));
+    break;
+  case Value::VK_CastInst: {
+    const auto *C = cast<CastInst>(I);
+    New = new CastInst(C->getCastOp(), Take(0),
+                       translateType(C->getType(), TC));
+    break;
+  }
+  case Value::VK_FreezeInst:
+    New = new FreezeInst(Take(0));
+    break;
+  case Value::VK_PhiNode: {
+    const auto *P = cast<PhiNode>(I);
+    auto *NP = new PhiNode(translateType(P->getType(), TC));
+    for (unsigned K = 0; K != P->getNumIncoming(); ++K) {
+      auto [V, Fix] = Op(K);
+      NP->addIncoming(V, mapBlock(P->getIncomingBlock(K)));
+      if (Fix)
+        PendingFixups.push_back(K);
+    }
+    New = NP;
+    break;
+  }
+  case Value::VK_CallInst: {
+    const auto *C = cast<CallInst>(I);
+    std::vector<Value *> Args;
+    for (unsigned K = 0; K != C->getNumArgs(); ++K) {
+      auto [V, Fix] = Op(K);
+      Args.push_back(V);
+      if (Fix)
+        PendingFixups.push_back(K);
+    }
+    New = new CallInst(mapCallee(C->getCallee()), Args,
+                       translateType(C->getType(), TC));
+    break;
+  }
+  case Value::VK_LoadInst: {
+    const auto *L = cast<LoadInst>(I);
+    New = new LoadInst(translateType(L->getType(), TC), Take(0),
+                       L->getAlign());
+    break;
+  }
+  case Value::VK_StoreInst: {
+    const auto *S = cast<StoreInst>(I);
+    New = new StoreInst(Take(0), Take(1), VoidTy, S->getAlign());
+    break;
+  }
+  case Value::VK_AllocaInst: {
+    const auto *A = cast<AllocaInst>(I);
+    New = new AllocaInst(translateType(A->getAllocatedType(), TC),
+                         TC.getPointerTy(), A->getAlign());
+    break;
+  }
+  case Value::VK_GEPInst: {
+    const auto *G = cast<GEPInst>(I);
+    New = new GEPInst(translateType(G->getSourceElementType(), TC), Take(0),
+                      Take(1), TC.getPointerTy(), G->isInBounds());
+    break;
+  }
+  case Value::VK_ExtractElementInst:
+    New = new ExtractElementInst(Take(0), Take(1));
+    break;
+  case Value::VK_InsertElementInst:
+    New = new InsertElementInst(Take(0), Take(1), Take(2));
+    break;
+  case Value::VK_ShuffleVectorInst: {
+    const auto *SV = cast<ShuffleVectorInst>(I);
+    New = new ShuffleVectorInst(
+        Take(0), Take(1), SV->getMask(),
+        cast<VectorType>(translateType(SV->getType(), TC)));
+    break;
+  }
+  case Value::VK_ReturnInst: {
+    const auto *R = cast<ReturnInst>(I);
+    New = new ReturnInst(R->getReturnValue() ? Take(0) : nullptr, VoidTy);
+    break;
+  }
+  case Value::VK_BranchInst: {
+    const auto *B = cast<BranchInst>(I);
+    if (B->isConditional())
+      New = new BranchInst(Take(0), mapBlock(B->getSuccessor(0)),
+                           mapBlock(B->getSuccessor(1)), VoidTy);
+    else
+      New = new BranchInst(mapBlock(B->getSuccessor(0)), VoidTy);
+    break;
+  }
+  case Value::VK_SwitchInst: {
+    const auto *S = cast<SwitchInst>(I);
+    auto *NS = new SwitchInst(Take(0), mapBlock(S->getDefaultDest()), VoidTy);
+    for (unsigned K = 0; K != S->getNumCases(); ++K)
+      NS->addCase(S->getCaseValue(K), mapBlock(S->getCaseDest(K)));
+    New = NS;
+    break;
+  }
+  case Value::VK_UnreachableInst:
+    New = new UnreachableInst(VoidTy);
+    break;
+  default:
+    assert(false && "unknown instruction kind");
+  }
+
+  New->setName(I->getName());
+  for (unsigned Idx : PendingFixups)
+    Fixups.push_back({New, Idx, I->getOperand(Idx)});
+  return New;
+}
+
+void Cloner::cloneBody(const Function &Src, Function *NewF) {
+  // Map arguments.
+  for (unsigned I = 0; I != Src.getNumArgs(); ++I) {
+    NewF->getArg(I)->setName(Src.getArg(I)->getName());
+    ValueMap[Src.getArg(I)] = NewF->getArg(I);
+  }
+  if (Src.isDeclaration())
+    return;
+
+  // Create all blocks first so branch targets resolve.
+  for (BasicBlock *BB : Src.blocks())
+    ValueMap[BB] = NewF->addBlock(BB->getName());
+
+  // Clone instructions, then resolve forward references.
+  for (BasicBlock *BB : Src.blocks()) {
+    auto *NewBB = cast<BasicBlock>(ValueMap[BB]);
+    for (Instruction *I : BB->insts()) {
+      Instruction *NewI = cloneInstruction(I);
+      NewBB->append(std::unique_ptr<Instruction>(NewI));
+      ValueMap[I] = NewI;
+    }
+  }
+  for (const Fixup &F : Fixups) {
+    auto It = ValueMap.find(F.SrcVal);
+    assert(It != ValueMap.end() && "unresolved forward reference");
+    F.U->setOperand(F.OpIdx, It->second);
+  }
+  Fixups.clear();
+}
+
+} // namespace
+
+Function *alive::cloneFunction(const Function &Src, Module &Dst,
+                               const std::string &NewName) {
+  Cloner C(Dst);
+  auto *FT =
+      cast<FunctionType>(translateType(Src.getType(), Dst.getTypes()));
+  Function *NewF = Dst.createFunction(FT, NewName);
+  NewF->setIntrinsicID(Src.getIntrinsicID());
+  NewF->setFnAttrs(Src.getFnAttrs());
+  for (unsigned I = 0; I != Src.getNumArgs(); ++I)
+    NewF->paramAttrs(I) = Src.paramAttrs(I);
+  C.ValueMap[&Src] = NewF;
+  C.cloneBody(Src, NewF);
+  return NewF;
+}
+
+std::unique_ptr<Module> alive::cloneModule(const Module &Src) {
+  auto Dst = std::make_unique<Module>();
+  Cloner C(*Dst);
+  // Declare every function first (so calls resolve in one pass) ...
+  for (Function *F : Src.functions())
+    C.mapCallee(F);
+  // ... then clone all bodies.
+  for (Function *F : Src.functions()) {
+    Cloner BodyCloner(*Dst);
+    BodyCloner.ValueMap = C.ValueMap;
+    BodyCloner.cloneBody(*F, cast<Function>(C.ValueMap[F]));
+  }
+  return Dst;
+}

@@ -1,0 +1,70 @@
+//===- ir/Constants.cpp - Constant values ---------------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Constants.h"
+
+using namespace alive;
+
+ConstantPoolCtx::~ConstantPoolCtx() = default;
+
+ConstantInt *ConstantPoolCtx::getInt(IntegerType *T, const APInt &V) {
+  assert(V.getBitWidth() == T->getBitWidth() && "constant width mismatch");
+  auto Key = std::make_pair((Type *)T,
+                            std::make_pair(V.getLoBits64(), V.getHiBits64()));
+  auto &Slot = IntPool[Key];
+  if (!Slot)
+    Slot.reset(new ConstantInt(T, V));
+  return Slot.get();
+}
+
+ConstantInt *ConstantPoolCtx::getInt(IntegerType *T, uint64_t V, bool Signed) {
+  return getInt(T, APInt(T->getBitWidth(), V, Signed));
+}
+
+ConstantInt *ConstantPoolCtx::getBool(TypeContext &TC, bool V) {
+  return getInt(TC.getIntTy(1), V ? 1 : 0);
+}
+
+ConstantPoison *ConstantPoolCtx::getPoison(Type *T) {
+  assert(T->isFirstClassTy() && "poison must have a first-class type");
+  auto &Slot = PoisonPool[T];
+  if (!Slot)
+    Slot.reset(new ConstantPoison(T));
+  return Slot.get();
+}
+
+ConstantUndef *ConstantPoolCtx::getUndef(Type *T) {
+  assert(T->isFirstClassTy() && "undef must have a first-class type");
+  auto &Slot = UndefPool[T];
+  if (!Slot)
+    Slot.reset(new ConstantUndef(T));
+  return Slot.get();
+}
+
+ConstantNullPtr *ConstantPoolCtx::getNullPtr(Type *PtrTy) {
+  assert(PtrTy->isPointerTy() && "null constant must have pointer type");
+  auto &Slot = NullPool[PtrTy];
+  if (!Slot)
+    Slot.reset(new ConstantNullPtr(PtrTy));
+  return Slot.get();
+}
+
+ConstantVector *
+ConstantPoolCtx::getVector(VectorType *T, const std::vector<Constant *> &Es) {
+  assert(Es.size() == T->getNumElements() && "element count mismatch");
+  for (Constant *C : Es) {
+    assert(C->getType() == T->getElementType() && "element type mismatch");
+    (void)C;
+  }
+  auto &Slot = VectorPool[{(Type *)T, Es}];
+  if (!Slot)
+    Slot.reset(new ConstantVector(T, Es));
+  return Slot.get();
+}
+
+ConstantVector *ConstantPoolCtx::getSplat(VectorType *T, Constant *Scalar) {
+  return getVector(T, std::vector<Constant *>(T->getNumElements(), Scalar));
+}

@@ -1,0 +1,143 @@
+//===- ir/Constants.h - Constant values ------------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant values: integer literals, poison, undef, the null pointer, and
+/// constant vectors. Constants are interned per Module (via ConstantPoolCtx),
+/// so pointer equality means value equality within one module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_CONSTANTS_H
+#define IR_CONSTANTS_H
+
+#include "ir/Value.h"
+#include "support/APInt.h"
+
+#include <map>
+#include <memory>
+
+namespace alive {
+
+/// Common base for all constants (classification convenience).
+class Constant : public Value {
+public:
+  static bool classof(const Value *V) { return V->isConstant(); }
+
+protected:
+  Constant(ValueKind K, Type *T) : Value(K, T) {}
+};
+
+/// An integer literal of some iN type.
+class ConstantInt : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_ConstantInt;
+  }
+
+  const APInt &getValue() const { return Val; }
+  uint64_t getZExtValue() const { return Val.getZExtValue(); }
+  bool isZero() const { return Val.isZero(); }
+  bool isOne() const { return Val.isOne(); }
+  bool isAllOnes() const { return Val.isAllOnes(); }
+
+private:
+  friend class ConstantPoolCtx;
+  ConstantInt(Type *T, APInt V) : Constant(VK_ConstantInt, T), Val(V) {}
+  APInt Val;
+};
+
+/// The poison value of some first-class type.
+class ConstantPoison : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_ConstantPoison;
+  }
+
+private:
+  friend class ConstantPoolCtx;
+  explicit ConstantPoison(Type *T) : Constant(VK_ConstantPoison, T) {}
+};
+
+/// The undef value of some first-class type.
+class ConstantUndef : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_ConstantUndef;
+  }
+
+private:
+  friend class ConstantPoolCtx;
+  explicit ConstantUndef(Type *T) : Constant(VK_ConstantUndef, T) {}
+};
+
+/// The null pointer constant.
+class ConstantNullPtr : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_ConstantNullPtr;
+  }
+
+private:
+  friend class ConstantPoolCtx;
+  explicit ConstantNullPtr(Type *T) : Constant(VK_ConstantNullPtr, T) {}
+};
+
+/// A constant vector: a fixed list of scalar constants (ints, poison or
+/// undef elements). Elements are interned constants owned by the pool, so
+/// they are stored as plain pointers (no use-list bookkeeping needed).
+class ConstantVector : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_ConstantVector;
+  }
+
+  unsigned getNumElements() const { return (unsigned)Elements.size(); }
+  Constant *getElement(unsigned I) const {
+    assert(I < Elements.size() && "element index out of range");
+    return Elements[I];
+  }
+
+private:
+  friend class ConstantPoolCtx;
+  ConstantVector(Type *T, const std::vector<Constant *> &Elems)
+      : Constant(VK_ConstantVector, T), Elements(Elems) {}
+  std::vector<Constant *> Elements;
+};
+
+/// Owns and interns all constants of a Module.
+class ConstantPoolCtx {
+public:
+  ConstantPoolCtx() = default;
+  ConstantPoolCtx(const ConstantPoolCtx &) = delete;
+  ConstantPoolCtx &operator=(const ConstantPoolCtx &) = delete;
+  ~ConstantPoolCtx();
+
+  ConstantInt *getInt(IntegerType *T, const APInt &V);
+  ConstantInt *getInt(IntegerType *T, uint64_t V, bool Signed = false);
+  ConstantInt *getBool(TypeContext &TC, bool V);
+  ConstantPoison *getPoison(Type *T);
+  ConstantUndef *getUndef(Type *T);
+  ConstantNullPtr *getNullPtr(Type *PtrTy);
+  ConstantVector *getVector(VectorType *T, const std::vector<Constant *> &Es);
+  /// Splat: all elements the same scalar constant.
+  ConstantVector *getSplat(VectorType *T, Constant *Scalar);
+
+private:
+  std::map<std::pair<Type *, std::pair<uint64_t, uint64_t>>,
+           std::unique_ptr<ConstantInt>>
+      IntPool;
+  std::map<Type *, std::unique_ptr<ConstantPoison>> PoisonPool;
+  std::map<Type *, std::unique_ptr<ConstantUndef>> UndefPool;
+  std::map<Type *, std::unique_ptr<ConstantNullPtr>> NullPool;
+  std::map<std::pair<Type *, std::vector<Constant *>>,
+           std::unique_ptr<ConstantVector>>
+      VectorPool;
+};
+
+} // namespace alive
+
+#endif // IR_CONSTANTS_H

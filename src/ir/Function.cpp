@@ -1,0 +1,158 @@
+//===- ir/Function.cpp - Function and Argument -----------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include "ir/Module.h"
+
+using namespace alive;
+
+const char *alive::intrinsicBaseName(IntrinsicID ID) {
+  switch (ID) {
+  case IntrinsicID::SMin:
+    return "llvm.smin";
+  case IntrinsicID::SMax:
+    return "llvm.smax";
+  case IntrinsicID::UMin:
+    return "llvm.umin";
+  case IntrinsicID::UMax:
+    return "llvm.umax";
+  case IntrinsicID::Abs:
+    return "llvm.abs";
+  case IntrinsicID::BSwap:
+    return "llvm.bswap";
+  case IntrinsicID::CtPop:
+    return "llvm.ctpop";
+  case IntrinsicID::Ctlz:
+    return "llvm.ctlz";
+  case IntrinsicID::Cttz:
+    return "llvm.cttz";
+  case IntrinsicID::UAddSat:
+    return "llvm.uadd.sat";
+  case IntrinsicID::USubSat:
+    return "llvm.usub.sat";
+  case IntrinsicID::SAddSat:
+    return "llvm.sadd.sat";
+  case IntrinsicID::SSubSat:
+    return "llvm.ssub.sat";
+  case IntrinsicID::Fshl:
+    return "llvm.fshl";
+  case IntrinsicID::Fshr:
+    return "llvm.fshr";
+  case IntrinsicID::Assume:
+    return "llvm.assume";
+  case IntrinsicID::NotIntrinsic:
+    break;
+  }
+  assert(false && "not an intrinsic");
+  return "";
+}
+
+unsigned alive::intrinsicNumArgs(IntrinsicID ID) {
+  switch (ID) {
+  case IntrinsicID::SMin:
+  case IntrinsicID::SMax:
+  case IntrinsicID::UMin:
+  case IntrinsicID::UMax:
+  case IntrinsicID::UAddSat:
+  case IntrinsicID::USubSat:
+  case IntrinsicID::SAddSat:
+  case IntrinsicID::SSubSat:
+  case IntrinsicID::Abs:  // (value, i1 is_int_min_poison)
+  case IntrinsicID::Ctlz: // (value, i1 is_zero_poison)
+  case IntrinsicID::Cttz:
+    return 2;
+  case IntrinsicID::BSwap:
+  case IntrinsicID::CtPop:
+  case IntrinsicID::Assume:
+    return 1;
+  case IntrinsicID::Fshl:
+  case IntrinsicID::Fshr:
+    return 3;
+  case IntrinsicID::NotIntrinsic:
+    break;
+  }
+  assert(false && "not an intrinsic");
+  return 0;
+}
+
+bool alive::intrinsicIsPure(IntrinsicID ID) {
+  return ID != IntrinsicID::Assume && ID != IntrinsicID::NotIntrinsic;
+}
+
+Function::Function(FunctionType *FT, const std::string &Name, Module *Parent)
+    : Value(VK_Function, FT), Parent(Parent) {
+  setName(Name);
+  for (unsigned I = 0; I != FT->getNumParams(); ++I) {
+    Args.push_back(
+        std::make_unique<Argument>(FT->getParamType(I), "", I));
+    ParamAttrList.emplace_back();
+  }
+}
+
+Argument *Function::addArgument(Type *T, const std::string &Name) {
+  Args.push_back(std::make_unique<Argument>(T, Name, (unsigned)Args.size()));
+  ParamAttrList.emplace_back();
+  // Re-intern the function type with the extended parameter list.
+  std::vector<Type *> Params = getFunctionType()->params();
+  Params.push_back(T);
+  setType(Parent->getTypes().getFunctionTy(getReturnType(), Params));
+  return Args.back().get();
+}
+
+BasicBlock *Function::addBlock(const std::string &Name) {
+  auto BB = std::make_unique<BasicBlock>(
+      Parent->getTypes().getLabelTy(), Name);
+  BB->Parent = this;
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+unsigned Function::indexOfBlock(const BasicBlock *BB) const {
+  for (unsigned I = 0; I != Blocks.size(); ++I)
+    if (Blocks[I].get() == BB)
+      return I;
+  assert(false && "block not in this function");
+  return ~0U;
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  unsigned Idx = indexOfBlock(BB);
+  // Detach operand references first so use lists stay consistent even if
+  // instructions within the block reference each other out of order.
+  for (Instruction *I : BB->insts())
+    I->dropAllOperands();
+  Blocks.erase(Blocks.begin() + Idx);
+}
+
+std::vector<BasicBlock *> Function::predecessors(const BasicBlock *BB) const {
+  std::vector<BasicBlock *> Preds;
+  for (BasicBlock *Cand : blocks()) {
+    for (BasicBlock *Succ : Cand->successors())
+      if (Succ == BB) {
+        Preds.push_back(Cand);
+        break;
+      }
+  }
+  return Preds;
+}
+
+unsigned Function::getInstructionCount() const {
+  unsigned N = 0;
+  for (BasicBlock *BB : blocks())
+    N += BB->size();
+  return N;
+}
+
+void Function::dropBody() {
+  // Two phases: detach all operand references, then destroy the blocks.
+  for (const auto &BB : Blocks)
+    for (Instruction *I : BB->insts())
+      I->dropAllOperands();
+  Blocks.clear();
+}
+
+Function::~Function() { dropBody(); }

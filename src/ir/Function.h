@@ -1,0 +1,185 @@
+//===- ir/Function.h - Function and Argument -------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functions (definitions and declarations, including intrinsics) and their
+/// arguments. Functions own their arguments and basic blocks and carry the
+/// attribute lists the §IV-A mutation toggles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_FUNCTION_H
+#define IR_FUNCTION_H
+
+#include "ir/Attributes.h"
+#include "ir/BasicBlock.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+class Function;
+class Module;
+
+/// A formal parameter of a function.
+class Argument : public Value {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_Argument; }
+
+  Argument(Type *T, const std::string &Name, unsigned Index)
+      : Value(VK_Argument, T), Index(Index) {
+    setName(Name);
+  }
+
+  unsigned getIndex() const { return Index; }
+  void setIndex(unsigned I) { Index = I; }
+
+private:
+  unsigned Index;
+};
+
+/// Known intrinsic functions. Intrinsics are declarations whose behaviour
+/// the interpreter and the SMT encoder implement natively.
+enum class IntrinsicID {
+  NotIntrinsic,
+  SMin,
+  SMax,
+  UMin,
+  UMax,
+  Abs,     // llvm.abs(x, is_int_min_poison)
+  BSwap,
+  CtPop,
+  Ctlz,    // llvm.ctlz(x, is_zero_poison)
+  Cttz,
+  UAddSat,
+  USubSat,
+  SAddSat,
+  SSubSat,
+  Fshl,
+  Fshr,
+  Assume,  // llvm.assume(i1)
+};
+
+const char *intrinsicBaseName(IntrinsicID ID);
+/// Number of arguments the intrinsic takes.
+unsigned intrinsicNumArgs(IntrinsicID ID);
+/// True if the intrinsic is a pure value computation (not assume).
+bool intrinsicIsPure(IntrinsicID ID);
+
+/// A function definition or declaration.
+class Function : public Value {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_Function; }
+
+  Function(FunctionType *FT, const std::string &Name, Module *Parent);
+
+  Module *getParent() const { return Parent; }
+  FunctionType *getFunctionType() const {
+    return cast<FunctionType>(getType());
+  }
+  Type *getReturnType() const { return getFunctionType()->getReturnType(); }
+
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  IntrinsicID getIntrinsicID() const { return IntrinID; }
+  void setIntrinsicID(IntrinsicID ID) { IntrinID = ID; }
+  bool isIntrinsic() const { return IntrinID != IntrinsicID::NotIntrinsic; }
+
+  // Arguments.
+  unsigned getNumArgs() const { return (unsigned)Args.size(); }
+  Argument *getArg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+  /// Appends a fresh argument (used by the §IV-F "fresh function parameter"
+  /// value source). Rebuilds the function type.
+  Argument *addArgument(Type *T, const std::string &Name);
+
+  // Attributes.
+  FnAttr getFnAttrs() const { return Attrs; }
+  bool hasFnAttr(FnAttr A) const { return any(Attrs & A); }
+  void setFnAttrs(FnAttr A) { Attrs = A; }
+  void toggleFnAttr(FnAttr A) { Attrs = Attrs ^ A; }
+  ParamAttrs &paramAttrs(unsigned I) {
+    assert(I < ParamAttrList.size());
+    return ParamAttrList[I];
+  }
+  const ParamAttrs &paramAttrs(unsigned I) const {
+    assert(I < ParamAttrList.size());
+    return ParamAttrList[I];
+  }
+
+  // Blocks.
+  unsigned getNumBlocks() const { return (unsigned)Blocks.size(); }
+  BasicBlock *getBlock(unsigned I) const {
+    assert(I < Blocks.size() && "block index out of range");
+    return Blocks[I].get();
+  }
+  BasicBlock *getEntryBlock() const {
+    assert(!Blocks.empty() && "declaration has no entry block");
+    return Blocks.front().get();
+  }
+  BasicBlock *addBlock(const std::string &Name);
+  /// Destroys \p BB; it must have no branches targeting it and its
+  /// instructions must be unused.
+  void eraseBlock(BasicBlock *BB);
+  unsigned indexOfBlock(const BasicBlock *BB) const;
+
+  /// Blocks branching to \p BB.
+  std::vector<BasicBlock *> predecessors(const BasicBlock *BB) const;
+
+  /// Total instruction count across all blocks.
+  unsigned getInstructionCount() const;
+
+  /// Iteration over raw block pointers.
+  class BlockRange {
+  public:
+    explicit BlockRange(const std::vector<std::unique_ptr<BasicBlock>> &V)
+        : Vec(V) {}
+    class Iter {
+    public:
+      Iter(const std::vector<std::unique_ptr<BasicBlock>> &V, size_t I)
+          : Vec(V), Idx(I) {}
+      BasicBlock *operator*() const { return Vec[Idx].get(); }
+      Iter &operator++() {
+        ++Idx;
+        return *this;
+      }
+      bool operator!=(const Iter &O) const { return Idx != O.Idx; }
+
+    private:
+      const std::vector<std::unique_ptr<BasicBlock>> &Vec;
+      size_t Idx;
+    };
+    Iter begin() const { return Iter(Vec, 0); }
+    Iter end() const { return Iter(Vec, Vec.size()); }
+
+  private:
+    const std::vector<std::unique_ptr<BasicBlock>> &Vec;
+  };
+  BlockRange blocks() const { return BlockRange(Blocks); }
+
+  /// Drops all blocks (used when a clone replaces a body). Instructions'
+  /// operand references are detached first.
+  void dropBody();
+
+  ~Function() override;
+
+private:
+  Module *Parent;
+  IntrinsicID IntrinID = IntrinsicID::NotIntrinsic;
+  FnAttr Attrs = FnAttr::None;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<ParamAttrs> ParamAttrList;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace alive
+
+#endif // IR_FUNCTION_H

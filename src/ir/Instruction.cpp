@@ -1,0 +1,315 @@
+//===- ir/Instruction.cpp - IR instruction hierarchy ----------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+using namespace alive;
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+bool Instruction::mayHaveSideEffects() const {
+  switch (getKind()) {
+  case VK_StoreInst:
+    return true;
+  case VK_CallInst: {
+    const Function *Callee = cast<CallInst>(this)->getCallee();
+    if (Callee->isIntrinsic())
+      return !intrinsicIsPure(Callee->getIntrinsicID());
+    // Unknown externals and defined functions may write memory unless
+    // annotated otherwise.
+    return !Callee->hasFnAttr(FnAttr::ReadNone) &&
+           !Callee->hasFnAttr(FnAttr::ReadOnly);
+  }
+  default:
+    return false;
+  }
+}
+
+bool Instruction::mayAccessMemory() const {
+  switch (getKind()) {
+  case VK_LoadInst:
+  case VK_StoreInst:
+  case VK_AllocaInst:
+    return true;
+  case VK_CallInst: {
+    const Function *Callee = cast<CallInst>(this)->getCallee();
+    if (Callee->isIntrinsic())
+      return !intrinsicIsPure(Callee->getIntrinsicID());
+    return !Callee->hasFnAttr(FnAttr::ReadNone);
+  }
+  default:
+    return false;
+  }
+}
+
+bool Instruction::isPure() const {
+  switch (getKind()) {
+  case VK_BinaryInst:
+  case VK_ICmpInst:
+  case VK_SelectInst:
+  case VK_CastInst:
+  case VK_FreezeInst:
+  case VK_GEPInst:
+  case VK_ExtractElementInst:
+  case VK_InsertElementInst:
+  case VK_ShuffleVectorInst:
+    return true;
+  case VK_CallInst: {
+    const Function *Callee = cast<CallInst>(this)->getCallee();
+    return Callee->isIntrinsic() && intrinsicIsPure(Callee->getIntrinsicID());
+  }
+  default:
+    return false;
+  }
+}
+
+std::string Instruction::getOpcodeName() const {
+  switch (getKind()) {
+  case VK_BinaryInst:
+    return BinaryInst::getBinOpName(cast<BinaryInst>(this)->getBinOp());
+  case VK_ICmpInst:
+    return "icmp";
+  case VK_SelectInst:
+    return "select";
+  case VK_CastInst:
+    return CastInst::getCastOpName(cast<CastInst>(this)->getCastOp());
+  case VK_FreezeInst:
+    return "freeze";
+  case VK_PhiNode:
+    return "phi";
+  case VK_CallInst:
+    return "call";
+  case VK_LoadInst:
+    return "load";
+  case VK_StoreInst:
+    return "store";
+  case VK_AllocaInst:
+    return "alloca";
+  case VK_GEPInst:
+    return "getelementptr";
+  case VK_ExtractElementInst:
+    return "extractelement";
+  case VK_InsertElementInst:
+    return "insertelement";
+  case VK_ShuffleVectorInst:
+    return "shufflevector";
+  case VK_ReturnInst:
+    return "ret";
+  case VK_BranchInst:
+    return "br";
+  case VK_SwitchInst:
+    return "switch";
+  case VK_UnreachableInst:
+    return "unreachable";
+  default:
+    assert(false && "not an instruction kind");
+    return "";
+  }
+}
+
+const char *BinaryInst::getBinOpName(BinOp Op) {
+  switch (Op) {
+  case Add:
+    return "add";
+  case Sub:
+    return "sub";
+  case Mul:
+    return "mul";
+  case UDiv:
+    return "udiv";
+  case SDiv:
+    return "sdiv";
+  case URem:
+    return "urem";
+  case SRem:
+    return "srem";
+  case Shl:
+    return "shl";
+  case LShr:
+    return "lshr";
+  case AShr:
+    return "ashr";
+  case And:
+    return "and";
+  case Or:
+    return "or";
+  case Xor:
+    return "xor";
+  case NumBinOps:
+    break;
+  }
+  assert(false && "invalid binop");
+  return "";
+}
+
+ICmpInst::Predicate ICmpInst::getInversePredicate(Predicate P) {
+  switch (P) {
+  case EQ:
+    return NE;
+  case NE:
+    return EQ;
+  case UGT:
+    return ULE;
+  case UGE:
+    return ULT;
+  case ULT:
+    return UGE;
+  case ULE:
+    return UGT;
+  case SGT:
+    return SLE;
+  case SGE:
+    return SLT;
+  case SLT:
+    return SGE;
+  case SLE:
+    return SGT;
+  case NumPreds:
+    break;
+  }
+  assert(false && "invalid predicate");
+  return EQ;
+}
+
+ICmpInst::Predicate ICmpInst::getSwappedPredicate(Predicate P) {
+  switch (P) {
+  case EQ:
+  case NE:
+    return P;
+  case UGT:
+    return ULT;
+  case UGE:
+    return ULE;
+  case ULT:
+    return UGT;
+  case ULE:
+    return UGE;
+  case SGT:
+    return SLT;
+  case SGE:
+    return SLE;
+  case SLT:
+    return SGT;
+  case SLE:
+    return SGE;
+  case NumPreds:
+    break;
+  }
+  assert(false && "invalid predicate");
+  return EQ;
+}
+
+const char *ICmpInst::getPredicateName(Predicate P) {
+  switch (P) {
+  case EQ:
+    return "eq";
+  case NE:
+    return "ne";
+  case UGT:
+    return "ugt";
+  case UGE:
+    return "uge";
+  case ULT:
+    return "ult";
+  case ULE:
+    return "ule";
+  case SGT:
+    return "sgt";
+  case SGE:
+    return "sge";
+  case SLT:
+    return "slt";
+  case SLE:
+    return "sle";
+  case NumPreds:
+    break;
+  }
+  assert(false && "invalid predicate");
+  return "";
+}
+
+bool ICmpInst::evaluate(Predicate P, const APInt &L, const APInt &R) {
+  switch (P) {
+  case EQ:
+    return L == R;
+  case NE:
+    return L != R;
+  case UGT:
+    return L.ugt(R);
+  case UGE:
+    return L.uge(R);
+  case ULT:
+    return L.ult(R);
+  case ULE:
+    return L.ule(R);
+  case SGT:
+    return L.sgt(R);
+  case SGE:
+    return L.sge(R);
+  case SLT:
+    return L.slt(R);
+  case SLE:
+    return L.sle(R);
+  case NumPreds:
+    break;
+  }
+  assert(false && "invalid predicate");
+  return false;
+}
+
+const char *CastInst::getCastOpName(CastOp Op) {
+  switch (Op) {
+  case Trunc:
+    return "trunc";
+  case ZExt:
+    return "zext";
+  case SExt:
+    return "sext";
+  }
+  assert(false && "invalid cast op");
+  return "";
+}
+
+CallInst::CallInst(Function *Callee, const std::vector<Value *> &Args,
+                   Type *RetTy)
+    : Instruction(VK_CallInst, RetTy), Callee(Callee) {
+  assert(Callee && "call requires a callee");
+  assert(Callee->getFunctionType()->getNumParams() == Args.size() &&
+         "argument count mismatch");
+  for (Value *A : Args)
+    addOperand(A);
+}
+
+std::vector<BasicBlock *> alive::getSuccessors(const Instruction *Term) {
+  std::vector<BasicBlock *> Out;
+  if (const auto *Br = dyn_cast<BranchInst>(Term)) {
+    for (unsigned I = 0; I != Br->getNumSuccessors(); ++I)
+      Out.push_back(Br->getSuccessor(I));
+  } else if (const auto *Sw = dyn_cast<SwitchInst>(Term)) {
+    for (unsigned I = 0; I != Sw->getNumSuccessors(); ++I)
+      Out.push_back(Sw->getSuccessor(I));
+  }
+  // ret and unreachable have no successors.
+  return Out;
+}
+
+void alive::replaceSuccessor(Instruction *Term, BasicBlock *From,
+                             BasicBlock *To) {
+  if (auto *Br = dyn_cast<BranchInst>(Term)) {
+    for (unsigned I = 0; I != Br->getNumSuccessors(); ++I)
+      if (Br->getSuccessor(I) == From)
+        Br->setSuccessor(I, To);
+  } else if (auto *Sw = dyn_cast<SwitchInst>(Term)) {
+    for (unsigned I = 0; I != Sw->getNumSuccessors(); ++I)
+      if (Sw->getSuccessor(I) == From)
+        Sw->setSuccessor(I, To);
+  }
+}

@@ -1,0 +1,559 @@
+//===- ir/Instruction.h - IR instruction hierarchy -------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction classes of the miniature LLVM IR. The set covers the
+/// fragment the paper's mutations and example bugs exercise: integer
+/// arithmetic with poison flags, comparisons, selects, casts, freeze, phis,
+/// calls (incl. intrinsics), memory operations, vector element operations,
+/// and terminators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_INSTRUCTION_H
+#define IR_INSTRUCTION_H
+
+#include "ir/Constants.h"
+#include "ir/Value.h"
+#include "support/APInt.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+class BasicBlock;
+class Function;
+
+/// Base class of all instructions.
+class Instruction : public User {
+public:
+  static bool classof(const Value *V) { return V->isInstruction(); }
+
+  BasicBlock *getParent() const { return Parent; }
+  Function *getFunction() const;
+
+  bool isTerminator() const {
+    return getKind() >= VK_ReturnInst && getKind() <= VK_UnreachableInst;
+  }
+  /// True if the instruction may write memory or otherwise affect the
+  /// environment (so DCE must not remove it even when unused).
+  bool mayHaveSideEffects() const;
+  /// True if the instruction may read or write memory.
+  bool mayAccessMemory() const;
+  /// True for speculatable, side-effect-free instructions that can be
+  /// value-numbered, reordered and shuffled freely.
+  bool isPure() const;
+
+  /// Short opcode spelling for diagnostics ("add", "icmp", ...).
+  std::string getOpcodeName() const;
+
+protected:
+  Instruction(ValueKind K, Type *T) : User(K, T) {}
+
+private:
+  friend class BasicBlock;
+  BasicBlock *Parent = nullptr;
+};
+
+/// Binary integer arithmetic, possibly carrying poison-generating flags.
+class BinaryInst : public Instruction {
+public:
+  enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    SDiv,
+    URem,
+    SRem,
+    Shl,
+    LShr,
+    AShr,
+    And,
+    Or,
+    Xor,
+    NumBinOps
+  };
+
+  static bool classof(const Value *V) { return V->getKind() == VK_BinaryInst; }
+
+  BinaryInst(BinOp Op, Value *LHS, Value *RHS)
+      : Instruction(VK_BinaryInst, LHS->getType()), Op(Op) {
+    assert(LHS->getType() == RHS->getType() && "operand type mismatch");
+    assert(LHS->getType()->isIntOrIntVectorTy() && "not an arithmetic type");
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  BinOp getBinOp() const { return Op; }
+  void setBinOp(BinOp NewOp) { Op = NewOp; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  bool hasNUW() const { return NUW; }
+  bool hasNSW() const { return NSW; }
+  bool isExact() const { return Exact; }
+  void setNUW(bool B) { NUW = B; }
+  void setNSW(bool B) { NSW = B; }
+  void setExact(bool B) { Exact = B; }
+  void clearFlags() { NUW = NSW = Exact = false; }
+  /// Copies poison flags from \p Other where legal for this opcode.
+  void copyFlags(const BinaryInst &Other) {
+    if (supportsNUWNSW(Op)) {
+      NUW = Other.NUW;
+      NSW = Other.NSW;
+    }
+    if (supportsExact(Op))
+      Exact = Other.Exact;
+  }
+  /// Keeps only flags present on both (the correct merge when GVN unifies
+  /// two instructions — see Table I bug 53218).
+  void intersectFlags(const BinaryInst &Other) {
+    NUW &= Other.NUW;
+    NSW &= Other.NSW;
+    Exact &= Other.Exact;
+  }
+
+  static bool supportsNUWNSW(BinOp Op) {
+    return Op == Add || Op == Sub || Op == Mul || Op == Shl;
+  }
+  static bool supportsExact(BinOp Op) {
+    return Op == UDiv || Op == SDiv || Op == LShr || Op == AShr;
+  }
+  static bool isCommutative(BinOp Op) {
+    return Op == Add || Op == Mul || Op == And || Op == Or || Op == Xor;
+  }
+  static bool isDivRem(BinOp Op) {
+    return Op == UDiv || Op == SDiv || Op == URem || Op == SRem;
+  }
+  static bool isShift(BinOp Op) {
+    return Op == Shl || Op == LShr || Op == AShr;
+  }
+  static const char *getBinOpName(BinOp Op);
+
+private:
+  BinOp Op;
+  bool NUW = false, NSW = false, Exact = false;
+};
+
+/// Integer comparison producing an i1.
+class ICmpInst : public Instruction {
+public:
+  enum Predicate { EQ, NE, UGT, UGE, ULT, ULE, SGT, SGE, SLT, SLE, NumPreds };
+
+  static bool classof(const Value *V) { return V->getKind() == VK_ICmpInst; }
+
+  /// \p BoolTy must be the module's i1 type.
+  ICmpInst(Predicate P, Value *LHS, Value *RHS, Type *BoolTy)
+      : Instruction(VK_ICmpInst, BoolTy), Pred(P) {
+    assert(LHS->getType() == RHS->getType() && "operand type mismatch");
+    assert(BoolTy->isBoolTy() && "icmp must produce i1");
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  Predicate getPredicate() const { return Pred; }
+  void setPredicate(Predicate P) { Pred = P; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  /// eq -> ne, ult -> uge, etc.
+  static Predicate getInversePredicate(Predicate P);
+  /// ult -> ugt, etc. (predicate after operand swap).
+  static Predicate getSwappedPredicate(Predicate P);
+  static bool isSigned(Predicate P) { return P >= SGT && P <= SLE; }
+  static bool isUnsigned(Predicate P) { return P >= UGT && P <= ULE; }
+  static bool isRelational(Predicate P) { return P != EQ && P != NE; }
+  static const char *getPredicateName(Predicate P);
+
+  /// Evaluates the predicate on two concrete values.
+  static bool evaluate(Predicate P, const APInt &L, const APInt &R);
+
+private:
+  Predicate Pred;
+};
+
+/// select i1 %c, T %t, T %f
+class SelectInst : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_SelectInst; }
+
+  SelectInst(Value *Cond, Value *TrueV, Value *FalseV)
+      : Instruction(VK_SelectInst, TrueV->getType()) {
+    assert(Cond->getType()->isBoolTy() && "select condition must be i1");
+    assert(TrueV->getType() == FalseV->getType() && "arm type mismatch");
+    addOperand(Cond);
+    addOperand(TrueV);
+    addOperand(FalseV);
+  }
+
+  Value *getCondition() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+};
+
+/// Integer width conversions: trunc, zext, sext.
+class CastInst : public Instruction {
+public:
+  enum CastOp { Trunc, ZExt, SExt };
+
+  static bool classof(const Value *V) { return V->getKind() == VK_CastInst; }
+
+  CastInst(CastOp Op, Value *Src, Type *DstTy)
+      : Instruction(VK_CastInst, DstTy), Op(Op) {
+    assert(Src->getType()->isIntegerTy() && DstTy->isIntegerTy() &&
+           "casts operate on scalar integers");
+    unsigned SrcW = Src->getType()->getIntegerBitWidth();
+    unsigned DstW = DstTy->getIntegerBitWidth();
+    assert((Op == Trunc ? SrcW > DstW : SrcW < DstW) &&
+           "cast direction/width mismatch");
+    (void)SrcW;
+    (void)DstW;
+    addOperand(Src);
+  }
+
+  CastOp getCastOp() const { return Op; }
+  Value *getSrc() const { return getOperand(0); }
+  static const char *getCastOpName(CastOp Op);
+
+private:
+  CastOp Op;
+};
+
+/// freeze T %v — stops poison/undef propagation.
+class FreezeInst : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_FreezeInst; }
+
+  explicit FreezeInst(Value *V) : Instruction(VK_FreezeInst, V->getType()) {
+    addOperand(V);
+  }
+
+  Value *getSrc() const { return getOperand(0); }
+};
+
+/// SSA phi node. Incoming values are operands; incoming blocks are kept in
+/// a parallel array.
+class PhiNode : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_PhiNode; }
+
+  explicit PhiNode(Type *T) : Instruction(VK_PhiNode, T) {}
+
+  void addIncoming(Value *V, BasicBlock *BB) {
+    assert(V->getType() == getType() && "incoming value type mismatch");
+    addOperand(V);
+    Blocks.push_back(BB);
+  }
+
+  unsigned getNumIncoming() const { return getNumOperands(); }
+  Value *getIncomingValue(unsigned I) const { return getOperand(I); }
+  void setIncomingValue(unsigned I, Value *V) { setOperand(I, V); }
+  BasicBlock *getIncomingBlock(unsigned I) const {
+    assert(I < Blocks.size());
+    return Blocks[I];
+  }
+  void setIncomingBlock(unsigned I, BasicBlock *BB) {
+    assert(I < Blocks.size());
+    Blocks[I] = BB;
+  }
+  /// \returns the value flowing in from \p BB, or null if absent.
+  Value *getIncomingValueForBlock(const BasicBlock *BB) const {
+    for (unsigned I = 0; I != Blocks.size(); ++I)
+      if (Blocks[I] == BB)
+        return getIncomingValue(I);
+    return nullptr;
+  }
+  void removeIncoming(unsigned I) {
+    removeOperand(I);
+    Blocks.erase(Blocks.begin() + I);
+  }
+
+private:
+  std::vector<BasicBlock *> Blocks;
+};
+
+/// Direct call. The callee is a Function member (no indirect calls in this
+/// fragment); arguments are the operands.
+class CallInst : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_CallInst; }
+
+  CallInst(Function *Callee, const std::vector<Value *> &Args, Type *RetTy);
+
+  Function *getCallee() const { return Callee; }
+  void setCallee(Function *F) { Callee = F; }
+  unsigned getNumArgs() const { return getNumOperands(); }
+  Value *getArg(unsigned I) const { return getOperand(I); }
+
+private:
+  Function *Callee;
+};
+
+/// load T, ptr %p
+class LoadInst : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_LoadInst; }
+
+  LoadInst(Type *LoadedTy, Value *Ptr, unsigned Align = 1)
+      : Instruction(VK_LoadInst, LoadedTy), Align(Align) {
+    assert(Ptr->getType()->isPointerTy() && "load pointer operand");
+    addOperand(Ptr);
+  }
+
+  Value *getPointer() const { return getOperand(0); }
+  unsigned getAlign() const { return Align; }
+  void setAlign(unsigned A) { Align = A; }
+
+private:
+  unsigned Align;
+};
+
+/// store T %v, ptr %p
+class StoreInst : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_StoreInst; }
+
+  StoreInst(Value *Val, Value *Ptr, Type *VoidTy, unsigned Align = 1)
+      : Instruction(VK_StoreInst, VoidTy), Align(Align) {
+    assert(Ptr->getType()->isPointerTy() && "store pointer operand");
+    addOperand(Val);
+    addOperand(Ptr);
+  }
+
+  Value *getValueOperand() const { return getOperand(0); }
+  Value *getPointer() const { return getOperand(1); }
+  unsigned getAlign() const { return Align; }
+  void setAlign(unsigned A) { Align = A; }
+
+private:
+  unsigned Align;
+};
+
+/// Stack allocation of one element of the given type.
+class AllocaInst : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_AllocaInst; }
+
+  AllocaInst(Type *AllocatedTy, Type *PtrTy, unsigned Align = 8)
+      : Instruction(VK_AllocaInst, PtrTy), AllocatedType(AllocatedTy),
+        Align(Align) {
+    assert(PtrTy->isPointerTy());
+  }
+
+  Type *getAllocatedType() const { return AllocatedType; }
+  unsigned getAlign() const { return Align; }
+
+private:
+  Type *AllocatedType;
+  unsigned Align;
+};
+
+/// Simplified getelementptr: byte-offset arithmetic over a source element
+/// type with integer indices (first index scales by the element size; for
+/// this IR the element types are ints/vectors, so one index level suffices).
+class GEPInst : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_GEPInst; }
+
+  GEPInst(Type *SrcElemTy, Value *Ptr, Value *Index, Type *PtrTy,
+          bool InBounds = false)
+      : Instruction(VK_GEPInst, PtrTy), SrcElemTy(SrcElemTy),
+        InBounds(InBounds) {
+    assert(Ptr->getType()->isPointerTy() && "gep pointer operand");
+    assert(Index->getType()->isIntegerTy() && "gep index must be integer");
+    addOperand(Ptr);
+    addOperand(Index);
+  }
+
+  Type *getSourceElementType() const { return SrcElemTy; }
+  Value *getPointer() const { return getOperand(0); }
+  Value *getIndex() const { return getOperand(1); }
+  bool isInBounds() const { return InBounds; }
+  void setInBounds(bool B) { InBounds = B; }
+
+private:
+  Type *SrcElemTy;
+  bool InBounds;
+};
+
+/// extractelement <n x T> %v, iK %idx
+class ExtractElementInst : public Instruction {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_ExtractElementInst;
+  }
+
+  ExtractElementInst(Value *Vec, Value *Idx)
+      : Instruction(VK_ExtractElementInst,
+                    cast<VectorType>(Vec->getType())->getElementType()) {
+    assert(Idx->getType()->isIntegerTy());
+    addOperand(Vec);
+    addOperand(Idx);
+  }
+
+  Value *getVector() const { return getOperand(0); }
+  Value *getIndex() const { return getOperand(1); }
+};
+
+/// insertelement <n x T> %v, T %elt, iK %idx
+class InsertElementInst : public Instruction {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_InsertElementInst;
+  }
+
+  InsertElementInst(Value *Vec, Value *Elt, Value *Idx)
+      : Instruction(VK_InsertElementInst, Vec->getType()) {
+    assert(cast<VectorType>(Vec->getType())->getElementType() ==
+               Elt->getType() &&
+           "element type mismatch");
+    assert(Idx->getType()->isIntegerTy());
+    addOperand(Vec);
+    addOperand(Elt);
+    addOperand(Idx);
+  }
+
+  Value *getVector() const { return getOperand(0); }
+  Value *getElement() const { return getOperand(1); }
+  Value *getIndex() const { return getOperand(2); }
+};
+
+/// shufflevector with a constant mask; mask lane -1 produces poison.
+class ShuffleVectorInst : public Instruction {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_ShuffleVectorInst;
+  }
+
+  ShuffleVectorInst(Value *V1, Value *V2, std::vector<int> Mask,
+                    VectorType *ResultTy)
+      : Instruction(VK_ShuffleVectorInst, ResultTy), Mask(std::move(Mask)) {
+    assert(V1->getType() == V2->getType() && "shuffle input type mismatch");
+    assert(this->Mask.size() == ResultTy->getNumElements());
+    addOperand(V1);
+    addOperand(V2);
+  }
+
+  Value *getV1() const { return getOperand(0); }
+  Value *getV2() const { return getOperand(1); }
+  const std::vector<int> &getMask() const { return Mask; }
+
+private:
+  std::vector<int> Mask;
+};
+
+/// ret void / ret T %v
+class ReturnInst : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_ReturnInst; }
+
+  /// \p VoidTy: instructions must have a type; terminators use void.
+  ReturnInst(Value *RetVal, Type *VoidTy)
+      : Instruction(VK_ReturnInst, VoidTy) {
+    if (RetVal)
+      addOperand(RetVal);
+  }
+
+  Value *getReturnValue() const {
+    return getNumOperands() ? getOperand(0) : nullptr;
+  }
+};
+
+/// br label %dst / br i1 %c, label %t, label %f
+class BranchInst : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_BranchInst; }
+
+  BranchInst(BasicBlock *Dest, Type *VoidTy)
+      : Instruction(VK_BranchInst, VoidTy), Succs{Dest, nullptr} {}
+
+  BranchInst(Value *Cond, BasicBlock *TrueDest, BasicBlock *FalseDest,
+             Type *VoidTy)
+      : Instruction(VK_BranchInst, VoidTy), Succs{TrueDest, FalseDest} {
+    assert(Cond->getType()->isBoolTy() && "branch condition must be i1");
+    addOperand(Cond);
+  }
+
+  bool isConditional() const { return getNumOperands() == 1; }
+  Value *getCondition() const {
+    assert(isConditional());
+    return getOperand(0);
+  }
+  unsigned getNumSuccessors() const { return isConditional() ? 2 : 1; }
+  BasicBlock *getSuccessor(unsigned I) const {
+    assert(I < getNumSuccessors());
+    return Succs[I];
+  }
+  void setSuccessor(unsigned I, BasicBlock *BB) {
+    assert(I < getNumSuccessors());
+    Succs[I] = BB;
+  }
+
+private:
+  BasicBlock *Succs[2];
+};
+
+/// switch iN %v, label %default [ cases... ]
+class SwitchInst : public Instruction {
+public:
+  static bool classof(const Value *V) { return V->getKind() == VK_SwitchInst; }
+
+  SwitchInst(Value *Cond, BasicBlock *Default, Type *VoidTy)
+      : Instruction(VK_SwitchInst, VoidTy), Default(Default) {
+    assert(Cond->getType()->isIntegerTy() && "switch operand must be integer");
+    addOperand(Cond);
+  }
+
+  Value *getCondition() const { return getOperand(0); }
+  BasicBlock *getDefaultDest() const { return Default; }
+  void setDefaultDest(BasicBlock *BB) { Default = BB; }
+
+  void addCase(const APInt &Val, BasicBlock *Dest) {
+    Cases.push_back({Val, Dest});
+  }
+  unsigned getNumCases() const { return (unsigned)Cases.size(); }
+  const APInt &getCaseValue(unsigned I) const { return Cases[I].first; }
+  BasicBlock *getCaseDest(unsigned I) const { return Cases[I].second; }
+  void setCaseDest(unsigned I, BasicBlock *BB) { Cases[I].second = BB; }
+
+  unsigned getNumSuccessors() const { return 1 + getNumCases(); }
+  BasicBlock *getSuccessor(unsigned I) const {
+    return I == 0 ? Default : Cases[I - 1].second;
+  }
+  void setSuccessor(unsigned I, BasicBlock *BB) {
+    if (I == 0)
+      Default = BB;
+    else
+      Cases[I - 1].second = BB;
+  }
+
+private:
+  BasicBlock *Default;
+  std::vector<std::pair<APInt, BasicBlock *>> Cases;
+};
+
+/// unreachable
+class UnreachableInst : public Instruction {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_UnreachableInst;
+  }
+
+  explicit UnreachableInst(Type *VoidTy)
+      : Instruction(VK_UnreachableInst, VoidTy) {}
+};
+
+/// \returns successors of a terminator instruction.
+std::vector<BasicBlock *> getSuccessors(const Instruction *Term);
+/// Rewrites every successor edge of \p Term equal to \p From into \p To.
+void replaceSuccessor(Instruction *Term, BasicBlock *From, BasicBlock *To);
+
+} // namespace alive
+
+#endif // IR_INSTRUCTION_H

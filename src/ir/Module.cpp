@@ -1,0 +1,89 @@
+//===- ir/Module.cpp - Top-level IR container ------------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+using namespace alive;
+
+Module::~Module() {
+  // Function bodies may reference values owned by other functions'
+  // declarations (via calls) and module-level constants; detach everything
+  // before the pools die.
+  for (auto &F : Functions)
+    F->dropBody();
+}
+
+Function *Module::createFunction(FunctionType *FT, const std::string &Name) {
+  assert(!getFunction(Name) && "duplicate function name");
+  Functions.push_back(std::make_unique<Function>(FT, Name, this));
+  return Functions.back().get();
+}
+
+Function *Module::getFunction(const std::string &Name) const {
+  for (Function *F : functions())
+    if (F->getName() == Name)
+      return F;
+  return nullptr;
+}
+
+Function *Module::getOrInsertIntrinsic(IntrinsicID ID, Type *ValTy) {
+  assert(ID != IntrinsicID::NotIntrinsic);
+  std::string Name = std::string(intrinsicBaseName(ID));
+  if (ID != IntrinsicID::Assume)
+    Name += "." + ValTy->str();
+  if (Function *F = getFunction(Name))
+    return F;
+
+  Type *Bool = Types.getIntTy(1);
+  std::vector<Type *> Params;
+  Type *Ret = ValTy;
+  switch (ID) {
+  case IntrinsicID::SMin:
+  case IntrinsicID::SMax:
+  case IntrinsicID::UMin:
+  case IntrinsicID::UMax:
+  case IntrinsicID::UAddSat:
+  case IntrinsicID::USubSat:
+  case IntrinsicID::SAddSat:
+  case IntrinsicID::SSubSat:
+    Params = {ValTy, ValTy};
+    break;
+  case IntrinsicID::Abs:
+  case IntrinsicID::Ctlz:
+  case IntrinsicID::Cttz:
+    Params = {ValTy, Bool};
+    break;
+  case IntrinsicID::BSwap:
+  case IntrinsicID::CtPop:
+    Params = {ValTy};
+    break;
+  case IntrinsicID::Fshl:
+  case IntrinsicID::Fshr:
+    Params = {ValTy, ValTy, ValTy};
+    break;
+  case IntrinsicID::Assume:
+    Params = {Bool};
+    Ret = Types.getVoidTy();
+    break;
+  case IntrinsicID::NotIntrinsic:
+    assert(false);
+  }
+
+  Function *F = createFunction(Types.getFunctionTy(Ret, Params), Name);
+  F->setIntrinsicID(ID);
+  return F;
+}
+
+void Module::eraseFunction(Function *F) {
+  for (unsigned I = 0; I != Functions.size(); ++I) {
+    if (Functions[I].get() == F) {
+      F->dropBody();
+      Functions.erase(Functions.begin() + I);
+      return;
+    }
+  }
+  assert(false && "function not in this module");
+}

@@ -1,0 +1,103 @@
+//===- ir/Module.h - Top-level IR container --------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns a TypeContext, a constant pool, and a list of functions —
+/// the unit the fuzzer parses, clones, mutates, optimizes and verifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_MODULE_H
+#define IR_MODULE_H
+
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Type.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+/// Top-level container of IR.
+class Module {
+public:
+  Module() = default;
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+  ~Module();
+
+  TypeContext &getTypes() { return Types; }
+  ConstantPoolCtx &getConstants() { return Constants; }
+
+  /// Creates a function (definition starts empty = declaration until blocks
+  /// are added). Name must be unique within the module.
+  Function *createFunction(FunctionType *FT, const std::string &Name);
+
+  /// Finds a function by name, or null.
+  Function *getFunction(const std::string &Name) const;
+
+  /// Declares (or returns the existing declaration of) the intrinsic \p ID
+  /// specialized for value type \p ValTy (e.g. llvm.smin.i32).
+  Function *getOrInsertIntrinsic(IntrinsicID ID, Type *ValTy);
+
+  /// Destroys \p F; it must have no remaining uses (calls) elsewhere.
+  void eraseFunction(Function *F);
+
+  unsigned getNumFunctions() const { return (unsigned)Functions.size(); }
+  Function *getFunctionAt(unsigned I) const { return Functions[I].get(); }
+
+  class FnRange {
+  public:
+    explicit FnRange(const std::vector<std::unique_ptr<Function>> &V)
+        : Vec(V) {}
+    class Iter {
+    public:
+      Iter(const std::vector<std::unique_ptr<Function>> &V, size_t I)
+          : Vec(V), Idx(I) {}
+      Function *operator*() const { return Vec[Idx].get(); }
+      Iter &operator++() {
+        ++Idx;
+        return *this;
+      }
+      bool operator!=(const Iter &O) const { return Idx != O.Idx; }
+
+    private:
+      const std::vector<std::unique_ptr<Function>> &Vec;
+      size_t Idx;
+    };
+    Iter begin() const { return Iter(Vec, 0); }
+    Iter end() const { return Iter(Vec, Vec.size()); }
+
+  private:
+    const std::vector<std::unique_ptr<Function>> &Vec;
+  };
+  FnRange functions() const { return FnRange(Functions); }
+
+private:
+  // Destruction order matters: functions reference types and constants, so
+  // they are declared last (destroyed first).
+  TypeContext Types;
+  ConstantPoolCtx Constants;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+/// Deep-clones \p Src into module \p Dst under the name \p NewName,
+/// translating types/constants into Dst's contexts. Declarations referenced
+/// by calls are cloned (as declarations) on demand.
+Function *cloneFunction(const Function &Src, Module &Dst,
+                        const std::string &NewName);
+
+/// Deep-clones an entire module.
+std::unique_ptr<Module> cloneModule(const Module &Src);
+
+/// Translates a type from one context into another.
+Type *translateType(const Type *T, TypeContext &Dst);
+
+} // namespace alive
+
+#endif // IR_MODULE_H

@@ -1,0 +1,106 @@
+//===- ir/Type.cpp - Miniature LLVM type system ---------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+using namespace alive;
+
+bool Type::isIntOrIntVectorTy() const {
+  if (isIntegerTy())
+    return true;
+  if (const auto *VT = dyn_cast<VectorType>(this))
+    return VT->getElementType()->isIntegerTy();
+  return false;
+}
+
+bool Type::isBoolTy() const {
+  const auto *IT = dyn_cast<IntegerType>(this);
+  return IT && IT->getBitWidth() == 1;
+}
+
+unsigned Type::getIntegerBitWidth() const {
+  return cast<IntegerType>(this)->getBitWidth();
+}
+
+Type *Type::getScalarType() {
+  if (auto *VT = dyn_cast<VectorType>(this))
+    return VT->getElementType();
+  assert(isIntegerTy() || isPointerTy());
+  return this;
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case VoidTyKind:
+    return "void";
+  case LabelTyKind:
+    return "label";
+  case IntegerTyKind:
+    return "i" + std::to_string(getIntegerBitWidth());
+  case PointerTyKind:
+    return "ptr";
+  case VectorTyKind: {
+    const auto *VT = cast<VectorType>(this);
+    return "<" + std::to_string(VT->getNumElements()) + " x " +
+           VT->getElementType()->str() + ">";
+  }
+  case FunctionTyKind: {
+    const auto *FT = cast<FunctionType>(this);
+    std::string S = FT->getReturnType()->str() + " (";
+    for (unsigned I = 0; I != FT->getNumParams(); ++I) {
+      if (I)
+        S += ", ";
+      S += FT->getParamType(I)->str();
+    }
+    return S + ")";
+  }
+  }
+  assert(false && "unknown type kind");
+  return "";
+}
+
+TypeContext::TypeContext() {
+  // Private Type constructor; build the singletons directly.
+  struct RawType : Type {
+    explicit RawType(TypeKind K) : Type(K) {}
+  };
+  VoidTy.reset(new RawType(Type::VoidTyKind));
+  LabelTy.reset(new RawType(Type::LabelTyKind));
+  PointerTy.reset(new RawType(Type::PointerTyKind));
+}
+
+IntegerType *TypeContext::getIntTy(unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 64 && "unsupported integer width");
+  auto &Slot = IntTypes[Bits];
+  if (!Slot)
+    Slot.reset(new IntegerType(Bits));
+  return Slot.get();
+}
+
+VectorType *TypeContext::getVectorTy(Type *Elem, unsigned Count) {
+  assert(Elem->isIntegerTy() && "only integer vectors are supported");
+  assert(Count >= 1 && Count <= 64 && "unsupported vector length");
+  auto &Slot = VecTypes[{Elem, Count}];
+  if (!Slot)
+    Slot.reset(new VectorType(Elem, Count));
+  return Slot.get();
+}
+
+FunctionType *TypeContext::getFunctionTy(Type *Ret,
+                                         const std::vector<Type *> &Params) {
+  auto &Slot = FnTypes[{Ret, Params}];
+  if (!Slot)
+    Slot.reset(new FunctionType(Ret, Params));
+  return Slot.get();
+}
+
+Type *TypeContext::getWithScalar(Type *Ty, Type *NewScalar) {
+  assert(NewScalar->isIntegerTy() && "scalar replacement must be integer");
+  if (auto *VT = dyn_cast<VectorType>(Ty))
+    return getVectorTy(NewScalar, VT->getNumElements());
+  assert(Ty->isIntegerTy());
+  return NewScalar;
+}

@@ -1,0 +1,163 @@
+//===- ir/Type.h - Miniature LLVM type system ------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system for the miniature LLVM IR: void, label, iN integers
+/// (1..64 bits), opaque pointers, fixed vectors of integers, and function
+/// types. Types are interned in a TypeContext (one per Module), so two types
+/// are equal iff their Type* pointers are equal, exactly as in LLVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_TYPE_H
+#define IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+class TypeContext;
+
+/// Base class of the interned type hierarchy.
+class Type {
+public:
+  enum TypeKind {
+    VoidTyKind,
+    LabelTyKind,
+    IntegerTyKind,
+    PointerTyKind,
+    VectorTyKind,
+    FunctionTyKind,
+  };
+
+  TypeKind getKind() const { return Kind; }
+
+  bool isVoidTy() const { return Kind == VoidTyKind; }
+  bool isLabelTy() const { return Kind == LabelTyKind; }
+  bool isIntegerTy() const { return Kind == IntegerTyKind; }
+  bool isPointerTy() const { return Kind == PointerTyKind; }
+  bool isVectorTy() const { return Kind == VectorTyKind; }
+  bool isFunctionTy() const { return Kind == FunctionTyKind; }
+  /// Integer or vector-of-integer (the element domain of arithmetic).
+  bool isIntOrIntVectorTy() const;
+  /// True for types an SSA register can hold (not void/label/function).
+  bool isFirstClassTy() const {
+    return isIntegerTy() || isPointerTy() || isVectorTy();
+  }
+  /// True for i1 (the icmp / branch condition type).
+  bool isBoolTy() const;
+
+  /// Bit width of an integer type; asserts on other kinds.
+  unsigned getIntegerBitWidth() const;
+
+  /// For arithmetic types: the scalar type (self for ints, element for
+  /// vectors). Asserts on other kinds.
+  Type *getScalarType();
+  const Type *getScalarType() const {
+    return const_cast<Type *>(this)->getScalarType();
+  }
+
+  /// Renders the type in LLVM syntax ("i32", "ptr", "<4 x i8>").
+  std::string str() const;
+
+  virtual ~Type() = default;
+
+protected:
+  explicit Type(TypeKind K) : Kind(K) {}
+
+private:
+  const TypeKind Kind;
+};
+
+/// An iN integer type, 1 <= N <= 64 (the encoder needs 2N-bit
+/// intermediates for overflow checks, and APInt caps at 128).
+class IntegerType : public Type {
+public:
+  static bool classof(const Type *T) { return T->getKind() == IntegerTyKind; }
+
+  unsigned getBitWidth() const { return BitWidth; }
+
+private:
+  friend class TypeContext;
+  explicit IntegerType(unsigned Bits) : Type(IntegerTyKind), BitWidth(Bits) {}
+  unsigned BitWidth;
+};
+
+/// A fixed vector of integer elements, e.g. <4 x i32>.
+class VectorType : public Type {
+public:
+  static bool classof(const Type *T) { return T->getKind() == VectorTyKind; }
+
+  Type *getElementType() const { return ElementType; }
+  unsigned getNumElements() const { return NumElements; }
+
+private:
+  friend class TypeContext;
+  VectorType(Type *Elem, unsigned Count)
+      : Type(VectorTyKind), ElementType(Elem), NumElements(Count) {}
+  Type *ElementType;
+  unsigned NumElements;
+};
+
+/// A function signature: return type plus parameter types.
+class FunctionType : public Type {
+public:
+  static bool classof(const Type *T) { return T->getKind() == FunctionTyKind; }
+
+  Type *getReturnType() const { return ReturnType; }
+  unsigned getNumParams() const { return (unsigned)ParamTypes.size(); }
+  Type *getParamType(unsigned I) const {
+    assert(I < ParamTypes.size() && "parameter index out of range");
+    return ParamTypes[I];
+  }
+  const std::vector<Type *> &params() const { return ParamTypes; }
+
+private:
+  friend class TypeContext;
+  FunctionType(Type *Ret, std::vector<Type *> Params)
+      : Type(FunctionTyKind), ReturnType(Ret), ParamTypes(std::move(Params)) {}
+  Type *ReturnType;
+  std::vector<Type *> ParamTypes;
+};
+
+/// Owns and interns all types of a Module. Type pointers from one context
+/// must not be mixed with another context's values.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  Type *getVoidTy() { return VoidTy.get(); }
+  Type *getLabelTy() { return LabelTy.get(); }
+  Type *getPointerTy() { return PointerTy.get(); }
+  IntegerType *getIntTy(unsigned Bits);
+  Type *getBoolTy() { return getIntTy(1); }
+  VectorType *getVectorTy(Type *Elem, unsigned Count);
+  FunctionType *getFunctionTy(Type *Ret, const std::vector<Type *> &Params);
+
+  /// For arithmetic on \p Ty (int or int-vector): the same shape with the
+  /// scalar replaced by \p NewScalar. i32 -> i8, <4 x i32> -> <4 x i8>.
+  Type *getWithScalar(Type *Ty, Type *NewScalar);
+
+private:
+  std::unique_ptr<Type> VoidTy, LabelTy, PointerTy;
+  std::map<unsigned, std::unique_ptr<IntegerType>> IntTypes;
+  std::map<std::pair<Type *, unsigned>, std::unique_ptr<VectorType>> VecTypes;
+  std::map<std::pair<Type *, std::vector<Type *>>,
+           std::unique_ptr<FunctionType>>
+      FnTypes;
+};
+
+} // namespace alive
+
+#endif // IR_TYPE_H

@@ -1,0 +1,23 @@
+//===- ir/Value.cpp - SSA value and user base classes --------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+
+using namespace alive;
+
+Value::~Value() {
+  assert(UserList.empty() &&
+         "value destroyed while still referenced by users");
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self");
+  assert(New->getType() == getType() && "RAUW type mismatch");
+  while (!UserList.empty()) {
+    User *U = UserList.back();
+    U->setOperand(U->getOperandIndex(this), New);
+  }
+}

@@ -1,0 +1,183 @@
+//===- ir/Value.h - SSA value and user base classes ------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The root of the IR value hierarchy. Mirrors LLVM's Value/User design:
+/// every SSA value tracks its users (one entry per operand slot that
+/// references it), enabling replaceAllUsesWith and the def-use walks the
+/// mutator's use-tree and bitwidth mutations need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_VALUE_H
+#define IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+class User;
+
+/// Base class of everything that can appear as an SSA operand.
+class Value {
+public:
+  enum ValueKind {
+    VK_Argument,
+    VK_BasicBlock,
+    VK_Function,
+    // Constants.
+    VK_ConstantInt,
+    VK_ConstantPoison,
+    VK_ConstantUndef,
+    VK_ConstantNullPtr,
+    VK_ConstantVector,
+    // Instructions. Keep contiguous: VK_BinaryInst..VK_UnreachableInst.
+    VK_BinaryInst,
+    VK_ICmpInst,
+    VK_SelectInst,
+    VK_CastInst,
+    VK_FreezeInst,
+    VK_PhiNode,
+    VK_CallInst,
+    VK_LoadInst,
+    VK_StoreInst,
+    VK_AllocaInst,
+    VK_GEPInst,
+    VK_ExtractElementInst,
+    VK_InsertElementInst,
+    VK_ShuffleVectorInst,
+    VK_ReturnInst,
+    VK_BranchInst,
+    VK_SwitchInst,
+    VK_UnreachableInst,
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind getKind() const { return Kind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(const std::string &N) { Name = N; }
+  bool hasName() const { return !Name.empty(); }
+
+  /// Users of this value; a user appears once per operand slot that
+  /// references this value (so duplicates are meaningful).
+  const std::vector<User *> &users() const { return UserList; }
+  unsigned getNumUses() const { return (unsigned)UserList.size(); }
+  bool hasUses() const { return !UserList.empty(); }
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+  bool isConstant() const {
+    return Kind >= VK_ConstantInt && Kind <= VK_ConstantVector;
+  }
+  bool isInstruction() const {
+    return Kind >= VK_BinaryInst && Kind <= VK_UnreachableInst;
+  }
+
+protected:
+  Value(ValueKind K, Type *T) : Kind(K), Ty(T) {
+    assert(T && "value must have a type");
+  }
+
+  /// Width-change support (bitwidth mutation rebuilds instructions; types of
+  /// existing values never change in place except through this hook, used
+  /// only by IR internals).
+  void setType(Type *T) { Ty = T; }
+
+private:
+  friend class User;
+  void addUser(User *U) { UserList.push_back(U); }
+  void removeUser(User *U) {
+    auto It = std::find(UserList.begin(), UserList.end(), U);
+    assert(It != UserList.end() && "user not found in use list");
+    UserList.erase(It);
+  }
+
+  const ValueKind Kind;
+  Type *Ty;
+  std::string Name;
+  std::vector<User *> UserList;
+};
+
+/// A value that references other values through operand slots.
+class User : public Value {
+public:
+  static bool classof(const Value *V) { return V->isInstruction(); }
+
+  unsigned getNumOperands() const { return (unsigned)Operands.size(); }
+  Value *getOperand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Replaces operand \p I, maintaining both use lists.
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    assert(V && "operand must not be null");
+    Operands[I]->removeUser(this);
+    Operands[I] = V;
+    V->addUser(this);
+  }
+
+  /// Index of the first operand slot holding \p V; asserts it exists.
+  unsigned getOperandIndex(const Value *V) const {
+    for (unsigned I = 0; I != Operands.size(); ++I)
+      if (Operands[I] == V)
+        return I;
+    assert(false && "value is not an operand");
+    return ~0U;
+  }
+
+  /// True if any operand slot references \p V.
+  bool usesValue(const Value *V) const {
+    return std::find(Operands.begin(), Operands.end(), V) != Operands.end();
+  }
+
+  /// Detaches all operands (removing this user from their use lists).
+  /// Called before destruction and when erasing instructions.
+  void dropAllOperands() {
+    for (Value *Op : Operands)
+      Op->removeUser(this);
+    Operands.clear();
+  }
+
+protected:
+  User(ValueKind K, Type *T) : Value(K, T) {}
+  ~User() override { dropAllOperands(); }
+
+  /// Appends an operand slot.
+  void addOperand(Value *V) {
+    assert(V && "operand must not be null");
+    Operands.push_back(V);
+    V->addUser(this);
+  }
+
+  /// Removes operand slot \p I (shifting later slots down).
+  void removeOperand(unsigned I) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I]->removeUser(this);
+    Operands.erase(Operands.begin() + I);
+  }
+
+private:
+  std::vector<Value *> Operands;
+};
+
+} // namespace alive
+
+#endif // IR_VALUE_H

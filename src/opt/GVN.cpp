@@ -1,0 +1,161 @@
+//===- opt/GVN.cpp - Global value numbering ---------------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hash-based global value numbering pass (the NewGVN stand-in). Pure
+/// instructions with identical opcodes and operands are unified under a
+/// dominating leader. Hosts two seeded Table I defects:
+///
+///   53218 (miscompilation): when a duplicate is folded into its leader the
+///   poison flags must be INTERSECTED — the union program only guarantees
+///   flags both instructions carried. The buggy variant keeps the leader's
+///   flags unchanged, which can smuggle nuw/nsw into contexts that do not
+///   guarantee them.
+///
+///   51618 (crash): value-numbering a phi whose incoming list contains
+///   undef dereferenced a null expression in the original NewGVN; modeled
+///   as a simulated abort.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+#include "opt/BugInjection.h"
+#include "opt/OptUtils.h"
+#include "opt/Pass.h"
+
+#include <map>
+
+using namespace alive;
+
+namespace {
+
+/// Structural key for pure scalar expressions.
+struct ExprKey {
+  unsigned Kind;
+  unsigned Subclass; // opcode / predicate / cast op / intrinsic id
+  Type *Ty;
+  std::vector<const Value *> Ops;
+
+  bool operator<(const ExprKey &O) const {
+    if (Kind != O.Kind)
+      return Kind < O.Kind;
+    if (Subclass != O.Subclass)
+      return Subclass < O.Subclass;
+    if (Ty != O.Ty)
+      return Ty < O.Ty;
+    return Ops < O.Ops;
+  }
+};
+
+class GVNPass : public Pass {
+public:
+  std::string getName() const override { return "gvn"; }
+
+  bool runOnFunction(Function &F) override {
+    DominatorTree DT(F);
+    std::map<ExprKey, Instruction *> Leaders;
+    bool Changed = false;
+
+    // Walk blocks in RPO so leaders are seen before dominated duplicates.
+    for (const BasicBlock *BBC : DT.rpo()) {
+      auto *BB = const_cast<BasicBlock *>(BBC);
+      for (unsigned Idx = 0; Idx != BB->size(); ++Idx) {
+        Instruction *I = BB->getInst(Idx);
+
+        // Seeded crash 51618: phi with an undef incoming value.
+        if (auto *Phi = dyn_cast<PhiNode>(I)) {
+          if (BugConfig::isEnabled(BugId::PR51618))
+            for (unsigned K = 0; K != Phi->getNumIncoming(); ++K)
+              if (isa<ConstantUndef>(Phi->getIncomingValue(K)))
+                optimizerCrash(BugId::PR51618,
+                               "null expression for phi with undef input");
+          continue;
+        }
+
+        if (!I->isPure() || I->getType()->isVoidTy())
+          continue;
+        // Freeze is NOT value-numberable: two freezes of the same value may
+        // legitimately produce different results. Shuffles carry a mask
+        // that is not part of the operand list, so skip them too.
+        if (isa<FreezeInst>(I) || isa<ShuffleVectorInst>(I))
+          continue;
+
+        ExprKey Key = makeKey(I);
+        auto It = Leaders.find(Key);
+        if (It == Leaders.end()) {
+          Leaders[Key] = I;
+          continue;
+        }
+        Instruction *Leader = It->second;
+        if (!DT.dominatesUse(Leader, I, 0) &&
+            !(Leader->getParent() == BB && BB->indexOf(Leader) < Idx)) {
+          // Leader must dominate the duplicate to replace it.
+          continue;
+        }
+
+        // Flag merge (Table I bug 53218): intersect poison flags so the
+        // leader only promises what both instructions promised. The buggy
+        // variant skips the merge and keeps the leader's flags.
+        if (auto *LB = dyn_cast<BinaryInst>(Leader)) {
+          if (!BugConfig::isEnabled(BugId::PR53218))
+            LB->intersectFlags(*cast<BinaryInst>(I));
+        }
+
+        replaceAndErase(I, Leader);
+        --Idx;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+private:
+  ExprKey makeKey(const Instruction *I) const {
+    ExprKey K;
+    K.Kind = (unsigned)I->getKind();
+    K.Ty = I->getType();
+    K.Subclass = 0;
+    for (const Value *Op : cast<User>(I)->operands())
+      K.Ops.push_back(Op);
+
+    switch (I->getKind()) {
+    case Value::VK_BinaryInst: {
+      const auto *B = cast<BinaryInst>(I);
+      K.Subclass = B->getBinOp();
+      // Commutative operations: canonicalize operand order so a+b and b+a
+      // unify. Poison flags deliberately NOT part of the key (that is the
+      // point of the flag-merge subtlety).
+      if (BinaryInst::isCommutative(B->getBinOp()) && K.Ops[1] < K.Ops[0])
+        std::swap(K.Ops[0], K.Ops[1]);
+      break;
+    }
+    case Value::VK_ICmpInst:
+      K.Subclass = cast<ICmpInst>(I)->getPredicate();
+      break;
+    case Value::VK_CastInst:
+      K.Subclass = cast<CastInst>(I)->getCastOp();
+      break;
+    case Value::VK_CallInst:
+      K.Subclass = (unsigned)cast<CallInst>(I)->getCallee()->getIntrinsicID();
+      break;
+    case Value::VK_GEPInst:
+      K.Subclass = cast<GEPInst>(I)->isInBounds();
+      // Distinguish geps by their source element type (the result type is
+      // always ptr).
+      K.Ty = cast<GEPInst>(I)->getSourceElementType();
+      break;
+    default:
+      break;
+    }
+    return K;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> alive::createGVNPass() {
+  return std::make_unique<GVNPass>();
+}

@@ -1,0 +1,556 @@
+//===- opt/Lowering.cpp - ISel-style combines (backend analog) -------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction-selection-style combines over IR: bitfield extracts, rotate
+/// matching, narrow-compare promotion, saturating-arithmetic expansion and
+/// friends. This pass is the reproduction's analog of the paper's AArch64
+/// backend testing campaign: the Table I backend defects (and the
+/// architecture-independent "multiple backends" ones) are seeded here, at
+/// the combines that model the buggy selection code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/BugInjection.h"
+#include "opt/OptUtils.h"
+#include "opt/Pass.h"
+
+using namespace alive;
+
+namespace {
+
+class LoweringPass : public Pass {
+public:
+  std::string getName() const override { return "lowering"; }
+
+  bool runOnFunction(Function &F) override {
+    M = F.getParent();
+    bool Changed = false;
+    bool LocalChange = true;
+    unsigned Rounds = 0;
+    while (LocalChange && Rounds++ < 4) {
+      LocalChange = false;
+      for (BasicBlock *BB : F.blocks()) {
+        for (unsigned Idx = 0; Idx != BB->size(); ++Idx) {
+          Instruction *I = BB->getInst(Idx);
+          if (I->isTerminator())
+            continue;
+          if (combine(I, BB, Idx)) {
+            LocalChange = Changed = true;
+            Idx = (unsigned)-1;
+          }
+        }
+      }
+      Changed |= removeDeadInstructions(F);
+    }
+    return Changed;
+  }
+
+private:
+  Module *M = nullptr;
+
+  ConstantInt *intC(Type *Ty, const APInt &V) {
+    return M->getConstants().getInt(cast<IntegerType>(Ty), V);
+  }
+  Instruction *ins(BasicBlock *BB, unsigned Idx, Instruction *I) {
+    return BB->insert(Idx, std::unique_ptr<Instruction>(I));
+  }
+
+  bool combine(Instruction *I, BasicBlock *BB, unsigned Idx);
+  bool combineLShr(BinaryInst *B, BasicBlock *BB, unsigned Idx);
+  bool combineAShr(BinaryInst *B, BasicBlock *BB, unsigned Idx);
+  bool combineAnd(BinaryInst *B, BasicBlock *BB, unsigned Idx);
+  bool combineOr(BinaryInst *B, BasicBlock *BB, unsigned Idx);
+  bool combineSub(BinaryInst *B, BasicBlock *BB, unsigned Idx);
+  bool combineTrunc(CastInst *C, BasicBlock *BB, unsigned Idx);
+  bool combineZExt(CastInst *C, BasicBlock *BB, unsigned Idx);
+  bool combineICmp(ICmpInst *C, BasicBlock *BB, unsigned Idx);
+  bool combineCall(CallInst *C, BasicBlock *BB, unsigned Idx);
+  bool combineFreeze(FreezeInst *Fr, BasicBlock *BB, unsigned Idx);
+  bool checkLegalizer(Instruction *I);
+};
+
+bool LoweringPass::combine(Instruction *I, BasicBlock *BB, unsigned Idx) {
+  if (checkLegalizer(I))
+    return false; // (never reached: checkLegalizer crashes or is a no-op)
+
+  switch (I->getKind()) {
+  case Value::VK_BinaryInst: {
+    auto *B = cast<BinaryInst>(I);
+    if (!B->getType()->isIntegerTy())
+      return false;
+    switch (B->getBinOp()) {
+    case BinaryInst::LShr:
+      return combineLShr(B, BB, Idx);
+    case BinaryInst::AShr:
+      return combineAShr(B, BB, Idx);
+    case BinaryInst::And:
+      return combineAnd(B, BB, Idx);
+    case BinaryInst::Or:
+      return combineOr(B, BB, Idx);
+    case BinaryInst::Sub:
+      return combineSub(B, BB, Idx);
+    default:
+      return false;
+    }
+  }
+  case Value::VK_CastInst: {
+    auto *C = cast<CastInst>(I);
+    if (C->getCastOp() == CastInst::Trunc)
+      return combineTrunc(C, BB, Idx);
+    if (C->getCastOp() == CastInst::ZExt)
+      return combineZExt(C, BB, Idx);
+    return false;
+  }
+  case Value::VK_ICmpInst:
+    return combineICmp(cast<ICmpInst>(I), BB, Idx);
+  case Value::VK_CallInst:
+    return combineCall(cast<CallInst>(I), BB, Idx);
+  case Value::VK_FreezeInst:
+    return combineFreeze(cast<FreezeInst>(I), BB, Idx);
+  default:
+    return false;
+  }
+}
+
+/// Seeded crash 58425: division on an "unlegalizable" width (65..127 bits)
+/// never reached the legalizer.
+bool LoweringPass::checkLegalizer(Instruction *I) {
+  if (!BugConfig::isEnabled(BugId::PR58425))
+    return false;
+  auto *B = dyn_cast<BinaryInst>(I);
+  if (!B || !BinaryInst::isDivRem(B->getBinOp()) ||
+      !B->getType()->isIntegerTy())
+    return false;
+  unsigned W = B->getType()->getIntegerBitWidth();
+  if (W > 32 && W < 64 && W % 8 != 0)
+    optimizerCrash(BugId::PR58425,
+                   "udiv of i" + std::to_string(W) +
+                       " did not reach the legalizer");
+  return false;
+}
+
+/// 55129: lshr (zext i1 %b to iN), C with C >= 1 is a zero-width bitfield
+/// extract and must emit 0. The buggy selection emitted the zext instead.
+bool LoweringPass::combineLShr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
+  unsigned W = B->getType()->getIntegerBitWidth();
+  const ConstantInt *Amt = matchConstInt(B->getRHS());
+  if (!Amt || Amt->isZero() || Amt->getValue().uge(APInt(W, W)))
+    return false;
+
+  if (auto *Z = dyn_cast<CastInst>(B->getLHS())) {
+    if (Z->getCastOp() == CastInst::ZExt &&
+        Z->getSrc()->getType()->isBoolTy() && !B->isExact()) {
+      if (BugConfig::isEnabled(BugId::PR55129)) {
+        replaceAndErase(B, Z); // buggy: keeps the value
+        return true;
+      }
+      replaceAndErase(B, intC(B->getType(), APInt::getZero(W)));
+      return true;
+    }
+  }
+  return false;
+}
+
+/// 55003: ashr (shl x, C), C is a sign-extend-in-register; folding it to
+/// plain x is only sound when the shl carries nsw. The buggy combine
+/// dropped the whole pair unconditionally.
+bool LoweringPass::combineAShr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
+  const ConstantInt *Amt = matchConstInt(B->getRHS());
+  auto *Shl = dyn_cast<BinaryInst>(B->getLHS());
+  if (!Amt || !Shl || Shl->getBinOp() != BinaryInst::Shl)
+    return false;
+  const ConstantInt *ShlAmt = matchConstInt(Shl->getRHS());
+  if (!ShlAmt || ShlAmt->getValue() != Amt->getValue())
+    return false;
+  unsigned W = B->getType()->getIntegerBitWidth();
+  if (Amt->getValue().uge(APInt(W, W)))
+    return false;
+  bool Sound = Shl->hasNSW() && !B->isExact();
+  if (Sound || BugConfig::isEnabled(BugId::PR55003)) {
+    replaceAndErase(B, Shl->getLHS());
+    return true;
+  }
+  return false;
+}
+
+/// 55284: and (or x, C1), C2 -> and x, C2 requires C1 & C2 == 0. The buggy
+/// GlobalISel combine tested C1 & C2 == C1 instead.
+bool LoweringPass::combineAnd(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
+  const ConstantInt *C2 = matchConstInt(B->getRHS());
+  auto *Or = dyn_cast<BinaryInst>(B->getLHS());
+  if (C2 && Or && Or->getBinOp() == BinaryInst::Or) {
+    if (const ConstantInt *C1 = matchConstInt(Or->getRHS())) {
+      APInt Shared = C1->getValue() & C2->getValue();
+      bool Sound = Shared.isZero();
+      bool BuggyCondition = Shared == C1->getValue(); // C1 subset of C2
+      if (Sound ||
+          (BugConfig::isEnabled(BugId::PR55284) && BuggyCondition)) {
+        auto *And =
+            new BinaryInst(BinaryInst::And, Or->getLHS(), B->getRHS());
+        And->setName(B->getName());
+        ins(BB, Idx, And);
+        replaceAndErase(B, And);
+        return true;
+      }
+    }
+  }
+
+  // 55833: and (lshr x, C1), (2^n - 1) is a bitfield extract; it lowers to
+  // lshr (shl x, W-n-C1), W-n. The seeded conflict between
+  // tryBitfieldExtractOp and isDef32 shows up at the C1+n == W-1 boundary,
+  // where the buggy selection shifted one bit short.
+  {
+    unsigned W = B->getType()->getIntegerBitWidth();
+    auto *Shr = dyn_cast<BinaryInst>(B->getLHS());
+    const ConstantInt *MaskC = matchConstInt(B->getRHS());
+    if (Shr && Shr->getBinOp() == BinaryInst::LShr && !Shr->isExact() &&
+        MaskC && !MaskC->isZero() && !MaskC->isAllOnes()) {
+      const ConstantInt *C1C = matchConstInt(Shr->getRHS());
+      APInt MaskPlus1 = MaskC->getValue() + APInt::getOne(W);
+      if (C1C && !C1C->isZero() && C1C->getValue().ult(APInt(W, W)) &&
+          MaskPlus1.isPowerOf2()) {
+        unsigned N = MaskPlus1.logBase2();
+        unsigned C1 = (unsigned)C1C->getValue().getZExtValue();
+        if (C1 + N < W) {
+          bool Buggy = BugConfig::isEnabled(BugId::PR55833) &&
+                       C1 + N == W - 1;
+          unsigned ShlAmt = W - N - C1 - (Buggy ? 1 : 0);
+          auto *Shl = new BinaryInst(BinaryInst::Shl, Shr->getLHS(),
+                                    intC(B->getType(), APInt(W, ShlAmt)));
+          ins(BB, Idx, Shl);
+          auto *NewShr = new BinaryInst(BinaryInst::LShr, Shl,
+                                        intC(B->getType(), APInt(W, W - N)));
+          NewShr->setName(B->getName());
+          ins(BB, BB->indexOf(B), NewShr);
+          replaceAndErase(B, NewShr);
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+/// 55201 + 58423: rotate matching. or (shl x, C), (lshr y, W-C) is
+/// fshl(x, y, C); a "disguised" rotate arrives with extra masks that must
+/// be verified before folding (55201). The CSE builder crash (58423) fires
+/// when the matched shifts have other uses ("reuse removed instructions").
+bool LoweringPass::combineOr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
+  unsigned W = B->getType()->getIntegerBitWidth();
+
+  // 55484: bswap half-word match. or (shl x, 8), (lshr x, 8) IS bswap on
+  // i16; the buggy MatchBSwapHWordLow also matched the same shift pair at
+  // wider types, where it only swaps the low half-word.
+  {
+    auto *ShlB = dyn_cast<BinaryInst>(B->getLHS());
+    auto *ShrB = dyn_cast<BinaryInst>(B->getRHS());
+    if (ShlB && ShrB && ShlB->getBinOp() == BinaryInst::Shl &&
+        ShrB->getBinOp() == BinaryInst::LShr && !ShlB->hasNUW() &&
+        !ShlB->hasNSW() && !ShrB->isExact() &&
+        ShlB->getLHS() == ShrB->getLHS() &&
+        matchSpecificInt(ShlB->getRHS(), 8) &&
+        matchSpecificInt(ShrB->getRHS(), 8) && W % 16 == 0) {
+      bool Sound = W == 16;
+      if (Sound || BugConfig::isEnabled(BugId::PR55484)) {
+        Function *BSwap =
+            M->getOrInsertIntrinsic(IntrinsicID::BSwap, B->getType());
+        auto *Call = new CallInst(BSwap, {ShlB->getLHS()}, B->getType());
+        Call->setName(B->getName());
+        ins(BB, Idx, Call);
+        replaceAndErase(B, Call);
+        return true;
+      }
+    }
+  }
+
+  auto matchShift = [&](Value *V, BinaryInst::BinOp Op, Value *&X,
+                        APInt &Amt, bool &Masked, APInt &Mask) -> bool {
+    Masked = false;
+    auto *Bin = dyn_cast<BinaryInst>(V);
+    if (!Bin)
+      return false;
+    if (Bin->getBinOp() == BinaryInst::And) {
+      const ConstantInt *MC = matchConstInt(Bin->getRHS());
+      auto *Inner = dyn_cast<BinaryInst>(Bin->getLHS());
+      if (!MC || !Inner)
+        return false;
+      Masked = true;
+      Mask = MC->getValue();
+      Bin = Inner;
+    }
+    if (Bin->getBinOp() != Op || Bin->hasNUW() || Bin->hasNSW() ||
+        Bin->isExact())
+      return false;
+    const ConstantInt *AC = matchConstInt(Bin->getRHS());
+    if (!AC || AC->getValue().uge(APInt(W, W)))
+      return false;
+    X = Bin->getLHS();
+    Amt = AC->getValue();
+    return true;
+  };
+
+  Value *L = nullptr, *R = nullptr;
+  APInt ShlAmt, LshrAmt, LMask = APInt::getZero(W), RMask = APInt::getZero(W);
+  bool LMasked, RMasked;
+  if (!matchShift(B->getLHS(), BinaryInst::Shl, L, ShlAmt, LMasked, LMask) ||
+      !matchShift(B->getRHS(), BinaryInst::LShr, R, LshrAmt, RMasked,
+                  RMask))
+    return false;
+  if (ShlAmt.isZero() || (ShlAmt + LshrAmt) != APInt(W, W))
+    return false;
+
+  // Mask validation (Table I bug 55201): a masked shift only forms a
+  // rotate when the mask keeps every bit the shift produces.
+  APInt NaturalL = APInt::getAllOnes(W).shl(ShlAmt);
+  APInt NaturalR = APInt::getAllOnes(W).lshr(LshrAmt);
+  bool MasksOk = (!LMasked || (LMask & NaturalL) == NaturalL) &&
+                 (!RMasked || (RMask & NaturalR) == NaturalR);
+  if (!MasksOk && !BugConfig::isEnabled(BugId::PR55201))
+    return false;
+
+  // Seeded crash 58423: the CSE-ing builder reused just-removed
+  // instructions when the shifts had additional users.
+  if (BugConfig::isEnabled(BugId::PR58423) &&
+      (B->getLHS()->getNumUses() > 1 || B->getRHS()->getNumUses() > 1))
+    optimizerCrash(BugId::PR58423,
+                   "CSEMIIRBuilder reused a removed instruction");
+
+  Function *Fshl = M->getOrInsertIntrinsic(IntrinsicID::Fshl, B->getType());
+  auto *Call = new CallInst(Fshl, {L, R, intC(B->getType(), ShlAmt)},
+                            B->getType());
+  Call->setName(B->getName());
+  ins(BB, Idx, Call);
+  replaceAndErase(B, Call);
+  return true;
+}
+
+/// 55287: x - (x/y)*y -> x % y. The buggy GlobalISel combine also matched
+/// (x/y)*z with z != y.
+bool LoweringPass::combineSub(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
+  auto *Mul = dyn_cast<BinaryInst>(B->getRHS());
+  if (!Mul || Mul->getBinOp() != BinaryInst::Mul || Mul->hasNUW() ||
+      Mul->hasNSW())
+    return false;
+  Value *X = B->getLHS();
+  for (unsigned OpIdx = 0; OpIdx != 2; ++OpIdx) {
+    auto *Div = dyn_cast<BinaryInst>(Mul->getOperand(OpIdx));
+    if (!Div || Div->getBinOp() != BinaryInst::UDiv || Div->isExact())
+      continue;
+    if (Div->getLHS() != X)
+      continue;
+    Value *Y = Div->getRHS();
+    Value *Other = Mul->getOperand(1 - OpIdx);
+    bool Sound = Other == Y;
+    if (Sound || BugConfig::isEnabled(BugId::PR55287)) {
+      auto *Rem = new BinaryInst(BinaryInst::URem, X, Y);
+      Rem->setName(B->getName());
+      ins(BB, Idx, Rem);
+      replaceAndErase(B, Rem);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// 55296: trunc (urem (zext x), C) -> urem x, trunc(C) requires C to fit
+/// the narrow type; the buggy promotion did not clear the promoted bits.
+bool LoweringPass::combineTrunc(CastInst *C, BasicBlock *BB, unsigned Idx) {
+  auto *Rem = dyn_cast<BinaryInst>(C->getSrc());
+  if (!Rem || Rem->getBinOp() != BinaryInst::URem ||
+      Rem->getNumOperands() != 2)
+    return false;
+  auto *Z = dyn_cast<CastInst>(Rem->getLHS());
+  const ConstantInt *Div = matchConstInt(Rem->getRHS());
+  if (!Z || Z->getCastOp() != CastInst::ZExt || !Div || Div->isZero())
+    return false;
+  unsigned NarrowW = C->getType()->getIntegerBitWidth();
+  if (Z->getSrc()->getType() != C->getType())
+    return false;
+  bool Fits = Div->getValue().getActiveBits() <= NarrowW &&
+              !Div->getValue().trunc(NarrowW).isZero();
+  if (!Fits && !BugConfig::isEnabled(BugId::PR55296))
+    return false;
+  if (!Fits && Div->getValue().trunc(NarrowW).isZero())
+    return false; // even the buggy combine cannot divide by zero
+  auto *NewRem = new BinaryInst(BinaryInst::URem, Z->getSrc(),
+                                intC(C->getType(),
+                                     Div->getValue().trunc(NarrowW)));
+  NewRem->setName(C->getName());
+  ins(BB, Idx, NewRem);
+  replaceAndErase(C, NewRem);
+  return true;
+}
+
+/// 58431: zext (trunc x) -> and x, lowmask. The buggy G_ZEXT selection
+/// forgot the mask and emitted x directly.
+bool LoweringPass::combineZExt(CastInst *C, BasicBlock *BB, unsigned Idx) {
+  auto *T = dyn_cast<CastInst>(C->getSrc());
+  if (!T || T->getCastOp() != CastInst::Trunc)
+    return false;
+  if (T->getSrc()->getType() != C->getType())
+    return false;
+  unsigned W = C->getType()->getIntegerBitWidth();
+  unsigned MidW = T->getType()->getIntegerBitWidth();
+  if (BugConfig::isEnabled(BugId::PR58431)) {
+    replaceAndErase(C, T->getSrc()); // buggy: no mask
+    return true;
+  }
+  auto *And = new BinaryInst(BinaryInst::And, T->getSrc(),
+                             intC(C->getType(),
+                                  APInt::getLowBitsSet(W, MidW)));
+  And->setName(C->getName());
+  ins(BB, Idx, And);
+  replaceAndErase(C, And);
+  return true;
+}
+
+/// 55342 / 55490 / 55627: promotion of narrow compares to 32 bits. The
+/// constant must be extended to match the operand's extension (zext for
+/// unsigned predicates and eq/ne, sext for signed). Three successive LLVM
+/// fixes each covered part of the predicate space; the seeds mirror that:
+/// 55342 breaks ugt/uge, 55490 breaks ult/ule, 55627 breaks eq/ne.
+bool LoweringPass::combineICmp(ICmpInst *C, BasicBlock *BB, unsigned Idx) {
+  if (!C->getLHS()->getType()->isIntegerTy())
+    return false;
+  unsigned W = C->getLHS()->getType()->getIntegerBitWidth();
+  if (W != 8 && W != 16)
+    return false; // promotion applies to sub-register widths
+  const ConstantInt *RC = matchConstInt(C->getRHS());
+  if (!RC || isa<Constant>(C->getLHS()))
+    return false;
+
+  Type *I32 = M->getTypes().getIntTy(32);
+  ICmpInst::Predicate P = C->getPredicate();
+  bool Signed = ICmpInst::isSigned(P);
+
+  bool BuggySext = false;
+  if (!Signed) {
+    switch (P) {
+    case ICmpInst::UGT:
+    case ICmpInst::UGE:
+      BuggySext = BugConfig::isEnabled(BugId::PR55342);
+      break;
+    case ICmpInst::ULT:
+    case ICmpInst::ULE:
+      BuggySext = BugConfig::isEnabled(BugId::PR55490);
+      break;
+    case ICmpInst::EQ:
+    case ICmpInst::NE:
+      BuggySext = BugConfig::isEnabled(BugId::PR55627);
+      break;
+    default:
+      break;
+    }
+  }
+
+  // The seeded variants only diverge on negative constants (sext != zext);
+  // keep the transform itself narrow so pristine tests are unaffected:
+  // only promote when the buggy behavior could matter or the compare is
+  // signed (always-sound promotion).
+  APInt CV = RC->getValue();
+  APInt Promoted = Signed || BuggySext ? CV.sext(32) : CV.zext(32);
+  auto *Ext = new CastInst(Signed ? CastInst::SExt : CastInst::ZExt,
+                           C->getLHS(), I32);
+  ins(BB, Idx, Ext);
+  auto *NewCmp = new ICmpInst(P, Ext, intC(I32, Promoted),
+                              M->getTypes().getIntTy(1));
+  NewCmp->setName(C->getName());
+  ins(BB, BB->indexOf(C), NewCmp);
+  replaceAndErase(C, NewCmp);
+  return true;
+}
+
+/// 55484 + 58109 + 55271 + 59757 live on calls and call-shaped patterns.
+bool LoweringPass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
+  Function *Callee = C->getCallee();
+
+  // Seeded crash 59757: TargetLibraryInfo held a wrong signature for
+  // printf; the analog trigger is a recognized libcall invoked with a null
+  // pointer constant where the format string belongs.
+  if (BugConfig::isEnabled(BugId::PR59757) && !Callee->isIntrinsic()) {
+    const std::string &N = Callee->getName();
+    if ((N == "printf" || N == "puts" || N == "memcpy") &&
+        C->getNumArgs() >= 1 && isa<ConstantNullPtr>(C->getArg(0)))
+      optimizerCrash(BugId::PR59757, "libcall signature mismatch for @" + N);
+  }
+
+  if (!Callee->isIntrinsic() || !C->getType()->isIntegerTy())
+    return false;
+  unsigned W = C->getType()->getIntegerBitWidth();
+  IntrinsicID ID = Callee->getIntrinsicID();
+
+  // 58109: usub.sat expansion. Correct: select(ult(x,y), 0, x-y).
+  // Buggy: masks with the DIFFERENCE's sign bit instead of the borrow.
+  if (ID == IntrinsicID::USubSat) {
+    Value *X = C->getArg(0), *Y = C->getArg(1);
+    auto *Sub = new BinaryInst(BinaryInst::Sub, X, Y);
+    ins(BB, Idx, Sub);
+    Instruction *Repl = nullptr;
+    if (BugConfig::isEnabled(BugId::PR58109)) {
+      auto *Sign = new BinaryInst(BinaryInst::AShr, Sub,
+                                  intC(C->getType(), APInt(W, W - 1)));
+      ins(BB, BB->indexOf(C), Sign);
+      auto *NotSign = new BinaryInst(BinaryInst::Xor, Sign,
+                                     intC(C->getType(),
+                                          APInt::getAllOnes(W)));
+      ins(BB, BB->indexOf(C), NotSign);
+      Repl = new BinaryInst(BinaryInst::And, Sub, NotSign);
+    } else {
+      auto *Borrow = new ICmpInst(ICmpInst::ULT, X, Y,
+                                  M->getTypes().getIntTy(1));
+      ins(BB, BB->indexOf(C), Borrow);
+      Repl = new SelectInst(Borrow, intC(C->getType(), APInt::getZero(W)),
+                            Sub);
+    }
+    Repl->setName(C->getName());
+    ins(BB, BB->indexOf(C), Repl);
+    replaceAndErase(C, Repl);
+    return true;
+  }
+
+  // 55271: abs expansion. Correct: select(slt(x,0), sub 0, x, x) with nsw
+  // ONLY when is_int_min_poison; the buggy expansion always adds nsw.
+  if (ID == IntrinsicID::Abs) {
+    Value *X = C->getArg(0);
+    const ConstantInt *Flag = matchConstInt(C->getArg(1));
+    if (!Flag)
+      return false;
+    bool IntMinPoison = !Flag->isZero();
+    auto *Neg = new BinaryInst(BinaryInst::Sub,
+                               intC(C->getType(), APInt::getZero(W)), X);
+    if (IntMinPoison || BugConfig::isEnabled(BugId::PR55271))
+      Neg->setNSW(true);
+    ins(BB, Idx, Neg);
+    auto *IsNeg = new ICmpInst(ICmpInst::SLT, X,
+                               intC(C->getType(), APInt::getZero(W)),
+                               M->getTypes().getIntTy(1));
+    ins(BB, BB->indexOf(C), IsNeg);
+    auto *Sel = new SelectInst(IsNeg, Neg, X);
+    Sel->setName(C->getName());
+    ins(BB, BB->indexOf(C), Sel);
+    replaceAndErase(C, Sel);
+    return true;
+  }
+
+  return false;
+}
+
+/// 58321: the backend dropped a freeze, miscompiling a frozen poison. The
+/// correct pass leaves freeze alone.
+bool LoweringPass::combineFreeze(FreezeInst *Fr, BasicBlock *BB,
+                                 unsigned Idx) {
+  if (!BugConfig::isEnabled(BugId::PR58321))
+    return false;
+  replaceAndErase(Fr, Fr->getSrc());
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> alive::createLoweringPass() {
+  return std::make_unique<LoweringPass>();
+}

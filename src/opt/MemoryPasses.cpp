@@ -1,0 +1,266 @@
+//===- opt/MemoryPasses.cpp - SROA, InferAlignment, MoveAutoInit -----------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory-related passes hosting three seeded Table I crash defects:
+///
+///   72035 (SROA): the AllocaSliceRewriter analog mishandles a gep slice
+///     with a nonzero index into a promotable alloca.
+///   64687 (AlignmentFromAssumptions / InferAlignment): alignment values
+///     were assumed to be powers of two; a non-power-of-two alignment
+///     (paper Listing 16 used align 123) trips the Log2 assertion.
+///   64661 (MoveAutoInit): sinking constant-initializing stores asserts
+///     there is a single initializing value; two different constants to
+///     the same alloca fire the "assertion is too strong".
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/BugInjection.h"
+#include "opt/OptUtils.h"
+#include "opt/Pass.h"
+
+using namespace alive;
+
+namespace {
+
+/// Returns the alloca directly behind \p Ptr, or null.
+AllocaInst *underlyingAlloca(Value *Ptr) {
+  return dyn_cast<AllocaInst>(Ptr);
+}
+
+//===----------------------------------------------------------------------===//
+// SROA (single-block scalar promotion)
+//===----------------------------------------------------------------------===//
+
+class SROAPass : public Pass {
+public:
+  std::string getName() const override { return "sroa"; }
+
+  bool runOnFunction(Function &F) override {
+    bool Changed = false;
+    if (F.getNumBlocks() != 1)
+      return false; // single-block promotion only (mem2reg-lite)
+    BasicBlock *BB = F.getEntryBlock();
+
+    // Collect promotable allocas: address never escapes (used only by
+    // full-width loads and stores-of-value in this block).
+    for (unsigned Idx = 0; Idx != BB->size(); ++Idx) {
+      auto *AI = dyn_cast<AllocaInst>(BB->getInst(Idx));
+      if (!AI || !AI->getAllocatedType()->isIntegerTy())
+        continue;
+
+      bool Promotable = true;
+      for (User *U : AI->users()) {
+        if (auto *L = dyn_cast<LoadInst>(U)) {
+          if (L->getType() != AI->getAllocatedType())
+            Promotable = false;
+        } else if (auto *S = dyn_cast<StoreInst>(U)) {
+          if (S->getPointer() != AI ||
+              S->getValueOperand()->getType() != AI->getAllocatedType())
+            Promotable = false;
+        } else if (auto *G = dyn_cast<GEPInst>(U)) {
+          // Seeded crash 72035: the slice rewriter mishandles a nonzero
+          // gep index into an otherwise promotable alloca.
+          const ConstantInt *GC = matchConstInt(G->getIndex());
+          if (BugConfig::isEnabled(BugId::PR72035) && GC && !GC->isZero())
+            optimizerCrash(BugId::PR72035,
+                           "AllocaSliceRewriter on out-of-slice gep index");
+          Promotable = false;
+        } else {
+          Promotable = false;
+        }
+      }
+      if (!Promotable)
+        continue;
+
+      // Forward stored values to subsequent loads in program order.
+      Value *Cur = nullptr; // null = uninitialized (undef)
+      bool LocalChanged = false;
+      std::vector<Instruction *> ToErase;
+      for (unsigned K = 0; K != BB->size(); ++K) {
+        Instruction *I = BB->getInst(K);
+        if (auto *S = dyn_cast<StoreInst>(I)) {
+          if (S->getPointer() == AI) {
+            Cur = S->getValueOperand();
+            ToErase.push_back(S);
+          }
+        } else if (auto *L = dyn_cast<LoadInst>(I)) {
+          if (L->getPointer() == AI) {
+            Value *Repl =
+                Cur ? Cur
+                    : (Value *)F.getParent()->getConstants().getUndef(
+                          L->getType());
+            L->replaceAllUsesWith(Repl);
+            ToErase.push_back(L);
+            LocalChanged = true;
+          }
+        }
+      }
+      if (!LocalChanged && ToErase.empty())
+        continue;
+      for (Instruction *I : ToErase)
+        BB->erase(I);
+      if (!AI->hasUses()) {
+        BB->erase(AI);
+        Idx = (unsigned)-1; // restart
+      }
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// InferAlignment (AlignmentFromAssumptions analog)
+//===----------------------------------------------------------------------===//
+
+class InferAlignmentPass : public Pass {
+public:
+  std::string getName() const override { return "infer-alignment"; }
+
+  bool runOnFunction(Function &F) override {
+    bool Changed = false;
+    auto log2OfAlign = [](unsigned Align, bool &Bad) {
+      Bad = (Align & (Align - 1)) != 0;
+      unsigned L = 0;
+      while ((1u << L) < Align)
+        ++L;
+      return L;
+    };
+
+    for (BasicBlock *BB : F.blocks()) {
+      for (Instruction *I : BB->insts()) {
+        unsigned Align = 0;
+        if (auto *L = dyn_cast<LoadInst>(I))
+          Align = L->getAlign();
+        else if (auto *S = dyn_cast<StoreInst>(I))
+          Align = S->getAlign();
+        else
+          continue;
+        if (Align <= 1)
+          continue;
+
+        // Seeded crash 64687: "alignments that are not powers of two are
+        // allowed in certain situations. However, an optimization pass
+        // incorrectly assumed that all alignments are powers-of-two."
+        bool Bad = false;
+        unsigned L2 = log2OfAlign(Align, Bad);
+        if (Bad) {
+          if (BugConfig::isEnabled(BugId::PR64687))
+            optimizerCrash(BugId::PR64687,
+                           "Log2 of non-power-of-two alignment " +
+                               std::to_string(Align));
+          continue; // correct behavior: leave unusual alignments alone
+        }
+        (void)L2;
+
+        // Raise the access alignment to the alloca's known alignment (a
+        // sound strengthening only when it divides the current address —
+        // for direct alloca accesses it does).
+        Value *Ptr = isa<LoadInst>(I) ? cast<LoadInst>(I)->getPointer()
+                                      : cast<StoreInst>(I)->getPointer();
+        if (AllocaInst *AI = underlyingAlloca(Ptr)) {
+          unsigned AllocAlign = AI->getAlign();
+          if ((AllocAlign & (AllocAlign - 1)) == 0 && AllocAlign > Align) {
+            if (auto *LI = dyn_cast<LoadInst>(I))
+              LI->setAlign(AllocAlign);
+            else
+              cast<StoreInst>(I)->setAlign(AllocAlign);
+            Changed = true;
+          }
+        }
+      }
+    }
+    return Changed;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// MoveAutoInit
+//===----------------------------------------------------------------------===//
+
+class MoveAutoInitPass : public Pass {
+public:
+  std::string getName() const override { return "move-auto-init"; }
+
+  bool runOnFunction(Function &F) override {
+    // Sinks a constant-initializing store of an alloca down to just before
+    // the first other use of that alloca (the MoveAutoInit idea).
+    bool Changed = false;
+    for (BasicBlock *BB : F.blocks()) {
+      for (unsigned Idx = 0; Idx != BB->size(); ++Idx) {
+        auto *AI = dyn_cast<AllocaInst>(BB->getInst(Idx));
+        if (!AI)
+          continue;
+
+        // Find constant-initializing stores to this alloca in this block.
+        std::vector<StoreInst *> InitStores;
+        for (User *U : AI->users()) {
+          auto *S = dyn_cast<StoreInst>(U);
+          if (S && S->getPointer() == AI && S->getParent() == BB &&
+              isa<ConstantInt>(S->getValueOperand()))
+            InitStores.push_back(S);
+        }
+        if (InitStores.empty())
+          continue;
+
+        // Seeded crash 64661: "the assertion is too strong" — the pass
+        // asserted a single initializing value; two stores of DIFFERENT
+        // constants trip it.
+        if (BugConfig::isEnabled(BugId::PR64661) && InitStores.size() >= 2) {
+          const ConstantInt *V0 =
+              cast<ConstantInt>(InitStores[0]->getValueOperand());
+          for (StoreInst *S : InitStores)
+            if (cast<ConstantInt>(S->getValueOperand())->getValue() !=
+                V0->getValue())
+              optimizerCrash(BugId::PR64661,
+                             "multiple distinct auto-init values");
+        }
+        if (InitStores.size() != 1)
+          continue;
+        StoreInst *Init = InitStores.front();
+        unsigned InitIdx = BB->indexOf(Init);
+
+        // First use of the alloca after the store (same block only).
+        unsigned FirstUse = BB->size();
+        for (User *U : AI->users()) {
+          auto *UI = dyn_cast<Instruction>((Value *)U);
+          if (!UI || UI == Init || UI->getParent() != BB)
+            continue;
+          unsigned UIdx = BB->indexOf(UI);
+          if (UIdx > InitIdx)
+            FirstUse = std::min(FirstUse, UIdx);
+        }
+        if (FirstUse == BB->size() || FirstUse <= InitIdx + 1)
+          continue;
+        // No intervening instruction may write memory or observe it.
+        bool SafeToSink = true;
+        for (unsigned K = InitIdx + 1; K != FirstUse; ++K)
+          if (BB->getInst(K)->mayAccessMemory())
+            SafeToSink = false;
+        if (!SafeToSink)
+          continue;
+
+        auto Owned = BB->take(Init);
+        BB->insert(FirstUse - 1, std::move(Owned));
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> alive::createSROAPass() {
+  return std::make_unique<SROAPass>();
+}
+std::unique_ptr<Pass> alive::createInferAlignmentPass() {
+  return std::make_unique<InferAlignmentPass>();
+}
+std::unique_ptr<Pass> alive::createMoveAutoInitPass() {
+  return std::make_unique<MoveAutoInitPass>();
+}

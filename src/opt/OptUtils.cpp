@@ -1,0 +1,346 @@
+//===- opt/OptUtils.cpp - Shared transformation utilities ------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/OptUtils.h"
+
+#include "ir/BasicBlock.h"
+#include "opt/BugInjection.h"
+
+using namespace alive;
+
+Constant *alive::foldBinaryConst(BinaryInst::BinOp Op, bool NUW, bool NSW,
+                                 bool Exact, const APInt &L, const APInt &R,
+                                 Module &M) {
+  unsigned W = L.getBitWidth();
+  ConstantPoolCtx &CP = M.getConstants();
+  IntegerType *Ty = M.getTypes().getIntTy(W);
+  auto poison = [&]() -> Constant * { return CP.getPoison(Ty); };
+  auto val = [&](const APInt &V) -> Constant * { return CP.getInt(Ty, V); };
+
+  bool Ov = false;
+  switch (Op) {
+  case BinaryInst::Add: {
+    APInt Res = L + R;
+    if (NUW) {
+      L.uadd_ov(R, Ov);
+      if (Ov)
+        return poison();
+    }
+    if (NSW) {
+      L.sadd_ov(R, Ov);
+      if (Ov)
+        return poison();
+    }
+    return val(Res);
+  }
+  case BinaryInst::Sub: {
+    APInt Res = L - R;
+    if (NUW) {
+      L.usub_ov(R, Ov);
+      if (Ov)
+        return poison();
+    }
+    if (NSW) {
+      L.ssub_ov(R, Ov);
+      if (Ov)
+        return poison();
+    }
+    return val(Res);
+  }
+  case BinaryInst::Mul: {
+    APInt Res = L * R;
+    if (NUW) {
+      L.umul_ov(R, Ov);
+      if (Ov)
+        return poison();
+    }
+    if (NSW) {
+      L.smul_ov(R, Ov);
+      if (Ov)
+        return poison();
+    }
+    return val(Res);
+  }
+  case BinaryInst::UDiv:
+    if (R.isZero())
+      return nullptr; // UB: never fold
+    if (Exact && !L.urem(R).isZero())
+      return poison();
+    return val(L.udiv(R));
+  case BinaryInst::SDiv:
+    if (R.isZero() || (L.isSignedMinValue() && R.isAllOnes()))
+      return nullptr; // UB
+    if (Exact && !L.srem(R).isZero())
+      return poison();
+    return val(L.sdiv(R));
+  case BinaryInst::URem:
+    if (R.isZero())
+      return nullptr;
+    return val(L.urem(R));
+  case BinaryInst::SRem:
+    if (R.isZero() || (L.isSignedMinValue() && R.isAllOnes()))
+      return nullptr;
+    return val(L.srem(R));
+  case BinaryInst::Shl: {
+    if (R.uge(APInt(W, W)))
+      return poison();
+    APInt Res = L.shl(R);
+    if (NUW) {
+      L.ushl_ov(R, Ov);
+      if (Ov)
+        return poison();
+    }
+    if (NSW) {
+      L.sshl_ov(R, Ov);
+      if (Ov)
+        return poison();
+    }
+    return val(Res);
+  }
+  case BinaryInst::LShr: {
+    if (R.uge(APInt(W, W)))
+      return poison();
+    APInt Res = L.lshr(R);
+    if (Exact && Res.shl(R) != L)
+      return poison();
+    return val(Res);
+  }
+  case BinaryInst::AShr: {
+    if (R.uge(APInt(W, W)))
+      return poison();
+    APInt Res = L.ashr(R);
+    if (Exact && Res.shl(R) != L)
+      return poison();
+    return val(Res);
+  }
+  case BinaryInst::And:
+    return val(L & R);
+  case BinaryInst::Or:
+    return val(L | R);
+  case BinaryInst::Xor:
+    return val(L ^ R);
+  case BinaryInst::NumBinOps:
+    break;
+  }
+  assert(false && "invalid binop");
+  return nullptr;
+}
+
+Constant *alive::tryConstantFold(const Instruction *I, Module &M) {
+  ConstantPoolCtx &CP = M.getConstants();
+
+  auto isPoisonOp = [](const Value *V) { return isa<ConstantPoison>(V); };
+  // Undef is modeled as zero throughout the toolchain (see DESIGN.md).
+  auto asInt = [&](const Value *V) -> const ConstantInt * {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return CI;
+    if (isa<ConstantUndef>(V) && V->getType()->isIntegerTy())
+      return CP.getInt(cast<IntegerType>((Type *)V->getType()),
+                       APInt::getZero(V->getType()->getIntegerBitWidth()));
+    return nullptr;
+  };
+
+  switch (I->getKind()) {
+  case Value::VK_BinaryInst: {
+    const auto *B = cast<BinaryInst>(I);
+    if (!B->getType()->isIntegerTy())
+      return nullptr; // vector folds are handled elementwise elsewhere
+    // Poison divisor is UB for the division family: never fold.
+    if (BinaryInst::isDivRem(B->getBinOp()) && isPoisonOp(B->getRHS()))
+      return nullptr;
+    if (isPoisonOp(B->getLHS()) || isPoisonOp(B->getRHS()))
+      return CP.getPoison(B->getType());
+    const ConstantInt *L = asInt(B->getLHS());
+    const ConstantInt *R = asInt(B->getRHS());
+    if (!L || !R)
+      return nullptr;
+    return foldBinaryConst(B->getBinOp(), B->hasNUW(), B->hasNSW(),
+                           B->isExact(), L->getValue(), R->getValue(), M);
+  }
+  case Value::VK_ICmpInst: {
+    const auto *C = cast<ICmpInst>(I);
+    if (isPoisonOp(C->getLHS()) || isPoisonOp(C->getRHS()))
+      return CP.getPoison(C->getType());
+    const ConstantInt *L = asInt(C->getLHS());
+    const ConstantInt *R = asInt(C->getRHS());
+    if (!L || !R)
+      return nullptr;
+    bool V = ICmpInst::evaluate(C->getPredicate(), L->getValue(),
+                                R->getValue());
+    return CP.getBool(M.getTypes(), V);
+  }
+  case Value::VK_SelectInst: {
+    const auto *S = cast<SelectInst>(I);
+    if (isPoisonOp(S->getCondition()))
+      return CP.getPoison(S->getType());
+    const ConstantInt *C = asInt(S->getCondition());
+    if (!C)
+      return nullptr;
+    Value *Arm = C->isZero() ? S->getFalseValue() : S->getTrueValue();
+    return dyn_cast<Constant>(Arm) ? cast<Constant>(Arm) : nullptr;
+  }
+  case Value::VK_CastInst: {
+    const auto *C = cast<CastInst>(I);
+    if (isPoisonOp(C->getSrc()))
+      return CP.getPoison(C->getType());
+    const ConstantInt *S = asInt(C->getSrc());
+    if (!S)
+      return nullptr;
+    unsigned W = C->getType()->getIntegerBitWidth();
+    APInt V = S->getValue();
+    switch (C->getCastOp()) {
+    case CastInst::Trunc:
+      V = V.trunc(W);
+      break;
+    case CastInst::ZExt:
+      V = V.zext(W);
+      break;
+    case CastInst::SExt:
+      V = V.sext(W);
+      break;
+    }
+    return CP.getInt(M.getTypes().getIntTy(W), V);
+  }
+  case Value::VK_FreezeInst: {
+    const auto *F = cast<FreezeInst>(I);
+    if (!F->getType()->isIntegerTy())
+      return nullptr;
+    unsigned W = F->getType()->getIntegerBitWidth();
+    // freeze(poison) and freeze(undef) resolve to zero (system-wide policy).
+    if (isPoisonOp(F->getSrc()) || isa<ConstantUndef>(F->getSrc()))
+      return CP.getInt(M.getTypes().getIntTy(W), APInt::getZero(W));
+    if (const auto *CI = dyn_cast<ConstantInt>(F->getSrc()))
+      return const_cast<ConstantInt *>(CI);
+    return nullptr;
+  }
+  case Value::VK_CallInst: {
+    const auto *C = cast<CallInst>(I);
+    const Function *Callee = C->getCallee();
+    if (!Callee->isIntrinsic() || !intrinsicIsPure(Callee->getIntrinsicID()))
+      return nullptr;
+    if (!C->getType()->isIntegerTy())
+      return nullptr;
+    IntrinsicID ID = Callee->getIntrinsicID();
+
+    // Seeded crash 56945 (ConstantFolding): the original code dyn_cast'ed
+    // an operand to ConstantInt without considering a poison input.
+    for (unsigned K = 0; K != C->getNumArgs(); ++K)
+      if (isPoisonOp(C->getArg(K))) {
+        if (BugConfig::isEnabled(BugId::PR56945))
+          optimizerCrash(BugId::PR56945,
+                         "dyn_cast<ConstantInt> on poison operand while "
+                         "folding " + Callee->getName());
+        return CP.getPoison(C->getType());
+      }
+
+    std::vector<const ConstantInt *> Args;
+    for (unsigned K = 0; K != C->getNumArgs(); ++K) {
+      const ConstantInt *A = asInt(C->getArg(K));
+      if (!A)
+        return nullptr;
+      Args.push_back(A);
+    }
+    unsigned W = C->getType()->getIntegerBitWidth();
+    IntegerType *Ty = M.getTypes().getIntTy(W);
+    const APInt &X = Args[0]->getValue();
+    switch (ID) {
+    case IntrinsicID::SMin:
+      return CP.getInt(Ty, X.smin(Args[1]->getValue()));
+    case IntrinsicID::SMax:
+      return CP.getInt(Ty, X.smax(Args[1]->getValue()));
+    case IntrinsicID::UMin:
+      return CP.getInt(Ty, X.umin(Args[1]->getValue()));
+    case IntrinsicID::UMax:
+      return CP.getInt(Ty, X.umax(Args[1]->getValue()));
+    case IntrinsicID::Abs:
+      if (X.isSignedMinValue() && !Args[1]->isZero())
+        return CP.getPoison(Ty);
+      return CP.getInt(Ty, X.abs());
+    case IntrinsicID::BSwap:
+      return CP.getInt(Ty, X.byteSwap());
+    case IntrinsicID::CtPop:
+      return CP.getInt(Ty, APInt(W, X.popcount()));
+    case IntrinsicID::Ctlz:
+    case IntrinsicID::Cttz:
+      if (X.isZero() && !Args[1]->isZero()) {
+        // Seeded crash 56981 (ConstantFolding): the assertion rejecting the
+        // zero input was too strong — it fired even for the poison-
+        // returning configuration instead of folding to poison.
+        if (BugConfig::isEnabled(BugId::PR56981))
+          optimizerCrash(BugId::PR56981,
+                         "assertion X != 0 while folding count-zeros");
+        return CP.getPoison(Ty);
+      }
+      return CP.getInt(Ty, APInt(W, ID == IntrinsicID::Ctlz
+                                        ? X.countLeadingZeros()
+                                        : X.countTrailingZeros()));
+    case IntrinsicID::UAddSat:
+      return CP.getInt(Ty, X.uadd_sat(Args[1]->getValue()));
+    case IntrinsicID::USubSat:
+      return CP.getInt(Ty, X.usub_sat(Args[1]->getValue()));
+    case IntrinsicID::SAddSat:
+      return CP.getInt(Ty, X.sadd_sat(Args[1]->getValue()));
+    case IntrinsicID::SSubSat:
+      return CP.getInt(Ty, X.ssub_sat(Args[1]->getValue()));
+    case IntrinsicID::Fshl:
+    case IntrinsicID::Fshr: {
+      unsigned S =
+          (unsigned)Args[2]->getValue().urem(APInt(W, W)).getZExtValue();
+      const APInt &Y = Args[1]->getValue();
+      APInt R = ID == IntrinsicID::Fshl
+                    ? (S == 0 ? X : (X.shl(S) | Y.lshr(W - S)))
+                    : (S == 0 ? Y : (X.shl(W - S) | Y.lshr(S)));
+      return CP.getInt(Ty, R);
+    }
+    default:
+      return nullptr;
+    }
+  }
+  default:
+    return nullptr;
+  }
+}
+
+void alive::replaceAndErase(Instruction *I, Value *V) {
+  assert(I->getParent() && "instruction not in a block");
+  I->replaceAllUsesWith(V);
+  I->getParent()->erase(I);
+}
+
+bool alive::removeDeadInstructions(Function &F) {
+  bool Changed = false;
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    for (BasicBlock *BB : F.blocks()) {
+      for (unsigned I = BB->size(); I-- > 0;) {
+        Instruction *Inst = BB->getInst(I);
+        if (Inst->isTerminator() || Inst->hasUses())
+          continue;
+        if (Inst->mayHaveSideEffects())
+          continue;
+        if (isa<AllocaInst>(Inst) || isa<LoadInst>(Inst) ||
+            Inst->isPure() || isa<PhiNode>(Inst)) {
+          BB->erase(Inst);
+          LocalChange = Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+bool alive::matchSpecificInt(const Value *V, uint64_t Val) {
+  const auto *CI = dyn_cast<ConstantInt>(V);
+  return CI && CI->getValue() ==
+                   APInt(CI->getValue().getBitWidth(), Val);
+}
+
+ConstantInt *alive::mkIntLike(const Value *Like, const APInt &V, Module &M) {
+  auto *Ty = cast<IntegerType>((Type *)Like->getType());
+  assert(Ty->getBitWidth() == V.getBitWidth() && "width mismatch");
+  return M.getConstants().getInt(Ty, V);
+}

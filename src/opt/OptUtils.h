@@ -1,0 +1,52 @@
+//===- opt/OptUtils.h - Shared transformation utilities --------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the optimization passes: single-instruction constant
+/// folding (poison-aware), safe replace-and-erase, and operand matchers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPT_OPTUTILS_H
+#define OPT_OPTUTILS_H
+
+#include "ir/Module.h"
+
+namespace alive {
+
+/// Attempts to fold \p I to a constant (all operands constant). Honors
+/// poison semantics: a poison-producing flag violation folds to poison; a
+/// UB-producing operation (division by zero) is never folded. \returns null
+/// when not foldable.
+Constant *tryConstantFold(const Instruction *I, Module &M);
+
+/// Folds a binary operator over constant scalars. \returns null when the
+/// operation would be UB (caller must not fold).
+Constant *foldBinaryConst(BinaryInst::BinOp Op, bool NUW, bool NSW,
+                          bool Exact, const APInt &L, const APInt &R,
+                          Module &M);
+
+/// Replaces all uses of \p I with \p V and erases \p I from its block.
+void replaceAndErase(Instruction *I, Value *V);
+
+/// Removes unused side-effect-free instructions (one sweep, iterated to a
+/// local fixed point). \returns true if anything was removed.
+bool removeDeadInstructions(Function &F);
+
+/// Matches a constant integer (scalar only).
+inline const ConstantInt *matchConstInt(const Value *V) {
+  return dyn_cast<ConstantInt>(V);
+}
+
+/// True if \p V is the given scalar constant value.
+bool matchSpecificInt(const Value *V, uint64_t Val);
+
+/// Creates an integer constant with the type of \p Like.
+ConstantInt *mkIntLike(const Value *Like, const APInt &V, Module &M);
+
+} // namespace alive
+
+#endif // OPT_OPTUTILS_H

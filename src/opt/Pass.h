@@ -1,0 +1,83 @@
+//===- opt/Pass.h - Pass framework -----------------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizer's pass framework: function passes, a pass manager with
+/// fixed-point iteration, and a registry that resolves "-passes=..." names
+/// and the -O1/-O2 pipelines (paper §III-C: "a sequence of built-in passes
+/// ... or a canned sequence of passes such as -O1 or -O3").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPT_PASS_H
+#define OPT_PASS_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+/// A function transformation pass.
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// The pass's registry name ("instcombine", "gvn", ...).
+  virtual std::string getName() const = 0;
+
+  /// Transforms \p F. \returns true when the function changed.
+  virtual bool runOnFunction(Function &F) = 0;
+};
+
+/// Runs a pipeline of passes over every definition in a module.
+class PassManager {
+public:
+  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+  unsigned size() const { return (unsigned)Passes.size(); }
+
+  /// Runs every pass once, in order, on every function definition.
+  /// \returns true when anything changed.
+  bool run(Module &M);
+
+  /// Runs the pipeline repeatedly until a fixed point (or \p MaxIter).
+  bool runToFixpoint(Module &M, unsigned MaxIter = 4);
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+/// Creates a pass by registry name; null for unknown names.
+std::unique_ptr<Pass> createPassByName(const std::string &Name);
+
+/// All registered pass names.
+std::vector<std::string> allPassNames();
+
+/// Parses a pipeline description: comma-separated pass names, or the
+/// pseudo-names "O1"/"O2" (also accepted with a leading '-').
+/// \returns false and fills \p Error on unknown names.
+bool buildPipeline(const std::string &Desc, PassManager &PM,
+                   std::string &Error);
+
+// Factories for the individual passes.
+std::unique_ptr<Pass> createInstSimplifyPass();
+std::unique_ptr<Pass> createInstCombinePass();
+std::unique_ptr<Pass> createConstantFoldPass();
+std::unique_ptr<Pass> createDCEPass();
+std::unique_ptr<Pass> createGVNPass();
+std::unique_ptr<Pass> createSimplifyCFGPass();
+std::unique_ptr<Pass> createReassociatePass();
+std::unique_ptr<Pass> createSROAPass();
+std::unique_ptr<Pass> createVectorCombinePass();
+std::unique_ptr<Pass> createInferAlignmentPass();
+std::unique_ptr<Pass> createMoveAutoInitPass();
+std::unique_ptr<Pass> createLoweringPass();
+
+} // namespace alive
+
+#endif // OPT_PASS_H

@@ -1,0 +1,106 @@
+//===- opt/PassManager.cpp - Pass manager and registry ---------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include <functional>
+#include <map>
+#include <sstream>
+
+using namespace alive;
+
+bool PassManager::run(Module &M) {
+  bool Changed = false;
+  for (auto &P : Passes)
+    for (Function *F : M.functions())
+      if (!F->isDeclaration())
+        Changed |= P->runOnFunction(*F);
+  return Changed;
+}
+
+bool PassManager::runToFixpoint(Module &M, unsigned MaxIter) {
+  bool Changed = false;
+  for (unsigned I = 0; I != MaxIter; ++I) {
+    if (!run(M))
+      break;
+    Changed = true;
+  }
+  return Changed;
+}
+
+namespace {
+
+using Factory = std::function<std::unique_ptr<Pass>()>;
+
+const std::map<std::string, Factory> &registry() {
+  static const std::map<std::string, Factory> Registry = {
+      {"instsimplify", createInstSimplifyPass},
+      {"instcombine", createInstCombinePass},
+      {"constfold", createConstantFoldPass},
+      {"dce", createDCEPass},
+      {"gvn", createGVNPass},
+      {"simplifycfg", createSimplifyCFGPass},
+      {"reassociate", createReassociatePass},
+      {"sroa", createSROAPass},
+      {"vector-combine", createVectorCombinePass},
+      {"infer-alignment", createInferAlignmentPass},
+      {"move-auto-init", createMoveAutoInitPass},
+      {"lowering", createLoweringPass},
+  };
+  return Registry;
+}
+
+/// Pass names of the canned pipelines.
+std::vector<std::string> pipelineNames(const std::string &Level) {
+  if (Level == "O1")
+    return {"instsimplify", "constfold", "instcombine", "dce", "simplifycfg"};
+  // O2: the full middle-end plus the ISel-style lowering combines that host
+  // the backend bug seeds (the campaign's analog of also testing the
+  // AArch64 backend).
+  return {"sroa",        "instsimplify",  "constfold",
+          "instcombine", "reassociate",   "gvn",
+          "dce",         "simplifycfg",   "vector-combine",
+          "infer-alignment", "move-auto-init", "lowering"};
+}
+
+} // namespace
+
+std::unique_ptr<Pass> alive::createPassByName(const std::string &Name) {
+  auto It = registry().find(Name);
+  return It == registry().end() ? nullptr : It->second();
+}
+
+std::vector<std::string> alive::allPassNames() {
+  std::vector<std::string> Names;
+  for (const auto &[Name, _] : registry())
+    Names.push_back(Name);
+  return Names;
+}
+
+bool alive::buildPipeline(const std::string &Desc, PassManager &PM,
+                          std::string &Error) {
+  std::stringstream SS(Desc);
+  std::string Item;
+  while (std::getline(SS, Item, ',')) {
+    if (Item.empty())
+      continue;
+    if (Item[0] == '-')
+      Item = Item.substr(1);
+    if (Item == "O1" || Item == "O2" || Item == "O3") {
+      for (const std::string &Name :
+           pipelineNames(Item == "O1" ? "O1" : "O2"))
+        PM.add(createPassByName(Name));
+      continue;
+    }
+    std::unique_ptr<Pass> P = createPassByName(Item);
+    if (!P) {
+      Error = "unknown pass '" + Item + "'";
+      return false;
+    }
+    PM.add(std::move(P));
+  }
+  return true;
+}

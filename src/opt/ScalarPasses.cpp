@@ -1,0 +1,542 @@
+//===- opt/ScalarPasses.cpp - InstSimplify, ConstantFold, DCE, etc ---------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simpler scalar passes: InstSimplify (fold to existing values),
+/// ConstantFold, DCE, Reassociate, and SimplifyCFG. InstSimplify hosts the
+/// seeded crash 56968 (poison-shift detection had an uncovered condition).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+#include "opt/BugInjection.h"
+#include "opt/OptUtils.h"
+#include "opt/Pass.h"
+
+#include <set>
+
+using namespace alive;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// InstSimplify
+//===----------------------------------------------------------------------===//
+
+/// Simplifies \p I to an existing value, or null.
+Value *simplifyInstruction(Instruction *I, Module &M) {
+  ConstantPoolCtx &CP = M.getConstants();
+
+  if (auto *B = dyn_cast<BinaryInst>(I)) {
+    if (!B->getType()->isIntegerTy())
+      return nullptr;
+    Value *L = B->getLHS(), *R = B->getRHS();
+    unsigned W = B->getType()->getIntegerBitWidth();
+    const ConstantInt *RC = matchConstInt(R);
+    const ConstantInt *LC = matchConstInt(L);
+
+    switch (B->getBinOp()) {
+    case BinaryInst::Add:
+      if (RC && RC->isZero())
+        return L;
+      if (LC && LC->isZero())
+        return R;
+      break;
+    case BinaryInst::Sub:
+      if (RC && RC->isZero())
+        return L;
+      if (L == R && !B->hasNUW() && !B->hasNSW())
+        return mkIntLike(B, APInt::getZero(W), M);
+      break;
+    case BinaryInst::Mul:
+      if (RC && RC->isOne())
+        return L;
+      if (LC && LC->isOne())
+        return R;
+      if ((RC && RC->isZero()) || (LC && LC->isZero()))
+        return mkIntLike(B, APInt::getZero(W), M);
+      break;
+    case BinaryInst::UDiv:
+    case BinaryInst::SDiv:
+      if (RC && RC->isOne())
+        return L;
+      // x / x == 1: refines away the x==0 UB, which is legal.
+      if (L == R)
+        return mkIntLike(B, APInt::getOne(W), M);
+      break;
+    case BinaryInst::URem:
+    case BinaryInst::SRem:
+      if (RC && RC->isOne())
+        return mkIntLike(B, APInt::getZero(W), M);
+      if (L == R)
+        return mkIntLike(B, APInt::getZero(W), M);
+      break;
+    case BinaryInst::Shl:
+    case BinaryInst::LShr:
+    case BinaryInst::AShr: {
+      if (RC && RC->isZero())
+        return L;
+      if (RC) {
+        const APInt &Amt = RC->getValue();
+        // Oversized constant shift amounts produce poison. The original
+        // check tested Amt > W; Amt == W was the uncovered condition of
+        // seeded crash 56968.
+        if (Amt == APInt(W, W)) {
+          if (BugConfig::isEnabled(BugId::PR56968))
+            optimizerCrash(BugId::PR56968,
+                           "shift amount equals bit width in poison-shift "
+                           "detection");
+          return CP.getPoison(B->getType());
+        }
+        if (Amt.ugt(APInt(W, W)))
+          return CP.getPoison(B->getType());
+      }
+      if (LC && LC->isZero() && B->getBinOp() != BinaryInst::Shl)
+        return mkIntLike(B, APInt::getZero(W), M);
+      break;
+    }
+    case BinaryInst::And:
+      if (L == R)
+        return L;
+      if (RC && RC->isZero())
+        return mkIntLike(B, APInt::getZero(W), M);
+      if (RC && RC->isAllOnes())
+        return L;
+      if (LC && LC->isZero())
+        return mkIntLike(B, APInt::getZero(W), M);
+      if (LC && LC->isAllOnes())
+        return R;
+      break;
+    case BinaryInst::Or:
+      if (L == R)
+        return L;
+      if (RC && RC->isZero())
+        return L;
+      if (RC && RC->isAllOnes())
+        return mkIntLike(B, APInt::getAllOnes(W), M);
+      if (LC && LC->isZero())
+        return R;
+      if (LC && LC->isAllOnes())
+        return mkIntLike(B, APInt::getAllOnes(W), M);
+      break;
+    case BinaryInst::Xor:
+      if (L == R)
+        return mkIntLike(B, APInt::getZero(W), M);
+      if (RC && RC->isZero())
+        return L;
+      if (LC && LC->isZero())
+        return R;
+      break;
+    case BinaryInst::NumBinOps:
+      break;
+    }
+    return nullptr;
+  }
+
+  if (auto *C = dyn_cast<ICmpInst>(I)) {
+    Value *L = C->getLHS(), *R = C->getRHS();
+    TypeContext &TC = M.getTypes();
+    // Identical operands: the predicate decides (refines away poison).
+    if (L == R) {
+      switch (C->getPredicate()) {
+      case ICmpInst::EQ:
+      case ICmpInst::ULE:
+      case ICmpInst::UGE:
+      case ICmpInst::SLE:
+      case ICmpInst::SGE:
+        return CP.getBool(TC, true);
+      default:
+        return CP.getBool(TC, false);
+      }
+    }
+    if (!L->getType()->isIntegerTy())
+      return nullptr;
+    unsigned W = L->getType()->getIntegerBitWidth();
+    const ConstantInt *RC = matchConstInt(R);
+    if (RC) {
+      const APInt &V = RC->getValue();
+      switch (C->getPredicate()) {
+      case ICmpInst::ULT:
+        if (V.isZero())
+          return CP.getBool(TC, false);
+        break;
+      case ICmpInst::UGE:
+        if (V.isZero())
+          return CP.getBool(TC, true);
+        break;
+      case ICmpInst::UGT:
+        if (V.isAllOnes())
+          return CP.getBool(TC, false);
+        break;
+      case ICmpInst::ULE:
+        if (V.isAllOnes())
+          return CP.getBool(TC, true);
+        break;
+      case ICmpInst::SLT:
+        if (V.isSignedMinValue())
+          return CP.getBool(TC, false);
+        break;
+      case ICmpInst::SGE:
+        if (V.isSignedMinValue())
+          return CP.getBool(TC, true);
+        break;
+      case ICmpInst::SGT:
+        if (V.isSignedMaxValue())
+          return CP.getBool(TC, false);
+        break;
+      case ICmpInst::SLE:
+        if (V.isSignedMaxValue())
+          return CP.getBool(TC, true);
+        break;
+      default:
+        break;
+      }
+      (void)W;
+    }
+    return nullptr;
+  }
+
+  if (auto *S = dyn_cast<SelectInst>(I)) {
+    if (S->getTrueValue() == S->getFalseValue())
+      return S->getTrueValue();
+    if (const auto *CC = matchConstInt(S->getCondition()))
+      return CC->isZero() ? S->getFalseValue() : S->getTrueValue();
+    return nullptr;
+  }
+
+  if (auto *F = dyn_cast<FreezeInst>(I)) {
+    // freeze of a non-poison-producing value is the value itself.
+    Value *Src = F->getSrc();
+    if (isa<ConstantInt>(Src) || isa<ConstantNullPtr>(Src))
+      return Src;
+    if (isa<Argument>(Src) && Src->getType()->isIntegerTy()) {
+      // Only sound when the argument cannot be poison (noundef).
+      const auto *A = cast<Argument>(Src);
+      const Function *Fn = I->getFunction();
+      if (Fn && A->getIndex() < Fn->getNumArgs() &&
+          Fn->paramAttrs(A->getIndex()).NoUndef)
+        return Src;
+    }
+    if (auto *FF = dyn_cast<FreezeInst>(Src))
+      return FF; // freeze(freeze(x)) == freeze(x)
+    return nullptr;
+  }
+
+  if (auto *Phi = dyn_cast<PhiNode>(I)) {
+    // All incoming values identical and position-independent.
+    Value *Common = nullptr;
+    for (unsigned K = 0; K != Phi->getNumIncoming(); ++K) {
+      Value *In = Phi->getIncomingValue(K);
+      if (In == Phi)
+        continue;
+      if (Common && In != Common)
+        return nullptr;
+      Common = In;
+    }
+    if (Common && (isa<Constant>(Common) || isa<Argument>(Common)))
+      return Common;
+    return nullptr;
+  }
+
+  return nullptr;
+}
+
+class InstSimplifyPass : public Pass {
+public:
+  std::string getName() const override { return "instsimplify"; }
+
+  bool runOnFunction(Function &F) override {
+    Module &M = *F.getParent();
+    bool Changed = false;
+    bool LocalChange = true;
+    while (LocalChange) {
+      LocalChange = false;
+      for (BasicBlock *BB : F.blocks()) {
+        for (unsigned Idx = 0; Idx != BB->size(); ++Idx) {
+          Instruction *I = BB->getInst(Idx);
+          if (I->isTerminator())
+            continue;
+          if (Value *V = simplifyInstruction(I, M)) {
+            replaceAndErase(I, V);
+            LocalChange = Changed = true;
+            --Idx;
+          }
+        }
+      }
+    }
+    return Changed;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// ConstantFold
+//===----------------------------------------------------------------------===//
+
+class ConstantFoldPass : public Pass {
+public:
+  std::string getName() const override { return "constfold"; }
+
+  bool runOnFunction(Function &F) override {
+    Module &M = *F.getParent();
+    bool Changed = false;
+    for (BasicBlock *BB : F.blocks()) {
+      for (unsigned Idx = 0; Idx != BB->size(); ++Idx) {
+        Instruction *I = BB->getInst(Idx);
+        if (I->isTerminator() || I->getType()->isVoidTy())
+          continue;
+        if (Constant *C = tryConstantFold(I, M)) {
+          replaceAndErase(I, C);
+          Changed = true;
+          --Idx;
+        }
+      }
+    }
+    return Changed;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+class DCEPass : public Pass {
+public:
+  std::string getName() const override { return "dce"; }
+  bool runOnFunction(Function &F) override {
+    return removeDeadInstructions(F);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Reassociate
+//===----------------------------------------------------------------------===//
+
+class ReassociatePass : public Pass {
+public:
+  std::string getName() const override { return "reassociate"; }
+
+  bool runOnFunction(Function &F) override {
+    Module &M = *F.getParent();
+    bool Changed = false;
+    for (BasicBlock *BB : F.blocks()) {
+      for (Instruction *I : BB->insts()) {
+        auto *B = dyn_cast<BinaryInst>(I);
+        if (!B || !B->getType()->isIntegerTy())
+          continue;
+        if (!BinaryInst::isCommutative(B->getBinOp()))
+          continue;
+        // Canonicalize constants to the right.
+        if (isa<ConstantInt>(B->getLHS()) && !isa<Constant>(B->getRHS())) {
+          Value *L = B->getLHS(), *R = B->getRHS();
+          B->setOperand(0, R);
+          B->setOperand(1, L);
+          Changed = true;
+        }
+        // (x op C1) op C2 -> x op (C1 op C2); poison flags are dropped
+        // because reassociation does not preserve them.
+        const auto *C2 = matchConstInt(B->getRHS());
+        auto *Inner = dyn_cast<BinaryInst>(B->getLHS());
+        if (C2 && Inner && Inner->getBinOp() == B->getBinOp() &&
+            Inner->getType() == B->getType()) {
+          const auto *C1 = matchConstInt(Inner->getRHS());
+          if (C1) {
+            Constant *Folded =
+                foldBinaryConst(B->getBinOp(), false, false, false,
+                                C1->getValue(), C2->getValue(), M);
+            if (Folded && isa<ConstantInt>(Folded)) {
+              B->setOperand(0, Inner->getLHS());
+              B->setOperand(1, Folded);
+              B->clearFlags();
+              Changed = true;
+            }
+          }
+        }
+      }
+    }
+    return Changed;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// SimplifyCFG
+//===----------------------------------------------------------------------===//
+
+class SimplifyCFGPass : public Pass {
+public:
+  std::string getName() const override { return "simplifycfg"; }
+
+  bool runOnFunction(Function &F) override {
+    Module &M = *F.getParent();
+    bool Changed = false;
+    bool LocalChange = true;
+    while (LocalChange) {
+      LocalChange = false;
+      LocalChange |= foldConstantBranches(F, M);
+      LocalChange |= removeUnreachableBlocks(F);
+      LocalChange |= mergeStraightLine(F);
+      Changed |= LocalChange;
+    }
+    return Changed;
+  }
+
+private:
+  bool foldConstantBranches(Function &F, Module &M) {
+    bool Changed = false;
+    Type *VoidTy = M.getTypes().getVoidTy();
+    for (BasicBlock *BB : F.blocks()) {
+      Instruction *T = BB->getTerminator();
+      if (auto *Br = dyn_cast<BranchInst>(T)) {
+        if (!Br->isConditional())
+          continue;
+        BasicBlock *Taken = nullptr, *NotTaken = nullptr;
+        if (const auto *C = matchConstInt(Br->getCondition())) {
+          Taken = Br->getSuccessor(C->isZero() ? 1 : 0);
+          NotTaken = Br->getSuccessor(C->isZero() ? 0 : 1);
+        } else if (Br->getSuccessor(0) == Br->getSuccessor(1)) {
+          // Both arms identical: condition is dead (but branching on
+          // poison would have been UB; folding away refines).
+          Taken = Br->getSuccessor(0);
+          NotTaken = nullptr;
+        }
+        if (!Taken)
+          continue;
+        if (NotTaken && NotTaken != Taken)
+          removePhiEntries(NotTaken, BB);
+        BB->erase(Br);
+        BB->append(std::make_unique<BranchInst>(Taken, VoidTy));
+        Changed = true;
+      } else if (auto *Sw = dyn_cast<SwitchInst>(T)) {
+        const auto *C = matchConstInt(Sw->getCondition());
+        if (!C)
+          continue;
+        BasicBlock *Dest = Sw->getDefaultDest();
+        for (unsigned K = 0; K != Sw->getNumCases(); ++K)
+          if (Sw->getCaseValue(K) == C->getValue()) {
+            Dest = Sw->getCaseDest(K);
+            break;
+          }
+        // Drop phi entries of the not-taken successors.
+        std::set<BasicBlock *> Seen{Dest};
+        for (unsigned K = 0; K != Sw->getNumSuccessors(); ++K) {
+          BasicBlock *S = Sw->getSuccessor(K);
+          if (Seen.insert(S).second)
+            removePhiEntries(S, BB);
+        }
+        BB->erase(Sw);
+        BB->append(std::make_unique<BranchInst>(Dest, VoidTy));
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  void removePhiEntries(BasicBlock *Block, BasicBlock *Pred) {
+    for (Instruction *I : Block->insts()) {
+      auto *Phi = dyn_cast<PhiNode>(I);
+      if (!Phi)
+        break;
+      for (unsigned K = Phi->getNumIncoming(); K-- > 0;)
+        if (Phi->getIncomingBlock(K) == Pred)
+          Phi->removeIncoming(K);
+    }
+  }
+
+  bool removeUnreachableBlocks(Function &F) {
+    // Mark reachable.
+    std::set<const BasicBlock *> Reached;
+    std::vector<BasicBlock *> Work{F.getEntryBlock()};
+    Reached.insert(F.getEntryBlock());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      for (BasicBlock *S : BB->successors())
+        if (Reached.insert(S).second)
+          Work.push_back(S);
+    }
+    std::vector<BasicBlock *> Dead;
+    for (BasicBlock *BB : F.blocks())
+      if (!Reached.count(BB))
+        Dead.push_back(BB);
+    if (Dead.empty())
+      return false;
+
+    // Remove phi entries flowing from dead blocks into live ones, then
+    // detach and erase the dead blocks as a group.
+    for (BasicBlock *D : Dead)
+      for (BasicBlock *S : D->successors())
+        if (Reached.count(S))
+          removePhiEntries(S, D);
+    for (BasicBlock *D : Dead)
+      for (Instruction *I : D->insts())
+        I->dropAllOperands();
+    // Any remaining uses of dead-block values must themselves be in dead
+    // blocks (the verifier guarantees reachable code never uses them), so
+    // RAUW is unnecessary; erase in one sweep.
+    for (BasicBlock *D : Dead)
+      F.eraseBlock(D);
+    return true;
+  }
+
+  bool mergeStraightLine(Function &F) {
+    for (BasicBlock *BB : F.blocks()) {
+      auto *Br = dyn_cast<BranchInst>(BB->getTerminator());
+      if (!Br || Br->isConditional())
+        continue;
+      BasicBlock *Succ = Br->getSuccessor(0);
+      if (Succ == BB || Succ == F.getEntryBlock())
+        continue;
+      std::vector<BasicBlock *> Preds = F.predecessors(Succ);
+      if (Preds.size() != 1)
+        continue;
+      // Resolve phis in Succ to their unique incoming value.
+      while (!Succ->empty()) {
+        auto *Phi = dyn_cast<PhiNode>(Succ->front());
+        if (!Phi)
+          break;
+        Value *In = Phi->getIncomingValueForBlock(BB);
+        assert(In && "phi without entry for unique predecessor");
+        replaceAndErase(Phi, In);
+      }
+      // Splice instructions.
+      BB->erase(Br);
+      while (!Succ->empty()) {
+        Instruction *I = Succ->front();
+        BB->append(Succ->take(I));
+      }
+      // Phis in the successors of Succ now flow from BB.
+      for (BasicBlock *SS : BB->successors())
+        for (Instruction *I : SS->insts()) {
+          auto *Phi = dyn_cast<PhiNode>(I);
+          if (!Phi)
+            break;
+          for (unsigned K = 0; K != Phi->getNumIncoming(); ++K)
+            if (Phi->getIncomingBlock(K) == Succ)
+              Phi->setIncomingBlock(K, BB);
+        }
+      F.eraseBlock(Succ);
+      return true; // block list changed; restart iteration
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> alive::createInstSimplifyPass() {
+  return std::make_unique<InstSimplifyPass>();
+}
+std::unique_ptr<Pass> alive::createConstantFoldPass() {
+  return std::make_unique<ConstantFoldPass>();
+}
+std::unique_ptr<Pass> alive::createDCEPass() {
+  return std::make_unique<DCEPass>();
+}
+std::unique_ptr<Pass> alive::createReassociatePass() {
+  return std::make_unique<ReassociatePass>();
+}
+std::unique_ptr<Pass> alive::createSimplifyCFGPass() {
+  return std::make_unique<SimplifyCFGPass>();
+}

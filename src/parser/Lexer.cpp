@@ -1,0 +1,131 @@
+//===- parser/Lexer.cpp - Tokenizer for .ll text ---------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+
+using namespace alive;
+
+static bool isIdentChar(char C) {
+  return std::isalnum((unsigned char)C) || C == '_' || C == '.' || C == '-' ||
+         C == '$';
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+    } else if (std::isspace((unsigned char)C)) {
+      ++Pos;
+    } else if (C == ';') {
+      while (peek() != '\n' && peek() != '\0')
+        ++Pos;
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  Token T;
+  T.Line = Line;
+  char C = peek();
+  if (C == '\0') {
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+
+  auto punct = [&](TokKind K) {
+    ++Pos;
+    T.Kind = K;
+    return T;
+  };
+
+  switch (C) {
+  case '(':
+    return punct(TokKind::LParen);
+  case ')':
+    return punct(TokKind::RParen);
+  case '{':
+    return punct(TokKind::LBrace);
+  case '}':
+    return punct(TokKind::RBrace);
+  case '[':
+    return punct(TokKind::LBracket);
+  case ']':
+    return punct(TokKind::RBracket);
+  case '<':
+    return punct(TokKind::Less);
+  case '>':
+    return punct(TokKind::Greater);
+  case ',':
+    return punct(TokKind::Comma);
+  case '=':
+    return punct(TokKind::Equal);
+  case ':':
+    return punct(TokKind::Colon);
+  case '*':
+    return punct(TokKind::Star);
+  default:
+    break;
+  }
+
+  if (C == '%' || C == '@' || C == '#') {
+    ++Pos;
+    std::string Name;
+    // Quoted names: %"a b".
+    if (peek() == '"') {
+      ++Pos;
+      while (peek() != '"' && peek() != '\0')
+        Name.push_back(get());
+      if (peek() == '"')
+        ++Pos;
+    } else {
+      while (isIdentChar(peek()))
+        Name.push_back(get());
+    }
+    if (Name.empty()) {
+      T.Kind = TokKind::Error;
+      T.Text = "empty identifier after sigil";
+      return T;
+    }
+    T.Kind = C == '%'   ? TokKind::LocalVar
+             : C == '@' ? TokKind::GlobalVar
+                        : TokKind::AttrGroup;
+    T.Text = Name;
+    return T;
+  }
+
+  if (std::isdigit((unsigned char)C) ||
+      (C == '-' && Pos + 1 < Src.size() &&
+       std::isdigit((unsigned char)Src[Pos + 1]))) {
+    std::string Num;
+    Num.push_back(get());
+    while (std::isdigit((unsigned char)peek()))
+      Num.push_back(get());
+    T.Kind = TokKind::Integer;
+    T.Text = Num;
+    return T;
+  }
+
+  if (std::isalpha((unsigned char)C) || C == '_') {
+    std::string Word;
+    while (isIdentChar(peek()))
+      Word.push_back(get());
+    T.Kind = TokKind::Word;
+    T.Text = Word;
+    return T;
+  }
+
+  T.Kind = TokKind::Error;
+  T.Text = std::string("unexpected character '") + C + "'";
+  ++Pos;
+  return T;
+}

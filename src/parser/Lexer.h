@@ -1,0 +1,72 @@
+//===- parser/Lexer.h - Tokenizer for .ll text -----------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual IR dialect. Produces sigil-tagged identifiers
+/// (%local, @global, #attrgroup), bare words (keywords and type names),
+/// integer literals, and punctuation. Comments run from ';' to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSER_LEXER_H
+#define PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+
+namespace alive {
+
+enum class TokKind {
+  Eof,
+  Error,
+  Word,      ///< bare identifier / keyword: define, add, i32, label, ...
+  LocalVar,  ///< %name or %123
+  GlobalVar, ///< @name
+  AttrGroup, ///< #0
+  Integer,   ///< decimal integer, possibly negative
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Less,
+  Greater,
+  Comma,
+  Equal,
+  Colon,
+  Star,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text; ///< identifier text without sigil, or literal text
+  unsigned Line = 0;
+};
+
+/// Single-pass tokenizer over a source buffer.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Src) : Src(Src) {}
+
+  /// Lexes the next token.
+  Token next();
+
+  unsigned getLine() const { return Line; }
+
+private:
+  char peek() const { return Pos < Src.size() ? Src[Pos] : '\0'; }
+  char get() { return Pos < Src.size() ? Src[Pos++] : '\0'; }
+  void skipTrivia();
+
+  const std::string &Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+} // namespace alive
+
+#endif // PARSER_LEXER_H

@@ -1,0 +1,36 @@
+//===- parser/Parser.h - .ll text -> Module --------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the textual IR dialect. Accepts the LLVM
+/// `.ll` subset this IR supports, including legacy typed-pointer spellings
+/// ("i32* %p" parses as ptr) so the paper's listings parse verbatim.
+/// Unknown callees are auto-declared from their call-site signature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSER_PARSER_H
+#define PARSER_PARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace alive {
+
+/// Parses \p Source into a Module. On failure returns null and fills
+/// \p Error with "line N: message".
+std::unique_ptr<Module> parseModule(const std::string &Source,
+                                    std::string &Error);
+
+/// Convenience wrapper: reads \p Path and parses it.
+std::unique_ptr<Module> parseModuleFile(const std::string &Path,
+                                        std::string &Error);
+
+} // namespace alive
+
+#endif // PARSER_PARSER_H

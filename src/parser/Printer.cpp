@@ -1,0 +1,330 @@
+//===- parser/Printer.cpp - Module -> .ll text -----------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Printer.h"
+
+#include <map>
+#include <sstream>
+
+using namespace alive;
+
+namespace {
+
+/// Assigns printable names: named values keep their name; unnamed values
+/// and blocks get sequential slot numbers, LLVM style.
+class SlotTracker {
+public:
+  explicit SlotTracker(const Function &F) {
+    unsigned Slot = 0;
+    auto assign = [&](const Value *V) {
+      if (V->hasName())
+        Names[V] = V->getName();
+      else
+        Names[V] = std::to_string(Slot++);
+    };
+    for (unsigned I = 0; I != F.getNumArgs(); ++I)
+      assign(F.getArg(I));
+    for (BasicBlock *BB : F.blocks()) {
+      assign(BB);
+      for (Instruction *I : BB->insts())
+        if (!I->getType()->isVoidTy())
+          assign(I);
+    }
+  }
+
+  std::string ref(const Value *V) const {
+    auto It = Names.find(V);
+    assert(It != Names.end() && "value not in slot tracker");
+    return "%" + It->second;
+  }
+  std::string label(const BasicBlock *BB) const {
+    auto It = Names.find(BB);
+    assert(It != Names.end() && "block not in slot tracker");
+    return It->second;
+  }
+
+private:
+  std::map<const Value *, std::string> Names;
+};
+
+std::string constantRef(const Constant *C) {
+  if (const auto *CI = dyn_cast<ConstantInt>(C))
+    return CI->getValue().toString(/*Signed=*/true);
+  if (isa<ConstantPoison>(C))
+    return "poison";
+  if (isa<ConstantUndef>(C))
+    return "undef";
+  if (isa<ConstantNullPtr>(C))
+    return "null";
+  const auto *CV = cast<ConstantVector>(C);
+  std::string S = "<";
+  for (unsigned I = 0; I != CV->getNumElements(); ++I) {
+    if (I)
+      S += ", ";
+    S += CV->getElement(I)->getType()->str() + " " +
+         constantRef(CV->getElement(I));
+  }
+  return S + ">";
+}
+
+std::string valueRef(const Value *V, const SlotTracker &Slots) {
+  if (const auto *C = dyn_cast<Constant>(V))
+    return constantRef(C);
+  return Slots.ref(V);
+}
+
+/// "type value" operand rendering.
+std::string typedRef(const Value *V, const SlotTracker &Slots) {
+  return V->getType()->str() + " " + valueRef(V, Slots);
+}
+
+void printInstruction(const Instruction *I, const SlotTracker &Slots,
+                      std::ostream &OS) {
+  OS << "  ";
+  if (!I->getType()->isVoidTy())
+    OS << Slots.ref(I) << " = ";
+
+  switch (I->getKind()) {
+  case Value::VK_BinaryInst: {
+    const auto *B = cast<BinaryInst>(I);
+    OS << BinaryInst::getBinOpName(B->getBinOp());
+    if (B->hasNUW())
+      OS << " nuw";
+    if (B->hasNSW())
+      OS << " nsw";
+    if (B->isExact())
+      OS << " exact";
+    OS << " " << typedRef(B->getLHS(), Slots) << ", "
+       << valueRef(B->getRHS(), Slots);
+    break;
+  }
+  case Value::VK_ICmpInst: {
+    const auto *C = cast<ICmpInst>(I);
+    OS << "icmp " << ICmpInst::getPredicateName(C->getPredicate()) << " "
+       << typedRef(C->getLHS(), Slots) << ", " << valueRef(C->getRHS(), Slots);
+    break;
+  }
+  case Value::VK_SelectInst: {
+    const auto *S = cast<SelectInst>(I);
+    OS << "select " << typedRef(S->getCondition(), Slots) << ", "
+       << typedRef(S->getTrueValue(), Slots) << ", "
+       << typedRef(S->getFalseValue(), Slots);
+    break;
+  }
+  case Value::VK_CastInst: {
+    const auto *C = cast<CastInst>(I);
+    OS << CastInst::getCastOpName(C->getCastOp()) << " "
+       << typedRef(C->getSrc(), Slots) << " to " << C->getType()->str();
+    break;
+  }
+  case Value::VK_FreezeInst:
+    OS << "freeze "
+       << typedRef(cast<FreezeInst>(I)->getSrc(), Slots);
+    break;
+  case Value::VK_PhiNode: {
+    const auto *P = cast<PhiNode>(I);
+    OS << "phi " << P->getType()->str() << " ";
+    for (unsigned K = 0; K != P->getNumIncoming(); ++K) {
+      if (K)
+        OS << ", ";
+      OS << "[ " << valueRef(P->getIncomingValue(K), Slots) << ", %"
+         << Slots.label(P->getIncomingBlock(K)) << " ]";
+    }
+    break;
+  }
+  case Value::VK_CallInst: {
+    const auto *C = cast<CallInst>(I);
+    OS << "call " << C->getType()->str() << " @" << C->getCallee()->getName()
+       << "(";
+    for (unsigned K = 0; K != C->getNumArgs(); ++K) {
+      if (K)
+        OS << ", ";
+      OS << typedRef(C->getArg(K), Slots);
+    }
+    OS << ")";
+    break;
+  }
+  case Value::VK_LoadInst: {
+    const auto *L = cast<LoadInst>(I);
+    OS << "load " << L->getType()->str() << ", "
+       << typedRef(L->getPointer(), Slots);
+    if (L->getAlign() > 1)
+      OS << ", align " << L->getAlign();
+    break;
+  }
+  case Value::VK_StoreInst: {
+    const auto *S = cast<StoreInst>(I);
+    OS << "store " << typedRef(S->getValueOperand(), Slots) << ", "
+       << typedRef(S->getPointer(), Slots);
+    if (S->getAlign() > 1)
+      OS << ", align " << S->getAlign();
+    break;
+  }
+  case Value::VK_AllocaInst: {
+    const auto *A = cast<AllocaInst>(I);
+    OS << "alloca " << A->getAllocatedType()->str() << ", align "
+       << A->getAlign();
+    break;
+  }
+  case Value::VK_GEPInst: {
+    const auto *G = cast<GEPInst>(I);
+    OS << "getelementptr ";
+    if (G->isInBounds())
+      OS << "inbounds ";
+    OS << G->getSourceElementType()->str() << ", "
+       << typedRef(G->getPointer(), Slots) << ", "
+       << typedRef(G->getIndex(), Slots);
+    break;
+  }
+  case Value::VK_ExtractElementInst: {
+    const auto *E = cast<ExtractElementInst>(I);
+    OS << "extractelement " << typedRef(E->getVector(), Slots) << ", "
+       << typedRef(E->getIndex(), Slots);
+    break;
+  }
+  case Value::VK_InsertElementInst: {
+    const auto *E = cast<InsertElementInst>(I);
+    OS << "insertelement " << typedRef(E->getVector(), Slots) << ", "
+       << typedRef(E->getElement(), Slots) << ", "
+       << typedRef(E->getIndex(), Slots);
+    break;
+  }
+  case Value::VK_ShuffleVectorInst: {
+    const auto *SV = cast<ShuffleVectorInst>(I);
+    OS << "shufflevector " << typedRef(SV->getV1(), Slots) << ", "
+       << typedRef(SV->getV2(), Slots) << ", <"
+       << SV->getMask().size() << " x i32> <";
+    for (size_t K = 0; K != SV->getMask().size(); ++K) {
+      if (K)
+        OS << ", ";
+      int Lane = SV->getMask()[K];
+      if (Lane < 0)
+        OS << "i32 poison";
+      else
+        OS << "i32 " << Lane;
+    }
+    OS << ">";
+    break;
+  }
+  case Value::VK_ReturnInst: {
+    const auto *R = cast<ReturnInst>(I);
+    if (Value *RV = R->getReturnValue())
+      OS << "ret " << typedRef(RV, Slots);
+    else
+      OS << "ret void";
+    break;
+  }
+  case Value::VK_BranchInst: {
+    const auto *B = cast<BranchInst>(I);
+    if (B->isConditional())
+      OS << "br " << typedRef(B->getCondition(), Slots) << ", label %"
+         << Slots.label(B->getSuccessor(0)) << ", label %"
+         << Slots.label(B->getSuccessor(1));
+    else
+      OS << "br label %" << Slots.label(B->getSuccessor(0));
+    break;
+  }
+  case Value::VK_SwitchInst: {
+    const auto *S = cast<SwitchInst>(I);
+    OS << "switch " << typedRef(S->getCondition(), Slots) << ", label %"
+       << Slots.label(S->getDefaultDest()) << " [";
+    for (unsigned K = 0; K != S->getNumCases(); ++K) {
+      OS << "\n    " << S->getCondition()->getType()->str() << " "
+         << S->getCaseValue(K).toString() << ", label %"
+         << Slots.label(S->getCaseDest(K));
+    }
+    OS << "\n  ]";
+    break;
+  }
+  case Value::VK_UnreachableInst:
+    OS << "unreachable";
+    break;
+  default:
+    assert(false && "unknown instruction kind");
+  }
+  OS << "\n";
+}
+
+void printFnAttrs(const Function &F, std::ostream &OS) {
+  for (FnAttr A : allFnAttrs())
+    if (F.hasFnAttr(A))
+      OS << " " << fnAttrName(A);
+}
+
+void printFunctionImpl(const Function &F, std::ostream &OS) {
+  if (F.isDeclaration()) {
+    OS << "declare " << F.getReturnType()->str() << " @" << F.getName()
+       << "(";
+    for (unsigned I = 0; I != F.getNumArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << F.getArg(I)->getType()->str() << F.paramAttrs(I).str();
+    }
+    OS << ")";
+    printFnAttrs(F, OS);
+    OS << "\n";
+    return;
+  }
+
+  SlotTracker Slots(F);
+  OS << "define " << F.getReturnType()->str() << " @" << F.getName() << "(";
+  for (unsigned I = 0; I != F.getNumArgs(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << F.getArg(I)->getType()->str() << F.paramAttrs(I).str() << " "
+       << Slots.ref(F.getArg(I));
+  }
+  OS << ")";
+  printFnAttrs(F, OS);
+  OS << " {\n";
+  bool First = true;
+  for (BasicBlock *BB : F.blocks()) {
+    if (!First)
+      OS << "\n";
+    First = false;
+    OS << Slots.label(BB) << ":\n";
+    for (Instruction *I : BB->insts())
+      printInstruction(I, Slots, OS);
+  }
+  OS << "}\n";
+}
+
+} // namespace
+
+std::string alive::printModule(const Module &M) {
+  std::ostringstream OS;
+  bool First = true;
+  // Declarations first, then definitions, each separated by a blank line.
+  for (Function *F : M.functions()) {
+    if (!F->isDeclaration())
+      continue;
+    if (!First)
+      OS << "\n";
+    First = false;
+    printFunctionImpl(*F, OS);
+  }
+  for (Function *F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    if (!First)
+      OS << "\n";
+    First = false;
+    printFunctionImpl(*F, OS);
+  }
+  return OS.str();
+}
+
+std::string alive::printFunction(const Function &F) {
+  std::ostringstream OS;
+  printFunctionImpl(F, OS);
+  return OS.str();
+}
+
+std::string alive::printValueRef(const Value *V) {
+  if (const auto *C = dyn_cast<Constant>(V))
+    return constantRef(C);
+  return V->hasName() ? "%" + V->getName() : "<unnamed>";
+}

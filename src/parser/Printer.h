@@ -1,0 +1,36 @@
+//===- parser/Printer.h - Module -> .ll text -------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints IR back to the textual dialect. Output round-trips through the
+/// parser, which is what the discrete-tools baseline of the throughput
+/// experiment does on every iteration (mutate -> print -> file -> parse ->
+/// optimize -> print -> file -> parse -> verify).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARSER_PRINTER_H
+#define PARSER_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace alive {
+
+/// Renders a whole module.
+std::string printModule(const Module &M);
+
+/// Renders a single function (definition or declaration).
+std::string printFunction(const Function &F);
+
+/// Renders one value reference ("%x", "42", "poison") as it would appear as
+/// an operand, for diagnostics.
+std::string printValueRef(const Value *V);
+
+} // namespace alive
+
+#endif // PARSER_PRINTER_H

@@ -1,0 +1,308 @@
+//===- smt/SatSolver.cpp - CDCL SAT solver ---------------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SatSolver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace alive;
+
+SatSolver::SatSolver() {
+  // Variable 0 is unused; keep the vectors 1-based.
+  Assign.push_back(Undef);
+  Level.push_back(0);
+  Reason.push_back(-1);
+  Activity.push_back(0);
+  SavedPhase.push_back(0);
+  Seen.push_back(0);
+  Watches.resize(2);
+}
+
+int SatSolver::newVar() {
+  Assign.push_back(Undef);
+  Level.push_back(0);
+  Reason.push_back(-1);
+  Activity.push_back(0);
+  SavedPhase.push_back(0);
+  Seen.push_back(0);
+  Watches.resize(Watches.size() + 2);
+  return (int)Assign.size() - 1;
+}
+
+void SatSolver::addClause(const std::vector<Lit> &Literals) {
+  assert(TrailLimits.empty() && "clauses must be added at decision level 0");
+  if (Unsatisfiable)
+    return;
+
+  // Simplify: drop duplicate/false literals, detect tautologies and
+  // already-satisfied clauses.
+  std::vector<Lit> Ls = Literals;
+  std::sort(Ls.begin(), Ls.end(),
+            [](Lit A, Lit B) { return std::abs(A) < std::abs(B) ||
+                                      (std::abs(A) == std::abs(B) && A < B); });
+  std::vector<Lit> Clean;
+  for (Lit L : Ls) {
+    assert(std::abs(L) >= 1 && std::abs(L) < (int)Assign.size() &&
+           "literal for unknown variable");
+    if (!Clean.empty() && Clean.back() == L)
+      continue;
+    if (!Clean.empty() && Clean.back() == -L)
+      return; // tautology
+    if (valueOf(L) == 1)
+      return; // already satisfied at level 0
+    if (valueOf(L) == 0)
+      continue; // already false at level 0
+    Clean.push_back(L);
+  }
+
+  if (Clean.empty()) {
+    Unsatisfiable = true;
+    return;
+  }
+  if (Clean.size() == 1) {
+    if (valueOf(Clean[0]) == Undef)
+      enqueue(Clean[0], -1);
+    if (propagate() != -1)
+      Unsatisfiable = true;
+    return;
+  }
+
+  Clauses.push_back({Clean, /*Learned=*/false});
+  unsigned Idx = (unsigned)Clauses.size() - 1;
+  Watches[watchIndex(-Clean[0])].push_back({Idx, Clean[1]});
+  Watches[watchIndex(-Clean[1])].push_back({Idx, Clean[0]});
+}
+
+void SatSolver::enqueue(Lit L, int ReasonClause) {
+  int V = std::abs(L);
+  assert(Assign[V] == Undef && "enqueue of assigned variable");
+  Assign[V] = L > 0 ? 1 : 0;
+  Level[V] = (int)TrailLimits.size();
+  Reason[V] = ReasonClause;
+  Trail.push_back(L);
+}
+
+int SatSolver::propagate() {
+  while (PropHead < Trail.size()) {
+    Lit P = Trail[PropHead++];
+    ++Statistics.Propagations;
+    // Clauses watching -P must find a new watch or propagate/conflict.
+    std::vector<Watcher> &WL = Watches[watchIndex(P)];
+    size_t Keep = 0;
+    for (size_t I = 0; I != WL.size(); ++I) {
+      Watcher W = WL[I];
+      if (valueOf(W.Blocker) == 1) {
+        WL[Keep++] = W;
+        continue;
+      }
+      Clause &C = Clauses[W.ClauseIdx];
+      // Normalize: the false literal (-P) goes to position 1.
+      if (C.Lits[0] == -P)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == -P);
+      if (valueOf(C.Lits[0]) == 1) {
+        WL[Keep++] = {W.ClauseIdx, C.Lits[0]};
+        continue;
+      }
+      // Search for a non-false literal to watch.
+      bool FoundWatch = false;
+      for (size_t K = 2; K != C.Lits.size(); ++K) {
+        if (valueOf(C.Lits[K]) != 0) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[watchIndex(-C.Lits[1])].push_back(
+              {W.ClauseIdx, C.Lits[0]});
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+      // Unit or conflicting.
+      WL[Keep++] = W;
+      if (valueOf(C.Lits[0]) == 0) {
+        // Conflict: restore untouched watchers and report.
+        for (size_t K = I + 1; K != WL.size(); ++K)
+          WL[Keep++] = WL[K];
+        WL.resize(Keep);
+        PropHead = Trail.size();
+        return (int)W.ClauseIdx;
+      }
+      enqueue(C.Lits[0], (int)W.ClauseIdx);
+    }
+    WL.resize(Keep);
+  }
+  return -1;
+}
+
+void SatSolver::bumpVar(int V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+}
+
+void SatSolver::decayActivities() { VarInc /= 0.95; }
+
+void SatSolver::analyze(int ConflictClause, std::vector<Lit> &Learnt,
+                        int &BacktrackLevel) {
+  // Standard 1UIP scheme.
+  Learnt.clear();
+  Learnt.push_back(0); // slot for the asserting literal
+  int PathCount = 0;
+  Lit P = 0;
+  size_t TrailIdx = Trail.size();
+  int CurLevel = (int)TrailLimits.size();
+  int ClauseIdx = ConflictClause;
+
+  do {
+    assert(ClauseIdx != -1 && "reason missing during conflict analysis");
+    Clause &C = Clauses[ClauseIdx];
+    for (size_t K = (P == 0 ? 0 : 1); K != C.Lits.size(); ++K) {
+      Lit Q = C.Lits[K];
+      int V = std::abs(Q);
+      if (Seen[V] || Level[V] == 0)
+        continue;
+      Seen[V] = 1;
+      bumpVar(V);
+      if (Level[V] >= CurLevel)
+        ++PathCount;
+      else
+        Learnt.push_back(Q);
+    }
+    // Next literal on the trail to resolve on.
+    while (!Seen[std::abs(Trail[--TrailIdx])])
+      ;
+    P = Trail[TrailIdx];
+    Seen[std::abs(P)] = 0;
+    ClauseIdx = Reason[std::abs(P)];
+    --PathCount;
+  } while (PathCount > 0);
+  Learnt[0] = -P;
+
+  // Compute backtrack level = max level among the other literals.
+  BacktrackLevel = 0;
+  size_t MaxIdx = 1;
+  for (size_t K = 1; K != Learnt.size(); ++K) {
+    if (Level[std::abs(Learnt[K])] > BacktrackLevel) {
+      BacktrackLevel = Level[std::abs(Learnt[K])];
+      MaxIdx = K;
+    }
+  }
+  if (Learnt.size() > 1)
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+
+  for (Lit L : Learnt)
+    Seen[std::abs(L)] = 0;
+}
+
+void SatSolver::backtrack(int TargetLevel) {
+  if ((int)TrailLimits.size() <= TargetLevel)
+    return;
+  unsigned Limit = TrailLimits[TargetLevel];
+  for (size_t I = Trail.size(); I > Limit; --I) {
+    int V = std::abs(Trail[I - 1]);
+    SavedPhase[V] = Assign[V];
+    Assign[V] = Undef;
+    Reason[V] = -1;
+  }
+  Trail.resize(Limit);
+  TrailLimits.resize(TargetLevel);
+  PropHead = Trail.size();
+}
+
+int SatSolver::pickBranchVar() {
+  int Best = 0;
+  double BestAct = -1;
+  for (int V = 1; V < (int)Assign.size(); ++V)
+    if (Assign[V] == Undef && Activity[V] > BestAct) {
+      Best = V;
+      BestAct = Activity[V];
+    }
+  return Best;
+}
+
+uint64_t SatSolver::luby(uint64_t I) {
+  // Knuth's formula for the Luby sequence.
+  uint64_t K = 1;
+  while ((1ULL << (K + 1)) <= I + 1)
+    ++K;
+  while ((1ULL << K) - 1 != I + 1) {
+    I = I - ((1ULL << K) - 1) + 1 - 1;
+    K = 1;
+    while ((1ULL << (K + 1)) <= I + 1)
+      ++K;
+  }
+  return 1ULL << (K - 1);
+}
+
+SatSolver::Result SatSolver::solve(uint64_t ConflictBudget) {
+  if (Unsatisfiable)
+    return Result::Unsat;
+  if (propagate() != -1) {
+    Unsatisfiable = true;
+    return Result::Unsat;
+  }
+
+  uint64_t RestartNum = 0;
+  uint64_t RestartLimit = 64 * luby(RestartNum);
+  uint64_t ConflictsAtRestart = 0;
+
+  for (;;) {
+    int Conflict = propagate();
+    if (Conflict != -1) {
+      ++Statistics.Conflicts;
+      ++ConflictsAtRestart;
+      if (TrailLimits.empty()) {
+        Unsatisfiable = true;
+        return Result::Unsat;
+      }
+      if (ConflictBudget && Statistics.Conflicts >= ConflictBudget)
+        return Result::Unknown;
+
+      std::vector<Lit> Learnt;
+      int BTLevel;
+      analyze(Conflict, Learnt, BTLevel);
+      backtrack(BTLevel);
+
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], -1);
+      } else {
+        Clauses.push_back({Learnt, /*Learned=*/true});
+        unsigned Idx = (unsigned)Clauses.size() - 1;
+        Watches[watchIndex(-Learnt[0])].push_back({Idx, Learnt[1]});
+        Watches[watchIndex(-Learnt[1])].push_back({Idx, Learnt[0]});
+        ++Statistics.LearnedClauses;
+        enqueue(Learnt[0], (int)Idx);
+      }
+      decayActivities();
+
+      if (ConflictsAtRestart >= RestartLimit) {
+        ++Statistics.Restarts;
+        ++RestartNum;
+        RestartLimit = 64 * luby(RestartNum);
+        ConflictsAtRestart = 0;
+        backtrack(0);
+      }
+      continue;
+    }
+
+    int V = pickBranchVar();
+    if (V == 0)
+      return Result::Sat; // all variables assigned
+    ++Statistics.Decisions;
+    TrailLimits.push_back((unsigned)Trail.size());
+    enqueue(SavedPhase[V] == 1 ? V : -V, -1);
+  }
+}
+
+bool SatSolver::modelValue(int Var) const {
+  assert(Var >= 1 && Var < (int)Assign.size());
+  return Assign[Var] == 1;
+}

@@ -1,0 +1,125 @@
+//===- smt/SatSolver.h - CDCL SAT solver -----------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver: two-watched-literal
+/// propagation, VSIDS-style branching with phase saving, 1UIP conflict
+/// analysis, and Luby restarts. This is the decision procedure underneath
+/// the bit-blasted refinement queries — the role Z3 plays for Alive2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMT_SATSOLVER_H
+#define SMT_SATSOLVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alive {
+
+/// A literal: +v asserts variable v, -v asserts its negation. Variables are
+/// numbered from 1.
+using Lit = int;
+
+/// CDCL SAT solver over CNF added incrementally with addClause.
+class SatSolver {
+public:
+  enum class Result { Sat, Unsat, Unknown };
+
+  /// Cumulative search statistics (for the bench_tv harness).
+  struct Stats {
+    uint64_t Decisions = 0;
+    uint64_t Propagations = 0;
+    uint64_t Conflicts = 0;
+    uint64_t LearnedClauses = 0;
+    uint64_t Restarts = 0;
+  };
+
+  SatSolver();
+
+  /// Allocates a fresh variable; \returns its index (>= 1).
+  int newVar();
+  int numVars() const { return (int)Assign.size() - 1; }
+
+  /// Adds a clause (disjunction of literals). An empty clause makes the
+  /// instance trivially unsatisfiable.
+  void addClause(const std::vector<Lit> &Literals);
+  void addClause(Lit A) { addClause(std::vector<Lit>{A}); }
+  void addClause(Lit A, Lit B) { addClause(std::vector<Lit>{A, B}); }
+  void addClause(Lit A, Lit B, Lit C) {
+    addClause(std::vector<Lit>{A, B, C});
+  }
+
+  /// Solves the current formula. \p ConflictBudget bounds the search
+  /// (0 = unlimited); exceeding it yields Unknown.
+  Result solve(uint64_t ConflictBudget = 0);
+
+  /// After Sat: the model value of \p Var.
+  bool modelValue(int Var) const;
+
+  const Stats &stats() const { return Statistics; }
+
+private:
+  enum : uint8_t { Undef = 2 };
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learned;
+    double Activity = 0;
+  };
+  struct Watcher {
+    unsigned ClauseIdx;
+    Lit Blocker;
+  };
+
+  unsigned watchIndex(Lit L) const {
+    int V = L > 0 ? L : -L;
+    return 2 * V + (L < 0 ? 1 : 0);
+  }
+  uint8_t valueOf(Lit L) const {
+    int V = L > 0 ? L : -L;
+    uint8_t A = Assign[V];
+    if (A == Undef)
+      return Undef;
+    return (L > 0) == (A == 1) ? 1 : 0;
+  }
+  void enqueue(Lit L, int ReasonClause);
+  /// Propagates; \returns conflicting clause index or -1.
+  int propagate();
+  void analyze(int ConflictClause, std::vector<Lit> &Learnt,
+               int &BacktrackLevel);
+  void backtrack(int Level);
+  void bumpVar(int V);
+  void decayActivities();
+  int pickBranchVar();
+  static uint64_t luby(uint64_t I);
+
+  // Assignment trail.
+  std::vector<uint8_t> Assign;       // per var: 0/1/Undef
+  std::vector<int> Level;            // decision level per var
+  std::vector<int> Reason;           // reason clause index per var (-1 none)
+  std::vector<Lit> Trail;
+  std::vector<unsigned> TrailLimits; // trail size at each decision level
+  size_t PropHead = 0;
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; // indexed by watchIndex
+  bool Unsatisfiable = false;
+
+  // Branching heuristic.
+  std::vector<double> Activity;
+  std::vector<uint8_t> SavedPhase;
+  double VarInc = 1.0;
+
+  // Scratch for analyze().
+  std::vector<uint8_t> Seen;
+
+  Stats Statistics;
+};
+
+} // namespace alive
+
+#endif // SMT_SATSOLVER_H

@@ -1,0 +1,158 @@
+//===- smt/Term.h - Bit-vector term DAG ------------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consed bit-vector terms — the intermediate language between the IR
+/// and the SAT solver. The refinement checker encodes source and target
+/// functions as terms (value + poison + UB wires), and the bit-blaster
+/// lowers terms to CNF. A concrete evaluator over terms supports model
+/// confirmation and encoder cross-checking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMT_TERM_H
+#define SMT_TERM_H
+
+#include "support/APInt.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+enum class TermKind {
+  Var,   ///< free bit-vector variable
+  Const, ///< literal APInt
+  // Bitwise.
+  And,
+  Or,
+  Xor,
+  Not,
+  // Arithmetic (modulo 2^w).
+  Add,
+  Sub,
+  Mul,
+  UDiv, ///< total: value when divisor==0 is unconstrained via fresh var
+  URem,
+  SDiv,
+  SRem,
+  Shl,  ///< oversized shift amount yields 0 (guarded by poison wires)
+  LShr,
+  AShr,
+  // Predicates: width-1 results.
+  Eq,
+  Ult,
+  Slt,
+  // Structure.
+  Ite, ///< ops: cond (w=1), then, else
+  ZExt,
+  SExt,
+  Trunc,
+};
+
+class TermBuilder;
+
+/// An immutable, hash-consed term node.
+struct Term {
+  TermKind Kind;
+  unsigned Width;
+  std::vector<const Term *> Ops;
+  APInt ConstVal;    ///< Const only
+  unsigned VarId = 0; ///< Var only
+  std::string VarName; ///< Var only, for diagnostics
+
+  bool isConst() const { return Kind == TermKind::Const; }
+  bool isConstZero() const { return isConst() && ConstVal.isZero(); }
+  bool isConstOnes() const { return isConst() && ConstVal.isAllOnes(); }
+};
+
+using TermRef = const Term *;
+
+/// Owns terms and interns them structurally. All terms from one builder
+/// share its lifetime.
+class TermBuilder {
+public:
+  TermBuilder() = default;
+  TermBuilder(const TermBuilder &) = delete;
+  TermBuilder &operator=(const TermBuilder &) = delete;
+
+  /// Fresh free variable of \p Width bits.
+  TermRef mkVar(unsigned Width, const std::string &Name = "");
+  TermRef mkConst(const APInt &V);
+  TermRef mkConst(unsigned Width, uint64_t V) {
+    return mkConst(APInt(Width, V));
+  }
+  TermRef mkTrue() { return mkConst(1, 1); }
+  TermRef mkFalse() { return mkConst(1, 0); }
+  TermRef mkBool(bool B) { return mkConst(1, B ? 1 : 0); }
+
+  TermRef mkNot(TermRef A);
+  TermRef mkAnd(TermRef A, TermRef B);
+  TermRef mkOr(TermRef A, TermRef B);
+  TermRef mkXor(TermRef A, TermRef B);
+  TermRef mkAdd(TermRef A, TermRef B);
+  TermRef mkSub(TermRef A, TermRef B);
+  TermRef mkMul(TermRef A, TermRef B);
+  TermRef mkUDiv(TermRef A, TermRef B);
+  TermRef mkURem(TermRef A, TermRef B);
+  TermRef mkSDiv(TermRef A, TermRef B);
+  TermRef mkSRem(TermRef A, TermRef B);
+  TermRef mkShl(TermRef A, TermRef B);
+  TermRef mkLShr(TermRef A, TermRef B);
+  TermRef mkAShr(TermRef A, TermRef B);
+  TermRef mkEq(TermRef A, TermRef B);
+  TermRef mkNe(TermRef A, TermRef B) { return mkNot(mkEq(A, B)); }
+  TermRef mkUlt(TermRef A, TermRef B);
+  TermRef mkUle(TermRef A, TermRef B) { return mkNot(mkUlt(B, A)); }
+  TermRef mkSlt(TermRef A, TermRef B);
+  TermRef mkSle(TermRef A, TermRef B) { return mkNot(mkSlt(B, A)); }
+  TermRef mkIte(TermRef C, TermRef T, TermRef E);
+  TermRef mkZExt(TermRef A, unsigned Width);
+  TermRef mkSExt(TermRef A, unsigned Width);
+  TermRef mkTrunc(TermRef A, unsigned Width);
+
+  /// Boolean (width-1) conveniences.
+  TermRef mkImplies(TermRef A, TermRef B) { return mkOr(mkNot(A), B); }
+
+  /// Number of distinct variables created so far.
+  unsigned numVars() const { return NextVarId; }
+
+  /// Concretely evaluates \p T under an assignment of variable ids to
+  /// values. Division by zero yields 0 (matching the "total" convention;
+  /// callers guard real division UB with separate wires).
+  APInt evaluate(TermRef T,
+                 const std::map<unsigned, APInt> &VarAssign) const;
+
+private:
+  TermRef intern(Term &&T);
+
+  struct Key {
+    TermKind Kind;
+    unsigned Width;
+    std::vector<TermRef> Ops;
+    std::pair<uint64_t, uint64_t> ConstParts;
+    unsigned VarId;
+    bool operator<(const Key &O) const {
+      if (Kind != O.Kind)
+        return Kind < O.Kind;
+      if (Width != O.Width)
+        return Width < O.Width;
+      if (Ops != O.Ops)
+        return Ops < O.Ops;
+      if (ConstParts != O.ConstParts)
+        return ConstParts < O.ConstParts;
+      return VarId < O.VarId;
+    }
+  };
+  std::map<Key, std::unique_ptr<Term>> Pool;
+  unsigned NextVarId = 0;
+};
+
+} // namespace alive
+
+#endif // SMT_TERM_H

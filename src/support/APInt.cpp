@@ -1,0 +1,329 @@
+//===- support/APInt.cpp - Arbitrary-width integer arithmetic ------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/APInt.h"
+
+#include <algorithm>
+
+using namespace alive;
+
+static unsigned clz64(uint64_t X) {
+  return X == 0 ? 64 : (unsigned)__builtin_clzll(X);
+}
+static unsigned ctz64(uint64_t X) {
+  return X == 0 ? 64 : (unsigned)__builtin_ctzll(X);
+}
+
+unsigned APInt::countLeadingZeros() const {
+  unsigned Z = Hi != 0 ? clz64(Hi) : 64 + clz64(Lo);
+  // Z is counted from bit 127 downward; adjust for the actual width.
+  return Z - (128 - BitWidth);
+}
+
+unsigned APInt::countTrailingZeros() const {
+  unsigned Z = Lo != 0 ? ctz64(Lo) : 64 + ctz64(Hi);
+  return std::min(Z, BitWidth);
+}
+
+unsigned APInt::popcount() const {
+  return (unsigned)(__builtin_popcountll(Lo) + __builtin_popcountll(Hi));
+}
+
+APInt APInt::operator+(const APInt &RHS) const {
+  assertSameWidth(RHS);
+  uint64_t L = Lo + RHS.Lo;
+  uint64_t Carry = L < Lo ? 1 : 0;
+  return fromParts(BitWidth, L, Hi + RHS.Hi + Carry);
+}
+
+APInt APInt::operator-(const APInt &RHS) const {
+  assertSameWidth(RHS);
+  uint64_t L = Lo - RHS.Lo;
+  uint64_t Borrow = Lo < RHS.Lo ? 1 : 0;
+  return fromParts(BitWidth, L, Hi - RHS.Hi - Borrow);
+}
+
+APInt APInt::operator*(const APInt &RHS) const {
+  assertSameWidth(RHS);
+  // 128x128 -> low 128 bits via 64-bit partial products.
+  unsigned __int128 P = (unsigned __int128)Lo * RHS.Lo;
+  uint64_t ResLo = (uint64_t)P;
+  uint64_t ResHi = (uint64_t)(P >> 64);
+  ResHi += Lo * RHS.Hi + Hi * RHS.Lo;
+  return fromParts(BitWidth, ResLo, ResHi);
+}
+
+/// Shift-subtract long division producing quotient and remainder.
+static void udivrem128(uint64_t ALo, uint64_t AHi, uint64_t BLo, uint64_t BHi,
+                       uint64_t &QLo, uint64_t &QHi, uint64_t &RLo,
+                       uint64_t &RHi) {
+  if (AHi == 0 && BHi == 0) {
+    QLo = ALo / BLo;
+    QHi = 0;
+    RLo = ALo % BLo;
+    RHi = 0;
+    return;
+  }
+  unsigned __int128 A = ((unsigned __int128)AHi << 64) | ALo;
+  unsigned __int128 B = ((unsigned __int128)BHi << 64) | BLo;
+  unsigned __int128 Q = A / B, R = A % B;
+  QLo = (uint64_t)Q;
+  QHi = (uint64_t)(Q >> 64);
+  RLo = (uint64_t)R;
+  RHi = (uint64_t)(R >> 64);
+}
+
+APInt APInt::udiv(const APInt &RHS) const {
+  assertSameWidth(RHS);
+  assert(!RHS.isZero() && "division by zero is UB; caller must check");
+  uint64_t QLo, QHi, RLo, RHi;
+  udivrem128(Lo, Hi, RHS.Lo, RHS.Hi, QLo, QHi, RLo, RHi);
+  return fromParts(BitWidth, QLo, QHi);
+}
+
+APInt APInt::urem(const APInt &RHS) const {
+  assertSameWidth(RHS);
+  assert(!RHS.isZero() && "division by zero is UB; caller must check");
+  uint64_t QLo, QHi, RLo, RHi;
+  udivrem128(Lo, Hi, RHS.Lo, RHS.Hi, QLo, QHi, RLo, RHi);
+  return fromParts(BitWidth, RLo, RHi);
+}
+
+APInt APInt::sdiv(const APInt &RHS) const {
+  assertSameWidth(RHS);
+  assert(!RHS.isZero() && "division by zero is UB; caller must check");
+  bool LN = isNegative(), RN = RHS.isNegative();
+  APInt Q = abs().udiv(RHS.abs());
+  return LN != RN ? -Q : Q;
+}
+
+APInt APInt::srem(const APInt &RHS) const {
+  assertSameWidth(RHS);
+  assert(!RHS.isZero() && "division by zero is UB; caller must check");
+  APInt R = abs().urem(RHS.abs());
+  return isNegative() ? -R : R;
+}
+
+APInt APInt::shl(unsigned Amt) const {
+  assert(Amt < BitWidth && "oversized shift is poison; caller must check");
+  if (Amt == 0)
+    return *this;
+  if (Amt >= 64)
+    return fromParts(BitWidth, 0, Lo << (Amt - 64));
+  return fromParts(BitWidth, Lo << Amt, (Hi << Amt) | (Lo >> (64 - Amt)));
+}
+
+APInt APInt::lshr(unsigned Amt) const {
+  assert(Amt < BitWidth && "oversized shift is poison; caller must check");
+  if (Amt == 0)
+    return *this;
+  if (Amt >= 64)
+    return fromParts(BitWidth, Hi >> (Amt - 64), 0);
+  return fromParts(BitWidth, (Lo >> Amt) | (Hi << (64 - Amt)), Hi >> Amt);
+}
+
+APInt APInt::ashr(unsigned Amt) const {
+  assert(Amt < BitWidth && "oversized shift is poison; caller must check");
+  if (!isNegative())
+    return lshr(Amt);
+  if (Amt == 0)
+    return *this;
+  // Shift in ones from the top.
+  APInt R = lshr(Amt);
+  return R | getHighBitsSet(BitWidth, Amt);
+}
+
+APInt APInt::rotl(unsigned Amt) const {
+  Amt %= BitWidth;
+  if (Amt == 0)
+    return *this;
+  return shl(Amt) | lshr(BitWidth - Amt);
+}
+
+APInt APInt::rotr(unsigned Amt) const {
+  Amt %= BitWidth;
+  if (Amt == 0)
+    return *this;
+  return lshr(Amt) | shl(BitWidth - Amt);
+}
+
+APInt APInt::uadd_ov(const APInt &RHS, bool &Overflow) const {
+  APInt R = *this + RHS;
+  Overflow = R.ult(*this);
+  return R;
+}
+
+APInt APInt::sadd_ov(const APInt &RHS, bool &Overflow) const {
+  APInt R = *this + RHS;
+  // Overflow iff operands share a sign that differs from the result's.
+  Overflow = isNegative() == RHS.isNegative() &&
+             R.isNegative() != isNegative();
+  return R;
+}
+
+APInt APInt::usub_ov(const APInt &RHS, bool &Overflow) const {
+  Overflow = ult(RHS);
+  return *this - RHS;
+}
+
+APInt APInt::ssub_ov(const APInt &RHS, bool &Overflow) const {
+  APInt R = *this - RHS;
+  Overflow = isNegative() != RHS.isNegative() &&
+             R.isNegative() != isNegative();
+  return R;
+}
+
+APInt APInt::umul_ov(const APInt &RHS, bool &Overflow) const {
+  APInt R = *this * RHS;
+  if (isZero() || RHS.isZero()) {
+    Overflow = false;
+    return R;
+  }
+  // Overflow iff the division does not round-trip.
+  Overflow = R.udiv(RHS) != *this;
+  return R;
+}
+
+APInt APInt::smul_ov(const APInt &RHS, bool &Overflow) const {
+  APInt R = *this * RHS;
+  if (isZero() || RHS.isZero()) {
+    Overflow = false;
+    return R;
+  }
+  if (isSignedMinValue() || RHS.isSignedMinValue()) {
+    // MIN * x overflows unless x == 1.
+    Overflow = !(isOne() || RHS.isOne());
+    return R;
+  }
+  Overflow = R.sdiv(RHS) != *this;
+  return R;
+}
+
+APInt APInt::sdiv_ov(const APInt &RHS, bool &Overflow) const {
+  Overflow = isSignedMinValue() && RHS.isAllOnes();
+  if (Overflow)
+    return *this; // MIN / -1 wraps back to MIN.
+  return sdiv(RHS);
+}
+
+APInt APInt::ushl_ov(const APInt &Amt, bool &Overflow) const {
+  APInt R = shl(Amt);
+  Overflow = R.lshr(Amt) != *this;
+  return R;
+}
+
+APInt APInt::sshl_ov(const APInt &Amt, bool &Overflow) const {
+  APInt R = shl(Amt);
+  Overflow = R.ashr(Amt) != *this;
+  return R;
+}
+
+APInt APInt::uadd_sat(const APInt &RHS) const {
+  bool Ov;
+  APInt R = uadd_ov(RHS, Ov);
+  return Ov ? getMaxValue(BitWidth) : R;
+}
+
+APInt APInt::sadd_sat(const APInt &RHS) const {
+  bool Ov;
+  APInt R = sadd_ov(RHS, Ov);
+  if (!Ov)
+    return R;
+  return isNegative() ? getSignedMinValue(BitWidth)
+                      : getSignedMaxValue(BitWidth);
+}
+
+APInt APInt::usub_sat(const APInt &RHS) const {
+  bool Ov;
+  APInt R = usub_ov(RHS, Ov);
+  return Ov ? getZero(BitWidth) : R;
+}
+
+APInt APInt::ssub_sat(const APInt &RHS) const {
+  bool Ov;
+  APInt R = ssub_ov(RHS, Ov);
+  if (!Ov)
+    return R;
+  return isNegative() ? getSignedMinValue(BitWidth)
+                      : getSignedMaxValue(BitWidth);
+}
+
+APInt APInt::sext(unsigned NewWidth) const {
+  assert(NewWidth >= BitWidth && "sext must widen");
+  if (!isNegative())
+    return zext(NewWidth);
+  APInt R = fromParts(NewWidth, Lo, Hi);
+  return R | getHighBitsSet(NewWidth, NewWidth - BitWidth);
+}
+
+APInt APInt::byteSwap() const {
+  assert(BitWidth % 16 == 0 && "bswap requires a multiple of 16 bits");
+  unsigned Bytes = BitWidth / 8;
+  APInt R = getZero(BitWidth);
+  for (unsigned I = 0; I != Bytes; ++I) {
+    APInt Byte = lshr(I * 8) & fromParts(BitWidth, 0xFF, 0);
+    R = R | Byte.shl((Bytes - 1 - I) * 8);
+  }
+  return R;
+}
+
+APInt APInt::bitReverse() const {
+  APInt R = getZero(BitWidth);
+  for (unsigned I = 0; I != BitWidth; ++I)
+    if (testBit(I))
+      R.setBit(BitWidth - 1 - I);
+  return R;
+}
+
+std::string APInt::toString(bool Signed) const {
+  APInt V = *this;
+  bool Neg = false;
+  if (Signed && isNegative()) {
+    Neg = true;
+    V = -V;
+  }
+  if (V.isZero())
+    return "0";
+  std::string Digits;
+  APInt Ten(BitWidth, 10);
+  // Widths below 4 bits cannot represent 10; widen for the digit loop.
+  if (BitWidth < 8) {
+    V = V.zext(8);
+    Ten = APInt(8, 10);
+  }
+  while (!V.isZero()) {
+    APInt D = V.urem(Ten);
+    Digits.push_back((char)('0' + D.getZExtValue()));
+    V = V.udiv(Ten);
+  }
+  if (Neg)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+bool APInt::fromString(unsigned NumBits, const std::string &Str,
+                       APInt &Result) {
+  if (Str.empty())
+    return false;
+  size_t I = 0;
+  bool Neg = false;
+  if (Str[0] == '-') {
+    Neg = true;
+    I = 1;
+    if (Str.size() == 1)
+      return false;
+  }
+  APInt V = getZero(NumBits);
+  APInt Ten(NumBits, 10);
+  for (; I != Str.size(); ++I) {
+    if (Str[I] < '0' || Str[I] > '9')
+      return false;
+    V = V * Ten + APInt(NumBits, (uint64_t)(Str[I] - '0'));
+  }
+  Result = Neg ? -V : V;
+  return true;
+}

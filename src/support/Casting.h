@@ -1,0 +1,68 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast --------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal reimplementation of LLVM's hand-rolled RTTI templates. A class
+/// hierarchy opts in by providing `static bool classof(const Base *)` on each
+/// derived class; `isa<>`, `cast<>` and `dyn_cast<>` then work exactly as in
+/// LLVM (see the LLVM Programmer's Manual).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_CASTING_H
+#define SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace alive {
+
+/// \returns true if \p Val is an instance of any of the \p To types.
+template <typename To, typename... Tos, typename From>
+bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  if constexpr (std::is_base_of_v<To, From>)
+    return true;
+  else if (To::classof(Val))
+    return true;
+  if constexpr (sizeof...(Tos) != 0)
+    return isa<Tos...>(Val);
+  return false;
+}
+
+/// Checked downcast; asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; \returns null if \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates null (returning false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates null (propagating it).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+} // namespace alive
+
+#endif // SUPPORT_CASTING_H

@@ -1,0 +1,38 @@
+//===- support/Timer.h - Wall-clock timing utilities -----------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small timing helpers for the throughput experiment (paper §V-B).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TIMER_H
+#define SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace alive {
+
+/// Measures wall-clock time in seconds since construction or reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed wall time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace alive
+
+#endif // SUPPORT_TIMER_H

@@ -1,0 +1,63 @@
+//===- tools/ToolCommon.h - Shared CLI helpers -----------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal option parsing shared by the command-line tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TOOLS_TOOLCOMMON_H
+#define TOOLS_TOOLCOMMON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+/// Parses "-flag", "-key=value" and positional arguments.
+class ArgParser {
+public:
+  ArgParser(int Argc, char **Argv) {
+    for (int I = 1; I < Argc; ++I) {
+      std::string A = Argv[I];
+      if (A.size() >= 2 && A[0] == '-') {
+        std::string Key = A.substr(1);
+        if (!Key.empty() && Key[0] == '-')
+          Key = Key.substr(1);
+        size_t Eq = Key.find('=');
+        if (Eq == std::string::npos)
+          Flags[Key] = "";
+        else
+          Flags[Key.substr(0, Eq)] = Key.substr(Eq + 1);
+      } else {
+        Positional.push_back(A);
+      }
+    }
+  }
+
+  bool has(const std::string &Key) const { return Flags.count(Key) != 0; }
+  std::string get(const std::string &Key, const std::string &Default = "") const {
+    auto It = Flags.find(Key);
+    return It == Flags.end() || It->second.empty() ? Default : It->second;
+  }
+  uint64_t getInt(const std::string &Key, uint64_t Default) const {
+    auto It = Flags.find(Key);
+    return It == Flags.end() || It->second.empty()
+               ? Default
+               : std::stoull(It->second);
+  }
+  const std::vector<std::string> &positional() const { return Positional; }
+
+private:
+  std::map<std::string, std::string> Flags;
+  std::vector<std::string> Positional;
+};
+
+} // namespace alive
+
+#endif // TOOLS_TOOLCOMMON_H

@@ -1,0 +1,62 @@
+//===- tools/amut-opt.cpp - Standalone optimizer ----------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standalone optimization step of the discrete-tools baseline (the `opt`
+/// analog): parse, run a pipeline, print.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/BugInjection.h"
+#include "opt/Pass.h"
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+#include "tools/ToolCommon.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace alive;
+
+int main(int Argc, char **Argv) {
+  ArgParser Args(Argc, Argv);
+  if (Args.positional().size() < 2) {
+    std::puts("usage: amut-opt [-passes=O2] [-inject-bugs] in.ll out.ll");
+    return 1;
+  }
+  if (Args.has("inject-bugs"))
+    BugConfig::enableAll();
+
+  std::string Err;
+  auto M = parseModuleFile(Args.positional()[0], Err);
+  if (!M) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  PassManager PM;
+  if (!buildPipeline(Args.get("passes", "O2"), PM, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  try {
+    PM.runToFixpoint(*M);
+  } catch (const OptimizerCrash &C) {
+    // The real tool would die on an assertion; exit abnormally.
+    std::fprintf(stderr, "optimizer crash [PR%s]: %s\n",
+                 bugInfo(C.Id).IssueId, C.What.c_str());
+    return 134; // SIGABRT-style exit
+  }
+
+  std::ofstream Out(Args.positional()[1]);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 Args.positional()[1].c_str());
+    return 1;
+  }
+  Out << printModule(*M);
+  return 0;
+}

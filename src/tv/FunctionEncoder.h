@@ -1,0 +1,82 @@
+//===- tv/FunctionEncoder.h - IR -> bit-vector terms -----------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes a loop-free, memory-free integer function as bit-vector terms:
+/// every SSA value becomes a (value, poison) term pair, every block gets a
+/// path condition, and undefined behavior accumulates into a single UB
+/// wire. This is the symbolic half of the Alive2-substitute checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TV_FUNCTIONENCODER_H
+#define TV_FUNCTIONENCODER_H
+
+#include "ir/Module.h"
+#include "smt/Term.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+/// A symbolic SSA value: its bits plus a 1-bit poison indicator.
+struct EncodedValue {
+  TermRef Val = nullptr;
+  TermRef Poison = nullptr;
+};
+
+/// The symbolic summary of one function execution.
+struct EncodedFunction {
+  /// 1 when this input triggers undefined behavior.
+  TermRef UB = nullptr;
+  /// Return value terms; RetVal is null for void functions.
+  TermRef RetVal = nullptr;
+  TermRef RetPoison = nullptr;
+};
+
+/// Encodes functions over a shared TermBuilder (source and target must
+/// share argument variables, hence one encoder context).
+class FunctionEncoder {
+public:
+  explicit FunctionEncoder(TermBuilder &B) : B(B) {}
+
+  /// True if \p F lies in the symbolic fragment: defined, loop-free CFG,
+  /// scalar-integer signature, no memory or external calls. \p Why receives
+  /// the first violated constraint otherwise.
+  static bool isSymbolicallySupported(const Function &F, std::string &Why);
+
+  /// Builds shared argument encodings for \p F (fresh value and poison
+  /// variables per argument).
+  std::vector<EncodedValue> makeArguments(const Function &F);
+
+  /// Encodes \p F applied to \p Args. Requires isSymbolicallySupported.
+  EncodedFunction encode(const Function &F,
+                         const std::vector<EncodedValue> &Args);
+
+private:
+  EncodedValue getValue(const Value *V);
+  EncodedValue encodeInstruction(const Instruction *I, TermRef PathCond,
+                                 TermRef &UB);
+  EncodedValue encodeBinary(const BinaryInst *B2, TermRef PathCond,
+                            TermRef &UB);
+  EncodedValue encodeIntrinsic(const CallInst *C, TermRef PathCond,
+                               TermRef &UB);
+
+  TermBuilder &B;
+  std::map<const Value *, EncodedValue> Values;
+  /// Freeze results keyed by the frozen value's encoding: freezing the same
+  /// symbolic value yields the same fixed result on both sides of a
+  /// refinement query (the deterministic-freeze policy; matches the
+  /// interpreter's zero resolution in spirit and makes identical functions
+  /// provably equivalent).
+  std::map<std::pair<TermRef, TermRef>, TermRef> FreezeVars;
+};
+
+} // namespace alive
+
+#endif // TV_FUNCTIONENCODER_H

@@ -1,0 +1,94 @@
+//===- tv/RefinementChecker.h - Translation validation ---------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Alive2 substitute: checks that a target function refines a source
+/// function. Refinement holds when, for every input:
+///
+///   - if the source has undefined behavior, anything is allowed;
+///   - otherwise the target must not have UB, and
+///   - if the source returns poison the target may return anything;
+///   - otherwise the target must return the same non-poison value (and,
+///     for memory functions, leave refining contents in escaped memory).
+///
+/// Two proof paths:
+///   1. symbolic — loop-free, memory-free integer functions are encoded as
+///      bit-vector terms (value + poison wires + a UB accumulator) and the
+///      negated refinement condition goes to the CDCL SAT solver; UNSAT is
+///      a proof over all inputs, SAT yields a counterexample that is then
+///      CONFIRMED by concrete interpretation (guarding against the
+///      freeze/undef encoding approximations);
+///   2. concrete — functions with memory, vectors, pointers or loops are
+///      checked by bounded enumeration: exhaustive when the input domain is
+///      small, seeded sampling with corner values otherwise (the documented
+///      bounded substitution for Alive2's SMT memory model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TV_REFINEMENTCHECKER_H
+#define TV_REFINEMENTCHECKER_H
+
+#include "ir/Interpreter.h"
+#include "ir/Module.h"
+#include "smt/SatSolver.h"
+
+#include <string>
+#include <vector>
+
+namespace alive {
+
+enum class TVVerdict {
+  Correct,      ///< refinement proven (symbolic) / no violation (bounded)
+  Incorrect,    ///< confirmed counterexample — a miscompilation
+  Unsupported,  ///< outside the checker's domain ("Alive2 error")
+  Inconclusive, ///< budget exhausted or unconfirmed model
+};
+
+const char *tvVerdictName(TVVerdict V);
+
+/// Checker configuration.
+struct TVOptions {
+  /// SAT conflict budget per query (0 = unlimited). Mirrors Alive2's SMT
+  /// timeout: queries past the budget fall back to concrete sampling.
+  uint64_t SolverConflictBudget = 150000;
+  /// Number of sampled trials on the concrete path.
+  unsigned ConcreteTrials = 48;
+  /// Enumerate exhaustively when the summed argument width is at most this
+  /// many bits.
+  unsigned ExhaustiveBits = 14;
+  /// Interpreter fuel per trial.
+  uint64_t Fuel = 200000;
+  /// Base seed for sampled trials.
+  uint64_t Seed = 0xA11CE;
+};
+
+/// Result of one refinement check.
+struct TVResult {
+  TVVerdict Verdict = TVVerdict::Unsupported;
+  /// Human-readable detail (counterexample or unsupported reason).
+  std::string Detail;
+  /// Counterexample argument values (poison args rendered in Detail).
+  std::vector<APInt> CounterExample;
+  /// True when the concrete path decided the verdict.
+  bool UsedConcretePath = false;
+  /// Solver statistics (symbolic path only).
+  SatSolver::Stats SolverStats;
+};
+
+/// Checks whether \p Tgt refines \p Src. The functions must have identical
+/// signatures (same argument count/types and return type).
+TVResult checkRefinement(const Function &Src, const Function &Tgt,
+                         const TVOptions &Opts = TVOptions());
+
+/// Self-check used by the fuzzing loop's preprocessing step: verifies the
+/// checker can process \p F at all and that F refines itself. Mirrors the
+/// paper's "drop functions Alive2 cannot handle" filtering (§III-A).
+TVResult checkSelfRefinement(const Function &F,
+                             const TVOptions &Opts = TVOptions());
+
+} // namespace alive
+
+#endif // TV_REFINEMENTCHECKER_H

@@ -1,0 +1,263 @@
+//===- tests/analysis_test.cpp - Dominance/KnownBits/ShuffleRanges tests ----===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+#include "analysis/KnownBits.h"
+#include "analysis/ShuffleRanges.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  std::string Err;
+  auto M = parseModule(Src, Err);
+  EXPECT_NE(M, nullptr) << Err;
+  return M;
+}
+
+} // namespace
+
+TEST(DomTreeTest, DiamondCFG) {
+  auto M = parseOk(R"(
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  ret i32 %x
+}
+)");
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  BasicBlock *Entry = F->getBlock(0), *A = F->getBlock(1), *B = F->getBlock(2),
+             *Join = F->getBlock(3);
+  EXPECT_TRUE(DT.dominates(Entry, A));
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_FALSE(DT.dominates(A, Join));
+  EXPECT_FALSE(DT.dominates(A, B));
+  EXPECT_TRUE(DT.dominates(A, A)); // reflexive
+  EXPECT_EQ(DT.getIDom(Join), Entry);
+  EXPECT_EQ(DT.getIDom(A), Entry);
+  EXPECT_EQ(DT.getIDom(Entry), nullptr);
+}
+
+TEST(DomTreeTest, LoopBackEdge) {
+  auto M = parseOk(R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inext, %body ]
+  %done = icmp uge i32 %i, %n
+  br i1 %done, label %exit, label %body
+body:
+  %inext = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %i
+}
+)");
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  BasicBlock *Head = F->getBlock(1), *Body = F->getBlock(2),
+             *Exit = F->getBlock(3);
+  EXPECT_TRUE(DT.dominates(Head, Body));
+  EXPECT_TRUE(DT.dominates(Head, Exit));
+  EXPECT_FALSE(DT.dominates(Body, Head));
+  EXPECT_EQ(DT.getIDom(Exit), Head);
+}
+
+TEST(DomTreeTest, UnreachableBlocks) {
+  auto M = parseOk(R"(
+define i32 @f(i32 %x) {
+entry:
+  ret i32 %x
+island:
+  br label %island2
+island2:
+  br label %island
+}
+)");
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  EXPECT_TRUE(DT.isReachable(F->getBlock(0)));
+  EXPECT_FALSE(DT.isReachable(F->getBlock(1)));
+  EXPECT_FALSE(DT.isReachable(F->getBlock(2)));
+  EXPECT_EQ(DT.rpo().size(), 1u);
+}
+
+TEST(DomTreeTest, ValueAvailability) {
+  auto M = parseOk(R"(
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = add i32 %a, 2
+  ret i32 %b
+}
+)");
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  BasicBlock *BB = F->getEntryBlock();
+  Instruction *A = BB->getInst(0), *B = BB->getInst(1);
+  // Constants and arguments everywhere.
+  EXPECT_TRUE(DT.valueAvailableAt(F->getArg(0), BB, 0));
+  // %a available at positions 1 and 2, not at 0.
+  EXPECT_FALSE(DT.valueAvailableAt(A, BB, 0));
+  EXPECT_TRUE(DT.valueAvailableAt(A, BB, 1));
+  EXPECT_TRUE(DT.valueAvailableAt(A, BB, 2));
+  EXPECT_FALSE(DT.valueAvailableAt(B, BB, 1));
+  // dominatesUse for the operands actually used.
+  EXPECT_TRUE(DT.dominatesUse(A, B, 0));
+  EXPECT_FALSE(DT.dominatesUse(B, A, 0));
+}
+
+TEST(DomTreeTest, PhiUsesCheckedAtIncomingEdge) {
+  auto M = parseOk(R"(
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %join
+a:
+  %v = add i32 %x, 1
+  br label %join
+join:
+  %p = phi i32 [ %v, %a ], [ %x, %entry ]
+  ret i32 %p
+}
+)");
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  auto *Phi = cast<PhiNode>(F->getBlock(2)->getInst(0));
+  Instruction *V = F->getBlock(1)->getInst(0);
+  // %v does not dominate the phi's block, but it does dominate the end of
+  // its incoming edge — the use is legal.
+  EXPECT_FALSE(DT.dominates(V->getParent(), Phi->getParent()));
+  EXPECT_TRUE(DT.dominatesUse(V, Phi, 0));
+}
+
+TEST(KnownBitsTest, ConstantsAndMasks) {
+  auto M = parseOk(R"(
+define i8 @f(i8 %x) {
+  %lo = and i8 %x, 15
+  %hi = or i8 %lo, 32
+  ret i8 %hi
+}
+)");
+  Function *F = M->getFunction("f");
+  Instruction *Lo = F->getEntryBlock()->getInst(0);
+  Instruction *Hi = F->getEntryBlock()->getInst(1);
+
+  KnownBits KLo = computeKnownBits(Lo);
+  EXPECT_EQ(KLo.Zero.getZExtValue(), 0xF0u); // top nibble known zero
+  EXPECT_TRUE(KLo.One.isZero());
+
+  KnownBits KHi = computeKnownBits(Hi);
+  EXPECT_EQ(KHi.One.getZExtValue(), 0x20u);
+  EXPECT_EQ(KHi.Zero.getZExtValue(), 0xD0u);
+  EXPECT_TRUE(KHi.isNonNegative());
+}
+
+TEST(KnownBitsTest, ShiftsAndExtensions) {
+  auto M = parseOk(R"(
+define i16 @f(i8 %x) {
+  %z = zext i8 %x to i16
+  %s = shl i16 %z, 4
+  ret i16 %s
+}
+)");
+  Function *F = M->getFunction("f");
+  Instruction *S = F->getEntryBlock()->getInst(1);
+  KnownBits K = computeKnownBits(S);
+  // zext gives 8 known-zero top bits; shl 4 gives 4 known-zero low bits.
+  EXPECT_EQ(K.Zero.getZExtValue() & 0xF, 0xFu);
+  EXPECT_EQ(K.Zero.getZExtValue() >> 12, 0xFu);
+}
+
+TEST(KnownBitsTest, NoCommonBits) {
+  auto M = parseOk(R"(
+define i8 @f(i8 %x, i8 %y) {
+  %lo = and i8 %x, 15
+  %hi = and i8 %y, -16
+  %both = and i8 %x, 60
+  ret i8 %lo
+}
+)");
+  Function *F = M->getFunction("f");
+  Instruction *Lo = F->getEntryBlock()->getInst(0);
+  Instruction *Hi = F->getEntryBlock()->getInst(1);
+  Instruction *Both = F->getEntryBlock()->getInst(2);
+  EXPECT_TRUE(haveNoCommonBits(Lo, Hi));
+  EXPECT_FALSE(haveNoCommonBits(Lo, Both)); // 15 & 60 != 0
+}
+
+TEST(ShuffleRangeTest, PaperListing8Shape) {
+  auto M = parseOk(R"(
+declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}
+)");
+  Function *F = M->getFunction("test9");
+  std::vector<ShuffleRange> Ranges = computeShuffleRanges(*F);
+  // %a, call, %b have no mutual SSA deps: one range of size 3. %c uses %a
+  // and %b so it cannot join.
+  ASSERT_EQ(Ranges.size(), 1u);
+  EXPECT_EQ(Ranges[0].Begin, 0u);
+  EXPECT_EQ(Ranges[0].End, 3u);
+  EXPECT_TRUE(isShufflable(*F->getEntryBlock(), 0, 3));
+  EXPECT_FALSE(isShufflable(*F->getEntryBlock(), 0, 4));
+}
+
+TEST(ShuffleRangeTest, DependencyChainHasNoRanges) {
+  auto M = parseOk(R"(
+define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  %b = add i32 %a, 2
+  %c = add i32 %b, 3
+  ret i32 %c
+}
+)");
+  std::vector<ShuffleRange> Ranges =
+      computeShuffleRanges(*M->getFunction("f"));
+  EXPECT_TRUE(Ranges.empty());
+}
+
+TEST(ShuffleRangeTest, PhisAndTerminatorsExcluded) {
+  auto M = parseOk(R"(
+define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ %x, %a ], [ %y, %b ]
+  %q = phi i32 [ %y, %a ], [ %x, %b ]
+  %m = mul i32 %x, %y
+  %n = add i32 %x, %y
+  ret i32 %m
+}
+)");
+  Function *F = M->getFunction("f");
+  std::vector<ShuffleRange> Ranges = computeShuffleRanges(*F);
+  // The only range is [%m, %n] in join (index 2..4); phis excluded.
+  ASSERT_EQ(Ranges.size(), 1u);
+  EXPECT_EQ(Ranges[0].BlockIdx, 3u);
+  EXPECT_EQ(Ranges[0].Begin, 2u);
+  EXPECT_EQ(Ranges[0].End, 4u);
+}

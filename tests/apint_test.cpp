@@ -1,0 +1,278 @@
+//===- tests/apint_test.cpp - APInt unit & property tests ------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/APInt.h"
+#include "support/RandomGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+
+TEST(APIntTest, BasicConstruction) {
+  APInt A(32, 42);
+  EXPECT_EQ(A.getBitWidth(), 32u);
+  EXPECT_EQ(A.getZExtValue(), 42u);
+  EXPECT_FALSE(A.isZero());
+  EXPECT_TRUE(APInt(8, 0).isZero());
+  EXPECT_TRUE(APInt(8, 1).isOne());
+}
+
+TEST(APIntTest, SignedConstructionSignExtends) {
+  APInt A(64, (uint64_t)-5, /*IsSigned=*/true);
+  EXPECT_EQ(A.getSExtValue(), -5);
+  APInt B(128, (uint64_t)-1, /*IsSigned=*/true);
+  EXPECT_TRUE(B.isAllOnes());
+}
+
+TEST(APIntTest, WidthMasking) {
+  APInt A(4, 0xFF);
+  EXPECT_EQ(A.getZExtValue(), 0xFu);
+  APInt B(1, 3);
+  EXPECT_EQ(B.getZExtValue(), 1u);
+}
+
+TEST(APIntTest, SpecialValues) {
+  EXPECT_EQ(APInt::getSignedMaxValue(8).getSExtValue(), 127);
+  EXPECT_EQ(APInt::getSignedMinValue(8).getSExtValue(), -128);
+  EXPECT_EQ(APInt::getMaxValue(8).getZExtValue(), 255u);
+  EXPECT_TRUE(APInt::getSignedMinValue(8).isNegative());
+  EXPECT_TRUE(APInt::getSignedMinValue(8).isSignedMinValue());
+  EXPECT_TRUE(APInt::getSignedMaxValue(8).isSignedMaxValue());
+}
+
+TEST(APIntTest, BitManipulation) {
+  APInt A = APInt::getZero(64);
+  A.setBit(63);
+  EXPECT_TRUE(A.isNegative());
+  EXPECT_TRUE(A.isPowerOf2());
+  EXPECT_EQ(A.logBase2(), 63u);
+  A.clearBit(63);
+  EXPECT_TRUE(A.isZero());
+
+  APInt B = APInt::getOneBitSet(128, 100);
+  EXPECT_TRUE(B.testBit(100));
+  EXPECT_EQ(B.countTrailingZeros(), 100u);
+  EXPECT_EQ(B.countLeadingZeros(), 27u);
+  EXPECT_EQ(B.popcount(), 1u);
+}
+
+TEST(APIntTest, LowHighBitMasks) {
+  EXPECT_EQ(APInt::getLowBitsSet(16, 4).getZExtValue(), 0xFu);
+  EXPECT_EQ(APInt::getHighBitsSet(16, 4).getZExtValue(), 0xF000u);
+  EXPECT_TRUE(APInt::getLowBitsSet(16, 0).isZero());
+  EXPECT_TRUE(APInt::getLowBitsSet(16, 16).isAllOnes());
+}
+
+TEST(APIntTest, ComparisonCorners) {
+  APInt Min = APInt::getSignedMinValue(32);
+  APInt Max = APInt::getSignedMaxValue(32);
+  EXPECT_TRUE(Min.slt(Max));
+  EXPECT_TRUE(Max.ult(Min)); // unsigned: 0x7FFF... < 0x8000...
+  EXPECT_TRUE(Min.sle(Min));
+  EXPECT_TRUE(APInt(32, 0).sgt(Min));
+}
+
+TEST(APIntTest, DivisionSemantics) {
+  // C-style truncation toward zero.
+  APInt A(32, (uint64_t)-7, true), B(32, 2);
+  EXPECT_EQ(A.sdiv(B).getSExtValue(), -3);
+  EXPECT_EQ(A.srem(B).getSExtValue(), -1);
+  EXPECT_EQ(APInt(32, 7).sdiv(APInt(32, (uint64_t)-2, true)).getSExtValue(),
+            -3);
+  EXPECT_EQ(APInt(32, 7).srem(APInt(32, (uint64_t)-2, true)).getSExtValue(),
+            1);
+}
+
+TEST(APIntTest, OverflowDetection) {
+  bool Ov;
+  APInt::getSignedMaxValue(8).sadd_ov(APInt(8, 1), Ov);
+  EXPECT_TRUE(Ov);
+  APInt(8, 100).sadd_ov(APInt(8, 27), Ov);
+  EXPECT_FALSE(Ov);
+  APInt::getMaxValue(8).uadd_ov(APInt(8, 1), Ov);
+  EXPECT_TRUE(Ov);
+  APInt(8, 0).usub_ov(APInt(8, 1), Ov);
+  EXPECT_TRUE(Ov);
+  APInt(8, 16).umul_ov(APInt(8, 16), Ov);
+  EXPECT_TRUE(Ov);
+  APInt(8, 15).umul_ov(APInt(8, 17), Ov);
+  EXPECT_FALSE(Ov);
+  APInt::getSignedMinValue(8).sdiv_ov(APInt::getAllOnes(8), Ov);
+  EXPECT_TRUE(Ov);
+}
+
+TEST(APIntTest, SaturatingArithmetic) {
+  EXPECT_TRUE(APInt::getMaxValue(8).uadd_sat(APInt(8, 1)).isAllOnes());
+  EXPECT_TRUE(APInt(8, 0).usub_sat(APInt(8, 5)).isZero());
+  EXPECT_TRUE(
+      APInt::getSignedMaxValue(8).sadd_sat(APInt(8, 1)).isSignedMaxValue());
+  EXPECT_TRUE(
+      APInt::getSignedMinValue(8).ssub_sat(APInt(8, 1)).isSignedMinValue());
+}
+
+TEST(APIntTest, ShiftsAndRotates) {
+  APInt A(16, 0x00F0);
+  EXPECT_EQ(A.shl(4).getZExtValue(), 0x0F00u);
+  EXPECT_EQ(A.lshr(4).getZExtValue(), 0x000Fu);
+  APInt Neg(16, 0x8000);
+  EXPECT_EQ(Neg.ashr(15).getZExtValue(), 0xFFFFu);
+  EXPECT_EQ(APInt(8, 0x81).rotl(1).getZExtValue(), 0x03u);
+  EXPECT_EQ(APInt(8, 0x81).rotr(1).getZExtValue(), 0xC0u);
+}
+
+TEST(APIntTest, Conversions) {
+  APInt A(8, 0x80);
+  EXPECT_EQ(A.zext(16).getZExtValue(), 0x80u);
+  EXPECT_EQ(A.sext(16).getZExtValue(), 0xFF80u);
+  EXPECT_EQ(APInt(16, 0x1234).trunc(8).getZExtValue(), 0x34u);
+  EXPECT_EQ(A.zextOrTrunc(8).getZExtValue(), 0x80u);
+}
+
+TEST(APIntTest, ByteSwapAndBitReverse) {
+  EXPECT_EQ(APInt(32, 0x12345678).byteSwap().getZExtValue(), 0x78563412u);
+  EXPECT_EQ(APInt(16, 0xABCD).byteSwap().getZExtValue(), 0xCDABu);
+  EXPECT_EQ(APInt(8, 0x01).bitReverse().getZExtValue(), 0x80u);
+}
+
+TEST(APIntTest, StringRoundTrip) {
+  EXPECT_EQ(APInt(32, (uint64_t)-16, true).toString(), "-16");
+  EXPECT_EQ(APInt(32, 65536).toString(), "65536");
+  EXPECT_EQ(APInt(1, 1).toString(/*Signed=*/false), "1");
+  EXPECT_EQ(APInt(1, 1).toString(/*Signed=*/true), "-1");
+
+  APInt V;
+  ASSERT_TRUE(APInt::fromString(32, "-16", V));
+  EXPECT_EQ(V.getSExtValue(), -16);
+  ASSERT_TRUE(APInt::fromString(64, "1280583335", V));
+  EXPECT_EQ(V.getZExtValue(), 1280583335u);
+  EXPECT_FALSE(APInt::fromString(32, "", V));
+  EXPECT_FALSE(APInt::fromString(32, "12a", V));
+  EXPECT_FALSE(APInt::fromString(32, "-", V));
+}
+
+TEST(APIntTest, WideArithmetic128) {
+  APInt A = APInt::fromParts(128, ~0ULL, 0); // 2^64 - 1
+  APInt One(128, 1);
+  APInt B = A + One; // 2^64
+  EXPECT_EQ(B.getLoBits64(), 0u);
+  EXPECT_EQ(B.getHiBits64(), 1u);
+  EXPECT_EQ((B - One).getLoBits64(), ~0ULL);
+  APInt Sq = A * A; // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(Sq.getLoBits64(), 1u);
+  EXPECT_EQ(Sq.getHiBits64(), ~0ULL - 1);
+  EXPECT_EQ(Sq.udiv(A), A);
+  EXPECT_TRUE(Sq.urem(A).isZero());
+}
+
+// Property sweep: APInt must agree with native 64-bit arithmetic at every
+// width up to 64.
+class APIntPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(APIntPropertyTest, MatchesNativeArithmetic) {
+  unsigned W = GetParam();
+  uint64_t Mask = W == 64 ? ~0ULL : ((1ULL << W) - 1);
+  RandomGenerator RNG(1234 + W);
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    uint64_t XRaw = RNG.next64() & Mask, YRaw = RNG.next64() & Mask;
+    APInt X(W, XRaw), Y(W, YRaw);
+    EXPECT_EQ((X + Y).getZExtValue(), (XRaw + YRaw) & Mask);
+    EXPECT_EQ((X - Y).getZExtValue(), (XRaw - YRaw) & Mask);
+    EXPECT_EQ((X * Y).getZExtValue(), (XRaw * YRaw) & Mask);
+    EXPECT_EQ((X & Y).getZExtValue(), XRaw & YRaw);
+    EXPECT_EQ((X | Y).getZExtValue(), XRaw | YRaw);
+    EXPECT_EQ((X ^ Y).getZExtValue(), XRaw ^ YRaw);
+    EXPECT_EQ(X.ult(Y), XRaw < YRaw);
+    if (YRaw != 0) {
+      EXPECT_EQ(X.udiv(Y).getZExtValue(), XRaw / YRaw);
+      EXPECT_EQ(X.urem(Y).getZExtValue(), XRaw % YRaw);
+    }
+    unsigned Amt = (unsigned)RNG.below(W);
+    EXPECT_EQ(X.shl(Amt).getZExtValue(), (XRaw << Amt) & Mask);
+    EXPECT_EQ(X.lshr(Amt).getZExtValue(), XRaw >> Amt);
+    // Signed comparisons against sign-extended natives.
+    auto SExt = [&](uint64_t V) {
+      unsigned Shift = 64 - W;
+      return (int64_t)(V << Shift) >> Shift;
+    };
+    EXPECT_EQ(X.slt(Y), SExt(XRaw) < SExt(YRaw));
+    EXPECT_EQ(X.popcount(), (unsigned)__builtin_popcountll(XRaw));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, APIntPropertyTest,
+                         ::testing::Values(1, 3, 7, 8, 13, 16, 26, 31, 32, 33,
+                                           48, 63, 64));
+
+// Property: 128-bit division identity a = q*b + r, r < b.
+TEST(APIntTest, WideDivisionIdentity) {
+  RandomGenerator RNG(99);
+  for (int Trial = 0; Trial != 300; ++Trial) {
+    APInt A = APInt::fromParts(128, RNG.next64(), RNG.next64());
+    APInt B = APInt::fromParts(128, RNG.next64(),
+                               RNG.flip() ? RNG.next64() : 0);
+    if (B.isZero())
+      continue;
+    APInt Q = A.udiv(B), R = A.urem(B);
+    EXPECT_EQ(Q * B + R, A);
+    EXPECT_TRUE(R.ult(B));
+  }
+}
+
+// Property: overflow flags match the widened-arithmetic definition.
+TEST(APIntTest, OverflowMatchesWidening) {
+  RandomGenerator RNG(7);
+  for (int Trial = 0; Trial != 1000; ++Trial) {
+    unsigned W = 2 + (unsigned)RNG.below(30);
+    APInt X = RNG.nextAPInt(W), Y = RNG.nextAPInt(W);
+    bool Ov;
+    X.sadd_ov(Y, Ov);
+    APInt Wide = X.sext(2 * W) + Y.sext(2 * W);
+    EXPECT_EQ(Ov, Wide != (X + Y).sext(2 * W)) << "width " << W;
+    X.smul_ov(Y, Ov);
+    APInt WideM = X.sext(2 * W) * Y.sext(2 * W);
+    EXPECT_EQ(Ov, WideM != (X * Y).sext(2 * W)) << "width " << W;
+    X.umul_ov(Y, Ov);
+    APInt WideU = X.zext(2 * W) * Y.zext(2 * W);
+    EXPECT_EQ(Ov, WideU != (X * Y).zext(2 * W)) << "width " << W;
+  }
+}
+
+TEST(RandomGeneratorTest, DeterministicStreams) {
+  RandomGenerator A(42), B(42), C(43);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next64(), B.next64());
+  bool Differs = false;
+  RandomGenerator A2(42);
+  for (int I = 0; I != 100; ++I)
+    Differs |= A2.next64() != C.next64();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(RandomGeneratorTest, BelowRespectsBound) {
+  RandomGenerator RNG(1);
+  for (int I = 0; I != 1000; ++I) {
+    uint64_t B = 1 + RNG.below(100);
+    EXPECT_LT(RNG.below(B), B);
+  }
+}
+
+TEST(RandomGeneratorTest, ReseedReproduces) {
+  RandomGenerator RNG(5);
+  std::vector<uint64_t> First;
+  for (int I = 0; I != 16; ++I)
+    First.push_back(RNG.next64());
+  RNG.reseed(5);
+  for (int I = 0; I != 16; ++I)
+    EXPECT_EQ(RNG.next64(), First[I]);
+}
+
+TEST(RandomGeneratorTest, APIntWidthAlwaysCorrect) {
+  RandomGenerator RNG(9);
+  for (int I = 0; I != 200; ++I) {
+    unsigned W = 1 + (unsigned)RNG.below(128);
+    EXPECT_EQ(RNG.nextAPInt(W).getBitWidth(), W);
+  }
+}

@@ -1,0 +1,300 @@
+//===- tests/ir_test.cpp - IR core unit tests ------------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "ir/Module.h"
+#include "parser/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+
+namespace {
+
+/// Builds: define i32 @f(i32 %a, i32 %b) { %s = add %a, %b; ret %s }
+Function *buildAddFunction(Module &M) {
+  TypeContext &TC = M.getTypes();
+  Type *I32 = TC.getIntTy(32);
+  Function *F =
+      M.createFunction(TC.getFunctionTy(I32, {I32, I32}), "f");
+  F->getArg(0)->setName("a");
+  F->getArg(1)->setName("b");
+  BasicBlock *BB = F->addBlock("entry");
+  auto *Add = new BinaryInst(BinaryInst::Add, F->getArg(0), F->getArg(1));
+  Add->setName("s");
+  BB->append(std::unique_ptr<Instruction>(Add));
+  BB->append(std::make_unique<ReturnInst>(Add, TC.getVoidTy()));
+  return F;
+}
+
+} // namespace
+
+TEST(TypeTest, Interning) {
+  Module M;
+  TypeContext &TC = M.getTypes();
+  EXPECT_EQ(TC.getIntTy(32), TC.getIntTy(32));
+  EXPECT_NE(TC.getIntTy(32), TC.getIntTy(33));
+  EXPECT_EQ(TC.getVectorTy(TC.getIntTy(8), 4), TC.getVectorTy(TC.getIntTy(8), 4));
+  EXPECT_EQ(TC.getFunctionTy(TC.getVoidTy(), {TC.getPointerTy()}),
+            TC.getFunctionTy(TC.getVoidTy(), {TC.getPointerTy()}));
+}
+
+TEST(TypeTest, Printing) {
+  Module M;
+  TypeContext &TC = M.getTypes();
+  EXPECT_EQ(TC.getIntTy(26)->str(), "i26");
+  EXPECT_EQ(TC.getPointerTy()->str(), "ptr");
+  EXPECT_EQ(TC.getVectorTy(TC.getIntTy(8), 4)->str(), "<4 x i8>");
+  EXPECT_EQ(TC.getVoidTy()->str(), "void");
+}
+
+TEST(TypeTest, Predicates) {
+  Module M;
+  TypeContext &TC = M.getTypes();
+  EXPECT_TRUE(TC.getIntTy(1)->isBoolTy());
+  EXPECT_FALSE(TC.getIntTy(2)->isBoolTy());
+  EXPECT_TRUE(TC.getIntTy(7)->isIntOrIntVectorTy());
+  EXPECT_TRUE(TC.getVectorTy(TC.getIntTy(7), 2)->isIntOrIntVectorTy());
+  EXPECT_FALSE(TC.getPointerTy()->isIntOrIntVectorTy());
+  EXPECT_EQ(TC.getVectorTy(TC.getIntTy(7), 2)->getScalarType(),
+            TC.getIntTy(7));
+}
+
+TEST(ConstantTest, Interning) {
+  Module M;
+  ConstantPoolCtx &CP = M.getConstants();
+  IntegerType *I32 = M.getTypes().getIntTy(32);
+  EXPECT_EQ(CP.getInt(I32, 42), CP.getInt(I32, 42));
+  EXPECT_NE(CP.getInt(I32, 42), CP.getInt(I32, 43));
+  EXPECT_EQ(CP.getPoison(I32), CP.getPoison(I32));
+  EXPECT_NE((Value *)CP.getPoison(I32), (Value *)CP.getUndef(I32));
+}
+
+TEST(UseListTest, SetOperandMaintainsUses) {
+  Module M;
+  Function *F = buildAddFunction(M);
+  Argument *A = F->getArg(0), *B = F->getArg(1);
+  Instruction *Add = F->getEntryBlock()->getInst(0);
+  EXPECT_EQ(A->getNumUses(), 1u);
+  cast<User>(Add)->setOperand(0, B);
+  EXPECT_EQ(A->getNumUses(), 0u);
+  EXPECT_EQ(B->getNumUses(), 2u);
+}
+
+TEST(UseListTest, ReplaceAllUsesWith) {
+  Module M;
+  Function *F = buildAddFunction(M);
+  Argument *A = F->getArg(0), *B = F->getArg(1);
+  A->replaceAllUsesWith(B);
+  EXPECT_EQ(A->getNumUses(), 0u);
+  EXPECT_EQ(B->getNumUses(), 2u);
+  Instruction *Add = F->getEntryBlock()->getInst(0);
+  EXPECT_EQ(cast<BinaryInst>(Add)->getLHS(), B);
+}
+
+TEST(UseListTest, DuplicateOperandCountsTwice) {
+  Module M;
+  TypeContext &TC = M.getTypes();
+  Type *I32 = TC.getIntTy(32);
+  Function *F = M.createFunction(TC.getFunctionTy(I32, {I32}), "g");
+  BasicBlock *BB = F->addBlock("entry");
+  auto *Add =
+      new BinaryInst(BinaryInst::Mul, F->getArg(0), F->getArg(0));
+  BB->append(std::unique_ptr<Instruction>(Add));
+  BB->append(std::make_unique<ReturnInst>(Add, TC.getVoidTy()));
+  EXPECT_EQ(F->getArg(0)->getNumUses(), 2u);
+}
+
+TEST(BasicBlockTest, TakeAndReinsert) {
+  Module M;
+  Function *F = buildAddFunction(M);
+  BasicBlock *BB = F->getEntryBlock();
+  Instruction *Add = BB->getInst(0);
+  auto Owned = BB->take(Add);
+  EXPECT_EQ(BB->size(), 1u);
+  EXPECT_EQ(Owned->getParent(), nullptr);
+  BB->insert(0, std::move(Owned));
+  EXPECT_EQ(BB->size(), 2u);
+  EXPECT_EQ(Add->getParent(), BB);
+  EXPECT_EQ(verifyError(*F), "");
+}
+
+TEST(CloneTest, CloneWithinModule) {
+  Module M;
+  Function *F = buildAddFunction(M);
+  Function *G = cloneFunction(*F, M, "f_clone");
+  EXPECT_NE(F, G);
+  EXPECT_EQ(G->getName(), "f_clone");
+  EXPECT_EQ(G->getNumBlocks(), 1u);
+  EXPECT_EQ(verifyError(*G), "");
+  // Clone must not alias original values.
+  EXPECT_NE(G->getArg(0), F->getArg(0));
+  EXPECT_EQ(F->getArg(0)->getNumUses(), 1u);
+  EXPECT_EQ(G->getArg(0)->getNumUses(), 1u);
+}
+
+TEST(CloneTest, CloneModulePreservesText) {
+  Module M;
+  buildAddFunction(M);
+  auto M2 = cloneModule(M);
+  EXPECT_EQ(printModule(M), printModule(*M2));
+}
+
+TEST(CloneTest, CloneTranslatesIntrinsics) {
+  Module M;
+  TypeContext &TC = M.getTypes();
+  Type *I32 = TC.getIntTy(32);
+  Function *Callee = M.getOrInsertIntrinsic(IntrinsicID::SMin, I32);
+  Function *F = M.createFunction(TC.getFunctionTy(I32, {I32}), "h");
+  BasicBlock *BB = F->addBlock("entry");
+  auto *Call = new CallInst(
+      Callee, {F->getArg(0), F->getArg(0)}, I32);
+  BB->append(std::unique_ptr<Instruction>(Call));
+  BB->append(std::make_unique<ReturnInst>(Call, TC.getVoidTy()));
+
+  auto M2 = cloneModule(M);
+  Function *H = M2->getFunction("h");
+  ASSERT_NE(H, nullptr);
+  auto *C = cast<CallInst>(H->getEntryBlock()->getInst(0));
+  EXPECT_EQ(C->getCallee()->getIntrinsicID(), IntrinsicID::SMin);
+  EXPECT_EQ(C->getCallee()->getParent(), M2.get());
+}
+
+TEST(AttributeTest, ToggleFnAttr) {
+  Module M;
+  Function *F = buildAddFunction(M);
+  EXPECT_FALSE(F->hasFnAttr(FnAttr::NoFree));
+  F->toggleFnAttr(FnAttr::NoFree);
+  EXPECT_TRUE(F->hasFnAttr(FnAttr::NoFree));
+  F->toggleFnAttr(FnAttr::NoFree);
+  EXPECT_FALSE(F->hasFnAttr(FnAttr::NoFree));
+}
+
+TEST(AttributeTest, ParamAttrRendering) {
+  ParamAttrs PA;
+  PA.NoCapture = true;
+  PA.Dereferenceable = 2;
+  EXPECT_EQ(PA.str(), " nocapture dereferenceable(2)");
+  EXPECT_TRUE(ParamAttrs().empty());
+  EXPECT_FALSE(PA.empty());
+}
+
+TEST(FunctionTest, AddArgumentExtendsType) {
+  Module M;
+  Function *F = buildAddFunction(M);
+  unsigned Before = F->getFunctionType()->getNumParams();
+  Argument *A = F->addArgument(M.getTypes().getPointerTy(), "p");
+  EXPECT_EQ(F->getFunctionType()->getNumParams(), Before + 1);
+  EXPECT_EQ(A->getIndex(), Before);
+  EXPECT_EQ(F->getArg(Before), A);
+}
+
+TEST(VerifierTest, AcceptsValidFunction) {
+  Module M;
+  Function *F = buildAddFunction(M);
+  EXPECT_EQ(verifyError(*F), "");
+}
+
+TEST(VerifierTest, RejectsUseBeforeDef) {
+  Module M;
+  TypeContext &TC = M.getTypes();
+  Type *I32 = TC.getIntTy(32);
+  Function *F = M.createFunction(TC.getFunctionTy(I32, {I32}), "bad");
+  BasicBlock *BB = F->addBlock("entry");
+  auto *A = new BinaryInst(BinaryInst::Add, F->getArg(0), F->getArg(0));
+  auto *B = new BinaryInst(BinaryInst::Add, F->getArg(0), F->getArg(0));
+  BB->append(std::unique_ptr<Instruction>(A));
+  BB->append(std::unique_ptr<Instruction>(B));
+  BB->append(std::make_unique<ReturnInst>(B, TC.getVoidTy()));
+  // Make A use B: definition does not dominate the use.
+  A->setOperand(1, B);
+  EXPECT_NE(verifyError(*F), "");
+}
+
+TEST(VerifierTest, RejectsMissingTerminator) {
+  Module M;
+  TypeContext &TC = M.getTypes();
+  Type *I32 = TC.getIntTy(32);
+  Function *F = M.createFunction(TC.getFunctionTy(I32, {I32}), "bad2");
+  BasicBlock *BB = F->addBlock("entry");
+  BB->append(std::unique_ptr<Instruction>(
+      new BinaryInst(BinaryInst::Add, F->getArg(0), F->getArg(0))));
+  EXPECT_NE(verifyError(*F), "");
+}
+
+TEST(VerifierTest, RejectsBadFlags) {
+  Module M;
+  Function *F = buildAddFunction(M);
+  auto *Add = cast<BinaryInst>(F->getEntryBlock()->getInst(0));
+  Add->setBinOp(BinaryInst::And); // and with nuw is invalid
+  Add->setNUW(true);
+  EXPECT_NE(verifyError(*F), "");
+}
+
+TEST(VerifierTest, RejectsPhiMismatch) {
+  Module M;
+  TypeContext &TC = M.getTypes();
+  Type *I32 = TC.getIntTy(32);
+  Function *F =
+      M.createFunction(TC.getFunctionTy(I32, {TC.getIntTy(1)}), "phibad");
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Left = F->addBlock("left");
+  BasicBlock *Join = F->addBlock("join");
+  Entry->append(std::make_unique<BranchInst>(F->getArg(0), Left, Join,
+                                             TC.getVoidTy()));
+  Left->append(std::make_unique<BranchInst>(Join, TC.getVoidTy()));
+  auto *Phi = new PhiNode(I32);
+  // Only one incoming value although join has two predecessors.
+  Phi->addIncoming(M.getConstants().getInt(TC.getIntTy(32), 1), Left);
+  Join->append(std::unique_ptr<Instruction>(Phi));
+  Join->append(std::make_unique<ReturnInst>(Phi, TC.getVoidTy()));
+  EXPECT_NE(verifyError(*F), "");
+}
+
+TEST(InstructionTest, Predicates) {
+  Module M;
+  Function *F = buildAddFunction(M);
+  Instruction *Add = F->getEntryBlock()->getInst(0);
+  Instruction *Ret = F->getEntryBlock()->getInst(1);
+  EXPECT_TRUE(Add->isPure());
+  EXPECT_FALSE(Add->isTerminator());
+  EXPECT_TRUE(Ret->isTerminator());
+  EXPECT_FALSE(Add->mayHaveSideEffects());
+  EXPECT_EQ(Add->getOpcodeName(), "add");
+}
+
+TEST(InstructionTest, PredicateHelpers) {
+  EXPECT_EQ(ICmpInst::getInversePredicate(ICmpInst::ULT), ICmpInst::UGE);
+  EXPECT_EQ(ICmpInst::getSwappedPredicate(ICmpInst::SLT), ICmpInst::SGT);
+  EXPECT_EQ(ICmpInst::getSwappedPredicate(ICmpInst::EQ), ICmpInst::EQ);
+  EXPECT_TRUE(ICmpInst::isSigned(ICmpInst::SLE));
+  EXPECT_TRUE(ICmpInst::isUnsigned(ICmpInst::UGT));
+  EXPECT_FALSE(ICmpInst::isRelational(ICmpInst::NE));
+  EXPECT_TRUE(
+      ICmpInst::evaluate(ICmpInst::SLT, APInt(8, 0xFF), APInt(8, 0)));
+  EXPECT_FALSE(
+      ICmpInst::evaluate(ICmpInst::ULT, APInt(8, 0xFF), APInt(8, 0)));
+}
+
+TEST(InstructionTest, FlagHelpers) {
+  EXPECT_TRUE(BinaryInst::supportsNUWNSW(BinaryInst::Add));
+  EXPECT_FALSE(BinaryInst::supportsNUWNSW(BinaryInst::And));
+  EXPECT_TRUE(BinaryInst::supportsExact(BinaryInst::LShr));
+  EXPECT_TRUE(BinaryInst::isCommutative(BinaryInst::Xor));
+  EXPECT_FALSE(BinaryInst::isCommutative(BinaryInst::Sub));
+}
+
+TEST(ModuleTest, IntrinsicDeclaration) {
+  Module M;
+  Function *F =
+      M.getOrInsertIntrinsic(IntrinsicID::SMax, M.getTypes().getIntTy(8));
+  EXPECT_EQ(F->getName(), "llvm.smax.i8");
+  EXPECT_TRUE(F->isDeclaration());
+  EXPECT_TRUE(F->isIntrinsic());
+  EXPECT_EQ(F, M.getOrInsertIntrinsic(IntrinsicID::SMax,
+                                      M.getTypes().getIntTy(8)));
+  EXPECT_EQ(F->getFunctionType()->getNumParams(), 2u);
+}

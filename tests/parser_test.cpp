@@ -1,0 +1,349 @@
+//===- tests/parser_test.cpp - Parser/printer tests ------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  std::string Err;
+  auto M = parseModule(Src, Err);
+  EXPECT_NE(M, nullptr) << Err;
+  if (M) {
+    std::vector<std::string> VErrs;
+    EXPECT_TRUE(verifyModule(*M, VErrs))
+        << (VErrs.empty() ? "" : VErrs.front());
+  }
+  return M;
+}
+
+void expectParseError(const std::string &Src) {
+  std::string Err;
+  auto M = parseModule(Src, Err);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
+/// Round-trips Src through print+parse and checks the text is stable.
+void roundTrip(const std::string &Src) {
+  std::string Err;
+  auto M1 = parseModule(Src, Err);
+  ASSERT_NE(M1, nullptr) << Err;
+  std::string Text1 = printModule(*M1);
+  auto M2 = parseModule(Text1, Err);
+  ASSERT_NE(M2, nullptr) << Err << "\nin printed text:\n" << Text1;
+  EXPECT_EQ(Text1, printModule(*M2));
+}
+
+} // namespace
+
+TEST(ParserTest, SimpleFunction) {
+  auto M = parseOk("define i32 @add(i32 %a, i32 %b) {\n"
+                   "  %s = add nsw i32 %a, %b\n"
+                   "  ret i32 %s\n"
+                   "}\n");
+  Function *F = M->getFunction("add");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->getNumArgs(), 2u);
+  auto *Add = cast<BinaryInst>(F->getEntryBlock()->getInst(0));
+  EXPECT_TRUE(Add->hasNSW());
+  EXPECT_FALSE(Add->hasNUW());
+}
+
+TEST(ParserTest, PaperListing1) {
+  // Listing 1 from the paper, verbatim (with legacy pointer-free types).
+  auto M = parseOk(R"(
+define i32 @t1_ult_slt_0(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, -16
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = add i32 %x, 16
+  %t3 = icmp ult i32 %t2, 144
+  %r = select i1 %t3, i32 %x, i32 %t1
+  ret i32 %r
+}
+)");
+  Function *F = M->getFunction("t1_ult_slt_0");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->getEntryBlock()->size(), 6u);
+}
+
+TEST(ParserTest, PaperListing4LegacyPointers) {
+  // Listing 4 uses typed pointers (i32*); they must parse as ptr.
+  auto M = parseOk(R"(
+define i32 @test9(i32* %p, i32* %q) {
+  %a = load i32, i32* %q
+  call void @clobber(i32* %p)
+  %b = load i32, i32* %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}
+)");
+  Function *F = M->getFunction("test9");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->getArg(0)->getType()->isPointerTy());
+  // @clobber was auto-declared.
+  Function *Clobber = M->getFunction("clobber");
+  ASSERT_NE(Clobber, nullptr);
+  EXPECT_TRUE(Clobber->isDeclaration());
+}
+
+TEST(ParserTest, AttributesInlineAndGroups) {
+  auto M = parseOk(R"(
+define i32 @test9(i32* dereferenceable(2) %p, i32* %q) #0 {
+  %a = load i32, i32* %q
+  ret i32 %a
+}
+
+attributes #0 = { nofree }
+)");
+  Function *F = M->getFunction("test9");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->hasFnAttr(FnAttr::NoFree));
+  EXPECT_EQ(F->paramAttrs(0).Dereferenceable, 2u);
+}
+
+TEST(ParserTest, Intrinsics) {
+  auto M = parseOk(R"(
+define i8 @smax_offset(i8 %x) {
+  %m = call i8 @llvm.smax.i8(i8 %x, i8 -124)
+  ret i8 %m
+}
+)");
+  auto *F = M->getFunction("llvm.smax.i8");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->getIntrinsicID(), IntrinsicID::SMax);
+}
+
+TEST(ParserTest, MultiBlockWithPhi) {
+  auto M = parseOk(R"(
+define i32 @loop(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %next, %head ]
+  %next = add i32 %i, 1
+  %done = icmp eq i32 %next, %n
+  br i1 %done, label %exit, label %head
+exit:
+  ret i32 %next
+}
+)");
+  Function *F = M->getFunction("loop");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->getNumBlocks(), 3u);
+  auto *Phi = dyn_cast<PhiNode>(F->getBlock(1)->getInst(0));
+  ASSERT_NE(Phi, nullptr);
+  EXPECT_EQ(Phi->getNumIncoming(), 2u);
+}
+
+TEST(ParserTest, ForwardReferencesParseButFailVerifier) {
+  // A use textually before its definition must parse (forward reference),
+  // and the verifier must then reject it because the definition does not
+  // dominate the use.
+  std::string Err;
+  auto M = parseModule(R"(
+define i32 @fwd(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+b:
+  ret i32 %v
+a:
+  %v = add i32 1, 2
+  br label %b
+}
+)",
+                       Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function *F = M->getFunction("fwd");
+  ASSERT_NE(F, nullptr);
+  EXPECT_NE(verifyError(*F), "");
+}
+
+TEST(ParserTest, ForwardReferenceWithDominanceVerifies) {
+  // Here the forward-referenced value's block dominates the user's block.
+  auto M = parseOk(R"(
+define i32 @fwd2(i1 %c) {
+entry:
+  br label %a
+b:
+  ret i32 %v
+a:
+  %v = add i32 1, 2
+  br label %b
+}
+)");
+  EXPECT_NE(M->getFunction("fwd2"), nullptr);
+}
+
+TEST(ParserTest, Switch) {
+  auto M = parseOk(R"(
+define i32 @sw(i32 %x) {
+entry:
+  switch i32 %x, label %d [
+    i32 0, label %a
+    i32 1, label %b
+  ]
+a:
+  ret i32 10
+b:
+  ret i32 20
+d:
+  ret i32 30
+}
+)");
+  auto *Sw = cast<SwitchInst>(
+      M->getFunction("sw")->getEntryBlock()->getTerminator());
+  EXPECT_EQ(Sw->getNumCases(), 2u);
+}
+
+TEST(ParserTest, VectorOps) {
+  auto M = parseOk(R"(
+define <4 x i32> @vec(<4 x i32> %v, i32 %e) {
+  %w = add <4 x i32> %v, <i32 1, i32 2, i32 3, i32 4>
+  %x = insertelement <4 x i32> %w, i32 %e, i32 0
+  %y = shufflevector <4 x i32> %x, <4 x i32> %v, <4 x i32> <i32 0, i32 5, i32 poison, i32 3>
+  ret <4 x i32> %y
+}
+)");
+  Function *F = M->getFunction("vec");
+  ASSERT_NE(F, nullptr);
+  auto *SV = cast<ShuffleVectorInst>(F->getEntryBlock()->getInst(2));
+  EXPECT_EQ(SV->getMask()[2], -1);
+  EXPECT_EQ(SV->getMask()[1], 5);
+}
+
+TEST(ParserTest, MemoryOps) {
+  auto M = parseOk(R"(
+define i64 @mem(ptr %p) {
+  %q = getelementptr inbounds i64, ptr %p, i64 1
+  %a = alloca i64, align 8
+  store i64 7, ptr %a, align 8
+  %v = load i64, ptr %q, align 8
+  %w = load i64, ptr %a
+  %s = add i64 %v, %w
+  ret i64 %s
+}
+)");
+  auto *G = cast<GEPInst>(M->getFunction("mem")->getEntryBlock()->getInst(0));
+  EXPECT_TRUE(G->isInBounds());
+}
+
+TEST(ParserTest, ConstantsAndSpecials) {
+  auto M = parseOk(R"(
+define i1 @consts(ptr %p) {
+  %a = icmp eq ptr %p, null
+  %b = select i1 %a, i1 true, i1 false
+  %c = xor i1 %b, true
+  %f = freeze i1 undef
+  %g = or i1 %c, %f
+  %h = and i1 %g, poison
+  ret i1 %h
+}
+)");
+  EXPECT_NE(M->getFunction("consts"), nullptr);
+}
+
+TEST(ParserTest, NegativeAndWideLiterals) {
+  auto M = parseOk(R"(
+define i64 @wide() {
+  %a = add i64 9223372036854775807, -1
+  ret i64 %a
+}
+)");
+  auto *B = cast<BinaryInst>(
+      M->getFunction("wide")->getEntryBlock()->getInst(0));
+  EXPECT_TRUE(
+      cast<ConstantInt>(B->getLHS())->getValue().isSignedMaxValue());
+  // Widths above 64 are rejected (the toolchain's documented cap).
+  expectParseError("define i128 @toowide() { ret i128 0 }");
+}
+
+TEST(ParserTest, Errors) {
+  expectParseError("define i32 @f( {");
+  expectParseError("define i32 @f() { ret i32 %undefined }");
+  expectParseError("define i32 @f() { %x = bogus i32 1 \n ret i32 %x }");
+  expectParseError("define i32 @f() { %x = add i7x 1, 2 \n ret i32 %x }");
+  expectParseError("garbage");
+  expectParseError("define i32 @f() { ret i32 }");
+  // Duplicate definitions of the same value name.
+  expectParseError("define i32 @f(i32 %a) {\n"
+                   "  %x = add i32 %a, 1\n  %x = add i32 %a, 2\n"
+                   "  ret i32 %x\n}");
+  // Duplicate function.
+  expectParseError(
+      "define i32 @f() { ret i32 0 }\ndefine i32 @f() { ret i32 1 }");
+}
+
+TEST(PrinterTest, RoundTripStability) {
+  roundTrip(R"(
+define i32 @t1_ult_slt_0(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, -16
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = add i32 %x, 16
+  %t3 = icmp ult i32 %t2, 144
+  %r = select i1 %t3, i32 %x, i32 %t1
+  ret i32 %r
+}
+)");
+  roundTrip(R"(
+declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q, align 4
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q, align 4
+  %c = sub i32 %a, %b
+  ret i32 %c
+}
+)");
+  roundTrip(R"(
+define i32 @multi(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %t, label %f
+t:
+  %a = mul nuw nsw i32 %x, 3
+  br label %join
+f:
+  %b = udiv exact i32 %x, 4
+  br label %join
+join:
+  %p = phi i32 [ %a, %t ], [ %b, %f ]
+  ret i32 %p
+}
+)");
+  roundTrip(R"(
+define <2 x i8> @v(<2 x i8> %x) {
+  %y = sub <2 x i8> <i8 poison, i8 undef>, %x
+  ret <2 x i8> %y
+}
+)");
+}
+
+TEST(PrinterTest, UnnamedValuesGetSlots) {
+  auto M = parseOk("define i32 @f(i32 %x) {\n"
+                   "  %1 = add i32 %x, 1\n"
+                   "  %2 = mul i32 %1, %1\n"
+                   "  ret i32 %2\n"
+                   "}\n");
+  std::string Text = printModule(*M);
+  EXPECT_NE(Text.find("%1 = add"), std::string::npos);
+  roundTrip(Text);
+}
+
+TEST(PrinterTest, DeclarationWithAttrs) {
+  auto M = parseOk(
+      "declare void @ext(ptr nocapture readonly, i32) nofree nounwind\n");
+  std::string Text = printModule(*M);
+  EXPECT_NE(Text.find("nocapture"), std::string::npos);
+  EXPECT_NE(Text.find("nofree"), std::string::npos);
+  roundTrip(Text);
+}

@@ -1,0 +1,176 @@
+//===- tests/sat_test.cpp - SAT solver unit & property tests ---------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SatSolver.h"
+#include "support/RandomGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace alive;
+
+TEST(SatSolverTest, TrivialSat) {
+  SatSolver S;
+  int A = S.newVar(), B = S.newVar();
+  S.addClause(A, B);
+  S.addClause(-A);
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(SatSolverTest, TrivialUnsat) {
+  SatSolver S;
+  int A = S.newVar();
+  S.addClause(A);
+  S.addClause(-A);
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatSolverTest, EmptyClauseIsUnsat) {
+  SatSolver S;
+  (void)S.newVar();
+  S.addClause(std::vector<Lit>{});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatSolverTest, EmptyFormulaIsSat) {
+  SatSolver S;
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+TEST(SatSolverTest, TautologyIgnored) {
+  SatSolver S;
+  int A = S.newVar(), B = S.newVar();
+  S.addClause(A, -A, B);
+  S.addClause(-B);
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+TEST(SatSolverTest, ChainedImplications) {
+  // a -> b -> c -> ... -> z, with a forced true and z forced false: UNSAT.
+  SatSolver S;
+  const int N = 50;
+  std::vector<int> V;
+  for (int I = 0; I != N; ++I)
+    V.push_back(S.newVar());
+  for (int I = 0; I + 1 != N; ++I)
+    S.addClause(-V[I], V[I + 1]);
+  S.addClause(V[0]);
+  S.addClause(-V[N - 1]);
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatSolverTest, PigeonholePrinciple) {
+  // 4 pigeons into 3 holes: classic small UNSAT requiring real search.
+  SatSolver S;
+  const int P = 4, H = 3;
+  int Var[P][H];
+  for (int I = 0; I != P; ++I)
+    for (int J = 0; J != H; ++J)
+      Var[I][J] = S.newVar();
+  for (int I = 0; I != P; ++I) {
+    std::vector<Lit> C;
+    for (int J = 0; J != H; ++J)
+      C.push_back(Var[I][J]);
+    S.addClause(C);
+  }
+  for (int J = 0; J != H; ++J)
+    for (int I1 = 0; I1 != P; ++I1)
+      for (int I2 = I1 + 1; I2 != P; ++I2)
+        S.addClause(-Var[I1][J], -Var[I2][J]);
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+  EXPECT_GT(S.stats().Conflicts, 0u);
+}
+
+TEST(SatSolverTest, ConflictBudgetYieldsUnknown) {
+  // Pigeonhole 8/7 is hard enough to exceed a budget of 1 conflict.
+  SatSolver S;
+  const int P = 8, H = 7;
+  std::vector<std::vector<int>> Var(P, std::vector<int>(H));
+  for (int I = 0; I != P; ++I)
+    for (int J = 0; J != H; ++J)
+      Var[I][J] = S.newVar();
+  for (int I = 0; I != P; ++I) {
+    std::vector<Lit> C;
+    for (int J = 0; J != H; ++J)
+      C.push_back(Var[I][J]);
+    S.addClause(C);
+  }
+  for (int J = 0; J != H; ++J)
+    for (int I1 = 0; I1 != P; ++I1)
+      for (int I2 = I1 + 1; I2 != P; ++I2)
+        S.addClause(-Var[I1][J], -Var[I2][J]);
+  EXPECT_EQ(S.solve(/*ConflictBudget=*/1), SatSolver::Result::Unknown);
+}
+
+namespace {
+
+/// Brute-force CNF oracle for <= ~20 variables.
+bool bruteForceSat(int NumVars, const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint64_t Assign = 0; Assign != (1ULL << NumVars); ++Assign) {
+    bool All = true;
+    for (const auto &C : Clauses) {
+      bool Any = false;
+      for (Lit L : C) {
+        bool V = (Assign >> (std::abs(L) - 1)) & 1;
+        if ((L > 0) == V) {
+          Any = true;
+          break;
+        }
+      }
+      if (!Any) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+// Property: solver verdicts match brute force on random 3-CNF near the
+// phase-transition density, and Sat models actually satisfy the formula.
+class Random3CnfTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Random3CnfTest, MatchesBruteForce) {
+  RandomGenerator RNG(GetParam());
+  for (int Round = 0; Round != 60; ++Round) {
+    int NumVars = 5 + (int)RNG.below(10);
+    int NumClauses = (int)(NumVars * (3.0 + (int)RNG.below(3)));
+    std::vector<std::vector<Lit>> Clauses;
+    SatSolver S;
+    for (int V = 0; V != NumVars; ++V)
+      (void)S.newVar();
+    for (int C = 0; C != NumClauses; ++C) {
+      std::vector<Lit> Clause;
+      for (int K = 0; K != 3; ++K) {
+        int V = 1 + (int)RNG.below(NumVars);
+        Clause.push_back(RNG.flip() ? V : -V);
+      }
+      Clauses.push_back(Clause);
+      S.addClause(Clause);
+    }
+    bool Expected = bruteForceSat(NumVars, Clauses);
+    SatSolver::Result R = S.solve();
+    ASSERT_EQ(R == SatSolver::Result::Sat, Expected)
+        << "seed " << GetParam() << " round " << Round;
+    if (R == SatSolver::Result::Sat) {
+      // The model must satisfy every clause.
+      for (const auto &C : Clauses) {
+        bool Any = false;
+        for (Lit L : C)
+          Any |= (L > 0) == S.modelValue(std::abs(L));
+        ASSERT_TRUE(Any) << "model does not satisfy clause";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3CnfTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
