@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blind_vs_structured.dir/bench_blind_vs_structured.cpp.o"
+  "CMakeFiles/bench_blind_vs_structured.dir/bench_blind_vs_structured.cpp.o.d"
+  "bench_blind_vs_structured"
+  "bench_blind_vs_structured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blind_vs_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

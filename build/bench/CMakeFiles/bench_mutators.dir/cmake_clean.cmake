@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutators.dir/bench_mutators.cpp.o"
+  "CMakeFiles/bench_mutators.dir/bench_mutators.cpp.o.d"
+  "bench_mutators"
+  "bench_mutators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_listings.dir/bench_paper_listings.cpp.o"
+  "CMakeFiles/bench_paper_listings.dir/bench_paper_listings.cpp.o.d"
+  "bench_paper_listings"
+  "bench_paper_listings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_listings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tv.dir/bench_tv.cpp.o"
+  "CMakeFiles/bench_tv.dir/bench_tv.cpp.o.d"
+  "bench_tv"
+  "bench_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

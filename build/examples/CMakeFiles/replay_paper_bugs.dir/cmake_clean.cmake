@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_paper_bugs.dir/replay_paper_bugs.cpp.o"
+  "CMakeFiles/replay_paper_bugs.dir/replay_paper_bugs.cpp.o.d"
+  "replay_paper_bugs"
+  "replay_paper_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_paper_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

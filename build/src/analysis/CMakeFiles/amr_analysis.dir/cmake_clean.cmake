@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_analysis.dir/DominatorTree.cpp.o"
+  "CMakeFiles/amr_analysis.dir/DominatorTree.cpp.o.d"
+  "CMakeFiles/amr_analysis.dir/KnownBits.cpp.o"
+  "CMakeFiles/amr_analysis.dir/KnownBits.cpp.o.d"
+  "CMakeFiles/amr_analysis.dir/ShuffleRanges.cpp.o"
+  "CMakeFiles/amr_analysis.dir/ShuffleRanges.cpp.o.d"
+  "CMakeFiles/amr_analysis.dir/Verifier.cpp.o"
+  "CMakeFiles/amr_analysis.dir/Verifier.cpp.o.d"
+  "libamr_analysis.a"
+  "libamr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/BlindMutator.cpp" "src/core/CMakeFiles/amr_core.dir/BlindMutator.cpp.o" "gcc" "src/core/CMakeFiles/amr_core.dir/BlindMutator.cpp.o.d"
+  "/root/repo/src/core/FunctionInfo.cpp" "src/core/CMakeFiles/amr_core.dir/FunctionInfo.cpp.o" "gcc" "src/core/CMakeFiles/amr_core.dir/FunctionInfo.cpp.o.d"
+  "/root/repo/src/core/FuzzerLoop.cpp" "src/core/CMakeFiles/amr_core.dir/FuzzerLoop.cpp.o" "gcc" "src/core/CMakeFiles/amr_core.dir/FuzzerLoop.cpp.o.d"
+  "/root/repo/src/core/Mutator.cpp" "src/core/CMakeFiles/amr_core.dir/Mutator.cpp.o" "gcc" "src/core/CMakeFiles/amr_core.dir/Mutator.cpp.o.d"
+  "/root/repo/src/core/ValueSource.cpp" "src/core/CMakeFiles/amr_core.dir/ValueSource.cpp.o" "gcc" "src/core/CMakeFiles/amr_core.dir/ValueSource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/amr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/amr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/amr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tv/CMakeFiles/amr_tv.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/amr_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/amr_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/amr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_core.dir/BlindMutator.cpp.o"
+  "CMakeFiles/amr_core.dir/BlindMutator.cpp.o.d"
+  "CMakeFiles/amr_core.dir/FunctionInfo.cpp.o"
+  "CMakeFiles/amr_core.dir/FunctionInfo.cpp.o.d"
+  "CMakeFiles/amr_core.dir/FuzzerLoop.cpp.o"
+  "CMakeFiles/amr_core.dir/FuzzerLoop.cpp.o.d"
+  "CMakeFiles/amr_core.dir/Mutator.cpp.o"
+  "CMakeFiles/amr_core.dir/Mutator.cpp.o.d"
+  "CMakeFiles/amr_core.dir/ValueSource.cpp.o"
+  "CMakeFiles/amr_core.dir/ValueSource.cpp.o.d"
+  "libamr_core.a"
+  "libamr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/amr_corpus.dir/Corpus.cpp.o.d"
+  "libamr_corpus.a"
+  "libamr_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

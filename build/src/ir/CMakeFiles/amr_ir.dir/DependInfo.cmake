@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Attributes.cpp" "src/ir/CMakeFiles/amr_ir.dir/Attributes.cpp.o" "gcc" "src/ir/CMakeFiles/amr_ir.dir/Attributes.cpp.o.d"
+  "/root/repo/src/ir/Clone.cpp" "src/ir/CMakeFiles/amr_ir.dir/Clone.cpp.o" "gcc" "src/ir/CMakeFiles/amr_ir.dir/Clone.cpp.o.d"
+  "/root/repo/src/ir/Constants.cpp" "src/ir/CMakeFiles/amr_ir.dir/Constants.cpp.o" "gcc" "src/ir/CMakeFiles/amr_ir.dir/Constants.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/amr_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/amr_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/ir/CMakeFiles/amr_ir.dir/Instruction.cpp.o" "gcc" "src/ir/CMakeFiles/amr_ir.dir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/ir/CMakeFiles/amr_ir.dir/Interpreter.cpp.o" "gcc" "src/ir/CMakeFiles/amr_ir.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/ir/CMakeFiles/amr_ir.dir/Module.cpp.o" "gcc" "src/ir/CMakeFiles/amr_ir.dir/Module.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/ir/CMakeFiles/amr_ir.dir/Type.cpp.o" "gcc" "src/ir/CMakeFiles/amr_ir.dir/Type.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/ir/CMakeFiles/amr_ir.dir/Value.cpp.o" "gcc" "src/ir/CMakeFiles/amr_ir.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/amr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_ir.dir/Attributes.cpp.o"
+  "CMakeFiles/amr_ir.dir/Attributes.cpp.o.d"
+  "CMakeFiles/amr_ir.dir/Clone.cpp.o"
+  "CMakeFiles/amr_ir.dir/Clone.cpp.o.d"
+  "CMakeFiles/amr_ir.dir/Constants.cpp.o"
+  "CMakeFiles/amr_ir.dir/Constants.cpp.o.d"
+  "CMakeFiles/amr_ir.dir/Function.cpp.o"
+  "CMakeFiles/amr_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/amr_ir.dir/Instruction.cpp.o"
+  "CMakeFiles/amr_ir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/amr_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/amr_ir.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/amr_ir.dir/Module.cpp.o"
+  "CMakeFiles/amr_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/amr_ir.dir/Type.cpp.o"
+  "CMakeFiles/amr_ir.dir/Type.cpp.o.d"
+  "CMakeFiles/amr_ir.dir/Value.cpp.o"
+  "CMakeFiles/amr_ir.dir/Value.cpp.o.d"
+  "libamr_ir.a"
+  "libamr_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/BugInjection.cpp" "src/opt/CMakeFiles/amr_opt.dir/BugInjection.cpp.o" "gcc" "src/opt/CMakeFiles/amr_opt.dir/BugInjection.cpp.o.d"
+  "/root/repo/src/opt/GVN.cpp" "src/opt/CMakeFiles/amr_opt.dir/GVN.cpp.o" "gcc" "src/opt/CMakeFiles/amr_opt.dir/GVN.cpp.o.d"
+  "/root/repo/src/opt/InstCombine.cpp" "src/opt/CMakeFiles/amr_opt.dir/InstCombine.cpp.o" "gcc" "src/opt/CMakeFiles/amr_opt.dir/InstCombine.cpp.o.d"
+  "/root/repo/src/opt/Lowering.cpp" "src/opt/CMakeFiles/amr_opt.dir/Lowering.cpp.o" "gcc" "src/opt/CMakeFiles/amr_opt.dir/Lowering.cpp.o.d"
+  "/root/repo/src/opt/MemoryPasses.cpp" "src/opt/CMakeFiles/amr_opt.dir/MemoryPasses.cpp.o" "gcc" "src/opt/CMakeFiles/amr_opt.dir/MemoryPasses.cpp.o.d"
+  "/root/repo/src/opt/OptUtils.cpp" "src/opt/CMakeFiles/amr_opt.dir/OptUtils.cpp.o" "gcc" "src/opt/CMakeFiles/amr_opt.dir/OptUtils.cpp.o.d"
+  "/root/repo/src/opt/PassManager.cpp" "src/opt/CMakeFiles/amr_opt.dir/PassManager.cpp.o" "gcc" "src/opt/CMakeFiles/amr_opt.dir/PassManager.cpp.o.d"
+  "/root/repo/src/opt/ScalarPasses.cpp" "src/opt/CMakeFiles/amr_opt.dir/ScalarPasses.cpp.o" "gcc" "src/opt/CMakeFiles/amr_opt.dir/ScalarPasses.cpp.o.d"
+  "/root/repo/src/opt/VectorCombine.cpp" "src/opt/CMakeFiles/amr_opt.dir/VectorCombine.cpp.o" "gcc" "src/opt/CMakeFiles/amr_opt.dir/VectorCombine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/amr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/amr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/amr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

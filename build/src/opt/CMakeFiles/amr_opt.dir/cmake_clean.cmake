@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_opt.dir/BugInjection.cpp.o"
+  "CMakeFiles/amr_opt.dir/BugInjection.cpp.o.d"
+  "CMakeFiles/amr_opt.dir/GVN.cpp.o"
+  "CMakeFiles/amr_opt.dir/GVN.cpp.o.d"
+  "CMakeFiles/amr_opt.dir/InstCombine.cpp.o"
+  "CMakeFiles/amr_opt.dir/InstCombine.cpp.o.d"
+  "CMakeFiles/amr_opt.dir/Lowering.cpp.o"
+  "CMakeFiles/amr_opt.dir/Lowering.cpp.o.d"
+  "CMakeFiles/amr_opt.dir/MemoryPasses.cpp.o"
+  "CMakeFiles/amr_opt.dir/MemoryPasses.cpp.o.d"
+  "CMakeFiles/amr_opt.dir/OptUtils.cpp.o"
+  "CMakeFiles/amr_opt.dir/OptUtils.cpp.o.d"
+  "CMakeFiles/amr_opt.dir/PassManager.cpp.o"
+  "CMakeFiles/amr_opt.dir/PassManager.cpp.o.d"
+  "CMakeFiles/amr_opt.dir/ScalarPasses.cpp.o"
+  "CMakeFiles/amr_opt.dir/ScalarPasses.cpp.o.d"
+  "CMakeFiles/amr_opt.dir/VectorCombine.cpp.o"
+  "CMakeFiles/amr_opt.dir/VectorCombine.cpp.o.d"
+  "libamr_opt.a"
+  "libamr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

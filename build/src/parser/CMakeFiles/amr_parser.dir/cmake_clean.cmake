@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/amr_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/amr_parser.dir/Parser.cpp.o"
+  "CMakeFiles/amr_parser.dir/Parser.cpp.o.d"
+  "CMakeFiles/amr_parser.dir/Printer.cpp.o"
+  "CMakeFiles/amr_parser.dir/Printer.cpp.o.d"
+  "libamr_parser.a"
+  "libamr_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_smt.dir/BitBlaster.cpp.o"
+  "CMakeFiles/amr_smt.dir/BitBlaster.cpp.o.d"
+  "CMakeFiles/amr_smt.dir/SatSolver.cpp.o"
+  "CMakeFiles/amr_smt.dir/SatSolver.cpp.o.d"
+  "CMakeFiles/amr_smt.dir/Term.cpp.o"
+  "CMakeFiles/amr_smt.dir/Term.cpp.o.d"
+  "libamr_smt.a"
+  "libamr_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

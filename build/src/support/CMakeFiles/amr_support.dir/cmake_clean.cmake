@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_support.dir/APInt.cpp.o"
+  "CMakeFiles/amr_support.dir/APInt.cpp.o.d"
+  "libamr_support.a"
+  "libamr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

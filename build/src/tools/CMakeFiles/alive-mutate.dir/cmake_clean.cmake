@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive-mutate.dir/alive-mutate.cpp.o"
+  "CMakeFiles/alive-mutate.dir/alive-mutate.cpp.o.d"
+  "alive-mutate"
+  "alive-mutate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive-mutate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amut-mutate.dir/amut-mutate.cpp.o"
+  "CMakeFiles/amut-mutate.dir/amut-mutate.cpp.o.d"
+  "amut-mutate"
+  "amut-mutate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amut-mutate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

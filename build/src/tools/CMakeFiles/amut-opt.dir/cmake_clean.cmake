@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amut-opt.dir/amut-opt.cpp.o"
+  "CMakeFiles/amut-opt.dir/amut-opt.cpp.o.d"
+  "amut-opt"
+  "amut-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amut-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

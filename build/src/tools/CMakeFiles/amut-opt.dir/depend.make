@@ -1,0 +1,2 @@
+# Empty dependencies file for amut-opt.
+# This may be replaced when dependencies are built.

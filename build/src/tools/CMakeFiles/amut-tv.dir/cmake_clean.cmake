@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amut-tv.dir/amut-tv.cpp.o"
+  "CMakeFiles/amut-tv.dir/amut-tv.cpp.o.d"
+  "amut-tv"
+  "amut-tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amut-tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_tv.dir/FunctionEncoder.cpp.o"
+  "CMakeFiles/amr_tv.dir/FunctionEncoder.cpp.o.d"
+  "CMakeFiles/amr_tv.dir/RefinementChecker.cpp.o"
+  "CMakeFiles/amr_tv.dir/RefinementChecker.cpp.o.d"
+  "libamr_tv.a"
+  "libamr_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apint_test.dir/apint_test.cpp.o"
+  "CMakeFiles/apint_test.dir/apint_test.cpp.o.d"
+  "apint_test"
+  "apint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitblaster_test.dir/bitblaster_test.cpp.o"
+  "CMakeFiles/bitblaster_test.dir/bitblaster_test.cpp.o.d"
+  "bitblaster_test"
+  "bitblaster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitblaster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

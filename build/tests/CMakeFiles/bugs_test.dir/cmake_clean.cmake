@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bugs_test.dir/bugs_test.cpp.o"
+  "CMakeFiles/bugs_test.dir/bugs_test.cpp.o.d"
+  "bugs_test"
+  "bugs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bugs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/amr_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/amr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/amr_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/amr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/amr_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tv/CMakeFiles/amr_tv.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/amr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/amr_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
