@@ -13,15 +13,18 @@
 /// campaign needed — demonstrating that every Table I row is reachable
 /// through mutation (not through the pristine corpus, which stays green).
 ///
-/// Environment knob: AMR_CAMPAIGN_MAXITER (default 4000).
+/// Environment knobs: AMR_CAMPAIGN_MAXITER (default 4000) and
+/// AMR_CAMPAIGN_JOBS (worker threads per campaign, default 1; the found-at
+/// iteration is identical for every worker count).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/FuzzerLoop.h"
+#include "core/CampaignEngine.h"
 #include "corpus/Corpus.h"
 #include "opt/BugInjection.h"
 #include "parser/Parser.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,33 +65,40 @@ struct CampaignResult {
 };
 
 CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
-                           uint64_t MaxIter) {
-  BugConfig::disableAll();
-  BugConfig::enable(Bug.Id);
-
+                           uint64_t MaxIter, unsigned Jobs) {
   FuzzOptions Opts;
   Opts.Passes = pipelineFor(Bug.Component);
-  Opts.Iterations = 0; // drive manually
   Opts.TV.ConcreteTrials = 16;
   Opts.TV.SolverConflictBudget = 30000;
+  Opts.Bugs.enable(Bug.Id);
 
-  FuzzerLoop Fuzzer(Opts);
-  std::string Err;
-  auto M = parseModule(SeedIR, Err);
   CampaignResult R;
-  if (!M || Fuzzer.loadModule(std::move(M)) == 0)
-    return R;
+  // Sharded batches with geometrically ramping size: small batches keep
+  // quickly-found bugs cheap, large ones amortize the per-batch setup.
+  // The batch boundaries are fixed (independent of the worker count), so
+  // the first qualifying bug (lowest mutant seed) — and therefore the
+  // found-at column — is identical for every worker count.
+  uint64_t Batch = 32;
+  for (uint64_t Start = 0; Start < MaxIter;
+       Start += Batch, Batch = std::min<uint64_t>(Batch * 2, 256)) {
+    Opts.BaseSeed = 1 + Start;
+    Opts.Iterations = std::min<uint64_t>(Batch, MaxIter - Start);
 
-  for (uint64_t Iter = 0; Iter != MaxIter; ++Iter) {
-    Fuzzer.runIteration(1 + Iter);
-    if (!Fuzzer.bugs().empty()) {
-      const BugRecord &B = Fuzzer.bugs().front();
-      // Crash records identify themselves; a miscompilation found while
-      // only this bug is enabled is attributed to it.
+    CampaignEngine Engine(Opts, Jobs);
+    std::string Err;
+    auto M = parseModule(SeedIR, Err);
+    if (!M || Engine.loadModule(std::move(M)) == 0)
+      return R;
+    Engine.run();
+
+    // Bugs arrive in ascending seed order. Crash records identify
+    // themselves; a miscompilation found while only this bug is enabled
+    // is attributed to it.
+    for (const BugRecord &B : Engine.bugs()) {
       if (B.Kind == BugRecord::Crash && B.IssueId != Bug.IssueId)
         continue;
       R.Found = true;
-      R.Iterations = Iter + 1;
+      R.Iterations = B.MutantSeed; // seeds start at 1: seed == iteration
       R.SeedOfMutant = B.MutantSeed;
       return R;
     }
@@ -102,11 +112,15 @@ CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
 int main() {
   const char *Env = std::getenv("AMR_CAMPAIGN_MAXITER");
   uint64_t MaxIter = Env ? std::strtoull(Env, nullptr, 10) : 4000;
+  const char *JobsEnv = std::getenv("AMR_CAMPAIGN_JOBS");
+  unsigned Jobs = JobsEnv ? (unsigned)std::strtoul(JobsEnv, nullptr, 10) : 1;
+  if (Jobs == 0)
+    Jobs = 1;
 
   std::printf("=== Fuzzing campaign: regenerating Table I ===\n");
   std::printf("(each row: one seeded defect, campaign over its near-miss "
-              "seed, cap %llu mutants)\n\n",
-              (unsigned long long)MaxIter);
+              "seed, cap %llu mutants, %u worker(s))\n\n",
+              (unsigned long long)MaxIter, Jobs);
   std::printf("%-8s %-26s %-7s %-15s %10s  %s\n", "Issue", "Component",
               "Status", "Type", "found@", "Description");
   std::printf("%.120s\n",
@@ -121,7 +135,7 @@ int main() {
         SeedIR = S.Text;
     CampaignResult R;
     if (SeedIR)
-      R = runCampaign(Bug, SeedIR, MaxIter);
+      R = runCampaign(Bug, SeedIR, MaxIter, Jobs);
 
     char FoundBuf[32];
     if (R.Found)

@@ -43,9 +43,9 @@ void runExhibit(const Exhibit &E) {
   std::printf("--- %s [PR%s] ---\n", E.Title, bugInfo(E.Bug).IssueId);
 
   for (int Buggy = 1; Buggy >= 0; --Buggy) {
-    BugConfig::disableAll();
+    BugInjectionContext Bugs;
     if (Buggy)
-      BugConfig::enable(E.Bug);
+      Bugs.enable(E.Bug);
 
     std::string Err;
     auto M = parseModule(E.IR, Err);
@@ -55,6 +55,7 @@ void runExhibit(const Exhibit &E) {
     }
     auto Original = cloneModule(*M);
     PassManager PM;
+    PM.setBugContext(&Bugs);
     buildPipeline(E.Passes, PM, Err);
     bool Crashed = false;
     std::string CrashWhat;
@@ -75,7 +76,6 @@ void runExhibit(const Exhibit &E) {
     std::printf(" %s%s%s\n", tvVerdictName(R.Verdict),
                 R.Detail.empty() ? "" : " - ", R.Detail.c_str());
   }
-  BugConfig::disableAll();
   std::printf("\n");
 }
 

@@ -1,0 +1,207 @@
+//===- core/CampaignEngine.cpp - Parallel sharded campaign engine ----------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CampaignEngine.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace alive;
+
+CampaignEngine::CampaignEngine(const FuzzOptions &Opts, unsigned Jobs)
+    : Opts(Opts), Jobs(std::max(1u, Jobs)) {
+  MasterLoop = std::make_unique<FuzzerLoop>(this->Opts);
+  ConfigError = MasterLoop->configError();
+}
+
+CampaignEngine::~CampaignEngine() = default;
+
+unsigned CampaignEngine::loadModule(std::unique_ptr<Module> M) {
+  // Preprocess (and §III-A self-check) once, on the master; workers
+  // inherit the surviving function set instead of redoing the TV work —
+  // and FunctionsDropped is counted exactly once, as in a sequential run.
+  return MasterLoop->loadModule(std::move(M));
+}
+
+std::vector<std::string> CampaignEngine::testableFunctions() const {
+  return MasterLoop->testableFunctions();
+}
+
+void CampaignEngine::setProgress(
+    double IntervalSeconds, std::function<void(const CampaignProgress &)> Fn) {
+  ProgressInterval = IntervalSeconds;
+  ProgressFn = std::move(Fn);
+}
+
+std::unique_ptr<Module>
+CampaignEngine::makeMutant(uint64_t Seed,
+                           std::vector<std::string> *AppliedOut) const {
+  return MasterLoop->makeMutant(Seed, AppliedOut);
+}
+
+namespace {
+
+/// One worker: a private FuzzerLoop over a private master-module clone,
+/// plus the atomic iteration counter the reporter thread reads.
+struct Worker {
+  std::unique_ptr<FuzzerLoop> Loop;
+  std::atomic<uint64_t> Done{0};
+};
+
+/// Sums every per-iteration counter and phase timer of \p From into
+/// \p Into. TotalSeconds is deliberately excluded: summing wall-clock
+/// across concurrent workers would double-count; the engine reports its
+/// own wall time.
+void accumulate(FuzzStats &Into, const FuzzStats &From) {
+  Into.MutantsGenerated += From.MutantsGenerated;
+  Into.MutationsApplied += From.MutationsApplied;
+  Into.Optimized += From.Optimized;
+  Into.Verified += From.Verified;
+  Into.RefinementFailures += From.RefinementFailures;
+  Into.Crashes += From.Crashes;
+  Into.Inconclusive += From.Inconclusive;
+  Into.FunctionsDropped += From.FunctionsDropped;
+  Into.InvalidMutants += From.InvalidMutants;
+  Into.MutantsSaved += From.MutantsSaved;
+  Into.SaveFailures += From.SaveFailures;
+  Into.MutateSeconds += From.MutateSeconds;
+  Into.OptimizeSeconds += From.OptimizeSeconds;
+  Into.VerifySeconds += From.VerifySeconds;
+}
+
+} // namespace
+
+const FuzzStats &CampaignEngine::run() {
+  if (!ConfigError.empty())
+    return Stats;
+  if (Opts.Iterations == 0 && Opts.TimeLimitSeconds <= 0) {
+    ConfigError = "unbounded campaign: set Iterations (-n) or "
+                  "TimeLimitSeconds (-t)";
+    return Stats;
+  }
+  if (!MasterLoop->module()) {
+    ConfigError = "no module loaded";
+    return Stats;
+  }
+
+  Timer Total;
+  const std::vector<std::string> Testable = MasterLoop->testableFunctions();
+  const bool TimeLimited = Opts.Iterations == 0;
+
+  // Never spawn idle workers: with fewer iterations than threads the tail
+  // workers would own empty shards.
+  unsigned J = Jobs;
+  if (!TimeLimited)
+    J = (unsigned)std::min<uint64_t>(J, Opts.Iterations);
+
+  // Build the workers up front on this thread (module cloning allocates
+  // into per-module interning contexts; keep that serial and simple).
+  std::vector<std::unique_ptr<Worker>> Workers;
+  for (unsigned I = 0; I != J; ++I) {
+    auto W = std::make_unique<Worker>();
+    FuzzOptions WOpts = Opts;
+    WOpts.SelfCheckOnLoad = false;
+    WOpts.OnlyFunctions = Testable;
+    WOpts.Progress = &W->Done;
+    if (!TimeLimited) {
+      // Static contiguous partition: worker I owns seeds
+      // [BaseSeed + Lo, BaseSeed + Hi) — ascending across workers, so a
+      // merge in worker order reproduces the sequential bug order.
+      uint64_t Lo = Opts.Iterations * I / J;
+      uint64_t Hi = Opts.Iterations * (I + 1) / J;
+      WOpts.BaseSeed = Opts.BaseSeed + Lo;
+      WOpts.Iterations = Hi - Lo;
+    }
+    W->Loop = std::make_unique<FuzzerLoop>(WOpts);
+    W->Loop->loadModule(cloneModule(*MasterLoop->module()));
+    Workers.push_back(std::move(W));
+  }
+
+  // Shared seed counter for the time-limited mode (no fixed partition).
+  std::atomic<uint64_t> NextOffset{0};
+
+  std::vector<std::thread> Threads;
+  for (auto &WPtr : Workers) {
+    Worker *W = WPtr.get();
+    if (!TimeLimited) {
+      Threads.emplace_back([W] { W->Loop->run(); });
+    } else {
+      double Limit = Opts.TimeLimitSeconds;
+      uint64_t Base = Opts.BaseSeed;
+      std::atomic<uint64_t> *Next = &NextOffset;
+      Threads.emplace_back([W, Limit, Base, Next, &Total] {
+        while (Total.seconds() < Limit) {
+          uint64_t Off = Next->fetch_add(1, std::memory_order_relaxed);
+          W->Loop->runIteration(Base + Off);
+          W->Done.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+
+  // The reporter: wakes every ProgressInterval seconds, aggregates the
+  // workers' atomic counters, and hands the snapshot to the callback.
+  std::mutex DoneMutex;
+  std::condition_variable DoneCV;
+  bool AllDone = false;
+  std::thread Reporter;
+  if (ProgressInterval > 0 && ProgressFn) {
+    Reporter = std::thread([&] {
+      std::unique_lock<std::mutex> Lock(DoneMutex);
+      for (;;) {
+        if (DoneCV.wait_for(Lock,
+                            std::chrono::duration<double>(ProgressInterval),
+                            [&] { return AllDone; }))
+          return;
+        CampaignProgress P;
+        for (const auto &W : Workers)
+          P.Done += W->Done.load(std::memory_order_relaxed);
+        P.Target = TimeLimited ? 0 : Opts.Iterations;
+        P.Elapsed = Total.seconds();
+        P.Workers = J;
+        ProgressFn(P);
+      }
+    });
+  }
+
+  for (std::thread &T : Threads)
+    T.join();
+  if (Reporter.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(DoneMutex);
+      AllDone = true;
+    }
+    DoneCV.notify_all();
+    Reporter.join();
+  }
+
+  // Deterministic merge. Stats: master preprocessing (FunctionsDropped)
+  // plus every worker's counters. Bugs: worker shards are already in
+  // ascending seed order, so concatenation in worker order equals the
+  // sequential order; the dynamic mode interleaves seeds across workers
+  // and needs the explicit (stable) sort.
+  Stats = FuzzStats();
+  Stats.FunctionsDropped = MasterLoop->stats().FunctionsDropped;
+  Bugs.clear();
+  for (const auto &W : Workers) {
+    accumulate(Stats, W->Loop->stats());
+    const std::vector<BugRecord> &WB = W->Loop->bugs();
+    Bugs.insert(Bugs.end(), WB.begin(), WB.end());
+  }
+  if (TimeLimited)
+    std::stable_sort(Bugs.begin(), Bugs.end(),
+                     [](const BugRecord &A, const BugRecord &B) {
+                       return A.MutantSeed < B.MutantSeed;
+                     });
+  Stats.TotalSeconds = Total.seconds();
+  return Stats;
+}

@@ -8,15 +8,29 @@
 
 #include "analysis/Verifier.h"
 #include "opt/BugInjection.h"
-#include "opt/Pass.h"
 #include "parser/Printer.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 
 using namespace alive;
 
-FuzzerLoop::FuzzerLoop(const FuzzOptions &Opts) : Opts(Opts) {}
+FuzzerLoop::FuzzerLoop(const FuzzOptions &Opts) : Opts(Opts) {
+  // Build and validate the pipeline once. The old per-iteration rebuild
+  // checked the result only with assert(): under NDEBUG a bad -passes
+  // string silently fuzzed an *empty* pipeline and every verdict was
+  // vacuously "Correct". A bad pipeline is now a hard config error in
+  // every build mode.
+  std::string Err;
+  if (!buildPipeline(this->Opts.Passes, PM, Err))
+    ConfigError = "invalid pass pipeline '" + this->Opts.Passes + "': " + Err;
+  else if (PM.size() == 0)
+    ConfigError = "empty pass pipeline '" + this->Opts.Passes + "'";
+  PM.setBugContext(&this->Opts.Bugs);
+}
+
 FuzzerLoop::~FuzzerLoop() = default;
 
 unsigned FuzzerLoop::loadModule(std::unique_ptr<Module> M) {
@@ -26,11 +40,17 @@ unsigned FuzzerLoop::loadModule(std::unique_ptr<Module> M) {
   for (Function *F : Master->functions()) {
     if (F->isDeclaration() || F->isIntrinsic())
       continue;
-    // §III-A: "checks that Alive2 can process each function ... any
-    // function that cannot be handled is removed"; "any function whose
-    // un-mutated form would cause a translation validation error is
-    // dropped: there is no point mutating these."
-    if (Opts.SelfCheckOnLoad) {
+    if (Opts.OnlyFunctions) {
+      // The campaign engine already preprocessed the master module; keep
+      // exactly the surviving set (drops were counted there, once).
+      if (std::find(Opts.OnlyFunctions->begin(), Opts.OnlyFunctions->end(),
+                    F->getName()) == Opts.OnlyFunctions->end())
+        continue;
+    } else if (Opts.SelfCheckOnLoad) {
+      // §III-A: "checks that Alive2 can process each function ... any
+      // function that cannot be handled is removed"; "any function whose
+      // un-mutated form would cause a translation validation error is
+      // dropped: there is no point mutating these."
       TVResult Self = checkSelfRefinement(*F, Opts.TV);
       if (Self.Verdict != TVVerdict::Correct) {
         ++Stats.FunctionsDropped;
@@ -52,7 +72,17 @@ std::vector<std::string> FuzzerLoop::testableFunctions() const {
 }
 
 std::unique_ptr<Module>
-FuzzerLoop::makeMutant(uint64_t Seed, std::vector<std::string> *AppliedOut) {
+FuzzerLoop::makeMutant(uint64_t Seed,
+                       std::vector<std::string> *AppliedOut) const {
+  // The external seed-replay path (§III-E reproducibility) must not
+  // disturb campaign statistics.
+  uint64_t Ignored = 0;
+  return makeMutantImpl(Seed, AppliedOut, Ignored);
+}
+
+std::unique_ptr<Module>
+FuzzerLoop::makeMutantImpl(uint64_t Seed, std::vector<std::string> *AppliedOut,
+                           uint64_t &NumApplied) const {
   // §III-B: "Alive-mutate makes a copy of the in-memory IR, and then
   // selects and applies one or more mutation operators on each function."
   std::unique_ptr<Module> Mutant = cloneModule(*Master);
@@ -64,7 +94,7 @@ FuzzerLoop::makeMutant(uint64_t Seed, std::vector<std::string> *AppliedOut) {
     assert(F && "testable function missing from clone");
     MutantInfo MI(*F, *Info);
     std::vector<MutationKind> Applied = Mut.mutateFunction(MI);
-    Stats.MutationsApplied += Applied.size();
+    NumApplied += Applied.size();
     if (AppliedOut)
       for (MutationKind K : Applied)
         AppliedOut->push_back(std::string(Name) + ":" +
@@ -74,9 +104,13 @@ FuzzerLoop::makeMutant(uint64_t Seed, std::vector<std::string> *AppliedOut) {
 }
 
 void FuzzerLoop::runIteration(uint64_t Seed) {
+  if (!ConfigError.empty())
+    return;
   Timer Phase;
 
-  std::unique_ptr<Module> Mutant = makeMutant(Seed);
+  uint64_t Applied = 0;
+  std::unique_ptr<Module> Mutant = makeMutantImpl(Seed, nullptr, Applied);
+  Stats.MutationsApplied += Applied;
   ++Stats.MutantsGenerated;
   Stats.MutateSeconds += Phase.seconds();
 
@@ -101,13 +135,9 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
   // Snapshot the mutant before optimization (the TV "source").
   std::unique_ptr<Module> Source = cloneModule(*Mutant);
 
-  // §III-C: optimize. Simulated optimizer aborts surface as crash bugs.
+  // §III-C: optimize with the pipeline built once at construction (the
+  // per-iteration rebuild was hot-path waste the paper amortizes away).
   Phase.reset();
-  PassManager PM;
-  std::string Err;
-  bool PipelineOk = buildPipeline(Opts.Passes, PM, Err);
-  assert(PipelineOk && "invalid pipeline");
-  (void)PipelineOk;
   try {
     PM.runToFixpoint(*Mutant);
   } catch (const OptimizerCrash &C) {
@@ -157,6 +187,14 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
 }
 
 const FuzzStats &FuzzerLoop::run() {
+  if (!ConfigError.empty())
+    return Stats;
+  if (Opts.Iterations == 0 && Opts.TimeLimitSeconds <= 0) {
+    // Neither bound set: the loop would spin forever. Reject instead.
+    ConfigError = "unbounded campaign: set Iterations (-n) or "
+                  "TimeLimitSeconds (-t)";
+    return Stats;
+  }
   Timer Total;
   uint64_t Iter = 0;
   // §III-E: loop until the iteration count or the time budget is reached.
@@ -167,15 +205,34 @@ const FuzzStats &FuzzerLoop::run() {
       break;
     runIteration(Opts.BaseSeed + Iter);
     ++Iter;
+    if (Opts.Progress)
+      Opts.Progress->fetch_add(1, std::memory_order_relaxed);
   }
   Stats.TotalSeconds = Total.seconds();
   return Stats;
 }
 
 void FuzzerLoop::saveMutant(const Module &M, uint64_t Seed, bool Failing) {
+  if (!SaveDirReady) {
+    // Create the directory on first use; a failure surfaces per-file
+    // below. Concurrent workers may race here — create_directories treats
+    // an already-existing directory as success.
+    std::error_code EC;
+    std::filesystem::create_directories(Opts.SaveDir, EC);
+    SaveDirReady = true;
+  }
   std::string Path = Opts.SaveDir + "/mutant-" + std::to_string(Seed) +
                      (Failing ? "-failing" : "") + ".ll";
   std::ofstream Out(Path);
-  if (Out)
+  if (Out) {
     Out << "; mutant seed " << Seed << "\n" << printModule(M);
+    Out.close();
+  }
+  if (!Out) {
+    // The §III-E reproducibility artifact was lost: count it so the
+    // campaign report shows the loss instead of dropping it silently.
+    ++Stats.SaveFailures;
+    return;
+  }
+  ++Stats.MutantsSaved;
 }

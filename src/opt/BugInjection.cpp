@@ -92,17 +92,34 @@ const BugInfo &alive::bugInfo(BugId Id) {
   return bugTable().front();
 }
 
-std::set<BugId> &BugConfig::enabled() {
-  static std::set<BugId> Set;
-  return Set;
+// The 33 BugIds must fit the context's 64-bit mask.
+static_assert(unsigned(BugId::PR72034) < 64, "BugId overflows context mask");
+
+void BugInjectionContext::enableAll() {
+  for (const BugInfo &B : bugTable())
+    enable(B.Id);
 }
 
-void BugConfig::enableAll() {
-  for (const BugInfo &B : bugTable())
-    enabled().insert(B.Id);
+namespace {
+/// The ambient per-thread context. Thread-local so concurrent campaign
+/// workers each see only their own campaign's defects.
+thread_local const BugInjectionContext *ActiveBugCtx = nullptr;
+} // namespace
+
+BugContextScope::BugContextScope(const BugInjectionContext *Ctx)
+    : Prev(ActiveBugCtx) {
+  ActiveBugCtx = Ctx;
+}
+
+BugContextScope::~BugContextScope() { ActiveBugCtx = Prev; }
+
+const BugInjectionContext *alive::activeBugContext() { return ActiveBugCtx; }
+
+bool alive::isBugEnabled(BugId Id) {
+  return ActiveBugCtx && ActiveBugCtx->isEnabled(Id);
 }
 
 void alive::optimizerCrash(BugId Id, const std::string &What) {
-  assert(BugConfig::isEnabled(Id) && "crash raised for a disabled bug");
+  assert(isBugEnabled(Id) && "crash raised for a disabled bug");
   throw OptimizerCrash{Id, What};
 }

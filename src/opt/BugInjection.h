@@ -23,7 +23,8 @@
 #ifndef OPT_BUGINJECTION_H
 #define OPT_BUGINJECTION_H
 
-#include <set>
+#include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -84,28 +85,70 @@ const std::vector<BugInfo> &bugTable();
 /// Looks up a bug's static info.
 const BugInfo &bugInfo(BugId Id);
 
-/// Global injection configuration. Defaults to all defects disabled (the
-/// optimizer is then correct and every TV check must pass).
-class BugConfig {
+/// Per-campaign injection configuration: the set of seeded defects the
+/// simulated compiler-under-test carries. Defaults to all defects disabled
+/// (the optimizer is then correct and every TV check must pass).
+///
+/// This is a value type — every campaign (FuzzerLoop, CampaignEngine
+/// worker, test) owns its own copy, so two concurrent campaigns can never
+/// cross-contaminate each other's enabled defects, and a context that is
+/// not mutated while passes run is safe to share across worker threads.
+class BugInjectionContext {
 public:
-  static void enable(BugId Id) { enabled().insert(Id); }
-  static void disable(BugId Id) { enabled().erase(Id); }
-  static void enableAll();
-  static void disableAll() { enabled().clear(); }
-  static bool isEnabled(BugId Id) { return enabled().count(Id) != 0; }
+  BugInjectionContext() = default;
+  BugInjectionContext(std::initializer_list<BugId> Ids) {
+    for (BugId Id : Ids)
+      enable(Id);
+  }
+
+  void enable(BugId Id) { Mask |= bit(Id); }
+  void disable(BugId Id) { Mask &= ~bit(Id); }
+  void enableAll();
+  void disableAll() { Mask = 0; }
+  bool isEnabled(BugId Id) const { return (Mask & bit(Id)) != 0; }
+  bool empty() const { return Mask == 0; }
+
+  friend bool operator==(const BugInjectionContext &A,
+                         const BugInjectionContext &B) {
+    return A.Mask == B.Mask;
+  }
 
 private:
-  static std::set<BugId> &enabled();
+  static uint64_t bit(BugId Id) { return uint64_t(1) << unsigned(Id); }
+  uint64_t Mask = 0; // one bit per BugId; Table I has 33 rows
 };
 
-/// RAII helper for scoped bug enabling in tests.
-class ScopedBug {
+/// Installs \p Ctx as the calling thread's ambient bug context for the
+/// scope's lifetime (restoring the previous one on exit). The deep pass
+/// helpers query the ambient context through isBugEnabled(); PassManager
+/// installs its campaign's context around every pipeline run, so each
+/// worker thread sees exactly its own campaign's defects.
+class BugContextScope {
 public:
-  explicit ScopedBug(BugId Id) : Id(Id) { BugConfig::enable(Id); }
-  ~ScopedBug() { BugConfig::disable(Id); }
+  explicit BugContextScope(const BugInjectionContext *Ctx);
+  ~BugContextScope();
+  BugContextScope(const BugContextScope &) = delete;
+  BugContextScope &operator=(const BugContextScope &) = delete;
 
 private:
-  BugId Id;
+  const BugInjectionContext *Prev;
+};
+
+/// The calling thread's ambient bug context (null when none is installed).
+const BugInjectionContext *activeBugContext();
+
+/// True when \p Id is enabled in the calling thread's ambient context.
+bool isBugEnabled(BugId Id);
+
+/// RAII helper for tests: a single-defect context installed as the calling
+/// thread's ambient context for the guard's lifetime.
+class ScopedBug {
+public:
+  explicit ScopedBug(BugId Id) : Ctx{Id}, Scope(&Ctx) {}
+
+private:
+  BugInjectionContext Ctx;
+  BugContextScope Scope;
 };
 
 /// A simulated optimizer abort (assertion failure / segfault stand-in).

@@ -67,7 +67,7 @@ public:
 
         // Seeded crash 51618: phi with an undef incoming value.
         if (auto *Phi = dyn_cast<PhiNode>(I)) {
-          if (BugConfig::isEnabled(BugId::PR51618))
+          if (isBugEnabled(BugId::PR51618))
             for (unsigned K = 0; K != Phi->getNumIncoming(); ++K)
               if (isa<ConstantUndef>(Phi->getIncomingValue(K)))
                 optimizerCrash(BugId::PR51618,
@@ -100,7 +100,7 @@ public:
         // leader only promises what both instructions promised. The buggy
         // variant skips the merge and keeps the leader's flags.
         if (auto *LB = dyn_cast<BinaryInst>(Leader)) {
-          if (!BugConfig::isEnabled(BugId::PR53218))
+          if (!isBugEnabled(BugId::PR53218))
             LB->intersectFlags(*cast<BinaryInst>(I));
         }
 

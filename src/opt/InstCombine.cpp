@@ -115,8 +115,10 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
 
   switch (B->getBinOp()) {
   case BinaryInst::Add: {
-    // add x, x -> shl x, 1 (nuw/nsw carry over).
-    if (L == R) {
+    // add x, x -> shl x, 1 (nuw/nsw carry over). Not at width 1: there
+    // the shift amount equals the bit width, so the shl is always poison
+    // while add i1 x, x is 0 for x = 0.
+    if (L == R && W > 1) {
       auto *Shl = new BinaryInst(BinaryInst::Shl, L,
                                  intC(B->getType(), APInt(W, 1)));
       Shl->setNUW(B->hasNUW());
@@ -197,7 +199,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
         unsigned S1 = ZL->getSrc()->getType()->getIntegerBitWidth();
         unsigned S2 = ZR->getSrc()->getType()->getIntegerBitWidth();
         bool Sound = S1 + S2 <= W;
-        if (Sound || BugConfig::isEnabled(BugId::PR59836)) {
+        if (Sound || isBugEnabled(BugId::PR59836)) {
           B->setNUW(true);
           return true;
         }
@@ -293,7 +295,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
       if (ShlI->getBinOp() == BinaryInst::Shl && AllOnes &&
           AllOnes->isAllOnes() && ShlI->getRHS() == R && !ShlI->hasNUW() &&
           !ShlI->hasNSW() && !B->isExact()) {
-        if (BugConfig::isEnabled(BugId::PR50693)) {
+        if (isBugEnabled(BugId::PR50693)) {
           replaceAndErase(B, intC(B->getType(), APInt::getAllOnes(W)));
           return true;
         }
@@ -415,7 +417,7 @@ bool InstCombinePass::combineSelect(SelectInst *S, BasicBlock *BB,
   if (auto *X = dyn_cast<BinaryInst>(Cond)) {
     if (X->getBinOp() == BinaryInst::Xor &&
         matchSpecificInt(X->getRHS(), 1) && X->getType()->isBoolTy()) {
-      if (BugConfig::isEnabled(BugId::PR53252)) {
+      if (isBugEnabled(BugId::PR53252)) {
         // Buggy: drop the negation without swapping the arms (only when
         // this feeds a clamp-like shape: one arm is itself a select fed by
         // a signed compare — the canonicalizeClampLike entry condition).
@@ -512,7 +514,7 @@ bool InstCombinePass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
 
   // Seeded crash 56463: "calling a function with a bad signature" — the
   // analog trigger is a call argument whose value is a poison pointer.
-  if (BugConfig::isEnabled(BugId::PR56463))
+  if (isBugEnabled(BugId::PR56463))
     for (unsigned K = 0; K != C->getNumArgs(); ++K)
       if (isa<ConstantPoison>(C->getArg(K)) &&
           C->getArg(K)->getType()->isPointerTy())
@@ -530,7 +532,7 @@ bool InstCombinePass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
   // Seeded crash 52884: smax whose first operand is an add carrying BOTH
   // nuw and nsw (paper Listing 15: "InstCombine is expecting InstSimplify
   // to squash the pattern ... the analysis got thwarted").
-  if (ID == IntrinsicID::SMax && BugConfig::isEnabled(BugId::PR52884)) {
+  if (ID == IntrinsicID::SMax && isBugEnabled(BugId::PR52884)) {
     if (auto *AddI = dyn_cast<BinaryInst>(C->getArg(0)))
       if (AddI->getBinOp() == BinaryInst::Add && AddI->hasNUW() &&
           AddI->hasNSW() && matchConstInt(C->getArg(1)))

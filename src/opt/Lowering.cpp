@@ -119,7 +119,7 @@ bool LoweringPass::combine(Instruction *I, BasicBlock *BB, unsigned Idx) {
 /// Seeded crash 58425: division on an "unlegalizable" width (65..127 bits)
 /// never reached the legalizer.
 bool LoweringPass::checkLegalizer(Instruction *I) {
-  if (!BugConfig::isEnabled(BugId::PR58425))
+  if (!isBugEnabled(BugId::PR58425))
     return false;
   auto *B = dyn_cast<BinaryInst>(I);
   if (!B || !BinaryInst::isDivRem(B->getBinOp()) ||
@@ -144,7 +144,7 @@ bool LoweringPass::combineLShr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
   if (auto *Z = dyn_cast<CastInst>(B->getLHS())) {
     if (Z->getCastOp() == CastInst::ZExt &&
         Z->getSrc()->getType()->isBoolTy() && !B->isExact()) {
-      if (BugConfig::isEnabled(BugId::PR55129)) {
+      if (isBugEnabled(BugId::PR55129)) {
         replaceAndErase(B, Z); // buggy: keeps the value
         return true;
       }
@@ -170,7 +170,7 @@ bool LoweringPass::combineAShr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
   if (Amt->getValue().uge(APInt(W, W)))
     return false;
   bool Sound = Shl->hasNSW() && !B->isExact();
-  if (Sound || BugConfig::isEnabled(BugId::PR55003)) {
+  if (Sound || isBugEnabled(BugId::PR55003)) {
     replaceAndErase(B, Shl->getLHS());
     return true;
   }
@@ -188,7 +188,7 @@ bool LoweringPass::combineAnd(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
       bool Sound = Shared.isZero();
       bool BuggyCondition = Shared == C1->getValue(); // C1 subset of C2
       if (Sound ||
-          (BugConfig::isEnabled(BugId::PR55284) && BuggyCondition)) {
+          (isBugEnabled(BugId::PR55284) && BuggyCondition)) {
         auto *And =
             new BinaryInst(BinaryInst::And, Or->getLHS(), B->getRHS());
         And->setName(B->getName());
@@ -216,7 +216,7 @@ bool LoweringPass::combineAnd(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
         unsigned N = MaskPlus1.logBase2();
         unsigned C1 = (unsigned)C1C->getValue().getZExtValue();
         if (C1 + N < W) {
-          bool Buggy = BugConfig::isEnabled(BugId::PR55833) &&
+          bool Buggy = isBugEnabled(BugId::PR55833) &&
                        C1 + N == W - 1;
           unsigned ShlAmt = W - N - C1 - (Buggy ? 1 : 0);
           auto *Shl = new BinaryInst(BinaryInst::Shl, Shr->getLHS(),
@@ -255,7 +255,7 @@ bool LoweringPass::combineOr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
         matchSpecificInt(ShlB->getRHS(), 8) &&
         matchSpecificInt(ShrB->getRHS(), 8) && W % 16 == 0) {
       bool Sound = W == 16;
-      if (Sound || BugConfig::isEnabled(BugId::PR55484)) {
+      if (Sound || isBugEnabled(BugId::PR55484)) {
         Function *BSwap =
             M->getOrInsertIntrinsic(IntrinsicID::BSwap, B->getType());
         auto *Call = new CallInst(BSwap, {ShlB->getLHS()}, B->getType());
@@ -309,12 +309,12 @@ bool LoweringPass::combineOr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
   APInt NaturalR = APInt::getAllOnes(W).lshr(LshrAmt);
   bool MasksOk = (!LMasked || (LMask & NaturalL) == NaturalL) &&
                  (!RMasked || (RMask & NaturalR) == NaturalR);
-  if (!MasksOk && !BugConfig::isEnabled(BugId::PR55201))
+  if (!MasksOk && !isBugEnabled(BugId::PR55201))
     return false;
 
   // Seeded crash 58423: the CSE-ing builder reused just-removed
   // instructions when the shifts had additional users.
-  if (BugConfig::isEnabled(BugId::PR58423) &&
+  if (isBugEnabled(BugId::PR58423) &&
       (B->getLHS()->getNumUses() > 1 || B->getRHS()->getNumUses() > 1))
     optimizerCrash(BugId::PR58423,
                    "CSEMIIRBuilder reused a removed instruction");
@@ -345,7 +345,7 @@ bool LoweringPass::combineSub(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
     Value *Y = Div->getRHS();
     Value *Other = Mul->getOperand(1 - OpIdx);
     bool Sound = Other == Y;
-    if (Sound || BugConfig::isEnabled(BugId::PR55287)) {
+    if (Sound || isBugEnabled(BugId::PR55287)) {
       auto *Rem = new BinaryInst(BinaryInst::URem, X, Y);
       Rem->setName(B->getName());
       ins(BB, Idx, Rem);
@@ -372,7 +372,7 @@ bool LoweringPass::combineTrunc(CastInst *C, BasicBlock *BB, unsigned Idx) {
     return false;
   bool Fits = Div->getValue().getActiveBits() <= NarrowW &&
               !Div->getValue().trunc(NarrowW).isZero();
-  if (!Fits && !BugConfig::isEnabled(BugId::PR55296))
+  if (!Fits && !isBugEnabled(BugId::PR55296))
     return false;
   if (!Fits && Div->getValue().trunc(NarrowW).isZero())
     return false; // even the buggy combine cannot divide by zero
@@ -395,7 +395,7 @@ bool LoweringPass::combineZExt(CastInst *C, BasicBlock *BB, unsigned Idx) {
     return false;
   unsigned W = C->getType()->getIntegerBitWidth();
   unsigned MidW = T->getType()->getIntegerBitWidth();
-  if (BugConfig::isEnabled(BugId::PR58431)) {
+  if (isBugEnabled(BugId::PR58431)) {
     replaceAndErase(C, T->getSrc()); // buggy: no mask
     return true;
   }
@@ -432,15 +432,15 @@ bool LoweringPass::combineICmp(ICmpInst *C, BasicBlock *BB, unsigned Idx) {
     switch (P) {
     case ICmpInst::UGT:
     case ICmpInst::UGE:
-      BuggySext = BugConfig::isEnabled(BugId::PR55342);
+      BuggySext = isBugEnabled(BugId::PR55342);
       break;
     case ICmpInst::ULT:
     case ICmpInst::ULE:
-      BuggySext = BugConfig::isEnabled(BugId::PR55490);
+      BuggySext = isBugEnabled(BugId::PR55490);
       break;
     case ICmpInst::EQ:
     case ICmpInst::NE:
-      BuggySext = BugConfig::isEnabled(BugId::PR55627);
+      BuggySext = isBugEnabled(BugId::PR55627);
       break;
     default:
       break;
@@ -471,7 +471,7 @@ bool LoweringPass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
   // Seeded crash 59757: TargetLibraryInfo held a wrong signature for
   // printf; the analog trigger is a recognized libcall invoked with a null
   // pointer constant where the format string belongs.
-  if (BugConfig::isEnabled(BugId::PR59757) && !Callee->isIntrinsic()) {
+  if (isBugEnabled(BugId::PR59757) && !Callee->isIntrinsic()) {
     const std::string &N = Callee->getName();
     if ((N == "printf" || N == "puts" || N == "memcpy") &&
         C->getNumArgs() >= 1 && isa<ConstantNullPtr>(C->getArg(0)))
@@ -490,7 +490,7 @@ bool LoweringPass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
     auto *Sub = new BinaryInst(BinaryInst::Sub, X, Y);
     ins(BB, Idx, Sub);
     Instruction *Repl = nullptr;
-    if (BugConfig::isEnabled(BugId::PR58109)) {
+    if (isBugEnabled(BugId::PR58109)) {
       auto *Sign = new BinaryInst(BinaryInst::AShr, Sub,
                                   intC(C->getType(), APInt(W, W - 1)));
       ins(BB, BB->indexOf(C), Sign);
@@ -522,7 +522,7 @@ bool LoweringPass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
     bool IntMinPoison = !Flag->isZero();
     auto *Neg = new BinaryInst(BinaryInst::Sub,
                                intC(C->getType(), APInt::getZero(W)), X);
-    if (IntMinPoison || BugConfig::isEnabled(BugId::PR55271))
+    if (IntMinPoison || isBugEnabled(BugId::PR55271))
       Neg->setNSW(true);
     ins(BB, Idx, Neg);
     auto *IsNeg = new ICmpInst(ICmpInst::SLT, X,
@@ -543,7 +543,7 @@ bool LoweringPass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
 /// correct pass leaves freeze alone.
 bool LoweringPass::combineFreeze(FreezeInst *Fr, BasicBlock *BB,
                                  unsigned Idx) {
-  if (!BugConfig::isEnabled(BugId::PR58321))
+  if (!isBugEnabled(BugId::PR58321))
     return false;
   replaceAndErase(Fr, Fr->getSrc());
   return true;

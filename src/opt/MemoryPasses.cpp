@@ -65,7 +65,7 @@ public:
           // Seeded crash 72035: the slice rewriter mishandles a nonzero
           // gep index into an otherwise promotable alloca.
           const ConstantInt *GC = matchConstInt(G->getIndex());
-          if (BugConfig::isEnabled(BugId::PR72035) && GC && !GC->isZero())
+          if (isBugEnabled(BugId::PR72035) && GC && !GC->isZero())
             optimizerCrash(BugId::PR72035,
                            "AllocaSliceRewriter on out-of-slice gep index");
           Promotable = false;
@@ -149,7 +149,7 @@ public:
         bool Bad = false;
         unsigned L2 = log2OfAlign(Align, Bad);
         if (Bad) {
-          if (BugConfig::isEnabled(BugId::PR64687))
+          if (isBugEnabled(BugId::PR64687))
             optimizerCrash(BugId::PR64687,
                            "Log2 of non-power-of-two alignment " +
                                std::to_string(Align));
@@ -210,7 +210,7 @@ public:
         // Seeded crash 64661: "the assertion is too strong" — the pass
         // asserted a single initializing value; two stores of DIFFERENT
         // constants trip it.
-        if (BugConfig::isEnabled(BugId::PR64661) && InitStores.size() >= 2) {
+        if (isBugEnabled(BugId::PR64661) && InitStores.size() >= 2) {
           const ConstantInt *V0 =
               cast<ConstantInt>(InitStores[0]->getValueOperand());
           for (StoreInst *S : InitStores)

@@ -229,7 +229,7 @@ Constant *alive::tryConstantFold(const Instruction *I, Module &M) {
     // an operand to ConstantInt without considering a poison input.
     for (unsigned K = 0; K != C->getNumArgs(); ++K)
       if (isPoisonOp(C->getArg(K))) {
-        if (BugConfig::isEnabled(BugId::PR56945))
+        if (isBugEnabled(BugId::PR56945))
           optimizerCrash(BugId::PR56945,
                          "dyn_cast<ConstantInt> on poison operand while "
                          "folding " + Callee->getName());
@@ -269,7 +269,7 @@ Constant *alive::tryConstantFold(const Instruction *I, Module &M) {
         // Seeded crash 56981 (ConstantFolding): the assertion rejecting the
         // zero input was too strong — it fired even for the poison-
         // returning configuration instead of folding to poison.
-        if (BugConfig::isEnabled(BugId::PR56981))
+        if (isBugEnabled(BugId::PR56981))
           optimizerCrash(BugId::PR56981,
                          "assertion X != 0 while folding count-zeros");
         return CP.getPoison(Ty);

@@ -16,6 +16,7 @@
 #define OPT_PASS_H
 
 #include "ir/Module.h"
+#include "opt/BugInjection.h"
 
 #include <memory>
 #include <string>
@@ -41,6 +42,13 @@ public:
   void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
   unsigned size() const { return (unsigned)Passes.size(); }
 
+  /// Binds this pipeline to a campaign's bug-injection context: it is
+  /// installed as the thread's ambient context for the duration of run().
+  /// \p Ctx must outlive the PassManager. A null context (the default)
+  /// leaves the caller's ambient context in effect instead.
+  void setBugContext(const BugInjectionContext *Ctx) { BugCtx = Ctx; }
+  const BugInjectionContext *bugContext() const { return BugCtx; }
+
   /// Runs every pass once, in order, on every function definition.
   /// \returns true when anything changed.
   bool run(Module &M);
@@ -50,6 +58,7 @@ public:
 
 private:
   std::vector<std::unique_ptr<Pass>> Passes;
+  const BugInjectionContext *BugCtx = nullptr;
 };
 
 /// Creates a pass by registry name; null for unknown names.

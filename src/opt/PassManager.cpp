@@ -8,11 +8,18 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <sstream>
 
 using namespace alive;
 
 bool PassManager::run(Module &M) {
+  // Make the campaign's defects visible to the pass bodies for exactly the
+  // duration of the run (exception-safe: unwinding on an OptimizerCrash
+  // restores the previous ambient context).
+  std::optional<BugContextScope> Scope;
+  if (BugCtx)
+    Scope.emplace(BugCtx);
   bool Changed = false;
   for (auto &P : Passes)
     for (Function *F : M.functions())

@@ -85,7 +85,7 @@ Value *simplifyInstruction(Instruction *I, Module &M) {
         // check tested Amt > W; Amt == W was the uncovered condition of
         // seeded crash 56968.
         if (Amt == APInt(W, W)) {
-          if (BugConfig::isEnabled(BugId::PR56968))
+          if (isBugEnabled(BugId::PR56968))
             optimizerCrash(BugId::PR56968,
                            "shift amount equals bit width in poison-shift "
                            "detection");

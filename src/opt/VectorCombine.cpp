@@ -61,7 +61,7 @@ private:
     // Seeded crash 56377: building a shuffle for the extract-extract
     // pattern without validating the lane (scalable-vector analog).
     if (OutOfRange) {
-      if (BugConfig::isEnabled(BugId::PR56377) &&
+      if (isBugEnabled(BugId::PR56377) &&
           isa<ShuffleVectorInst>(E->getVector()))
         optimizerCrash(BugId::PR56377,
                        "shuffle for extract-extract pattern with invalid "
@@ -89,7 +89,7 @@ private:
     if (auto *Bin = dyn_cast<BinaryInst>(E->getVector())) {
       // Seeded crash 72034: scalarizing when an operand constant vector
       // has a poison lane.
-      if (BugConfig::isEnabled(BugId::PR72034)) {
+      if (isBugEnabled(BugId::PR72034)) {
         for (Value *Op : {Bin->getLHS(), Bin->getRHS()})
           if (auto *CV = dyn_cast<ConstantVector>(Op))
             for (unsigned K = 0; K != CV->getNumElements(); ++K)

@@ -7,16 +7,18 @@
 /// \file
 /// The alive-mutate command-line tool: runs the in-process
 /// mutate-optimize-verify loop over an input .ll file (paper §III and the
-/// artifact appendix's CLI: -n, -t, -seed, -passes, -save-dir, -saveAll).
+/// artifact appendix's CLI: -n, -t, -seed, -passes, -save-dir, -saveAll),
+/// sharded across -j worker threads with a deterministic merge.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/FuzzerLoop.h"
+#include "core/CampaignEngine.h"
 #include "opt/BugInjection.h"
 #include "parser/Parser.h"
 #include "tools/ToolCommon.h"
 
 #include <cstdio>
+#include <thread>
 
 using namespace alive;
 
@@ -26,11 +28,14 @@ static void printHelp() {
       "  -n=<count>        number of mutants to generate (default 1000)\n"
       "  -t=<seconds>      time budget instead of a mutant count\n"
       "  -seed=<n>         base PRNG seed (default 1)\n"
+      "  -j=<n>            worker threads (0 = all hardware threads; "
+      "default 1)\n"
       "  -passes=<desc>    pipeline, e.g. O2 or instcombine,dce (default O2)\n"
       "  -max-mutations=<n> mutations per function per mutant (default 3)\n"
-      "  -save-dir=<dir>   write mutants to <dir>\n"
+      "  -save-dir=<dir>   write mutants to <dir> (created if missing)\n"
       "  -saveAll          save every mutant, not only failing ones\n"
       "  -inject-bugs      enable the 33 seeded Table I defects\n"
+      "  -progress=<sec>   print campaign progress every <sec> seconds\n"
       "  -report           print bug records at the end\n"
       "  -help             this text");
 }
@@ -49,9 +54,6 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  if (Args.has("inject-bugs"))
-    BugConfig::enableAll();
-
   FuzzOptions Opts;
   Opts.Passes = Args.get("passes", "O2");
   Opts.Iterations = Args.getInt("n", Args.has("t") ? 0 : 1000);
@@ -61,15 +63,54 @@ int main(int Argc, char **Argv) {
       (unsigned)Args.getInt("max-mutations", 3);
   Opts.SaveDir = Args.get("save-dir");
   Opts.SaveAll = Args.has("saveAll");
+  if (Args.has("inject-bugs"))
+    Opts.Bugs.enableAll();
 
-  FuzzerLoop Fuzzer(Opts);
-  unsigned Testable = Fuzzer.loadModule(std::move(M));
-  std::printf("alive-mutate: %u testable function(s), pipeline '%s'\n",
-              Testable, Opts.Passes.c_str());
+  if (Opts.Iterations == 0 && Opts.TimeLimitSeconds <= 0) {
+    std::fprintf(stderr,
+                 "error: unbounded campaign: give -n=<count> or -t=<sec>\n");
+    return 1;
+  }
+
+  unsigned Jobs = (unsigned)Args.getInt("j", 1);
+  if (Jobs == 0)
+    Jobs = std::max(1u, std::thread::hardware_concurrency());
+
+  CampaignEngine Engine(Opts, Jobs);
+  if (!Engine.configError().empty()) {
+    std::fprintf(stderr, "error: %s\n", Engine.configError().c_str());
+    return 1;
+  }
+
+  unsigned Testable = Engine.loadModule(std::move(M));
+  std::printf("alive-mutate: %u testable function(s), pipeline '%s', "
+              "%u worker(s)\n",
+              Testable, Opts.Passes.c_str(), Engine.jobs());
   if (Testable == 0)
     return 0;
 
-  const FuzzStats &S = Fuzzer.run();
+  double ProgressSec = (double)Args.getInt("progress", 0);
+  if (ProgressSec > 0)
+    Engine.setProgress(ProgressSec, [](const CampaignProgress &P) {
+      if (P.Target)
+        std::fprintf(stderr,
+                     "[campaign] %llu/%llu mutants, %.1fs, %.0f/s (%u "
+                     "workers)\n",
+                     (unsigned long long)P.Done, (unsigned long long)P.Target,
+                     P.Elapsed, P.Elapsed > 0 ? P.Done / P.Elapsed : 0.0,
+                     P.Workers);
+      else
+        std::fprintf(stderr,
+                     "[campaign] %llu mutants, %.1fs, %.0f/s (%u workers)\n",
+                     (unsigned long long)P.Done, P.Elapsed,
+                     P.Elapsed > 0 ? P.Done / P.Elapsed : 0.0, P.Workers);
+    });
+
+  const FuzzStats &S = Engine.run();
+  if (!Engine.configError().empty()) {
+    std::fprintf(stderr, "error: %s\n", Engine.configError().c_str());
+    return 1;
+  }
   std::printf("mutants:        %llu\n",
               (unsigned long long)S.MutantsGenerated);
   std::printf("mutations:      %llu\n",
@@ -81,12 +122,16 @@ int main(int Argc, char **Argv) {
   std::printf("inconclusive:   %llu\n", (unsigned long long)S.Inconclusive);
   std::printf("invalid:        %llu\n",
               (unsigned long long)S.InvalidMutants);
+  if (!Opts.SaveDir.empty())
+    std::printf("saved:          %llu (%llu save failure(s))\n",
+                (unsigned long long)S.MutantsSaved,
+                (unsigned long long)S.SaveFailures);
   std::printf("time:           %.3fs (mutate %.3fs, opt %.3fs, verify %.3fs)\n",
               S.TotalSeconds, S.MutateSeconds, S.OptimizeSeconds,
               S.VerifySeconds);
 
   if (Args.has("report"))
-    for (const BugRecord &B : Fuzzer.bugs()) {
+    for (const BugRecord &B : Engine.bugs()) {
       std::printf("--- %s seed=%llu %s%s\n%s\n",
                   B.Kind == BugRecord::Miscompile ? "MISCOMPILE" : "CRASH",
                   (unsigned long long)B.MutantSeed, B.Detail.c_str(),
@@ -94,5 +139,11 @@ int main(int Argc, char **Argv) {
                   B.MutantIR.c_str());
     }
 
-  return S.RefinementFailures || S.Crashes ? 2 : 0;
+  if (S.SaveFailures > 0)
+    std::fprintf(stderr,
+                 "warning: %llu mutant(s) could not be saved to '%s'\n",
+                 (unsigned long long)S.SaveFailures, Opts.SaveDir.c_str());
+  if (S.RefinementFailures || S.Crashes)
+    return 2;
+  return S.SaveFailures ? 3 : 0;
 }

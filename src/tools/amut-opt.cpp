@@ -27,8 +27,9 @@ int main(int Argc, char **Argv) {
     std::puts("usage: amut-opt [-passes=O2] [-inject-bugs] in.ll out.ll");
     return 1;
   }
+  BugInjectionContext Bugs;
   if (Args.has("inject-bugs"))
-    BugConfig::enableAll();
+    Bugs.enableAll();
 
   std::string Err;
   auto M = parseModuleFile(Args.positional()[0], Err);
@@ -38,6 +39,7 @@ int main(int Argc, char **Argv) {
   }
 
   PassManager PM;
+  PM.setBugContext(&Bugs);
   if (!buildPipeline(Args.get("passes", "O2"), PM, Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;

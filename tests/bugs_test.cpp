@@ -72,7 +72,6 @@ RunOutcome runPipeline(const std::string &IR, const std::string &Passes) {
 /// Expects: bug ON -> miscompilation caught by TV; bug OFF -> sound.
 void expectMiscompile(BugId Id, const std::string &IR,
                       const std::string &Passes) {
-  BugConfig::disableAll();
   RunOutcome Clean = runPipeline(IR, Passes);
   EXPECT_FALSE(Clean.Crashed) << "crash with bug disabled";
   EXPECT_EQ(Clean.Verdict, TVVerdict::Correct)
@@ -87,7 +86,6 @@ void expectMiscompile(BugId Id, const std::string &IR,
 
 /// Expects: bug ON -> simulated optimizer crash; bug OFF -> sound.
 void expectCrash(BugId Id, const std::string &IR, const std::string &Passes) {
-  BugConfig::disableAll();
   RunOutcome Clean = runPipeline(IR, Passes);
   EXPECT_FALSE(Clean.Crashed) << "crash with bug disabled";
   EXPECT_NE(Clean.Verdict, TVVerdict::Incorrect)
@@ -528,15 +526,37 @@ TEST(BugTest, TableHas33Rows) {
 }
 
 TEST(BugTest, EnableDisable) {
-  BugConfig::disableAll();
-  EXPECT_FALSE(BugConfig::isEnabled(BugId::PR53252));
-  BugConfig::enable(BugId::PR53252);
-  EXPECT_TRUE(BugConfig::isEnabled(BugId::PR53252));
-  BugConfig::enableAll();
+  BugInjectionContext Ctx;
+  EXPECT_FALSE(Ctx.isEnabled(BugId::PR53252));
+  Ctx.enable(BugId::PR53252);
+  EXPECT_TRUE(Ctx.isEnabled(BugId::PR53252));
+  Ctx.enableAll();
   for (const BugInfo &B : bugTable())
-    EXPECT_TRUE(BugConfig::isEnabled(B.Id));
-  BugConfig::disableAll();
-  EXPECT_FALSE(BugConfig::isEnabled(BugId::PR53252));
+    EXPECT_TRUE(Ctx.isEnabled(B.Id));
+  Ctx.disableAll();
+  EXPECT_FALSE(Ctx.isEnabled(BugId::PR53252));
+  EXPECT_TRUE(Ctx.empty());
+}
+
+TEST(BugTest, AmbientContextScopes) {
+  // No ambient context: every defect reads as disabled.
+  EXPECT_EQ(activeBugContext(), nullptr);
+  EXPECT_FALSE(isBugEnabled(BugId::PR53252));
+  {
+    ScopedBug Guard(BugId::PR53252);
+    EXPECT_TRUE(isBugEnabled(BugId::PR53252));
+    EXPECT_FALSE(isBugEnabled(BugId::PR50693));
+    {
+      // Scopes nest and restore the previous context on exit.
+      BugInjectionContext Inner{BugId::PR50693};
+      BugContextScope Scope(&Inner);
+      EXPECT_TRUE(isBugEnabled(BugId::PR50693));
+      EXPECT_FALSE(isBugEnabled(BugId::PR53252));
+    }
+    EXPECT_TRUE(isBugEnabled(BugId::PR53252));
+  }
+  EXPECT_FALSE(isBugEnabled(BugId::PR53252));
+  EXPECT_EQ(activeBugContext(), nullptr);
 }
 
 TEST(BugTest, InfoLookup) {

@@ -1,0 +1,282 @@
+//===- tests/campaign_test.cpp - Parallel campaign engine tests -------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regression tests for the campaign-scale fixes — release-mode pipeline
+/// validation, per-campaign bug contexts, saveMutant durability, the
+/// unbounded-config guard, side-effect-free seed replay — plus the parallel
+/// engine's core guarantee: a -j N campaign yields a bug set byte-identical
+/// to the sequential run, with identical summed statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CampaignEngine.h"
+#include "corpus/Corpus.h"
+#include "opt/BugInjection.h"
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace alive;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  std::string Err;
+  auto M = parseModule(Src, Err);
+  EXPECT_NE(M, nullptr) << Err;
+  return M;
+}
+
+/// A small corpus with near-miss functions for an InstCombine crash
+/// (PR52884) and an InstCombine miscompilation (PR50693).
+const char *TwoBugCorpus = R"(
+define i8 @smax_offset(i8 %x) {
+  %1 = add nuw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}
+
+define i8 @opposite_shifts(i8 %x) {
+  %a = shl i8 -2, %x
+  %b = lshr i8 %a, %x
+  ret i8 %b
+}
+)";
+
+FuzzOptions twoBugOptions(uint64_t Iterations) {
+  FuzzOptions Opts;
+  Opts.Passes = "instsimplify,constfold,instcombine,dce";
+  Opts.Iterations = Iterations;
+  Opts.BaseSeed = 1;
+  Opts.TV.ConcreteTrials = 16;
+  Opts.Bugs.enable(BugId::PR52884);
+  Opts.Bugs.enable(BugId::PR50693);
+  return Opts;
+}
+
+void expectSameRecord(const BugRecord &A, const BugRecord &B) {
+  EXPECT_EQ(A.Kind, B.Kind);
+  EXPECT_EQ(A.FunctionName, B.FunctionName);
+  EXPECT_EQ(A.MutantSeed, B.MutantSeed);
+  EXPECT_EQ(A.Detail, B.Detail);
+  EXPECT_EQ(A.IssueId, B.IssueId);
+  EXPECT_EQ(A.MutantIR, B.MutantIR);
+}
+
+void expectSameCounters(const FuzzStats &A, const FuzzStats &B) {
+  EXPECT_EQ(A.MutantsGenerated, B.MutantsGenerated);
+  EXPECT_EQ(A.MutationsApplied, B.MutationsApplied);
+  EXPECT_EQ(A.Optimized, B.Optimized);
+  EXPECT_EQ(A.Verified, B.Verified);
+  EXPECT_EQ(A.RefinementFailures, B.RefinementFailures);
+  EXPECT_EQ(A.Crashes, B.Crashes);
+  EXPECT_EQ(A.Inconclusive, B.Inconclusive);
+  EXPECT_EQ(A.FunctionsDropped, B.FunctionsDropped);
+  EXPECT_EQ(A.InvalidMutants, B.InvalidMutants);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Release-mode pipeline validation.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, InvalidPipelineIsHardError) {
+  // The old code validated buildPipeline with assert() only: an NDEBUG
+  // build fuzzed an empty pipeline and reported zero bugs. Now it is a
+  // config error in every build mode and the loop refuses to run.
+  FuzzOptions Opts;
+  Opts.Passes = "instcombine,no-such-pass";
+  Opts.Iterations = 10;
+  FuzzerLoop Loop(Opts);
+  EXPECT_NE(Loop.configError().find("no-such-pass"), std::string::npos)
+      << Loop.configError();
+  Loop.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Loop.run();
+  EXPECT_EQ(S.MutantsGenerated, 0u);
+
+  CampaignEngine Engine(Opts, 2);
+  EXPECT_FALSE(Engine.configError().empty());
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  EXPECT_EQ(Engine.run().MutantsGenerated, 0u);
+}
+
+TEST(CampaignTest, EmptyPipelineIsHardError) {
+  FuzzOptions Opts;
+  Opts.Passes = "";
+  FuzzerLoop Loop(Opts);
+  EXPECT_FALSE(Loop.configError().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Unbounded-config rejection.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, UnboundedConfigIsRejected) {
+  FuzzOptions Opts;
+  Opts.Iterations = 0;
+  Opts.TimeLimitSeconds = 0;
+  FuzzerLoop Loop(Opts);
+  EXPECT_TRUE(Loop.configError().empty()); // pipeline itself is fine
+  Loop.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Loop.run();
+  EXPECT_EQ(S.MutantsGenerated, 0u);
+  EXPECT_NE(Loop.configError().find("unbounded"), std::string::npos)
+      << Loop.configError();
+
+  CampaignEngine Engine(Opts, 2);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  EXPECT_NE(Engine.configError().find("unbounded"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Side-effect-free seed replay.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, MakeMutantReplayIsSideEffectFree) {
+  FuzzOptions Opts = twoBugOptions(50);
+  FuzzerLoop Loop(Opts);
+  Loop.loadModule(parseOk(TwoBugCorpus));
+  // Replaying seeds (the §III-E reproducibility path) must not pollute
+  // the campaign's statistics.
+  for (uint64_t Seed : {3ull, 17ull, 123456ull})
+    EXPECT_NE(Loop.makeMutant(Seed), nullptr);
+  EXPECT_EQ(Loop.stats().MutationsApplied, 0u);
+  EXPECT_EQ(Loop.stats().MutantsGenerated, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-campaign bug contexts.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, BugContextsDoNotCrossContaminate) {
+  // Two concurrent campaigns over the same corpus: one fuzzes a buggy
+  // compiler, one a correct compiler. With the old global registry the
+  // clean campaign saw the other's enabled defects; each loop now owns
+  // its context.
+  FuzzOptions BuggyOpts = twoBugOptions(0);
+  FuzzOptions CleanOpts = BuggyOpts;
+  CleanOpts.Bugs.disableAll();
+
+  FuzzerLoop Buggy(BuggyOpts), Clean(CleanOpts);
+  Buggy.loadModule(parseOk(TwoBugCorpus));
+  Clean.loadModule(parseOk(TwoBugCorpus));
+
+  // Interleave the two campaigns iteration by iteration.
+  for (uint64_t Seed = 1; Seed <= 400; ++Seed) {
+    Buggy.runIteration(Seed);
+    Clean.runIteration(Seed);
+  }
+  EXPECT_GT(Buggy.bugs().size(), 0u);
+  EXPECT_EQ(Clean.bugs().size(), 0u);
+  EXPECT_EQ(Clean.stats().Crashes, 0u);
+  EXPECT_EQ(Clean.stats().RefinementFailures, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// saveMutant durability.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, SaveFailuresAreCounted) {
+  // A SaveDir that cannot be created ("/dev/null" is a file): the
+  // artifacts are lost, but the loss must be visible in the stats.
+  FuzzOptions Opts = twoBugOptions(3);
+  Opts.SaveDir = "/dev/null/amr-cannot-exist";
+  Opts.SaveAll = true;
+  FuzzerLoop Loop(Opts);
+  Loop.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Loop.run();
+  EXPECT_EQ(S.MutantsSaved, 0u);
+  EXPECT_GT(S.SaveFailures, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel determinism: the tentpole guarantee.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, ParallelBugSetIsByteIdenticalToSequential) {
+  const uint64_t Iterations = 300;
+  FuzzOptions Opts = twoBugOptions(Iterations);
+
+  // Reference: the plain sequential FuzzerLoop.
+  FuzzerLoop Seq(Opts);
+  Seq.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &SeqStats = Seq.run();
+  ASSERT_GT(Seq.bugs().size(), 0u)
+      << "corpus must surface bugs for the comparison to mean anything";
+
+  for (unsigned Jobs : {1u, 4u}) {
+    CampaignEngine Engine(Opts, Jobs);
+    Engine.loadModule(parseOk(TwoBugCorpus));
+    const FuzzStats &ParStats = Engine.run();
+    ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+
+    expectSameCounters(SeqStats, ParStats);
+    ASSERT_EQ(Seq.bugs().size(), Engine.bugs().size()) << "jobs=" << Jobs;
+    for (size_t I = 0; I != Seq.bugs().size(); ++I)
+      expectSameRecord(Seq.bugs()[I], Engine.bugs()[I]);
+  }
+}
+
+TEST(CampaignTest, ParallelReplayRegeneratesSequentialMutant) {
+  // Engine-side §III-E replay: a seed logged by a 4-worker campaign
+  // regenerates the very same mutant the sequential loop would produce.
+  FuzzOptions Opts = twoBugOptions(200);
+  FuzzerLoop Seq(Opts);
+  Seq.loadModule(parseOk(TwoBugCorpus));
+
+  CampaignEngine Engine(Opts, 4);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  ASSERT_GT(Engine.bugs().size(), 0u);
+  uint64_t Seed = Engine.bugs().front().MutantSeed;
+  EXPECT_EQ(printModule(*Engine.makeMutant(Seed)),
+            printModule(*Seq.makeMutant(Seed)));
+}
+
+TEST(CampaignTest, TimeLimitedParallelRunTerminates) {
+  FuzzOptions Opts = twoBugOptions(0);
+  Opts.TimeLimitSeconds = 0.2;
+  CampaignEngine Engine(Opts, 2);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Engine.run();
+  EXPECT_TRUE(Engine.configError().empty()) << Engine.configError();
+  EXPECT_GT(S.MutantsGenerated, 0u);
+  // Bugs (if any) come out sorted by reproducer seed.
+  for (size_t I = 1; I < Engine.bugs().size(); ++I)
+    EXPECT_LE(Engine.bugs()[I - 1].MutantSeed, Engine.bugs()[I].MutantSeed);
+}
+
+TEST(CampaignTest, MoreWorkersThanIterations) {
+  // 3 iterations on 8 requested workers: no idle shards, same results.
+  FuzzOptions Opts = twoBugOptions(3);
+  FuzzerLoop Seq(Opts);
+  Seq.loadModule(parseOk(TwoBugCorpus));
+  Seq.run();
+
+  CampaignEngine Engine(Opts, 8);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  expectSameCounters(Seq.stats(), Engine.stats());
+  ASSERT_EQ(Seq.bugs().size(), Engine.bugs().size());
+}
+
+TEST(CampaignTest, ProgressReporterFires) {
+  FuzzOptions Opts = twoBugOptions(0);
+  Opts.TimeLimitSeconds = 0.3;
+  CampaignEngine Engine(Opts, 2);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  std::atomic<unsigned> Calls{0};
+  Engine.setProgress(0.05, [&](const CampaignProgress &P) {
+    EXPECT_EQ(P.Workers, 2u);
+    ++Calls;
+  });
+  Engine.run();
+  EXPECT_GT(Calls.load(), 0u);
+}

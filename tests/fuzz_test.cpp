@@ -28,10 +28,8 @@ std::unique_ptr<Module> parseOk(const std::string &Src) {
 /// if the campaign finds it within \p MaxIters mutants.
 bool campaignFinds(BugId Bug, const std::string &SeedIR, uint64_t MaxIters,
                    const std::string &Passes = "O2") {
-  BugConfig::disableAll();
-  ScopedBug Guard(Bug);
-
   FuzzOptions Opts;
+  Opts.Bugs.enable(Bug);
   Opts.Passes = Passes;
   Opts.Iterations = MaxIters;
   Opts.BaseSeed = 1;
@@ -64,11 +62,7 @@ const char *seedFor(const char *IssueId) {
 
 } // namespace
 
-class FuzzTest : public ::testing::Test {
-protected:
-  void SetUp() override { BugConfig::disableAll(); }
-  void TearDown() override { BugConfig::disableAll(); }
-};
+class FuzzTest : public ::testing::Test {};
 
 TEST_F(FuzzTest, PreprocessingDropsUnhandledFunctions) {
   // A function whose self-check cannot conclude anything (here: an
@@ -154,23 +148,24 @@ TEST_F(FuzzTest, PristineSeedsDoNotTriggerSeededBugs) {
   // With ALL bugs injected, the un-mutated near-miss corpus must pass its
   // self-checks — discoveries must come from mutants (the paper's setup:
   // the regression suite is green on the buggy compiler).
-  BugConfig::enableAll();
   for (const NearMissSeed &S : nearMissSeeds()) {
     auto M = parseOk(S.Text);
     ASSERT_NE(M, nullptr);
     FuzzOptions Opts;
     Opts.Iterations = 0;
+    Opts.Bugs.enableAll();
     FuzzerLoop Fuzzer(Opts);
     unsigned N = Fuzzer.loadModule(std::move(M));
     EXPECT_GE(N, 1u) << "seed for " << S.IssueId
                      << " was dropped in preprocessing";
   }
-  BugConfig::disableAll();
 }
 
 TEST_F(FuzzTest, SaveDirWritesMutants) {
-  std::string Dir = ::testing::TempDir() + "alive_mutants";
-  std::string Cmd = "mkdir -p " + Dir + " && rm -f " + Dir + "/*.ll";
+  // The directory does not exist up front: saveMutant must create it
+  // instead of silently dropping the §III-E reproducibility artifacts.
+  std::string Dir = ::testing::TempDir() + "alive_mutants/nested";
+  std::string Cmd = "rm -rf " + ::testing::TempDir() + "alive_mutants";
   ASSERT_EQ(std::system(Cmd.c_str()), 0);
 
   FuzzOptions Opts;
@@ -179,7 +174,9 @@ TEST_F(FuzzTest, SaveDirWritesMutants) {
   Opts.SaveAll = true;
   FuzzerLoop Fuzzer(Opts);
   Fuzzer.loadModule(parseOk(paperListingSeeds()[0]));
-  Fuzzer.run();
+  const FuzzStats &S = Fuzzer.run();
+  EXPECT_EQ(S.MutantsSaved, 5u);
+  EXPECT_EQ(S.SaveFailures, 0u);
 
   // Every saved mutant parses back.
   for (uint64_t Seed = 1; Seed <= 5; ++Seed) {

@@ -58,10 +58,9 @@ bool contains(const std::string &Haystack, const std::string &Needle) {
 
 } // namespace
 
-class OptTest : public ::testing::Test {
-protected:
-  void SetUp() override { BugConfig::disableAll(); }
-};
+// No ambient bug context is installed: every seeded defect is disabled and
+// the optimizer under test is the correct one.
+class OptTest : public ::testing::Test {};
 
 TEST_F(OptTest, InstSimplifyIdentities) {
   std::string Out = optimizeChecked(R"(

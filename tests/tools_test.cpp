@@ -78,6 +78,51 @@ TEST_F(ToolsTest, AliveMutateFindsInjectedBugs) {
             2);
 }
 
+TEST_F(ToolsTest, AliveMutateRejectsInvalidPipeline) {
+  // Exit code 1, in every build mode — the old assert-only validation
+  // let an NDEBUG build silently fuzz an empty pipeline.
+  EXPECT_EQ(runCmd(tool("alive-mutate") + " -n=30 -passes=no-such-pass " +
+                   TmpDir + "/in.ll"),
+            1);
+}
+
+TEST_F(ToolsTest, AliveMutateRejectsUnboundedCampaign) {
+  EXPECT_EQ(runCmd(tool("alive-mutate") + " -n=0 " + TmpDir + "/in.ll"), 1);
+}
+
+TEST_F(ToolsTest, AliveMutateParallelFindsInjectedBugs) {
+  EXPECT_EQ(runCmd(tool("alive-mutate") + " -n=200 -j=4 -inject-bugs "
+                                          "-seed=7 " +
+                   TmpDir + "/in.ll"),
+            2);
+}
+
+TEST_F(ToolsTest, AliveMutateParallelReportMatchesSequential) {
+  // The -j 4 stats + bug report is byte-identical to -j 1 apart from the
+  // wall-clock and worker-count lines.
+  std::string Base =
+      " -n=200 -inject-bugs -seed=7 -report " + TmpDir + "/in.ll";
+  ASSERT_EQ(runCmd("(" + tool("alive-mutate") + " -j=1" + Base + " > " +
+                   TmpDir + "/seq.txt)"),
+            2);
+  ASSERT_EQ(runCmd("(" + tool("alive-mutate") + " -j=4" + Base + " > " +
+                   TmpDir + "/par.txt)"),
+            2);
+  auto Strip = [](const std::string &Text) {
+    std::stringstream In(Text), Out;
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.find("time:") == std::string::npos &&
+          Line.find("worker(s)") == std::string::npos)
+        Out << Line << '\n';
+    return Out.str();
+  };
+  std::string Seq = Strip(readFile(TmpDir + "/seq.txt"));
+  std::string Par = Strip(readFile(TmpDir + "/par.txt"));
+  EXPECT_FALSE(Seq.empty());
+  EXPECT_EQ(Seq, Par);
+}
+
 TEST_F(ToolsTest, DiscretePipelineRoundTrips) {
   std::string In = TmpDir + "/in.ll";
   std::string Mut = TmpDir + "/mutant.ll";
