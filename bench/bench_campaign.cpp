@@ -13,9 +13,11 @@
 /// campaign needed — demonstrating that every Table I row is reachable
 /// through mutation (not through the pristine corpus, which stays green).
 ///
-/// Environment knobs: AMR_CAMPAIGN_MAXITER (default 4000) and
+/// Environment knobs: AMR_CAMPAIGN_MAXITER (default 4000),
 /// AMR_CAMPAIGN_JOBS (worker threads per campaign, default 1; the found-at
-/// iteration is identical for every worker count).
+/// iteration is identical for every worker count) and AMR_CAMPAIGN_NOCACHE
+/// (disable change-tracking skips and the TV verdict cache — found-at
+/// columns must not move, only the verification-call counts).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,13 +66,20 @@ struct CampaignResult {
   uint64_t SeedOfMutant = 0;
 };
 
+/// Verification-effort counters summed across every campaign batch.
+FuzzStats TVAgg;
+
 CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
-                           uint64_t MaxIter, unsigned Jobs) {
+                           uint64_t MaxIter, unsigned Jobs, bool NoCache) {
   FuzzOptions Opts;
   Opts.Passes = pipelineFor(Bug.Component);
   Opts.TV.ConcreteTrials = 16;
   Opts.TV.SolverConflictBudget = 30000;
   Opts.Bugs.enable(Bug.Id);
+  if (NoCache) {
+    Opts.SkipUnchanged = false;
+    Opts.TVCacheSize = 0;
+  }
 
   CampaignResult R;
   // Sharded batches with geometrically ramping size: small batches keep
@@ -89,7 +98,12 @@ CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
     auto M = parseModule(SeedIR, Err);
     if (!M || Engine.loadModule(std::move(M)) == 0)
       return R;
-    Engine.run();
+    const FuzzStats &S = Engine.run();
+    TVAgg.Verified += S.Verified;
+    TVAgg.VerifySkipped += S.VerifySkipped;
+    TVAgg.TVCacheHits += S.TVCacheHits;
+    TVAgg.TVCacheMisses += S.TVCacheMisses;
+    TVAgg.TVCacheEvictions += S.TVCacheEvictions;
 
     // Bugs arrive in ascending seed order. Crash records identify
     // themselves; a miscompilation found while only this bug is enabled
@@ -116,11 +130,13 @@ int main() {
   unsigned Jobs = JobsEnv ? (unsigned)std::strtoul(JobsEnv, nullptr, 10) : 1;
   if (Jobs == 0)
     Jobs = 1;
+  bool NoCache = std::getenv("AMR_CAMPAIGN_NOCACHE") != nullptr;
 
   std::printf("=== Fuzzing campaign: regenerating Table I ===\n");
   std::printf("(each row: one seeded defect, campaign over its near-miss "
-              "seed, cap %llu mutants, %u worker(s))\n\n",
-              (unsigned long long)MaxIter, Jobs);
+              "seed, cap %llu mutants, %u worker(s)%s)\n\n",
+              (unsigned long long)MaxIter, Jobs,
+              NoCache ? ", memoization off" : "");
   std::printf("%-8s %-26s %-7s %-15s %10s  %s\n", "Issue", "Component",
               "Status", "Type", "found@", "Description");
   std::printf("%.120s\n",
@@ -135,7 +151,7 @@ int main() {
         SeedIR = S.Text;
     CampaignResult R;
     if (SeedIR)
-      R = runCampaign(Bug, SeedIR, MaxIter, Jobs);
+      R = runCampaign(Bug, SeedIR, MaxIter, Jobs, NoCache);
 
     char FoundBuf[32];
     if (R.Found)
@@ -154,8 +170,16 @@ int main() {
     }
   }
 
+  uint64_t Lookups = TVAgg.TVCacheHits + TVAgg.TVCacheMisses;
   std::printf("\nfound %u / 33 seeded defects "
               "(%u miscompilations [paper: 19], %u crashes [paper: 14])\n",
               Found, FoundMiscompile, FoundCrash);
+  std::printf("verification effort: %llu verified, %llu skipped "
+              "(unchanged), cache %llu/%llu hit, %llu evicted\n",
+              (unsigned long long)TVAgg.Verified,
+              (unsigned long long)TVAgg.VerifySkipped,
+              (unsigned long long)TVAgg.TVCacheHits,
+              (unsigned long long)Lookups,
+              (unsigned long long)TVAgg.TVCacheEvictions);
   return Found == 33 ? 0 : 1;
 }

@@ -7,24 +7,31 @@
 /// \file
 /// Regenerates the paper's §V-B throughput experiment. For each corpus
 /// file (<2KB, InstCombine-unit-test-shaped) it performs the same amount
-/// of mutation testing two ways:
+/// of mutation testing three ways:
 ///
 ///   1. alive-mutate (in-process): the single-process
-///      mutate-optimize-verify loop;
-///   2. discrete tools: a loop that, per mutant, spawns amut-mutate,
+///      mutate-optimize-verify loop, with change-tracking skips and the
+///      TV verdict cache on (the defaults);
+///   2. alive-mutate without memoization (-no-tv-cache
+///      -no-skip-unchanged): the same loop re-verifying every function of
+///      every mutant — isolates what the skip/cache layer buys;
+///   3. discrete tools: a loop that, per mutant, spawns amut-mutate,
 ///      amut-opt and amut-tv as separate UNIX processes communicating
 ///      through real files — the Figure 2 baseline with its process
 ///      creation/destruction, file I/O, parsing and printing overheads.
 ///
-/// Both sides are driven by the same PRNG seeds, so "the actual work
+/// All conditions are driven by the same PRNG seeds, so "the actual work
 /// performed under both conditions is exactly the same". Output ends in
 /// the artifact's Listing-20 format.
 ///
 /// Environment knobs: AMR_THROUGHPUT_FILES (default 24; paper used 194),
-/// AMR_THROUGHPUT_COUNT (mutants per file, default 40; paper used 1000)
-/// and AMR_THROUGHPUT_JOBS (in-process worker threads, default 1 — the
+/// AMR_THROUGHPUT_COUNT (mutants per file, default 40; paper used 1000),
+/// AMR_THROUGHPUT_JOBS (in-process worker threads, default 1 — the
 /// discrete baseline is inherently one process chain at a time, so extra
-/// workers widen the in-process advantage on multi-core hosts).
+/// workers widen the in-process advantage on multi-core hosts) and
+/// AMR_THROUGHPUT_JSON (when set: path of a machine-readable JSON report
+/// with the per-file rows and the aggregated skip/cache counters; CI's
+/// smoke job diffs its structure against BENCH_baseline.json).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -110,10 +117,11 @@ int main(int argc, char **argv) {
   struct Row {
     std::string Name;
     double InProcess;
+    double NoMemo;
     double Discrete;
-    bool Valid;
   };
   std::vector<Row> Rows;
+  FuzzStats Agg; // skip/cache counters of the memoized condition, summed
   unsigned Invalid = 0, NotVerified = 0;
 
   for (unsigned FI = 0; FI != Files.size(); ++FI) {
@@ -124,7 +132,6 @@ int main(int argc, char **argv) {
       Out << Files[FI];
     }
 
-    // --- Condition 1: alive-mutate (in-process). ---
     std::string Err;
     auto M = parseModule(Files[FI], Err);
     if (!M) {
@@ -136,6 +143,8 @@ int main(int argc, char **argv) {
     Opts.BaseSeed = 1;
     Opts.TV.ConcreteTrials = 16;
     Opts.TV.SolverConflictBudget = 4000; // matched in the amut-tv calls
+
+    // --- Condition 1: alive-mutate (in-process), memoization on. ---
     CampaignEngine Fuzzer(Opts, Jobs);
     Timer T1;
     unsigned Testable = Fuzzer.loadModule(std::move(M));
@@ -143,10 +152,26 @@ int main(int argc, char **argv) {
       ++NotVerified; // the paper discarded 6 of 200 this way
       continue;
     }
-    Fuzzer.run();
+    const FuzzStats &S = Fuzzer.run();
     double InProc = T1.seconds();
+    Agg.Verified += S.Verified;
+    Agg.VerifySkipped += S.VerifySkipped;
+    Agg.TVCacheHits += S.TVCacheHits;
+    Agg.TVCacheMisses += S.TVCacheMisses;
+    Agg.TVCacheEvictions += S.TVCacheEvictions;
 
-    // --- Condition 2: discrete tools with files and processes. ---
+    // --- Condition 2: in-process, memoization off (the old loop). ---
+    FuzzOptions Bare = Opts;
+    Bare.SkipUnchanged = false;
+    Bare.TVCacheSize = 0;
+    CampaignEngine BareFuzzer(Bare, Jobs);
+    auto M2 = parseModule(Files[FI], Err);
+    Timer T1b;
+    BareFuzzer.loadModule(std::move(M2));
+    BareFuzzer.run();
+    double NoMemo = T1b.seconds();
+
+    // --- Condition 3: discrete tools with files and processes. ---
     std::string MutPath = Tmp + "/mutant.ll";
     std::string OptPath = Tmp + "/optimized.ll";
     Timer T2;
@@ -158,9 +183,10 @@ int main(int argc, char **argv) {
     }
     double Discrete = T2.seconds();
 
-    Rows.push_back({Name, InProc, Discrete, true});
-    std::printf("%-12s in-process %8.3fs   discrete %8.3fs   speedup %7.2fx\n",
-                Name.c_str(), InProc, Discrete, Discrete / InProc);
+    Rows.push_back({Name, InProc, NoMemo, Discrete});
+    std::printf("%-12s in-process %8.3fs   no-memo %8.3fs   discrete %8.3fs"
+                "   speedup %7.2fx\n",
+                Name.c_str(), InProc, NoMemo, Discrete, Discrete / InProc);
   }
 
   // Summary in the shape the paper reports.
@@ -179,11 +205,25 @@ int main(int argc, char **argv) {
     }
   }
   double Avg = Rows.empty() ? 0 : Sum / Rows.size();
+  double MemoSum = 0;
+  for (const Row &R : Rows)
+    MemoSum += R.NoMemo / R.InProcess;
+  double MemoAvg = Rows.empty() ? 0 : MemoSum / Rows.size();
+  uint64_t Lookups = Agg.TVCacheHits + Agg.TVCacheMisses;
   std::printf("\naverage speedup: %.2fx  (paper: ~12x)\n", Avg);
   std::printf("best case:       %.2fx on %s (paper: 786x)\n", Best,
               BestName.c_str());
   std::printf("worst case:      %.2fx on %s (paper: 1.01x)\n", Worst,
               WorstName.c_str());
+  std::printf("memoization:     %.2fx over no-memo in-process; "
+              "%llu verified, %llu skipped, cache %llu/%llu hit "
+              "(%.1f%%), %llu evicted\n",
+              MemoAvg, (unsigned long long)Agg.Verified,
+              (unsigned long long)Agg.VerifySkipped,
+              (unsigned long long)Agg.TVCacheHits,
+              (unsigned long long)Lookups,
+              Lookups ? 100.0 * Agg.TVCacheHits / Lookups : 0.0,
+              (unsigned long long)Agg.TVCacheEvictions);
 
   // Listing 20 output format from the artifact appendix.
   std::printf("\n--- res.txt (Listing 20 format) ---\n");
@@ -208,5 +248,49 @@ int main(int argc, char **argv) {
   std::printf("Not-verified files:[]\n");
   std::printf("Total invalid file:%u\n", Invalid);
   std::printf("Invalid files:[]\n");
+
+  // Machine-readable report for CI trend tracking (schema mirrored by
+  // BENCH_baseline.json; scripts/check_bench_json.py validates it).
+  if (const char *JsonPath = std::getenv("AMR_THROUGHPUT_JSON")) {
+    std::ofstream J(JsonPath);
+    if (!J) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath);
+      return 1;
+    }
+    char Buf[256];
+    J << "{\n"
+      << "  \"experiment\": \"throughput\",\n"
+      << "  \"config\": {\"files\": " << NumFiles << ", \"count\": " << Count
+      << ", \"jobs\": " << Jobs << "},\n"
+      << "  \"rows\": [\n";
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"name\": \"%s\", \"in_process_s\": %.6f, "
+                    "\"no_memo_s\": %.6f, \"discrete_s\": %.6f, "
+                    "\"speedup_vs_discrete\": %.4f, "
+                    "\"speedup_vs_no_memo\": %.4f}%s\n",
+                    R.Name.c_str(), R.InProcess, R.NoMemo, R.Discrete,
+                    R.Discrete / R.InProcess, R.NoMemo / R.InProcess,
+                    I + 1 != Rows.size() ? "," : "");
+      J << Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"avg_speedup_vs_discrete\": %.4f,\n"
+                  "  \"avg_speedup_vs_no_memo\": %.4f,\n",
+                  Avg, MemoAvg);
+    J << "  ],\n" << Buf;
+    std::snprintf(Buf, sizeof(Buf), "%.4f",
+                  Lookups ? (double)Agg.TVCacheHits / Lookups : 0.0);
+    J << "  \"totals\": {\"verified\": " << Agg.Verified
+      << ", \"verify_skipped\": " << Agg.VerifySkipped
+      << ", \"cache_hits\": " << Agg.TVCacheHits
+      << ", \"cache_misses\": " << Agg.TVCacheMisses
+      << ", \"cache_evictions\": " << Agg.TVCacheEvictions
+      << ", \"cache_hit_rate\": " << Buf << ", \"not_verified\": "
+      << NotVerified << ", \"invalid\": " << Invalid << "}\n"
+      << "}\n";
+    std::printf("\nJSON report written to %s\n", JsonPath);
+  }
   return 0;
 }

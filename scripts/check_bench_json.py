@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate a bench_throughput JSON report against BENCH_baseline.json.
+
+Usage: check_bench_json.py <fresh.json> <baseline.json>
+
+CI runs the bench with tiny knobs, so absolute timings are noise; what must
+hold is the report *shape* (the baseline documents the schema) plus the
+internal invariants of the counters. Exits non-zero with a message when
+either is violated.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print("check_bench_json: FAIL: " + msg)
+    sys.exit(1)
+
+
+def key_shape(value):
+    """Recursive key structure; lists are described by their first element
+    (rows all share one schema)."""
+    if isinstance(value, dict):
+        return {k: key_shape(v) for k, v in sorted(value.items())}
+    if isinstance(value, list):
+        return [key_shape(value[0])] if value else []
+    return type(value).__name__
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_bench_json.py <fresh.json> <baseline.json>")
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+
+    if key_shape(fresh) != key_shape(base):
+        fail(
+            "report schema drifted from baseline:\n  fresh:    %r\n  baseline: %r"
+            % (key_shape(fresh), key_shape(base))
+        )
+
+    t = fresh["totals"]
+    if not fresh["rows"]:
+        fail("no benchmark rows: every corpus file was discarded")
+    if t["verified"] + t["verify_skipped"] <= 0:
+        fail("no verification happened at all")
+    if t["verify_skipped"] <= 0:
+        fail("change-tracking never skipped a function")
+    # Misses count actual checkRefinement calls: they can never exceed the
+    # number of established verdicts.
+    if t["cache_hits"] + t["cache_misses"] != t["verified"]:
+        fail(
+            "cache hits (%d) + misses (%d) != verified (%d)"
+            % (t["cache_hits"], t["cache_misses"], t["verified"])
+        )
+    if not 0.0 <= t["cache_hit_rate"] <= 1.0:
+        fail("cache_hit_rate %r outside [0, 1]" % t["cache_hit_rate"])
+    for row in fresh["rows"]:
+        for k in ("in_process_s", "no_memo_s", "discrete_s"):
+            if row[k] < 0:
+                fail("%s: negative timing %s" % (row["name"], k))
+        if row["speedup_vs_discrete"] <= 0:
+            fail("%s: non-positive speedup" % row["name"])
+
+    print(
+        "check_bench_json: OK (%d rows, %d verified, %d skipped, "
+        "hit rate %.1f%%, avg speedup vs discrete %.2fx, vs no-memo %.2fx)"
+        % (
+            len(fresh["rows"]),
+            t["verified"],
+            t["verify_skipped"],
+            100.0 * t["cache_hit_rate"],
+            fresh["avg_speedup_vs_discrete"],
+            fresh["avg_speedup_vs_no_memo"],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

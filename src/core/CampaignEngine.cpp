@@ -66,6 +66,10 @@ void accumulate(FuzzStats &Into, const FuzzStats &From) {
   Into.MutationsApplied += From.MutationsApplied;
   Into.Optimized += From.Optimized;
   Into.Verified += From.Verified;
+  Into.VerifySkipped += From.VerifySkipped;
+  Into.TVCacheHits += From.TVCacheHits;
+  Into.TVCacheMisses += From.TVCacheMisses;
+  Into.TVCacheEvictions += From.TVCacheEvictions;
   Into.RefinementFailures += From.RefinementFailures;
   Into.Crashes += From.Crashes;
   Into.Inconclusive += From.Inconclusive;
@@ -192,8 +196,11 @@ const FuzzStats &CampaignEngine::run() {
   Stats = FuzzStats();
   Stats.FunctionsDropped = MasterLoop->stats().FunctionsDropped;
   Bugs.clear();
+  SaveDirError.clear();
   for (const auto &W : Workers) {
     accumulate(Stats, W->Loop->stats());
+    if (SaveDirError.empty())
+      SaveDirError = W->Loop->saveDirError();
     const std::vector<BugRecord> &WB = W->Loop->bugs();
     Bugs.insert(Bugs.end(), WB.begin(), WB.end());
   }

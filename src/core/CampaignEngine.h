@@ -16,6 +16,10 @@
 /// iteration clones the master afresh and reseeds the PRNG), so a static
 /// contiguous partition of the seed range, merged in worker order, yields
 /// a bug list and summed statistics byte-identical to the sequential run.
+/// Each worker's loop owns a private TVCache; a cache hit replays the
+/// byte-identical verdict the checker would recompute, so memoization
+/// never perturbs the merged bug report — only the hit/miss split varies
+/// with the worker count.
 /// The §III-A self-check/preprocessing pass runs exactly once, on the
 /// master module; workers inherit the surviving function set.
 ///
@@ -83,6 +87,11 @@ public:
   const FuzzStats &stats() const { return Stats; }
   const std::vector<BugRecord> &bugs() const { return Bugs; }
 
+  /// First worker's save-directory creation error, if any ("" when the
+  /// directory came up fine). Reported once, engine-wide: every worker
+  /// that hit it stopped retrying per-file writes.
+  const std::string &saveDirError() const { return SaveDirError; }
+
   /// Regenerates the mutant for \p Seed from the master module — the
   /// §III-E reproducibility path. Side-effect-free.
   std::unique_ptr<Module>
@@ -100,6 +109,7 @@ private:
   std::function<void(const CampaignProgress &)> ProgressFn;
   FuzzStats Stats;
   std::vector<BugRecord> Bugs;
+  std::string SaveDirError;
 };
 
 } // namespace alive

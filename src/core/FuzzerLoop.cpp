@@ -29,6 +29,8 @@ FuzzerLoop::FuzzerLoop(const FuzzOptions &Opts) : Opts(Opts) {
   else if (PM.size() == 0)
     ConfigError = "empty pass pipeline '" + this->Opts.Passes + "'";
   PM.setBugContext(&this->Opts.Bugs);
+  if (this->Opts.TVCacheSize > 0)
+    TVC = std::make_unique<TVCache>(this->Opts.TVCacheSize);
 }
 
 FuzzerLoop::~FuzzerLoop() = default;
@@ -137,9 +139,12 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
 
   // §III-C: optimize with the pipeline built once at construction (the
   // per-iteration rebuild was hot-path waste the paper amortizes away).
+  // The pass manager reports which functions actually changed — the
+  // verification loop below skips the rest.
   Phase.reset();
+  ChangedFunctionSet Changed;
   try {
-    PM.runToFixpoint(*Mutant);
+    PM.runToFixpoint(*Mutant, 4, &Changed);
   } catch (const OptimizerCrash &C) {
     Stats.OptimizeSeconds += Phase.seconds();
     ++Stats.Crashes;
@@ -158,14 +163,46 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
   ++Stats.Optimized;
   Stats.OptimizeSeconds += Phase.seconds();
 
-  // §III-D: refinement check per testable function.
+  // §III-D: refinement check per testable function — except the ones the
+  // pipeline provably left alone, and pairs whose verdict is memoized.
   Phase.reset();
   for (const auto &[Name, Info] : Preprocessed) {
     Function *Src = Source->getFunction(Name);
     Function *Tgt = Mutant->getFunction(Name);
     if (!Src || !Tgt || Tgt->isDeclaration())
       continue;
-    TVResult R = checkRefinement(*Src, *Tgt, Opts.TV);
+    if (Opts.SkipUnchanged && !Changed.count(Name)) {
+      // No pass touched this function: the target is byte-identical to
+      // the source, and a function refines itself (established for the
+      // unmutated form by the load-time self-check; for mutants, a
+      // deterministic interpreter/encoder can never find a violation
+      // between a function and its exact copy). Checking would only burn
+      // the time the paper's hot loop is trying to save — or worse, count
+      // a spurious freeze-encoding "inconclusive".
+      ++Stats.VerifySkipped;
+      continue;
+    }
+    TVResult R;
+    std::string Key;
+    if (TVC)
+      Key = TVCache::makeKey(*Src, *Tgt, Opts.TV);
+    if (!Key.empty()) {
+      if (const TVResult *Hit = TVC->lookup(Key)) {
+        R = *Hit;
+        ++Stats.TVCacheHits;
+      } else {
+        R = checkRefinement(*Src, *Tgt, Opts.TV);
+        ++Stats.TVCacheMisses;
+        if (TVC->insert(Key, R))
+          ++Stats.TVCacheEvictions;
+      }
+    } else {
+      // Cache disabled, or the pair calls into defined functions (the
+      // verdict then depends on callee bodies outside the key).
+      R = checkRefinement(*Src, *Tgt, Opts.TV);
+      if (TVC)
+        ++Stats.TVCacheMisses;
+    }
     ++Stats.Verified;
     if (R.Verdict == TVVerdict::Incorrect) {
       ++Stats.RefinementFailures;
@@ -214,11 +251,23 @@ const FuzzStats &FuzzerLoop::run() {
 
 void FuzzerLoop::saveMutant(const Module &M, uint64_t Seed, bool Failing) {
   if (!SaveDirReady) {
-    // Create the directory on first use; a failure surfaces per-file
-    // below. Concurrent workers may race here — create_directories treats
-    // an already-existing directory as success.
+    if (!SaveDirError.empty()) {
+      // The directory already failed to come up: don't retry the write
+      // per mutant, just account for the lost §III-E artifact.
+      ++Stats.SaveFailures;
+      return;
+    }
+    // Create the directory on first use. Concurrent workers may race
+    // here — create_directories treats an already-existing directory as
+    // success.
     std::error_code EC;
     std::filesystem::create_directories(Opts.SaveDir, EC);
+    if (EC) {
+      SaveDirError = "cannot create save directory '" + Opts.SaveDir +
+                     "': " + EC.message();
+      ++Stats.SaveFailures;
+      return;
+    }
     SaveDirReady = true;
   }
   std::string Path = Opts.SaveDir + "/mutant-" + std::to_string(Seed) +

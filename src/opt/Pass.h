@@ -20,6 +20,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace alive {
@@ -36,6 +37,13 @@ public:
   virtual bool runOnFunction(Function &F) = 0;
 };
 
+/// Names of the functions some pass reported modifying during a pipeline
+/// run. Passes already compute changed-ness per function to drive the
+/// fixpoint loop; the pass manager surfaces it here instead of collapsing
+/// it into one module-wide bool, so the fuzzing loop can skip the
+/// refinement check for functions the pipeline never touched.
+using ChangedFunctionSet = std::unordered_set<std::string>;
+
 /// Runs a pipeline of passes over every definition in a module.
 class PassManager {
 public:
@@ -50,11 +58,15 @@ public:
   const BugInjectionContext *bugContext() const { return BugCtx; }
 
   /// Runs every pass once, in order, on every function definition.
-  /// \returns true when anything changed.
-  bool run(Module &M);
+  /// When \p ChangedOut is non-null, the names of modified functions are
+  /// added to it. \returns true when anything changed.
+  bool run(Module &M, ChangedFunctionSet *ChangedOut = nullptr);
 
   /// Runs the pipeline repeatedly until a fixed point (or \p MaxIter).
-  bool runToFixpoint(Module &M, unsigned MaxIter = 4);
+  /// \p ChangedOut (optional) accumulates the union of per-function
+  /// changes across all fixpoint iterations.
+  bool runToFixpoint(Module &M, unsigned MaxIter = 4,
+                     ChangedFunctionSet *ChangedOut = nullptr);
 
 private:
   std::vector<std::unique_ptr<Pass>> Passes;

@@ -13,7 +13,7 @@
 
 using namespace alive;
 
-bool PassManager::run(Module &M) {
+bool PassManager::run(Module &M, ChangedFunctionSet *ChangedOut) {
   // Make the campaign's defects visible to the pass bodies for exactly the
   // duration of the run (exception-safe: unwinding on an OptimizerCrash
   // restores the previous ambient context).
@@ -24,14 +24,19 @@ bool PassManager::run(Module &M) {
   for (auto &P : Passes)
     for (Function *F : M.functions())
       if (!F->isDeclaration())
-        Changed |= P->runOnFunction(*F);
+        if (P->runOnFunction(*F)) {
+          Changed = true;
+          if (ChangedOut)
+            ChangedOut->insert(F->getName());
+        }
   return Changed;
 }
 
-bool PassManager::runToFixpoint(Module &M, unsigned MaxIter) {
+bool PassManager::runToFixpoint(Module &M, unsigned MaxIter,
+                                ChangedFunctionSet *ChangedOut) {
   bool Changed = false;
   for (unsigned I = 0; I != MaxIter; ++I) {
-    if (!run(M))
+    if (!run(M, ChangedOut))
       break;
     Changed = true;
   }

@@ -32,6 +32,9 @@ static void printHelp() {
       "default 1)\n"
       "  -passes=<desc>    pipeline, e.g. O2 or instcombine,dce (default O2)\n"
       "  -max-mutations=<n> mutations per function per mutant (default 3)\n"
+      "  -no-tv-cache      disable the per-worker TV verdict cache\n"
+      "  -tv-cache-size=<n> TV verdict cache capacity (default 4096)\n"
+      "  -no-skip-unchanged verify even functions no pass modified\n"
       "  -save-dir=<dir>   write mutants to <dir> (created if missing)\n"
       "  -saveAll          save every mutant, not only failing ones\n"
       "  -inject-bugs      enable the 33 seeded Table I defects\n"
@@ -63,6 +66,11 @@ int main(int Argc, char **Argv) {
       (unsigned)Args.getInt("max-mutations", 3);
   Opts.SaveDir = Args.get("save-dir");
   Opts.SaveAll = Args.has("saveAll");
+  Opts.TVCacheSize = Args.has("no-tv-cache")
+                         ? 0
+                         : (size_t)Args.getInt("tv-cache-size",
+                                               Opts.TVCacheSize);
+  Opts.SkipUnchanged = !Args.has("no-skip-unchanged");
   if (Args.has("inject-bugs"))
     Opts.Bugs.enableAll();
 
@@ -116,6 +124,15 @@ int main(int Argc, char **Argv) {
   std::printf("mutations:      %llu\n",
               (unsigned long long)S.MutationsApplied);
   std::printf("verified:       %llu\n", (unsigned long long)S.Verified);
+  std::printf("verify-skipped: %llu\n", (unsigned long long)S.VerifySkipped);
+  if (Opts.TVCacheSize > 0)
+    // Hit/miss splits depend on each worker's private cache history, so
+    // this line (like time) varies with -j; the bug report does not.
+    std::printf("tv-cache:       %llu hit(s), %llu miss(es), %llu "
+                "eviction(s) [%u worker(s)]\n",
+                (unsigned long long)S.TVCacheHits,
+                (unsigned long long)S.TVCacheMisses,
+                (unsigned long long)S.TVCacheEvictions, Engine.jobs());
   std::printf("miscompiles:    %llu\n",
               (unsigned long long)S.RefinementFailures);
   std::printf("crashes:        %llu\n", (unsigned long long)S.Crashes);
@@ -139,6 +156,9 @@ int main(int Argc, char **Argv) {
                   B.MutantIR.c_str());
     }
 
+  if (!Engine.saveDirError().empty())
+    // The directory never came up: reported once, not per mutant.
+    std::fprintf(stderr, "warning: %s\n", Engine.saveDirError().c_str());
   if (S.SaveFailures > 0)
     std::fprintf(stderr,
                  "warning: %llu mutant(s) could not be saved to '%s'\n",

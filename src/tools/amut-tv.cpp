@@ -52,8 +52,12 @@ int main(int Argc, char **Argv) {
     std::printf("%s: %s%s%s\n", SF->getName().c_str(),
                 tvVerdictName(R.Verdict), R.Detail.empty() ? "" : " - ",
                 R.Detail.c_str());
-    if (R.Verdict == TVVerdict::Incorrect)
+    if (R.Verdict == TVVerdict::Incorrect) {
+      if (!R.CounterExample.empty())
+        std::printf("  counterexample: %s\n",
+                    renderConcVals(R.CounterExample).c_str());
       ++Failures;
+    }
   }
   return Failures ? 2 : 0;
 }

@@ -30,6 +30,10 @@ const char *alive::tvVerdictName(TVVerdict V) {
 
 namespace {
 
+/// Hard ceiling on exhaustive enumeration, whatever TVOptions asks for:
+/// the trial count 1ULL << TotalBits is undefined from 64 bits up.
+constexpr unsigned MaxExhaustiveBits = 63;
+
 bool sameSignature(const Function &A, const Function &B) {
   if (A.getReturnType()->str() != B.getReturnType()->str())
     return false;
@@ -41,8 +45,9 @@ bool sameSignature(const Function &A, const Function &B) {
   return true;
 }
 
-/// Renders one concrete argument vector for diagnostics.
-std::string renderArgs(const std::vector<ConcVal> &Args) {
+} // namespace
+
+std::string alive::renderConcVals(const std::vector<ConcVal> &Args) {
   std::string S = "(";
   for (size_t I = 0; I != Args.size(); ++I) {
     if (I)
@@ -63,19 +68,28 @@ std::string renderArgs(const std::vector<ConcVal> &Args) {
   return S + ")";
 }
 
-/// One concrete refinement trial. \returns true when a violation was found
-/// (Detail filled in). Vacuous trials (src UB / out of fuel) return false.
-bool runConcreteTrial(const Function &Src, const Function &Tgt,
-                      const std::vector<ConcVal> &Args,
-                      const Memory &InitialMem, const ExecOptions &EOpts,
-                      std::string &Detail,
-                      const std::vector<uint64_t> &ArgBufAddrs,
-                      const std::vector<uint64_t> &ArgBufSizes) {
+namespace {
+
+/// What one concrete refinement trial established.
+enum class TrialOutcome {
+  Violation,     ///< refinement violated (Detail filled in)
+  NoViolation,   ///< both sides ran; the target refined the source
+  VacuousSource, ///< src UB / out of fuel: any target behavior is allowed
+  VacuousTarget, ///< tgt fuel/unsupported: the trial decided nothing
+};
+
+/// One concrete refinement trial.
+TrialOutcome runConcreteTrial(const Function &Src, const Function &Tgt,
+                              const std::vector<ConcVal> &Args,
+                              const Memory &InitialMem,
+                              const ExecOptions &EOpts, std::string &Detail,
+                              const std::vector<uint64_t> &ArgBufAddrs,
+                              const std::vector<uint64_t> &ArgBufSizes) {
   Memory SrcMem = InitialMem.clone();
   Interpreter SrcInterp(SrcMem, EOpts);
   ExecResult SR = SrcInterp.run(Src, Args);
   if (SR.Status != ExecStatus::Ok)
-    return false; // src UB / fuel: any target behavior is allowed (bounded)
+    return TrialOutcome::VacuousSource;
 
   Memory TgtMem = InitialMem.clone();
   Interpreter TgtInterp(TgtMem, EOpts);
@@ -84,12 +98,12 @@ bool runConcreteTrial(const Function &Src, const Function &Tgt,
   std::ostringstream OS;
   if (TR.Status == ExecStatus::UB) {
     OS << "target has UB (" << TR.UBReason << ") on input "
-       << renderArgs(Args) << " where source is defined";
+       << renderConcVals(Args) << " where source is defined";
     Detail = OS.str();
-    return true;
+    return TrialOutcome::Violation;
   }
   if (TR.Status != ExecStatus::Ok)
-    return false; // fuel/unsupported on target side: inconclusive trial
+    return TrialOutcome::VacuousTarget;
 
   // Return-value refinement.
   if (!SR.IsVoid) {
@@ -99,13 +113,13 @@ bool runConcreteTrial(const Function &Src, const Function &Tgt,
       if (SL.Poison)
         continue; // poison refined by anything
       if (TL.Poison || TL.Val != SL.Val) {
-        OS << "value mismatch on input " << renderArgs(Args) << ": source "
-           << SL.Val.toString() << ", target "
+        OS << "value mismatch on input " << renderConcVals(Args)
+           << ": source " << SL.Val.toString() << ", target "
            << (TL.Poison ? std::string("poison") : TL.Val.toString());
         if (SR.Ret.Lanes.size() > 1)
           OS << " (lane " << L << ")";
         Detail = OS.str();
-        return true;
+        return TrialOutcome::Violation;
       }
     }
   }
@@ -121,13 +135,13 @@ bool runConcreteTrial(const Function &Src, const Function &Tgt,
       bool TgtDefined = TgtMem.isInit(Addr) && !TgtMem.isPoison(Addr);
       if (!TgtDefined || TgtMem.readByte(Addr) != SrcMem.readByte(Addr)) {
         OS << "memory mismatch at byte +" << Off << " of pointer arg #"
-           << BufIdx << " on input " << renderArgs(Args);
+           << BufIdx << " on input " << renderConcVals(Args);
         Detail = OS.str();
-        return true;
+        return TrialOutcome::Violation;
       }
     }
   }
-  return false;
+  return TrialOutcome::NoViolation;
 }
 
 /// Concrete-path checker: bounded enumeration / sampling.
@@ -221,9 +235,13 @@ TVResult checkConcrete(const Function &Src, const Function &Tgt,
   };
 
   std::string Detail;
-  bool Exhaustive = TotalBits <= Opts.ExhaustiveBits;
+  // Clamp the exhaustive path to what a 64-bit trial counter can express:
+  // `1ULL << TotalBits` is undefined at 64 bits and beyond, so a caller
+  // setting ExhaustiveBits >= 64 must fall back to sampling there.
+  bool Exhaustive =
+      TotalBits <= Opts.ExhaustiveBits && TotalBits <= MaxExhaustiveBits;
   uint64_t Trials = Exhaustive ? (1ULL << TotalBits) : Opts.ConcreteTrials;
-  unsigned Vacuous = 0;
+  uint64_t VacuousSrc = 0, VacuousTgt = 0;
 
   RandomGenerator RNG(Opts.Seed);
   for (uint64_t T = 0; T != Trials; ++T) {
@@ -232,32 +250,44 @@ TVResult checkConcrete(const Function &Src, const Function &Tgt,
     std::vector<uint64_t> BufAddrs, BufSizes;
     uint64_t TrialSeed = oracleHash(Opts.Seed, T);
     buildTrial(RNG, TrialSeed, Exhaustive, T, Mem, Args, BufAddrs, BufSizes);
-    if (runConcreteTrial(Src, Tgt, Args, Mem, EOpts, Detail, BufAddrs,
-                         BufSizes)) {
+    switch (runConcreteTrial(Src, Tgt, Args, Mem, EOpts, Detail, BufAddrs,
+                             BufSizes)) {
+    case TrialOutcome::Violation:
       Res.Verdict = TVVerdict::Incorrect;
       Res.Detail = Detail;
-      for (const ConcVal &A : Args)
-        if (A.Lanes.size() == 1 && !A.lane().Poison)
-          Res.CounterExample.push_back(A.lane().Val);
+      Res.CounterExample = Args; // one entry per parameter, lanes intact
       return Res;
-    }
-    // Track vacuous coverage to report inconclusiveness.
-    {
-      Memory ProbeMem = Mem.clone();
-      Interpreter Probe(ProbeMem, EOpts);
-      if (Probe.run(Src, Args).Status != ExecStatus::Ok)
-        ++Vacuous;
+    case TrialOutcome::NoViolation:
+      break;
+    case TrialOutcome::VacuousSource:
+      ++VacuousSrc;
+      break;
+    case TrialOutcome::VacuousTarget:
+      ++VacuousTgt;
+      break;
     }
   }
 
-  if (Vacuous == Trials) {
+  std::ostringstream OS;
+  if (VacuousSrc + VacuousTgt == Trials) {
+    // Not a single trial compared both sides: "no violation" would be a
+    // vacuous truth, not evidence.
     Res.Verdict = TVVerdict::Inconclusive;
-    Res.Detail = "source function has UB or exceeds fuel on every trial";
+    if (VacuousTgt)
+      OS << "no trial was decisive: source UB/fuel on " << VacuousSrc
+         << ", target fuel/unsupported on " << VacuousTgt << " of " << Trials
+         << " trials";
+    else
+      OS << "source function has UB or exceeds fuel on every trial";
   } else {
     Res.Verdict = TVVerdict::Correct;
-    Res.Detail = Exhaustive ? "exhaustive enumeration"
-                            : "sampled trials (bounded guarantee)";
+    OS << (Exhaustive ? "exhaustive enumeration"
+                      : "sampled trials (bounded guarantee)");
+    if (VacuousTgt)
+      OS << "; " << VacuousTgt << " of " << Trials
+         << " trials vacuous on target (fuel/unsupported)";
   }
+  Res.Detail = OS.str();
   return Res;
 }
 
@@ -319,12 +349,12 @@ TVResult checkSymbolic(const Function &Src, const Function &Tgt,
   EOpts.TrialSeed = Opts.Seed;
   Memory Mem;
   std::string Detail;
-  if (runConcreteTrial(Src, Tgt, ConcArgs, Mem, EOpts, Detail, {}, {})) {
+  if (runConcreteTrial(Src, Tgt, ConcArgs, Mem, EOpts, Detail, {}, {}) ==
+      TrialOutcome::Violation) {
     Res.Verdict = TVVerdict::Incorrect;
     Res.Detail = Detail;
-    for (const ConcVal &A : ConcArgs)
-      if (!A.lane().Poison)
-        Res.CounterExample.push_back(A.lane().Val);
+    Res.CounterExample = ConcArgs; // one entry per parameter, poison kept
+    Res.UsedConcretePath = true;   // the replay decided the verdict
     return Res;
   }
 

@@ -70,13 +70,25 @@ struct TVResult {
   TVVerdict Verdict = TVVerdict::Unsupported;
   /// Human-readable detail (counterexample or unsupported reason).
   std::string Detail;
-  /// Counterexample argument values (poison args rendered in Detail).
-  std::vector<APInt> CounterExample;
-  /// True when the concrete path decided the verdict.
+  /// Counterexample argument values for an Incorrect verdict: exactly one
+  /// entry per function parameter, in parameter order, with the full lane
+  /// structure (vector args keep every lane, poison args/lanes are marked
+  /// poison). Replaying the list through amut-tv therefore lines up with
+  /// the parameter list — earlier versions dropped poison and vector
+  /// arguments, silently misaligning the remaining values.
+  std::vector<ConcVal> CounterExample;
+  /// True when concrete interpretation decided the verdict — either the
+  /// bounded-enumeration path, or the concrete replay that confirms a
+  /// symbolic counterexample model.
   bool UsedConcretePath = false;
   /// Solver statistics (symbolic path only).
   SatSolver::Stats SolverStats;
 };
+
+/// Renders concrete argument values ("(3, <1, poison>, poison)") in
+/// parameter order — the format used in TVResult::Detail and by amut-tv
+/// when echoing a counterexample.
+std::string renderConcVals(const std::vector<ConcVal> &Args);
 
 /// Checks whether \p Tgt refines \p Src. The functions must have identical
 /// signatures (same argument count/types and return type).

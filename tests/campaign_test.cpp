@@ -73,6 +73,12 @@ void expectSameCounters(const FuzzStats &A, const FuzzStats &B) {
   EXPECT_EQ(A.MutationsApplied, B.MutationsApplied);
   EXPECT_EQ(A.Optimized, B.Optimized);
   EXPECT_EQ(A.Verified, B.Verified);
+  // VerifySkipped is per-seed deterministic, so it sums identically across
+  // any sharding. The TVCache hit/miss/eviction counters deliberately stay
+  // out of this list: each worker warms a private cache, so the split
+  // varies with the worker count (the verdicts, and thus everything
+  // compared here, do not).
+  EXPECT_EQ(A.VerifySkipped, B.VerifySkipped);
   EXPECT_EQ(A.RefinementFailures, B.RefinementFailures);
   EXPECT_EQ(A.Crashes, B.Crashes);
   EXPECT_EQ(A.Inconclusive, B.Inconclusive);
@@ -194,6 +200,23 @@ TEST(CampaignTest, SaveFailuresAreCounted) {
   const FuzzStats &S = Loop.run();
   EXPECT_EQ(S.MutantsSaved, 0u);
   EXPECT_GT(S.SaveFailures, 0u);
+  // The directory error is recorded once (the old code latched
+  // SaveDirReady=true on the failed create_directories and then failed
+  // every write with no explanation).
+  EXPECT_NE(Loop.saveDirError().find("cannot create save directory"),
+            std::string::npos)
+      << Loop.saveDirError();
+  // Every lost artifact is counted even though the directory is only
+  // attempted once (failing mutants are saved a second time, hence >=).
+  EXPECT_GE(S.SaveFailures, S.MutantsGenerated);
+
+  // The engine surfaces the same error from its workers.
+  CampaignEngine Engine(Opts, 2);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  EXPECT_NE(Engine.saveDirError().find("cannot create save directory"),
+            std::string::npos)
+      << Engine.saveDirError();
 }
 
 //===----------------------------------------------------------------------===//
@@ -219,6 +242,88 @@ TEST(CampaignTest, ParallelBugSetIsByteIdenticalToSequential) {
 
     expectSameCounters(SeqStats, ParStats);
     ASSERT_EQ(Seq.bugs().size(), Engine.bugs().size()) << "jobs=" << Jobs;
+    for (size_t I = 0; I != Seq.bugs().size(); ++I)
+      expectSameRecord(Seq.bugs()[I], Engine.bugs()[I]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Change-tracking skips and the TV verdict cache.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, UnchangedFunctionsAreSkipped) {
+  // A pipeline that provably never touches this integer-only corpus:
+  // every mutant's functions come out of the optimizer byte-identical,
+  // so the loop must skip every refinement check.
+  FuzzOptions Opts;
+  Opts.Passes = "infer-alignment";
+  Opts.Iterations = 20;
+  Opts.BaseSeed = 1;
+  Opts.TV.ConcreteTrials = 16;
+  FuzzerLoop Loop(Opts);
+  Loop.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Loop.run();
+  EXPECT_EQ(S.Verified, 0u);
+  EXPECT_GT(S.VerifySkipped, 0u);
+  EXPECT_EQ(Loop.bugs().size(), 0u);
+
+  // The escape hatch re-verifies everything.
+  FuzzOptions Full = Opts;
+  Full.SkipUnchanged = false;
+  FuzzerLoop FullLoop(Full);
+  FullLoop.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &FS = FullLoop.run();
+  EXPECT_EQ(FS.VerifySkipped, 0u);
+  EXPECT_EQ(FS.Verified, S.VerifySkipped);
+}
+
+TEST(CampaignTest, CacheOnAndOffFindIdenticalBugs) {
+  // The acceptance criterion: with the verdict cache on, the campaign
+  // performs measurably fewer checkRefinement calls (misses < the
+  // cache-off run's Verified) while the bug report stays byte-identical.
+  FuzzOptions On = twoBugOptions(300);
+  FuzzOptions Off = On;
+  Off.TVCacheSize = 0;
+
+  FuzzerLoop OnLoop(On), OffLoop(Off);
+  OnLoop.loadModule(parseOk(TwoBugCorpus));
+  OffLoop.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &SOn = OnLoop.run();
+  const FuzzStats &SOff = OffLoop.run();
+
+  ASSERT_GT(OffLoop.bugs().size(), 0u);
+  expectSameCounters(SOn, SOff);
+  ASSERT_EQ(OnLoop.bugs().size(), OffLoop.bugs().size());
+  for (size_t I = 0; I != OnLoop.bugs().size(); ++I)
+    expectSameRecord(OnLoop.bugs()[I], OffLoop.bugs()[I]);
+
+  EXPECT_GT(SOn.TVCacheHits, 0u) << "cache never hit: memoization is dead";
+  // Misses == actual checker invocations; the cache-off loop invoked the
+  // checker once per verified function.
+  EXPECT_LT(SOn.TVCacheMisses, SOff.Verified);
+  EXPECT_EQ(SOn.TVCacheHits + SOn.TVCacheMisses, SOn.Verified);
+  EXPECT_EQ(SOff.TVCacheHits, 0u);
+  EXPECT_EQ(SOff.TVCacheMisses, 0u);
+}
+
+TEST(CampaignTest, ParallelDeterminismAcrossCacheConfigs) {
+  // -j4 == -j1 byte-identical for every cache configuration: default,
+  // disabled, and a tiny capacity that forces constant eviction.
+  for (size_t CacheSize : {TVCache::DefaultCapacity, (size_t)0, (size_t)4}) {
+    FuzzOptions Opts = twoBugOptions(200);
+    Opts.TVCacheSize = CacheSize;
+
+    FuzzerLoop Seq(Opts);
+    Seq.loadModule(parseOk(TwoBugCorpus));
+    const FuzzStats &SeqStats = Seq.run();
+    ASSERT_GT(Seq.bugs().size(), 0u) << "cache=" << CacheSize;
+
+    CampaignEngine Engine(Opts, 4);
+    Engine.loadModule(parseOk(TwoBugCorpus));
+    const FuzzStats &ParStats = Engine.run();
+    expectSameCounters(SeqStats, ParStats);
+    ASSERT_EQ(Seq.bugs().size(), Engine.bugs().size())
+        << "cache=" << CacheSize;
     for (size_t I = 0; I != Seq.bugs().size(); ++I)
       expectSameRecord(Seq.bugs()[I], Engine.bugs()[I]);
   }

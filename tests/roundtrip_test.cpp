@@ -1,0 +1,117 @@
+//===- tests/roundtrip_test.cpp - Parser/printer round-trip over mutants ----===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The §III-E save/replay workflow only works if every artifact the fuzzer
+/// writes can be read back: saved mutants — which exercise far weirder IR
+/// than hand-written tests — must survive parse -> print -> parse -> print
+/// as a fixpoint, for every mutant of a real campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CampaignEngine.h"
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace alive;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  std::string Err;
+  auto M = parseModule(Src, Err);
+  EXPECT_NE(M, nullptr) << Err;
+  return M;
+}
+
+/// Mixed corpus: integers, vectors, memory, control flow, intrinsics —
+/// every printer feature a mutant can contain.
+const char *Corpus = R"(
+declare void @sink(ptr)
+declare i32 @llvm.smax.i32(i32, i32)
+
+define i32 @ints(i32 %x, i32 %y) {
+  %a = add nsw i32 %x, %y
+  %b = mul i32 %a, 3
+  %c = icmp slt i32 %b, %y
+  %r = select i1 %c, i32 %b, i32 %y
+  ret i32 %r
+}
+
+define <4 x i8> @vecs(<4 x i8> %v, i8 %s) {
+  %i = insertelement <4 x i8> %v, i8 %s, i32 2
+  %w = shufflevector <4 x i8> %i, <4 x i8> %v, <4 x i32> <i32 0, i32 5, i32 2, i32 7>
+  %r = add <4 x i8> %w, <i8 1, i8 2, i8 3, i8 4>
+  ret <4 x i8> %r
+}
+
+define i32 @mem(i32 %x) {
+  %p = alloca i32, align 4
+  store i32 %x, ptr %p, align 4
+  call void @sink(ptr %p)
+  %v = load i32, ptr %p, align 4
+  ret i32 %v
+}
+
+define i32 @flow(i32 %x) {
+entry:
+  %c = icmp eq i32 %x, 0
+  br i1 %c, label %zero, label %other
+zero:
+  br label %join
+other:
+  %m = call i32 @llvm.smax.i32(i32 %x, i32 7)
+  br label %join
+join:
+  %r = phi i32 [ 1, %zero ], [ %m, %other ]
+  ret i32 %r
+}
+)";
+
+} // namespace
+
+TEST(RoundTripTest, SavedMutantsRoundTripThroughParserAndPrinter) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "amr_roundtrip";
+  fs::remove_all(Dir);
+
+  FuzzOptions Opts;
+  Opts.Passes = "instcombine,dce";
+  Opts.Iterations = 30;
+  Opts.BaseSeed = 1;
+  Opts.TV.ConcreteTrials = 4; // verification is not what this test checks
+  Opts.SaveDir = Dir.string();
+  Opts.SaveAll = true;
+  FuzzerLoop Loop(Opts);
+  Loop.loadModule(parseOk(Corpus));
+  const FuzzStats &S = Loop.run();
+  ASSERT_TRUE(Loop.saveDirError().empty()) << Loop.saveDirError();
+  ASSERT_EQ(S.MutantsSaved, S.MutantsGenerated);
+  ASSERT_GT(S.MutantsSaved, 0u);
+
+  unsigned Checked = 0;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
+    std::ifstream In(E.path());
+    std::stringstream SS;
+    SS << In.rdbuf();
+
+    std::string Err;
+    auto M1 = parseModule(SS.str(), Err);
+    ASSERT_NE(M1, nullptr) << E.path() << ": " << Err;
+    std::string P1 = printModule(*M1);
+    auto M2 = parseModule(P1, Err);
+    ASSERT_NE(M2, nullptr) << E.path() << ": reparse: " << Err;
+    // Fixpoint: printing the reparse reproduces the first print exactly.
+    EXPECT_EQ(printModule(*M2), P1) << E.path();
+    ++Checked;
+  }
+  EXPECT_EQ(Checked, S.MutantsSaved);
+  fs::remove_all(Dir);
+}

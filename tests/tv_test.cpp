@@ -20,7 +20,7 @@ using namespace alive;
 namespace {
 
 /// Parses a module containing @src and @tgt and checks @tgt against @src.
-TVResult check(const std::string &IR) {
+TVResult check(const std::string &IR, const TVOptions &Opts = TVOptions()) {
   std::string Err;
   auto M = parseModule(IR, Err);
   EXPECT_NE(M, nullptr) << Err;
@@ -30,7 +30,7 @@ TVResult check(const std::string &IR) {
   Function *Tgt = M->getFunction("tgt");
   EXPECT_NE(Src, nullptr);
   EXPECT_NE(Tgt, nullptr);
-  return checkRefinement(*Src, *Tgt);
+  return checkRefinement(*Src, *Tgt, Opts);
 }
 
 } // namespace
@@ -110,7 +110,7 @@ define i32 @tgt(i32 %x) {
   ASSERT_EQ(R.Verdict, TVVerdict::Incorrect);
   // The counterexample must be INT_MAX (the only overflowing input).
   ASSERT_EQ(R.CounterExample.size(), 1u);
-  EXPECT_TRUE(R.CounterExample[0].isSignedMaxValue());
+  EXPECT_TRUE(R.CounterExample[0].lane().Val.isSignedMaxValue());
 }
 
 TEST(TVTest, PoisonIsRefinedByAnything) {
@@ -151,7 +151,7 @@ define i32 @tgt(i32 %x) {
   ASSERT_EQ(R.Verdict, TVVerdict::Incorrect);
   // Counterexample must be x == 0 (the divide-by-zero input).
   ASSERT_EQ(R.CounterExample.size(), 1u);
-  EXPECT_TRUE(R.CounterExample[0].isZero());
+  EXPECT_TRUE(R.CounterExample[0].lane().Val.isZero());
 }
 
 TEST(TVTest, UBInSourceAllowsAnything) {
@@ -236,7 +236,11 @@ define i32 @tgt(i32 %x, i32 %low, i32 %high) {
 }
 )");
   ASSERT_EQ(R.Verdict, TVVerdict::Incorrect) << R.Detail;
-  EXPECT_FALSE(R.UsedConcretePath);
+  // 96 bits of input: the symbolic path finds the model, and the concrete
+  // replay that confirms it (rejecting spurious freeze models) is recorded.
+  EXPECT_TRUE(R.UsedConcretePath);
+  // Three i32 parameters, positions preserved.
+  EXPECT_EQ(R.CounterExample.size(), 3u);
 }
 
 TEST(TVTest, PaperListing17Miscompilation) {
@@ -260,7 +264,7 @@ entry:
   ASSERT_EQ(R.Verdict, TVVerdict::Incorrect) << R.Detail;
   // Any counterexample must actually overflow: x*x >= 2^32 in i34.
   ASSERT_EQ(R.CounterExample.size(), 1u);
-  APInt X = R.CounterExample[0].zext(34);
+  APInt X = R.CounterExample[0].lane().Val.zext(34);
   EXPECT_TRUE((X * X).ugt(APInt(34, 0xFFFFFFFFULL)));
 }
 
@@ -545,4 +549,107 @@ define i32 @tgt(ptr %q) {
 }
 )");
   EXPECT_EQ(R.Verdict, TVVerdict::Incorrect) << R.Detail;
+}
+
+//===----------------------------------------------------------------------===//
+// Edge-case regressions: exhaustive-bits clamp, counterexample structure,
+// and vacuous-trial accounting.
+//===----------------------------------------------------------------------===//
+
+TEST(TVTest, ExhaustiveBitsBeyondWordWidthFallsBackToSampling) {
+  // ExhaustiveBits >= 64 used to compute `1ULL << TotalBits` — undefined
+  // behavior at 64 bits and beyond. The trial count must clamp to the
+  // sampled path instead (128 bits of input here).
+  TVOptions Opts;
+  Opts.ExhaustiveBits = 200;
+  Opts.ConcreteTrials = 16;
+  TVResult R = check(R"(
+define <2 x i64> @src(<2 x i64> %v) {
+  %a = add <2 x i64> %v, %v
+  ret <2 x i64> %a
+}
+define <2 x i64> @tgt(<2 x i64> %v) {
+  %a = shl <2 x i64> %v, <i64 1, i64 1>
+  ret <2 x i64> %a
+}
+)",
+                     Opts);
+  EXPECT_EQ(R.Verdict, TVVerdict::Correct) << R.Detail;
+  EXPECT_NE(R.Detail.find("sampled"), std::string::npos) << R.Detail;
+}
+
+TEST(TVTest, CounterexamplePreservesArgumentPositions) {
+  // The counterexample used to drop poison and vector arguments, silently
+  // shifting the remaining values out of their parameter positions. Every
+  // parameter must appear, in order, with its lane structure.
+  TVResult R = check(R"(
+define i32 @src(i32 %x, <2 x i8> %v, i32 %y) {
+  ret i32 %y
+}
+define i32 @tgt(i32 %x, <2 x i8> %v, i32 %y) {
+  %a = add i32 %y, 1
+  ret i32 %a
+}
+)");
+  ASSERT_EQ(R.Verdict, TVVerdict::Incorrect) << R.Detail;
+  EXPECT_TRUE(R.UsedConcretePath); // the vector parameter forces it
+  ASSERT_EQ(R.CounterExample.size(), 3u);
+  EXPECT_TRUE(R.CounterExample[0].isScalar());
+  EXPECT_EQ(R.CounterExample[1].Lanes.size(), 2u);
+  EXPECT_TRUE(R.CounterExample[2].isScalar());
+}
+
+TEST(TVTest, AllVacuousTargetTrialsAreInconclusive) {
+  // The target never terminates: every trial exhausts its fuel on the
+  // target side. The old accounting treated those trials as passing and
+  // answered "Correct" — a vacuous truth. It must be Inconclusive.
+  TVOptions Opts;
+  Opts.ExhaustiveBits = 0; // force sampling: a few trials suffice
+  Opts.ConcreteTrials = 8;
+  Opts.Fuel = 500;
+  TVResult R = check(R"(
+define i8 @src(i8 %x) {
+  ret i8 0
+}
+define i8 @tgt(i8 %x) {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+)",
+                     Opts);
+  EXPECT_EQ(R.Verdict, TVVerdict::Inconclusive) << R.Detail;
+  EXPECT_NE(R.Detail.find("no trial was decisive"), std::string::npos)
+      << R.Detail;
+}
+
+TEST(TVTest, PartiallyVacuousTargetIsCorrectButSurfaced) {
+  // The target terminates only for small inputs under this fuel budget:
+  // the decisive trials prove no violation, but the vacuous remainder must
+  // be surfaced in the detail instead of silently counted as passing.
+  TVOptions Opts;
+  Opts.ExhaustiveBits = 0;
+  Opts.ConcreteTrials = 16;
+  Opts.Fuel = 100;
+  TVResult R = check(R"(
+define i8 @src(i8 %x) {
+  ret i8 0
+}
+define i8 @tgt(i8 %x) {
+entry:
+  br label %loop
+loop:
+  %i = phi i8 [ %x, %entry ], [ %d, %loop ]
+  %d = sub i8 %i, 1
+  %c = icmp eq i8 %i, 0
+  br i1 %c, label %done, label %loop
+done:
+  ret i8 0
+}
+)",
+                     Opts);
+  EXPECT_EQ(R.Verdict, TVVerdict::Correct) << R.Detail;
+  EXPECT_NE(R.Detail.find("vacuous on target"), std::string::npos)
+      << R.Detail;
 }
