@@ -18,19 +18,24 @@
 /// iteration is identical for every worker count) and AMR_CAMPAIGN_NOCACHE
 /// (disable change-tracking skips and the TV verdict cache — found-at
 /// columns must not move, only the verification-call counts).
+/// `-stats-json=<file>` (or AMR_CAMPAIGN_STATS_JSON) writes the merged
+/// telemetry of every campaign batch as one schema-versioned run report.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/CampaignEngine.h"
+#include "core/RunReport.h"
 #include "corpus/Corpus.h"
 #include "opt/BugInjection.h"
 #include "parser/Parser.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace alive;
 
@@ -69,6 +74,37 @@ struct CampaignResult {
 /// Verification-effort counters summed across every campaign batch.
 FuzzStats TVAgg;
 
+/// Full-stats aggregation for -stats-json: every campaign batch's merged
+/// stats, registry and attributed bug records.
+FuzzStats StatsAgg;
+StatRegistry RegistryAgg;
+std::vector<BugRecord> BugsAgg;
+
+void aggregateForReport(const CampaignEngine &Engine) {
+  const FuzzStats &S = Engine.stats();
+  StatsAgg.MutantsGenerated += S.MutantsGenerated;
+  StatsAgg.MutationsApplied += S.MutationsApplied;
+  StatsAgg.Optimized += S.Optimized;
+  StatsAgg.Verified += S.Verified;
+  StatsAgg.VerifySkipped += S.VerifySkipped;
+  StatsAgg.TVCacheHits += S.TVCacheHits;
+  StatsAgg.TVCacheMisses += S.TVCacheMisses;
+  StatsAgg.TVCacheEvictions += S.TVCacheEvictions;
+  StatsAgg.RefinementFailures += S.RefinementFailures;
+  StatsAgg.Crashes += S.Crashes;
+  StatsAgg.Inconclusive += S.Inconclusive;
+  StatsAgg.FunctionsDropped += S.FunctionsDropped;
+  StatsAgg.InvalidMutants += S.InvalidMutants;
+  StatsAgg.MutantsSaved += S.MutantsSaved;
+  StatsAgg.SaveFailures += S.SaveFailures;
+  StatsAgg.MutateSeconds += S.MutateSeconds;
+  StatsAgg.OptimizeSeconds += S.OptimizeSeconds;
+  StatsAgg.VerifySeconds += S.VerifySeconds;
+  StatsAgg.OverheadSeconds += S.OverheadSeconds;
+  StatsAgg.WorkerSeconds += S.WorkerSeconds;
+  RegistryAgg.merge(Engine.registry());
+}
+
 CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
                            uint64_t MaxIter, unsigned Jobs, bool NoCache) {
   FuzzOptions Opts;
@@ -104,6 +140,7 @@ CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
     TVAgg.TVCacheHits += S.TVCacheHits;
     TVAgg.TVCacheMisses += S.TVCacheMisses;
     TVAgg.TVCacheEvictions += S.TVCacheEvictions;
+    aggregateForReport(Engine);
 
     // Bugs arrive in ascending seed order. Crash records identify
     // themselves; a miscompilation found while only this bug is enabled
@@ -114,6 +151,7 @@ CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
       R.Found = true;
       R.Iterations = B.MutantSeed; // seeds start at 1: seed == iteration
       R.SeedOfMutant = B.MutantSeed;
+      BugsAgg.push_back(B);
       return R;
     }
   }
@@ -123,7 +161,15 @@ CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string StatsPath;
+  if (const char *P = std::getenv("AMR_CAMPAIGN_STATS_JSON"))
+    StatsPath = P;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "-stats-json=", 12) == 0)
+      StatsPath = Argv[I] + 12;
+
+  Timer Wall;
   const char *Env = std::getenv("AMR_CAMPAIGN_MAXITER");
   uint64_t MaxIter = Env ? std::strtoull(Env, nullptr, 10) : 4000;
   const char *JobsEnv = std::getenv("AMR_CAMPAIGN_JOBS");
@@ -181,5 +227,22 @@ int main() {
               (unsigned long long)TVAgg.TVCacheHits,
               (unsigned long long)Lookups,
               (unsigned long long)TVAgg.TVCacheEvictions);
+
+  if (!StatsPath.empty()) {
+    RunReportConfig RC;
+    RC.Tool = "bench_campaign";
+    RC.Passes = "per-component";
+    RC.Iterations = MaxIter;
+    RC.BaseSeed = 1;
+    RC.MaxMutationsPerFunction = MutationOptions().MaxMutationsPerFunction;
+    RC.Jobs = Jobs;
+    RC.WallSeconds = Wall.seconds();
+    std::string ReportErr;
+    if (writeRunReportFile(StatsPath, RC, StatsAgg, BugsAgg, RegistryAgg,
+                           ReportErr))
+      std::printf("stats report written to %s\n", StatsPath.c_str());
+    else
+      std::fprintf(stderr, "warning: %s\n", ReportErr.c_str());
+  }
   return Found == 33 ? 0 : 1;
 }

@@ -38,7 +38,7 @@
 #include "core/CampaignEngine.h"
 #include "corpus/Corpus.h"
 #include "parser/Parser.h"
-#include "support/Timer.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -124,6 +124,13 @@ int main(int argc, char **argv) {
   FuzzStats Agg; // skip/cache counters of the memoized condition, summed
   unsigned Invalid = 0, NotVerified = 0;
 
+  // Per-file latency distributions, one histogram per condition — the
+  // summary below reports their p50/p90/p99.
+  StatRegistry Reg;
+  Histogram &HInProc = Reg.histogram("bench.in_process.seconds");
+  Histogram &HNoMemo = Reg.histogram("bench.no_memo.seconds");
+  Histogram &HDiscrete = Reg.histogram("bench.discrete.seconds");
+
   for (unsigned FI = 0; FI != Files.size(); ++FI) {
     std::string Name = "test" + std::to_string(FI) + ".ll";
     std::string Path = Tmp + "/" + Name;
@@ -146,14 +153,15 @@ int main(int argc, char **argv) {
 
     // --- Condition 1: alive-mutate (in-process), memoization on. ---
     CampaignEngine Fuzzer(Opts, Jobs);
-    Timer T1;
+    ScopedTimer T1(&HInProc);
     unsigned Testable = Fuzzer.loadModule(std::move(M));
     if (Testable == 0) {
+      T1.cancel(); // keep discarded files out of the latency histogram
       ++NotVerified; // the paper discarded 6 of 200 this way
       continue;
     }
     const FuzzStats &S = Fuzzer.run();
-    double InProc = T1.seconds();
+    double InProc = T1.stop();
     Agg.Verified += S.Verified;
     Agg.VerifySkipped += S.VerifySkipped;
     Agg.TVCacheHits += S.TVCacheHits;
@@ -166,22 +174,22 @@ int main(int argc, char **argv) {
     Bare.TVCacheSize = 0;
     CampaignEngine BareFuzzer(Bare, Jobs);
     auto M2 = parseModule(Files[FI], Err);
-    Timer T1b;
+    ScopedTimer T1b(&HNoMemo);
     BareFuzzer.loadModule(std::move(M2));
     BareFuzzer.run();
-    double NoMemo = T1b.seconds();
+    double NoMemo = T1b.stop();
 
     // --- Condition 3: discrete tools with files and processes. ---
     std::string MutPath = Tmp + "/mutant.ll";
     std::string OptPath = Tmp + "/optimized.ll";
-    Timer T2;
+    ScopedTimer T2(&HDiscrete);
     for (unsigned I = 0; I != Count; ++I) {
       runTool("amut-mutate",
               {"-seed=" + std::to_string(Opts.BaseSeed + I), Path, MutPath});
       runTool("amut-opt", {"-passes=O2", MutPath, OptPath});
       runTool("amut-tv", {"-budget=4000", "-trials=16", MutPath, OptPath});
     }
-    double Discrete = T2.seconds();
+    double Discrete = T2.stop();
 
     Rows.push_back({Name, InProc, NoMemo, Discrete});
     std::printf("%-12s in-process %8.3fs   no-memo %8.3fs   discrete %8.3fs"
@@ -224,6 +232,12 @@ int main(int argc, char **argv) {
               (unsigned long long)Lookups,
               Lookups ? 100.0 * Agg.TVCacheHits / Lookups : 0.0,
               (unsigned long long)Agg.TVCacheEvictions);
+  std::printf("latency/file:    in-process p50 %.3fs p90 %.3fs p99 %.3fs | "
+              "no-memo p50 %.3fs p99 %.3fs | discrete p50 %.3fs p99 %.3fs\n",
+              HInProc.percentile(0.5), HInProc.percentile(0.9),
+              HInProc.percentile(0.99), HNoMemo.percentile(0.5),
+              HNoMemo.percentile(0.99), HDiscrete.percentile(0.5),
+              HDiscrete.percentile(0.99));
 
   // Listing 20 output format from the artifact appendix.
   std::printf("\n--- res.txt (Listing 20 format) ---\n");
@@ -280,6 +294,20 @@ int main(int argc, char **argv) {
                   "  \"avg_speedup_vs_no_memo\": %.4f,\n",
                   Avg, MemoAvg);
     J << "  ],\n" << Buf;
+    auto LatencyJSON = [&](const char *Key, const Histogram &H, bool Last) {
+      char LBuf[256];
+      std::snprintf(LBuf, sizeof(LBuf),
+                    "    \"%s\": {\"count\": %llu, \"p50_s\": %.6f, "
+                    "\"p90_s\": %.6f, \"p99_s\": %.6f}%s\n",
+                    Key, (unsigned long long)H.count(), H.percentile(0.5),
+                    H.percentile(0.9), H.percentile(0.99), Last ? "" : ",");
+      J << LBuf;
+    };
+    J << "  \"latency\": {\n";
+    LatencyJSON("in_process", HInProc, false);
+    LatencyJSON("no_memo", HNoMemo, false);
+    LatencyJSON("discrete", HDiscrete, true);
+    J << "  },\n";
     std::snprintf(Buf, sizeof(Buf), "%.4f",
                   Lookups ? (double)Agg.TVCacheHits / Lookups : 0.0);
     J << "  \"totals\": {\"verified\": " << Agg.Verified

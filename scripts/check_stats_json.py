@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate an alive-mutate -stats-json run report.
+
+Usage: check_stats_json.py <report.json> [<other.json>]
+
+Checks the schema (version, required sections) and the internal
+invariants the telemetry subsystem guarantees:
+
+  - per-family applied counts sum to the summary's mutations_applied;
+  - per-verdict counts sum to the summary's verified;
+  - cache hits + misses == verified (when the cache is enabled);
+  - every histogram's count equals the sum of its bucket counts and its
+    percentiles are ordered (p50 <= p90 <= p99);
+  - the stage-time-sum invariant: mutate + optimize + verify + overhead
+    matches the summed worker wall time within tolerance.
+
+With a second report, additionally asserts the two "deterministic"
+subtrees are equal — the -j4 == -j1 guarantee (run the two reports with
+different -j over the same corpus/seed range).
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def fail(msg):
+    print("check_stats_json: FAIL: " + msg)
+    sys.exit(1)
+
+
+def check_report(path):
+    with open(path) as f:
+        r = json.load(f)
+
+    if r.get("schema_version") != SCHEMA_VERSION:
+        fail("%s: schema_version %r != %d" % (path, r.get("schema_version"), SCHEMA_VERSION))
+    for key in ("tool", "deterministic", "volatile"):
+        if key not in r:
+            fail("%s: missing top-level %r" % (path, key))
+
+    det = r["deterministic"]
+    vol = r["volatile"]
+    for key in ("config", "summary", "per_pass", "per_family", "tv_verdicts", "stats", "bugs"):
+        if key not in det:
+            fail("%s: missing deterministic.%r" % (path, key))
+    for key in ("jobs", "stage_seconds", "cache", "stats"):
+        if key not in vol:
+            fail("%s: missing volatile.%r" % (path, key))
+
+    s = det["summary"]
+
+    fam_applied = sum(row["applied"] for row in det["per_family"])
+    if fam_applied != s["mutations_applied"]:
+        fail(
+            "%s: per_family applied sum (%d) != mutations_applied (%d)"
+            % (path, fam_applied, s["mutations_applied"])
+        )
+
+    verdicts = sum(det["tv_verdicts"].values())
+    if verdicts != s["verified"]:
+        fail(
+            "%s: tv_verdicts sum (%d) != verified (%d)"
+            % (path, verdicts, s["verified"])
+        )
+
+    for row in det["per_pass"]:
+        if row["changed"] > row["invocations"]:
+            fail(
+                "%s: pass %s changed (%d) > invocations (%d)"
+                % (path, row["pass"], row["changed"], row["invocations"])
+            )
+
+    bugs = det["bugs"]
+    if bugs["total"] != len(bugs["records"]):
+        fail("%s: bugs.total (%d) != len(records)" % (path, bugs["total"]))
+    if bugs["miscompiles"] + bugs["crashes"] != bugs["total"]:
+        fail("%s: miscompiles + crashes != bugs.total" % path)
+
+    cache = vol["cache"]
+    lookups = cache["hits"] + cache["misses"]
+    if lookups > 0 and lookups != s["verified"]:
+        fail(
+            "%s: cache hits (%d) + misses (%d) != verified (%d)"
+            % (path, cache["hits"], cache["misses"], s["verified"])
+        )
+
+    for name, h in vol["stats"]["histograms"].items():
+        bucket_sum = sum(b["count"] for b in h["buckets"])
+        if bucket_sum != h["count"]:
+            fail(
+                "%s: histogram %s count (%d) != bucket sum (%d)"
+                % (path, name, h["count"], bucket_sum)
+            )
+        if not h["p50_s"] <= h["p90_s"] <= h["p99_s"]:
+            fail(
+                "%s: histogram %s percentiles unordered: p50=%g p90=%g p99=%g"
+                % (path, name, h["p50_s"], h["p90_s"], h["p99_s"])
+            )
+        if h["count"] and not h["min_s"] <= h["p50_s"] <= h["max_s"]:
+            fail("%s: histogram %s p50 outside [min, max]" % (path, name))
+
+    ss = vol["stage_seconds"]
+    staged = ss["mutate"] + ss["optimize"] + ss["verify"] + ss["overhead"]
+    worker = ss["worker_total"]
+    # Absolute floor for near-instant smoke runs, relative bound otherwise.
+    tol = max(0.05 * worker, 0.002)
+    if abs(staged - worker) > tol:
+        fail(
+            "%s: stage-time sum %.6fs deviates from worker_total %.6fs by "
+            "more than %.6fs" % (path, staged, worker, tol)
+        )
+
+    return r
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        fail("usage: check_stats_json.py <report.json> [<other.json>]")
+
+    first = check_report(sys.argv[1])
+    msg = "%d mutants, %d verified, %d bugs" % (
+        first["deterministic"]["summary"]["mutants"],
+        first["deterministic"]["summary"]["verified"],
+        first["deterministic"]["bugs"]["total"],
+    )
+
+    if len(sys.argv) == 3:
+        second = check_report(sys.argv[2])
+        if first["deterministic"] != second["deterministic"]:
+            d1, d2 = first["deterministic"], second["deterministic"]
+            diff = [k for k in d1 if d1[k] != d2.get(k)]
+            fail(
+                "deterministic sections differ between %s (-j=%s) and %s "
+                "(-j=%s): %s"
+                % (
+                    sys.argv[1],
+                    first["volatile"]["jobs"],
+                    sys.argv[2],
+                    second["volatile"]["jobs"],
+                    ", ".join(diff) or "key sets",
+                )
+            )
+        msg += "; deterministic sections identical (jobs %s vs %s)" % (
+            first["volatile"]["jobs"],
+            second["volatile"]["jobs"],
+        )
+
+    print("check_stats_json: OK (%s)" % msg)
+
+
+if __name__ == "__main__":
+    main()

@@ -51,10 +51,15 @@ CampaignEngine::makeMutant(uint64_t Seed,
 namespace {
 
 /// One worker: a private FuzzerLoop over a private master-module clone,
-/// plus the atomic iteration counter the reporter thread reads.
+/// plus the atomic counters the reporter thread reads and the thread's
+/// measured wall time (dynamic mode only; static mode uses the loop's own
+/// TotalSeconds).
 struct Worker {
   std::unique_ptr<FuzzerLoop> Loop;
   std::atomic<uint64_t> Done{0};
+  /// Live per-stage nanoseconds: mutate, optimize, verify, overhead.
+  std::atomic<uint64_t> StageNanos[4] = {};
+  double ThreadSeconds = 0;
 };
 
 /// Sums every per-iteration counter and phase timer of \p From into
@@ -80,6 +85,11 @@ void accumulate(FuzzStats &Into, const FuzzStats &From) {
   Into.MutateSeconds += From.MutateSeconds;
   Into.OptimizeSeconds += From.OptimizeSeconds;
   Into.VerifySeconds += From.VerifySeconds;
+  Into.OverheadSeconds += From.OverheadSeconds;
+  // WorkerSeconds sums loop wall times across workers — the denominator
+  // of the stage-sum invariant (the engine's own wall clock would be ~J
+  // times smaller than the summed stage times).
+  Into.WorkerSeconds += From.WorkerSeconds;
 }
 
 } // namespace
@@ -116,6 +126,7 @@ const FuzzStats &CampaignEngine::run() {
     WOpts.SelfCheckOnLoad = false;
     WOpts.OnlyFunctions = Testable;
     WOpts.Progress = &W->Done;
+    WOpts.StageNanos = W->StageNanos;
     if (!TimeLimited) {
       // Static contiguous partition: worker I owns seeds
       // [BaseSeed + Lo, BaseSeed + Hi) — ascending across workers, so a
@@ -143,11 +154,15 @@ const FuzzStats &CampaignEngine::run() {
       uint64_t Base = Opts.BaseSeed;
       std::atomic<uint64_t> *Next = &NextOffset;
       Threads.emplace_back([W, Limit, Base, Next, &Total] {
+        Timer Thread;
         while (Total.seconds() < Limit) {
           uint64_t Off = Next->fetch_add(1, std::memory_order_relaxed);
           W->Loop->runIteration(Base + Off);
           W->Done.fetch_add(1, std::memory_order_relaxed);
         }
+        // The loops never call run() in this mode, so measure the worker
+        // wall time here for the stage-sum invariant.
+        W->ThreadSeconds = Thread.seconds();
       });
     }
   }
@@ -167,11 +182,29 @@ const FuzzStats &CampaignEngine::run() {
                             [&] { return AllDone; }))
           return;
         CampaignProgress P;
-        for (const auto &W : Workers)
+        uint64_t Stage[4] = {};
+        for (const auto &W : Workers) {
           P.Done += W->Done.load(std::memory_order_relaxed);
+          for (unsigned I = 0; I != 4; ++I)
+            Stage[I] += W->StageNanos[I].load(std::memory_order_relaxed);
+        }
         P.Target = TimeLimited ? 0 : Opts.Iterations;
         P.Elapsed = Total.seconds();
         P.Workers = J;
+        if (P.Elapsed > 0)
+          P.Rate = (double)P.Done / P.Elapsed;
+        if (TimeLimited)
+          P.EtaSeconds = std::max(0.0, Opts.TimeLimitSeconds - P.Elapsed);
+        else if (P.Rate > 0)
+          P.EtaSeconds = (double)(P.Target - P.Done) / P.Rate;
+        double StageSum =
+            (double)(Stage[0] + Stage[1] + Stage[2] + Stage[3]);
+        if (StageSum > 0) {
+          P.MutateShare = Stage[0] / StageSum;
+          P.OptimizeShare = Stage[1] / StageSum;
+          P.VerifyShare = Stage[2] / StageSum;
+          P.OverheadShare = Stage[3] / StageSum;
+        }
         ProgressFn(P);
       }
     });
@@ -197,8 +230,22 @@ const FuzzStats &CampaignEngine::run() {
   Stats.FunctionsDropped = MasterLoop->stats().FunctionsDropped;
   Bugs.clear();
   SaveDirError.clear();
+  Registry = StatRegistry();
+  Registry.merge(MasterLoop->registry());
   for (const auto &W : Workers) {
-    accumulate(Stats, W->Loop->stats());
+    const FuzzStats &WS = W->Loop->stats();
+    accumulate(Stats, WS);
+    if (TimeLimited) {
+      // Dynamic-mode loops never ran run(): the engine measured each
+      // thread's wall time instead, and the dispatch loop's bookkeeping
+      // (the part outside runIteration) goes to the overhead bucket.
+      Stats.WorkerSeconds += W->ThreadSeconds;
+      double Staged = WS.MutateSeconds + WS.OptimizeSeconds +
+                      WS.VerifySeconds + WS.OverheadSeconds;
+      if (W->ThreadSeconds > Staged)
+        Stats.OverheadSeconds += W->ThreadSeconds - Staged;
+    }
+    Registry.merge(W->Loop->registry());
     if (SaveDirError.empty())
       SaveDirError = W->Loop->saveDirError();
     const std::vector<BugRecord> &WB = W->Loop->bugs();

@@ -49,6 +49,17 @@ struct CampaignProgress {
   uint64_t Target = 0;   ///< total iterations (0 when time-limited)
   double Elapsed = 0;    ///< seconds since run() started
   unsigned Workers = 0;  ///< number of worker threads
+  double Rate = 0;       ///< iterations per second since run() started
+  /// Estimated seconds to completion: from the rate for iteration-bounded
+  /// campaigns, from the remaining budget for time-limited ones; negative
+  /// when unknown (no completed iteration yet).
+  double EtaSeconds = -1;
+  /// Fraction of summed worker time spent per stage so far (0 when no
+  /// stage time has been recorded yet). Shares sum to ~1.
+  double MutateShare = 0;
+  double OptimizeShare = 0;
+  double VerifyShare = 0;
+  double OverheadShare = 0;
 };
 
 /// Runs a fuzzing campaign across J worker threads with a deterministic
@@ -87,6 +98,12 @@ public:
   const FuzzStats &stats() const { return Stats; }
   const std::vector<BugRecord> &bugs() const { return Bugs; }
 
+  /// The merged telemetry of the finished campaign: master preprocessing
+  /// plus every worker registry, merged with the commutative rules
+  /// (counters/buckets sum, gauges max) — so the deterministic class of
+  /// stats is byte-identical for every worker count.
+  const StatRegistry &registry() const { return Registry; }
+
   /// First worker's save-directory creation error, if any ("" when the
   /// directory came up fine). Reported once, engine-wide: every worker
   /// that hit it stopped retrying per-file writes.
@@ -109,6 +126,7 @@ private:
   std::function<void(const CampaignProgress &)> ProgressFn;
   FuzzStats Stats;
   std::vector<BugRecord> Bugs;
+  StatRegistry Registry;
   std::string SaveDirError;
 };
 

@@ -35,7 +35,27 @@ const char *alive::mutationKindName(MutationKind K) {
   return "?";
 }
 
+Mutator::Mutator(RandomGenerator &RNG, const MutationOptions &Opts,
+                 StatRegistry *Stats)
+    : RNG(RNG), Opts(Opts) {
+  if (!Stats)
+    return;
+  for (unsigned K = 0; K != (unsigned)MutationKind::NumKinds; ++K) {
+    std::string Base =
+        std::string("mutation.") + mutationKindName((MutationKind)K);
+    Family[K].Applied = &Stats->counter(Base + ".applied");
+    Family[K].Rejected = &Stats->counter(Base + ".rejected");
+  }
+}
+
 bool Mutator::apply(MutationKind K, MutantInfo &MI) {
+  bool Changed = applyImpl(K, MI);
+  if (const FamilyCounters &C = Family[(unsigned)K]; C.Applied)
+    ++*(Changed ? C.Applied : C.Rejected);
+  return Changed;
+}
+
+bool Mutator::applyImpl(MutationKind K, MutantInfo &MI) {
   switch (K) {
   case MutationKind::Attributes:
     return mutateAttributes(MI);

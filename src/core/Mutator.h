@@ -19,7 +19,9 @@
 #include "core/FunctionInfo.h"
 #include "core/ValueSource.h"
 #include "support/RandomGenerator.h"
+#include "support/Telemetry.h"
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -57,8 +59,13 @@ struct MutationOptions {
 /// Applies random mutations to functions of a module.
 class Mutator {
 public:
-  Mutator(RandomGenerator &RNG, const MutationOptions &Opts)
-      : RNG(RNG), Opts(Opts) {}
+  /// \p Stats (optional) receives per-family telemetry: every apply()
+  /// outcome increments "mutation.<family>.applied" or ".rejected".
+  /// Deterministic per seed, so merged campaign counts are worker-count
+  /// independent. The §III-E seed-replay path passes null — replay must
+  /// not disturb campaign statistics.
+  Mutator(RandomGenerator &RNG, const MutationOptions &Opts,
+          StatRegistry *Stats = nullptr);
 
   /// Applies one specific mutation kind to \p MI (if applicable).
   /// \returns true when the function changed.
@@ -70,6 +77,7 @@ public:
   std::vector<MutationKind> mutateFunction(MutantInfo &MI);
 
 private:
+  bool applyImpl(MutationKind K, MutantInfo &MI);
   bool mutateAttributes(MutantInfo &MI);
   bool mutateInline(MutantInfo &MI);
   bool mutateRemoveCall(MutantInfo &MI);
@@ -81,6 +89,13 @@ private:
 
   RandomGenerator &RNG;
   MutationOptions Opts;
+  /// Cached per-family counter slots (null members when telemetry is off):
+  /// apply() must not pay a map probe per attempt.
+  struct FamilyCounters {
+    uint64_t *Applied = nullptr;
+    uint64_t *Rejected = nullptr;
+  };
+  std::array<FamilyCounters, (size_t)MutationKind::NumKinds> Family;
 };
 
 } // namespace alive

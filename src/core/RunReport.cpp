@@ -1,0 +1,192 @@
+//===- core/RunReport.cpp - Machine-readable campaign report ---------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RunReport.h"
+
+#include <fstream>
+#include <map>
+
+using namespace alive;
+
+namespace {
+
+/// Derived per-pass / per-family tables: parses the registry's
+/// "pass.<name>.<field>" and "mutation.<family>.<field>" counters back
+/// into row objects. The raw counters stay in the report too; the tables
+/// are the convenient view and check_stats_json.py cross-checks the two.
+struct TableRow {
+  uint64_t A = 0; // invocations / applied
+  uint64_t B = 0; // changed / rejected
+};
+
+std::map<std::string, TableRow> collectTable(const StatRegistry &R,
+                                             const std::string &Prefix,
+                                             const std::string &FieldA,
+                                             const std::string &FieldB) {
+  std::map<std::string, TableRow> Rows;
+  R.forEachCounter(Volatility::Deterministic, [&](const std::string &Name,
+                                                  uint64_t Value) {
+    if (Name.rfind(Prefix, 0) != 0)
+      return;
+    size_t Dot = Name.rfind('.');
+    if (Dot == std::string::npos || Dot < Prefix.size())
+      return;
+    std::string Key = Name.substr(Prefix.size(), Dot - Prefix.size());
+    std::string Field = Name.substr(Dot + 1);
+    if (Field == FieldA)
+      Rows[Key].A = Value;
+    else if (Field == FieldB)
+      Rows[Key].B = Value;
+  });
+  return Rows;
+}
+
+void writeTable(std::ostream &OS, const std::map<std::string, TableRow> &Rows,
+                const char *KeyName, const char *AName, const char *BName) {
+  OS << "[";
+  bool First = true;
+  for (const auto &[Key, Row] : Rows) {
+    OS << (First ? "\n" : ",\n") << "      {\"" << KeyName << "\": ";
+    First = false;
+    writeJSONString(OS, Key);
+    OS << ", \"" << AName << "\": " << Row.A << ", \"" << BName
+       << "\": " << Row.B << "}";
+  }
+  OS << (First ? "" : "\n    ") << "]";
+}
+
+} // namespace
+
+void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
+                           const FuzzStats &S,
+                           const std::vector<BugRecord> &Bugs,
+                           const StatRegistry &R) {
+  OS << "{\n";
+  OS << "  \"schema_version\": " << RunReportSchemaVersion << ",\n";
+  OS << "  \"tool\": ";
+  writeJSONString(OS, Config.Tool);
+  OS << ",\n";
+
+  // --- Deterministic section: byte-identical for every worker count. ---
+  OS << "  \"deterministic\": {\n";
+  OS << "    \"config\": {\"passes\": ";
+  writeJSONString(OS, Config.Passes);
+  OS << ", \"iterations\": " << Config.Iterations
+     << ", \"seed\": " << Config.BaseSeed
+     << ", \"max_mutations\": " << Config.MaxMutationsPerFunction << "},\n";
+
+  OS << "    \"summary\": {"
+     << "\"mutants\": " << S.MutantsGenerated
+     << ", \"mutations_applied\": " << S.MutationsApplied
+     << ", \"optimized\": " << S.Optimized
+     << ", \"verified\": " << S.Verified
+     << ", \"verify_skipped\": " << S.VerifySkipped
+     << ", \"refinement_failures\": " << S.RefinementFailures
+     << ", \"crashes\": " << S.Crashes
+     << ", \"inconclusive\": " << S.Inconclusive
+     << ", \"functions_dropped\": " << S.FunctionsDropped
+     << ", \"invalid_mutants\": " << S.InvalidMutants
+     << ", \"mutants_saved\": " << S.MutantsSaved
+     << ", \"save_failures\": " << S.SaveFailures << "},\n";
+
+  OS << "    \"per_pass\": ";
+  writeTable(OS, collectTable(R, "pass.", "invocations", "changed"), "pass",
+             "invocations", "changed");
+  OS << ",\n";
+
+  OS << "    \"per_family\": ";
+  writeTable(OS, collectTable(R, "mutation.", "applied", "rejected"),
+             "family", "applied", "rejected");
+  OS << ",\n";
+
+  OS << "    \"tv_verdicts\": {";
+  {
+    bool First = true;
+    R.forEachCounter(Volatility::Deterministic,
+                     [&](const std::string &Name, uint64_t Value) {
+                       if (Name.rfind("tv.verdict.", 0) != 0)
+                         return;
+                       OS << (First ? "" : ", ");
+                       First = false;
+                       writeJSONString(OS, Name.substr(sizeof("tv.verdict.") - 1));
+                       OS << ": " << Value;
+                     });
+  }
+  OS << "},\n";
+
+  OS << "    \"stats\": ";
+  R.writeJSON(OS, Volatility::Deterministic, "    ");
+  OS << ",\n";
+
+  // Counted from the record list itself (not FuzzStats): callers may
+  // report a filtered subset, e.g. bench_campaign's one-per-defect list.
+  uint64_t Miscompiles = 0;
+  for (const BugRecord &B : Bugs)
+    if (B.Kind == BugRecord::Miscompile)
+      ++Miscompiles;
+  OS << "    \"bugs\": {\"total\": " << Bugs.size() << ", \"miscompiles\": "
+     << Miscompiles << ", \"crashes\": " << (Bugs.size() - Miscompiles)
+     << ", \"records\": [";
+  {
+    bool First = true;
+    for (const BugRecord &B : Bugs) {
+      OS << (First ? "\n" : ",\n") << "      {\"kind\": \""
+         << (B.Kind == BugRecord::Miscompile ? "miscompile" : "crash")
+         << "\", \"function\": ";
+      First = false;
+      writeJSONString(OS, B.FunctionName);
+      OS << ", \"seed\": " << B.MutantSeed << ", \"issue\": ";
+      writeJSONString(OS, B.IssueId);
+      OS << "}";
+    }
+    OS << (First ? "" : "\n    ") << "]}\n";
+  }
+  OS << "  },\n";
+
+  // --- Volatile section: wall-clock and scheduling-dependent. ---
+  OS << "  \"volatile\": {\n";
+  OS << "    \"jobs\": " << Config.Jobs << ",\n";
+  OS << "    \"stage_seconds\": {\"mutate\": ";
+  writeJSONDouble(OS, S.MutateSeconds);
+  OS << ", \"optimize\": ";
+  writeJSONDouble(OS, S.OptimizeSeconds);
+  OS << ", \"verify\": ";
+  writeJSONDouble(OS, S.VerifySeconds);
+  OS << ", \"overhead\": ";
+  writeJSONDouble(OS, S.OverheadSeconds);
+  OS << ", \"worker_total\": ";
+  writeJSONDouble(OS, S.WorkerSeconds);
+  OS << ", \"wall\": ";
+  writeJSONDouble(OS, Config.WallSeconds);
+  OS << "},\n";
+  OS << "    \"cache\": {\"hits\": " << S.TVCacheHits
+     << ", \"misses\": " << S.TVCacheMisses
+     << ", \"evictions\": " << S.TVCacheEvictions << "},\n";
+  OS << "    \"stats\": ";
+  R.writeJSON(OS, Volatility::Volatile, "    ");
+  OS << "\n  }\n";
+  OS << "}\n";
+}
+
+bool alive::writeRunReportFile(const std::string &Path,
+                               const RunReportConfig &Config,
+                               const FuzzStats &Stats,
+                               const std::vector<BugRecord> &Bugs,
+                               const StatRegistry &Registry,
+                               std::string &Error) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot write stats report '" + Path + "'";
+    return false;
+  }
+  writeRunReport(Out, Config, Stats, Bugs, Registry);
+  Out.close();
+  if (!Out) {
+    Error = "I/O error writing stats report '" + Path + "'";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,69 @@
+//===- core/RunReport.h - Machine-readable campaign report -----*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schema-versioned JSON run report behind `-stats-json`. The report
+/// has exactly two top-level data sections:
+///
+///   - "deterministic": everything whose value depends only on the seed
+///     range — config echo, campaign summary counters, the deterministic
+///     registry counters/gauges (per-pass, per-mutation-family,
+///     per-TV-verdict tables are derived views of these), and the bug
+///     list. A -j4 campaign serializes this section byte-identically to
+///     -j1; tests and scripts/check_stats_json.py enforce it.
+///   - "volatile": wall-clock and scheduling-dependent data — stage
+///     seconds (with the mutate+optimize+verify+overhead == worker_total
+///     invariant), TV cache hit/miss splits, latency histograms with
+///     p50/p90/p99, worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORE_RUNREPORT_H
+#define CORE_RUNREPORT_H
+
+#include "core/FuzzerLoop.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+/// Bump when the report layout changes incompatibly; CI's
+/// check_stats_json.py pins it.
+constexpr unsigned RunReportSchemaVersion = 1;
+
+/// Report metadata that is not part of FuzzStats or the registry.
+struct RunReportConfig {
+  /// "alive-mutate", "bench_campaign", ...
+  std::string Tool;
+  std::string Passes;
+  uint64_t Iterations = 0;
+  uint64_t BaseSeed = 0;
+  unsigned MaxMutationsPerFunction = 0;
+  /// Worker count (volatile section: -j4 vs -j1 reports must only differ
+  /// there).
+  unsigned Jobs = 1;
+  /// Engine wall clock (volatile).
+  double WallSeconds = 0;
+};
+
+/// Writes the full JSON run report to \p OS.
+void writeRunReport(std::ostream &OS, const RunReportConfig &Config,
+                    const FuzzStats &Stats,
+                    const std::vector<BugRecord> &Bugs,
+                    const StatRegistry &Registry);
+
+/// Writes the report to \p Path. \returns false (and fills \p Error) when
+/// the file cannot be written.
+bool writeRunReportFile(const std::string &Path,
+                        const RunReportConfig &Config, const FuzzStats &Stats,
+                        const std::vector<BugRecord> &Bugs,
+                        const StatRegistry &Registry, std::string &Error);
+
+} // namespace alive
+
+#endif // CORE_RUNREPORT_H

@@ -17,6 +17,7 @@
 
 #include "ir/Module.h"
 #include "opt/BugInjection.h"
+#include "support/Telemetry.h"
 
 #include <memory>
 #include <string>
@@ -57,6 +58,13 @@ public:
   void setBugContext(const BugInjectionContext *Ctx) { BugCtx = Ctx; }
   const BugInjectionContext *bugContext() const { return BugCtx; }
 
+  /// Attaches a telemetry registry (null detaches). Each run() sweep then
+  /// records, per pass: "pass.<name>.invocations" (function-level runs)
+  /// and "pass.<name>.changed" (runs that modified the function) — both
+  /// deterministic per seed — plus a "pass.<name>.seconds" wall-time
+  /// histogram per module sweep. \p Stats must outlive the PassManager.
+  void setTelemetry(StatRegistry *Stats);
+
   /// Runs every pass once, in order, on every function definition.
   /// When \p ChangedOut is non-null, the names of modified functions are
   /// added to it. \returns true when anything changed.
@@ -71,6 +79,16 @@ public:
 private:
   std::vector<std::unique_ptr<Pass>> Passes;
   const BugInjectionContext *BugCtx = nullptr;
+  StatRegistry *Stats = nullptr;
+  /// Cached stat slots, parallel to Passes (rebuilt lazily when passes are
+  /// added after setTelemetry): the hot loop must not probe the registry
+  /// map per pass per sweep.
+  struct PassTelemetry {
+    uint64_t *Invocations = nullptr;
+    uint64_t *Changed = nullptr;
+    Histogram *Seconds = nullptr;
+  };
+  std::vector<PassTelemetry> PassStats;
 };
 
 /// Creates a pass by registry name; null for unknown names.

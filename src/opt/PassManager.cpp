@@ -13,6 +13,11 @@
 
 using namespace alive;
 
+void PassManager::setTelemetry(StatRegistry *S) {
+  Stats = S;
+  PassStats.clear();
+}
+
 bool PassManager::run(Module &M, ChangedFunctionSet *ChangedOut) {
   // Make the campaign's defects visible to the pass bodies for exactly the
   // duration of the run (exception-safe: unwinding on an OptimizerCrash
@@ -20,15 +25,33 @@ bool PassManager::run(Module &M, ChangedFunctionSet *ChangedOut) {
   std::optional<BugContextScope> Scope;
   if (BugCtx)
     Scope.emplace(BugCtx);
+  if (Stats && PassStats.size() != Passes.size()) {
+    PassStats.clear();
+    for (auto &P : Passes) {
+      std::string Base = "pass." + P->getName();
+      PassStats.push_back({&Stats->counter(Base + ".invocations"),
+                           &Stats->counter(Base + ".changed"),
+                           &Stats->histogram(Base + ".seconds")});
+    }
+  }
   bool Changed = false;
-  for (auto &P : Passes)
+  for (size_t PI = 0; PI != Passes.size(); ++PI) {
+    Pass &P = *Passes[PI];
+    PassTelemetry *T = Stats ? &PassStats[PI] : nullptr;
+    ScopedTimer Sweep(T ? T->Seconds : nullptr);
     for (Function *F : M.functions())
-      if (!F->isDeclaration())
-        if (P->runOnFunction(*F)) {
+      if (!F->isDeclaration()) {
+        if (T)
+          ++*T->Invocations;
+        if (P.runOnFunction(*F)) {
           Changed = true;
+          if (T)
+            ++*T->Changed;
           if (ChangedOut)
             ChangedOut->insert(F->getName());
         }
+      }
+  }
   return Changed;
 }
 

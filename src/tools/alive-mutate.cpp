@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/CampaignEngine.h"
+#include "core/RunReport.h"
 #include "opt/BugInjection.h"
 #include "parser/Parser.h"
 #include "tools/ToolCommon.h"
@@ -39,6 +40,7 @@ static void printHelp() {
       "  -saveAll          save every mutant, not only failing ones\n"
       "  -inject-bugs      enable the 33 seeded Table I defects\n"
       "  -progress=<sec>   print campaign progress every <sec> seconds\n"
+      "  -stats-json=<file> write a schema-versioned JSON run report\n"
       "  -report           print bug records at the end\n"
       "  -help             this text");
 }
@@ -100,18 +102,26 @@ int main(int Argc, char **Argv) {
   double ProgressSec = (double)Args.getInt("progress", 0);
   if (ProgressSec > 0)
     Engine.setProgress(ProgressSec, [](const CampaignProgress &P) {
+      char Eta[32] = "eta ?";
+      if (P.EtaSeconds >= 0)
+        std::snprintf(Eta, sizeof(Eta), "eta %.0fs", P.EtaSeconds);
       if (P.Target)
         std::fprintf(stderr,
-                     "[campaign] %llu/%llu mutants, %.1fs, %.0f/s (%u "
+                     "[campaign] %llu/%llu mutants, %.1fs, %.0f/s, %s "
+                     "(mut %.0f%% opt %.0f%% tv %.0f%% ovh %.0f%%, %u "
                      "workers)\n",
                      (unsigned long long)P.Done, (unsigned long long)P.Target,
-                     P.Elapsed, P.Elapsed > 0 ? P.Done / P.Elapsed : 0.0,
-                     P.Workers);
+                     P.Elapsed, P.Rate, Eta, 100 * P.MutateShare,
+                     100 * P.OptimizeShare, 100 * P.VerifyShare,
+                     100 * P.OverheadShare, P.Workers);
       else
         std::fprintf(stderr,
-                     "[campaign] %llu mutants, %.1fs, %.0f/s (%u workers)\n",
-                     (unsigned long long)P.Done, P.Elapsed,
-                     P.Elapsed > 0 ? P.Done / P.Elapsed : 0.0, P.Workers);
+                     "[campaign] %llu mutants, %.1fs, %.0f/s, %s "
+                     "(mut %.0f%% opt %.0f%% tv %.0f%% ovh %.0f%%, %u "
+                     "workers)\n",
+                     (unsigned long long)P.Done, P.Elapsed, P.Rate, Eta,
+                     100 * P.MutateShare, 100 * P.OptimizeShare,
+                     100 * P.VerifyShare, 100 * P.OverheadShare, P.Workers);
     });
 
   const FuzzStats &S = Engine.run();
@@ -143,9 +153,10 @@ int main(int Argc, char **Argv) {
     std::printf("saved:          %llu (%llu save failure(s))\n",
                 (unsigned long long)S.MutantsSaved,
                 (unsigned long long)S.SaveFailures);
-  std::printf("time:           %.3fs (mutate %.3fs, opt %.3fs, verify %.3fs)\n",
-              S.TotalSeconds, S.MutateSeconds, S.OptimizeSeconds,
-              S.VerifySeconds);
+  std::printf("time:           %.3fs wall, %.3fs worker (mutate %.3fs, opt "
+              "%.3fs, verify %.3fs, overhead %.3fs)\n",
+              S.TotalSeconds, S.WorkerSeconds, S.MutateSeconds,
+              S.OptimizeSeconds, S.VerifySeconds, S.OverheadSeconds);
 
   if (Args.has("report"))
     for (const BugRecord &B : Engine.bugs()) {
@@ -155,6 +166,21 @@ int main(int Argc, char **Argv) {
                   B.IssueId.empty() ? "" : (" [PR" + B.IssueId + "]").c_str(),
                   B.MutantIR.c_str());
     }
+
+  if (std::string StatsPath = Args.get("stats-json"); !StatsPath.empty()) {
+    RunReportConfig RC;
+    RC.Tool = "alive-mutate";
+    RC.Passes = Opts.Passes;
+    RC.Iterations = Opts.Iterations;
+    RC.BaseSeed = Opts.BaseSeed;
+    RC.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
+    RC.Jobs = Engine.jobs();
+    RC.WallSeconds = S.TotalSeconds;
+    std::string ReportErr;
+    if (!writeRunReportFile(StatsPath, RC, S, Engine.bugs(),
+                            Engine.registry(), ReportErr))
+      std::fprintf(stderr, "warning: %s\n", ReportErr.c_str());
+  }
 
   if (!Engine.saveDirError().empty())
     // The directory never came up: reported once, not per mutant.

@@ -369,8 +369,67 @@ TVResult checkSymbolic(const Function &Src, const Function &Tgt,
 
 } // namespace
 
+std::string alive::tvVerdictReason(const TVResult &R) {
+  auto Has = [&R](const char *Needle) {
+    return R.Detail.find(Needle) != std::string::npos;
+  };
+  switch (R.Verdict) {
+  case TVVerdict::Correct:
+    return "correct";
+  case TVVerdict::Incorrect:
+    return "incorrect";
+  case TVVerdict::Unsupported:
+    if (Has("signature mismatch"))
+      return "unsupported.signature";
+    if (Has("declaration"))
+      return "unsupported.declaration";
+    return "unsupported.domain";
+  case TVVerdict::Inconclusive:
+    // Order matters: a budget-exhausted symbolic check that degraded to
+    // the concrete path carries the solver detail as a prefix.
+    if (Has("solver budget exhausted"))
+      return "inconclusive.budget";
+    if (Has("not confirmed"))
+      return "inconclusive.unconfirmed-model";
+    if (Has("no trial was decisive") || Has("UB or exceeds fuel"))
+      return "inconclusive.vacuous";
+    return "inconclusive.other";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Times and counts one symbolic query (latency + solver effort).
+TVResult instrumentedSymbolic(const Function &Src, const Function &Tgt,
+                              const TVOptions &Opts, StatRegistry *Stats) {
+  ScopedTimer T(Stats ? &Stats->histogram("tv.query.symbolic.seconds")
+                      : nullptr);
+  TVResult R = checkSymbolic(Src, Tgt, Opts);
+  if (Stats) {
+    ++Stats->counter("tv.query.symbolic", Volatility::Volatile);
+    Stats->counter("tv.solver.conflicts", Volatility::Volatile) +=
+        R.SolverStats.Conflicts;
+    Stats->counter("tv.solver.decisions", Volatility::Volatile) +=
+        R.SolverStats.Decisions;
+  }
+  return R;
+}
+
+/// Times and counts one bounded concrete query.
+TVResult instrumentedConcrete(const Function &Src, const Function &Tgt,
+                              const TVOptions &Opts, StatRegistry *Stats) {
+  ScopedTimer T(Stats ? &Stats->histogram("tv.query.concrete.seconds")
+                      : nullptr);
+  if (Stats)
+    ++Stats->counter("tv.query.concrete", Volatility::Volatile);
+  return checkConcrete(Src, Tgt, Opts);
+}
+
+} // namespace
+
 TVResult alive::checkRefinement(const Function &Src, const Function &Tgt,
-                                const TVOptions &Opts) {
+                                const TVOptions &Opts, StatRegistry *Stats) {
   TVResult Res;
   if (!sameSignature(Src, Tgt)) {
     Res.Verdict = TVVerdict::Unsupported;
@@ -402,12 +461,14 @@ TVResult alive::checkRefinement(const Function &Src, const Function &Tgt,
           Cost += Quadratic ? (uint64_t)W * W : W;
         }
     if (Cost <= 1u << 17) {
-      TVResult R = checkSymbolic(Src, Tgt, Opts);
+      TVResult R = instrumentedSymbolic(Src, Tgt, Opts, Stats);
       // Solver budget exhausted (Alive2's SMT-timeout analog): degrade to
       // the bounded concrete check rather than giving up entirely.
       if (R.Verdict != TVVerdict::Inconclusive)
         return R;
-      TVResult CR = checkConcrete(Src, Tgt, Opts);
+      if (Stats)
+        ++Stats->counter("tv.symbolic.fallback", Volatility::Volatile);
+      TVResult CR = instrumentedConcrete(Src, Tgt, Opts, Stats);
       if (CR.Verdict == TVVerdict::Incorrect)
         return CR;
       CR.Verdict = TVVerdict::Inconclusive;
@@ -415,7 +476,7 @@ TVResult alive::checkRefinement(const Function &Src, const Function &Tgt,
       return CR;
     }
   }
-  return checkConcrete(Src, Tgt, Opts);
+  return instrumentedConcrete(Src, Tgt, Opts, Stats);
 }
 
 TVResult alive::checkSelfRefinement(const Function &F, const TVOptions &Opts) {

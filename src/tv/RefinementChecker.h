@@ -34,6 +34,7 @@
 #include "ir/Interpreter.h"
 #include "ir/Module.h"
 #include "smt/SatSolver.h"
+#include "support/Telemetry.h"
 
 #include <string>
 #include <vector>
@@ -90,10 +91,25 @@ struct TVResult {
 /// when echoing a counterexample.
 std::string renderConcVals(const std::vector<ConcVal> &Args);
 
+/// A telemetry slug for \p R: "correct", "incorrect",
+/// "unsupported.<reason>" or "inconclusive.<reason>" — the per-verdict
+/// breakdown key used by the run report. Deterministic per (Src, Tgt,
+/// Opts), so counting slugs per established verdict (cache hits included)
+/// is worker-count independent.
+std::string tvVerdictReason(const TVResult &R);
+
 /// Checks whether \p Tgt refines \p Src. The functions must have identical
 /// signatures (same argument count/types and return type).
+///
+/// \p Stats (optional) receives query telemetry: "tv.query.symbolic" /
+/// "tv.query.concrete" invocation counts with matching ".seconds" latency
+/// histograms, solver effort counters, and "tv.symbolic.fallback" for
+/// budget-exhausted degradations to the concrete path. All volatile: they
+/// count actual checker invocations, which the TV verdict cache elides
+/// differently per worker.
 TVResult checkRefinement(const Function &Src, const Function &Tgt,
-                         const TVOptions &Opts = TVOptions());
+                         const TVOptions &Opts = TVOptions(),
+                         StatRegistry *Stats = nullptr);
 
 /// Self-check used by the fuzzing loop's preprocessing step: verifies the
 /// checker can process \p F at all and that F refines itself. Mirrors the

@@ -13,13 +13,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/CampaignEngine.h"
+#include "core/RunReport.h"
 #include "corpus/Corpus.h"
 #include "opt/BugInjection.h"
 #include "parser/Parser.h"
 #include "parser/Printer.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <gtest/gtest.h>
+#include <sstream>
 
 using namespace alive;
 
@@ -384,4 +387,113 @@ TEST(CampaignTest, ProgressReporterFires) {
   });
   Engine.run();
   EXPECT_GT(Calls.load(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry: stage-time accounting and the merged run report.
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, StageTimeSumInvariantHolds) {
+  // The overhead bucket makes stage accounting exhaustive: mutate +
+  // optimize + verify + overhead equals the loop's wall time (exactly,
+  // modulo float rounding — every unattributed moment lands in overhead
+  // by construction).
+  FuzzOptions Opts = twoBugOptions(100);
+  FuzzerLoop Loop(Opts);
+  Loop.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Loop.run();
+  double Staged = S.MutateSeconds + S.OptimizeSeconds + S.VerifySeconds +
+                  S.OverheadSeconds;
+  EXPECT_GT(S.OverheadSeconds, 0.0);
+  EXPECT_NEAR(Staged, S.TotalSeconds, 1e-6 * std::max(1.0, S.TotalSeconds));
+  EXPECT_DOUBLE_EQ(S.WorkerSeconds, S.TotalSeconds);
+
+  // Parallel: the invariant's denominator is the summed worker wall time,
+  // not the engine wall clock (which is ~J times smaller).
+  CampaignEngine Engine(Opts, 4);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &PS = Engine.run();
+  double PStaged = PS.MutateSeconds + PS.OptimizeSeconds + PS.VerifySeconds +
+                   PS.OverheadSeconds;
+  EXPECT_NEAR(PStaged, PS.WorkerSeconds,
+              1e-6 * std::max(1.0, PS.WorkerSeconds));
+
+  // Time-limited (dynamic) mode: workers never call run(), the engine
+  // measures thread wall time itself; the invariant must still hold.
+  FuzzOptions Dyn = twoBugOptions(0);
+  Dyn.TimeLimitSeconds = 0.2;
+  CampaignEngine DynEngine(Dyn, 2);
+  DynEngine.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &DS = DynEngine.run();
+  ASSERT_GT(DS.MutantsGenerated, 0u);
+  double DStaged = DS.MutateSeconds + DS.OptimizeSeconds + DS.VerifySeconds +
+                   DS.OverheadSeconds;
+  EXPECT_GT(DS.WorkerSeconds, 0.0);
+  EXPECT_NEAR(DStaged, DS.WorkerSeconds,
+              1e-6 * std::max(1.0, DS.WorkerSeconds));
+}
+
+TEST(CampaignTest, RegistryBreakdownsMatchSummaryCounters) {
+  FuzzOptions Opts = twoBugOptions(300);
+  FuzzerLoop Loop(Opts);
+  Loop.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Loop.run();
+  const StatRegistry &R = Loop.registry();
+
+  // Per-family applied counts sum to the loop's MutationsApplied.
+  uint64_t FamilyApplied = 0, Verdicts = 0;
+  R.forEachCounter(Volatility::Deterministic,
+                   [&](const std::string &Name, uint64_t V) {
+                     if (Name.rfind("mutation.", 0) == 0 &&
+                         Name.size() > 8 &&
+                         Name.compare(Name.size() - 8, 8, ".applied") == 0)
+                       FamilyApplied += V;
+                     if (Name.rfind("tv.verdict.", 0) == 0)
+                       Verdicts += V;
+                   });
+  EXPECT_EQ(FamilyApplied, S.MutationsApplied);
+  // Every established verdict (cache hits included) is attributed.
+  EXPECT_EQ(Verdicts, S.Verified);
+  // Pass invocation counts exist for the configured pipeline.
+  EXPECT_GT(R.counterValue("pass.instcombine.invocations"), 0u);
+  EXPECT_GT(R.counterValue("bug.crash") + R.counterValue("bug.miscompile"),
+            0u);
+}
+
+TEST(CampaignTest, MergedRunReportIsWorkerCountInvariant) {
+  // The acceptance criterion for -stats-json: a -j4 campaign's report is
+  // byte-identical to -j1 in everything except wall-times and cache
+  // splits — i.e. the whole "deterministic" section matches.
+  FuzzOptions Opts = twoBugOptions(200);
+  auto ReportFor = [&](unsigned Jobs) {
+    CampaignEngine Engine(Opts, Jobs);
+    Engine.loadModule(parseOk(TwoBugCorpus));
+    const FuzzStats &S = Engine.run();
+    RunReportConfig RC;
+    RC.Tool = "campaign_test";
+    RC.Passes = Opts.Passes;
+    RC.Iterations = Opts.Iterations;
+    RC.BaseSeed = Opts.BaseSeed;
+    RC.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
+    RC.Jobs = Jobs;
+    RC.WallSeconds = S.TotalSeconds;
+    std::ostringstream OS;
+    writeRunReport(OS, RC, S, Engine.bugs(), Engine.registry());
+    return OS.str();
+  };
+  std::string R1 = ReportFor(1), R4 = ReportFor(4);
+
+  // Cut each report at the start of its volatile section.
+  auto DeterministicPart = [](const std::string &R) {
+    size_t Pos = R.find("\"volatile\"");
+    EXPECT_NE(Pos, std::string::npos);
+    return R.substr(0, Pos);
+  };
+  EXPECT_EQ(DeterministicPart(R1), DeterministicPart(R4));
+  // And the reports are structurally complete.
+  EXPECT_NE(R1.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(R1.find("\"per_pass\""), std::string::npos);
+  EXPECT_NE(R1.find("\"per_family\""), std::string::npos);
+  EXPECT_NE(R1.find("\"tv_verdicts\""), std::string::npos);
+  EXPECT_NE(R1.find("\"p99_s\""), std::string::npos);
 }
