@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate alive-mutate forensics artifacts: a -trace-json file and a
+-bug-bundles directory.
+
+Usage: check_artifacts.py <trace.json> <bundles-dir>
+
+Trace checks (Chrome trace-event JSON):
+
+  - the file parses and has a "traceEvents" list;
+  - every track announces itself with a "thread_name" metadata event;
+  - spans ("ph": "X") have non-negative ts and positive dur, and every
+    event's tid belongs to an announced track;
+  - at least one span exists (a campaign that traced nothing is a bug).
+
+Bundle checks (manifest schema version 1):
+
+  - the directory contains at least one bundle-s<seed>-* subdirectory;
+  - each manifest.json parses, pins schema_version 1, and its record
+    echoes the seed embedded in the directory name;
+  - every file the manifest's "files" map names exists and is non-empty;
+  - the mutation trail is a list of {family, function, site, detail};
+  - the config echo carries the fields -replay needs to reconstruct the
+    campaign (passes, seeds, enabled kinds, TV options).
+
+Exits non-zero with a message on the first violation; on success prints
+one summary line ending with the path of the first bundle (CI feeds it
+to `alive-mutate -replay`).
+"""
+
+import json
+import os
+import re
+import sys
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def fail(msg):
+    print("check_artifacts: FAIL: " + msg)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except ValueError as e:
+            fail("%s: not valid JSON: %s" % (path, e))
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("%s: missing 'traceEvents' list" % path)
+
+    tracks = {}
+    spans = instants = 0
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") != "thread_name":
+                fail("%s: unexpected metadata event %r" % (path, e.get("name")))
+            tracks[e.get("tid")] = e["args"]["name"]
+        elif ph == "X":
+            spans += 1
+            if e.get("ts", -1) < 0 or e.get("dur", 0) < 0:
+                fail("%s: span %r has bad ts/dur" % (path, e.get("name")))
+        elif ph == "i":
+            instants += 1
+        else:
+            fail("%s: unknown phase %r" % (path, ph))
+        if ph != "M" and e.get("tid") not in tracks:
+            fail(
+                "%s: event %r on unannounced tid %r"
+                % (path, e.get("name"), e.get("tid"))
+            )
+
+    if not tracks:
+        fail("%s: no thread_name metadata — tracks are unnamed" % path)
+    if spans == 0:
+        fail("%s: no spans recorded" % path)
+    return len(tracks), spans, instants
+
+
+def check_bundle(bdir):
+    manifest_path = os.path.join(bdir, "manifest.json")
+    if not os.path.isfile(manifest_path):
+        fail("%s: no manifest.json" % bdir)
+    with open(manifest_path) as f:
+        try:
+            m = json.load(f)
+        except ValueError as e:
+            fail("%s: manifest is not valid JSON: %s" % (bdir, e))
+
+    if m.get("schema_version") != MANIFEST_SCHEMA_VERSION:
+        fail(
+            "%s: schema_version %r != %d"
+            % (bdir, m.get("schema_version"), MANIFEST_SCHEMA_VERSION)
+        )
+
+    rec = m.get("record")
+    if not isinstance(rec, dict):
+        fail("%s: missing 'record'" % bdir)
+    for key in ("kind", "seed", "verdict"):
+        if key not in rec:
+            fail("%s: record missing %r" % (bdir, key))
+
+    # The directory name embeds the seed; it must round-trip.
+    name = os.path.basename(bdir.rstrip("/"))
+    match = re.match(r"bundle-s(\d+)-", name)
+    if not match:
+        fail("%s: directory name not of the form bundle-s<seed>-*" % bdir)
+    if int(match.group(1)) != rec["seed"]:
+        fail(
+            "%s: directory seed %s != manifest seed %s"
+            % (bdir, match.group(1), rec["seed"])
+        )
+
+    files = m.get("files")
+    if not isinstance(files, dict) or "original" not in files:
+        fail("%s: missing 'files' map with 'original'" % bdir)
+    for role, fname in files.items():
+        fpath = os.path.join(bdir, fname)
+        if not os.path.isfile(fpath) or os.path.getsize(fpath) == 0:
+            fail("%s: %s file %r missing or empty" % (bdir, role, fname))
+
+    trail = m.get("trail")
+    if not isinstance(trail, list):
+        fail("%s: missing 'trail' list" % bdir)
+    for entry in trail:
+        for key in ("family", "function", "site", "detail"):
+            if key not in entry:
+                fail("%s: trail entry missing %r" % (bdir, key))
+
+    config = m.get("config")
+    if not isinstance(config, dict):
+        fail("%s: missing 'config'" % bdir)
+    for key in ("passes", "enabled_kinds", "tv", "testable_functions"):
+        if key not in config:
+            fail("%s: config missing %r" % (bdir, key))
+    return len(trail)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_artifacts.py <trace.json> <bundles-dir>")
+    trace_path, bundles_dir = sys.argv[1], sys.argv[2]
+
+    tracks, spans, instants = check_trace(trace_path)
+
+    if not os.path.isdir(bundles_dir):
+        fail("%s: not a directory" % bundles_dir)
+    bundles = sorted(
+        os.path.join(bundles_dir, d)
+        for d in os.listdir(bundles_dir)
+        if d.startswith("bundle-") and os.path.isdir(os.path.join(bundles_dir, d))
+    )
+    if not bundles:
+        fail("%s: no bundle-* directories" % bundles_dir)
+    trail_entries = sum(check_bundle(b) for b in bundles)
+
+    print(
+        "check_artifacts: OK (%d tracks, %d spans, %d instants; %d bundles, "
+        "%d trail entries) first=%s"
+        % (tracks, spans, instants, len(bundles), trail_entries, bundles[0])
+    )
+
+
+if __name__ == "__main__":
+    main()

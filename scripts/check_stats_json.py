@@ -24,7 +24,7 @@ Exits non-zero with a message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def fail(msg):
@@ -79,6 +79,15 @@ def check_report(path):
         fail("%s: bugs.total (%d) != len(records)" % (path, bugs["total"]))
     if bugs["miscompiles"] + bugs["crashes"] != bugs["total"]:
         fail("%s: miscompiles + crashes != bugs.total" % path)
+    for rec in bugs["records"]:
+        if "bundle" not in rec:
+            fail("%s: bug record for seed %s missing 'bundle'" % (path, rec.get("seed")))
+    linked = sum(1 for rec in bugs["records"] if rec["bundle"])
+    if linked and s["bundles"] < linked:
+        fail(
+            "%s: %d bug records link bundles but summary counts only %d written"
+            % (path, linked, s["bundles"])
+        )
 
     cache = vol["cache"]
     lookups = cache["hits"] + cache["misses"]

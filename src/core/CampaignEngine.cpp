@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <mutex>
 #include <thread>
 
@@ -48,6 +49,29 @@ CampaignEngine::makeMutant(uint64_t Seed,
   return MasterLoop->makeMutant(Seed, AppliedOut);
 }
 
+bool CampaignEngine::writeTrace(const std::string &Path,
+                                std::string &Error) const {
+  if (Traces.empty()) {
+    Error = "no trace recorded: campaign ran without tracing enabled";
+    return false;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot write trace '" + Path + "'";
+    return false;
+  }
+  std::vector<const TraceRecorder *> Tracks;
+  for (const auto &T : Traces)
+    Tracks.push_back(T.get());
+  writeChromeTrace(Out, Tracks, TraceNames);
+  Out.close();
+  if (!Out) {
+    Error = "I/O error writing trace '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
 namespace {
 
 /// One worker: a private FuzzerLoop over a private master-module clone,
@@ -82,6 +106,8 @@ void accumulate(FuzzStats &Into, const FuzzStats &From) {
   Into.InvalidMutants += From.InvalidMutants;
   Into.MutantsSaved += From.MutantsSaved;
   Into.SaveFailures += From.SaveFailures;
+  Into.BundlesWritten += From.BundlesWritten;
+  Into.BundleFailures += From.BundleFailures;
   Into.MutateSeconds += From.MutateSeconds;
   Into.OptimizeSeconds += From.OptimizeSeconds;
   Into.VerifySeconds += From.VerifySeconds;
@@ -230,8 +256,19 @@ const FuzzStats &CampaignEngine::run() {
   Stats.FunctionsDropped = MasterLoop->stats().FunctionsDropped;
   Bugs.clear();
   SaveDirError.clear();
+  BundleError.clear();
   Registry = StatRegistry();
   Registry.merge(MasterLoop->registry());
+  // Collect the flight-recorder tracks now — the workers die with this
+  // scope, the recorders must not. All tracks share one process-global
+  // epoch, so the merged timeline lines up across threads.
+  Traces.clear();
+  TraceNames.clear();
+  if (auto T = MasterLoop->takeTrace()) {
+    Traces.push_back(std::move(T));
+    TraceNames.push_back("master");
+  }
+  unsigned WorkerIdx = 0;
   for (const auto &W : Workers) {
     const FuzzStats &WS = W->Loop->stats();
     accumulate(Stats, WS);
@@ -248,6 +285,13 @@ const FuzzStats &CampaignEngine::run() {
     Registry.merge(W->Loop->registry());
     if (SaveDirError.empty())
       SaveDirError = W->Loop->saveDirError();
+    if (BundleError.empty())
+      BundleError = W->Loop->bundleError();
+    if (auto T = W->Loop->takeTrace()) {
+      Traces.push_back(std::move(T));
+      TraceNames.push_back("worker " + std::to_string(WorkerIdx));
+    }
+    ++WorkerIdx;
     const std::vector<BugRecord> &WB = W->Loop->bugs();
     Bugs.insert(Bugs.end(), WB.begin(), WB.end());
   }

@@ -109,6 +109,17 @@ public:
   /// that hit it stopped retrying per-file writes.
   const std::string &saveDirError() const { return SaveDirError; }
 
+  /// First worker's bundle-directory error, if any (same once-per-engine
+  /// policy as saveDirError).
+  const std::string &bundleError() const { return BundleError; }
+
+  /// Writes the campaign's flight-recorder tracks — master preprocessing
+  /// plus one per worker, all sharing one epoch — as Chrome trace-event
+  /// JSON (loadable in Perfetto / about:tracing). Only meaningful after
+  /// run() of a campaign with Opts.TraceEnabled; \returns false with
+  /// \p Error filled on I/O failure or when no tracks were recorded.
+  bool writeTrace(const std::string &Path, std::string &Error) const;
+
   /// Regenerates the mutant for \p Seed from the master module — the
   /// §III-E reproducibility path. Side-effect-free.
   std::unique_ptr<Module>
@@ -128,6 +139,11 @@ private:
   std::vector<BugRecord> Bugs;
   StatRegistry Registry;
   std::string SaveDirError;
+  std::string BundleError;
+  /// Flight-recorder tracks collected after the join (workers are
+  /// destroyed with run()'s scope; their recorders live on here).
+  std::vector<std::unique_ptr<TraceRecorder>> Traces;
+  std::vector<std::string> TraceNames;
 };
 
 } // namespace alive

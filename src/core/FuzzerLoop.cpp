@@ -10,6 +10,7 @@
 #include "opt/BugInjection.h"
 #include "parser/Printer.h"
 #include "support/Timer.h"
+#include "tv/Counterexample.h"
 
 #include <algorithm>
 #include <filesystem>
@@ -30,6 +31,10 @@ FuzzerLoop::FuzzerLoop(const FuzzOptions &Opts) : Opts(Opts) {
     ConfigError = "empty pass pipeline '" + this->Opts.Passes + "'";
   PM.setBugContext(&this->Opts.Bugs);
   PM.setTelemetry(&Registry);
+  if (this->Opts.TraceEnabled) {
+    Trace = std::make_unique<TraceRecorder>(this->Opts.TraceCapacity);
+    PM.setTrace(Trace.get());
+  }
   if (this->Opts.TVCacheSize > 0)
     TVC = std::make_unique<TVCache>(this->Opts.TVCacheSize);
   HMutate = &Registry.histogram("stage.mutate.seconds");
@@ -44,6 +49,7 @@ FuzzerLoop::~FuzzerLoop() = default;
 unsigned FuzzerLoop::loadModule(std::unique_ptr<Module> M) {
   Master = std::move(M);
   Preprocessed.clear();
+  TraceSpan Preprocess(Trace.get(), "preprocess");
 
   for (Function *F : Master->functions()) {
     if (F->isDeclaration() || F->isIntrinsic())
@@ -59,6 +65,8 @@ unsigned FuzzerLoop::loadModule(std::unique_ptr<Module> M) {
       // function that cannot be handled is removed"; "any function whose
       // un-mutated form would cause a translation validation error is
       // dropped: there is no point mutating these."
+      TraceSpan Span(Trace.get(), "self-check", /*Seed=*/0,
+                     Trace ? Trace->intern(F->getName()) : nullptr);
       TVResult Self = checkSelfRefinement(*F, Opts.TV);
       if (Self.Verdict != TVVerdict::Correct) {
         ++Stats.FunctionsDropped;
@@ -88,14 +96,23 @@ FuzzerLoop::makeMutant(uint64_t Seed,
   return makeMutantImpl(Seed, AppliedOut, Ignored, nullptr);
 }
 
+std::unique_ptr<Module> FuzzerLoop::makeMutant(uint64_t Seed,
+                                               MutationTrail &TrailOut) const {
+  uint64_t Ignored = 0;
+  return makeMutantImpl(Seed, nullptr, Ignored, nullptr, &TrailOut);
+}
+
 std::unique_ptr<Module>
 FuzzerLoop::makeMutantImpl(uint64_t Seed, std::vector<std::string> *AppliedOut,
-                           uint64_t &NumApplied, StatRegistry *Reg) const {
+                           uint64_t &NumApplied, StatRegistry *Reg,
+                           MutationTrail *Trail, TraceRecorder *TR) const {
   // §III-B: "Alive-mutate makes a copy of the in-memory IR, and then
   // selects and applies one or more mutation operators on each function."
   std::unique_ptr<Module> Mutant = cloneModule(*Master);
   RandomGenerator RNG(Seed);
-  Mutator Mut(RNG, Opts.Mutation, Reg);
+  Mutator Mut(RNG, Opts.Mutation, Reg, TR);
+  if (Trail)
+    Mut.setTrail(Trail);
 
   for (const auto &[Name, Info] : Preprocessed) {
     Function *F = Mutant->getFunction(Name);
@@ -154,6 +171,7 @@ struct IterationAccounting {
 void FuzzerLoop::runIteration(uint64_t Seed) {
   if (!ConfigError.empty())
     return;
+  Outcomes.clear();
   IterationAccounting Books(Stats, HOverhead, HIteration, Opts.StageNanos);
   auto StageSink = [&](unsigned I) {
     return Opts.StageNanos ? Opts.StageNanos + I : nullptr;
@@ -163,7 +181,9 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
   std::unique_ptr<Module> Mutant;
   {
     ScopedTimer T(HMutate, &Stats.MutateSeconds, StageSink(0));
-    Mutant = makeMutantImpl(Seed, nullptr, Applied, &Registry);
+    TraceSpan Span(Trace.get(), "mutate", Seed);
+    Mutant = makeMutantImpl(Seed, nullptr, Applied, &Registry,
+                            /*Trail=*/nullptr, Trace.get());
   }
   Stats.MutationsApplied += Applied;
   ++Stats.MutantsGenerated;
@@ -173,18 +193,30 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
     if (!verifyModule(*Mutant, Errors)) {
       // Must never happen: the paper's core validity claim.
       ++Stats.InvalidMutants;
+      if (Trace)
+        Trace->instant("bug.invalid-mutant", Seed);
+      ForensicRecord FR;
+      FR.K = ForensicRecord::InvalidMutant;
+      FR.Seed = Seed;
+      FR.Function = "<mutator>";
+      FR.VerdictSlug = "invalid-mutant";
+      FR.Detail = "INVALID MUTANT: " + Errors.front();
       BugRecord R;
       R.Kind = BugRecord::Crash;
       R.FunctionName = "<mutator>";
       R.MutantSeed = Seed;
-      R.Detail = "INVALID MUTANT: " + Errors.front();
+      R.Detail = FR.Detail;
       R.MutantIR = printModule(*Mutant);
-      Bugs.push_back(R);
+      R.BundlePath = writeBundle(FR, Mutant.get(), nullptr);
+      Outcomes.push_back(std::move(FR));
+      Bugs.push_back(std::move(R));
       return;
     }
   }
-  if (!Opts.SaveDir.empty() && Opts.SaveAll)
+  if (!Opts.SaveDir.empty() && Opts.SaveAll) {
+    TraceSpan Span(Trace.get(), "save", Seed);
     saveMutant(*Mutant, Seed, /*Failing=*/false);
+  }
 
   // Snapshot the mutant before optimization (the TV "source").
   std::unique_ptr<Module> Source = cloneModule(*Mutant);
@@ -196,20 +228,33 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
   ChangedFunctionSet Changed;
   try {
     ScopedTimer T(HOptimize, &Stats.OptimizeSeconds, StageSink(1));
+    TraceSpan Span(Trace.get(), "optimize", Seed);
     PM.runToFixpoint(*Mutant, 4, &Changed);
   } catch (const OptimizerCrash &C) {
     ++Stats.Crashes;
     ++Registry.counter("bug.crash");
+    ForensicRecord FR;
+    FR.K = ForensicRecord::Crash;
+    FR.Seed = Seed;
+    FR.VerdictSlug = "crash";
+    FR.Detail = C.What;
+    FR.IssueId = bugInfo(C.Id).IssueId;
+    if (Trace)
+      Trace->instant("bug.crash", Seed, Trace->intern(FR.IssueId));
     BugRecord R;
     R.Kind = BugRecord::Crash;
     R.FunctionName = "";
     R.MutantSeed = Seed;
     R.Detail = C.What;
-    R.IssueId = bugInfo(C.Id).IssueId;
+    R.IssueId = FR.IssueId;
     R.MutantIR = printModule(*Source);
-    Bugs.push_back(R);
-    if (!Opts.SaveDir.empty())
+    R.BundlePath = writeBundle(FR, Source.get(), nullptr);
+    Outcomes.push_back(std::move(FR));
+    Bugs.push_back(std::move(R));
+    if (!Opts.SaveDir.empty()) {
+      TraceSpan Span(Trace.get(), "save", Seed);
       saveMutant(*Source, Seed, /*Failing=*/true);
+    }
     return;
   }
   ++Stats.Optimized;
@@ -234,46 +279,69 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
       continue;
     }
     TVResult R;
-    std::string Key;
-    if (TVC)
-      Key = TVCache::makeKey(*Src, *Tgt, Opts.TV);
-    if (!Key.empty()) {
-      if (const TVResult *Hit = TVC->lookup(Key)) {
-        R = *Hit;
-        ++Stats.TVCacheHits;
-      } else {
-        R = checkRefinement(*Src, *Tgt, Opts.TV, &Registry);
-        ++Stats.TVCacheMisses;
-        if (TVC->insert(Key, R))
-          ++Stats.TVCacheEvictions;
-      }
-    } else {
-      // Cache disabled, or the pair calls into defined functions (the
-      // verdict then depends on callee bodies outside the key).
-      R = checkRefinement(*Src, *Tgt, Opts.TV, &Registry);
+    {
+      TraceSpan Span(Trace.get(), "verify", Seed,
+                     Trace ? Trace->intern(Name) : nullptr);
+      std::string Key;
       if (TVC)
-        ++Stats.TVCacheMisses;
+        Key = TVCache::makeKey(*Src, *Tgt, Opts.TV);
+      if (!Key.empty()) {
+        if (const TVResult *Hit = TVC->lookup(Key)) {
+          R = *Hit;
+          ++Stats.TVCacheHits;
+        } else {
+          R = checkRefinement(*Src, *Tgt, Opts.TV, &Registry);
+          ++Stats.TVCacheMisses;
+          if (TVC->insert(Key, R))
+            ++Stats.TVCacheEvictions;
+        }
+      } else {
+        // Cache disabled, or the pair calls into defined functions (the
+        // verdict then depends on callee bodies outside the key).
+        R = checkRefinement(*Src, *Tgt, Opts.TV, &Registry);
+        if (TVC)
+          ++Stats.TVCacheMisses;
+      }
     }
     ++Stats.Verified;
     // Per-verdict breakdown, counted per *established* verdict: a cache
     // hit replays the identical verdict, so these counters are
     // worker-count independent (unlike the hit/miss split).
     ++Registry.counter("tv.verdict." + tvVerdictReason(R));
-    if (R.Verdict == TVVerdict::Incorrect) {
-      ++Stats.RefinementFailures;
-      ++Registry.counter("bug.miscompile");
-      BugRecord B;
-      B.Kind = BugRecord::Miscompile;
-      B.FunctionName = Name;
-      B.MutantSeed = Seed;
-      B.Detail = R.Detail;
-      B.MutantIR = printFunction(*Src) + "\n; optimized to:\n" +
-                   printFunction(*Tgt);
-      Bugs.push_back(B);
-      if (!Opts.SaveDir.empty())
-        saveMutant(*Source, Seed, /*Failing=*/true);
-    } else if (R.Verdict == TVVerdict::Inconclusive) {
-      ++Stats.Inconclusive;
+    if (R.Verdict != TVVerdict::Correct) {
+      // Every non-Correct verdict leaves a forensic record (and, when
+      // enabled, a bundle) — inconclusive/unsupported outcomes matter
+      // for triage even though only Incorrect is a confirmed bug.
+      ForensicRecord FR;
+      FR.K = ForensicRecord::Verdict;
+      FR.Seed = Seed;
+      FR.Function = Name;
+      FR.VerdictSlug = tvVerdictReason(R);
+      FR.Detail = R.Detail;
+      FR.CounterExample = renderCounterexampleTable(*Src, R);
+      std::string Bundle = writeBundle(FR, Source.get(), Mutant.get());
+      if (R.Verdict == TVVerdict::Incorrect) {
+        ++Stats.RefinementFailures;
+        ++Registry.counter("bug.miscompile");
+        if (Trace)
+          Trace->instant("bug.miscompile", Seed, Trace->intern(Name));
+        BugRecord B;
+        B.Kind = BugRecord::Miscompile;
+        B.FunctionName = Name;
+        B.MutantSeed = Seed;
+        B.Detail = R.Detail;
+        B.MutantIR = printFunction(*Src) + "\n; optimized to:\n" +
+                     printFunction(*Tgt);
+        B.BundlePath = Bundle;
+        Bugs.push_back(std::move(B));
+        if (!Opts.SaveDir.empty()) {
+          TraceSpan Span(Trace.get(), "save", Seed);
+          saveMutant(*Source, Seed, /*Failing=*/true);
+        }
+      } else if (R.Verdict == TVVerdict::Inconclusive) {
+        ++Stats.Inconclusive;
+      }
+      Outcomes.push_back(std::move(FR));
     }
   }
   // VerifyT closes here, then IterationAccounting attributes the rest of
@@ -312,6 +380,31 @@ const FuzzStats &FuzzerLoop::run() {
   if (Stats.TotalSeconds > Staged)
     Stats.OverheadSeconds += Stats.TotalSeconds - Staged;
   return Stats;
+}
+
+std::string FuzzerLoop::writeBundle(const ForensicRecord &R,
+                                    const Module *Mutant,
+                                    const Module *Optimized) {
+  if (Opts.BugBundleDir.empty())
+    return "";
+  // The trail is regenerated lazily, only on the bug path: recording is
+  // RNG-silent, so this replays the exact mutant while the hot loop paid
+  // nothing for it.
+  MutationTrail Trail;
+  uint64_t Ignored = 0;
+  makeMutantImpl(R.Seed, nullptr, Ignored, nullptr, &Trail);
+  std::vector<std::string> Testable = testableFunctions();
+  BundleInputs In{Opts, Testable, *Master, Mutant, Optimized, &Trail, R};
+  std::string Error;
+  std::string Path = writeBugBundle(Opts.BugBundleDir, In, Error);
+  if (Path.empty()) {
+    ++Stats.BundleFailures;
+    if (BundleError.empty())
+      BundleError = Error;
+  } else {
+    ++Stats.BundlesWritten;
+  }
+  return Path;
 }
 
 void FuzzerLoop::saveMutant(const Module &M, uint64_t Seed, bool Failing) {

@@ -6,6 +6,8 @@
 
 #include "core/Mutator.h"
 
+#include "parser/Printer.h"
+
 #include <algorithm>
 #include <map>
 
@@ -36,8 +38,8 @@ const char *alive::mutationKindName(MutationKind K) {
 }
 
 Mutator::Mutator(RandomGenerator &RNG, const MutationOptions &Opts,
-                 StatRegistry *Stats)
-    : RNG(RNG), Opts(Opts) {
+                 StatRegistry *Stats, TraceRecorder *Trace)
+    : RNG(RNG), Opts(Opts), Trace(Trace) {
   if (!Stats)
     return;
   for (unsigned K = 0; K != (unsigned)MutationKind::NumKinds; ++K) {
@@ -48,10 +50,30 @@ Mutator::Mutator(RandomGenerator &RNG, const MutationOptions &Opts,
   }
 }
 
+void Mutator::note(std::string Site, std::string Detail) {
+  PendingSite = std::move(Site);
+  PendingDetail = std::move(Detail);
+}
+
 bool Mutator::apply(MutationKind K, MutantInfo &MI) {
-  bool Changed = applyImpl(K, MI);
+  if (Trail) {
+    PendingSite.clear();
+    PendingDetail.clear();
+  }
+  bool Changed;
+  {
+    // Per-family flight-recorder span (the "mutate-per-family" events):
+    // labeled by family, with the mutated function as detail.
+    TraceSpan Span(Trace, mutationKindName(K), /*Seed=*/0,
+                   Trace ? Trace->intern(MI.getFunction().getName())
+                         : nullptr);
+    Changed = applyImpl(K, MI);
+  }
   if (const FamilyCounters &C = Family[(unsigned)K]; C.Applied)
     ++*(Changed ? C.Applied : C.Rejected);
+  if (Trail && Changed)
+    Trail->push_back({K, MI.getFunction().getName(),
+                      std::move(PendingSite), std::move(PendingDetail)});
   return Changed;
 }
 
@@ -113,31 +135,45 @@ bool Mutator::mutateAttributes(MutantInfo &MI) {
   Function *T = RNG.pick(Targets);
   // Choose a function-level or a parameter-level toggle.
   if (T->getNumArgs() == 0 || RNG.flip()) {
-    T->toggleFnAttr(RNG.pick(allFnAttrs()));
+    FnAttr A = RNG.pick(allFnAttrs());
+    T->toggleFnAttr(A);
+    if (wantNote())
+      note("@" + T->getName(),
+           std::string("toggled function attribute ") + fnAttrName(A));
     return true;
   }
   unsigned ArgIdx = (unsigned)RNG.below(T->getNumArgs());
   ParamAttrs &PA = T->paramAttrs(ArgIdx);
   bool IsPointer = T->getArg(ArgIdx)->getType()->isPointerTy();
+  const char *What = "";
   switch (RNG.below(IsPointer ? 5 : 1)) {
   case 0:
     PA.NoUndef = !PA.NoUndef;
+    What = "noundef";
     break;
   case 1:
     PA.NoCapture = !PA.NoCapture;
+    What = "nocapture";
     break;
   case 2:
     PA.NonNull = !PA.NonNull;
+    What = "nonnull";
     break;
   case 3:
     PA.ReadOnly = !PA.ReadOnly;
+    What = "readonly";
     break;
   case 4: {
     static const uint64_t Sizes[] = {0, 1, 2, 4, 8, 16};
     PA.Dereferenceable = Sizes[RNG.below(std::size(Sizes))];
+    What = "dereferenceable";
     break;
   }
   }
+  if (wantNote())
+    note("@" + T->getName(), std::string("toggled parameter attribute ") +
+                                 What + " on arg #" +
+                                 std::to_string(ArgIdx));
   return true;
 }
 
@@ -182,6 +218,10 @@ bool Mutator::mutateInline(MutantInfo &MI) {
   if (Bodies.empty())
     return false;
   Function *Body = RNG.pick(Bodies);
+  if (wantNote())
+    note(printValueRef(S.Call), "inlined body of @" + Body->getName() +
+                                    " at call to @" +
+                                    S.Call->getCallee()->getName());
 
   // Splice a clone of Body's single block at the call site, mapping its
   // arguments to the call's arguments.
@@ -309,6 +349,8 @@ bool Mutator::mutateRemoveCall(MutantInfo &MI) {
   if (Candidates.empty())
     return false;
   auto [BB, Call] = RNG.pick(Candidates);
+  if (wantNote())
+    note("call @" + Call->getCallee()->getName(), "removed void call");
   BB->erase(Call);
   MI.invalidateBlock(BB);
   return true;
@@ -322,7 +364,8 @@ bool Mutator::mutateShuffle(MutantInfo &MI) {
   Function &F = MI.getFunction();
   if (F.getNumBlocks() == 0)
     return false;
-  BasicBlock *BB = F.getBlock((unsigned)RNG.below(F.getNumBlocks()));
+  unsigned BlockIdx = (unsigned)RNG.below(F.getNumBlocks());
+  BasicBlock *BB = F.getBlock(BlockIdx);
   std::vector<ShuffleRange> Ranges = MI.shuffleRangesFor(BB);
   if (Ranges.empty())
     return false;
@@ -339,6 +382,10 @@ bool Mutator::mutateShuffle(MutantInfo &MI) {
   for (auto &I : Chunk)
     BB->insert(R.Begin, std::move(I));
   MI.invalidateBlock(BB);
+  if (wantNote())
+    note("block #" + std::to_string(BlockIdx),
+         "shuffled instructions [" + std::to_string(R.Begin) + ", " +
+             std::to_string(R.End) + ")");
   return true;
 }
 
@@ -410,6 +457,9 @@ bool Mutator::mutateArith(MutantInfo &MI) {
     }
     if (!BinaryInst::supportsExact(NewOp))
       B->setExact(false);
+    if (wantNote())
+      note(printValueRef(B),
+           std::string("opcode -> ") + BinaryInst::getBinOpName(NewOp));
     return true;
   }
   case 1: { // swap operands
@@ -417,6 +467,8 @@ bool Mutator::mutateArith(MutantInfo &MI) {
     Value *L = U->getOperand(0), *R = U->getOperand(1);
     U->setOperand(0, R);
     U->setOperand(1, L);
+    if (wantNote())
+      note(printValueRef(A.I), "swapped operands");
     return true;
   }
   case 2: { // toggle flags (possibly several, paper Listing 9)
@@ -434,6 +486,8 @@ bool Mutator::mutateArith(MutantInfo &MI) {
     }
     if (BinaryInst::supportsExact(B->getBinOp()) && (RNG.flip() || !Toggled))
       B->setExact(!B->isExact());
+    if (wantNote())
+      note(printValueRef(B), "toggled wrap/exact flags");
     return true;
   }
   case 3: { // replace a literal constant with a random value
@@ -458,6 +512,10 @@ bool Mutator::mutateArith(MutantInfo &MI) {
       NewVal = RNG.nextAPInt(IT->getBitWidth());
     }
     U->setOperand(Slot, M.getConstants().getInt(IT, NewVal));
+    if (wantNote())
+      note(printValueRef(A.I),
+           "operand #" + std::to_string(Slot) + " constant -> " +
+               NewVal.toString());
     return true;
   }
   case 4: { // change icmp predicate
@@ -466,6 +524,9 @@ bool Mutator::mutateArith(MutantInfo &MI) {
     if (NewP == C->getPredicate())
       NewP = ICmpInst::getInversePredicate(NewP);
     C->setPredicate(NewP);
+    if (wantNote())
+      note(printValueRef(C),
+           std::string("predicate -> ") + ICmpInst::getPredicateName(NewP));
     return true;
   }
   case 5: { // replace gep index constant
@@ -475,11 +536,16 @@ bool Mutator::mutateArith(MutantInfo &MI) {
     int64_t Off = (int64_t)RNG.below(9) - 4;
     G->setOperand(1, M.getConstants().getInt(
                          IT, APInt(IT->getBitWidth(), (uint64_t)Off, true)));
+    if (wantNote())
+      note(printValueRef(G), "gep index -> " + std::to_string(Off));
     return true;
   }
   case 6: { // toggle inbounds
     auto *G = cast<GEPInst>(A.I);
     G->setInBounds(!G->isInBounds());
+    if (wantNote())
+      note(printValueRef(G),
+           G->isInBounds() ? "inbounds set" : "inbounds cleared");
     return true;
   }
   case 7: { // randomize alignment (including unusual values, Listing 16)
@@ -489,6 +555,8 @@ bool Mutator::mutateArith(MutantInfo &MI) {
       L->setAlign(NewAlign);
     else
       cast<StoreInst>(A.I)->setAlign(NewAlign);
+    if (wantNote())
+      note(printValueRef(A.I), "align -> " + std::to_string(NewAlign));
     return true;
   }
   case 9: { // replace a vector literal (lanes may become poison/undef)
@@ -502,6 +570,9 @@ bool Mutator::mutateArith(MutantInfo &MI) {
     VecOpts.PoisonPercent = 25; // lane-level, so keep lanes interesting
     U->setOperand(Slot, randomConstant(M, U->getOperand(Slot)->getType(),
                                        RNG, VecOpts));
+    if (wantNote())
+      note(printValueRef(A.I),
+           "replaced vector literal in operand #" + std::to_string(Slot));
     return true;
   }
   case 8: { // toggle an intrinsic's boolean immediate
@@ -515,6 +586,10 @@ bool Mutator::mutateArith(MutantInfo &MI) {
     bool Cur = !cast<ConstantInt>(Call->getArg(Slot))->isZero();
     Call->setOperand(Slot,
                      M.getConstants().getBool(M.getTypes(), !Cur));
+    if (wantNote())
+      note(printValueRef(Call), "boolean immediate arg #" +
+                                    std::to_string(Slot) + " -> " +
+                                    (!Cur ? "true" : "false"));
     return true;
   }
   default:
@@ -565,6 +640,9 @@ bool Mutator::mutateUse(MutantInfo &MI) {
   MI.invalidateBlock(InsBB);
   if (InsBB != S.BB)
     MI.invalidateBlock(S.BB);
+  if (wantNote())
+    note(printValueRef(S.I), "operand #" + std::to_string(S.OpIdx) + " -> " +
+                                 printValueRef(New));
   return true;
 }
 
@@ -605,6 +683,9 @@ bool Mutator::mutateMove(MutantInfo &MI) {
   auto Owned = BB->take(C.I);
   BB->insert(NewPos, std::move(Owned));
   MI.invalidateBlock(BB);
+  if (wantNote())
+    note(printValueRef(C.I), "moved from position " + std::to_string(OldPos) +
+                                 " to " + std::to_string(NewPos));
 
   if (NewPos < OldPos) {
     // Moved earlier: operands defined in (NewPos, OldPos] are now below the
@@ -719,6 +800,12 @@ bool Mutator::mutateBitwidth(MutantInfo &MI) {
       break;
     Path.push_back(RNG.pick(NextCands));
   }
+  // Note now: the path nodes (including Root) are erased below.
+  if (wantNote())
+    note(printValueRef(Root), "i" + std::to_string(OldW) + " -> i" +
+                                  std::to_string(NewW) + " along a path of " +
+                                  std::to_string(Path.size()) +
+                                  " instruction(s)");
 
   bool Narrowing = NewW < OldW;
   auto adaptTo = [&](Value *V, Type *DstTy, BasicBlock *BB,

@@ -20,6 +20,7 @@
 #include "core/ValueSource.h"
 #include "support/RandomGenerator.h"
 #include "support/Telemetry.h"
+#include "support/TraceRecorder.h"
 
 #include <array>
 #include <string>
@@ -41,6 +42,24 @@ enum class MutationKind : unsigned {
 };
 
 const char *mutationKindName(MutationKind K);
+
+/// One applied mutation, as recorded for forensics: which family fired,
+/// in which function, at which site (the anchor instruction or block),
+/// and what it did to the operands. Purely descriptive — recording never
+/// draws on the RNG, so a trailed and an untrailed replay of the same
+/// seed produce byte-identical mutants (§III-E).
+struct MutationTrailEntry {
+  MutationKind Kind;
+  std::string Function;
+  /// The anchor the mutation fired at ("%a", "call @g", "block #2"); may
+  /// be empty when a family has no single anchor.
+  std::string Site;
+  /// Operand-level description of the change ("operand #1 %x -> 7").
+  std::string Detail;
+};
+
+/// The applied-mutation trail of one mutant, in application order.
+using MutationTrail = std::vector<MutationTrailEntry>;
 
 /// Mutation configuration.
 struct MutationOptions {
@@ -64,8 +83,15 @@ public:
   /// Deterministic per seed, so merged campaign counts are worker-count
   /// independent. The §III-E seed-replay path passes null — replay must
   /// not disturb campaign statistics.
+  /// \p Trace (optional) receives one flight-recorder span per apply()
+  /// attempt, named by family with the function as detail.
   Mutator(RandomGenerator &RNG, const MutationOptions &Opts,
-          StatRegistry *Stats = nullptr);
+          StatRegistry *Stats = nullptr, TraceRecorder *Trace = nullptr);
+
+  /// Attaches a trail sink: every successful apply() appends one entry
+  /// (family, site, operands). Null detaches. Trail formatting happens
+  /// only while a sink is attached, and never consumes randomness.
+  void setTrail(MutationTrail *T) { Trail = T; }
 
   /// Applies one specific mutation kind to \p MI (if applicable).
   /// \returns true when the function changed.
@@ -78,6 +104,12 @@ public:
 
 private:
   bool applyImpl(MutationKind K, MutantInfo &MI);
+  /// True while a trail sink is attached: the family implementations skip
+  /// all description formatting otherwise (hot-path cost is one branch).
+  bool wantNote() const { return Trail != nullptr; }
+  /// Stages the in-flight mutation's site/operand description; apply()
+  /// commits it to the trail when the mutation fires.
+  void note(std::string Site, std::string Detail);
   bool mutateAttributes(MutantInfo &MI);
   bool mutateInline(MutantInfo &MI);
   bool mutateRemoveCall(MutantInfo &MI);
@@ -96,6 +128,10 @@ private:
     uint64_t *Rejected = nullptr;
   };
   std::array<FamilyCounters, (size_t)MutationKind::NumKinds> Family;
+  TraceRecorder *Trace = nullptr;
+  MutationTrail *Trail = nullptr;
+  /// Pending note of the in-flight applyImpl (valid only while Trail set).
+  std::string PendingSite, PendingDetail;
 };
 
 } // namespace alive

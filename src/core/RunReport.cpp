@@ -90,7 +90,9 @@ void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
      << ", \"functions_dropped\": " << S.FunctionsDropped
      << ", \"invalid_mutants\": " << S.InvalidMutants
      << ", \"mutants_saved\": " << S.MutantsSaved
-     << ", \"save_failures\": " << S.SaveFailures << "},\n";
+     << ", \"save_failures\": " << S.SaveFailures
+     << ", \"bundles\": " << S.BundlesWritten
+     << ", \"bundle_failures\": " << S.BundleFailures << "},\n";
 
   OS << "    \"per_pass\": ";
   writeTable(OS, collectTable(R, "pass.", "invocations", "changed"), "pass",
@@ -140,6 +142,10 @@ void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
       writeJSONString(OS, B.FunctionName);
       OS << ", \"seed\": " << B.MutantSeed << ", \"issue\": ";
       writeJSONString(OS, B.IssueId);
+      OS << ", \"bundle\": ";
+      // The forensics cross-link: "" when bundle writing was off or the
+      // write failed (then bundle_failures in the summary is non-zero).
+      writeJSONString(OS, B.BundlePath);
       OS << "}";
     }
     OS << (First ? "" : "\n    ") << "]}\n";

@@ -34,7 +34,9 @@ namespace alive {
 
 /// Bump when the report layout changes incompatibly; CI's
 /// check_stats_json.py pins it.
-constexpr unsigned RunReportSchemaVersion = 1;
+/// v2: bug records gained "bundle" (forensics bundle path, "" when
+/// disabled), and the summary gained "bundles"/"bundle_failures".
+constexpr unsigned RunReportSchemaVersion = 2;
 
 /// Report metadata that is not part of FuzzStats or the registry.
 struct RunReportConfig {

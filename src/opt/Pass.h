@@ -26,6 +26,8 @@
 
 namespace alive {
 
+class TraceRecorder;
+
 /// A function transformation pass.
 class Pass {
 public:
@@ -65,6 +67,12 @@ public:
   /// histogram per module sweep. \p Stats must outlive the PassManager.
   void setTelemetry(StatRegistry *Stats);
 
+  /// Attaches a flight recorder (null detaches): each run() sweep then
+  /// records one span per pass, named "pass.<name>", covering the pass's
+  /// whole-module sweep. \p Trace must outlive the PassManager. Disabled
+  /// cost is one pointer test per pass per sweep.
+  void setTrace(TraceRecorder *Trace);
+
   /// Runs every pass once, in order, on every function definition.
   /// When \p ChangedOut is non-null, the names of modified functions are
   /// added to it. \returns true when anything changed.
@@ -89,6 +97,11 @@ private:
     Histogram *Seconds = nullptr;
   };
   std::vector<PassTelemetry> PassStats;
+  TraceRecorder *Trace = nullptr;
+  /// Interned "pass.<name>" span labels, parallel to Passes (rebuilt
+  /// lazily, like PassStats): span events outlive the pass objects, so
+  /// the labels must live in the recorder, not here.
+  std::vector<const char *> PassTraceNames;
 };
 
 /// Creates a pass by registry name; null for unknown names.

@@ -6,6 +6,8 @@
 
 #include "opt/Pass.h"
 
+#include "support/TraceRecorder.h"
+
 #include <functional>
 #include <map>
 #include <optional>
@@ -16,6 +18,11 @@ using namespace alive;
 void PassManager::setTelemetry(StatRegistry *S) {
   Stats = S;
   PassStats.clear();
+}
+
+void PassManager::setTrace(TraceRecorder *T) {
+  Trace = T;
+  PassTraceNames.clear();
 }
 
 bool PassManager::run(Module &M, ChangedFunctionSet *ChangedOut) {
@@ -34,10 +41,16 @@ bool PassManager::run(Module &M, ChangedFunctionSet *ChangedOut) {
                            &Stats->histogram(Base + ".seconds")});
     }
   }
+  if (Trace && PassTraceNames.size() != Passes.size()) {
+    PassTraceNames.clear();
+    for (auto &P : Passes)
+      PassTraceNames.push_back(Trace->intern("pass." + P->getName()));
+  }
   bool Changed = false;
   for (size_t PI = 0; PI != Passes.size(); ++PI) {
     Pass &P = *Passes[PI];
     PassTelemetry *T = Stats ? &PassStats[PI] : nullptr;
+    TraceSpan Span(Trace, Trace ? PassTraceNames[PI] : nullptr);
     ScopedTimer Sweep(T ? T->Seconds : nullptr);
     for (Function *F : M.functions())
       if (!F->isDeclaration()) {

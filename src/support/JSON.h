@@ -1,0 +1,62 @@
+//===- support/JSON.h - Minimal JSON reader --------------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser for the artifacts this repo
+/// itself writes (forensics bundle manifests, trace files in tests). Not
+/// a general-purpose library: no streaming, whole document in memory,
+/// objects keep insertion order. Integers that fit uint64_t keep their
+/// exact value alongside the double (PRNG seeds exceed double's 53-bit
+/// mantissa).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_JSON_H
+#define SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alive {
+
+/// One parsed JSON value (a tagged union over the seven JSON shapes).
+struct JSONValue {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+
+  bool B = false;
+  double Num = 0;
+  /// Exact value for unsigned-integer literals (IsInt set); Num is always
+  /// filled too.
+  uint64_t Int = 0;
+  bool IsInt = false;
+  std::string Str;
+  std::vector<JSONValue> Arr;
+  std::vector<std::pair<std::string, JSONValue>> Obj;
+
+  bool isObject() const { return K == Object; }
+  bool isArray() const { return K == Array; }
+
+  /// Member lookup on an object (null for misses or non-objects).
+  const JSONValue *find(const std::string &Key) const;
+
+  /// Convenience accessors over find(): the default comes back for a
+  /// missing key or a type mismatch.
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+  uint64_t getUInt(const std::string &Key, uint64_t Default = 0) const;
+  bool getBool(const std::string &Key, bool Default = false) const;
+};
+
+/// Parses \p Text into \p Out. On failure returns false and fills
+/// \p Error with a position-annotated message. Trailing non-whitespace
+/// after the document is an error.
+bool parseJSON(const std::string &Text, JSONValue &Out, std::string &Error);
+
+} // namespace alive
+
+#endif // SUPPORT_JSON_H

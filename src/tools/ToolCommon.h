@@ -13,9 +13,12 @@
 #define TOOLS_TOOLCOMMON_H
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 namespace alive {
 
@@ -56,6 +59,41 @@ public:
 private:
   std::map<std::string, std::string> Flags;
   std::vector<std::string> Positional;
+};
+
+/// Renders live progress on stderr. On a TTY the line is rewritten in
+/// place (carriage return + erase-to-end) so a long campaign occupies one
+/// screen line; when stderr is redirected — CI logs, `2>file` — it falls
+/// back to one plain line per update, because control characters turn
+/// captured logs into an unreadable smear.
+class ProgressPrinter {
+public:
+  ProgressPrinter() : IsTTY(isatty(fileno(stderr)) != 0) {}
+
+  void update(const std::string &Line) {
+    if (IsTTY) {
+      std::fprintf(stderr, "\r\x1b[K%s", Line.c_str());
+      std::fflush(stderr);
+      Dirty = true;
+    } else {
+      std::fprintf(stderr, "%s\n", Line.c_str());
+    }
+  }
+
+  /// Terminates an in-place line (no-op when nothing is pending), so
+  /// later output starts on a fresh line. Call once after the run.
+  void finish() {
+    if (Dirty) {
+      std::fputc('\n', stderr);
+      Dirty = false;
+    }
+  }
+
+  bool tty() const { return IsTTY; }
+
+private:
+  bool IsTTY;
+  bool Dirty = false;
 };
 
 } // namespace alive

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/CampaignEngine.h"
+#include "core/Forensics.h"
 #include "core/RunReport.h"
 #include "opt/BugInjection.h"
 #include "parser/Parser.h"
@@ -41,12 +42,47 @@ static void printHelp() {
       "  -inject-bugs      enable the 33 seeded Table I defects\n"
       "  -progress=<sec>   print campaign progress every <sec> seconds\n"
       "  -stats-json=<file> write a schema-versioned JSON run report\n"
+      "  -trace-json=<file> write a Chrome trace (flight recorder, one\n"
+      "                    track per worker; open in Perfetto)\n"
+      "  -trace-capacity=<n> flight-recorder ring capacity (default 16384)\n"
+      "  -bug-bundles=<dir> write a replayable forensics bundle per bug\n"
+      "  -replay <bundle>  re-run a recorded bundle; exit 0 only when the\n"
+      "                    recorded verdict reproduces\n"
       "  -report           print bug records at the end\n"
       "  -help             this text");
 }
 
+/// The -replay mode: everything the iteration needs is inside the bundle.
+static int runReplay(const std::string &Bundle) {
+  ReplayResult R = replayBundle(Bundle);
+  std::printf("replay: %s\n", Bundle.c_str());
+  if (!R.Kind.empty())
+    std::printf("  seed=%llu kind=%s%s%s recorded=%s\n",
+                (unsigned long long)R.Seed, R.Kind.c_str(),
+                R.Function.empty() ? "" : " function=",
+                R.Function.c_str(), R.ExpectedVerdict.c_str());
+  if (R.Ok) {
+    std::printf("  reproduced: yes (verdict '%s')\n",
+                R.ActualVerdict.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "replay FAILED: %s\n", R.Error.c_str());
+  return 1;
+}
+
 int main(int Argc, char **Argv) {
   ArgParser Args(Argc, Argv);
+  if (Args.has("replay")) {
+    // Both `-replay=<bundle>` and `-replay <bundle>` (positional) work.
+    std::string Bundle = Args.get("replay");
+    if (Bundle.empty() && !Args.positional().empty())
+      Bundle = Args.positional()[0];
+    if (Bundle.empty()) {
+      std::fprintf(stderr, "error: -replay needs a bundle directory\n");
+      return 1;
+    }
+    return runReplay(Bundle);
+  }
   if (Args.has("help") || Args.positional().empty()) {
     printHelp();
     return Args.has("help") ? 0 : 1;
@@ -75,6 +111,11 @@ int main(int Argc, char **Argv) {
   Opts.SkipUnchanged = !Args.has("no-skip-unchanged");
   if (Args.has("inject-bugs"))
     Opts.Bugs.enableAll();
+  Opts.BugBundleDir = Args.get("bug-bundles");
+  std::string TracePath = Args.get("trace-json");
+  Opts.TraceEnabled = !TracePath.empty();
+  Opts.TraceCapacity =
+      (size_t)Args.getInt("trace-capacity", TraceRecorder::DefaultCapacity);
 
   if (Opts.Iterations == 0 && Opts.TimeLimitSeconds <= 0) {
     std::fprintf(stderr,
@@ -99,32 +140,38 @@ int main(int Argc, char **Argv) {
   if (Testable == 0)
     return 0;
 
+  // On a TTY the progress line rewrites itself in place; redirected
+  // stderr (CI logs) gets plain periodic lines instead.
+  ProgressPrinter Printer;
   double ProgressSec = (double)Args.getInt("progress", 0);
   if (ProgressSec > 0)
-    Engine.setProgress(ProgressSec, [](const CampaignProgress &P) {
+    Engine.setProgress(ProgressSec, [&Printer](const CampaignProgress &P) {
       char Eta[32] = "eta ?";
       if (P.EtaSeconds >= 0)
         std::snprintf(Eta, sizeof(Eta), "eta %.0fs", P.EtaSeconds);
+      char Line[256];
       if (P.Target)
-        std::fprintf(stderr,
-                     "[campaign] %llu/%llu mutants, %.1fs, %.0f/s, %s "
-                     "(mut %.0f%% opt %.0f%% tv %.0f%% ovh %.0f%%, %u "
-                     "workers)\n",
-                     (unsigned long long)P.Done, (unsigned long long)P.Target,
-                     P.Elapsed, P.Rate, Eta, 100 * P.MutateShare,
-                     100 * P.OptimizeShare, 100 * P.VerifyShare,
-                     100 * P.OverheadShare, P.Workers);
+        std::snprintf(Line, sizeof(Line),
+                      "[campaign] %llu/%llu mutants, %.1fs, %.0f/s, %s "
+                      "(mut %.0f%% opt %.0f%% tv %.0f%% ovh %.0f%%, %u "
+                      "workers)",
+                      (unsigned long long)P.Done, (unsigned long long)P.Target,
+                      P.Elapsed, P.Rate, Eta, 100 * P.MutateShare,
+                      100 * P.OptimizeShare, 100 * P.VerifyShare,
+                      100 * P.OverheadShare, P.Workers);
       else
-        std::fprintf(stderr,
-                     "[campaign] %llu mutants, %.1fs, %.0f/s, %s "
-                     "(mut %.0f%% opt %.0f%% tv %.0f%% ovh %.0f%%, %u "
-                     "workers)\n",
-                     (unsigned long long)P.Done, P.Elapsed, P.Rate, Eta,
-                     100 * P.MutateShare, 100 * P.OptimizeShare,
-                     100 * P.VerifyShare, 100 * P.OverheadShare, P.Workers);
+        std::snprintf(Line, sizeof(Line),
+                      "[campaign] %llu mutants, %.1fs, %.0f/s, %s "
+                      "(mut %.0f%% opt %.0f%% tv %.0f%% ovh %.0f%%, %u "
+                      "workers)",
+                      (unsigned long long)P.Done, P.Elapsed, P.Rate, Eta,
+                      100 * P.MutateShare, 100 * P.OptimizeShare,
+                      100 * P.VerifyShare, 100 * P.OverheadShare, P.Workers);
+      Printer.update(Line);
     });
 
   const FuzzStats &S = Engine.run();
+  Printer.finish();
   if (!Engine.configError().empty()) {
     std::fprintf(stderr, "error: %s\n", Engine.configError().c_str());
     return 1;
@@ -153,6 +200,10 @@ int main(int Argc, char **Argv) {
     std::printf("saved:          %llu (%llu save failure(s))\n",
                 (unsigned long long)S.MutantsSaved,
                 (unsigned long long)S.SaveFailures);
+  if (!Opts.BugBundleDir.empty())
+    std::printf("bundles:        %llu (%llu failure(s))\n",
+                (unsigned long long)S.BundlesWritten,
+                (unsigned long long)S.BundleFailures);
   std::printf("time:           %.3fs wall, %.3fs worker (mutate %.3fs, opt "
               "%.3fs, verify %.3fs, overhead %.3fs)\n",
               S.TotalSeconds, S.WorkerSeconds, S.MutateSeconds,
@@ -182,9 +233,17 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "warning: %s\n", ReportErr.c_str());
   }
 
+  if (!TracePath.empty()) {
+    std::string TraceErr;
+    if (!Engine.writeTrace(TracePath, TraceErr))
+      std::fprintf(stderr, "warning: %s\n", TraceErr.c_str());
+  }
+
   if (!Engine.saveDirError().empty())
     // The directory never came up: reported once, not per mutant.
     std::fprintf(stderr, "warning: %s\n", Engine.saveDirError().c_str());
+  if (!Engine.bundleError().empty())
+    std::fprintf(stderr, "warning: %s\n", Engine.bundleError().c_str());
   if (S.SaveFailures > 0)
     std::fprintf(stderr,
                  "warning: %llu mutant(s) could not be saved to '%s'\n",

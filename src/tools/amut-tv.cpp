@@ -12,6 +12,7 @@
 
 #include "parser/Parser.h"
 #include "tools/ToolCommon.h"
+#include "tv/Counterexample.h"
 #include "tv/RefinementChecker.h"
 
 #include <cstdio>
@@ -54,8 +55,9 @@ int main(int Argc, char **Argv) {
                 R.Detail.c_str());
     if (R.Verdict == TVVerdict::Incorrect) {
       if (!R.CounterExample.empty())
-        std::printf("  counterexample: %s\n",
-                    renderConcVals(R.CounterExample).c_str());
+        // The shared tv/ rendering (also what forensics bundles persist).
+        std::printf("  counterexample:\n%s",
+                    renderCounterexampleInputs(*SF, R.CounterExample).c_str());
       ++Failures;
     }
   }

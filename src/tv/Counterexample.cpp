@@ -1,0 +1,70 @@
+//===- tv/Counterexample.cpp - Counterexample rendering --------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tv/Counterexample.h"
+
+#include "parser/Printer.h"
+
+#include <sstream>
+
+using namespace alive;
+
+namespace {
+
+/// One value with its full lane structure ("3", "<1, poison>", "poison").
+std::string renderOneConcVal(const ConcVal &A) {
+  if (A.Lanes.size() == 1)
+    return A.lane().Poison ? "poison" : A.lane().Val.toString();
+  std::string S = "<";
+  for (size_t K = 0; K != A.Lanes.size(); ++K) {
+    if (K)
+      S += ", ";
+    S += A.Lanes[K].Poison ? "poison" : A.Lanes[K].Val.toString();
+  }
+  return S + ">";
+}
+
+} // namespace
+
+std::string alive::renderConcVals(const std::vector<ConcVal> &Args) {
+  std::string S = "(";
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += renderOneConcVal(Args[I]);
+  }
+  return S + ")";
+}
+
+std::string
+alive::renderCounterexampleInputs(const Function &Src,
+                                  const std::vector<ConcVal> &Args) {
+  std::ostringstream OS;
+  for (size_t I = 0; I != Args.size(); ++I) {
+    // The checker guarantees one entry per parameter in parameter order;
+    // fall back to a positional label if the shapes ever disagree.
+    if (I < Src.getNumArgs()) {
+      const Value *Arg = Src.getArg((unsigned)I);
+      OS << "  " << printValueRef(Arg) << " : " << Arg->getType()->str();
+    } else {
+      OS << "  arg#" << I;
+    }
+    OS << " = " << renderOneConcVal(Args[I]) << "\n";
+  }
+  return OS.str();
+}
+
+std::string alive::renderCounterexampleTable(const Function &Src,
+                                             const TVResult &R) {
+  std::ostringstream OS;
+  OS << "verdict: " << tvVerdictName(R.Verdict) << "\n";
+  if (!R.Detail.empty())
+    OS << "detail:  " << R.Detail << "\n";
+  if (R.CounterExample.empty())
+    return OS.str();
+  OS << "input:\n" << renderCounterexampleInputs(Src, R.CounterExample);
+  return OS.str();
+}

@@ -1,0 +1,53 @@
+//===- tv/Counterexample.h - Counterexample rendering ----------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place counterexamples get pretty-printed. The refinement
+/// checker embeds the compact tuple form in its Detail strings, amut-tv
+/// echoes it per failing function, and the forensics bundle writer
+/// persists the per-parameter table — all through the two helpers here
+/// (previously the formatting lived inside RefinementChecker and was
+/// re-assembled ad hoc by the CLI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TV_COUNTEREXAMPLE_H
+#define TV_COUNTEREXAMPLE_H
+
+#include "ir/Module.h"
+#include "tv/RefinementChecker.h"
+
+#include <string>
+#include <vector>
+
+namespace alive {
+
+/// Renders concrete argument values ("(3, <1, poison>, poison)") in
+/// parameter order — the compact form used in TVResult::Detail.
+std::string renderConcVals(const std::vector<ConcVal> &Args);
+
+/// Renders just the per-parameter input lines of a counterexample, keyed
+/// by \p Src's parameter names and types ("  %x : i8 = 3\n" per line).
+/// Used by amut-tv under its per-function verdict line.
+std::string renderCounterexampleInputs(const Function &Src,
+                                       const std::vector<ConcVal> &Args);
+
+/// Renders a verdict's counterexample as a per-parameter table keyed by
+/// \p Src's parameter names and types:
+///
+///   verdict: incorrect
+///   detail:  value mismatch on input (3): source 5, target 1
+///   input:
+///     %x : i8 = 3
+///     %v : <2 x i8> = <1, poison>
+///
+/// Works for any TVResult: without a counterexample (correct /
+/// inconclusive / crash bundles) the input section is omitted.
+std::string renderCounterexampleTable(const Function &Src, const TVResult &R);
+
+} // namespace alive
+
+#endif // TV_COUNTEREXAMPLE_H

@@ -8,6 +8,7 @@
 
 #include "smt/BitBlaster.h"
 #include "support/RandomGenerator.h"
+#include "tv/Counterexample.h"
 #include "tv/FunctionEncoder.h"
 
 #include <sstream>
@@ -46,27 +47,6 @@ bool sameSignature(const Function &A, const Function &B) {
 }
 
 } // namespace
-
-std::string alive::renderConcVals(const std::vector<ConcVal> &Args) {
-  std::string S = "(";
-  for (size_t I = 0; I != Args.size(); ++I) {
-    if (I)
-      S += ", ";
-    const ConcVal &A = Args[I];
-    if (A.Lanes.size() == 1) {
-      S += A.lane().Poison ? "poison" : A.lane().Val.toString();
-    } else {
-      S += "<";
-      for (size_t K = 0; K != A.Lanes.size(); ++K) {
-        if (K)
-          S += ", ";
-        S += A.Lanes[K].Poison ? "poison" : A.Lanes[K].Val.toString();
-      }
-      S += ">";
-    }
-  }
-  return S + ")";
-}
 
 namespace {
 

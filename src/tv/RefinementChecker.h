@@ -86,11 +86,6 @@ struct TVResult {
   SatSolver::Stats SolverStats;
 };
 
-/// Renders concrete argument values ("(3, <1, poison>, poison)") in
-/// parameter order — the format used in TVResult::Detail and by amut-tv
-/// when echoing a counterexample.
-std::string renderConcVals(const std::vector<ConcVal> &Args);
-
 /// A telemetry slug for \p R: "correct", "incorrect",
 /// "unsupported.<reason>" or "inconclusive.<reason>" — the per-verdict
 /// breakdown key used by the run report. Deterministic per (Src, Tgt,
