@@ -12,7 +12,10 @@ invariants the telemetry subsystem guarantees:
   - every histogram's count equals the sum of its bucket counts and its
     percentiles are ordered (p50 <= p90 <= p99);
   - the stage-time-sum invariant: mutate + optimize + verify + overhead
-    matches the summed worker wall time within tolerance.
+    matches the summed worker wall time within tolerance;
+  - the v3 survivability block is present and sane (timeouts is a
+    non-negative integer; interrupted is a bool) and the config echoes
+    the corpus file counts.
 
 With a second report, additionally asserts the two "deterministic"
 subtrees are equal — the -j4 == -j1 guarantee (run the two reports with
@@ -24,7 +27,7 @@ Exits non-zero with a message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def fail(msg):
@@ -47,9 +50,20 @@ def check_report(path):
     for key in ("config", "summary", "per_pass", "per_family", "tv_verdicts", "stats", "bugs"):
         if key not in det:
             fail("%s: missing deterministic.%r" % (path, key))
-    for key in ("jobs", "stage_seconds", "cache", "stats"):
+    for key in ("jobs", "stage_seconds", "cache", "survivability", "stats"):
         if key not in vol:
             fail("%s: missing volatile.%r" % (path, key))
+
+    cfg = det["config"]
+    for key in ("corpus_files", "corpus_skipped"):
+        if not isinstance(cfg.get(key), int) or cfg[key] < 0:
+            fail("%s: config.%s missing or not a non-negative int" % (path, key))
+
+    surv = vol["survivability"]
+    if not isinstance(surv.get("timeouts"), int) or surv["timeouts"] < 0:
+        fail("%s: survivability.timeouts missing or not a non-negative int" % path)
+    if not isinstance(surv.get("interrupted"), bool):
+        fail("%s: survivability.interrupted missing or not a bool" % path)
 
     s = det["summary"]
 

@@ -6,15 +6,25 @@
 
 #include "core/CampaignEngine.h"
 
+#include "core/Checkpoint.h"
+#include "parser/Printer.h"
+#include "support/SignalGuard.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <new>
 #include <thread>
+
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace alive;
 
@@ -76,10 +86,15 @@ namespace {
 
 /// One worker: a private FuzzerLoop over a private master-module clone,
 /// plus the atomic counters the reporter thread reads and the thread's
-/// measured wall time (dynamic mode only; static mode uses the loop's own
-/// TotalSeconds).
+/// measured wall time.
 struct Worker {
   std::unique_ptr<FuzzerLoop> Loop;
+  unsigned Index = 0;
+  /// Static seed-offset partition [Lo, Hi) (iteration-bounded mode).
+  uint64_t Lo = 0, Hi = 0;
+  /// Next seed offset to run; advanced by the dispatch loop, read by the
+  /// checkpoint writer.
+  std::atomic<uint64_t> Next{0};
   std::atomic<uint64_t> Done{0};
   /// Live per-stage nanoseconds: mutate, optimize, verify, overhead.
   std::atomic<uint64_t> StageNanos[4] = {};
@@ -108,6 +123,7 @@ void accumulate(FuzzStats &Into, const FuzzStats &From) {
   Into.SaveFailures += From.SaveFailures;
   Into.BundlesWritten += From.BundlesWritten;
   Into.BundleFailures += From.BundleFailures;
+  Into.Timeouts += From.Timeouts;
   Into.MutateSeconds += From.MutateSeconds;
   Into.OptimizeSeconds += From.OptimizeSeconds;
   Into.VerifySeconds += From.VerifySeconds;
@@ -117,6 +133,91 @@ void accumulate(FuzzStats &Into, const FuzzStats &From) {
   // times smaller than the summed stage times).
   Into.WorkerSeconds += From.WorkerSeconds;
 }
+
+/// Closes one dispatch leg's books: the leg's wall time joins the
+/// cumulative WorkerSeconds (checkpointed with the rest of FuzzStats, so
+/// it keeps accumulating across resume legs), and whatever the stage
+/// timers did not claim joins the overhead bucket — the stage-sum
+/// invariant then holds for the cumulative numbers.
+void settleWorkerSeconds(FuzzerLoop &Loop, double LegSeconds) {
+  FuzzStats S = Loop.stats();
+  S.WorkerSeconds += LegSeconds;
+  double Staged = S.MutateSeconds + S.OptimizeSeconds + S.VerifySeconds +
+                  S.OverheadSeconds;
+  if (S.WorkerSeconds > Staged)
+    S.OverheadSeconds += S.WorkerSeconds - Staged;
+  Loop.restoreState(S, Loop.bugs());
+}
+
+/// The wall-clock backstop: polls each loop's watchdog serial a few times
+/// per timeout period and CAS-cancels a token that sat on one serial for
+/// longer than the timeout. Fires only through CancellationToken's
+/// cancelIfStillOn, so a worker that advanced in the meantime is never
+/// hit (and a stale hit is cleared by the next beginIteration anyway).
+class WallClockSupervisor {
+public:
+  WallClockSupervisor(std::vector<FuzzerLoop *> WatchedLoops, double Timeout)
+      : Loops(std::move(WatchedLoops)), Timeout(Timeout) {
+    if (Loops.empty() || Timeout <= 0)
+      return;
+    Last.resize(Loops.size());
+    Th = std::thread([this] { poll(); });
+  }
+  ~WallClockSupervisor() { stop(); }
+
+  void stop() {
+    if (!Th.joinable())
+      return;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Done = true;
+    }
+    CV.notify_all();
+    Th.join();
+  }
+
+private:
+  struct Seen {
+    uint64_t Serial = 0;
+    std::chrono::steady_clock::time_point Since;
+    bool Init = false;
+  };
+
+  void poll() {
+    double PollSeconds = std::clamp(Timeout / 4, 0.005, 0.05);
+    std::unique_lock<std::mutex> Lock(M);
+    while (!CV.wait_for(Lock, std::chrono::duration<double>(PollSeconds),
+                        [this] { return Done; })) {
+      auto Now = std::chrono::steady_clock::now();
+      for (size_t I = 0; I != Loops.size(); ++I) {
+        CancellationToken *T = Loops[I]->watchdog();
+        if (!T)
+          continue;
+        uint64_t S = T->serial();
+        if (!Last[I].Init || Last[I].Serial != S) {
+          Last[I] = {S, Now, true};
+          continue;
+        }
+        if (std::chrono::duration<double>(Now - Last[I].Since).count() >=
+            Timeout) {
+          T->cancelIfStillOn(S);
+          // Re-arm: if the worker stays wedged despite the cancel (it
+          // should not — every instrumented stage polls), fire again a
+          // full period later rather than every poll tick.
+          Last[I].Since = Now;
+        }
+      }
+    }
+  }
+
+  std::vector<FuzzerLoop *> Loops;
+  double Timeout;
+  std::vector<Seen> Last;
+  std::thread Th;
+  std::mutex M;
+  std::condition_variable CV;
+  bool Done = false;
+};
 
 } // namespace
 
@@ -132,10 +233,28 @@ const FuzzStats &CampaignEngine::run() {
     ConfigError = "no module loaded";
     return Stats;
   }
+  const SurvivalOptions &SV = Opts.Survival;
+  const bool TimeLimited = Opts.Iterations == 0;
+  const bool Checkpointing = !SV.CheckpointDir.empty();
+  if ((Checkpointing || SV.Isolate) && TimeLimited) {
+    // A time-limited campaign has no reproducible seed schedule: neither a
+    // resumed run nor a harvested shard could reconstruct "where it was".
+    ConfigError = "checkpointing and -isolate require an iteration-bounded "
+                  "campaign: replace -t with -n";
+    return Stats;
+  }
+  if (SV.Resume && !Checkpointing) {
+    ConfigError = "resume requires a checkpoint directory";
+    return Stats;
+  }
+  if (SV.Isolate && Opts.TraceEnabled) {
+    ConfigError = "-isolate cannot collect flight-recorder traces from "
+                  "child processes; drop tracing or -isolate";
+    return Stats;
+  }
 
   Timer Total;
   const std::vector<std::string> Testable = MasterLoop->testableFunctions();
-  const bool TimeLimited = Opts.Iterations == 0;
 
   // Never spawn idle workers: with fewer iterations than threads the tail
   // workers would own empty shards.
@@ -143,11 +262,46 @@ const FuzzStats &CampaignEngine::run() {
   if (!TimeLimited)
     J = (unsigned)std::min<uint64_t>(J, Opts.Iterations);
 
+  Interrupted = false;
+  IsolateError.clear();
+  TotalDone.store(0, std::memory_order_relaxed);
+
+  if (SV.Isolate)
+    return runIsolated(J, Testable, Total);
+
+  // Checkpoint-directory identity: write it fresh, or verify it against a
+  // resume. The meta pins everything the seed schedule and the partition
+  // depend on, so a stale/mismatched checkpoint is a config error, never
+  // a silently-wrong merge.
+  if (Checkpointing) {
+    CheckpointMeta Cur;
+    Cur.Passes = Opts.Passes;
+    Cur.Iterations = Opts.Iterations;
+    Cur.BaseSeed = Opts.BaseSeed;
+    Cur.Jobs = J;
+    Cur.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
+    Cur.InjectBugs = !Opts.Bugs.empty();
+    Cur.ModuleHash = hashModuleText(printModule(*MasterLoop->module()));
+    std::string Err;
+    if (SV.Resume) {
+      CheckpointMeta Stored;
+      if (!readCheckpointMeta(SV.CheckpointDir, Stored, Err) ||
+          !checkpointMetaMatches(Stored, Cur, Err)) {
+        ConfigError = "cannot resume: " + Err;
+        return Stats;
+      }
+    } else if (!writeCheckpointMeta(SV.CheckpointDir, Cur, Err)) {
+      ConfigError = Err;
+      return Stats;
+    }
+  }
+
   // Build the workers up front on this thread (module cloning allocates
   // into per-module interning contexts; keep that serial and simple).
   std::vector<std::unique_ptr<Worker>> Workers;
   for (unsigned I = 0; I != J; ++I) {
     auto W = std::make_unique<Worker>();
+    W->Index = I;
     FuzzOptions WOpts = Opts;
     WOpts.SelfCheckOnLoad = false;
     WOpts.OnlyFunctions = Testable;
@@ -157,34 +311,106 @@ const FuzzStats &CampaignEngine::run() {
       // Static contiguous partition: worker I owns seeds
       // [BaseSeed + Lo, BaseSeed + Hi) — ascending across workers, so a
       // merge in worker order reproduces the sequential bug order.
-      uint64_t Lo = Opts.Iterations * I / J;
-      uint64_t Hi = Opts.Iterations * (I + 1) / J;
-      WOpts.BaseSeed = Opts.BaseSeed + Lo;
-      WOpts.Iterations = Hi - Lo;
+      W->Lo = Opts.Iterations * I / J;
+      W->Hi = Opts.Iterations * (I + 1) / J;
+      W->Next.store(W->Lo, std::memory_order_relaxed);
+      WOpts.BaseSeed = Opts.BaseSeed + W->Lo;
+      WOpts.Iterations = W->Hi - W->Lo;
     }
     W->Loop = std::make_unique<FuzzerLoop>(WOpts);
     W->Loop->loadModule(cloneModule(*MasterLoop->module()));
+    if (SV.Resume) {
+      WorkerCheckpoint WC;
+      std::string Err;
+      if (!readWorkerCheckpoint(SV.CheckpointDir, I, WC, Err)) {
+        ConfigError = "cannot resume: " + Err;
+        return Stats;
+      }
+      if (WC.Lo != W->Lo || WC.Hi != W->Hi) {
+        ConfigError = "cannot resume: shard " + std::to_string(I) +
+                      " was checkpointed with a different seed partition";
+        return Stats;
+      }
+      restoreWorker(WC, *W->Loop);
+      W->Next.store(WC.Next, std::memory_order_relaxed);
+      W->Done.store(WC.Next - WC.Lo, std::memory_order_relaxed);
+    }
     Workers.push_back(std::move(W));
   }
 
   // Shared seed counter for the time-limited mode (no fixed partition).
   std::atomic<uint64_t> NextOffset{0};
 
+  // The wall-clock backstop, when configured: one supervisor thread for
+  // all workers (it only reads serials and CAS-writes cancel flags).
+  std::vector<FuzzerLoop *> WatchedLoops;
+  if (SV.WallTimeoutSeconds > 0)
+    for (auto &W : Workers)
+      WatchedLoops.push_back(W->Loop.get());
+  WallClockSupervisor Supervisor(std::move(WatchedLoops),
+                                 SV.WallTimeoutSeconds);
+
   std::vector<std::thread> Threads;
   for (auto &WPtr : Workers) {
     Worker *W = WPtr.get();
     if (!TimeLimited) {
-      Threads.emplace_back([W] { W->Loop->run(); });
+      // The engine drives the iterations itself (instead of Loop->run())
+      // so it can stop at any boundary and checkpoint periodically.
+      uint64_t Base = Opts.BaseSeed;
+      uint64_t Interval =
+          Checkpointing ? (SV.CheckpointInterval ? SV.CheckpointInterval : 64)
+                        : 0;
+      std::string Dir = SV.CheckpointDir;
+      Threads.emplace_back([this, W, Base, Interval, Dir] {
+        Timer Leg;
+        uint64_t Since = 0;
+        auto Checkpoint = [&] {
+          std::string Err;
+          bool Ok = writeWorkerCheckpoint(
+              Dir,
+              snapshotWorker(W->Index, W->Lo, W->Hi,
+                             W->Next.load(std::memory_order_relaxed),
+                             *W->Loop),
+              Err);
+          ++W->Loop->mutableRegistry().counter(
+              Ok ? "survive.checkpoint.writes" : "survive.checkpoint.failures",
+              Volatility::Volatile);
+        };
+        for (uint64_t Off = W->Next.load(std::memory_order_relaxed);
+             Off != W->Hi; ++Off) {
+          if (StopReq.load(std::memory_order_relaxed))
+            break;
+          uint64_t After = StopAfter.load(std::memory_order_relaxed);
+          if (After && TotalDone.load(std::memory_order_relaxed) >= After)
+            break;
+          W->Loop->runIteration(Base + Off);
+          W->Next.store(Off + 1, std::memory_order_relaxed);
+          W->Done.fetch_add(1, std::memory_order_relaxed);
+          TotalDone.fetch_add(1, std::memory_order_relaxed);
+          if (Interval && ++Since >= Interval) {
+            Since = 0;
+            Checkpoint();
+          }
+        }
+        W->ThreadSeconds = Leg.seconds();
+        settleWorkerSeconds(*W->Loop, W->ThreadSeconds);
+        // Final snapshot after the books are closed: a stopped campaign
+        // resumes from here, a finished one records Next == Hi.
+        if (Interval)
+          Checkpoint();
+      });
     } else {
       double Limit = Opts.TimeLimitSeconds;
       uint64_t Base = Opts.BaseSeed;
       std::atomic<uint64_t> *Next = &NextOffset;
-      Threads.emplace_back([W, Limit, Base, Next, &Total] {
+      Threads.emplace_back([this, W, Limit, Base, Next, &Total] {
         Timer Thread;
-        while (Total.seconds() < Limit) {
+        while (Total.seconds() < Limit &&
+               !StopReq.load(std::memory_order_relaxed)) {
           uint64_t Off = Next->fetch_add(1, std::memory_order_relaxed);
           W->Loop->runIteration(Base + Off);
           W->Done.fetch_add(1, std::memory_order_relaxed);
+          TotalDone.fetch_add(1, std::memory_order_relaxed);
         }
         // The loops never call run() in this mode, so measure the worker
         // wall time here for the stage-sum invariant.
@@ -238,6 +464,7 @@ const FuzzStats &CampaignEngine::run() {
 
   for (std::thread &T : Threads)
     T.join();
+  Supervisor.stop();
   if (Reporter.joinable()) {
     {
       std::lock_guard<std::mutex> Lock(DoneMutex);
@@ -273,14 +500,18 @@ const FuzzStats &CampaignEngine::run() {
     const FuzzStats &WS = W->Loop->stats();
     accumulate(Stats, WS);
     if (TimeLimited) {
-      // Dynamic-mode loops never ran run(): the engine measured each
-      // thread's wall time instead, and the dispatch loop's bookkeeping
-      // (the part outside runIteration) goes to the overhead bucket.
+      // Dynamic-mode loops carry no WorkerSeconds of their own: the
+      // engine measured each thread's wall time instead, and the dispatch
+      // loop's bookkeeping (the part outside runIteration) goes to the
+      // overhead bucket. (Static-mode legs settle this per worker before
+      // their final checkpoint.)
       Stats.WorkerSeconds += W->ThreadSeconds;
       double Staged = WS.MutateSeconds + WS.OptimizeSeconds +
                       WS.VerifySeconds + WS.OverheadSeconds;
       if (W->ThreadSeconds > Staged)
         Stats.OverheadSeconds += W->ThreadSeconds - Staged;
+    } else if (W->Next.load(std::memory_order_relaxed) != W->Hi) {
+      Interrupted = true;
     }
     Registry.merge(W->Loop->registry());
     if (SaveDirError.empty())
@@ -295,11 +526,400 @@ const FuzzStats &CampaignEngine::run() {
     const std::vector<BugRecord> &WB = W->Loop->bugs();
     Bugs.insert(Bugs.end(), WB.begin(), WB.end());
   }
-  if (TimeLimited)
+  if (TimeLimited) {
+    Interrupted = StopReq.load(std::memory_order_relaxed);
     std::stable_sort(Bugs.begin(), Bugs.end(),
                      [](const BugRecord &A, const BugRecord &B) {
                        return A.MutantSeed < B.MutantSeed;
                      });
+  }
+  Stats.TotalSeconds = Total.seconds();
+  return Stats;
+}
+
+namespace {
+
+/// Per-shard heartbeat slot in the MAP_SHARED control page: the child
+/// stores the offset in flight before each iteration and the idle
+/// sentinel between them, so the parent can attribute a fatal signal to
+/// its seed (or see that the crash fell between iterations).
+struct Heartbeat {
+  std::atomic<uint64_t> Cur;
+  std::atomic<uint64_t> Done;
+};
+
+/// Shared stop flag ahead of the heartbeat slots: the only channel the
+/// parent has into the children.
+struct IsoControl {
+  std::atomic<uint32_t> Stop;
+};
+
+constexpr uint64_t IdleOffset = ~0ull;
+
+} // namespace
+
+const FuzzStats &
+CampaignEngine::runIsolated(unsigned J,
+                            const std::vector<std::string> &Testable,
+                            Timer &Total) {
+  const SurvivalOptions &SV = Opts.Survival;
+  namespace fs = std::filesystem;
+
+  // The checkpoint directory doubles as the harvest channel: children
+  // write their state there, the parent merges from it. Without a
+  // user-provided directory, use (and afterwards remove) a private one.
+  std::string Dir = SV.CheckpointDir;
+  const bool OwnDir = Dir.empty();
+  if (OwnDir) {
+    std::error_code EC;
+    Dir = (fs::temp_directory_path(EC) /
+           ("alive-mutate-isolate-" + std::to_string(getpid())))
+              .string();
+  }
+  {
+    CheckpointMeta Cur;
+    Cur.Passes = Opts.Passes;
+    Cur.Iterations = Opts.Iterations;
+    Cur.BaseSeed = Opts.BaseSeed;
+    Cur.Jobs = J;
+    Cur.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
+    Cur.InjectBugs = !Opts.Bugs.empty();
+    Cur.ModuleHash = hashModuleText(printModule(*MasterLoop->module()));
+    std::string Err;
+    if (SV.Resume) {
+      CheckpointMeta Stored;
+      if (!readCheckpointMeta(Dir, Stored, Err) ||
+          !checkpointMetaMatches(Stored, Cur, Err)) {
+        ConfigError = "cannot resume: " + Err;
+        return Stats;
+      }
+    } else if (!writeCheckpointMeta(Dir, Cur, Err)) {
+      ConfigError = Err;
+      return Stats;
+    }
+  }
+
+  const size_t MapSize = sizeof(IsoControl) + J * sizeof(Heartbeat);
+  void *Raw = mmap(nullptr, MapSize, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (Raw == MAP_FAILED) {
+    ConfigError = "-isolate: cannot map the shared heartbeat page";
+    return Stats;
+  }
+  IsoControl *Ctl = new (Raw) IsoControl;
+  Ctl->Stop.store(0, std::memory_order_relaxed);
+  Heartbeat *HB =
+      reinterpret_cast<Heartbeat *>(static_cast<char *>(Raw) +
+                                    sizeof(IsoControl));
+  for (unsigned I = 0; I != J; ++I) {
+    new (&HB[I]) Heartbeat;
+    HB[I].Cur.store(IdleOffset, std::memory_order_relaxed);
+    HB[I].Done.store(0, std::memory_order_relaxed);
+  }
+
+  struct Shard {
+    uint64_t Lo = 0, Hi = 0;
+    pid_t Pid = -1;
+    bool Finished = false;
+    unsigned Attempts = 0; ///< forks so far
+    unsigned Stalls = 0;   ///< consecutive exits with no attributable seed
+    uint64_t DoneAtExit = 0;
+    double RestartAt = 0; ///< Total.seconds() timestamp gating the refork
+    std::vector<uint64_t> Skip; ///< crashed offsets, excluded on restart
+    std::vector<BugRecord> CrashBugs;
+  };
+  std::vector<Shard> Shards(J);
+  for (unsigned I = 0; I != J; ++I) {
+    Shards[I].Lo = Opts.Iterations * I / J;
+    Shards[I].Hi = Opts.Iterations * (I + 1) / J;
+  }
+  const uint64_t Interval = SV.CheckpointInterval ? SV.CheckpointInterval : 16;
+
+  // Initialize the merged state now: the poll loop below accounts crash
+  // bugs and restart counters live, the final harvest adds the shard
+  // checkpoints on top.
+  Stats = FuzzStats();
+  Stats.FunctionsDropped = MasterLoop->stats().FunctionsDropped;
+  Bugs.clear();
+  SaveDirError.clear();
+  BundleError.clear();
+  Registry = StatRegistry();
+  Registry.merge(MasterLoop->registry());
+  Traces.clear();
+  TraceNames.clear();
+
+  auto Spawn = [&](unsigned I) -> bool {
+    Shard &S = Shards[I];
+    HB[I].Cur.store(IdleOffset, std::memory_order_relaxed);
+    pid_t Pid = fork();
+    if (Pid < 0)
+      return false;
+    if (Pid == 0) {
+      // ------- child: one shard, sequential, in a disposable process.
+      // The address space is a copy-on-write snapshot of the parent, so
+      // the preprocessed master module is already here. A fatal signal
+      // anywhere below kills only this process; the parent classifies it
+      // and restarts the shard from its last checkpoint.
+      if (SV.IsolateMemMB) {
+        rlimit R{SV.IsolateMemMB << 20, SV.IsolateMemMB << 20};
+        setrlimit(RLIMIT_AS, &R);
+      }
+      if (SV.IsolateCpuSeconds) {
+        rlimit R{SV.IsolateCpuSeconds, SV.IsolateCpuSeconds};
+        setrlimit(RLIMIT_CPU, &R);
+      }
+      FuzzOptions WOpts = Opts;
+      WOpts.SelfCheckOnLoad = false;
+      WOpts.OnlyFunctions = Testable;
+      WOpts.Survival.Isolate = false;
+      // The process boundary IS the crash containment; the in-process
+      // guard would only hide the signal from the parent's classifier.
+      WOpts.Survival.SignalGuard = false;
+      WOpts.BaseSeed = Opts.BaseSeed + S.Lo;
+      WOpts.Iterations = S.Hi - S.Lo;
+      FuzzerLoop Loop(WOpts);
+      Loop.loadModule(cloneModule(*MasterLoop->module()));
+      uint64_t Cursor = S.Lo;
+      {
+        WorkerCheckpoint WC;
+        std::string Err;
+        if (readWorkerCheckpoint(Dir, I, WC, Err) && WC.Lo == S.Lo &&
+            WC.Hi == S.Hi) {
+          restoreWorker(WC, Loop);
+          Cursor = WC.Next;
+        }
+      }
+      // The parent cannot see into this address space, so the wall-clock
+      // backstop runs as a thread of the child itself.
+      WallClockSupervisor Sup({&Loop}, SV.WallTimeoutSeconds);
+      Timer Leg;
+      uint64_t Since = 0;
+      std::string CkptErr;
+      while (Cursor != S.Hi) {
+        if (Ctl->Stop.load(std::memory_order_relaxed))
+          break;
+        uint64_t Off = Cursor;
+        if (std::find(S.Skip.begin(), S.Skip.end(), Off) != S.Skip.end()) {
+          ++Cursor;
+          HB[I].Done.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        HB[I].Cur.store(Off, std::memory_order_release);
+        Loop.runIteration(Opts.BaseSeed + Off);
+        HB[I].Cur.store(IdleOffset, std::memory_order_release);
+        ++Cursor;
+        HB[I].Done.fetch_add(1, std::memory_order_relaxed);
+        if (++Since >= Interval) {
+          Since = 0;
+          writeWorkerCheckpoint(
+              Dir, snapshotWorker(I, S.Lo, S.Hi, Cursor, Loop), CkptErr);
+        }
+      }
+      settleWorkerSeconds(Loop, Leg.seconds());
+      bool Ok = writeWorkerCheckpoint(
+          Dir, snapshotWorker(I, S.Lo, S.Hi, Cursor, Loop), CkptErr);
+      Sup.stop();
+      // _exit: no static destructors, no double-flush of parent-inherited
+      // stdio buffers. Exit code 3 = "results could not be written" — the
+      // parent abandons the shard instead of retrying forever.
+      _exit(Ok ? 0 : 3);
+    }
+    // ------- parent
+    S.Pid = Pid;
+    ++S.Attempts;
+    return true;
+  };
+
+  auto NoteIsolate = [&](const std::string &Msg) {
+    if (!IsolateError.empty())
+      IsolateError += "; ";
+    IsolateError += Msg;
+  };
+
+  for (unsigned I = 0; I != J; ++I)
+    if (!Spawn(I)) {
+      ConfigError = "-isolate: fork failed";
+      Ctl->Stop.store(1, std::memory_order_relaxed);
+      munmap(Raw, MapSize);
+      return Stats;
+    }
+
+  uint64_t ParentBundles = 0, ParentBundleFailures = 0;
+  double LastReport = 0;
+  for (;;) {
+    double Now = Total.seconds();
+    uint64_t DoneTotal = 0;
+    for (unsigned I = 0; I != J; ++I)
+      DoneTotal += HB[I].Done.load(std::memory_order_relaxed);
+    TotalDone.store(DoneTotal, std::memory_order_relaxed);
+    uint64_t After = StopAfter.load(std::memory_order_relaxed);
+    if ((StopReq.load(std::memory_order_relaxed) ||
+         (After && DoneTotal >= After)) &&
+        !Ctl->Stop.load(std::memory_order_relaxed))
+      Ctl->Stop.store(1, std::memory_order_relaxed);
+
+    bool AllFinished = true;
+    for (unsigned I = 0; I != J; ++I) {
+      Shard &S = Shards[I];
+      if (S.Finished)
+        continue;
+      AllFinished = false;
+      if (S.Pid < 0) {
+        // Awaiting its backoff-gated restart.
+        if (Now >= S.RestartAt && !Spawn(I)) {
+          S.Finished = true;
+          NoteIsolate("shard " + std::to_string(I) +
+                      " abandoned: fork failed");
+        }
+        continue;
+      }
+      int Status = 0;
+      pid_t R = waitpid(S.Pid, &Status, WNOHANG);
+      if (R == 0)
+        continue;
+      S.Pid = -1;
+      if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
+        S.Finished = true;
+        continue;
+      }
+      if (WIFEXITED(Status) && WEXITSTATUS(Status) == 3) {
+        S.Finished = true;
+        NoteIsolate("shard " + std::to_string(I) +
+                    " abandoned: cannot write its checkpoint");
+        continue;
+      }
+      // A fatal exit. Attribute it to the seed in flight (idle sentinel =
+      // the crash fell between iterations: nothing to skip, just retry).
+      std::string Why =
+          WIFSIGNALED(Status)
+              ? std::string("killed by ") + signalName(WTERMSIG(Status))
+              : "exited with code " + std::to_string(WEXITSTATUS(Status));
+      uint64_t CurOff = HB[I].Cur.load(std::memory_order_acquire);
+      uint64_t DoneNow = HB[I].Done.load(std::memory_order_relaxed);
+      bool Progressed = DoneNow > S.DoneAtExit || CurOff != IdleOffset;
+      S.DoneAtExit = DoneNow;
+      S.Stalls = Progressed ? 0 : S.Stalls + 1;
+      ++Registry.counter("survive.isolate.crashes", Volatility::Volatile);
+      if (CurOff != IdleOffset) {
+        // The iteration at CurOff took the process down: a crash bug of
+        // the compiler-under-test. Record it from the parent side — the
+        // mutant regenerates deterministically from its seed — and make
+        // sure the restarted shard skips this seed.
+        uint64_t Seed = Opts.BaseSeed + CurOff;
+        S.Skip.push_back(CurOff);
+        BugRecord B;
+        B.Kind = BugRecord::Crash;
+        B.MutantSeed = Seed;
+        B.Detail = "optimizer process " + Why + " (isolated shard " +
+                   std::to_string(I) + ", contained by process isolation)";
+        ForensicRecord FR;
+        FR.K = ForensicRecord::Crash;
+        FR.Seed = Seed;
+        FR.VerdictSlug = "crash";
+        FR.Detail = B.Detail;
+        // Regenerating the mutant replays only the (signal-safe) mutator,
+        // but guard anyway: the parent must survive whatever the child
+        // did not.
+        int Sig = 0;
+        bool Survived = runWithSignalGuard(
+            [&] {
+              MutationTrail Trail;
+              std::unique_ptr<Module> Mutant =
+                  MasterLoop->makeMutant(Seed, Trail);
+              B.MutantIR = printModule(*Mutant);
+              if (!Opts.BugBundleDir.empty()) {
+                BundleInputs In{Opts,         Testable, *MasterLoop->module(),
+                                Mutant.get(), nullptr,  &Trail,
+                                FR};
+                std::string Err;
+                B.BundlePath = writeBugBundle(Opts.BugBundleDir, In, Err);
+                if (B.BundlePath.empty()) {
+                  ++ParentBundleFailures;
+                  if (BundleError.empty())
+                    BundleError = Err;
+                } else {
+                  ++ParentBundles;
+                }
+              }
+            },
+            Sig);
+        if (!Survived)
+          B.Detail += "; mutant regeneration raised " +
+                      std::string(signalName(Sig)) + " in the parent too";
+        S.CrashBugs.push_back(std::move(B));
+      } else if (S.Stalls >= 5) {
+        S.Finished = true;
+        NoteIsolate("shard " + std::to_string(I) + " abandoned after " +
+                    std::to_string(S.Stalls) +
+                    " restarts without progress (last exit: " + Why + ")");
+        continue;
+      }
+      ++Registry.counter("survive.isolate.restarts", Volatility::Volatile);
+      double Backoff = std::min(0.1 * (double)(1ull << std::min(
+                                          S.Attempts - 1, 10u)),
+                                5.0);
+      S.RestartAt = Now + Backoff;
+    }
+    if (AllFinished)
+      break;
+    if (ProgressInterval > 0 && ProgressFn && Now - LastReport >=
+                                                  ProgressInterval) {
+      LastReport = Now;
+      CampaignProgress P;
+      P.Done = DoneTotal;
+      P.Target = Opts.Iterations;
+      P.Elapsed = Now;
+      P.Workers = J;
+      if (P.Elapsed > 0)
+        P.Rate = (double)P.Done / P.Elapsed;
+      if (P.Rate > 0)
+        P.EtaSeconds = (double)(P.Target - P.Done) / P.Rate;
+      ProgressFn(P);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Harvest: every shard's final checkpoint, merged exactly like the
+  // threaded path — plus the crash bugs the parent recorded, spliced into
+  // each shard's list in seed order.
+  for (unsigned I = 0; I != J; ++I) {
+    WorkerCheckpoint WC;
+    std::string Err;
+    if (!readWorkerCheckpoint(Dir, I, WC, Err)) {
+      NoteIsolate("shard " + std::to_string(I) + " results lost: " + Err);
+      Interrupted = true;
+      continue;
+    }
+    accumulate(Stats, WC.Stats);
+    StatRegistry Tmp;
+    for (const WorkerCheckpoint::Counter &C : WC.Counters)
+      Tmp.counter(C.Name, C.IsVolatile ? Volatility::Volatile
+                                       : Volatility::Deterministic) = C.Value;
+    Registry.merge(Tmp);
+    std::vector<BugRecord> ShardBugs = WC.Bugs;
+    ShardBugs.insert(ShardBugs.end(), Shards[I].CrashBugs.begin(),
+                     Shards[I].CrashBugs.end());
+    std::stable_sort(ShardBugs.begin(), ShardBugs.end(),
+                     [](const BugRecord &A, const BugRecord &B) {
+                       return A.MutantSeed < B.MutantSeed;
+                     });
+    Bugs.insert(Bugs.end(), ShardBugs.begin(), ShardBugs.end());
+    if (WC.Next != WC.Hi)
+      Interrupted = true;
+    uint64_t NCrash = Shards[I].CrashBugs.size();
+    if (NCrash) {
+      Stats.Crashes += NCrash;
+      Registry.counter("bug.crash") += NCrash;
+    }
+  }
+  Stats.BundlesWritten += ParentBundles;
+  Stats.BundleFailures += ParentBundleFailures;
+
+  munmap(Raw, MapSize);
+  if (OwnDir) {
+    std::error_code EC;
+    fs::remove_all(Dir, EC);
+  }
   Stats.TotalSeconds = Total.seconds();
   return Stats;
 }

@@ -29,13 +29,32 @@
 /// depends on scheduling, but every reported bug is still reproducible
 /// from its logged seed.
 ///
+/// Survivability (iteration-bounded campaigns only):
+///   - the engine drives each worker's iterations itself, so a campaign
+///     can be stopped at any iteration boundary (requestStop) and
+///     checkpointed periodically (Survival.CheckpointDir); a resumed
+///     campaign's deterministic report section is byte-identical to an
+///     uninterrupted run;
+///   - a wall-clock supervisor thread watches each worker's iteration
+///     serial and cancels its watchdog token when one iteration overstays
+///     Survival.WallTimeoutSeconds;
+///   - with Survival.Isolate the shards run in supervised child processes
+///     (fork, optional RLIMIT_AS/RLIMIT_CPU). A shard killed by a fatal
+///     signal becomes a recorded crash-bug outcome attributed to the seed
+///     in flight; the shard restarts with exponential backoff from its
+///     last checkpoint, skipping the crashing seed. The parent stays
+///     single-threaded and harvests shard results through the checkpoint
+///     files.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CORE_CAMPAIGNENGINE_H
 #define CORE_CAMPAIGNENGINE_H
 
 #include "core/FuzzerLoop.h"
+#include "support/Timer.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -95,6 +114,28 @@ public:
   /// Runs the campaign across the worker pool and merges the results.
   const FuzzStats &run();
 
+  /// Asks the running campaign to stop at the next iteration boundary
+  /// (thread-safe; also honored by isolated shards via the shared control
+  /// page). A checkpointing campaign writes a final snapshot first, so a
+  /// stopped campaign is resumable.
+  void requestStop() { StopReq.store(true, std::memory_order_relaxed); }
+
+  /// Test hook: stop once \p N iterations have completed across all
+  /// workers (0 = no early stop). Simulates a mid-campaign kill at a
+  /// checkpointable boundary without signal plumbing.
+  void stopAfterIterations(uint64_t N) {
+    StopAfter.store(N, std::memory_order_relaxed);
+  }
+
+  /// True when the last run() ended before finishing its seed range
+  /// (requestStop / stopAfterIterations). Resume with Survival.Resume.
+  bool interrupted() const { return Interrupted; }
+
+  /// Non-fatal isolation-mode incident log ("" when clean): shards
+  /// abandoned after repeated no-progress restarts, or harvest failures.
+  /// The campaign still completes with every other shard's results.
+  const std::string &isolateError() const { return IsolateError; }
+
   const FuzzStats &stats() const { return Stats; }
   const std::vector<BugRecord> &bugs() const { return Bugs; }
 
@@ -127,9 +168,20 @@ public:
              std::vector<std::string> *AppliedOut = nullptr) const;
 
 private:
+  /// The fork/waitpid isolation path (Survival.Isolate). \p J is the
+  /// effective shard count, \p Total the campaign wall clock.
+  const FuzzStats &runIsolated(unsigned J,
+                               const std::vector<std::string> &Testable,
+                               Timer &Total);
+
   FuzzOptions Opts;
   unsigned Jobs;
   std::string ConfigError;
+  std::atomic<bool> StopReq{false};
+  std::atomic<uint64_t> StopAfter{0};
+  std::atomic<uint64_t> TotalDone{0};
+  bool Interrupted = false;
+  std::string IsolateError;
   /// Preprocesses once, serves testableFunctions() and makeMutant();
   /// never iterates itself.
   std::unique_ptr<FuzzerLoop> MasterLoop;

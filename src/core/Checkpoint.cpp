@@ -1,0 +1,353 @@
+//===- core/Checkpoint.cpp - Campaign checkpoint/resume --------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checkpoint.h"
+
+#include "support/JSON.h"
+#include "support/Telemetry.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace alive;
+
+namespace {
+
+uint64_t doubleBits(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+
+double bitsDouble(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+/// Atomic write: tmp file in the same directory, then rename. A kill at
+/// any point leaves either the old snapshot or the new one, never a torn
+/// file.
+bool writeFileAtomic(const std::string &Path, const std::string &Content,
+                     std::string &Error) {
+  namespace fs = std::filesystem;
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (Out)
+      Out << Content;
+    Out.close();
+    if (!Out) {
+      Error = "cannot write '" + Tmp + "'";
+      return false;
+    }
+  }
+  std::error_code EC;
+  fs::rename(Tmp, Path, EC);
+  if (EC) {
+    Error = "cannot rename '" + Tmp + "' to '" + Path + "': " + EC.message();
+    return false;
+  }
+  return true;
+}
+
+bool slurp(const std::string &Path, std::string &Out, std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot read '" + Path + "'";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+std::string shardPath(const std::string &Dir, unsigned Index) {
+  return Dir + "/shard-" + std::to_string(Index) + ".json";
+}
+
+/// The FuzzStats fields, serialized by name. Doubles go out as raw bit
+/// patterns (the "_bits" suffix marks them) so they restore exactly.
+void writeStats(std::ostream &OS, const FuzzStats &S,
+                const std::string &Ind) {
+  auto U = [&](const char *Name, uint64_t V, bool Comma = true) {
+    OS << Ind << "\"" << Name << "\": " << V << (Comma ? ",\n" : "\n");
+  };
+  auto D = [&](const char *Name, double V, bool Comma = true) {
+    U((std::string(Name) + "_bits").c_str(), doubleBits(V), Comma);
+  };
+  OS << "{\n";
+  U("mutants_generated", S.MutantsGenerated);
+  U("mutations_applied", S.MutationsApplied);
+  U("optimized", S.Optimized);
+  U("verified", S.Verified);
+  U("verify_skipped", S.VerifySkipped);
+  U("tv_cache_hits", S.TVCacheHits);
+  U("tv_cache_misses", S.TVCacheMisses);
+  U("tv_cache_evictions", S.TVCacheEvictions);
+  U("refinement_failures", S.RefinementFailures);
+  U("crashes", S.Crashes);
+  U("inconclusive", S.Inconclusive);
+  U("functions_dropped", S.FunctionsDropped);
+  U("invalid_mutants", S.InvalidMutants);
+  U("mutants_saved", S.MutantsSaved);
+  U("save_failures", S.SaveFailures);
+  U("bundles_written", S.BundlesWritten);
+  U("bundle_failures", S.BundleFailures);
+  U("timeouts", S.Timeouts);
+  D("mutate_seconds", S.MutateSeconds);
+  D("optimize_seconds", S.OptimizeSeconds);
+  D("verify_seconds", S.VerifySeconds);
+  D("overhead_seconds", S.OverheadSeconds);
+  D("worker_seconds", S.WorkerSeconds);
+  D("total_seconds", S.TotalSeconds, /*Comma=*/false);
+  OS << Ind.substr(2) << "}";
+}
+
+void readStats(const JSONValue &J, FuzzStats &S) {
+  S.MutantsGenerated = J.getUInt("mutants_generated");
+  S.MutationsApplied = J.getUInt("mutations_applied");
+  S.Optimized = J.getUInt("optimized");
+  S.Verified = J.getUInt("verified");
+  S.VerifySkipped = J.getUInt("verify_skipped");
+  S.TVCacheHits = J.getUInt("tv_cache_hits");
+  S.TVCacheMisses = J.getUInt("tv_cache_misses");
+  S.TVCacheEvictions = J.getUInt("tv_cache_evictions");
+  S.RefinementFailures = J.getUInt("refinement_failures");
+  S.Crashes = J.getUInt("crashes");
+  S.Inconclusive = J.getUInt("inconclusive");
+  S.FunctionsDropped = J.getUInt("functions_dropped");
+  S.InvalidMutants = J.getUInt("invalid_mutants");
+  S.MutantsSaved = J.getUInt("mutants_saved");
+  S.SaveFailures = J.getUInt("save_failures");
+  S.BundlesWritten = J.getUInt("bundles_written");
+  S.BundleFailures = J.getUInt("bundle_failures");
+  S.Timeouts = J.getUInt("timeouts");
+  S.MutateSeconds = bitsDouble(J.getUInt("mutate_seconds_bits"));
+  S.OptimizeSeconds = bitsDouble(J.getUInt("optimize_seconds_bits"));
+  S.VerifySeconds = bitsDouble(J.getUInt("verify_seconds_bits"));
+  S.OverheadSeconds = bitsDouble(J.getUInt("overhead_seconds_bits"));
+  S.WorkerSeconds = bitsDouble(J.getUInt("worker_seconds_bits"));
+  S.TotalSeconds = bitsDouble(J.getUInt("total_seconds_bits"));
+}
+
+} // namespace
+
+uint64_t alive::hashModuleText(const std::string &Text) {
+  uint64_t H = 1469598103934665603ull; // FNV offset basis
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 1099511628211ull; // FNV prime
+  }
+  return H;
+}
+
+bool alive::writeCheckpointMeta(const std::string &Dir,
+                                const CheckpointMeta &M, std::string &Error) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    Error = "cannot create checkpoint directory '" + Dir +
+            "': " + EC.message();
+    return false;
+  }
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"schema_version\": " << CheckpointSchemaVersion << ",\n";
+  OS << "  \"passes\": ";
+  writeJSONString(OS, M.Passes);
+  OS << ",\n";
+  OS << "  \"iterations\": " << M.Iterations << ",\n";
+  OS << "  \"base_seed\": " << M.BaseSeed << ",\n";
+  OS << "  \"jobs\": " << M.Jobs << ",\n";
+  OS << "  \"max_mutations_per_function\": " << M.MaxMutationsPerFunction
+     << ",\n";
+  OS << "  \"inject_bugs\": " << (M.InjectBugs ? "true" : "false") << ",\n";
+  OS << "  \"module_hash\": " << M.ModuleHash << "\n";
+  OS << "}\n";
+  return writeFileAtomic(Dir + "/meta.json", OS.str(), Error);
+}
+
+bool alive::readCheckpointMeta(const std::string &Dir, CheckpointMeta &M,
+                               std::string &Error) {
+  std::string Text;
+  if (!slurp(Dir + "/meta.json", Text, Error))
+    return false;
+  JSONValue J;
+  if (!parseJSON(Text, J, Error)) {
+    Error = "meta.json: " + Error;
+    return false;
+  }
+  if (J.getUInt("schema_version") != CheckpointSchemaVersion) {
+    Error = "unsupported checkpoint schema version " +
+            std::to_string(J.getUInt("schema_version"));
+    return false;
+  }
+  M.Passes = J.getString("passes");
+  M.Iterations = J.getUInt("iterations");
+  M.BaseSeed = J.getUInt("base_seed");
+  M.Jobs = (unsigned)J.getUInt("jobs");
+  M.MaxMutationsPerFunction =
+      (unsigned)J.getUInt("max_mutations_per_function");
+  M.InjectBugs = J.getBool("inject_bugs", false);
+  M.ModuleHash = J.getUInt("module_hash");
+  return true;
+}
+
+bool alive::checkpointMetaMatches(const CheckpointMeta &Stored,
+                                  const CheckpointMeta &Current,
+                                  std::string &Error) {
+  auto Mismatch = [&](const std::string &What, const std::string &Was,
+                      const std::string &Is) {
+    Error = "checkpoint mismatch: " + What + " was " + Was + ", resuming " +
+            "with " + Is;
+    return false;
+  };
+  if (Stored.Passes != Current.Passes)
+    return Mismatch("pass pipeline", "'" + Stored.Passes + "'",
+                    "'" + Current.Passes + "'");
+  if (Stored.Iterations != Current.Iterations)
+    return Mismatch("-n", std::to_string(Stored.Iterations),
+                    std::to_string(Current.Iterations));
+  if (Stored.BaseSeed != Current.BaseSeed)
+    return Mismatch("-seed", std::to_string(Stored.BaseSeed),
+                    std::to_string(Current.BaseSeed));
+  if (Stored.Jobs != Current.Jobs)
+    return Mismatch("-j", std::to_string(Stored.Jobs),
+                    std::to_string(Current.Jobs));
+  if (Stored.MaxMutationsPerFunction != Current.MaxMutationsPerFunction)
+    return Mismatch("-max-mutations",
+                    std::to_string(Stored.MaxMutationsPerFunction),
+                    std::to_string(Current.MaxMutationsPerFunction));
+  if (Stored.InjectBugs != Current.InjectBugs)
+    return Mismatch("-inject-bugs", Stored.InjectBugs ? "on" : "off",
+                    Current.InjectBugs ? "on" : "off");
+  if (Stored.ModuleHash != Current.ModuleHash)
+    return Mismatch("the input module", "a different module",
+                    "this one (content hash differs)");
+  return true;
+}
+
+bool alive::writeWorkerCheckpoint(const std::string &Dir,
+                                  const WorkerCheckpoint &W,
+                                  std::string &Error) {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"index\": " << W.Index << ",\n";
+  OS << "  \"lo\": " << W.Lo << ",\n";
+  OS << "  \"hi\": " << W.Hi << ",\n";
+  OS << "  \"next\": " << W.Next << ",\n";
+  OS << "  \"stats\": ";
+  writeStats(OS, W.Stats, "    ");
+  OS << ",\n";
+  OS << "  \"bugs\": [";
+  for (size_t I = 0; I != W.Bugs.size(); ++I) {
+    const BugRecord &B = W.Bugs[I];
+    OS << (I ? ",\n" : "\n") << "    {\"kind\": \""
+       << (B.Kind == BugRecord::Miscompile ? "miscompile" : "crash")
+       << "\", \"function\": ";
+    writeJSONString(OS, B.FunctionName);
+    OS << ", \"seed\": " << B.MutantSeed << ", \"detail\": ";
+    writeJSONString(OS, B.Detail);
+    OS << ", \"issue_id\": ";
+    writeJSONString(OS, B.IssueId);
+    OS << ", \"bundle_path\": ";
+    writeJSONString(OS, B.BundlePath);
+    OS << ", \"mutant_ir\": ";
+    writeJSONString(OS, B.MutantIR);
+    OS << "}";
+  }
+  OS << (W.Bugs.empty() ? "" : "\n  ") << "],\n";
+  OS << "  \"counters\": [";
+  for (size_t I = 0; I != W.Counters.size(); ++I) {
+    const WorkerCheckpoint::Counter &C = W.Counters[I];
+    OS << (I ? ",\n" : "\n") << "    {\"name\": ";
+    writeJSONString(OS, C.Name);
+    OS << ", \"value\": " << C.Value << ", \"volatile\": "
+       << (C.IsVolatile ? "true" : "false") << "}";
+  }
+  OS << (W.Counters.empty() ? "" : "\n  ") << "]\n";
+  OS << "}\n";
+  return writeFileAtomic(shardPath(Dir, W.Index), OS.str(), Error);
+}
+
+bool alive::readWorkerCheckpoint(const std::string &Dir, unsigned Index,
+                                 WorkerCheckpoint &W, std::string &Error) {
+  std::string Text;
+  if (!slurp(shardPath(Dir, Index), Text, Error))
+    return false;
+  JSONValue J;
+  if (!parseJSON(Text, J, Error)) {
+    Error = "shard-" + std::to_string(Index) + ".json: " + Error;
+    return false;
+  }
+  W.Index = (unsigned)J.getUInt("index");
+  W.Lo = J.getUInt("lo");
+  W.Hi = J.getUInt("hi");
+  W.Next = J.getUInt("next");
+  if (W.Index != Index || W.Next < W.Lo || W.Next > W.Hi) {
+    Error = "shard-" + std::to_string(Index) +
+            ".json: inconsistent index or seed cursor";
+    return false;
+  }
+  if (const JSONValue *S = J.find("stats"))
+    readStats(*S, W.Stats);
+  if (const JSONValue *Bugs = J.find("bugs"); Bugs && Bugs->isArray())
+    for (const JSONValue &E : Bugs->Arr) {
+      BugRecord B;
+      B.Kind = E.getString("kind") == "miscompile" ? BugRecord::Miscompile
+                                                   : BugRecord::Crash;
+      B.FunctionName = E.getString("function");
+      B.MutantSeed = E.getUInt("seed");
+      B.Detail = E.getString("detail");
+      B.IssueId = E.getString("issue_id");
+      B.BundlePath = E.getString("bundle_path");
+      B.MutantIR = E.getString("mutant_ir");
+      W.Bugs.push_back(std::move(B));
+    }
+  if (const JSONValue *Cs = J.find("counters"); Cs && Cs->isArray())
+    for (const JSONValue &E : Cs->Arr) {
+      WorkerCheckpoint::Counter C;
+      C.Name = E.getString("name");
+      C.Value = E.getUInt("value");
+      C.IsVolatile = E.getBool("volatile", false);
+      W.Counters.push_back(std::move(C));
+    }
+  return true;
+}
+
+WorkerCheckpoint alive::snapshotWorker(unsigned Index, uint64_t Lo,
+                                       uint64_t Hi, uint64_t Next,
+                                       const FuzzerLoop &Loop) {
+  WorkerCheckpoint W;
+  W.Index = Index;
+  W.Lo = Lo;
+  W.Hi = Hi;
+  W.Next = Next;
+  W.Stats = Loop.stats();
+  W.Bugs = Loop.bugs();
+  Loop.registry().forEachCounter(
+      Volatility::Deterministic, [&](const std::string &Name, uint64_t V) {
+        W.Counters.push_back({Name, V, /*IsVolatile=*/false});
+      });
+  Loop.registry().forEachCounter(
+      Volatility::Volatile, [&](const std::string &Name, uint64_t V) {
+        W.Counters.push_back({Name, V, /*IsVolatile=*/true});
+      });
+  return W;
+}
+
+void alive::restoreWorker(const WorkerCheckpoint &W, FuzzerLoop &Loop) {
+  Loop.restoreState(W.Stats, W.Bugs);
+  for (const WorkerCheckpoint::Counter &C : W.Counters)
+    Loop.mutableRegistry().counter(C.Name, C.IsVolatile
+                                               ? Volatility::Volatile
+                                               : Volatility::Deterministic) =
+        C.Value;
+}

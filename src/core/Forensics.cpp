@@ -28,6 +28,8 @@ const char *alive::forensicKindName(ForensicRecord::Kind K) {
     return "crash";
   case ForensicRecord::Verdict:
     return "verdict";
+  case ForensicRecord::Timeout:
+    return "timeout";
   }
   return "?";
 }
@@ -56,6 +58,12 @@ std::string bundleDirName(const ForensicRecord &R) {
     break;
   case ForensicRecord::Verdict:
     Tail = sanitize(R.Function);
+    break;
+  case ForensicRecord::Timeout:
+    // At most one timeout record per iteration (the iteration stops), so
+    // the seed alone keeps the name unique; the function (when the cut
+    // happened mid-verify) is advisory.
+    Tail = R.Function.empty() ? "timeout" : "timeout-" + sanitize(R.Function);
     break;
   }
   return "bundle-s" + std::to_string(R.Seed) + "-" + Tail;
@@ -119,6 +127,7 @@ void writeManifest(std::ostream &OS, const BundleInputs &In) {
      << ",\n";
   OS << "    \"verify_mutants\": " << (O.VerifyMutants ? "true" : "false")
      << ",\n";
+  OS << "    \"step_budget\": " << O.Survival.StepBudget << ",\n";
   OS << "    \"testable_functions\": [";
   for (size_t I = 0; I != In.TestableFunctions.size(); ++I) {
     OS << (I ? ", " : "");
@@ -264,6 +273,9 @@ ReplayResult alive::replayBundle(const std::string &BundleDir) {
   }
   O.SkipUnchanged = Cfg->getBool("skip_unchanged", true);
   O.VerifyMutants = Cfg->getBool("verify_mutants", true);
+  // Step-budget timeouts are deterministic, so replaying a timeout bundle
+  // needs the same budget; the wall-clock backstop stays off in replay.
+  O.Survival.StepBudget = Cfg->getUInt("step_budget", 0);
   O.SelfCheckOnLoad = false;
   O.Iterations = 1;
   O.BaseSeed = Out.Seed;

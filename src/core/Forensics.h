@@ -23,7 +23,9 @@
 ///     optimized.ll    after the pipeline (absent for crash bundles)
 ///
 /// Everything in a bundle is a pure function of (module, config, seed),
-/// so -j1 and -jN campaigns write byte-identical bundles.
+/// so -j1 and -jN campaigns write byte-identical bundles. One exception:
+/// timeout bundles produced by the *wall-clock* watchdog backstop depend
+/// on machine speed; only step-budget timeouts are deterministic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,7 +56,8 @@ struct ForensicRecord {
   enum Kind {
     InvalidMutant, ///< the mutator emitted verifier-invalid IR (must not happen)
     Crash,         ///< a seeded optimizer defect aborted the pipeline
-    Verdict        ///< a per-function TV verdict other than Correct
+    Verdict,       ///< a per-function TV verdict other than Correct
+    Timeout        ///< the iteration watchdog cut the iteration short
   };
   Kind K = Verdict;
   uint64_t Seed = 0;
@@ -71,7 +74,7 @@ struct ForensicRecord {
   std::string CounterExample;
 };
 
-/// "invalid-mutant" / "crash" / "verdict".
+/// "invalid-mutant" / "crash" / "verdict" / "timeout".
 const char *forensicKindName(ForensicRecord::Kind K);
 
 /// Everything one bundle write needs. All pointers/references must stay

@@ -9,12 +9,14 @@
 #include "analysis/Verifier.h"
 #include "opt/BugInjection.h"
 #include "parser/Printer.h"
+#include "support/SignalGuard.h"
 #include "support/Timer.h"
 #include "tv/Counterexample.h"
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 using namespace alive;
 
@@ -37,6 +39,19 @@ FuzzerLoop::FuzzerLoop(const FuzzOptions &Opts) : Opts(Opts) {
   }
   if (this->Opts.TVCacheSize > 0)
     TVC = std::make_unique<TVCache>(this->Opts.TVCacheSize);
+  // Arm the iteration watchdog when either trigger is configured. One
+  // token per loop, shared by the pass manager (one step per
+  // pass-on-function), the solver (per conflict/decision) and the
+  // interpreter (per 64 instructions) — TV reaches it via TV.Token.
+  WatchdogArmed = this->Opts.Survival.StepBudget > 0 ||
+                  this->Opts.Survival.WallTimeoutSeconds > 0;
+  if (WatchdogArmed) {
+    this->Opts.TV.Token = &WatchdogToken;
+    PM.setCancellation(&WatchdogToken);
+  } else {
+    // Never trust a caller-smuggled token: TV cache keys exclude it.
+    this->Opts.TV.Token = nullptr;
+  }
   HMutate = &Registry.histogram("stage.mutate.seconds");
   HOptimize = &Registry.histogram("stage.optimize.seconds");
   HVerify = &Registry.histogram("stage.verify.seconds");
@@ -67,6 +82,10 @@ unsigned FuzzerLoop::loadModule(std::unique_ptr<Module> M) {
       // dropped: there is no point mutating these."
       TraceSpan Span(Trace.get(), "self-check", /*Seed=*/0,
                      Trace ? Trace->intern(F->getName()) : nullptr);
+      // The self-check gets its own budget per function: a pathological
+      // input function must not wedge preprocessing either.
+      if (WatchdogArmed)
+        WatchdogToken.beginIteration(Opts.Survival.StepBudget);
       TVResult Self = checkSelfRefinement(*F, Opts.TV);
       if (Self.Verdict != TVVerdict::Correct) {
         ++Stats.FunctionsDropped;
@@ -172,6 +191,10 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
   if (!ConfigError.empty())
     return;
   Outcomes.clear();
+  // Fresh watchdog budget for the mutate+optimize phase. The serial bump
+  // also tells the wall-clock supervisor a new iteration started.
+  if (WatchdogArmed)
+    WatchdogToken.beginIteration(Opts.Survival.StepBudget);
   IterationAccounting Books(Stats, HOverhead, HIteration, Opts.StageNanos);
   auto StageSink = [&](unsigned I) {
     return Opts.StageNanos ? Opts.StageNanos + I : nullptr;
@@ -226,10 +249,21 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
   // The pass manager reports which functions actually changed — the
   // verification loop below skips the rest.
   ChangedFunctionSet Changed;
+  int CrashSig = 0;
+  bool PipelineSurvived = true;
   try {
     ScopedTimer T(HOptimize, &Stats.OptimizeSeconds, StageSink(1));
     TraceSpan Span(Trace.get(), "optimize", Seed);
-    PM.runToFixpoint(*Mutant, 4, &Changed);
+    if (Opts.Survival.SignalGuard) {
+      // In-process containment fallback (no -isolate): a pass raising a
+      // fatal signal becomes a recorded crash instead of killing the
+      // campaign. The mutant is torn afterwards; only Source (untouched
+      // by the pipeline) is used on that path.
+      PipelineSurvived = runWithSignalGuard(
+          [&] { PM.runToFixpoint(*Mutant, 4, &Changed); }, CrashSig);
+    } else {
+      PM.runToFixpoint(*Mutant, 4, &Changed);
+    }
   } catch (const OptimizerCrash &C) {
     ++Stats.Crashes;
     ++Registry.counter("bug.crash");
@@ -257,6 +291,45 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
     }
     return;
   }
+  if (!PipelineSurvived) {
+    // A fatal signal was contained by the in-process guard. Same
+    // accounting as a simulated OptimizerCrash — it IS a crash bug of the
+    // compiler-under-test — plus a volatile containment counter so the
+    // run report shows the guard earned its keep.
+    ++Stats.Crashes;
+    ++Registry.counter("bug.crash");
+    ++Registry.counter("survive.contained-signals", Volatility::Volatile);
+    ForensicRecord FR;
+    FR.K = ForensicRecord::Crash;
+    FR.Seed = Seed;
+    FR.VerdictSlug = "crash";
+    FR.Detail = std::string("optimizer raised ") + signalName(CrashSig) +
+                " (contained by the in-process signal guard)";
+    if (Trace)
+      Trace->instant("bug.crash", Seed, Trace->intern(signalName(CrashSig)));
+    BugRecord R;
+    R.Kind = BugRecord::Crash;
+    R.FunctionName = "";
+    R.MutantSeed = Seed;
+    R.Detail = FR.Detail;
+    R.MutantIR = printModule(*Source);
+    R.BundlePath = writeBundle(FR, Source.get(), nullptr);
+    Outcomes.push_back(std::move(FR));
+    Bugs.push_back(std::move(R));
+    if (!Opts.SaveDir.empty()) {
+      TraceSpan Span(Trace.get(), "save", Seed);
+      saveMutant(*Source, Seed, /*Failing=*/true);
+    }
+    return;
+  }
+  if (WatchdogArmed && WatchdogToken.cancelled()) {
+    // The optimize phase blew its budget (or the wall-clock backstop
+    // fired). The mutant is only partially optimized; verifying it would
+    // conflate a cut-off pipeline with the configured one. Record the
+    // timeout and move on to the next seed.
+    recordTimeout(Seed, "", "optimize", Source.get(), nullptr);
+    return;
+  }
   ++Stats.Optimized;
 
   // §III-D: refinement check per testable function — except the ones the
@@ -267,6 +340,16 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
     Function *Tgt = Mutant->getFunction(Name);
     if (!Src || !Tgt || Tgt->isDeclaration())
       continue;
+    if (Opts.Survival.QuarantineThreshold) {
+      auto It = Quarantine.find(Name);
+      if (It != Quarantine.end() && Seed < It->second.SkipUntilSeed) {
+        // Backed off after repeated timeouts. Volatile-only accounting:
+        // quarantine state is per-worker, so these skips (and the
+        // Verified checks they elide) are not worker-count independent.
+        ++Registry.counter("survive.quarantine.skips", Volatility::Volatile);
+        continue;
+      }
+    }
     if (Opts.SkipUnchanged && !Changed.count(Name)) {
       // No pass touched this function: the target is byte-identical to
       // the source, and a function refines itself (established for the
@@ -279,29 +362,46 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
       continue;
     }
     TVResult R;
+    bool FromCache = false;
+    std::string Key;
     {
       TraceSpan Span(Trace.get(), "verify", Seed,
                      Trace ? Trace->intern(Name) : nullptr);
-      std::string Key;
+      // Re-arm the budget per refinement check: whether THIS check trips
+      // is then a pure function of (Src, Tgt, Opts), independent of how
+      // much the cache elided earlier — which keeps step-budget timeouts
+      // deterministic across worker counts.
+      if (WatchdogArmed)
+        WatchdogToken.beginIteration(Opts.Survival.StepBudget);
       if (TVC)
         Key = TVCache::makeKey(*Src, *Tgt, Opts.TV);
       if (!Key.empty()) {
         if (const TVResult *Hit = TVC->lookup(Key)) {
           R = *Hit;
+          FromCache = true;
           ++Stats.TVCacheHits;
         } else {
           R = checkRefinement(*Src, *Tgt, Opts.TV, &Registry);
-          ++Stats.TVCacheMisses;
-          if (TVC->insert(Key, R))
-            ++Stats.TVCacheEvictions;
         }
       } else {
         // Cache disabled, or the pair calls into defined functions (the
         // verdict then depends on callee bodies outside the key).
         R = checkRefinement(*Src, *Tgt, Opts.TV, &Registry);
-        if (TVC)
-          ++Stats.TVCacheMisses;
       }
+    }
+    if (!FromCache && WatchdogArmed && WatchdogToken.cancelled()) {
+      // Cut off mid-check: no verdict was established. Deliberately NOT
+      // counted as Verified, a cache miss, or a tv.verdict.* slug — and
+      // never cached — so the deterministic cache/verdict invariants
+      // survive wall-clock cancellations. Record the timeout and try the
+      // remaining functions (each gets a fresh budget).
+      recordTimeout(Seed, Name, "verify", Source.get(), Mutant.get());
+      continue;
+    }
+    if (!FromCache && TVC) {
+      ++Stats.TVCacheMisses;
+      if (!Key.empty() && TVC->insert(Key, R))
+        ++Stats.TVCacheEvictions;
     }
     ++Stats.Verified;
     // Per-verdict breakdown, counted per *established* verdict: a cache
@@ -384,7 +484,8 @@ const FuzzStats &FuzzerLoop::run() {
 
 std::string FuzzerLoop::writeBundle(const ForensicRecord &R,
                                     const Module *Mutant,
-                                    const Module *Optimized) {
+                                    const Module *Optimized,
+                                    bool VolatileAccounting) {
   if (Opts.BugBundleDir.empty())
     return "";
   // The trail is regenerated lazily, only on the bug path: recording is
@@ -398,13 +499,69 @@ std::string FuzzerLoop::writeBundle(const ForensicRecord &R,
   std::string Error;
   std::string Path = writeBugBundle(Opts.BugBundleDir, In, Error);
   if (Path.empty()) {
-    ++Stats.BundleFailures;
+    if (VolatileAccounting)
+      ++Registry.counter("survive.timeout.bundle-failures",
+                         Volatility::Volatile);
+    else
+      ++Stats.BundleFailures;
     if (BundleError.empty())
       BundleError = Error;
   } else {
-    ++Stats.BundlesWritten;
+    if (VolatileAccounting)
+      ++Registry.counter("survive.timeout.bundles", Volatility::Volatile);
+    else
+      ++Stats.BundlesWritten;
   }
   return Path;
+}
+
+void FuzzerLoop::recordTimeout(uint64_t Seed, const std::string &Function,
+                               const char *Phase, const Module *Mutant,
+                               const Module *Optimized) {
+  ++Stats.Timeouts;
+  bool ByBudget =
+      WatchdogToken.reason() == CancellationToken::Reason::StepBudget;
+  // All volatile: the wall-clock backstop makes timeout placement (and
+  // with quarantine, even which checks run) machine-dependent.
+  ++Registry.counter(std::string("survive.timeout.") + Phase,
+                     Volatility::Volatile);
+  ++Registry.counter(ByBudget ? "survive.timeout.reason.step-budget"
+                              : "survive.timeout.reason.wall-clock",
+                     Volatility::Volatile);
+  if (Trace)
+    Trace->instant("timeout", Seed,
+                   Function.empty() ? nullptr : Trace->intern(Function));
+
+  ForensicRecord FR;
+  FR.K = ForensicRecord::Timeout;
+  FR.Seed = Seed;
+  FR.Function = Function;
+  FR.VerdictSlug = "timeout";
+  std::ostringstream OS;
+  if (ByBudget)
+    OS << "iteration watchdog: step budget of " << Opts.Survival.StepBudget
+       << " exhausted in " << Phase << " phase";
+  else
+    OS << "iteration watchdog: wall-clock backstop fired in " << Phase
+       << " phase";
+  if (!Function.empty())
+    OS << " while checking '" << Function << "'";
+  FR.Detail = OS.str();
+  writeBundle(FR, Mutant, Optimized, /*VolatileAccounting=*/true);
+  Outcomes.push_back(std::move(FR));
+
+  // Quarantine bookkeeping: repeated timeouts on one function's check
+  // back that check off exponentially (2^(strikes-threshold) seeds).
+  if (!Function.empty() && Opts.Survival.QuarantineThreshold) {
+    QuarantineState &Q = Quarantine[Function];
+    ++Q.Strikes;
+    if (Q.Strikes >= Opts.Survival.QuarantineThreshold) {
+      uint64_t Exp = std::min<uint64_t>(
+          Q.Strikes - Opts.Survival.QuarantineThreshold, 16);
+      Q.SkipUntilSeed = Seed + (1ull << Exp);
+      ++Registry.counter("survive.quarantine.backoffs", Volatility::Volatile);
+    }
+  }
 }
 
 void FuzzerLoop::saveMutant(const Module &M, uint64_t Seed, bool Failing) {

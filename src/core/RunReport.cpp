@@ -76,7 +76,9 @@ void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
   writeJSONString(OS, Config.Passes);
   OS << ", \"iterations\": " << Config.Iterations
      << ", \"seed\": " << Config.BaseSeed
-     << ", \"max_mutations\": " << Config.MaxMutationsPerFunction << "},\n";
+     << ", \"max_mutations\": " << Config.MaxMutationsPerFunction
+     << ", \"corpus_files\": " << Config.CorpusFiles
+     << ", \"corpus_skipped\": " << Config.CorpusSkipped << "},\n";
 
   OS << "    \"summary\": {"
      << "\"mutants\": " << S.MutantsGenerated
@@ -171,6 +173,11 @@ void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
   OS << "    \"cache\": {\"hits\": " << S.TVCacheHits
      << ", \"misses\": " << S.TVCacheMisses
      << ", \"evictions\": " << S.TVCacheEvictions << "},\n";
+  // Timeouts depend on the step budget or wall clock in force, and an
+  // interrupted run is by definition a scheduling artifact — volatile.
+  OS << "    \"survivability\": {\"timeouts\": " << S.Timeouts
+     << ", \"interrupted\": " << (Config.Interrupted ? "true" : "false")
+     << "},\n";
   OS << "    \"stats\": ";
   R.writeJSON(OS, Volatility::Volatile, "    ");
   OS << "\n  }\n";

@@ -36,7 +36,12 @@ namespace alive {
 /// check_stats_json.py pins it.
 /// v2: bug records gained "bundle" (forensics bundle path, "" when
 /// disabled), and the summary gained "bundles"/"bundle_failures".
-constexpr unsigned RunReportSchemaVersion = 2;
+/// v3: the config echo gained "corpus_files"/"corpus_skipped" (multi-file
+/// corpus loading) and the volatile section gained "survivability"
+/// (watchdog timeouts, interrupted flag) — timeouts are wall-clock- or
+/// budget-dependent in different modes, so they never enter the
+/// deterministic section.
+constexpr unsigned RunReportSchemaVersion = 3;
 
 /// Report metadata that is not part of FuzzStats or the registry.
 struct RunReportConfig {
@@ -46,11 +51,19 @@ struct RunReportConfig {
   uint64_t Iterations = 0;
   uint64_t BaseSeed = 0;
   unsigned MaxMutationsPerFunction = 0;
+  /// Corpus files merged into the campaign module (deterministic: depends
+  /// only on the command line and file contents).
+  unsigned CorpusFiles = 1;
+  /// Corpus files skipped as empty/unreadable/unparseable.
+  unsigned CorpusSkipped = 0;
   /// Worker count (volatile section: -j4 vs -j1 reports must only differ
   /// there).
   unsigned Jobs = 1;
   /// Engine wall clock (volatile).
   double WallSeconds = 0;
+  /// Campaign stopped before finishing its seed range (volatile; a resumed
+  /// run that completes reports false).
+  bool Interrupted = false;
 };
 
 /// Writes the full JSON run report to \p OS.

@@ -1,0 +1,85 @@
+//===- corpus/CorpusLoader.cpp - Robust multi-file corpus loading ----------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusLoader.h"
+
+#include "parser/Parser.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace alive;
+
+namespace {
+
+bool isBlank(const std::string &S) {
+  for (char C : S)
+    if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+      return false;
+  return true;
+}
+
+} // namespace
+
+CorpusLoadResult alive::loadCorpus(const std::vector<std::string> &Paths) {
+  CorpusLoadResult Res;
+  auto Skip = [&](const std::string &Path, const std::string &Why) {
+    ++Res.FilesSkipped;
+    Res.Warnings.push_back("skipping '" + Path + "': " + Why);
+  };
+
+  std::vector<std::unique_ptr<Module>> Parsed;
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path, std::ios::binary);
+    if (!In) {
+      Skip(Path, "cannot read file");
+      continue;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::string Text = SS.str();
+    if (isBlank(Text)) {
+      Skip(Path, "file is empty");
+      continue;
+    }
+    std::string Err;
+    std::unique_ptr<Module> M = parseModule(Text, Err);
+    if (!M) {
+      Skip(Path, Err);
+      continue;
+    }
+    ++Res.FilesLoaded;
+    Parsed.push_back(std::move(M));
+  }
+  if (Parsed.empty())
+    return Res;
+  if (Parsed.size() == 1) {
+    // The common single-file campaign: no merge, no renames — exactly the
+    // module the file describes.
+    Res.M = std::move(Parsed.front());
+    return Res;
+  }
+
+  // Merge in argument order. Only definitions are cloned eagerly;
+  // cloneFunction pulls referenced declarations across on demand.
+  auto Merged = std::make_unique<Module>();
+  for (const auto &M : Parsed)
+    for (Function *F : M->functions()) {
+      if (F->isDeclaration() || F->isIntrinsic())
+        continue;
+      std::string Name = F->getName();
+      if (Merged->getFunction(Name)) {
+        unsigned K = 2;
+        while (Merged->getFunction(Name + "." + std::to_string(K)))
+          ++K;
+        Name += "." + std::to_string(K);
+        ++Res.Renamed;
+      }
+      cloneFunction(*F, *Merged, Name);
+    }
+  Res.M = std::move(Merged);
+  return Res;
+}

@@ -1,0 +1,53 @@
+//===- corpus/CorpusLoader.h - Robust multi-file corpus loading -*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loads a fuzzing corpus — one or many .ll files — into a single campaign
+/// module, the way the paper's campaign consumes LLVM's unit-test suite.
+/// Robustness over strictness: an empty, unreadable or unparseable corpus
+/// file is *skipped* (counted, one warning line) instead of aborting the
+/// whole campaign; real test suites always contain a few files a reduced
+/// parser cannot handle.
+///
+/// Merging is deterministic: files in argument order, functions in module
+/// order, cross-module clones via cloneFunction. A function name already
+/// taken by an earlier file gets a ".k" suffix (smallest free k) — the
+/// merged module, and therefore the whole campaign, depends only on the
+/// file list and contents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORPUS_CORPUSLOADER_H
+#define CORPUS_CORPUSLOADER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+/// What loadCorpus did, for the campaign report and the tool's summary.
+struct CorpusLoadResult {
+  /// The merged campaign module; null when no file survived.
+  std::unique_ptr<Module> M;
+  unsigned FilesLoaded = 0;
+  /// Files skipped (empty / unreadable / unparseable) — the CorpusSkipped
+  /// stat; echoed into the run report's config section.
+  unsigned FilesSkipped = 0;
+  /// Functions renamed to resolve cross-file name collisions.
+  unsigned Renamed = 0;
+  /// One line per skipped file: "skipping '<path>': <reason>".
+  std::vector<std::string> Warnings;
+};
+
+/// Parses every path in \p Paths and merges the survivors into one module.
+CorpusLoadResult loadCorpus(const std::vector<std::string> &Paths);
+
+} // namespace alive
+
+#endif // CORPUS_CORPUSLOADER_H

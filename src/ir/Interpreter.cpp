@@ -6,6 +6,8 @@
 
 #include "ir/Interpreter.h"
 
+#include "support/Cancellation.h"
+
 #include <map>
 
 using namespace alive;
@@ -396,6 +398,12 @@ ExecResult Interpreter::runFrame(const Function &F,
         continue;
       if (++FuelUsed > Opts.Fuel) {
         Res.Status = ExecStatus::OutOfFuel;
+        return Res;
+      }
+      // Watchdog steps are consumed in batches of 64 so the hot loop pays
+      // one relaxed atomic add per 64 instructions, not per instruction.
+      if (Opts.Token && (FuelUsed & 63) == 0 && Opts.Token->consume(64)) {
+        Res.Status = ExecStatus::Cancelled;
         return Res;
       }
       if (I->isTerminator()) {

@@ -34,6 +34,8 @@
 
 namespace alive {
 
+class CancellationToken;
+
 /// One scalar lane of a runtime value: poison, or a concrete bit pattern.
 struct Lane {
   bool Poison = false;
@@ -126,6 +128,10 @@ enum class ExecStatus {
   UB,          ///< Triggered undefined behavior.
   OutOfFuel,   ///< Exceeded the instruction budget (possible infinite loop).
   Unsupported, ///< Hit a construct outside the evaluator's domain.
+  Cancelled,   ///< The iteration watchdog cancelled the execution. Distinct
+               ///< from OutOfFuel: fuel exhaustion is a property of the
+               ///< trial, cancellation a property of the enclosing
+               ///< iteration's budget.
 };
 
 /// Outcome of interpreting one function call.
@@ -145,6 +151,10 @@ struct ExecOptions {
   uint64_t TrialSeed = 0;
   /// Max call depth for defined-function calls.
   unsigned MaxDepth = 16;
+  /// Optional iteration watchdog: the interpreter consumes one token step
+  /// per executed instruction (batched, checked every 64) and stops with
+  /// ExecStatus::Cancelled when the token trips.
+  CancellationToken *Token = nullptr;
 };
 
 /// Interprets functions of one module.

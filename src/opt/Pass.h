@@ -26,6 +26,7 @@
 
 namespace alive {
 
+class CancellationToken;
 class TraceRecorder;
 
 /// A function transformation pass.
@@ -73,6 +74,15 @@ public:
   /// cost is one pointer test per pass per sweep.
   void setTrace(TraceRecorder *Trace);
 
+  /// Attaches an iteration watchdog (null detaches). run() then consumes
+  /// one token step per pass-on-function invocation, installs the token as
+  /// the thread's ambient token so long-running pass bodies can cooperate,
+  /// and stops sweeping once the token trips — runToFixpoint likewise
+  /// stops iterating. A cancelled run() still returns its accumulated
+  /// changed flag; the caller decides what a cut-off pipeline means.
+  /// \p Token must outlive the PassManager.
+  void setCancellation(CancellationToken *Token) { Watchdog = Token; }
+
   /// Runs every pass once, in order, on every function definition.
   /// When \p ChangedOut is non-null, the names of modified functions are
   /// added to it. \returns true when anything changed.
@@ -87,6 +97,7 @@ public:
 private:
   std::vector<std::unique_ptr<Pass>> Passes;
   const BugInjectionContext *BugCtx = nullptr;
+  CancellationToken *Watchdog = nullptr;
   StatRegistry *Stats = nullptr;
   /// Cached stat slots, parallel to Passes (rebuilt lazily when passes are
   /// added after setTelemetry): the hot loop must not probe the registry
@@ -129,6 +140,13 @@ std::unique_ptr<Pass> createVectorCombinePass();
 std::unique_ptr<Pass> createInferAlignmentPass();
 std::unique_ptr<Pass> createMoveAutoInitPass();
 std::unique_ptr<Pass> createLoweringPass();
+
+// Fault-injection passes (TestPasses.cpp) for exercising the campaign's
+// survivability machinery: never part of O1/O2, only reachable by naming
+// them in -passes=.
+std::unique_ptr<Pass> createTestSlowPass();
+std::unique_ptr<Pass> createTestCrashPass();
+std::unique_ptr<Pass> createTestAbortPass();
 
 } // namespace alive
 

@@ -6,6 +6,7 @@
 
 #include "opt/Pass.h"
 
+#include "support/Cancellation.h"
 #include "support/TraceRecorder.h"
 
 #include <functional>
@@ -32,6 +33,11 @@ bool PassManager::run(Module &M, ChangedFunctionSet *ChangedOut) {
   std::optional<BugContextScope> Scope;
   if (BugCtx)
     Scope.emplace(BugCtx);
+  // Ambient watchdog for the pass bodies (mirrors the bug context): long
+  // per-function transforms can consume steps without PassManager plumbing.
+  std::optional<CancellationScope> WatchdogScope;
+  if (Watchdog)
+    WatchdogScope.emplace(Watchdog);
   if (Stats && PassStats.size() != Passes.size()) {
     PassStats.clear();
     for (auto &P : Passes) {
@@ -54,6 +60,8 @@ bool PassManager::run(Module &M, ChangedFunctionSet *ChangedOut) {
     ScopedTimer Sweep(T ? T->Seconds : nullptr);
     for (Function *F : M.functions())
       if (!F->isDeclaration()) {
+        if (Watchdog && Watchdog->consume(1))
+          return Changed;
         if (T)
           ++*T->Invocations;
         if (P.runOnFunction(*F)) {
@@ -72,6 +80,8 @@ bool PassManager::runToFixpoint(Module &M, unsigned MaxIter,
                                 ChangedFunctionSet *ChangedOut) {
   bool Changed = false;
   for (unsigned I = 0; I != MaxIter; ++I) {
+    if (Watchdog && Watchdog->cancelled())
+      break;
     if (!run(M, ChangedOut))
       break;
     Changed = true;
@@ -97,6 +107,10 @@ const std::map<std::string, Factory> &registry() {
       {"infer-alignment", createInferAlignmentPass},
       {"move-auto-init", createMoveAutoInitPass},
       {"lowering", createLoweringPass},
+      // Fault injectors — opt-in via -passes=, never in O1/O2.
+      {"test-slow", createTestSlowPass},
+      {"test-crash", createTestCrashPass},
+      {"test-abort", createTestAbortPass},
   };
   return Registry;
 }

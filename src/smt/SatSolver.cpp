@@ -6,6 +6,8 @@
 
 #include "smt/SatSolver.h"
 
+#include "support/Cancellation.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -242,7 +244,9 @@ uint64_t SatSolver::luby(uint64_t I) {
   return 1ULL << (K - 1);
 }
 
-SatSolver::Result SatSolver::solve(uint64_t ConflictBudget) {
+SatSolver::Result SatSolver::solve(uint64_t ConflictBudget,
+                                   CancellationToken *Token) {
+  LastStop = Stop::None;
   if (Unsatisfiable)
     return Result::Unsat;
   if (propagate() != -1) {
@@ -263,8 +267,14 @@ SatSolver::Result SatSolver::solve(uint64_t ConflictBudget) {
         Unsatisfiable = true;
         return Result::Unsat;
       }
-      if (ConflictBudget && Statistics.Conflicts >= ConflictBudget)
+      if (ConflictBudget && Statistics.Conflicts >= ConflictBudget) {
+        LastStop = Stop::ConflictBudget;
         return Result::Unknown;
+      }
+      if (Token && Token->consume(1)) {
+        LastStop = Stop::Cancelled;
+        return Result::Unknown;
+      }
 
       std::vector<Lit> Learnt;
       int BTLevel;
@@ -296,6 +306,12 @@ SatSolver::Result SatSolver::solve(uint64_t ConflictBudget) {
     int V = pickBranchVar();
     if (V == 0)
       return Result::Sat; // all variables assigned
+    // Cooperate with the iteration watchdog on conflict-free instances
+    // too (pure propagation chains never reach the conflict branch).
+    if (Token && Token->consume(1)) {
+      LastStop = Stop::Cancelled;
+      return Result::Unknown;
+    }
     ++Statistics.Decisions;
     TrailLimits.push_back((unsigned)Trail.size());
     enqueue(SavedPhase[V] == 1 ? V : -V, -1);

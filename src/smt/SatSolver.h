@@ -21,6 +21,8 @@
 
 namespace alive {
 
+class CancellationToken;
+
 /// A literal: +v asserts variable v, -v asserts its negation. Variables are
 /// numbered from 1.
 using Lit = int;
@@ -29,6 +31,17 @@ using Lit = int;
 class SatSolver {
 public:
   enum class Result { Sat, Unsat, Unknown };
+
+  /// Why the last solve() call stopped without an answer. Distinguishes
+  /// ordinary budget exhaustion (deterministic: the query itself is too
+  /// hard for the configured conflict budget) from a watchdog
+  /// cancellation (the enclosing fuzzing iteration was cut off) — the two
+  /// need different reporting, not one conflated "Unknown".
+  enum class Stop {
+    None,           ///< last solve() returned Sat or Unsat
+    ConflictBudget, ///< the per-query conflict budget ran out
+    Cancelled,      ///< the iteration watchdog cancelled the search
+  };
 
   /// Cumulative search statistics (for the bench_tv harness).
   struct Stats {
@@ -55,8 +68,16 @@ public:
   }
 
   /// Solves the current formula. \p ConflictBudget bounds the search
-  /// (0 = unlimited); exceeding it yields Unknown.
-  Result solve(uint64_t ConflictBudget = 0);
+  /// (0 = unlimited); exceeding it yields Unknown. \p Token (optional)
+  /// lets the iteration watchdog cancel the search cooperatively: the
+  /// solver consumes one token step per conflict and per decision, and a
+  /// cancelled search also yields Unknown — stopCause() tells the two
+  /// apart.
+  Result solve(uint64_t ConflictBudget = 0,
+               CancellationToken *Token = nullptr);
+
+  /// Why the last solve() stopped without a Sat/Unsat answer.
+  Stop stopCause() const { return LastStop; }
 
   /// After Sat: the model value of \p Var.
   bool modelValue(int Var) const;
@@ -118,6 +139,7 @@ private:
   std::vector<uint8_t> Seen;
 
   Stats Statistics;
+  Stop LastStop = Stop::None;
 };
 
 } // namespace alive

@@ -1,0 +1,22 @@
+//===- support/Cancellation.cpp - Cooperative iteration watchdog -----------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Cancellation.h"
+
+using namespace alive;
+
+namespace {
+thread_local CancellationToken *ActiveToken = nullptr;
+} // namespace
+
+CancellationScope::CancellationScope(CancellationToken *Token)
+    : Prev(ActiveToken) {
+  ActiveToken = Token;
+}
+
+CancellationScope::~CancellationScope() { ActiveToken = Prev; }
+
+CancellationToken *alive::currentCancellationToken() { return ActiveToken; }

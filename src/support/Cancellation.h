@@ -1,0 +1,133 @@
+//===- support/Cancellation.h - Cooperative iteration watchdog --*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The survivability layer's cancellation primitive: a cooperative token
+/// threaded through the pass manager, the interpreter and the refinement
+/// checker so a hung iteration becomes a recorded Timeout outcome instead
+/// of a wedged campaign.
+///
+/// Two triggers, deliberately separate:
+///   - a *step budget*: the instrumented stages consume abstract steps
+///     (interpreter instructions, solver conflicts, pass sweeps) and the
+///     token trips when the per-iteration budget is exhausted. Steps are
+///     consumed only by the owning worker thread, so the trip point is
+///     deterministic per seed — step-budget timeouts reproduce exactly,
+///     across runs and across worker counts;
+///   - a *wall-clock backstop*: a supervisor thread watches each worker's
+///     iteration serial and cancels the token when one iteration sits on
+///     the same serial for too long. Inherently nondeterministic — the
+///     engine keeps wall-clock timeout counts out of the deterministic
+///     report section.
+///
+/// The token is all-atomic: the worker consumes and polls it on hot paths
+/// (relaxed operations, no fences), the supervisor only reads the serial
+/// and CAS-writes the cancel flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_CANCELLATION_H
+#define SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace alive {
+
+/// One worker's cancellation state, reset per iteration.
+class CancellationToken {
+public:
+  enum class Reason : uint32_t {
+    None = 0,
+    StepBudget = 1, ///< deterministic: the per-iteration step budget ran out
+    WallClock = 2,  ///< nondeterministic: the supervisor's backstop fired
+  };
+
+  /// Starts a new iteration: resets the step counter and the cancel flag,
+  /// sets the budget (0 = unlimited) and advances the serial so a stale
+  /// wall-clock cancel aimed at the previous iteration cannot land here.
+  void beginIteration(uint64_t Budget) {
+    StepBudget = Budget;
+    StepsUsed.store(0, std::memory_order_relaxed);
+    CancelFlag.store((uint32_t)Reason::None, std::memory_order_relaxed);
+    Serial.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Consumes \p N steps. \returns true when the token is (now) cancelled —
+  /// callers unwind cooperatively. Only the owning thread consumes, so
+  /// budget trips are deterministic.
+  bool consume(uint64_t N = 1) {
+    if (CancelFlag.load(std::memory_order_relaxed) != (uint32_t)Reason::None)
+      return true;
+    if (StepBudget) {
+      uint64_t Used = StepsUsed.fetch_add(N, std::memory_order_relaxed) + N;
+      if (Used > StepBudget) {
+        CancelFlag.store((uint32_t)Reason::StepBudget,
+                         std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool cancelled() const {
+    return CancelFlag.load(std::memory_order_relaxed) !=
+           (uint32_t)Reason::None;
+  }
+
+  Reason reason() const {
+    return (Reason)CancelFlag.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic iteration counter, read by the wall-clock supervisor.
+  uint64_t serial() const { return Serial.load(std::memory_order_acquire); }
+
+  /// Supervisor-side wall-clock cancel: fires only when the worker is
+  /// still on iteration \p SerialSeen. The residual race (the worker
+  /// advances the serial between the check and the store) is benign — the
+  /// next beginIteration clears the flag, and wall-clock timeouts are
+  /// volatile-only by design.
+  void cancelIfStillOn(uint64_t SerialSeen) {
+    if (Serial.load(std::memory_order_acquire) == SerialSeen) {
+      uint32_t Expected = (uint32_t)Reason::None;
+      CancelFlag.compare_exchange_strong(Expected, (uint32_t)Reason::WallClock,
+                                         std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t stepsUsed() const {
+    return StepsUsed.load(std::memory_order_relaxed);
+  }
+  uint64_t stepBudget() const { return StepBudget; }
+
+private:
+  std::atomic<uint64_t> StepsUsed{0};
+  uint64_t StepBudget = 0; // written at beginIteration, read by the owner
+  std::atomic<uint32_t> CancelFlag{(uint32_t)Reason::None};
+  std::atomic<uint64_t> Serial{0};
+};
+
+/// Installs \p Token as the calling thread's ambient cancellation token for
+/// the scope's lifetime (mirrors BugContextScope): deep callees that take
+/// no token parameter — e.g. the fault-injection test passes — cooperate
+/// via currentCancellationToken().
+class CancellationScope {
+public:
+  explicit CancellationScope(CancellationToken *Token);
+  ~CancellationScope();
+  CancellationScope(const CancellationScope &) = delete;
+  CancellationScope &operator=(const CancellationScope &) = delete;
+
+private:
+  CancellationToken *Prev;
+};
+
+/// The calling thread's ambient token (null outside any scope).
+CancellationToken *currentCancellationToken();
+
+} // namespace alive
+
+#endif // SUPPORT_CANCELLATION_H

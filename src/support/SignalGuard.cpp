@@ -1,0 +1,88 @@
+//===- support/SignalGuard.cpp - In-process fatal-signal containment -------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SignalGuard.h"
+
+#include <csetjmp>
+#include <csignal>
+#include <mutex>
+
+using namespace alive;
+
+namespace {
+
+/// The innermost armed guard's jump target on this thread; null when the
+/// thread is unguarded.
+thread_local sigjmp_buf *ActiveGuardJmp = nullptr;
+
+constexpr int GuardedSignals[] = {SIGABRT, SIGFPE, SIGILL, SIGBUS, SIGSEGV};
+
+extern "C" void guardHandler(int Sig) {
+  if (ActiveGuardJmp) {
+    // Async-signal-safe: siglongjmp restores the signal mask saved by
+    // sigsetjmp(env, 1), un-blocking the delivered signal.
+    siglongjmp(*ActiveGuardJmp, Sig);
+  }
+  // Unguarded thread: restore the default disposition and re-deliver so
+  // the process crashes exactly as it would have without us.
+  signal(Sig, SIG_DFL);
+  raise(Sig);
+}
+
+void installHandlersOnce() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    struct sigaction SA;
+    SA.sa_handler = guardHandler;
+    sigemptyset(&SA.sa_mask);
+    // SA_NODEFER deliberately absent: the signal stays blocked inside the
+    // handler; siglongjmp's mask restore un-blocks it.
+    SA.sa_flags = 0;
+    for (int Sig : GuardedSignals)
+      sigaction(Sig, &SA, nullptr);
+  });
+}
+
+} // namespace
+
+bool alive::runWithSignalGuard(const std::function<void()> &Fn, int &SigOut) {
+  installHandlersOnce();
+  sigjmp_buf Env;
+  sigjmp_buf *Prev = ActiveGuardJmp;
+  int Sig = sigsetjmp(Env, /*savemask=*/1);
+  if (Sig != 0) {
+    // Landed here from the handler: the guarded code is gone mid-flight.
+    ActiveGuardJmp = Prev;
+    SigOut = Sig;
+    return false;
+  }
+  ActiveGuardJmp = &Env;
+  try {
+    Fn();
+  } catch (...) {
+    ActiveGuardJmp = Prev;
+    throw;
+  }
+  ActiveGuardJmp = Prev;
+  return true;
+}
+
+const char *alive::signalName(int Sig) {
+  switch (Sig) {
+  case SIGABRT:
+    return "SIGABRT";
+  case SIGFPE:
+    return "SIGFPE";
+  case SIGILL:
+    return "SIGILL";
+  case SIGBUS:
+    return "SIGBUS";
+  case SIGSEGV:
+    return "SIGSEGV";
+  default:
+    return "fatal signal";
+  }
+}

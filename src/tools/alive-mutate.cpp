@@ -6,27 +6,31 @@
 ///
 /// \file
 /// The alive-mutate command-line tool: runs the in-process
-/// mutate-optimize-verify loop over an input .ll file (paper §III and the
-/// artifact appendix's CLI: -n, -t, -seed, -passes, -save-dir, -saveAll),
-/// sharded across -j worker threads with a deterministic merge.
+/// mutate-optimize-verify loop over an input corpus (one or more .ll
+/// files; paper §III and the artifact appendix's CLI: -n, -t, -seed,
+/// -passes, -save-dir, -saveAll), sharded across -j worker threads with a
+/// deterministic merge. The survivability flags (-step-budget,
+/// -iter-timeout, -isolate, -checkpoint/-resume, -quarantine) keep a long
+/// campaign alive across hangs and optimizer crashes.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/CampaignEngine.h"
 #include "core/Forensics.h"
 #include "core/RunReport.h"
+#include "corpus/CorpusLoader.h"
 #include "opt/BugInjection.h"
-#include "parser/Parser.h"
 #include "tools/ToolCommon.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 using namespace alive;
 
 static void printHelp() {
   std::puts(
-      "usage: alive-mutate [options] input.ll\n"
+      "usage: alive-mutate [options] input.ll [more.ll ...]\n"
       "  -n=<count>        number of mutants to generate (default 1000)\n"
       "  -t=<seconds>      time budget instead of a mutant count\n"
       "  -seed=<n>         base PRNG seed (default 1)\n"
@@ -40,6 +44,23 @@ static void printHelp() {
       "  -save-dir=<dir>   write mutants to <dir> (created if missing)\n"
       "  -saveAll          save every mutant, not only failing ones\n"
       "  -inject-bugs      enable the 33 seeded Table I defects\n"
+      "  -step-budget=<n>  deterministic per-phase watchdog budget; a\n"
+      "                    tripped iteration is recorded as a timeout\n"
+      "  -iter-timeout=<s> wall-clock backstop per iteration phase (may be\n"
+      "                    fractional; timeouts are volatile stats)\n"
+      "  -quarantine=<n>   back off a function's refinement checks after\n"
+      "                    <n> watchdog timeouts (default: off)\n"
+      "  -isolate          run each shard in a supervised child process;\n"
+      "                    fatal signals become recorded crash bugs and\n"
+      "                    the shard restarts (requires -n)\n"
+      "  -isolate-mem-mb=<n> RLIMIT_AS for isolated shards, in MiB\n"
+      "  -isolate-cpu-s=<n>  RLIMIT_CPU for isolated shards, in seconds\n"
+      "  -no-signal-guard  do not contain optimizer SIGABRT/SIGSEGV/...\n"
+      "                    in-process (guard is on by default; -isolate\n"
+      "                    supersedes it with process isolation)\n"
+      "  -checkpoint=<dir> write periodic campaign checkpoints to <dir>\n"
+      "  -checkpoint-interval=<n> iterations between checkpoints\n"
+      "  -resume           resume the campaign recorded in -checkpoint\n"
       "  -progress=<sec>   print campaign progress every <sec> seconds\n"
       "  -stats-json=<file> write a schema-versioned JSON run report\n"
       "  -trace-json=<file> write a Chrome trace (flight recorder, one\n"
@@ -73,6 +94,17 @@ static int runReplay(const std::string &Bundle) {
 int main(int Argc, char **Argv) {
   ArgParser Args(Argc, Argv);
   if (Args.has("replay")) {
+    // A replay re-runs exactly one recorded iteration in-process; campaign
+    // flags make no sense next to it. Reject instead of silently ignoring.
+    for (const char *Bad : {"j", "resume", "isolate", "checkpoint"})
+      if (Args.has(Bad)) {
+        std::fprintf(stderr,
+                     "error: -replay cannot be combined with -%s: a replay "
+                     "re-runs one recorded bundle, not a campaign; drop -%s "
+                     "or run the campaign without -replay\n",
+                     Bad, Bad);
+        return 1;
+      }
     // Both `-replay=<bundle>` and `-replay <bundle>` (positional) work.
     std::string Bundle = Args.get("replay");
     if (Bundle.empty() && !Args.positional().empty())
@@ -86,13 +118,6 @@ int main(int Argc, char **Argv) {
   if (Args.has("help") || Args.positional().empty()) {
     printHelp();
     return Args.has("help") ? 0 : 1;
-  }
-
-  std::string Err;
-  auto M = parseModuleFile(Args.positional()[0], Err);
-  if (!M) {
-    std::fprintf(stderr, "error: %s\n", Err.c_str());
-    return 1;
   }
 
   FuzzOptions Opts;
@@ -117,9 +142,61 @@ int main(int Argc, char **Argv) {
   Opts.TraceCapacity =
       (size_t)Args.getInt("trace-capacity", TraceRecorder::DefaultCapacity);
 
+  // Survivability. The in-process signal guard is on by default for the
+  // fuzzing tool — a real optimizer abort should be a recorded crash bug,
+  // not a dead campaign — and off under -isolate, where process isolation
+  // both contains the signal and survives the signals no in-process
+  // handler can (SIGKILL from RLIMIT_AS, stack-smashing SIGSEGV).
+  SurvivalOptions &SV = Opts.Survival;
+  SV.StepBudget = Args.getInt("step-budget", 0);
+  if (std::string V = Args.get("iter-timeout"); !V.empty())
+    SV.WallTimeoutSeconds = std::atof(V.c_str());
+  SV.QuarantineThreshold = (unsigned)Args.getInt("quarantine", 0);
+  SV.Isolate = Args.has("isolate");
+  SV.IsolateMemMB = Args.getInt("isolate-mem-mb", 0);
+  SV.IsolateCpuSeconds = Args.getInt("isolate-cpu-s", 0);
+  SV.SignalGuard = !Args.has("no-signal-guard") && !SV.Isolate;
+  SV.CheckpointDir = Args.get("checkpoint");
+  SV.CheckpointInterval = Args.getInt("checkpoint-interval", 0);
+  SV.Resume = Args.has("resume");
+
+  if (SV.Resume && SV.CheckpointDir.empty()) {
+    std::fprintf(stderr,
+                 "error: -resume needs -checkpoint=<dir> naming the "
+                 "checkpoint directory of the interrupted campaign\n");
+    return 1;
+  }
+  if (SV.Isolate && Args.has("t")) {
+    std::fprintf(stderr,
+                 "error: -isolate needs an iteration-bounded campaign: "
+                 "replace -t=<sec> with -n=<count> (shard partitions and "
+                 "crash attribution need a fixed seed range)\n");
+    return 1;
+  }
+  if (SV.Isolate && Opts.TraceEnabled) {
+    std::fprintf(stderr,
+                 "error: -trace-json cannot cross the -isolate process "
+                 "boundary: the flight recorder lives in shard memory; "
+                 "drop one of the two flags\n");
+    return 1;
+  }
+
   if (Opts.Iterations == 0 && Opts.TimeLimitSeconds <= 0) {
     std::fprintf(stderr,
                  "error: unbounded campaign: give -n=<count> or -t=<sec>\n");
+    return 1;
+  }
+
+  // The corpus: every positional argument is a .ll file, merged into one
+  // campaign module. Broken files are skipped with a warning (counted in
+  // the report), not fatal — real test suites always have a few.
+  CorpusLoadResult Corpus = loadCorpus(Args.positional());
+  for (const std::string &W : Corpus.Warnings)
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+  if (!Corpus.M) {
+    std::fprintf(stderr,
+                 "error: no usable corpus file among %zu input(s)\n",
+                 Args.positional().size());
     return 1;
   }
 
@@ -133,10 +210,15 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  unsigned Testable = Engine.loadModule(std::move(M));
-  std::printf("alive-mutate: %u testable function(s), pipeline '%s', "
-              "%u worker(s)\n",
-              Testable, Opts.Passes.c_str(), Engine.jobs());
+  unsigned Testable = Engine.loadModule(std::move(Corpus.M));
+  std::printf("alive-mutate: %u testable function(s) from %u corpus "
+              "file(s), pipeline '%s', %u worker(s)%s\n",
+              Testable, Corpus.FilesLoaded, Opts.Passes.c_str(),
+              Engine.jobs(), SV.Isolate ? " [isolated]" : "");
+  if (Corpus.FilesSkipped)
+    std::printf("corpus:         %u file(s) skipped, %u function(s) "
+                "renamed\n",
+                Corpus.FilesSkipped, Corpus.Renamed);
   if (Testable == 0)
     return 0;
 
@@ -196,6 +278,29 @@ int main(int Argc, char **Argv) {
   std::printf("inconclusive:   %llu\n", (unsigned long long)S.Inconclusive);
   std::printf("invalid:        %llu\n",
               (unsigned long long)S.InvalidMutants);
+  if (S.Timeouts)
+    std::printf("timeouts:       %llu (quarantine: %llu check(s) "
+                "skipped)\n",
+                (unsigned long long)S.Timeouts,
+                (unsigned long long)Engine.registry().counterValue(
+                    "survive.quarantine.skips"));
+  if (uint64_t Contained =
+          Engine.registry().counterValue("survive.contained-signals"))
+    std::printf("contained:      %llu optimizer signal(s) caught "
+                "in-process\n",
+                (unsigned long long)Contained);
+  if (SV.Isolate)
+    std::printf("isolation:      %llu shard crash(es), %llu restart(s)\n",
+                (unsigned long long)Engine.registry().counterValue(
+                    "survive.isolate.crashes"),
+                (unsigned long long)Engine.registry().counterValue(
+                    "survive.isolate.restarts"));
+  if (!SV.CheckpointDir.empty())
+    std::printf("checkpoints:    %llu written (%llu failure(s))\n",
+                (unsigned long long)Engine.registry().counterValue(
+                    "survive.checkpoint.writes"),
+                (unsigned long long)Engine.registry().counterValue(
+                    "survive.checkpoint.failures"));
   if (!Opts.SaveDir.empty())
     std::printf("saved:          %llu (%llu save failure(s))\n",
                 (unsigned long long)S.MutantsSaved,
@@ -225,8 +330,11 @@ int main(int Argc, char **Argv) {
     RC.Iterations = Opts.Iterations;
     RC.BaseSeed = Opts.BaseSeed;
     RC.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
+    RC.CorpusFiles = Corpus.FilesLoaded;
+    RC.CorpusSkipped = Corpus.FilesSkipped;
     RC.Jobs = Engine.jobs();
     RC.WallSeconds = S.TotalSeconds;
+    RC.Interrupted = Engine.interrupted();
     std::string ReportErr;
     if (!writeRunReportFile(StatsPath, RC, S, Engine.bugs(),
                             Engine.registry(), ReportErr))
@@ -244,10 +352,17 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "warning: %s\n", Engine.saveDirError().c_str());
   if (!Engine.bundleError().empty())
     std::fprintf(stderr, "warning: %s\n", Engine.bundleError().c_str());
+  if (!Engine.isolateError().empty())
+    std::fprintf(stderr, "warning: %s\n", Engine.isolateError().c_str());
   if (S.SaveFailures > 0)
     std::fprintf(stderr,
                  "warning: %llu mutant(s) could not be saved to '%s'\n",
                  (unsigned long long)S.SaveFailures, Opts.SaveDir.c_str());
+  if (Engine.interrupted())
+    std::fprintf(stderr,
+                 "note: campaign interrupted before finishing; rerun with "
+                 "-resume and the same flags to continue from the last "
+                 "checkpoint\n");
   if (S.RefinementFailures || S.Crashes)
     return 2;
   return S.SaveFailures ? 3 : 0;

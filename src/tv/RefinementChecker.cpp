@@ -50,12 +50,18 @@ bool sameSignature(const Function &A, const Function &B) {
 
 namespace {
 
-/// What one concrete refinement trial established.
+/// What one concrete refinement trial established. Vacuous cases keep the
+/// reason (UB vs fuel vs unsupported) so budget exhaustion is reported as
+/// budget exhaustion, not folded into a generic "inconclusive".
 enum class TrialOutcome {
-  Violation,     ///< refinement violated (Detail filled in)
-  NoViolation,   ///< both sides ran; the target refined the source
-  VacuousSource, ///< src UB / out of fuel: any target behavior is allowed
-  VacuousTarget, ///< tgt fuel/unsupported: the trial decided nothing
+  Violation,             ///< refinement violated (Detail filled in)
+  NoViolation,           ///< both sides ran; the target refined the source
+  VacuousSrcUB,          ///< src UB: any target behavior is allowed
+  VacuousSrcFuel,        ///< src out of fuel: no verdict on this input
+  VacuousSrcUnsupported, ///< src hit an unsupported construct
+  VacuousTgtFuel,        ///< tgt out of fuel: the trial decided nothing
+  VacuousTgtUnsupported, ///< tgt hit an unsupported construct
+  Cancelled,             ///< the iteration watchdog cut the trial short
 };
 
 /// One concrete refinement trial.
@@ -68,8 +74,14 @@ TrialOutcome runConcreteTrial(const Function &Src, const Function &Tgt,
   Memory SrcMem = InitialMem.clone();
   Interpreter SrcInterp(SrcMem, EOpts);
   ExecResult SR = SrcInterp.run(Src, Args);
+  if (SR.Status == ExecStatus::Cancelled)
+    return TrialOutcome::Cancelled;
+  if (SR.Status == ExecStatus::UB)
+    return TrialOutcome::VacuousSrcUB;
+  if (SR.Status == ExecStatus::OutOfFuel)
+    return TrialOutcome::VacuousSrcFuel;
   if (SR.Status != ExecStatus::Ok)
-    return TrialOutcome::VacuousSource;
+    return TrialOutcome::VacuousSrcUnsupported;
 
   Memory TgtMem = InitialMem.clone();
   Interpreter TgtInterp(TgtMem, EOpts);
@@ -82,8 +94,12 @@ TrialOutcome runConcreteTrial(const Function &Src, const Function &Tgt,
     Detail = OS.str();
     return TrialOutcome::Violation;
   }
+  if (TR.Status == ExecStatus::Cancelled)
+    return TrialOutcome::Cancelled;
+  if (TR.Status == ExecStatus::OutOfFuel)
+    return TrialOutcome::VacuousTgtFuel;
   if (TR.Status != ExecStatus::Ok)
-    return TrialOutcome::VacuousTarget;
+    return TrialOutcome::VacuousTgtUnsupported;
 
   // Return-value refinement.
   if (!SR.IsVoid) {
@@ -124,9 +140,12 @@ TrialOutcome runConcreteTrial(const Function &Src, const Function &Tgt,
   return TrialOutcome::NoViolation;
 }
 
-/// Concrete-path checker: bounded enumeration / sampling.
+/// Concrete-path checker: bounded enumeration / sampling. \p Stats
+/// (optional) receives a volatile per-reason vacuous-trial breakdown
+/// ("tv.concrete.vacuous.*") so fuel exhaustion is auditable separately
+/// from UB/unsupported vacuousness.
 TVResult checkConcrete(const Function &Src, const Function &Tgt,
-                       const TVOptions &Opts) {
+                       const TVOptions &Opts, StatRegistry *Stats) {
   TVResult Res;
   Res.UsedConcretePath = true;
 
@@ -163,6 +182,7 @@ TVResult checkConcrete(const Function &Src, const Function &Tgt,
 
   ExecOptions EOpts;
   EOpts.Fuel = Opts.Fuel;
+  EOpts.Token = Opts.Token;
 
   // Builds the memory image and argument vector for one trial.
   auto buildTrial = [&](RandomGenerator &RNG, uint64_t TrialSeed,
@@ -221,7 +241,23 @@ TVResult checkConcrete(const Function &Src, const Function &Tgt,
   bool Exhaustive =
       TotalBits <= Opts.ExhaustiveBits && TotalBits <= MaxExhaustiveBits;
   uint64_t Trials = Exhaustive ? (1ULL << TotalBits) : Opts.ConcreteTrials;
-  uint64_t VacuousSrc = 0, VacuousTgt = 0;
+  uint64_t SrcUB = 0, SrcFuel = 0, SrcUnsup = 0, TgtFuel = 0, TgtUnsup = 0;
+
+  auto RecordVacuousStats = [&] {
+    if (!Stats)
+      return;
+    // Volatile: counts actual checker invocations, which the TV cache
+    // elides differently per worker count.
+    auto Bump = [&](const char *Name, uint64_t N) {
+      if (N)
+        Stats->counter(Name, Volatility::Volatile) += N;
+    };
+    Bump("tv.concrete.vacuous.src-ub", SrcUB);
+    Bump("tv.concrete.vacuous.src-fuel", SrcFuel);
+    Bump("tv.concrete.vacuous.src-unsupported", SrcUnsup);
+    Bump("tv.concrete.vacuous.tgt-fuel", TgtFuel);
+    Bump("tv.concrete.vacuous.tgt-unsupported", TgtUnsup);
+  };
 
   RandomGenerator RNG(Opts.Seed);
   for (uint64_t T = 0; T != Trials; ++T) {
@@ -236,18 +272,46 @@ TVResult checkConcrete(const Function &Src, const Function &Tgt,
       Res.Verdict = TVVerdict::Incorrect;
       Res.Detail = Detail;
       Res.CounterExample = Args; // one entry per parameter, lanes intact
+      RecordVacuousStats();
       return Res;
     case TrialOutcome::NoViolation:
       break;
-    case TrialOutcome::VacuousSource:
-      ++VacuousSrc;
+    case TrialOutcome::VacuousSrcUB:
+      ++SrcUB;
       break;
-    case TrialOutcome::VacuousTarget:
-      ++VacuousTgt;
+    case TrialOutcome::VacuousSrcFuel:
+      ++SrcFuel;
       break;
+    case TrialOutcome::VacuousSrcUnsupported:
+      ++SrcUnsup;
+      break;
+    case TrialOutcome::VacuousTgtFuel:
+      ++TgtFuel;
+      break;
+    case TrialOutcome::VacuousTgtUnsupported:
+      ++TgtUnsup;
+      break;
+    case TrialOutcome::Cancelled: {
+      Res.Verdict = TVVerdict::Inconclusive;
+      std::ostringstream Cut;
+      Cut << "cancelled by iteration watchdog after " << T << " of " << Trials
+          << " concrete trials";
+      Res.Detail = Cut.str();
+      if (Stats)
+        ++Stats->counter("tv.concrete.cancelled", Volatility::Volatile);
+      RecordVacuousStats();
+      return Res;
+    }
     }
   }
+  RecordVacuousStats();
 
+  uint64_t VacuousSrc = SrcUB + SrcFuel + SrcUnsup;
+  uint64_t VacuousTgt = TgtFuel + TgtUnsup;
+  // True when every indecisive trial ran out of interpreter fuel — a pure
+  // step-limit exhaustion, as opposed to UB/unsupported vacuousness. The
+  // marker text is what tvVerdictReason keys "inconclusive.fuel" off.
+  bool FuelOnly = SrcUB == 0 && SrcUnsup == 0 && TgtUnsup == 0;
   std::ostringstream OS;
   if (VacuousSrc + VacuousTgt == Trials) {
     // Not a single trial compared both sides: "no violation" would be a
@@ -255,25 +319,36 @@ TVResult checkConcrete(const Function &Src, const Function &Tgt,
     Res.Verdict = TVVerdict::Inconclusive;
     if (VacuousTgt)
       OS << "no trial was decisive: source UB/fuel on " << VacuousSrc
-         << ", target fuel/unsupported on " << VacuousTgt << " of " << Trials
-         << " trials";
+         << " (UB " << SrcUB << ", fuel " << SrcFuel << ", unsupported "
+         << SrcUnsup << "), target fuel/unsupported on " << VacuousTgt
+         << " (fuel " << TgtFuel << ", unsupported " << TgtUnsup << ") of "
+         << Trials << " trials";
     else
-      OS << "source function has UB or exceeds fuel on every trial";
+      OS << "source function has UB or exceeds fuel on every trial (UB "
+         << SrcUB << ", fuel " << SrcFuel << ", unsupported " << SrcUnsup
+         << ")";
+    if (FuelOnly)
+      OS << "; all indecision from fuel exhaustion";
   } else {
     Res.Verdict = TVVerdict::Correct;
     OS << (Exhaustive ? "exhaustive enumeration"
                       : "sampled trials (bounded guarantee)");
     if (VacuousTgt)
       OS << "; " << VacuousTgt << " of " << Trials
-         << " trials vacuous on target (fuel/unsupported)";
+         << " trials vacuous on target (fuel " << TgtFuel << ", unsupported "
+         << TgtUnsup << ")";
   }
   Res.Detail = OS.str();
   return Res;
 }
 
-/// Symbolic-path checker.
+/// Symbolic-path checker. \p Stats (optional) receives volatile counters
+/// distinguishing the two ways a query can stop without an answer:
+/// "tv.solver.budget-exhausted" (the per-query conflict budget — a
+/// deterministic property of the query) vs "tv.solver.cancelled" (the
+/// iteration watchdog cut the search off).
 TVResult checkSymbolic(const Function &Src, const Function &Tgt,
-                       const TVOptions &Opts) {
+                       const TVOptions &Opts, StatRegistry *Stats) {
   TVResult Res;
   TermBuilder B;
   FunctionEncoder Enc(B);
@@ -300,7 +375,7 @@ TVResult checkSymbolic(const Function &Src, const Function &Tgt,
   SatSolver Solver;
   BitBlaster BB(Solver);
   BB.assertTrue(Violation);
-  SatSolver::Result R = Solver.solve(Opts.SolverConflictBudget);
+  SatSolver::Result R = Solver.solve(Opts.SolverConflictBudget, Opts.Token);
   Res.SolverStats = Solver.stats();
 
   if (R == SatSolver::Result::Unsat) {
@@ -310,7 +385,15 @@ TVResult checkSymbolic(const Function &Src, const Function &Tgt,
   }
   if (R == SatSolver::Result::Unknown) {
     Res.Verdict = TVVerdict::Inconclusive;
-    Res.Detail = "solver budget exhausted";
+    if (Solver.stopCause() == SatSolver::Stop::Cancelled) {
+      Res.Detail = "solver cancelled by iteration watchdog";
+      if (Stats)
+        ++Stats->counter("tv.solver.cancelled", Volatility::Volatile);
+    } else {
+      Res.Detail = "solver budget exhausted";
+      if (Stats)
+        ++Stats->counter("tv.solver.budget-exhausted", Volatility::Volatile);
+    }
     return Res;
   }
 
@@ -327,14 +410,22 @@ TVResult checkSymbolic(const Function &Src, const Function &Tgt,
   ExecOptions EOpts;
   EOpts.Fuel = Opts.Fuel;
   EOpts.TrialSeed = Opts.Seed;
+  EOpts.Token = Opts.Token;
   Memory Mem;
   std::string Detail;
-  if (runConcreteTrial(Src, Tgt, ConcArgs, Mem, EOpts, Detail, {}, {}) ==
-      TrialOutcome::Violation) {
+  TrialOutcome Replay =
+      runConcreteTrial(Src, Tgt, ConcArgs, Mem, EOpts, Detail, {}, {});
+  if (Replay == TrialOutcome::Violation) {
     Res.Verdict = TVVerdict::Incorrect;
     Res.Detail = Detail;
     Res.CounterExample = ConcArgs; // one entry per parameter, poison kept
     Res.UsedConcretePath = true;   // the replay decided the verdict
+    return Res;
+  }
+  if (Replay == TrialOutcome::Cancelled) {
+    Res.Verdict = TVVerdict::Inconclusive;
+    Res.Detail = "cancelled by iteration watchdog during counterexample "
+                 "replay";
     return Res;
   }
 
@@ -366,11 +457,17 @@ std::string alive::tvVerdictReason(const TVResult &R) {
     return "unsupported.domain";
   case TVVerdict::Inconclusive:
     // Order matters: a budget-exhausted symbolic check that degraded to
-    // the concrete path carries the solver detail as a prefix.
+    // the concrete path carries the solver detail as a prefix, and a
+    // watchdog cancellation trumps everything (the check never finished,
+    // so no other reason is meaningful).
+    if (Has("cancelled by iteration watchdog"))
+      return "inconclusive.cancelled";
     if (Has("solver budget exhausted"))
       return "inconclusive.budget";
     if (Has("not confirmed"))
       return "inconclusive.unconfirmed-model";
+    if (Has("all indecision from fuel exhaustion"))
+      return "inconclusive.fuel";
     if (Has("no trial was decisive") || Has("UB or exceeds fuel"))
       return "inconclusive.vacuous";
     return "inconclusive.other";
@@ -385,7 +482,7 @@ TVResult instrumentedSymbolic(const Function &Src, const Function &Tgt,
                               const TVOptions &Opts, StatRegistry *Stats) {
   ScopedTimer T(Stats ? &Stats->histogram("tv.query.symbolic.seconds")
                       : nullptr);
-  TVResult R = checkSymbolic(Src, Tgt, Opts);
+  TVResult R = checkSymbolic(Src, Tgt, Opts, Stats);
   if (Stats) {
     ++Stats->counter("tv.query.symbolic", Volatility::Volatile);
     Stats->counter("tv.solver.conflicts", Volatility::Volatile) +=
@@ -403,7 +500,7 @@ TVResult instrumentedConcrete(const Function &Src, const Function &Tgt,
                       : nullptr);
   if (Stats)
     ++Stats->counter("tv.query.concrete", Volatility::Volatile);
-  return checkConcrete(Src, Tgt, Opts);
+  return checkConcrete(Src, Tgt, Opts, Stats);
 }
 
 } // namespace
@@ -445,6 +542,11 @@ TVResult alive::checkRefinement(const Function &Src, const Function &Tgt,
       // Solver budget exhausted (Alive2's SMT-timeout analog): degrade to
       // the bounded concrete check rather than giving up entirely.
       if (R.Verdict != TVVerdict::Inconclusive)
+        return R;
+      // A watchdog cancellation is not a budget problem the concrete path
+      // could rescue — the whole iteration is being cut off. Propagate
+      // immediately instead of burning the remaining time on trials.
+      if (Opts.Token && Opts.Token->cancelled())
         return R;
       if (Stats)
         ++Stats->counter("tv.symbolic.fallback", Volatility::Volatile);

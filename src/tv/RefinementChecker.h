@@ -34,6 +34,7 @@
 #include "ir/Interpreter.h"
 #include "ir/Module.h"
 #include "smt/SatSolver.h"
+#include "support/Cancellation.h"
 #include "support/Telemetry.h"
 
 #include <string>
@@ -64,6 +65,10 @@ struct TVOptions {
   uint64_t Fuel = 200000;
   /// Base seed for sampled trials.
   uint64_t Seed = 0xA11CE;
+  /// Optional iteration watchdog, threaded into the solver and the
+  /// interpreter. Not part of the verdict: TVCache::makeKey deliberately
+  /// excludes it (a cancelled check is never cached).
+  CancellationToken *Token = nullptr;
 };
 
 /// Result of one refinement check.

@@ -1,0 +1,623 @@
+//===- tests/survivability_test.cpp - Campaign survivability tests ----------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end tests for the survivability layer: the iteration watchdog
+/// (step budgets and the wall-clock backstop), in-process signal
+/// containment, quarantine backoff, checkpoint/resume byte-equality, the
+/// fork-based -isolate mode, and the robust corpus loader.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CampaignEngine.h"
+#include "core/Checkpoint.h"
+#include "core/RunReport.h"
+#include "corpus/CorpusLoader.h"
+#include "opt/BugInjection.h"
+#include "parser/Parser.h"
+#include "parser/Printer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace alive;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  std::string Err;
+  auto M = parseModule(Src, Err);
+  EXPECT_NE(M, nullptr) << Err;
+  return M;
+}
+
+/// Same corpus the campaign tests fuzz: surfaces PR52884/PR50693 when the
+/// matching injected defects are enabled.
+const char *TwoBugCorpus = R"(
+define i8 @smax_offset(i8 %x) {
+  %1 = add nuw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}
+
+define i8 @opposite_shifts(i8 %x) {
+  %a = shl i8 -2, %x
+  %b = lshr i8 %a, %x
+  ret i8 %b
+}
+)";
+
+FuzzOptions twoBugOptions(uint64_t Iterations) {
+  FuzzOptions Opts;
+  Opts.Passes = "instsimplify,constfold,instcombine,dce";
+  Opts.Iterations = Iterations;
+  Opts.BaseSeed = 1;
+  Opts.TV.ConcreteTrials = 16;
+  Opts.Bugs.enable(BugId::PR52884);
+  Opts.Bugs.enable(BugId::PR50693);
+  return Opts;
+}
+
+/// A unique per-test scratch directory, removed on destruction.
+struct ScratchDir {
+  std::string Path;
+  explicit ScratchDir(const std::string &Tag) {
+    Path = ::testing::TempDir() + "amr_surv_" + Tag;
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(Path); }
+};
+
+/// Serializes a finished engine's run report and returns the prefix up to
+/// the volatile section — the byte-comparable deterministic part.
+std::string deterministicReportPart(const CampaignEngine &Engine,
+                                    const FuzzOptions &Opts) {
+  RunReportConfig RC;
+  RC.Tool = "survivability_test";
+  RC.Passes = Opts.Passes;
+  RC.Iterations = Opts.Iterations;
+  RC.BaseSeed = Opts.BaseSeed;
+  RC.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
+  std::ostringstream OS;
+  writeRunReport(OS, RC, Engine.stats(), Engine.bugs(), Engine.registry());
+  std::string R = OS.str();
+  size_t Pos = R.find("\"volatile\"");
+  EXPECT_NE(Pos, std::string::npos);
+  return R.substr(0, Pos);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Iteration watchdog: step budgets.
+//===----------------------------------------------------------------------===//
+
+TEST(SurvivabilityTest, StepBudgetConvertsSlowPassIntoTimeout) {
+  // test-slow spins until the watchdog trips; without one it would burn
+  // its full safety cap every iteration. With a budget every iteration
+  // must come back as a recorded Timeout outcome, not a hang and not a
+  // bug.
+  FuzzOptions Opts;
+  Opts.Passes = "test-slow,dce";
+  Opts.Iterations = 5;
+  Opts.BaseSeed = 1;
+  Opts.Survival.StepBudget = 10000;
+  FuzzerLoop Loop(Opts);
+  ASSERT_TRUE(Loop.configError().empty()) << Loop.configError();
+  Loop.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Loop.run();
+  EXPECT_EQ(S.MutantsGenerated, 5u);
+  EXPECT_EQ(S.Timeouts, 5u);
+  // The pipeline never completed, so nothing was optimized or verified.
+  EXPECT_EQ(S.Optimized, 0u);
+  EXPECT_EQ(S.Verified, 0u);
+  EXPECT_EQ(Loop.bugs().size(), 0u);
+  const StatRegistry &R = Loop.registry();
+  EXPECT_EQ(R.counterValue("survive.timeout.optimize"), 5u);
+  EXPECT_EQ(R.counterValue("survive.timeout.reason.step-budget"), 5u);
+  EXPECT_EQ(R.counterValue("survive.timeout.reason.wall-clock"), 0u);
+}
+
+TEST(SurvivabilityTest, TimeoutWritesForensicsBundle) {
+  ScratchDir Dir("timeout_bundles");
+  FuzzOptions Opts;
+  Opts.Passes = "test-slow,dce";
+  Opts.Iterations = 2;
+  Opts.Survival.StepBudget = 10000;
+  Opts.BugBundleDir = Dir.Path;
+  FuzzerLoop Loop(Opts);
+  Loop.loadModule(parseOk(TwoBugCorpus));
+  Loop.run();
+  // Timeout bundles are accounted in volatile counters (their placement
+  // is machine-dependent under a wall-clock backstop), not in the
+  // deterministic BundlesWritten.
+  EXPECT_EQ(Loop.registry().counterValue("survive.timeout.bundles"), 2u);
+  EXPECT_EQ(Loop.stats().BundlesWritten, 0u);
+  unsigned Found = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir.Path))
+    if (E.is_directory())
+      ++Found;
+  EXPECT_EQ(Found, 2u);
+}
+
+TEST(SurvivabilityTest, StepBudgetTimeoutsAreWorkerCountInvariant) {
+  // Step budgets are deterministic per seed (the budget is re-armed at
+  // iteration start and before each refinement check), so the timeout
+  // count — unlike wall-clock timeouts — must not vary with -j.
+  FuzzOptions Opts = twoBugOptions(60);
+  Opts.Survival.StepBudget = 2000;
+  uint64_t Timeouts[2];
+  std::string Reports[2];
+  unsigned I = 0;
+  for (unsigned Jobs : {1u, 4u}) {
+    CampaignEngine Engine(Opts, Jobs);
+    Engine.loadModule(parseOk(TwoBugCorpus));
+    const FuzzStats &S = Engine.run();
+    ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+    Timeouts[I] = S.Timeouts;
+    Reports[I] = deterministicReportPart(Engine, Opts);
+    ++I;
+  }
+  EXPECT_EQ(Timeouts[0], Timeouts[1]);
+  EXPECT_EQ(Reports[0], Reports[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Iteration watchdog: the wall-clock backstop.
+//===----------------------------------------------------------------------===//
+
+TEST(SurvivabilityTest, WallClockBackstopCancelsHungIteration) {
+  // No step budget at all: only the engine's supervisor thread can save
+  // the campaign. test-slow's busy-work (1M multiplies per function, two
+  // functions) far outlasts a 0.5ms backstop, so at least one iteration
+  // must be cut off; the campaign itself must finish.
+  FuzzOptions Opts;
+  Opts.Passes = "test-slow,dce";
+  Opts.Iterations = 4;
+  Opts.Survival.WallTimeoutSeconds = 0.0005;
+  CampaignEngine Engine(Opts, 1);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Engine.run();
+  ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+  EXPECT_EQ(S.MutantsGenerated, 4u);
+  EXPECT_GT(S.Timeouts, 0u);
+  EXPECT_GT(Engine.registry().counterValue(
+                "survive.timeout.reason.wall-clock"),
+            0u);
+}
+
+//===----------------------------------------------------------------------===//
+// In-process signal containment.
+//===----------------------------------------------------------------------===//
+
+TEST(SurvivabilityTest, SignalGuardContainsAbortAsCrashBug) {
+  // test-abort raises a genuine SIGABRT on functions named abortme*.
+  // With the guard on, each iteration records a crash bug and the loop —
+  // and this test process — survives.
+  FuzzOptions Opts;
+  Opts.Passes = "test-abort,dce";
+  Opts.Iterations = 3;
+  Opts.Survival.SignalGuard = true;
+  FuzzerLoop Loop(Opts);
+  Loop.loadModule(parseOk(R"(
+define i8 @abortme(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+)"));
+  const FuzzStats &S = Loop.run();
+  EXPECT_EQ(S.MutantsGenerated, 3u);
+  EXPECT_EQ(S.Crashes, 3u);
+  ASSERT_EQ(Loop.bugs().size(), 3u);
+  for (const BugRecord &B : Loop.bugs()) {
+    EXPECT_EQ(B.Kind, BugRecord::Crash);
+    EXPECT_NE(B.Detail.find("SIGABRT"), std::string::npos) << B.Detail;
+    EXPECT_NE(B.Detail.find("contained"), std::string::npos) << B.Detail;
+  }
+  EXPECT_EQ(Loop.registry().counterValue("survive.contained-signals"), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Quarantine.
+//===----------------------------------------------------------------------===//
+
+TEST(SurvivabilityTest, QuarantineBacksOffRepeatedVerifyTimeouts) {
+  // A function whose refinement check reliably outspends the step budget:
+  // the load forces the concrete path (no symbolic support) and the
+  // 100-instruction chain makes each non-vacuous trial consume interpreter
+  // steps. Mutate+optimize stay far under budget (a handful of
+  // pass-invocation steps), so the timeouts land in the verify phase and
+  // strike the function until the quarantine backs it off. The self-check
+  // runs under the same per-function budget and would drop the function
+  // outright, so it is off here (the standalone-mutator configuration).
+  std::ostringstream IR;
+  IR << "define i32 @longchain(ptr %p, i32 %x) {\n"
+        "  %v = load i32, ptr %p, align 4\n"
+        "  %a0 = add i32 %v, %x\n";
+  for (int I = 1; I <= 100; ++I)
+    IR << "  %a" << I << " = add i32 %a" << (I - 1) << ", " << I << "\n";
+  IR << "  ret i32 %a100\n}\n";
+  FuzzOptions Opts;
+  Opts.Passes = "dce";
+  Opts.Iterations = 40;
+  Opts.SkipUnchanged = false; // always reach the verify phase
+  Opts.SelfCheckOnLoad = false;
+  Opts.TV.ConcreteTrials = 64;
+  Opts.Survival.StepBudget = 48;
+  Opts.Survival.QuarantineThreshold = 2;
+  FuzzerLoop Loop(Opts);
+  ASSERT_EQ(Loop.loadModule(parseOk(IR.str())), 1u);
+  const FuzzStats &S = Loop.run();
+  EXPECT_GT(S.Timeouts, 0u);
+  const StatRegistry &R = Loop.registry();
+  EXPECT_GT(R.counterValue("survive.timeout.verify"), 0u);
+  EXPECT_GT(R.counterValue("survive.quarantine.backoffs"), 0u);
+  EXPECT_GT(R.counterValue("survive.quarantine.skips"), 0u);
+  // Quarantine elides checks, so the skipped checks cannot have produced
+  // verdicts: timeouts + skips + verified cover every reachable check.
+  EXPECT_EQ(Loop.bugs().size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint serialization.
+//===----------------------------------------------------------------------===//
+
+TEST(SurvivabilityTest, WorkerCheckpointRoundTripsExactly) {
+  ScratchDir Dir("ckpt_roundtrip");
+  WorkerCheckpoint W;
+  W.Index = 3;
+  W.Lo = 100;
+  W.Hi = 200;
+  W.Next = 157;
+  W.Stats.MutantsGenerated = 57;
+  W.Stats.Verified = 41;
+  W.Stats.Timeouts = 5;
+  // Doubles must survive bit-for-bit (they are stored as IEEE-754 bit
+  // patterns, not decimal text): pick values with no short decimal form.
+  W.Stats.MutateSeconds = 0.1 + 0.2;
+  W.Stats.OptimizeSeconds = 1.0 / 3.0;
+  W.Stats.VerifySeconds = 2.718281828459045;
+  W.Stats.WorkerSeconds = 3.3333333333333335;
+  BugRecord B;
+  B.Kind = BugRecord::Miscompile;
+  B.FunctionName = "weird \"name\"\nwith newline";
+  B.MutantSeed = 123456789;
+  B.Detail = "counterexample:\n  x = 7";
+  B.IssueId = "50693";
+  B.MutantIR = "define i8 @f() {\n  ret i8 0\n}\n";
+  B.BundlePath = "/tmp/some bundle";
+  W.Bugs.push_back(B);
+  W.Counters.push_back({"mutation.gep.applied", 12, false});
+  W.Counters.push_back({"survive.timeout.verify", 3, true});
+
+  std::string Err;
+  ASSERT_TRUE(writeWorkerCheckpoint(Dir.Path, W, Err)) << Err;
+  WorkerCheckpoint R;
+  ASSERT_TRUE(readWorkerCheckpoint(Dir.Path, 3, R, Err)) << Err;
+  EXPECT_EQ(R.Lo, W.Lo);
+  EXPECT_EQ(R.Hi, W.Hi);
+  EXPECT_EQ(R.Next, W.Next);
+  EXPECT_EQ(R.Stats.MutantsGenerated, W.Stats.MutantsGenerated);
+  EXPECT_EQ(R.Stats.Verified, W.Stats.Verified);
+  EXPECT_EQ(R.Stats.Timeouts, W.Stats.Timeouts);
+  EXPECT_EQ(R.Stats.MutateSeconds, W.Stats.MutateSeconds);
+  EXPECT_EQ(R.Stats.OptimizeSeconds, W.Stats.OptimizeSeconds);
+  EXPECT_EQ(R.Stats.VerifySeconds, W.Stats.VerifySeconds);
+  EXPECT_EQ(R.Stats.WorkerSeconds, W.Stats.WorkerSeconds);
+  ASSERT_EQ(R.Bugs.size(), 1u);
+  EXPECT_EQ(R.Bugs[0].Kind, B.Kind);
+  EXPECT_EQ(R.Bugs[0].FunctionName, B.FunctionName);
+  EXPECT_EQ(R.Bugs[0].MutantSeed, B.MutantSeed);
+  EXPECT_EQ(R.Bugs[0].Detail, B.Detail);
+  EXPECT_EQ(R.Bugs[0].IssueId, B.IssueId);
+  EXPECT_EQ(R.Bugs[0].MutantIR, B.MutantIR);
+  EXPECT_EQ(R.Bugs[0].BundlePath, B.BundlePath);
+  ASSERT_EQ(R.Counters.size(), 2u);
+  EXPECT_EQ(R.Counters[0].Name, "mutation.gep.applied");
+  EXPECT_EQ(R.Counters[0].Value, 12u);
+  EXPECT_FALSE(R.Counters[0].IsVolatile);
+  EXPECT_EQ(R.Counters[1].Name, "survive.timeout.verify");
+  EXPECT_TRUE(R.Counters[1].IsVolatile);
+}
+
+TEST(SurvivabilityTest, CheckpointMetaMismatchIsActionable) {
+  ScratchDir Dir("ckpt_meta");
+  CheckpointMeta M;
+  M.Passes = "O2";
+  M.Iterations = 1000;
+  M.BaseSeed = 7;
+  M.Jobs = 4;
+  M.MaxMutationsPerFunction = 3;
+  M.ModuleHash = hashModuleText("define void @f() {\n}\n");
+  std::string Err;
+  ASSERT_TRUE(writeCheckpointMeta(Dir.Path, M, Err)) << Err;
+  CheckpointMeta R;
+  ASSERT_TRUE(readCheckpointMeta(Dir.Path, R, Err)) << Err;
+  EXPECT_TRUE(checkpointMetaMatches(R, M, Err)) << Err;
+
+  CheckpointMeta Wrong = M;
+  Wrong.BaseSeed = 8;
+  EXPECT_FALSE(checkpointMetaMatches(R, Wrong, Err));
+  EXPECT_NE(Err.find("-seed"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("7"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("8"), std::string::npos) << Err;
+
+  Wrong = M;
+  Wrong.Iterations = 500;
+  EXPECT_FALSE(checkpointMetaMatches(R, Wrong, Err));
+  EXPECT_NE(Err.find("-n"), std::string::npos) << Err;
+
+  Wrong = M;
+  Wrong.ModuleHash ^= 1;
+  EXPECT_FALSE(checkpointMetaMatches(R, Wrong, Err));
+  EXPECT_NE(Err.find("module"), std::string::npos) << Err;
+
+  // A missing directory is an error, not a crash.
+  EXPECT_FALSE(readCheckpointMeta(Dir.Path + "/nope", R, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint/resume: the tentpole byte-equality guarantee.
+//===----------------------------------------------------------------------===//
+
+TEST(SurvivabilityTest, ResumedCampaignMatchesUninterruptedByteForByte) {
+  const uint64_t Iterations = 200;
+  ScratchDir Dir("ckpt_resume");
+
+  // Reference: one uninterrupted, checkpoint-free run.
+  FuzzOptions Plain = twoBugOptions(Iterations);
+  CampaignEngine Ref(Plain, 2);
+  Ref.loadModule(parseOk(TwoBugCorpus));
+  Ref.run();
+  ASSERT_TRUE(Ref.configError().empty()) << Ref.configError();
+  ASSERT_GT(Ref.bugs().size(), 0u);
+  std::string RefReport = deterministicReportPart(Ref, Plain);
+
+  // Leg 1: same campaign, checkpointing, killed mid-flight (the test hook
+  // stops at an iteration boundary exactly like a SIGTERM handler would).
+  FuzzOptions Opts = twoBugOptions(Iterations);
+  Opts.Survival.CheckpointDir = Dir.Path;
+  Opts.Survival.CheckpointInterval = 8;
+  CampaignEngine Leg1(Opts, 2);
+  Leg1.loadModule(parseOk(TwoBugCorpus));
+  Leg1.stopAfterIterations(60);
+  Leg1.run();
+  ASSERT_TRUE(Leg1.configError().empty()) << Leg1.configError();
+  ASSERT_TRUE(Leg1.interrupted());
+  ASSERT_LT(Leg1.stats().MutantsGenerated, Iterations);
+
+  // Leg 2: resume from the checkpoint and run to completion.
+  FuzzOptions ResumeOpts = Opts;
+  ResumeOpts.Survival.Resume = true;
+  CampaignEngine Leg2(ResumeOpts, 2);
+  Leg2.loadModule(parseOk(TwoBugCorpus));
+  Leg2.run();
+  ASSERT_TRUE(Leg2.configError().empty()) << Leg2.configError();
+  EXPECT_FALSE(Leg2.interrupted());
+  EXPECT_EQ(Leg2.stats().MutantsGenerated, Iterations);
+
+  // The acceptance criterion: the resumed run's deterministic report
+  // section is byte-identical to the uninterrupted run's.
+  EXPECT_EQ(deterministicReportPart(Leg2, Plain), RefReport);
+}
+
+TEST(SurvivabilityTest, ResumeRefusesMismatchedConfig) {
+  ScratchDir Dir("ckpt_refuse");
+  FuzzOptions Opts = twoBugOptions(50);
+  Opts.Survival.CheckpointDir = Dir.Path;
+  CampaignEngine First(Opts, 1);
+  First.loadModule(parseOk(TwoBugCorpus));
+  First.stopAfterIterations(10);
+  First.run();
+  ASSERT_TRUE(First.configError().empty()) << First.configError();
+
+  // Resuming with a different seed must be rejected with a message that
+  // names the conflicting flag and both values.
+  FuzzOptions Conflict = Opts;
+  Conflict.Survival.Resume = true;
+  Conflict.BaseSeed = 99;
+  CampaignEngine Engine(Conflict, 1);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  EXPECT_NE(Engine.configError().find("cannot resume"), std::string::npos)
+      << Engine.configError();
+  EXPECT_NE(Engine.configError().find("-seed"), std::string::npos)
+      << Engine.configError();
+
+  // Resuming without any checkpoint directory is a config error too.
+  FuzzOptions NoDir = twoBugOptions(50);
+  NoDir.Survival.Resume = true;
+  CampaignEngine NoDirEngine(NoDir, 1);
+  NoDirEngine.loadModule(parseOk(TwoBugCorpus));
+  NoDirEngine.run();
+  EXPECT_FALSE(NoDirEngine.configError().empty());
+}
+
+TEST(SurvivabilityTest, CheckpointingRejectsTimeLimitedCampaigns) {
+  ScratchDir Dir("ckpt_timelimited");
+  FuzzOptions Opts = twoBugOptions(0);
+  Opts.TimeLimitSeconds = 0.1;
+  Opts.Survival.CheckpointDir = Dir.Path;
+  CampaignEngine Engine(Opts, 1);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  EXPECT_NE(Engine.configError().find("iteration-bounded"),
+            std::string::npos)
+      << Engine.configError();
+}
+
+//===----------------------------------------------------------------------===//
+// Process isolation (-isolate).
+//===----------------------------------------------------------------------===//
+
+TEST(SurvivabilityTest, IsolateMatchesThreadedDeterministicSection) {
+  // With nothing crashing, -isolate must be invisible in the
+  // deterministic report: the children checkpoint their shard state and
+  // the parent's harvest merges it exactly like the threaded engine.
+  const uint64_t Iterations = 60;
+  FuzzOptions Plain = twoBugOptions(Iterations);
+  CampaignEngine Ref(Plain, 1);
+  Ref.loadModule(parseOk(TwoBugCorpus));
+  Ref.run();
+  ASSERT_TRUE(Ref.configError().empty()) << Ref.configError();
+  ASSERT_GT(Ref.bugs().size(), 0u);
+
+  FuzzOptions Iso = twoBugOptions(Iterations);
+  Iso.Survival.Isolate = true;
+  CampaignEngine Engine(Iso, 2);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+  EXPECT_TRUE(Engine.isolateError().empty()) << Engine.isolateError();
+  EXPECT_FALSE(Engine.interrupted());
+  EXPECT_EQ(deterministicReportPart(Engine, Iso),
+            deterministicReportPart(Ref, Plain));
+}
+
+TEST(SurvivabilityTest, IsolateContainsCrashingPassAndRestartsShard) {
+  // The acceptance scenario: a pass that SIGSEGVs on every iteration
+  // (the corpus has a crashme* function). The isolated campaign must
+  // complete, record each fatal signal as a crash bug with a forensics
+  // bundle, and restart the shard past the crashing seed.
+  ScratchDir Bundles("iso_bundles");
+  FuzzOptions Opts;
+  Opts.Passes = "test-crash,dce";
+  Opts.Iterations = 3;
+  Opts.BaseSeed = 1;
+  Opts.Survival.Isolate = true;
+  Opts.BugBundleDir = Bundles.Path;
+  CampaignEngine Engine(Opts, 1);
+  Engine.loadModule(parseOk(R"(
+define i8 @crashme(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+)"));
+  const FuzzStats &S = Engine.run();
+  ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+  EXPECT_TRUE(Engine.isolateError().empty()) << Engine.isolateError();
+  EXPECT_FALSE(Engine.interrupted());
+
+  // Every seed's optimizer run died on SIGSEGV; all three must be
+  // recorded as crash bugs, each with a bundle.
+  EXPECT_EQ(S.Crashes, 3u);
+  ASSERT_EQ(Engine.bugs().size(), 3u);
+  for (const BugRecord &B : Engine.bugs()) {
+    EXPECT_EQ(B.Kind, BugRecord::Crash);
+    EXPECT_NE(B.Detail.find("SIGSEGV"), std::string::npos) << B.Detail;
+    EXPECT_NE(B.Detail.find("isolated shard"), std::string::npos)
+        << B.Detail;
+    EXPECT_FALSE(B.BundlePath.empty());
+    EXPECT_TRUE(std::filesystem::exists(B.BundlePath)) << B.BundlePath;
+    EXPECT_FALSE(B.MutantIR.empty());
+  }
+  const StatRegistry &R = Engine.registry();
+  EXPECT_EQ(R.counterValue("survive.isolate.crashes"), 3u);
+  EXPECT_GE(R.counterValue("survive.isolate.restarts"), 3u);
+  EXPECT_EQ(R.counterValue("bug.crash"), 3u);
+}
+
+TEST(SurvivabilityTest, IsolateRejectsIncompatibleConfigs) {
+  // Time-limited isolation has no fixed shard partition to restart.
+  FuzzOptions Opts = twoBugOptions(0);
+  Opts.TimeLimitSeconds = 0.1;
+  Opts.Survival.Isolate = true;
+  CampaignEngine Engine(Opts, 1);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  EXPECT_NE(Engine.configError().find("iteration-bounded"),
+            std::string::npos)
+      << Engine.configError();
+
+  // The flight recorder lives in shard memory; the parent cannot flush it.
+  FuzzOptions Trace = twoBugOptions(10);
+  Trace.Survival.Isolate = true;
+  Trace.TraceEnabled = true;
+  CampaignEngine TraceEngine(Trace, 1);
+  TraceEngine.loadModule(parseOk(TwoBugCorpus));
+  TraceEngine.run();
+  EXPECT_FALSE(TraceEngine.configError().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Robust corpus loading.
+//===----------------------------------------------------------------------===//
+
+TEST(SurvivabilityTest, CorpusLoaderSkipsBrokenFilesAndMerges) {
+  ScratchDir Dir("corpus");
+  auto WriteFile = [&](const std::string &Name, const std::string &Text) {
+    std::ofstream Out(Dir.Path + "/" + Name);
+    Out << Text;
+  };
+  WriteFile("good1.ll", "define i8 @f(i8 %x) {\n  %r = add i8 %x, 1\n"
+                        "  ret i8 %r\n}\n");
+  WriteFile("empty.ll", "  \n\t\n");
+  WriteFile("garbage.ll", "this is not IR at all {{{");
+  WriteFile("good2.ll", "define i8 @f(i8 %x) {\n  %r = mul i8 %x, 3\n"
+                        "  ret i8 %r\n}\n\n"
+                        "define i8 @g(i8 %x) {\n  ret i8 %x\n}\n");
+
+  CorpusLoadResult R = loadCorpus({Dir.Path + "/good1.ll",
+                                   Dir.Path + "/empty.ll",
+                                   Dir.Path + "/garbage.ll",
+                                   Dir.Path + "/good2.ll",
+                                   Dir.Path + "/missing.ll"});
+  ASSERT_NE(R.M, nullptr);
+  EXPECT_EQ(R.FilesLoaded, 2u);
+  EXPECT_EQ(R.FilesSkipped, 3u);
+  EXPECT_EQ(R.Renamed, 1u);
+  EXPECT_EQ(R.Warnings.size(), 3u);
+  // Argument order is preserved; the later @f gets the ".2" suffix.
+  EXPECT_NE(R.M->getFunction("f"), nullptr);
+  EXPECT_NE(R.M->getFunction("f.2"), nullptr);
+  EXPECT_NE(R.M->getFunction("g"), nullptr);
+
+  // All-broken input: no module, but no abort either.
+  CorpusLoadResult Bad = loadCorpus({Dir.Path + "/empty.ll"});
+  EXPECT_EQ(Bad.M, nullptr);
+  EXPECT_EQ(Bad.FilesSkipped, 1u);
+
+  // A single good file is passed through unmerged (no clone, no rename).
+  CorpusLoadResult One = loadCorpus({Dir.Path + "/good2.ll"});
+  ASSERT_NE(One.M, nullptr);
+  EXPECT_EQ(One.FilesLoaded, 1u);
+  EXPECT_EQ(One.Renamed, 0u);
+}
+
+TEST(SurvivabilityTest, MergedCorpusCampaignIsDeterministic) {
+  // The merged module behaves like any other module: a 2-file corpus
+  // campaign is -j invariant.
+  ScratchDir Dir("corpus_campaign");
+  {
+    std::ofstream A(Dir.Path + "/a.ll");
+    A << "define i8 @smax_offset(i8 %x) {\n"
+         "  %1 = add nuw i8 50, %x\n"
+         "  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)\n"
+         "  ret i8 %m\n}\n";
+    std::ofstream B(Dir.Path + "/b.ll");
+    B << "define i8 @opposite_shifts(i8 %x) {\n"
+         "  %a = shl i8 -2, %x\n"
+         "  %b = lshr i8 %a, %x\n"
+         "  ret i8 %b\n}\n";
+  }
+  std::string Reports[2];
+  unsigned I = 0;
+  for (unsigned Jobs : {1u, 3u}) {
+    CorpusLoadResult C =
+        loadCorpus({Dir.Path + "/a.ll", Dir.Path + "/b.ll"});
+    ASSERT_NE(C.M, nullptr);
+    FuzzOptions Opts = twoBugOptions(80);
+    CampaignEngine Engine(Opts, Jobs);
+    Engine.loadModule(std::move(C.M));
+    Engine.run();
+    ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+    Reports[I++] = deterministicReportPart(Engine, Opts);
+  }
+  EXPECT_EQ(Reports[0], Reports[1]);
+}
