@@ -43,6 +43,10 @@ def main():
         )
 
     t = fresh["totals"]
+    # The hit-rate field is load-bearing for the CI trend comparison: fail
+    # with a message, not a KeyError, when a report stops emitting it.
+    if "cache_hit_rate" not in t:
+        fail("totals missing required cache_hit_rate field")
     if not fresh["rows"]:
         fail("no benchmark rows: every corpus file was discarded")
     if t["verified"] + t["verify_skipped"] <= 0:
@@ -64,6 +68,16 @@ def main():
                 fail("%s: negative timing %s" % (row["name"], k))
         if row["speedup_vs_discrete"] <= 0:
             fail("%s: non-positive speedup" % row["name"])
+    # Percentiles must be monotone in P within every latency block — a
+    # p90 above the p99 (as an unclamped histogram estimator once
+    # produced) means the report cannot be trusted for trend tracking.
+    for name, block in sorted(fresh.get("latency", {}).items()):
+        p50, p90, p99 = block["p50_s"], block["p90_s"], block["p99_s"]
+        if p50 > p90 or p90 > p99:
+            fail(
+                "%s latency percentiles not monotone: p50 %r > p90 %r or "
+                "p90 %r > p99 %r" % (name, p50, p90, p90, p99)
+            )
 
     print(
         "check_bench_json: OK (%d rows, %d verified, %d skipped, "

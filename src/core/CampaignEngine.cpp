@@ -30,6 +30,20 @@ using namespace alive;
 
 CampaignEngine::CampaignEngine(const FuzzOptions &Opts, unsigned Jobs)
     : Opts(Opts), Jobs(std::max(1u, Jobs)) {
+  if (this->Opts.UseSharedTVCache && this->Opts.TVCacheSize > 0) {
+    // One cache for the whole campaign; every worker loop gets this
+    // pointer through its copied FuzzOptions. A caller-provided cache
+    // (Opts.SharedCache already set) is kept instead, so one cache can
+    // outlive and span several engines — the bench harness uses this to
+    // share verdicts across its per-file campaigns.
+    if (!this->Opts.SharedCache) {
+      SharedCache = std::make_unique<SharedTVCache>(this->Opts.TVCacheSize,
+                                                    this->Opts.TVCacheShards);
+      this->Opts.SharedCache = SharedCache.get();
+    }
+  } else {
+    this->Opts.SharedCache = nullptr;
+  }
   MasterLoop = std::make_unique<FuzzerLoop>(this->Opts);
   ConfigError = MasterLoop->configError();
 }
@@ -184,7 +198,12 @@ private:
   };
 
   void poll() {
-    double PollSeconds = std::clamp(Timeout / 4, 0.005, 0.05);
+    // The interval must genuinely subdivide the timeout or sub-interval
+    // stalls are invisible: a floor of 5ms once made any timeout below
+    // ~20ms a no-op (the serial always advanced between ticks). The
+    // 100us floor bounds the busy-poll cost while keeping millisecond
+    // backstops — the kind the tests use — honest.
+    double PollSeconds = std::clamp(Timeout / 4, 0.0001, 0.05);
     std::unique_lock<std::mutex> Lock(M);
     while (!CV.wait_for(Lock, std::chrono::duration<double>(PollSeconds),
                         [this] { return Done; })) {
@@ -318,7 +337,10 @@ const FuzzStats &CampaignEngine::run() {
       WOpts.Iterations = W->Hi - W->Lo;
     }
     W->Loop = std::make_unique<FuzzerLoop>(WOpts);
-    W->Loop->loadModule(cloneModule(*MasterLoop->module()));
+    // Workers only fuzz the testable set — hand them a subset clone whose
+    // non-testable functions are declaration stubs instead of paying a
+    // full deep copy per worker (and per mutant inside the loop).
+    W->Loop->loadModule(cloneModuleSubset(*MasterLoop->module(), Testable));
     if (SV.Resume) {
       WorkerCheckpoint WC;
       std::string Err;
@@ -678,7 +700,7 @@ CampaignEngine::runIsolated(unsigned J,
       WOpts.BaseSeed = Opts.BaseSeed + S.Lo;
       WOpts.Iterations = S.Hi - S.Lo;
       FuzzerLoop Loop(WOpts);
-      Loop.loadModule(cloneModule(*MasterLoop->module()));
+      Loop.loadModule(cloneModuleSubset(*MasterLoop->module(), Testable));
       uint64_t Cursor = S.Lo;
       {
         WorkerCheckpoint WC;

@@ -19,7 +19,14 @@
 /// Each worker's loop owns a private TVCache; a cache hit replays the
 /// byte-identical verdict the checker would recompute, so memoization
 /// never perturbs the merged bug report — only the hit/miss split varies
-/// with the worker count.
+/// with the worker count. With -shared-tv-cache the engine instead owns
+/// one process-wide SharedTVCache that every worker queries: keys are
+/// canonicalized pairs and verdicts are computed on the canonical pair,
+/// so the same byte-for-byte-replay argument holds across workers (only
+/// the volatile hit/miss counters become scheduling-dependent). Under
+/// -isolate the shared cache is per-child after the fork (copy-on-write
+/// pages), i.e. shared across iterations within a shard but not between
+/// shards.
 /// The §III-A self-check/preprocessing pass runs exactly once, on the
 /// master module; workers inherit the surviving function set.
 ///
@@ -185,6 +192,10 @@ private:
   /// Preprocesses once, serves testableFunctions() and makeMutant();
   /// never iterates itself.
   std::unique_ptr<FuzzerLoop> MasterLoop;
+  /// The process-wide canonicalized verdict cache (-shared-tv-cache);
+  /// null unless enabled. Created once here and handed to every worker
+  /// via FuzzOptions::SharedCache.
+  std::unique_ptr<SharedTVCache> SharedCache;
   double ProgressInterval = 0;
   std::function<void(const CampaignProgress &)> ProgressFn;
   FuzzStats Stats;

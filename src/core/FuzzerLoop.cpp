@@ -11,6 +11,7 @@
 #include "parser/Printer.h"
 #include "support/SignalGuard.h"
 #include "support/Timer.h"
+#include "tv/Canonicalize.h"
 #include "tv/Counterexample.h"
 
 #include <algorithm>
@@ -37,8 +38,19 @@ FuzzerLoop::FuzzerLoop(const FuzzOptions &Opts) : Opts(Opts) {
     Trace = std::make_unique<TraceRecorder>(this->Opts.TraceCapacity);
     PM.setTrace(Trace.get());
   }
-  if (this->Opts.TVCacheSize > 0)
-    TVC = std::make_unique<TVCache>(this->Opts.TVCacheSize);
+  if (this->Opts.UseSharedTVCache && this->Opts.TVCacheSize > 0) {
+    // Shared mode replaces the private memo. A standalone loop owns its
+    // cache; campaign workers get the engine's instance instead.
+    if (!this->Opts.SharedCache) {
+      OwnedSharedCache = std::make_unique<SharedTVCache>(
+          this->Opts.TVCacheSize, this->Opts.TVCacheShards);
+      this->Opts.SharedCache = OwnedSharedCache.get();
+    }
+  } else {
+    this->Opts.SharedCache = nullptr;
+    if (this->Opts.TVCacheSize > 0)
+      TVC = std::make_unique<TVCache>(this->Opts.TVCacheSize);
+  }
   // Arm the iteration watchdog when either trigger is configured. One
   // token per loop, shared by the pass manager (one step per
   // pass-on-function), the solver (per conflict/decision) and the
@@ -127,7 +139,15 @@ FuzzerLoop::makeMutantImpl(uint64_t Seed, std::vector<std::string> *AppliedOut,
                            MutationTrail *Trail, TraceRecorder *TR) const {
   // §III-B: "Alive-mutate makes a copy of the in-memory IR, and then
   // selects and applies one or more mutation operators on each function."
-  std::unique_ptr<Module> Mutant = cloneModule(*Master);
+  // Copy-on-write: only the testable functions (and the defined callees
+  // their bodies reach) get cloned bodies — everything else rides along as
+  // a declaration stub, so per-iteration clone cost scales with the
+  // functions the mutator actually visits.
+  std::vector<std::string> Testable;
+  Testable.reserve(Preprocessed.size());
+  for (const auto &[Name, Info] : Preprocessed)
+    Testable.push_back(Name);
+  std::unique_ptr<Module> Mutant = cloneModuleSubset(*Master, Testable);
   RandomGenerator RNG(Seed);
   Mutator Mut(RNG, Opts.Mutation, Reg, TR);
   if (Trail)
@@ -373,19 +393,45 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
       // deterministic across worker counts.
       if (WatchdogArmed)
         WatchdogToken.beginIteration(Opts.Survival.StepBudget);
-      if (TVC)
-        Key = TVCache::makeKey(*Src, *Tgt, Opts.TV);
-      if (!Key.empty()) {
-        if (const TVResult *Hit = TVC->lookup(Key)) {
-          R = *Hit;
-          FromCache = true;
-          ++Stats.TVCacheHits;
+      if (Opts.SharedCache) {
+        // Shared-cache path: key on the canonicalized pair, and — on a
+        // miss — check the canonical pair itself. The verdict is then a
+        // pure function of the canonical key, so a hit replays exactly
+        // what a fresh computation would produce no matter which worker
+        // (or run) computed it first; the canonical rewrites preserve
+        // semantics and the argument list, so counterexamples remain
+        // valid for the original pair.
+        CanonicalPair CP = canonicalizePair(*Src, *Tgt);
+        if (CP.M)
+          Key = SharedTVCache::makeKey(CP.SrcText, CP.TgtText, Opts.TV);
+        if (!Key.empty()) {
+          if (Opts.SharedCache->lookup(Key, R)) {
+            FromCache = true;
+            ++Stats.TVCacheHits;
+          } else {
+            R = checkRefinement(*CP.Src, *CP.Tgt, Opts.TV, &Registry);
+          }
         } else {
+          // Uncacheable pair (calls into defined functions): verify the
+          // originals, skip canonicalization bookkeeping.
+          R = checkRefinement(*Src, *Tgt, Opts.TV, &Registry);
+        }
+      } else if (TVC) {
+        Key = TVCache::makeKey(*Src, *Tgt, Opts.TV);
+        if (!Key.empty()) {
+          if (const TVResult *Hit = TVC->lookup(Key)) {
+            R = *Hit;
+            FromCache = true;
+            ++Stats.TVCacheHits;
+          } else {
+            R = checkRefinement(*Src, *Tgt, Opts.TV, &Registry);
+          }
+        } else {
+          // The pair calls into defined functions: the verdict depends on
+          // callee bodies outside the key, so it must not be memoized.
           R = checkRefinement(*Src, *Tgt, Opts.TV, &Registry);
         }
       } else {
-        // Cache disabled, or the pair calls into defined functions (the
-        // verdict then depends on callee bodies outside the key).
         R = checkRefinement(*Src, *Tgt, Opts.TV, &Registry);
       }
     }
@@ -398,10 +444,14 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
       recordTimeout(Seed, Name, "verify", Source.get(), Mutant.get());
       continue;
     }
-    if (!FromCache && TVC) {
+    if (!FromCache && (TVC || Opts.SharedCache)) {
       ++Stats.TVCacheMisses;
-      if (!Key.empty() && TVC->insert(Key, R))
-        ++Stats.TVCacheEvictions;
+      if (!Key.empty()) {
+        bool Evicted = Opts.SharedCache ? Opts.SharedCache->insert(Key, R)
+                                        : TVC->insert(Key, R);
+        if (Evicted)
+          ++Stats.TVCacheEvictions;
+      }
     }
     ++Stats.Verified;
     // Per-verdict breakdown, counted per *established* verdict: a cache

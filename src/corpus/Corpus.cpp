@@ -6,8 +6,10 @@
 
 #include "corpus/Corpus.h"
 
+#include "ir/Instruction.h"
 #include "parser/Parser.h"
 #include "parser/Printer.h"
+#include "support/Casting.h"
 
 #include <cassert>
 
@@ -471,6 +473,44 @@ void generateFunction(Module &M, RandomGenerator &RNG,
   BB->append(std::make_unique<ReturnInst>(pickOfWidth(RetW), TC.getVoidTy()));
 }
 
+/// Re-skins \p M in place: fresh function/argument/block/instruction names
+/// and randomly mirrored commutative operands (icmp predicates swapped to
+/// match). Semantically the identity — the output is the near-duplicate
+/// shape that fills real InstCombine unit files, where one test recurs
+/// under a new name with renamed values and commuted operand order.
+void disguiseModule(Module &M, RandomGenerator &RNG, uint64_t Tag) {
+  for (Function *F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    F->setName(F->getName() + "_v" + std::to_string(Tag));
+    for (unsigned I = 0; I != F->getNumArgs(); ++I)
+      F->getArg(I)->setName("p" + std::to_string(I));
+    unsigned N = 0, B = 0;
+    for (BasicBlock *BB : F->blocks()) {
+      BB->setName("bb" + std::to_string(B++));
+      for (Instruction *I : BB->insts()) {
+        if (auto *BI = dyn_cast<BinaryInst>(I)) {
+          if (BinaryInst::isCommutative(BI->getBinOp()) && RNG.chance(1, 8)) {
+            Value *L = BI->getOperand(0);
+            BI->setOperand(0, BI->getOperand(1));
+            BI->setOperand(1, L);
+          }
+        } else if (auto *CI = dyn_cast<ICmpInst>(I)) {
+          if (RNG.chance(1, 8)) {
+            Value *L = CI->getOperand(0);
+            CI->setOperand(0, CI->getOperand(1));
+            CI->setOperand(1, L);
+            CI->setPredicate(
+                ICmpInst::getSwappedPredicate(CI->getPredicate()));
+          }
+        }
+        if (!I->getType()->isVoidTy())
+          I->setName("t" + std::to_string(N++));
+      }
+    }
+  }
+}
+
 } // namespace
 
 std::unique_ptr<Module> alive::generateRandomModule(uint64_t Seed,
@@ -492,12 +532,27 @@ std::vector<std::string> alive::generateCorpusFiles(uint64_t Seed,
     if (Files.size() < Count && S.size() <= MaxBytes)
       Files.push_back(S);
   uint64_t Sub = 0;
+  // Originals eligible for variant emission: real InstCombine unit files
+  // repeat one test many times under new names with renamed values and
+  // commuted operands, so roughly a third of the corpus is a re-skinned
+  // near-duplicate of an earlier file.
+  std::vector<std::unique_ptr<Module>> Fresh;
   while (Files.size() < Count) {
+    if (!Fresh.empty() && RNG.chance(1, 3)) {
+      auto V = cloneModule(*Fresh[RNG.below(Fresh.size())]);
+      disguiseModule(*V, RNG, ++Sub);
+      std::string Text = printModule(*V);
+      if (Text.size() <= MaxBytes)
+        Files.push_back(Text);
+      continue;
+    }
     auto M = generateRandomModule(Seed * 7919 + ++Sub,
                                   1 + (unsigned)RNG.below(3));
     std::string Text = printModule(*M);
-    if (Text.size() <= MaxBytes)
+    if (Text.size() <= MaxBytes) {
       Files.push_back(Text);
+      Fresh.push_back(std::move(M));
+    }
   }
   return Files;
 }

@@ -46,7 +46,10 @@ std::unique_ptr<Module> generateRandomModule(uint64_t Seed,
 
 /// Renders \p Count generated corpus files (as .ll text), each under
 /// \p MaxBytes bytes — the shape of the throughput experiment's input set
-/// ("200 LLVM IR files, each of them smaller than 2 KB", §V-B).
+/// ("200 LLVM IR files, each of them smaller than 2 KB", §V-B). Mirrors
+/// real InstCombine unit files in repeating tests: roughly a third of the
+/// output is a renamed, commutative-operand-mirrored near-duplicate of an
+/// earlier file.
 std::vector<std::string> generateCorpusFiles(uint64_t Seed, unsigned Count,
                                              size_t MaxBytes = 2048);
 

@@ -16,6 +16,7 @@
 #include "ir/Module.h"
 
 #include <map>
+#include <set>
 
 using namespace alive;
 
@@ -334,6 +335,47 @@ std::unique_ptr<Module> alive::cloneModule(const Module &Src) {
     C.mapCallee(F);
   // ... then clone all bodies.
   for (Function *F : Src.functions()) {
+    Cloner BodyCloner(*Dst);
+    BodyCloner.ValueMap = C.ValueMap;
+    BodyCloner.cloneBody(*F, cast<Function>(C.ValueMap[F]));
+  }
+  return Dst;
+}
+
+std::unique_ptr<Module>
+alive::cloneModuleSubset(const Module &Src,
+                         const std::vector<std::string> &Keep) {
+  // Select the kept functions plus the transitive closure of *defined*
+  // callees: the interpreter executes callee bodies, so a kept body's
+  // defined callees must come along with their bodies too. Everything else
+  // is reduced to a declaration stub.
+  std::set<const Function *> Selected;
+  std::vector<const Function *> Worklist;
+  for (const std::string &Name : Keep)
+    if (Function *F = Src.getFunction(Name))
+      if (Selected.insert(F).second)
+        Worklist.push_back(F);
+  while (!Worklist.empty()) {
+    const Function *F = Worklist.back();
+    Worklist.pop_back();
+    for (BasicBlock *BB : F->blocks())
+      for (Instruction *I : BB->insts())
+        if (const auto *Call = dyn_cast<CallInst>(I))
+          if (Function *Callee = Call->getCallee())
+            if (!Callee->isDeclaration() && Selected.insert(Callee).second)
+              Worklist.push_back(Callee);
+  }
+
+  auto Dst = std::make_unique<Module>();
+  Cloner C(*Dst);
+  // Declare every function in module order — the subset clone keeps the
+  // same function list as a full clone (only bodies are dropped), so name
+  // lookups and module iteration order are unchanged.
+  for (Function *F : Src.functions())
+    C.mapCallee(F);
+  for (Function *F : Src.functions()) {
+    if (!Selected.count(F))
+      continue;
     Cloner BodyCloner(*Dst);
     BodyCloner.ValueMap = C.ValueMap;
     BodyCloner.cloneBody(*F, cast<Function>(C.ValueMap[F]));

@@ -95,6 +95,16 @@ Function *cloneFunction(const Function &Src, Module &Dst,
 /// Deep-clones an entire module.
 std::unique_ptr<Module> cloneModule(const Module &Src);
 
+/// Clones \p Src keeping full bodies only for the functions named in
+/// \p Keep (plus the transitive closure of defined callees their bodies
+/// reach); every other function becomes a declaration stub. The function
+/// list keeps \p Src 's order and names, so lookups and iteration order
+/// match a full clone. This is the copy-on-write working set of the
+/// mutate→optimize loop: per-iteration cost scales with the functions the
+/// fuzzer actually touches, not with the whole module.
+std::unique_ptr<Module> cloneModuleSubset(const Module &Src,
+                                          const std::vector<std::string> &Keep);
+
 /// Translates a type from one context into another.
 Type *translateType(const Type *T, TypeContext &Dst);
 

@@ -22,6 +22,7 @@ SatSolver::SatSolver() {
   Activity.push_back(0);
   SavedPhase.push_back(0);
   Seen.push_back(0);
+  HeapPos.push_back(-1);
   Watches.resize(2);
 }
 
@@ -32,8 +33,64 @@ int SatSolver::newVar() {
   Activity.push_back(0);
   SavedPhase.push_back(0);
   Seen.push_back(0);
+  HeapPos.push_back(-1);
   Watches.resize(Watches.size() + 2);
-  return (int)Assign.size() - 1;
+  int V = (int)Assign.size() - 1;
+  heapInsert(V);
+  return V;
+}
+
+void SatSolver::heapSiftUp(size_t I) {
+  while (I != 0) {
+    size_t P = (I - 1) / 2;
+    if (!heapRanksBefore(Heap[I], Heap[P]))
+      return;
+    std::swap(Heap[I], Heap[P]);
+    HeapPos[Heap[I]] = (int)I;
+    HeapPos[Heap[P]] = (int)P;
+    I = P;
+  }
+}
+
+void SatSolver::heapSiftDown(size_t I) {
+  for (;;) {
+    size_t L = 2 * I + 1, R = L + 1, Best = I;
+    if (L < Heap.size() && heapRanksBefore(Heap[L], Heap[Best]))
+      Best = L;
+    if (R < Heap.size() && heapRanksBefore(Heap[R], Heap[Best]))
+      Best = R;
+    if (Best == I)
+      return;
+    std::swap(Heap[I], Heap[Best]);
+    HeapPos[Heap[I]] = (int)I;
+    HeapPos[Heap[Best]] = (int)Best;
+    I = Best;
+  }
+}
+
+void SatSolver::heapInsert(int V) {
+  if (HeapPos[V] != -1)
+    return;
+  HeapPos[V] = (int)Heap.size();
+  Heap.push_back(V);
+  heapSiftUp(Heap.size() - 1);
+}
+
+int SatSolver::heapPopTop() {
+  int V = Heap[0];
+  HeapPos[V] = -1;
+  Heap[0] = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    HeapPos[Heap[0]] = 0;
+    heapSiftDown(0);
+  }
+  return V;
+}
+
+void SatSolver::heapRebuild() {
+  for (size_t I = Heap.size() / 2; I-- > 0;)
+    heapSiftDown(I);
 }
 
 void SatSolver::addClause(const std::vector<Lit> &Literals) {
@@ -147,7 +204,14 @@ void SatSolver::bumpVar(int V) {
     for (double &A : Activity)
       A *= 1e-100;
     VarInc *= 1e-100;
+    // The uniform rescale can collapse nearby activities onto one value,
+    // which changes relative order under the index tie-break — restore the
+    // heap invariant wholesale.
+    heapRebuild();
+    return;
   }
+  if (HeapPos[V] != -1)
+    heapSiftUp((size_t)HeapPos[V]);
 }
 
 void SatSolver::decayActivities() { VarInc /= 0.95; }
@@ -213,6 +277,7 @@ void SatSolver::backtrack(int TargetLevel) {
     SavedPhase[V] = Assign[V];
     Assign[V] = Undef;
     Reason[V] = -1;
+    heapInsert(V);
   }
   Trail.resize(Limit);
   TrailLimits.resize(TargetLevel);
@@ -220,14 +285,18 @@ void SatSolver::backtrack(int TargetLevel) {
 }
 
 int SatSolver::pickBranchVar() {
-  int Best = 0;
-  double BestAct = -1;
-  for (int V = 1; V < (int)Assign.size(); ++V)
-    if (Assign[V] == Undef && Activity[V] > BestAct) {
-      Best = V;
-      BestAct = Activity[V];
+  // Lazy deletion: variables assigned since their insertion surface at the
+  // top and are discarded; the first unassigned top is the branch variable
+  // (highest activity, lowest index on ties — matching the scan this heap
+  // replaced, so search paths and solver stats are unchanged).
+  while (!Heap.empty()) {
+    if (Assign[Heap[0]] != Undef) {
+      heapPopTop();
+      continue;
     }
-  return Best;
+    return heapPopTop();
+  }
+  return 0;
 }
 
 uint64_t SatSolver::luby(uint64_t I) {

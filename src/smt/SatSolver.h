@@ -135,6 +135,23 @@ private:
   std::vector<uint8_t> SavedPhase;
   double VarInc = 1.0;
 
+  // Order heap over candidate branch variables, ranked by (activity desc,
+  // index asc) — exactly the variable the old O(vars) linear scan selected,
+  // found in O(log vars). Deletion is lazy: assigned variables are popped
+  // at pick time and backtrack() reinserts whatever it unassigns, so every
+  // unassigned variable is always present.
+  bool heapRanksBefore(int A, int B) const {
+    return Activity[A] > Activity[B] ||
+           (Activity[A] == Activity[B] && A < B);
+  }
+  void heapSiftUp(size_t I);
+  void heapSiftDown(size_t I);
+  void heapInsert(int V);
+  int heapPopTop();
+  void heapRebuild();
+  std::vector<int> Heap;    // heap array of variable indices
+  std::vector<int> HeapPos; // var -> position in Heap, -1 when absent
+
   // Scratch for analyze().
   std::vector<uint8_t> Seen;
 

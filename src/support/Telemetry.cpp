@@ -77,9 +77,15 @@ double Histogram::percentile(double P) const {
   P = std::clamp(P, 0.0, 1.0);
   // The rank of the percentile sample (1-based, ceil) — p50 of 4 samples
   // is sample #2, p99 of 4 is sample #4.
-  uint64_t Rank = (uint64_t)(P * (double)Count);
-  if ((double)Rank < P * (double)Count || Rank == 0)
-    ++Rank;
+  uint64_t Rank = std::max<uint64_t>(1, (uint64_t)std::ceil(P * (double)Count));
+  // The estimate is the upper bound of the bucket holding the ranked
+  // sample, clamped into [Min, Max]: a log bucket's raw bound can exceed
+  // every sample actually recorded into it (by up to 2x), and an
+  // unclamped bound once produced impossible reports (p90 > p99 == a
+  // value above the max sample). Clamping also makes the estimate
+  // monotone non-decreasing in P: the selected bucket index is monotone
+  // in Rank, bucket bounds are monotone in the index, and clamping to a
+  // fixed interval preserves both.
   uint64_t Cum = 0;
   for (unsigned I = 0; I != NumBuckets; ++I) {
     Cum += Buckets[I];

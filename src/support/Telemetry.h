@@ -70,8 +70,10 @@ public:
   uint64_t bucketCount(unsigned I) const { return Buckets[I]; }
 
   /// Upper-bound percentile estimate for \p P in [0, 1]: the bound of the
-  /// first bucket whose cumulative count reaches P * count(), clamped to
-  /// the observed [min, max] range. 0 when empty.
+  /// first bucket whose cumulative count reaches ceil(P * count()),
+  /// clamped to the observed [min, max] range — so the estimate never
+  /// exceeds the largest recorded sample and is monotone non-decreasing
+  /// in P (p50 <= p90 <= p99 <= max by construction). 0 when empty.
   double percentile(double P) const;
 
 private:

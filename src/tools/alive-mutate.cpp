@@ -40,6 +40,14 @@ static void printHelp() {
       "  -max-mutations=<n> mutations per function per mutant (default 3)\n"
       "  -no-tv-cache      disable the per-worker TV verdict cache\n"
       "  -tv-cache-size=<n> TV verdict cache capacity (default 4096)\n"
+      "  -shared-tv-cache  share one canonicalized verdict cache across\n"
+      "                    all workers (alpha-renamed, commutative-\n"
+      "                    normalized keys; bug report stays -j invariant)\n"
+      "  -tv-cache-shards=<n> lock-stripe count of the shared cache\n"
+      "                    (rounded up to a power of two; default 16)\n"
+      "  -tv-prescreen=<n> concrete trials before each symbolic check;\n"
+      "                    cheap counterexamples skip the SAT query\n"
+      "                    (default 0 = off)\n"
       "  -no-skip-unchanged verify even functions no pass modified\n"
       "  -save-dir=<dir>   write mutants to <dir> (created if missing)\n"
       "  -saveAll          save every mutant, not only failing ones\n"
@@ -133,6 +141,10 @@ int main(int Argc, char **Argv) {
                          ? 0
                          : (size_t)Args.getInt("tv-cache-size",
                                                Opts.TVCacheSize);
+  Opts.UseSharedTVCache = Args.has("shared-tv-cache");
+  Opts.TVCacheShards =
+      (size_t)Args.getInt("tv-cache-shards", Opts.TVCacheShards);
+  Opts.TV.PrescreenTrials = (unsigned)Args.getInt("tv-prescreen", 0);
   Opts.SkipUnchanged = !Args.has("no-skip-unchanged");
   if (Args.has("inject-bugs"))
     Opts.Bugs.enableAll();
@@ -265,13 +277,16 @@ int main(int Argc, char **Argv) {
   std::printf("verified:       %llu\n", (unsigned long long)S.Verified);
   std::printf("verify-skipped: %llu\n", (unsigned long long)S.VerifySkipped);
   if (Opts.TVCacheSize > 0)
-    // Hit/miss splits depend on each worker's private cache history, so
-    // this line (like time) varies with -j; the bug report does not.
+    // Hit/miss splits depend on cache history (per-worker private caches,
+    // or scheduling with -shared-tv-cache), so this line (like time)
+    // varies with -j; the bug report does not.
     std::printf("tv-cache:       %llu hit(s), %llu miss(es), %llu "
-                "eviction(s) [%u worker(s)]\n",
+                "eviction(s) [%s, %u worker(s)]\n",
                 (unsigned long long)S.TVCacheHits,
                 (unsigned long long)S.TVCacheMisses,
-                (unsigned long long)S.TVCacheEvictions, Engine.jobs());
+                (unsigned long long)S.TVCacheEvictions,
+                Opts.UseSharedTVCache ? "shared" : "per-worker",
+                Engine.jobs());
   std::printf("miscompiles:    %llu\n",
               (unsigned long long)S.RefinementFailures);
   std::printf("crashes:        %llu\n", (unsigned long long)S.Crashes);

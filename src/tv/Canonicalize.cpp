@@ -1,0 +1,133 @@
+//===- tv/Canonicalize.cpp - Structural canonicalization of TV pairs --------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tv/Canonicalize.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "parser/Printer.h"
+#include "support/Casting.h"
+#include "tv/TVCache.h"
+
+#include <string>
+#include <unordered_map>
+
+using namespace alive;
+
+namespace {
+
+/// Canonical operand order, lexicographic on (class, index, text):
+/// arguments (by parameter index) < instructions (by program-order
+/// position) < constants (by printed token) < anything else. Putting
+/// constants last mirrors LLVM's constants-to-the-RHS convention; ordering
+/// instructions by position (not name) makes the rank independent of the
+/// names the alpha-rename is about to erase.
+struct OperandRank {
+  unsigned Class = 3;
+  unsigned Index = 0;
+  std::string Text;
+
+  bool before(const OperandRank &O) const {
+    if (Class != O.Class)
+      return Class < O.Class;
+    if (Index != O.Index)
+      return Index < O.Index;
+    return Text < O.Text;
+  }
+};
+
+OperandRank
+rankOperand(const Value *V,
+            const std::unordered_map<const Value *, unsigned> &InstPos) {
+  OperandRank R;
+  if (const Argument *A = dyn_cast<Argument>(V)) {
+    R.Class = 0;
+    R.Index = A->getIndex();
+  } else if (V->isInstruction()) {
+    auto It = InstPos.find(V);
+    if (It == InstPos.end())
+      return R; // defensive: unknown position ranks last, never swapped
+    R.Class = 1;
+    R.Index = It->second;
+  } else if (V->isConstant()) {
+    R.Class = 2;
+    R.Text = printValueRef(V);
+  }
+  return R;
+}
+
+void swapOperands(Instruction *I) {
+  Value *L = I->getOperand(0), *R = I->getOperand(1);
+  I->setOperand(0, R);
+  I->setOperand(1, L);
+}
+
+} // namespace
+
+void alive::canonicalizeFunction(Function &F) {
+  // Program-order position of every instruction, for the operand rank.
+  std::unordered_map<const Value *, unsigned> InstPos;
+  unsigned Pos = 0;
+  for (BasicBlock *BB : F.blocks())
+    for (Instruction *I : BB->insts())
+      InstPos[I] = Pos++;
+
+  // Commutative-operand normalization. Only operand-order symmetries are
+  // rewritten: add/mul/and/or/xor swap freely; icmp swaps operands with the
+  // predicate mirrored (ult -> ugt), which covers eq/ne as a special case.
+  for (BasicBlock *BB : F.blocks()) {
+    for (Instruction *I : BB->insts()) {
+      if (auto *BI = dyn_cast<BinaryInst>(I)) {
+        if (BinaryInst::isCommutative(BI->getBinOp()) &&
+            rankOperand(BI->getRHS(), InstPos)
+                .before(rankOperand(BI->getLHS(), InstPos)))
+          swapOperands(BI);
+      } else if (auto *CI = dyn_cast<ICmpInst>(I)) {
+        if (rankOperand(CI->getRHS(), InstPos)
+                .before(rankOperand(CI->getLHS(), InstPos))) {
+          swapOperands(CI);
+          CI->setPredicate(ICmpInst::getSwappedPredicate(CI->getPredicate()));
+        }
+      }
+    }
+  }
+
+  // Alpha-rename: clear every argument, block and instruction name so the
+  // printer's slot numbering assigns canonical sequential names. Callee
+  // names are untouched (the environment oracle models declarations by
+  // name).
+  for (unsigned I = 0; I != F.getNumArgs(); ++I)
+    F.getArg(I)->setName("");
+  for (BasicBlock *BB : F.blocks()) {
+    BB->setName("");
+    for (Instruction *I : BB->insts())
+      I->setName("");
+  }
+}
+
+CanonicalPair alive::canonicalizePair(const Function &Src,
+                                      const Function &Tgt) {
+  CanonicalPair CP;
+  // Pairs whose verdict depends on callee bodies elsewhere in the module
+  // cannot be keyed by their own text — same rule as the per-worker cache.
+  if (!TVCache::isCacheable(Src) || !TVCache::isCacheable(Tgt))
+    return CP;
+
+  auto M = std::make_unique<Module>();
+  // Fixed names make the canonical text independent of the original
+  // function name (mutation lineages rename functions freely).
+  Function *CS = cloneFunction(Src, *M, "__amut_canon_src");
+  Function *CT = cloneFunction(Tgt, *M, "__amut_canon_tgt");
+  canonicalizeFunction(*CS);
+  canonicalizeFunction(*CT);
+  CP.SrcText = printFunction(*CS);
+  CP.TgtText = printFunction(*CT);
+  CP.Src = CS;
+  CP.Tgt = CT;
+  CP.M = std::move(M);
+  return CP;
+}

@@ -1,0 +1,77 @@
+//===- tv/Canonicalize.h - Structural canonicalization of TV pairs -*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonicalization for the shared TV verdict cache: maps structurally
+/// equal (source, target) pairs — pairs that differ only in value/block
+/// names, in the function name, or in the operand order of commutative
+/// instructions — onto one canonical printed form, so their verdicts share
+/// one cache entry across workers and across mutation lineages.
+///
+/// Two rewrites, applied to a private clone (originals are never touched):
+///
+///   1. *Commutative-operand normalization*: the operands of commutative
+///      binary ops (add, mul, and, or, xor) and of every icmp (with the
+///      predicate swapped accordingly) are ordered by a canonical operand
+///      rank — arguments (by index) before instructions (by program-order
+///      position) before constants (by printed text). Mirrors LLVM's
+///      "constants to the RHS" convention and is order-stable: two
+///      operand-swapped copies of one function normalize identically.
+///
+///   2. *Alpha-renaming*: every argument, block and instruction name is
+///      cleared, so the printer's slot numbering (%0, %1, ...) assigns
+///      canonical sequential names. Callee names are deliberately kept:
+///      the concrete environment oracle models declared functions from the
+///      callee *name*, so renaming a callee would change the verdict.
+///
+/// The canonical pair is what the shared cache keys on — and what the
+/// checker runs on when the key misses. Verdicts are therefore a pure
+/// function of the canonical key: a hit replays byte-for-byte what a fresh
+/// computation would produce, which keeps the deterministic report section
+/// byte-equal across worker counts even though workers race on the cache.
+/// Both rewrites preserve function semantics and the argument list, so an
+/// Incorrect verdict's counterexample remains valid for the originals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TV_CANONICALIZE_H
+#define TV_CANONICALIZE_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace alive {
+
+/// A canonicalized (source, target) clone pair. Null \c M means the pair
+/// was not canonicalizable (it depends on module context beyond the pair:
+/// calls into defined non-intrinsic functions).
+struct CanonicalPair {
+  /// Owns the canonical clones (and declarations of their callees).
+  std::unique_ptr<Module> M;
+  Function *Src = nullptr;
+  Function *Tgt = nullptr;
+  /// Canonical printed forms — the text the shared cache keys on.
+  std::string SrcText;
+  std::string TgtText;
+};
+
+/// Normalizes \p F in place: commutative-operand ordering, then full
+/// alpha-renaming (argument/block/instruction names cleared). Exposed for
+/// unit tests; campaign code uses canonicalizePair.
+void canonicalizeFunction(Function &F);
+
+/// Clones \p Src and \p Tgt into a fresh module under fixed names and
+/// canonicalizes both. \returns a pair with null \c M when either function
+/// calls a defined non-intrinsic function (the verdict then depends on
+/// callee bodies the canonical text cannot capture — such pairs must be
+/// verified on the originals and never cached).
+CanonicalPair canonicalizePair(const Function &Src, const Function &Tgt);
+
+} // namespace alive
+
+#endif // TV_CANONICALIZE_H

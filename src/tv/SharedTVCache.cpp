@@ -1,0 +1,87 @@
+//===- tv/SharedTVCache.cpp - Cross-worker TV verdict cache -----------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tv/SharedTVCache.h"
+
+#include "tv/TVCache.h"
+
+#include <functional>
+
+using namespace alive;
+
+namespace {
+
+size_t roundUpPow2(size_t N) {
+  size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+SharedTVCache::SharedTVCache(size_t Capacity, size_t Shards_) {
+  size_t N = roundUpPow2(Shards_ ? Shards_ : DefaultShards);
+  CapacityPerShard = std::max<size_t>(1, (Capacity ? Capacity : 1) / N);
+  Shards.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+std::string SharedTVCache::makeKey(std::string_view CanonSrcText,
+                                   std::string_view CanonTgtText,
+                                   const TVOptions &Opts) {
+  std::string Key;
+  Key.reserve(64 + CanonSrcText.size() + CanonTgtText.size() + 1);
+  if (!TVCache::appendKeyHeader(Key, CanonSrcText, CanonTgtText, Opts))
+    return std::string();
+  Key += CanonSrcText;
+  Key += '\x1f';
+  Key += CanonTgtText;
+  return Key;
+}
+
+SharedTVCache::Shard &SharedTVCache::shardFor(const std::string &Key) {
+  // Shard count is a power of two, so the hash's low bits pick the stripe.
+  return *Shards[std::hash<std::string_view>()(Key) & (Shards.size() - 1)];
+}
+
+bool SharedTVCache::lookup(const std::string &Key, TVResult &Out) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> G(S.Lock);
+  auto It = S.Map.find(std::string_view(Key));
+  if (It == S.Map.end())
+    return false;
+  S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
+  Out = It->second->second; // by value: safe past a concurrent eviction
+  return true;
+}
+
+bool SharedTVCache::insert(const std::string &Key, const TVResult &R) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> G(S.Lock);
+  if (S.Map.count(std::string_view(Key)))
+    return false;
+  bool Evicted = false;
+  if (S.Map.size() >= CapacityPerShard) {
+    Entry &Old = S.LRU.back();
+    S.Map.erase(std::string_view(Old.first));
+    S.LRU.pop_back();
+    Evicted = true;
+  }
+  S.LRU.emplace_front(Key, R);
+  S.Map.emplace(std::string_view(S.LRU.front().first), S.LRU.begin());
+  return Evicted;
+}
+
+size_t SharedTVCache::size() const {
+  size_t N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> G(S->Lock);
+    N += S->Map.size();
+  }
+  return N;
+}

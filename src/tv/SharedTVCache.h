@@ -1,0 +1,98 @@
+//===- tv/SharedTVCache.h - Cross-worker TV verdict cache -------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide, lock-striped LRU cache of translation-validation
+/// verdicts, shared by every campaign worker. Where the per-worker TVCache
+/// keys on raw printed text, this cache keys on *canonicalized* pairs
+/// (tv/Canonicalize.h): alpha-renamed, commutative-normalized clones — so
+/// structurally-equal queries from different workers and different mutation
+/// lineages collapse onto one entry.
+///
+/// Concurrency: the key hash selects one of a power-of-two number of
+/// shards; each shard is an independent mutex + LRU map sized
+/// capacity/shards. Workers querying different shards never contend, and a
+/// shard's critical section is a hash-map probe plus a list splice — the
+/// verdict is copied out by value so no reference can dangle past an
+/// eviction by another worker.
+///
+/// Determinism: verdicts are computed *on the canonical pair*, making them
+/// a pure function of the key — whichever worker computes first, a hit
+/// replays byte-for-byte what a fresh computation would produce, so the
+/// deterministic report section stays byte-equal across -j values. Only
+/// the hit/miss/eviction *counters* are scheduling-dependent (two workers
+/// can race to compute the same key and both count a miss); they live in
+/// the volatile section of the run report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TV_SHAREDTVCACHE_H
+#define TV_SHAREDTVCACHE_H
+
+#include "tv/RefinementChecker.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace alive {
+
+class SharedTVCache {
+public:
+  static constexpr size_t DefaultShards = 16;
+
+  /// \p Capacity bounds total resident verdicts across all shards;
+  /// \p Shards is rounded up to a power of two (0 = DefaultShards). Each
+  /// shard holds an independent LRU of max(1, Capacity/Shards) entries.
+  explicit SharedTVCache(size_t Capacity = 4096,
+                         size_t Shards = DefaultShards);
+
+  /// Builds the cache key from the canonical pair texts — same header
+  /// fingerprint and hash-then-full-text layout as TVCache::makeKey, so a
+  /// hash collision can never smuggle in a wrong verdict. \returns the
+  /// empty string when the header does not fit (fail open to uncacheable).
+  static std::string makeKey(std::string_view CanonSrcText,
+                             std::string_view CanonTgtText,
+                             const TVOptions &Opts);
+
+  /// Copies the memoized verdict for \p Key into \p Out, refreshing its
+  /// recency. \returns false on a miss.
+  bool lookup(const std::string &Key, TVResult &Out);
+
+  /// Memoizes \p R under \p Key (no-op when already resident — the first
+  /// writer of a raced key wins, but both verdicts are identical by
+  /// construction). \returns true when an entry was evicted to make room.
+  bool insert(const std::string &Key, const TVResult &R);
+
+  size_t shardCount() const { return Shards.size(); }
+  size_t capacity() const { return CapacityPerShard * Shards.size(); }
+  /// Total resident entries (takes every shard lock; diagnostics only).
+  size_t size() const;
+
+private:
+  using Entry = std::pair<std::string, TVResult>;
+  struct Shard {
+    std::mutex Lock;
+    /// Front = most recently used. Map string_view keys alias the entry's
+    /// own key string (stable for the entry's lifetime).
+    std::list<Entry> LRU;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> Map;
+  };
+
+  Shard &shardFor(const std::string &Key);
+
+  size_t CapacityPerShard;
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace alive
+
+#endif // TV_SHAREDTVCACHE_H

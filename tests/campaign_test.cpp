@@ -497,3 +497,131 @@ TEST(CampaignTest, MergedRunReportIsWorkerCountInvariant) {
   EXPECT_NE(R1.find("\"tv_verdicts\""), std::string::npos);
   EXPECT_NE(R1.find("\"p99_s\""), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// The shared cross-worker TV verdict cache (-shared-tv-cache).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Four alpha-renamed copies of one function: a workload where the
+/// text-keyed per-worker cache misses (names differ, so the printed texts
+/// differ) but the canonicalized shared cache collapses all lineages onto
+/// one key per structural pair.
+const char *RenamedCopiesCorpus = R"(
+define i8 @copy_a(i8 %x, i8 %y) {
+  %s = add i8 %x, %y
+  %m = and i8 %s, %x
+  %r = xor i8 %m, 42
+  ret i8 %r
+}
+define i8 @copy_b(i8 %p, i8 %q) {
+  %t0 = add i8 %p, %q
+  %t1 = and i8 %t0, %p
+  %t2 = xor i8 %t1, 42
+  ret i8 %t2
+}
+define i8 @copy_c(i8 %a, i8 %b) {
+  %u = add i8 %a, %b
+  %v = and i8 %u, %a
+  %w = xor i8 %v, 42
+  ret i8 %w
+}
+define i8 @copy_d(i8 %m, i8 %n) {
+  %e = add i8 %m, %n
+  %f = and i8 %e, %m
+  %g = xor i8 %f, 42
+  ret i8 %g
+}
+)";
+
+FuzzOptions renamedCopiesOptions(bool Shared) {
+  FuzzOptions Opts;
+  Opts.Passes = "instsimplify,constfold,instcombine,dce";
+  Opts.Iterations = 60;
+  Opts.BaseSeed = 7;
+  Opts.TV.ConcreteTrials = 8;
+  // A tight conflict budget: a hard SAT query resolves Inconclusive in
+  // milliseconds — hit accounting, not proof strength, is under test.
+  Opts.TV.SolverConflictBudget = 2000;
+  Opts.UseSharedTVCache = Shared;
+  return Opts;
+}
+
+} // namespace
+
+TEST(CampaignTest, SharedCacheHitsWhereTextKeyedCacheCannot) {
+  // Same seeds, same corpus, both cache flavors: the canonical keys must
+  // collapse the alpha-renamed lineages that text keys keep apart.
+  auto HitsFor = [&](bool Shared) {
+    CampaignEngine Engine(renamedCopiesOptions(Shared), 1);
+    Engine.loadModule(parseOk(RenamedCopiesCorpus));
+    const FuzzStats &S = Engine.run();
+    EXPECT_GT(S.Verified + S.VerifySkipped, 0u);
+    return S.TVCacheHits;
+  };
+  uint64_t Private = HitsFor(false), Shared = HitsFor(true);
+  EXPECT_GT(Shared, Private);
+}
+
+TEST(CampaignTest, SharedCacheHitsAcrossWorkers) {
+  // Under -j4 every worker queries the one process-wide cache, so verdicts
+  // computed in one worker must be replayed in the others.
+  FuzzOptions Opts = renamedCopiesOptions(true);
+  CampaignEngine Engine(Opts, 4);
+  Engine.loadModule(parseOk(RenamedCopiesCorpus));
+  const FuzzStats &S = Engine.run();
+  EXPECT_GT(S.TVCacheHits, 0u);
+  // Every verification either hit, missed, or was uncacheable; the split
+  // must stay internally consistent.
+  EXPECT_LE(S.TVCacheHits + S.TVCacheMisses, S.Verified);
+}
+
+TEST(CampaignTest, SharedCacheReportIsWorkerCountInvariant) {
+  // The tentpole acceptance criterion: with the shared cache on, a -j4
+  // campaign's deterministic report section is byte-identical to -j1 even
+  // though workers race on the cache — verdicts are a pure function of the
+  // canonical key, so a hit replays what a fresh computation would return.
+  FuzzOptions Opts = twoBugOptions(200);
+  Opts.UseSharedTVCache = true;
+  auto ReportFor = [&](unsigned Jobs) {
+    CampaignEngine Engine(Opts, Jobs);
+    Engine.loadModule(parseOk(TwoBugCorpus));
+    const FuzzStats &S = Engine.run();
+    RunReportConfig RC;
+    RC.Tool = "campaign_test";
+    RC.Passes = Opts.Passes;
+    RC.Iterations = Opts.Iterations;
+    RC.BaseSeed = Opts.BaseSeed;
+    RC.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
+    RC.Jobs = Jobs;
+    RC.WallSeconds = S.TotalSeconds;
+    std::ostringstream OS;
+    writeRunReport(OS, RC, S, Engine.bugs(), Engine.registry());
+    return OS.str();
+  };
+  std::string R1 = ReportFor(1), R4 = ReportFor(4);
+  auto DeterministicPart = [](const std::string &R) {
+    size_t Pos = R.find("\"volatile\"");
+    EXPECT_NE(Pos, std::string::npos);
+    return R.substr(0, Pos);
+  };
+  EXPECT_EQ(DeterministicPart(R1), DeterministicPart(R4));
+}
+
+TEST(CampaignTest, SharedCacheBugSetMatchesSequentialRun) {
+  // Bug records (seed, function, detail, mutant IR) must agree between
+  // -j1 and -j4 shared-cache runs, record for record.
+  FuzzOptions Opts = twoBugOptions(200);
+  Opts.UseSharedTVCache = true;
+  CampaignEngine E1(Opts, 1), E4(Opts, 4);
+  E1.loadModule(parseOk(TwoBugCorpus));
+  E4.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S1 = E1.run();
+  const FuzzStats &S4 = E4.run();
+  expectSameCounters(S1, S4);
+  ASSERT_EQ(E1.bugs().size(), E4.bugs().size());
+  for (size_t I = 0; I != E1.bugs().size(); ++I)
+    expectSameRecord(E1.bugs()[I], E4.bugs()[I]);
+  EXPECT_GT(E1.bugs().size(), 0u);
+}

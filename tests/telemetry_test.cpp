@@ -85,6 +85,44 @@ TEST(TelemetryTest, PercentileIsBucketUpperBoundClampedToRange) {
   EXPECT_DOUBLE_EQ(H.percentile(1.0), 1.0);
 }
 
+TEST(TelemetryTest, PercentilesAreMonotoneOnAdversarialDistributions) {
+  // Distributions engineered to trip an unclamped estimator: a huge mass
+  // in a tiny bucket next to a thin tail in a wide one (the wide bucket's
+  // raw upper bound can exceed the max sample by almost 2x), an isolated
+  // spike, samples in the unbounded last bucket, and a single sample.
+  Histogram Hists[4];
+  for (int I = 0; I != 999; ++I)
+    Hists[0].record(3e-6);
+  Hists[0].record(17.4); // bucket (16.8s, 33.6s] — bound way above max
+  Hists[1].record(1e-6);
+  for (int I = 0; I != 50; ++I)
+    Hists[1].record(0.9);
+  Hists[2].record(2.0);
+  Hists[2].record(1e12); // unbounded last bucket
+  Hists[3].record(0.123);
+  for (const Histogram &H : Hists) {
+    // Monotone over a dense grid of P, and never above the observed max.
+    double Prev = 0;
+    for (double P = 0.0; P <= 1.0; P += 0.01) {
+      double V = H.percentile(P);
+      EXPECT_GE(V, Prev) << "P=" << P;
+      EXPECT_LE(V, H.max()) << "P=" << P;
+      EXPECT_GE(V, H.min()) << "P=" << P;
+      Prev = V;
+    }
+    // The specific chain every report quotes.
+    EXPECT_LE(H.percentile(0.5), H.percentile(0.9));
+    EXPECT_LE(H.percentile(0.9), H.percentile(0.99));
+    EXPECT_LE(H.percentile(0.99), H.max());
+  }
+  // The regression that motivated the clamp: 999 fast + 1 slow sample must
+  // report p90 <= p99, not a p90 above the slowest sample ever recorded.
+  EXPECT_DOUBLE_EQ(Hists[0].percentile(0.9), 4e-6);
+  // p100 ranks the slow sample into the (16.8s, 33.6s] bucket; the raw
+  // 33.6s bound clamps to the 17.4s max actually observed.
+  EXPECT_DOUBLE_EQ(Hists[0].percentile(1.0), 17.4);
+}
+
 TEST(TelemetryTest, HistogramMergeSumsBuckets) {
   Histogram A, B;
   A.record(1e-6);
