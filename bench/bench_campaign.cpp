@@ -21,6 +21,15 @@
 /// `-stats-json=<file>` (or AMR_CAMPAIGN_STATS_JSON) writes the merged
 /// telemetry of every campaign batch as one schema-versioned run report.
 ///
+/// `-feedback-compare` runs the feedback-vs-blind experiment instead of
+/// Table I: every defect campaign runs twice under one fixed mutant
+/// budget (AMR_CAMPAIGN_COMPARE_BUDGET, default 256; epoch length
+/// AMR_CAMPAIGN_COMPARE_EPOCH, default 128) — once blind, once with
+/// -feedback scheduling — and the tool reports seeded defects found and
+/// bugs-per-10k-mutants per mode. Exit status asserts feedback >= blind.
+/// Both runs are seed-deterministic, so the outcome is stable across
+/// hosts and worker counts.
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/CampaignEngine.h"
@@ -159,6 +168,75 @@ CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
   return R;
 }
 
+unsigned CompareEpoch = 128;
+
+/// One full-budget campaign (no batching, no early stop) for the
+/// feedback-vs-blind experiment. \returns true when the defect was
+/// discovered within the budget.
+bool runCompareCampaign(const BugInfo &Bug, const char *SeedIR,
+                        uint64_t Budget, unsigned Jobs, bool Feedback) {
+  FuzzOptions Opts;
+  Opts.Passes = pipelineFor(Bug.Component);
+  Opts.TV.ConcreteTrials = 16;
+  Opts.TV.SolverConflictBudget = 30000;
+  Opts.Bugs.enable(Bug.Id);
+  Opts.BaseSeed = 1;
+  Opts.Iterations = Budget;
+  Opts.Feedback.Enabled = Feedback;
+  Opts.Feedback.EpochLength = CompareEpoch;
+
+  CampaignEngine Engine(Opts, Jobs);
+  std::string Err;
+  auto M = parseModule(SeedIR, Err);
+  if (!M || Engine.loadModule(std::move(M)) == 0)
+    return false;
+  Engine.run();
+  for (const BugRecord &B : Engine.bugs()) {
+    if (B.Kind == BugRecord::Crash && B.IssueId != Bug.IssueId)
+      continue;
+    return true;
+  }
+  return false;
+}
+
+/// The `-feedback-compare` experiment: seeded defects found per fixed
+/// mutant budget, blind vs feedback-directed. \returns the process exit
+/// status (0 iff feedback found at least as many defects as blind).
+int runFeedbackCompare(uint64_t Budget, unsigned Jobs) {
+  std::printf("=== Feedback vs blind: seeded defects per fixed budget ===\n");
+  std::printf("(each defect: two campaigns of %llu mutants over its "
+              "near-miss seed, %u worker(s))\n\n",
+              (unsigned long long)Budget, Jobs);
+  std::printf("%-8s %-26s %-9s %-9s\n", "Issue", "Component", "blind",
+              "feedback");
+
+  unsigned FoundBlind = 0, FoundFeedback = 0, Campaigns = 0;
+  for (const BugInfo &Bug : bugTable()) {
+    const char *SeedIR = nullptr;
+    for (const NearMissSeed &S : nearMissSeeds())
+      if (std::strcmp(S.IssueId, Bug.IssueId) == 0)
+        SeedIR = S.Text;
+    if (!SeedIR)
+      continue;
+    ++Campaigns;
+    bool Blind = runCompareCampaign(Bug, SeedIR, Budget, Jobs, false);
+    bool Feedback = runCompareCampaign(Bug, SeedIR, Budget, Jobs, true);
+    FoundBlind += Blind;
+    FoundFeedback += Feedback;
+    std::printf("%-8s %-26s %-9s %-9s\n", Bug.IssueId, Bug.Component,
+                Blind ? "found" : "-", Feedback ? "found" : "-");
+  }
+
+  double Mutants = (double)Campaigns * (double)Budget;
+  std::printf("\nblind:    %u / %u defects, %.2f bugs per 10k mutants\n",
+              FoundBlind, Campaigns, FoundBlind * 10000.0 / Mutants);
+  std::printf("feedback: %u / %u defects, %.2f bugs per 10k mutants\n",
+              FoundFeedback, Campaigns, FoundFeedback * 10000.0 / Mutants);
+  bool Pass = FoundFeedback >= FoundBlind;
+  std::printf("feedback >= blind: %s\n", Pass ? "PASS" : "FAIL");
+  return Pass ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -177,6 +255,22 @@ int main(int Argc, char **Argv) {
   if (Jobs == 0)
     Jobs = 1;
   bool NoCache = std::getenv("AMR_CAMPAIGN_NOCACHE") != nullptr;
+
+  bool Compare = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "-feedback-compare") == 0)
+      Compare = true;
+  if (Compare) {
+    const char *BudgetEnv = std::getenv("AMR_CAMPAIGN_COMPARE_BUDGET");
+    uint64_t Budget =
+        BudgetEnv ? std::strtoull(BudgetEnv, nullptr, 10) : 256;
+    if (Budget == 0)
+      Budget = 256;
+    if (const char *E = std::getenv("AMR_CAMPAIGN_COMPARE_EPOCH"))
+      if (unsigned V = (unsigned)std::strtoul(E, nullptr, 10))
+        CompareEpoch = V;
+    return runFeedbackCompare(Budget, Jobs);
+  }
 
   std::printf("=== Fuzzing campaign: regenerating Table I ===\n");
   std::printf("(each row: one seeded defect, campaign over its near-miss "

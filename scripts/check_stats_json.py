@@ -15,7 +15,12 @@ invariants the telemetry subsystem guarantees:
     matches the summed worker wall time within tolerance;
   - the v3 survivability block is present and sane (timeouts is a
     non-negative integer; interrupted is a bool) and the config echoes
-    the corpus file counts.
+    the corpus file counts;
+  - the v4 feedback block is present, its enabled flag is a bool, and —
+    when enabled — the epoch/coverage counters are non-negative ints,
+    every rule row's iteration count is positive, bits_covered matches
+    the feedback counters in stats, and every family weight lies in the
+    schedule's [1, 16] clamp range.
 
 With a second report, additionally asserts the two "deterministic"
 subtrees are equal — the -j4 == -j1 guarantee (run the two reports with
@@ -27,7 +32,7 @@ Exits non-zero with a message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def fail(msg):
@@ -47,7 +52,7 @@ def check_report(path):
 
     det = r["deterministic"]
     vol = r["volatile"]
-    for key in ("config", "summary", "per_pass", "per_family", "tv_verdicts", "stats", "bugs"):
+    for key in ("config", "summary", "per_pass", "per_family", "tv_verdicts", "feedback", "stats", "bugs"):
         if key not in det:
             fail("%s: missing deterministic.%r" % (path, key))
     for key in ("jobs", "stage_seconds", "cache", "survivability", "stats"):
@@ -58,6 +63,25 @@ def check_report(path):
     for key in ("corpus_files", "corpus_skipped"):
         if not isinstance(cfg.get(key), int) or cfg[key] < 0:
             fail("%s: config.%s missing or not a non-negative int" % (path, key))
+
+    fb = det["feedback"]
+    if not isinstance(fb.get("enabled"), bool):
+        fail("%s: feedback.enabled missing or not a bool" % path)
+    if fb["enabled"]:
+        for key in ("epoch_length", "epochs", "bits_covered", "functions_tracked", "energy_skips"):
+            if not isinstance(fb.get(key), int) or fb[key] < 0:
+                fail("%s: feedback.%s missing or not a non-negative int" % (path, key))
+        if fb["epoch_length"] == 0:
+            fail("%s: feedback.epoch_length must be positive" % path)
+        for row in fb.get("rules", []):
+            if not isinstance(row.get("rule"), str) or row.get("iterations", 0) <= 0:
+                fail("%s: malformed feedback rule row %r" % (path, row))
+        counters = det["stats"].get("counters", {})
+        if fb["bits_covered"] != counters.get("feedback.bits_covered", fb["bits_covered"]):
+            fail("%s: feedback.bits_covered disagrees with stats counter" % path)
+        for family, weight in fb.get("weights", {}).items():
+            if not isinstance(weight, int) or not 1 <= weight <= 16:
+                fail("%s: feedback weight for %s outside [1, 16]: %r" % (path, family, weight))
 
     surv = vol["survivability"]
     if not isinstance(surv.get("timeouts"), int) or surv["timeouts"] < 0:

@@ -255,12 +255,39 @@ const FuzzStats &CampaignEngine::run() {
   const SurvivalOptions &SV = Opts.Survival;
   const bool TimeLimited = Opts.Iterations == 0;
   const bool Checkpointing = !SV.CheckpointDir.empty();
-  if ((Checkpointing || SV.Isolate) && TimeLimited) {
+  if ((Checkpointing || SV.Isolate) &&
+      (TimeLimited || Opts.TimeLimitSeconds > 0)) {
     // A time-limited campaign has no reproducible seed schedule: neither a
     // resumed run nor a harvested shard could reconstruct "where it was".
+    // That includes -n combined with -t: the static dispatch ignores the
+    // time limit, so accepting the combination would silently checkpoint
+    // a campaign whose advertised bound is not the one being enforced.
     ConfigError = "checkpointing and -isolate require an iteration-bounded "
                   "campaign: replace -t with -n";
     return Stats;
+  }
+  if (Opts.Feedback.Enabled) {
+    // Feedback's own coherence matrix. The schedule makes a mutant a
+    // function of (seed, campaign history): -t has no deterministic
+    // history; -isolate shards cannot share the epoch barrier; bug
+    // bundles regenerate their mutation trail schedule-free and would
+    // describe a different mutant than the one that failed.
+    if (TimeLimited || Opts.TimeLimitSeconds > 0) {
+      ConfigError = "-feedback requires an iteration-bounded campaign: "
+                    "replace -t with -n";
+      return Stats;
+    }
+    if (SV.Isolate) {
+      ConfigError = "-feedback cannot run with -isolate: isolated shards "
+                    "have no epoch barrier to merge coverage at";
+      return Stats;
+    }
+    if (!Opts.BugBundleDir.empty()) {
+      ConfigError = "-feedback cannot run with -bug-bundles: bundle trails "
+                    "replay seeds without the schedule and would not match "
+                    "the failing mutant";
+      return Stats;
+    }
   }
   if (SV.Resume && !Checkpointing) {
     ConfigError = "resume requires a checkpoint directory";
@@ -287,6 +314,8 @@ const FuzzStats &CampaignEngine::run() {
 
   if (SV.Isolate)
     return runIsolated(J, Testable, Total);
+  if (Opts.Feedback.Enabled)
+    return runFeedback(J, Testable, Total);
 
   // Checkpoint-directory identity: write it fresh, or verify it against a
   // resume. The meta pins everything the seed schedule and the partition
@@ -555,6 +584,273 @@ const FuzzStats &CampaignEngine::run() {
                        return A.MutantSeed < B.MutantSeed;
                      });
   }
+  Stats.TotalSeconds = Total.seconds();
+  return Stats;
+}
+
+const FuzzStats &
+CampaignEngine::runFeedback(unsigned J,
+                            const std::vector<std::string> &Testable,
+                            Timer &Total) {
+  const SurvivalOptions &SV = Opts.Survival;
+  const bool Checkpointing = !SV.CheckpointDir.empty();
+  const uint64_t EpochLen = std::max(1u, Opts.Feedback.EpochLength);
+
+  if (Checkpointing) {
+    CheckpointMeta Cur;
+    Cur.Passes = Opts.Passes;
+    Cur.Iterations = Opts.Iterations;
+    Cur.BaseSeed = Opts.BaseSeed;
+    Cur.Jobs = J;
+    Cur.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
+    Cur.InjectBugs = !Opts.Bugs.empty();
+    Cur.FeedbackOn = true;
+    Cur.EpochLength = (unsigned)EpochLen;
+    Cur.ModuleHash = hashModuleText(printModule(*MasterLoop->module()));
+    std::string Err;
+    if (SV.Resume) {
+      CheckpointMeta Stored;
+      if (!readCheckpointMeta(SV.CheckpointDir, Stored, Err) ||
+          !checkpointMetaMatches(Stored, Cur, Err)) {
+        ConfigError = "cannot resume: " + Err;
+        return Stats;
+      }
+    } else if (!writeCheckpointMeta(SV.CheckpointDir, Cur, Err)) {
+      ConfigError = Err;
+      return Stats;
+    }
+  }
+
+  // Build the workers. Unlike the blind static path there is no whole-range
+  // partition: each epoch is sliced afresh, so every worker's checkpoint
+  // cursor ranges over the full [0, Iterations) and all cursors agree at
+  // every epoch boundary.
+  std::vector<std::unique_ptr<Worker>> Workers;
+  for (unsigned I = 0; I != J; ++I) {
+    auto W = std::make_unique<Worker>();
+    W->Index = I;
+    W->Lo = 0;
+    W->Hi = Opts.Iterations;
+    FuzzOptions WOpts = Opts;
+    WOpts.SelfCheckOnLoad = false;
+    WOpts.OnlyFunctions = Testable;
+    WOpts.Progress = &W->Done;
+    WOpts.StageNanos = W->StageNanos;
+    W->Loop = std::make_unique<FuzzerLoop>(WOpts);
+    W->Loop->loadModule(cloneModuleSubset(*MasterLoop->module(), Testable));
+    Workers.push_back(std::move(W));
+  }
+
+  FeedbackMap Global;
+  ScheduleState Schedule;
+  uint64_t EpochStart = 0;
+
+  if (SV.Resume) {
+    FeedbackCheckpoint FC;
+    std::string Err;
+    if (!readFeedbackCheckpoint(SV.CheckpointDir, FC, Err)) {
+      ConfigError = "cannot resume: " + Err;
+      return Stats;
+    }
+    Global = std::move(FC.Global);
+    Schedule = std::move(FC.Schedule);
+    EpochStart = FC.NextOffset;
+    if (EpochStart > Opts.Iterations ||
+        (EpochStart % EpochLen != 0 && EpochStart != Opts.Iterations)) {
+      ConfigError = "cannot resume: feedback.json records offset " +
+                    std::to_string(EpochStart) +
+                    ", which is not an epoch boundary";
+      return Stats;
+    }
+    for (auto &W : Workers) {
+      WorkerCheckpoint WC;
+      if (!readWorkerCheckpoint(SV.CheckpointDir, W->Index, WC, Err)) {
+        ConfigError = "cannot resume: " + Err;
+        return Stats;
+      }
+      if (WC.Next != EpochStart) {
+        ConfigError = "cannot resume: shard " + std::to_string(W->Index) +
+                      " was checkpointed at a different epoch boundary";
+        return Stats;
+      }
+      restoreWorker(WC, *W->Loop);
+      W->Next.store(EpochStart, std::memory_order_relaxed);
+    }
+    TotalDone.store(EpochStart, std::memory_order_relaxed);
+  }
+
+  for (auto &W : Workers)
+    W->Loop->setSchedule(&Schedule);
+
+  std::vector<FuzzerLoop *> WatchedLoops;
+  if (SV.WallTimeoutSeconds > 0)
+    for (auto &W : Workers)
+      WatchedLoops.push_back(W->Loop.get());
+  WallClockSupervisor Supervisor(std::move(WatchedLoops),
+                                 SV.WallTimeoutSeconds);
+
+  auto WriteCheckpoints = [&] {
+    std::string Err;
+    bool Ok = true;
+    for (auto &W : Workers)
+      Ok &= writeWorkerCheckpoint(
+          SV.CheckpointDir,
+          snapshotWorker(W->Index, 0, Opts.Iterations, EpochStart, *W->Loop),
+          Err);
+    FeedbackCheckpoint FC;
+    FC.Global = Global;
+    FC.Schedule = Schedule;
+    FC.NextOffset = EpochStart;
+    Ok &= writeFeedbackCheckpoint(SV.CheckpointDir, FC, Err);
+    // Account on worker 0's (volatile) registry, like the blind path does
+    // per worker — the engine registry is rebuilt by the final merge.
+    ++Workers[0]->Loop->mutableRegistry().counter(
+        Ok ? "survive.checkpoint.writes" : "survive.checkpoint.failures",
+        Volatility::Volatile);
+  };
+
+  std::vector<double> LegSeconds(J, 0.0);
+  double LastReport = 0;
+  bool Stopped = false;
+  // Stop requests are honored at epoch boundaries only: mid-epoch pending
+  // coverage would otherwise be lost (or worse, half-merged), and an epoch
+  // is bounded work anyway.
+  while (EpochStart < Opts.Iterations) {
+    if (StopReq.load(std::memory_order_relaxed)) {
+      Stopped = true;
+      break;
+    }
+    uint64_t After = StopAfter.load(std::memory_order_relaxed);
+    if (After && TotalDone.load(std::memory_order_relaxed) >= After) {
+      Stopped = true;
+      break;
+    }
+    const uint64_t EpochEnd =
+        std::min<uint64_t>(Opts.Iterations, EpochStart + EpochLen);
+    const uint64_t L = EpochEnd - EpochStart;
+    std::vector<std::thread> Threads;
+    for (unsigned I = 0; I != J; ++I) {
+      Worker *W = Workers[I].get();
+      const uint64_t SLo = EpochStart + L * I / J;
+      const uint64_t SHi = EpochStart + L * (I + 1) / J;
+      Threads.emplace_back([this, W, SLo, SHi, I, &LegSeconds] {
+        Timer Leg;
+        for (uint64_t Off = SLo; Off != SHi; ++Off) {
+          W->Loop->runIteration(Opts.BaseSeed + Off);
+          W->Next.store(Off + 1, std::memory_order_relaxed);
+          W->Done.fetch_add(1, std::memory_order_relaxed);
+          TotalDone.fetch_add(1, std::memory_order_relaxed);
+        }
+        LegSeconds[I] += Leg.seconds();
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+
+    // The epoch barrier: merge the workers' coverage deltas in
+    // worker-index order (the OR is commutative, so the order only
+    // matters for reproducible floating of nothing — any order gives the
+    // same map), then advance the schedule as a pure function of the
+    // cumulative maps.
+    FeedbackMap Prev = Global;
+    for (auto &W : Workers)
+      Global.merge(W->Loop->takeFeedback());
+    Schedule.update(Prev, Global);
+    EpochStart = EpochEnd;
+    if (Checkpointing)
+      WriteCheckpoints();
+    if (ProgressInterval > 0 && ProgressFn &&
+        Total.seconds() - LastReport >= ProgressInterval) {
+      LastReport = Total.seconds();
+      CampaignProgress P;
+      uint64_t Stage[4] = {};
+      for (const auto &W : Workers)
+        for (unsigned S = 0; S != 4; ++S)
+          Stage[S] += W->StageNanos[S].load(std::memory_order_relaxed);
+      P.Done = TotalDone.load(std::memory_order_relaxed);
+      P.Target = Opts.Iterations;
+      P.Elapsed = Total.seconds();
+      P.Workers = J;
+      if (P.Elapsed > 0)
+        P.Rate = (double)P.Done / P.Elapsed;
+      if (P.Rate > 0)
+        P.EtaSeconds = (double)(P.Target - P.Done) / P.Rate;
+      double StageSum = (double)(Stage[0] + Stage[1] + Stage[2] + Stage[3]);
+      if (StageSum > 0) {
+        P.MutateShare = Stage[0] / StageSum;
+        P.OptimizeShare = Stage[1] / StageSum;
+        P.VerifyShare = Stage[2] / StageSum;
+        P.OverheadShare = Stage[3] / StageSum;
+      }
+      ProgressFn(P);
+    }
+  }
+  Supervisor.stop();
+  Interrupted = Stopped || EpochStart != Opts.Iterations;
+
+  for (unsigned I = 0; I != J; ++I) {
+    settleWorkerSeconds(*Workers[I]->Loop, LegSeconds[I]);
+    Workers[I]->Loop->setSchedule(nullptr);
+  }
+  // Final snapshot with the settled books (a stopped campaign resumes
+  // from here; a finished one records NextOffset == Iterations).
+  if (Checkpointing)
+    WriteCheckpoints();
+
+  FinalFeedback = Global;
+  FinalSchedule = Schedule;
+
+  // Deterministic merge — as the blind static path, except the bug lists
+  // interleave across workers (each worker owns one slice per epoch), so
+  // the concatenation needs the explicit seed sort. Same-seed bugs come
+  // from a single worker's list and stable_sort preserves their relative
+  // order, so the result is worker-count independent.
+  Stats = FuzzStats();
+  Stats.FunctionsDropped = MasterLoop->stats().FunctionsDropped;
+  Bugs.clear();
+  SaveDirError.clear();
+  BundleError.clear();
+  Registry = StatRegistry();
+  Registry.merge(MasterLoop->registry());
+  Traces.clear();
+  TraceNames.clear();
+  if (auto T = MasterLoop->takeTrace()) {
+    Traces.push_back(std::move(T));
+    TraceNames.push_back("master");
+  }
+  unsigned WorkerIdx = 0;
+  for (const auto &W : Workers) {
+    accumulate(Stats, W->Loop->stats());
+    Registry.merge(W->Loop->registry());
+    if (SaveDirError.empty())
+      SaveDirError = W->Loop->saveDirError();
+    if (BundleError.empty())
+      BundleError = W->Loop->bundleError();
+    if (auto T = W->Loop->takeTrace()) {
+      Traces.push_back(std::move(T));
+      TraceNames.push_back("worker " + std::to_string(WorkerIdx));
+    }
+    ++WorkerIdx;
+    const std::vector<BugRecord> &WB = W->Loop->bugs();
+    Bugs.insert(Bugs.end(), WB.begin(), WB.end());
+  }
+  std::stable_sort(Bugs.begin(), Bugs.end(),
+                   [](const BugRecord &A, const BugRecord &B) {
+                     return A.MutantSeed < B.MutantSeed;
+                   });
+
+  // Engine-level feedback counters, derived from the final state alone
+  // (not incremented along the way) so a resumed campaign reports the
+  // same numbers as an uninterrupted one.
+  Registry.counter("feedback.epochs") = (EpochStart + EpochLen - 1) / EpochLen;
+  Registry.counter("feedback.bits_covered") = FinalFeedback.Global.popcount();
+  Registry.counter("feedback.functions_tracked") =
+      FinalFeedback.PerFunction.size();
+  for (size_t K = 0; K != FinalSchedule.FamilyWeights.size(); ++K)
+    Registry.counter(std::string("feedback.weight.") +
+                     mutationKindName((MutationKind)K)) =
+        FinalSchedule.FamilyWeights[K];
+
   Stats.TotalSeconds = Total.seconds();
   return Stats;
 }

@@ -181,6 +181,31 @@ private:
                                const std::vector<std::string> &Testable,
                                Timer &Total);
 
+  /// The feedback-directed path (Opts.Feedback.Enabled): the seed range is
+  /// consumed epoch by epoch. Within an epoch every worker runs a static
+  /// contiguous slice under the schedule frozen at the epoch's start; at
+  /// the barrier the workers' coverage deltas merge in worker-index order
+  /// (bitwise OR — commutative and associative, so the cumulative map is
+  /// partition-independent) and the schedule is recomputed as a pure
+  /// function of the cumulative maps. -j1 == -jN therefore still holds
+  /// for the deterministic report. Checkpoints are written only at epoch
+  /// boundaries, where the complete feedback state is the global map plus
+  /// the schedule.
+  const FuzzStats &runFeedback(unsigned J,
+                               const std::vector<std::string> &Testable,
+                               Timer &Total);
+
+  /// The final merged feedback state of a finished feedback campaign
+  /// (used by -distill and the run report).
+  FeedbackMap FinalFeedback;
+  ScheduleState FinalSchedule;
+
+public:
+  const FeedbackMap &feedback() const { return FinalFeedback; }
+  const ScheduleState &schedule() const { return FinalSchedule; }
+
+private:
+
   FuzzOptions Opts;
   unsigned Jobs;
   std::string ConfigError;

@@ -169,6 +169,8 @@ bool alive::writeCheckpointMeta(const std::string &Dir,
   OS << "  \"max_mutations_per_function\": " << M.MaxMutationsPerFunction
      << ",\n";
   OS << "  \"inject_bugs\": " << (M.InjectBugs ? "true" : "false") << ",\n";
+  OS << "  \"feedback\": " << (M.FeedbackOn ? "true" : "false") << ",\n";
+  OS << "  \"epoch_length\": " << M.EpochLength << ",\n";
   OS << "  \"module_hash\": " << M.ModuleHash << "\n";
   OS << "}\n";
   return writeFileAtomic(Dir + "/meta.json", OS.str(), Error);
@@ -196,6 +198,8 @@ bool alive::readCheckpointMeta(const std::string &Dir, CheckpointMeta &M,
   M.MaxMutationsPerFunction =
       (unsigned)J.getUInt("max_mutations_per_function");
   M.InjectBugs = J.getBool("inject_bugs", false);
+  M.FeedbackOn = J.getBool("feedback", false);
+  M.EpochLength = (unsigned)J.getUInt("epoch_length");
   M.ModuleHash = J.getUInt("module_hash");
   return true;
 }
@@ -228,6 +232,12 @@ bool alive::checkpointMetaMatches(const CheckpointMeta &Stored,
   if (Stored.InjectBugs != Current.InjectBugs)
     return Mismatch("-inject-bugs", Stored.InjectBugs ? "on" : "off",
                     Current.InjectBugs ? "on" : "off");
+  if (Stored.FeedbackOn != Current.FeedbackOn)
+    return Mismatch("-feedback", Stored.FeedbackOn ? "on" : "off",
+                    Current.FeedbackOn ? "on" : "off");
+  if (Stored.EpochLength != Current.EpochLength)
+    return Mismatch("-feedback-epoch", std::to_string(Stored.EpochLength),
+                    std::to_string(Current.EpochLength));
   if (Stored.ModuleHash != Current.ModuleHash)
     return Mismatch("the input module", "a different module",
                     "this one (content hash differs)");
@@ -350,4 +360,44 @@ void alive::restoreWorker(const WorkerCheckpoint &W, FuzzerLoop &Loop) {
                                                ? Volatility::Volatile
                                                : Volatility::Deterministic) =
         C.Value;
+}
+
+bool alive::writeFeedbackCheckpoint(const std::string &Dir,
+                                    const FeedbackCheckpoint &F,
+                                    std::string &Error) {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"next_offset\": " << F.NextOffset << ",\n";
+  OS << "  \"coverage\": ";
+  F.Global.writeJSON(OS, "  ");
+  OS << ",\n";
+  OS << "  \"schedule\": ";
+  F.Schedule.writeJSON(OS, "  ");
+  OS << "\n}\n";
+  return writeFileAtomic(Dir + "/feedback.json", OS.str(), Error);
+}
+
+bool alive::readFeedbackCheckpoint(const std::string &Dir,
+                                   FeedbackCheckpoint &F,
+                                   std::string &Error) {
+  std::string Text;
+  if (!slurp(Dir + "/feedback.json", Text, Error))
+    return false;
+  JSONValue J;
+  if (!parseJSON(Text, J, Error)) {
+    Error = "feedback.json: " + Error;
+    return false;
+  }
+  F.NextOffset = J.getUInt("next_offset");
+  const JSONValue *Cov = J.find("coverage");
+  if (!Cov || !FeedbackMap::readJSON(*Cov, F.Global, Error)) {
+    Error = "feedback.json: " + (Error.empty() ? "missing coverage" : Error);
+    return false;
+  }
+  const JSONValue *Sch = J.find("schedule");
+  if (!Sch || !ScheduleState::readJSON(*Sch, F.Schedule, Error)) {
+    Error = "feedback.json: " + (Error.empty() ? "missing schedule" : Error);
+    return false;
+  }
+  return true;
 }

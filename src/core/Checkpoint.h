@@ -36,8 +36,9 @@
 namespace alive {
 
 /// Bump when the checkpoint layout changes incompatibly; resume refuses
-/// other versions rather than guessing.
-constexpr unsigned CheckpointSchemaVersion = 1;
+/// other versions rather than guessing. v2 added the feedback pins to the
+/// meta and the <dir>/feedback.json state file.
+constexpr unsigned CheckpointSchemaVersion = 2;
 
 /// Campaign identity, pinned at checkpoint time and verified at resume:
 /// resuming under a different module, pipeline, seed range or job count
@@ -49,6 +50,11 @@ struct CheckpointMeta {
   unsigned Jobs = 0;
   unsigned MaxMutationsPerFunction = 0;
   bool InjectBugs = false;
+  /// Feedback-mode identity: the schedule (and therefore every mutant
+  /// after the first epoch) depends on both, so resuming under a
+  /// different feedback configuration is a mismatch.
+  bool FeedbackOn = false;
+  unsigned EpochLength = 0;
   /// FNV-1a over the preprocessed master module's printed text.
   uint64_t ModuleHash = 0;
 };
@@ -105,6 +111,25 @@ WorkerCheckpoint snapshotWorker(unsigned Index, uint64_t Lo, uint64_t Hi,
 /// Restores a snapshot into a freshly-constructed worker loop (stats,
 /// bugs, registry counters).
 void restoreWorker(const WorkerCheckpoint &W, FuzzerLoop &Loop);
+
+/// Feedback-mode campaign state, checkpointed only at epoch boundaries
+/// (worker pending maps are empty there, so the global map plus the
+/// schedule and the next epoch's first offset are the complete state).
+struct FeedbackCheckpoint {
+  FeedbackMap Global;
+  ScheduleState Schedule;
+  /// First seed offset of the next epoch (== Iterations when finished).
+  uint64_t NextOffset = 0;
+};
+
+/// Writes <dir>/feedback.json. Atomic.
+bool writeFeedbackCheckpoint(const std::string &Dir,
+                             const FeedbackCheckpoint &F, std::string &Error);
+
+/// Reads <dir>/feedback.json. \returns false with \p Error set when
+/// missing or malformed — a feedback-mode resume needs it.
+bool readFeedbackCheckpoint(const std::string &Dir, FeedbackCheckpoint &F,
+                            std::string &Error);
 
 } // namespace alive
 

@@ -1,0 +1,297 @@
+//===- core/Feedback.cpp - Rule-coverage feedback & scheduling --------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Feedback.h"
+
+#include "support/JSON.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+
+using namespace alive;
+
+//===----------------------------------------------------------------------===//
+// CoverageBitmap
+//===----------------------------------------------------------------------===//
+
+static unsigned popcount64(uint64_t W) {
+  unsigned N = 0;
+  while (W) {
+    W &= W - 1;
+    ++N;
+  }
+  return N;
+}
+
+unsigned CoverageBitmap::newBits(const CoverageBitmap &Base) const {
+  unsigned N = 0;
+  for (unsigned I = 0; I != NumWords; ++I)
+    N += popcount64(Words[I] & ~Base.Words[I]);
+  return N;
+}
+
+unsigned CoverageBitmap::popcount() const {
+  unsigned N = 0;
+  for (unsigned I = 0; I != NumWords; ++I)
+    N += popcount64(Words[I]);
+  return N;
+}
+
+bool CoverageBitmap::empty() const {
+  for (unsigned I = 0; I != NumWords; ++I)
+    if (Words[I])
+      return false;
+  return true;
+}
+
+bool CoverageBitmap::subsetOf(const CoverageBitmap &O) const {
+  for (unsigned I = 0; I != NumWords; ++I)
+    if (Words[I] & ~O.Words[I])
+      return false;
+  return true;
+}
+
+bool CoverageBitmap::operator==(const CoverageBitmap &O) const {
+  for (unsigned I = 0; I != NumWords; ++I)
+    if (Words[I] != O.Words[I])
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// FeedbackMap
+//===----------------------------------------------------------------------===//
+
+void FeedbackMap::addIteration(const CoverageBitmap &Cov,
+                               const std::vector<std::string> &Functions,
+                               const std::vector<MutationKind> &Families) {
+  if (Cov.empty())
+    return;
+  for (const std::string &Fn : Functions)
+    PerFunction[Fn].orWith(Cov);
+  for (MutationKind K : Families)
+    PerFamily[(size_t)K].orWith(Cov);
+  Global.orWith(Cov);
+}
+
+void FeedbackMap::merge(const FeedbackMap &O) {
+  for (const auto &[Fn, Cov] : O.PerFunction)
+    PerFunction[Fn].orWith(Cov);
+  for (size_t K = 0; K != PerFamily.size(); ++K)
+    PerFamily[K].orWith(O.PerFamily[K]);
+  Global.orWith(O.Global);
+}
+
+bool FeedbackMap::empty() const { return Global.empty(); }
+
+void FeedbackMap::clear() {
+  PerFunction.clear();
+  for (CoverageBitmap &C : PerFamily)
+    C = CoverageBitmap();
+  Global = CoverageBitmap();
+}
+
+bool FeedbackMap::operator==(const FeedbackMap &O) const {
+  return Global == O.Global && PerFamily == O.PerFamily &&
+         PerFunction == O.PerFunction;
+}
+
+/// Writes a bitmap as a JSON array of exact decimal word values.
+static void writeWords(std::ostream &OS, const CoverageBitmap &C) {
+  OS << "[";
+  for (unsigned I = 0; I != CoverageBitmap::NumWords; ++I)
+    OS << (I ? ", " : "") << C.Words[I];
+  OS << "]";
+}
+
+/// Reads a bitmap written by writeWords. Shorter arrays (an older build
+/// with fewer rules) zero-fill; longer ones are an error.
+static bool readWords(const JSONValue &V, CoverageBitmap &C,
+                      std::string &Error) {
+  if (!V.isArray() || V.Arr.size() > CoverageBitmap::NumWords) {
+    Error = "coverage bitmap: expected an array of at most " +
+            std::to_string(CoverageBitmap::NumWords) + " words";
+    return false;
+  }
+  C = CoverageBitmap();
+  for (size_t I = 0; I != V.Arr.size(); ++I) {
+    if (!V.Arr[I].IsInt) {
+      Error = "coverage bitmap: non-integer word";
+      return false;
+    }
+    C.Words[I] = V.Arr[I].Int;
+  }
+  return true;
+}
+
+void FeedbackMap::writeJSON(std::ostream &OS,
+                            const std::string &Indent) const {
+  OS << "{\n";
+  OS << Indent << "  \"global\": ";
+  writeWords(OS, Global);
+  OS << ",\n" << Indent << "  \"per_family\": {";
+  for (size_t K = 0; K != PerFamily.size(); ++K) {
+    OS << (K ? ", " : "");
+    writeJSONString(OS, mutationKindName((MutationKind)K));
+    OS << ": ";
+    writeWords(OS, PerFamily[K]);
+  }
+  OS << "},\n" << Indent << "  \"per_function\": {";
+  bool First = true;
+  for (const auto &[Fn, Cov] : PerFunction) {
+    OS << (First ? "" : ", ");
+    First = false;
+    writeJSONString(OS, Fn);
+    OS << ": ";
+    writeWords(OS, Cov);
+  }
+  OS << "}\n" << Indent << "}";
+}
+
+bool FeedbackMap::readJSON(const JSONValue &V, FeedbackMap &Out,
+                           std::string &Error) {
+  if (!V.isObject()) {
+    Error = "feedback map: expected an object";
+    return false;
+  }
+  Out.clear();
+  if (const JSONValue *G = V.find("global"))
+    if (!readWords(*G, Out.Global, Error))
+      return false;
+  if (const JSONValue *PF = V.find("per_family")) {
+    if (!PF->isObject()) {
+      Error = "feedback map: per_family is not an object";
+      return false;
+    }
+    for (const auto &[Name, W] : PF->Obj) {
+      for (size_t K = 0; K != Out.PerFamily.size(); ++K)
+        if (Name == mutationKindName((MutationKind)K)) {
+          if (!readWords(W, Out.PerFamily[K], Error))
+            return false;
+          break;
+        }
+      // Unknown family names are skipped (forward compatibility).
+    }
+  }
+  if (const JSONValue *PFn = V.find("per_function")) {
+    if (!PFn->isObject()) {
+      Error = "feedback map: per_function is not an object";
+      return false;
+    }
+    for (const auto &[Fn, W] : PFn->Obj)
+      if (!readWords(W, Out.PerFunction[Fn], Error))
+        return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ScheduleState
+//===----------------------------------------------------------------------===//
+
+uint64_t ScheduleState::update(const FeedbackMap &Prev,
+                               const FeedbackMap &Merged) {
+  static const CoverageBitmap EmptyCov;
+  // Per-function energy: every function the campaign has ever credited is
+  // re-scored; unseen functions stay at the implicit MaxEnergy.
+  for (const auto &[Fn, Cov] : Merged.PerFunction) {
+    auto It = Prev.PerFunction.find(Fn);
+    const CoverageBitmap &Before =
+        It == Prev.PerFunction.end() ? EmptyCov : It->second;
+    if (Cov.newBits(Before) > 0) {
+      Energy[Fn] = MaxEnergy;
+      Dry[Fn] = 0;
+    } else {
+      uint32_t &D = Dry[Fn];
+      ++D;
+      Energy[Fn] = std::max(MinEnergy, D < 3 ? MaxEnergy >> D : MinEnergy);
+    }
+  }
+  // Family weights: double on novelty, halve on a dry epoch.
+  for (size_t K = 0; K != FamilyWeights.size(); ++K) {
+    bool Novel = Merged.PerFamily[K].newBits(Prev.PerFamily[K]) > 0;
+    uint32_t &W = FamilyWeights[K];
+    W = Novel ? std::min(MaxWeight, W * 2) : std::max(MinWeight, W / 2);
+  }
+  return Merged.Global.newBits(Prev.Global);
+}
+
+bool ScheduleState::operator==(const ScheduleState &O) const {
+  return Energy == O.Energy && Dry == O.Dry &&
+         FamilyWeights == O.FamilyWeights;
+}
+
+void ScheduleState::writeJSON(std::ostream &OS,
+                              const std::string &Indent) const {
+  auto writeMap = [&](const std::map<std::string, uint32_t> &M) {
+    OS << "{";
+    bool First = true;
+    for (const auto &[K, V] : M) {
+      OS << (First ? "" : ", ");
+      First = false;
+      writeJSONString(OS, K);
+      OS << ": " << V;
+    }
+    OS << "}";
+  };
+  OS << "{\n" << Indent << "  \"energy\": ";
+  writeMap(Energy);
+  OS << ",\n" << Indent << "  \"dry\": ";
+  writeMap(Dry);
+  OS << ",\n" << Indent << "  \"weights\": {";
+  for (size_t K = 0; K != FamilyWeights.size(); ++K) {
+    OS << (K ? ", " : "");
+    writeJSONString(OS, mutationKindName((MutationKind)K));
+    OS << ": " << FamilyWeights[K];
+  }
+  OS << "}\n" << Indent << "}";
+}
+
+bool ScheduleState::readJSON(const JSONValue &V, ScheduleState &Out,
+                             std::string &Error) {
+  if (!V.isObject()) {
+    Error = "schedule: expected an object";
+    return false;
+  }
+  Out = ScheduleState();
+  auto readMap = [&](const JSONValue *M,
+                     std::map<std::string, uint32_t> &Dst) {
+    if (!M)
+      return true;
+    if (!M->isObject()) {
+      Error = "schedule: expected an object of counts";
+      return false;
+    }
+    for (const auto &[K, W] : M->Obj) {
+      if (!W.IsInt) {
+        Error = "schedule: non-integer value for " + K;
+        return false;
+      }
+      Dst[K] = (uint32_t)W.Int;
+    }
+    return true;
+  };
+  if (!readMap(V.find("energy"), Out.Energy) ||
+      !readMap(V.find("dry"), Out.Dry))
+    return false;
+  if (const JSONValue *W = V.find("weights")) {
+    if (!W->isObject()) {
+      Error = "schedule: weights is not an object";
+      return false;
+    }
+    for (const auto &[Name, WV] : W->Obj)
+      for (size_t K = 0; K != Out.FamilyWeights.size(); ++K)
+        if (Name == mutationKindName((MutationKind)K)) {
+          if (!WV.IsInt) {
+            Error = "schedule: non-integer weight for " + Name;
+            return false;
+          }
+          Out.FamilyWeights[K] = (uint32_t)WV.Int;
+          break;
+        }
+  }
+  return true;
+}

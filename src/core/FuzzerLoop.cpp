@@ -136,7 +136,8 @@ std::unique_ptr<Module> FuzzerLoop::makeMutant(uint64_t Seed,
 std::unique_ptr<Module>
 FuzzerLoop::makeMutantImpl(uint64_t Seed, std::vector<std::string> *AppliedOut,
                            uint64_t &NumApplied, StatRegistry *Reg,
-                           MutationTrail *Trail, TraceRecorder *TR) const {
+                           MutationTrail *Trail, TraceRecorder *TR,
+                           MutationAttribution *Attr) const {
   // §III-B: "Alive-mutate makes a copy of the in-memory IR, and then
   // selects and applies one or more mutation operators on each function."
   // Copy-on-write: only the testable functions (and the defined callees
@@ -152,8 +153,22 @@ FuzzerLoop::makeMutantImpl(uint64_t Seed, std::vector<std::string> *AppliedOut,
   Mutator Mut(RNG, Opts.Mutation, Reg, TR);
   if (Trail)
     Mut.setTrail(Trail);
+  if (Schedule)
+    Mut.setFamilyWeights(Schedule->FamilyWeights.data());
 
   for (const auto &[Name, Info] : Preprocessed) {
+    // Feedback mode: the energy gate decides per (function, seed) whether
+    // this function is mutated at all. It consumes no RNG, so the gate
+    // result — and therefore the whole RNG stream downstream of it — is a
+    // pure function of (Seed, epoch-frozen schedule), which keeps mutants
+    // deterministic across worker counts. With Schedule null (blind mode,
+    // and every replay path), the gate always passes and the stream is
+    // byte-identical to pre-feedback builds.
+    if (!scheduleAllowsMutation(Schedule, Name, Seed)) {
+      if (Reg)
+        ++Reg->counter("feedback.energy_skips");
+      continue;
+    }
     Function *F = Mutant->getFunction(Name);
     assert(F && "testable function missing from clone");
     MutantInfo MI(*F, *Info);
@@ -163,6 +178,11 @@ FuzzerLoop::makeMutantImpl(uint64_t Seed, std::vector<std::string> *AppliedOut,
       for (MutationKind K : Applied)
         AppliedOut->push_back(std::string(Name) + ":" +
                               mutationKindName(K));
+    if (Attr && !Applied.empty()) {
+      Attr->Functions.push_back(Name);
+      for (MutationKind K : Applied)
+        Attr->Families.push_back(K);
+    }
   }
   return Mutant;
 }
@@ -220,13 +240,40 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
     return Opts.StageNanos ? Opts.StageNanos + I : nullptr;
   };
 
+  // Feedback collection. Rule fires land in RuleWords through the
+  // thread-local sink installed around the optimize stage; verdict-class
+  // bits accumulate in Cov during verification. The iteration's bitmap is
+  // committed to the worker's pending map on every exit path *except*
+  // timeouts: a cut-off pipeline or verify loop would make the bitmap
+  // depend on elapsed wall time, and feedback state must stay a pure
+  // function of the seed schedule.
+  const bool FB = Opts.Feedback.Enabled;
+  uint64_t RuleWords[NumRuleWords] = {};
+  CoverageBitmap Cov;
+  MutationAttribution Attr;
+  const uint64_t Timeouts0 = Stats.Timeouts;
+  auto CommitFeedback = [&] {
+    if (!FB || Stats.Timeouts != Timeouts0)
+      return;
+    Cov.addRuleWords(RuleWords);
+    // Per-rule fire counters, counted per iteration (not per fire): the
+    // bitmap is deterministic per seed, so these land on the
+    // deterministic side and merge worker-count independently.
+    for (unsigned R = 0; R != (unsigned)RuleID::NumRules; ++R)
+      if (RuleWords[R >> 6] & ((uint64_t)1 << (R & 63)))
+        ++Registry.counter(std::string("feedback.rule.") +
+                           ruleName((RuleID)R));
+    PendingFB.addIteration(Cov, Attr.Functions, Attr.Families);
+  };
+
   uint64_t Applied = 0;
   std::unique_ptr<Module> Mutant;
   {
     ScopedTimer T(HMutate, &Stats.MutateSeconds, StageSink(0));
     TraceSpan Span(Trace.get(), "mutate", Seed);
     Mutant = makeMutantImpl(Seed, nullptr, Applied, &Registry,
-                            /*Trail=*/nullptr, Trace.get());
+                            /*Trail=*/nullptr, Trace.get(),
+                            FB ? &Attr : nullptr);
   }
   Stats.MutationsApplied += Applied;
   ++Stats.MutantsGenerated;
@@ -274,6 +321,9 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
   try {
     ScopedTimer T(HOptimize, &Stats.OptimizeSeconds, StageSink(1));
     TraceSpan Span(Trace.get(), "optimize", Seed);
+    // Installs the rule-fire sink for this thread while the pipeline
+    // runs (null in blind mode: fireRule stays a single untaken branch).
+    RuleCoverageScope Rules(FB ? RuleWords : nullptr);
     if (Opts.Survival.SignalGuard) {
       // In-process containment fallback (no -isolate): a pass raising a
       // fatal signal becomes a recorded crash instead of killing the
@@ -309,6 +359,10 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
       TraceSpan Span(Trace.get(), "save", Seed);
       saveMutant(*Source, Seed, /*Failing=*/true);
     }
+    // A simulated crash is deterministic per seed: the rules that fired
+    // before the throw plus the crash verdict class are valid coverage.
+    Cov.setVerdict(CoverageBitmap::VB_Crash);
+    CommitFeedback();
     return;
   }
   if (!PipelineSurvived) {
@@ -340,6 +394,8 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
       TraceSpan Span(Trace.get(), "save", Seed);
       saveMutant(*Source, Seed, /*Failing=*/true);
     }
+    Cov.setVerdict(CoverageBitmap::VB_Crash);
+    CommitFeedback();
     return;
   }
   if (WatchdogArmed && WatchdogToken.cancelled()) {
@@ -458,6 +514,19 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
     // hit replays the identical verdict, so these counters are
     // worker-count independent (unlike the hit/miss split).
     ++Registry.counter("tv.verdict." + tvVerdictReason(R));
+    if (FB) {
+      switch (R.Verdict) {
+      case TVVerdict::Correct:
+        Cov.setVerdict(CoverageBitmap::VB_Correct);
+        break;
+      case TVVerdict::Incorrect:
+        Cov.setVerdict(CoverageBitmap::VB_Incorrect);
+        break;
+      default: // Unsupported folds into the inconclusive class.
+        Cov.setVerdict(CoverageBitmap::VB_Inconclusive);
+        break;
+      }
+    }
     if (R.Verdict != TVVerdict::Correct) {
       // Every non-Correct verdict leaves a forensic record (and, when
       // enabled, a bundle) — inconclusive/unsupported outcomes matter
@@ -494,6 +563,7 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
       Outcomes.push_back(std::move(FR));
     }
   }
+  CommitFeedback();
   // VerifyT closes here, then IterationAccounting attributes the rest of
   // this iteration's wall time to the overhead bucket.
 }

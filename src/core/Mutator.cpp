@@ -101,12 +101,46 @@ bool Mutator::applyImpl(MutationKind K, MutantInfo &MI) {
   return false;
 }
 
+MutationKind Mutator::pickKind() {
+  // All-equal weights (the initial feedback schedule) take the uniform
+  // path so they consume the RNG stream exactly like a blind run: a
+  // feedback campaign diverges from blind only once the weights do.
+  bool Uniform = true;
+  if (Weights)
+    for (MutationKind K : Opts.EnabledKinds)
+      if (Weights[(unsigned)K] != Weights[(unsigned)Opts.EnabledKinds[0]]) {
+        Uniform = false;
+        break;
+      }
+  if (!Weights || Uniform)
+    return RNG.pick(Opts.EnabledKinds);
+  // Weighted pick over the enabled kinds. Weight slots are clamped to at
+  // least 1, so Total > 0 whenever EnabledKinds is non-empty.
+  uint64_t Total = 0;
+  for (MutationKind K : Opts.EnabledKinds)
+    Total += std::max<uint32_t>(1, Weights[(unsigned)K]);
+  uint64_t R = RNG.below(Total);
+  for (MutationKind K : Opts.EnabledKinds) {
+    uint64_t W = std::max<uint32_t>(1, Weights[(unsigned)K]);
+    if (R < W)
+      return K;
+    R -= W;
+  }
+  return Opts.EnabledKinds.back();
+}
+
 std::vector<MutationKind> Mutator::mutateFunction(MutantInfo &MI) {
   std::vector<MutationKind> Applied;
+  // Empty family set or a zero mutation budget is a clean no-op, NOT a
+  // pick from an empty vector: RNG.below(0)/pick(empty) are undefined
+  // under NDEBUG. Returning before the first draw keeps the RNG stream
+  // of every other function untouched.
+  if (Opts.EnabledKinds.empty() || Opts.MaxMutationsPerFunction == 0)
+    return Applied;
   unsigned Target = 1 + (unsigned)RNG.below(Opts.MaxMutationsPerFunction);
   unsigned Attempts = 0;
   while (Applied.size() < Target && Attempts++ < Target * 6) {
-    MutationKind K = RNG.pick(Opts.EnabledKinds);
+    MutationKind K = pickKind();
     if (apply(K, MI))
       Applied.push_back(K);
   }

@@ -93,6 +93,13 @@ public:
   /// only while a sink is attached, and never consumes randomness.
   void setTrail(MutationTrail *T) { Trail = T; }
 
+  /// Attaches per-family selection weights (indexed by MutationKind, one
+  /// slot per kind, minimum effective weight 1). Null restores the
+  /// uniform pick — and the exact RNG stream of the blind schedule, which
+  /// feedback-off runs rely on. The array must outlive the mutator or the
+  /// next setFamilyWeights call.
+  void setFamilyWeights(const uint32_t *W) { Weights = W; }
+
   /// Applies one specific mutation kind to \p MI (if applicable).
   /// \returns true when the function changed.
   bool apply(MutationKind K, MutantInfo &MI);
@@ -104,6 +111,9 @@ public:
 
 private:
   bool applyImpl(MutationKind K, MutantInfo &MI);
+  /// One enabled kind: uniform draw (blind), or weight-proportional when
+  /// setFamilyWeights installed an array. Requires non-empty EnabledKinds.
+  MutationKind pickKind();
   /// True while a trail sink is attached: the family implementations skip
   /// all description formatting otherwise (hot-path cost is one branch).
   bool wantNote() const { return Trail != nullptr; }
@@ -130,6 +140,8 @@ private:
   std::array<FamilyCounters, (size_t)MutationKind::NumKinds> Family;
   TraceRecorder *Trace = nullptr;
   MutationTrail *Trail = nullptr;
+  /// Optional per-family selection weights (feedback mode); null = uniform.
+  const uint32_t *Weights = nullptr;
   /// Pending note of the in-flight applyImpl (valid only while Trail set).
   std::string PendingSite, PendingDetail;
 };

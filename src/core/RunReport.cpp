@@ -121,6 +121,46 @@ void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
   }
   OS << "},\n";
 
+  // The feedback block: derived views of the "feedback.*" deterministic
+  // counters (the raw counters stay in "stats" below, like the per-pass
+  // tables). An off-run reports just the flag.
+  OS << "    \"feedback\": {\"enabled\": "
+     << (Config.FeedbackOn ? "true" : "false");
+  if (Config.FeedbackOn) {
+    OS << ", \"epoch_length\": " << Config.FeedbackEpochLength
+       << ", \"epochs\": " << R.counterValue("feedback.epochs")
+       << ", \"bits_covered\": " << R.counterValue("feedback.bits_covered")
+       << ", \"functions_tracked\": "
+       << R.counterValue("feedback.functions_tracked")
+       << ", \"energy_skips\": " << R.counterValue("feedback.energy_skips")
+       << ", \"rules\": [";
+    bool First = true;
+    R.forEachCounter(Volatility::Deterministic,
+                     [&](const std::string &Name, uint64_t Value) {
+                       if (Name.rfind("feedback.rule.", 0) != 0)
+                         return;
+                       OS << (First ? "\n" : ",\n") << "      {\"rule\": ";
+                       First = false;
+                       writeJSONString(
+                           OS, Name.substr(sizeof("feedback.rule.") - 1));
+                       OS << ", \"iterations\": " << Value << "}";
+                     });
+    OS << (First ? "" : "\n    ") << "], \"weights\": {";
+    First = true;
+    R.forEachCounter(Volatility::Deterministic,
+                     [&](const std::string &Name, uint64_t Value) {
+                       if (Name.rfind("feedback.weight.", 0) != 0)
+                         return;
+                       OS << (First ? "" : ", ");
+                       First = false;
+                       writeJSONString(
+                           OS, Name.substr(sizeof("feedback.weight.") - 1));
+                       OS << ": " << Value;
+                     });
+    OS << "}";
+  }
+  OS << "},\n";
+
   OS << "    \"stats\": ";
   R.writeJSON(OS, Volatility::Deterministic, "    ");
   OS << ",\n";

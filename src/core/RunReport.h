@@ -41,7 +41,11 @@ namespace alive {
 /// (watchdog timeouts, interrupted flag) — timeouts are wall-clock- or
 /// budget-dependent in different modes, so they never enter the
 /// deterministic section.
-constexpr unsigned RunReportSchemaVersion = 3;
+/// v4: the deterministic section gained "feedback" (enabled flag, epoch
+/// length, epoch/coverage counters, per-rule fire table, final family
+/// weights). Feedback state is merged at epoch barriers in worker order,
+/// so the whole block is worker-count independent.
+constexpr unsigned RunReportSchemaVersion = 4;
 
 /// Report metadata that is not part of FuzzStats or the registry.
 struct RunReportConfig {
@@ -56,6 +60,10 @@ struct RunReportConfig {
   unsigned CorpusFiles = 1;
   /// Corpus files skipped as empty/unreadable/unparseable.
   unsigned CorpusSkipped = 0;
+  /// Feedback-directed scheduling echo (deterministic: part of the
+  /// campaign's identity, like the seed).
+  bool FeedbackOn = false;
+  unsigned FeedbackEpochLength = 0;
   /// Worker count (volatile section: -j4 vs -j1 reports must only differ
   /// there).
   unsigned Jobs = 1;

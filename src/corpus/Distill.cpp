@@ -1,0 +1,55 @@
+//===- corpus/Distill.cpp - Greedy coverage-based corpus distillation -------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Distill.h"
+
+#include <algorithm>
+
+using namespace alive;
+
+static unsigned popcountWords(const std::vector<uint64_t> &Words) {
+  unsigned N = 0;
+  for (uint64_t W : Words)
+    while (W) {
+      W &= W - 1;
+      ++N;
+    }
+  return N;
+}
+
+DistillResult alive::distillCover(std::vector<DistillItem> Items) {
+  // Rank: biggest coverage first; names break ties so the order is total
+  // and independent of the caller's ordering.
+  std::stable_sort(Items.begin(), Items.end(),
+                   [](const DistillItem &A, const DistillItem &B) {
+                     unsigned PA = popcountWords(A.Words);
+                     unsigned PB = popcountWords(B.Words);
+                     if (PA != PB)
+                       return PA > PB;
+                     return A.Name < B.Name;
+                   });
+
+  DistillResult R;
+  std::vector<uint64_t> Union;
+  for (const DistillItem &It : Items) {
+    if (It.Words.size() > Union.size())
+      Union.resize(It.Words.size(), 0);
+    bool Adds = false;
+    for (size_t I = 0; I != It.Words.size(); ++I)
+      if (It.Words[I] & ~Union[I]) {
+        Adds = true;
+        break;
+      }
+    if (Adds) {
+      for (size_t I = 0; I != It.Words.size(); ++I)
+        Union[I] |= It.Words[I];
+      R.Kept.push_back(It.Name);
+    } else {
+      R.Dropped.push_back(It.Name);
+    }
+  }
+  return R;
+}

@@ -1,0 +1,50 @@
+//===- corpus/Distill.h - Greedy coverage-based corpus distillation -*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Corpus distillation: given one coverage bitmask per seed function, keep
+/// a minimal-ish subset whose union covers everything (greedy set cover).
+/// Generic over raw word vectors so the corpus library needs no knowledge
+/// of the optimizer's rule catalog — the CLI adapts FeedbackMap entries.
+///
+/// Determinism and idempotence: candidates are ranked by (popcount
+/// descending, name ascending) — a total order independent of input order
+/// — and a candidate is kept iff it contributes a bit the kept set lacks.
+/// Re-distilling a distilled corpus re-selects exactly the same set in the
+/// same relative order, so `-distill` twice equals once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORPUS_DISTILL_H
+#define CORPUS_DISTILL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alive {
+
+/// One distillation candidate: a seed function and its coverage words.
+struct DistillItem {
+  std::string Name;
+  std::vector<uint64_t> Words;
+};
+
+struct DistillResult {
+  /// Kept seeds in selection (rank) order.
+  std::vector<std::string> Kept;
+  /// Dropped seeds (coverage subsumed by the kept set), in rank order.
+  std::vector<std::string> Dropped;
+};
+
+/// Greedy set cover over \p Items. Items with all-zero coverage are
+/// dropped (they contribute nothing). Word vectors of differing lengths
+/// are fine; missing words read as zero.
+DistillResult distillCover(std::vector<DistillItem> Items);
+
+} // namespace alive
+
+#endif // CORPUS_DISTILL_H

@@ -25,6 +25,7 @@
 #include "opt/BugInjection.h"
 #include "opt/OptUtils.h"
 #include "opt/Pass.h"
+#include "opt/RuleIDs.h"
 
 #include <map>
 
@@ -100,10 +101,13 @@ public:
         // leader only promises what both instructions promised. The buggy
         // variant skips the merge and keeps the leader's flags.
         if (auto *LB = dyn_cast<BinaryInst>(Leader)) {
-          if (!isBugEnabled(BugId::PR53218))
+          if (!isBugEnabled(BugId::PR53218)) {
             LB->intersectFlags(*cast<BinaryInst>(I));
+            fireRule(RuleID::GVN_FlagIntersect);
+          }
         }
 
+        fireRule(RuleID::GVN_Unify);
         replaceAndErase(I, Leader);
         --Idx;
         Changed = true;

@@ -26,6 +26,7 @@
 #include "opt/BugInjection.h"
 #include "opt/OptUtils.h"
 #include "opt/Pass.h"
+#include "opt/RuleIDs.h"
 
 using namespace alive;
 
@@ -110,6 +111,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
   if (BinaryInst::isCommutative(B->getBinOp()) && LC && !RC) {
     B->setOperand(0, R);
     B->setOperand(1, L);
+    fireRule(RuleID::IC_CommuteConst);
     return true;
   }
 
@@ -126,6 +128,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
       Shl->setName(B->getName());
       insertBefore(BB, Idx, std::unique_ptr<Instruction>(Shl));
       replaceAndErase(B, Shl);
+      fireRule(RuleID::IC_AddSelfShl);
       return true;
     }
     // add (xor x, -1), 1 -> sub 0, x.
@@ -139,6 +142,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
           Neg->setName(B->getName());
           insertBefore(BB, Idx, std::unique_ptr<Instruction>(Neg));
           replaceAndErase(B, Neg);
+          fireRule(RuleID::IC_AddNotToSub);
           return true;
         }
       }
@@ -152,6 +156,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
           B->setOperand(1,
                         intC(B->getType(), C1->getValue() + RC->getValue()));
           B->clearFlags();
+          fireRule(RuleID::IC_AddConstMerge);
           return true;
         }
       }
@@ -164,10 +169,12 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
       if (AddI->getBinOp() == BinaryInst::Add) {
         if (AddI->getRHS() == R) {
           replaceAndErase(B, AddI->getLHS());
+          fireRule(RuleID::IC_SubOfAdd);
           return true;
         }
         if (AddI->getLHS() == R) {
           replaceAndErase(B, AddI->getRHS());
+          fireRule(RuleID::IC_SubOfAdd);
           return true;
         }
       }
@@ -185,6 +192,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
       Shl->setName(B->getName());
       insertBefore(BB, Idx, std::unique_ptr<Instruction>(Shl));
       replaceAndErase(B, Shl);
+      fireRule(RuleID::IC_MulPow2Shl);
       return true;
     }
     // (zext a) * (zext b) cannot overflow unsigned when the source widths
@@ -201,6 +209,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
         bool Sound = S1 + S2 <= W;
         if (Sound || isBugEnabled(BugId::PR59836)) {
           B->setNUW(true);
+          fireRule(RuleID::IC_MulZextNuw);
           return true;
         }
       }
@@ -217,6 +226,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
       Shr->setName(B->getName());
       insertBefore(BB, Idx, std::unique_ptr<Instruction>(Shr));
       replaceAndErase(B, Shr);
+      fireRule(RuleID::IC_UDivPow2LShr);
       return true;
     }
     break;
@@ -229,6 +239,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
       And->setName(B->getName());
       insertBefore(BB, Idx, std::unique_ptr<Instruction>(And));
       replaceAndErase(B, And);
+      fireRule(RuleID::IC_URemPow2And);
       return true;
     }
     break;
@@ -239,6 +250,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
         const ConstantInt *IC = matchConstInt(Inner->getRHS());
         if (Inner->getBinOp() == BinaryInst::Xor && IC && IC->isAllOnes()) {
           replaceAndErase(B, Inner->getLHS());
+          fireRule(RuleID::IC_XorSelfZero);
           return true;
         }
       }
@@ -248,10 +260,12 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
       if (Inner->getBinOp() == BinaryInst::Xor) {
         if (Inner->getRHS() == R) {
           replaceAndErase(B, Inner->getLHS());
+          fireRule(RuleID::IC_XorChainCancel);
           return true;
         }
         if (Inner->getLHS() == R) {
           replaceAndErase(B, Inner->getRHS());
+          fireRule(RuleID::IC_XorChainCancel);
           return true;
         }
       }
@@ -264,12 +278,14 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
       if (OrI->getBinOp() == BinaryInst::Or &&
           (OrI->getLHS() == L || OrI->getRHS() == L)) {
         replaceAndErase(B, L);
+        fireRule(RuleID::IC_AndAbsorb);
         return true;
       }
     if (auto *OrI = dyn_cast<BinaryInst>(L))
       if (OrI->getBinOp() == BinaryInst::Or &&
           (OrI->getLHS() == R || OrI->getRHS() == R)) {
         replaceAndErase(B, R);
+        fireRule(RuleID::IC_AndAbsorb);
         return true;
       }
     break;
@@ -280,6 +296,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
       if (AndI->getBinOp() == BinaryInst::And &&
           (AndI->getLHS() == L || AndI->getRHS() == L)) {
         replaceAndErase(B, L);
+        fireRule(RuleID::IC_OrAbsorb);
         return true;
       }
     // or of disjoint values -> add is not done here; instead: if no common
@@ -297,6 +314,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
           !ShlI->hasNSW() && !B->isExact()) {
         if (isBugEnabled(BugId::PR50693)) {
           replaceAndErase(B, intC(B->getType(), APInt::getAllOnes(W)));
+          fireRule(RuleID::IC_LShrShlAllOnes);
           return true;
         }
         auto *Shr = new BinaryInst(BinaryInst::LShr,
@@ -305,6 +323,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
         Shr->setName(B->getName());
         insertBefore(BB, Idx, std::unique_ptr<Instruction>(Shr));
         replaceAndErase(B, Shr);
+        fireRule(RuleID::IC_LShrShlAllOnes);
         return true;
       }
     }
@@ -321,6 +340,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
           And->setName(B->getName());
           insertBefore(BB, Idx, std::unique_ptr<Instruction>(And));
           replaceAndErase(B, And);
+          fireRule(RuleID::IC_ShlLShrToAnd);
           return true;
         }
       }
@@ -339,6 +359,7 @@ bool InstCombinePass::combineBinary(BinaryInst *B, BasicBlock *BB,
     Or->setName(B->getName());
     insertBefore(BB, Idx, std::unique_ptr<Instruction>(Or));
     replaceAndErase(B, Or);
+    fireRule(RuleID::IC_AddNoCommonBitsOr);
     return true;
   }
   return false;
@@ -351,6 +372,7 @@ bool InstCombinePass::combineICmp(ICmpInst *C, BasicBlock *BB, unsigned Idx) {
     C->setOperand(0, R);
     C->setOperand(1, L);
     C->setPredicate(ICmpInst::getSwappedPredicate(C->getPredicate()));
+    fireRule(RuleID::IC_ICmpCommute);
     return true;
   }
   if (!C->getLHS()->getType()->isIntegerTy())
@@ -368,6 +390,7 @@ bool InstCombinePass::combineICmp(ICmpInst *C, BasicBlock *BB, unsigned Idx) {
         C->setPredicate(ICmpInst::UGT);
         C->setOperand(1, intC(C->getLHS()->getType(),
                               V - APInt::getOne(W)));
+        fireRule(RuleID::IC_ICmpStrictness);
         return true;
       }
       break;
@@ -376,6 +399,7 @@ bool InstCombinePass::combineICmp(ICmpInst *C, BasicBlock *BB, unsigned Idx) {
         C->setPredicate(ICmpInst::ULT);
         C->setOperand(1,
                       intC(C->getLHS()->getType(), V + APInt::getOne(W)));
+        fireRule(RuleID::IC_ICmpStrictness);
         return true;
       }
       break;
@@ -384,6 +408,7 @@ bool InstCombinePass::combineICmp(ICmpInst *C, BasicBlock *BB, unsigned Idx) {
         C->setPredicate(ICmpInst::SGT);
         C->setOperand(1, intC(C->getLHS()->getType(),
                               V - APInt::getOne(W)));
+        fireRule(RuleID::IC_ICmpStrictness);
         return true;
       }
       break;
@@ -392,6 +417,7 @@ bool InstCombinePass::combineICmp(ICmpInst *C, BasicBlock *BB, unsigned Idx) {
         C->setPredicate(ICmpInst::SLT);
         C->setOperand(1,
                       intC(C->getLHS()->getType(), V + APInt::getOne(W)));
+        fireRule(RuleID::IC_ICmpStrictness);
         return true;
       }
       break;
@@ -425,6 +451,7 @@ bool InstCombinePass::combineSelect(SelectInst *S, BasicBlock *BB,
                          isa<SelectInst>(S->getFalseValue());
         if (ClampLike) {
           S->setOperand(0, X->getLHS());
+          fireRule(RuleID::IC_SelectNegCond);
           return true;
         }
       }
@@ -432,6 +459,7 @@ bool InstCombinePass::combineSelect(SelectInst *S, BasicBlock *BB,
       S->setOperand(0, X->getLHS());
       S->setOperand(1, F);
       S->setOperand(2, T);
+      fireRule(RuleID::IC_SelectNegCond);
       return true;
     }
   }
@@ -443,6 +471,7 @@ bool InstCombinePass::combineSelect(SelectInst *S, BasicBlock *BB,
     const ConstantInt *F = matchConstInt(S->getFalseValue());
     if (T && F && T->isOne() && F->isZero()) {
       replaceAndErase(S, Cond);
+      fireRule(RuleID::IC_SelectBoolId);
       return true;
     }
     if (T && F && T->isZero() && F->isOne()) {
@@ -451,6 +480,7 @@ bool InstCombinePass::combineSelect(SelectInst *S, BasicBlock *BB,
       Not->setName(S->getName());
       insertBefore(BB, Idx, std::unique_ptr<Instruction>(Not));
       replaceAndErase(S, Not);
+      fireRule(RuleID::IC_SelectBoolNot);
       return true;
     }
   }
@@ -474,6 +504,7 @@ bool InstCombinePass::combineCast(CastInst *C, BasicBlock *BB, unsigned Idx) {
     NewC->setName(C->getName());
     insertBefore(BB, Idx, std::unique_ptr<Instruction>(NewC));
     replaceAndErase(C, NewC);
+    fireRule(RuleID::IC_CastChain);
     return true;
   };
 
@@ -497,6 +528,7 @@ bool InstCombinePass::combineCast(CastInst *C, BasicBlock *BB, unsigned Idx) {
         Inner->getCastOp() == CastInst::SExt) {
       if (OuterW == InnerW) {
         replaceAndErase(C, X);
+        fireRule(RuleID::IC_CastChain);
         return true;
       }
       if (OuterW < InnerW)
@@ -548,6 +580,7 @@ bool InstCombinePass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
     Value *A = C->getArg(0), *Bv = C->getArg(1);
     if (A == Bv) {
       replaceAndErase(C, A);
+      fireRule(RuleID::IC_MinMaxSame);
       return true;
     }
     const ConstantInt *BC = matchConstInt(Bv);
@@ -560,6 +593,7 @@ bool InstCombinePass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
           (ID == IntrinsicID::UMin && V.isAllOnes());
       if (Identity) {
         replaceAndErase(C, A);
+        fireRule(RuleID::IC_MinMaxIdentity);
         return true;
       }
       bool Absorbing =
@@ -571,6 +605,7 @@ bool InstCombinePass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
         // Result is the constant — but only when A is not poison; folding
         // to the constant refines poison away, which is legal.
         replaceAndErase(C, intC(C->getType(), V));
+        fireRule(RuleID::IC_MinMaxAbsorb);
         return true;
       }
     }
@@ -581,6 +616,7 @@ bool InstCombinePass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
     if (auto *InnerCall = dyn_cast<CallInst>(C->getArg(0)))
       if (InnerCall->getCallee()->getIntrinsicID() == IntrinsicID::BSwap) {
         replaceAndErase(C, InnerCall->getArg(0));
+        fireRule(RuleID::IC_BswapBswap);
         return true;
       }
     return false;
@@ -589,6 +625,7 @@ bool InstCombinePass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
     // uadd.sat(x, 0) -> x.
     if (matchSpecificInt(C->getArg(1), 0)) {
       replaceAndErase(C, C->getArg(0));
+      fireRule(RuleID::IC_UAddSatZero);
       return true;
     }
     return false;
@@ -596,11 +633,13 @@ bool InstCombinePass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
   case IntrinsicID::USubSat: {
     if (matchSpecificInt(C->getArg(1), 0)) {
       replaceAndErase(C, C->getArg(0));
+      fireRule(RuleID::IC_USubSatFold);
       return true;
     }
     // usub.sat(x, x) -> 0.
     if (C->getArg(0) == C->getArg(1)) {
       replaceAndErase(C, intC(C->getType(), APInt::getZero(W)));
+      fireRule(RuleID::IC_USubSatFold);
       return true;
     }
     return false;

@@ -17,6 +17,7 @@
 #include "opt/BugInjection.h"
 #include "opt/OptUtils.h"
 #include "opt/Pass.h"
+#include "opt/RuleIDs.h"
 
 using namespace alive;
 
@@ -146,9 +147,11 @@ bool LoweringPass::combineLShr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
         Z->getSrc()->getType()->isBoolTy() && !B->isExact()) {
       if (isBugEnabled(BugId::PR55129)) {
         replaceAndErase(B, Z); // buggy: keeps the value
+        fireRule(RuleID::LW_LShrBitfield);
         return true;
       }
       replaceAndErase(B, intC(B->getType(), APInt::getZero(W)));
+      fireRule(RuleID::LW_LShrBitfield);
       return true;
     }
   }
@@ -172,6 +175,7 @@ bool LoweringPass::combineAShr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
   bool Sound = Shl->hasNSW() && !B->isExact();
   if (Sound || isBugEnabled(BugId::PR55003)) {
     replaceAndErase(B, Shl->getLHS());
+    fireRule(RuleID::LW_AShrSext);
     return true;
   }
   return false;
@@ -194,6 +198,7 @@ bool LoweringPass::combineAnd(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
         And->setName(B->getName());
         ins(BB, Idx, And);
         replaceAndErase(B, And);
+        fireRule(RuleID::LW_AndOrMask);
         return true;
       }
     }
@@ -227,6 +232,7 @@ bool LoweringPass::combineAnd(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
           NewShr->setName(B->getName());
           ins(BB, BB->indexOf(B), NewShr);
           replaceAndErase(B, NewShr);
+          fireRule(RuleID::LW_BitfieldExtract);
           return true;
         }
       }
@@ -262,6 +268,7 @@ bool LoweringPass::combineOr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
         Call->setName(B->getName());
         ins(BB, Idx, Call);
         replaceAndErase(B, Call);
+        fireRule(RuleID::LW_Bswap16);
         return true;
       }
     }
@@ -325,6 +332,7 @@ bool LoweringPass::combineOr(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
   Call->setName(B->getName());
   ins(BB, Idx, Call);
   replaceAndErase(B, Call);
+  fireRule(RuleID::LW_Rotate);
   return true;
 }
 
@@ -350,6 +358,7 @@ bool LoweringPass::combineSub(BinaryInst *B, BasicBlock *BB, unsigned Idx) {
       Rem->setName(B->getName());
       ins(BB, Idx, Rem);
       replaceAndErase(B, Rem);
+      fireRule(RuleID::LW_URemRecompose);
       return true;
     }
   }
@@ -382,6 +391,7 @@ bool LoweringPass::combineTrunc(CastInst *C, BasicBlock *BB, unsigned Idx) {
   NewRem->setName(C->getName());
   ins(BB, Idx, NewRem);
   replaceAndErase(C, NewRem);
+  fireRule(RuleID::LW_TruncNarrowURem);
   return true;
 }
 
@@ -397,6 +407,7 @@ bool LoweringPass::combineZExt(CastInst *C, BasicBlock *BB, unsigned Idx) {
   unsigned MidW = T->getType()->getIntegerBitWidth();
   if (isBugEnabled(BugId::PR58431)) {
     replaceAndErase(C, T->getSrc()); // buggy: no mask
+    fireRule(RuleID::LW_ZextTruncMask);
     return true;
   }
   auto *And = new BinaryInst(BinaryInst::And, T->getSrc(),
@@ -405,6 +416,7 @@ bool LoweringPass::combineZExt(CastInst *C, BasicBlock *BB, unsigned Idx) {
   And->setName(C->getName());
   ins(BB, Idx, And);
   replaceAndErase(C, And);
+  fireRule(RuleID::LW_ZextTruncMask);
   return true;
 }
 
@@ -461,6 +473,7 @@ bool LoweringPass::combineICmp(ICmpInst *C, BasicBlock *BB, unsigned Idx) {
   NewCmp->setName(C->getName());
   ins(BB, BB->indexOf(C), NewCmp);
   replaceAndErase(C, NewCmp);
+  fireRule(RuleID::LW_NarrowCmp);
   return true;
 }
 
@@ -509,6 +522,7 @@ bool LoweringPass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
     Repl->setName(C->getName());
     ins(BB, BB->indexOf(C), Repl);
     replaceAndErase(C, Repl);
+    fireRule(RuleID::LW_USubSatExpand);
     return true;
   }
 
@@ -533,6 +547,7 @@ bool LoweringPass::combineCall(CallInst *C, BasicBlock *BB, unsigned Idx) {
     Sel->setName(C->getName());
     ins(BB, BB->indexOf(C), Sel);
     replaceAndErase(C, Sel);
+    fireRule(RuleID::LW_AbsExpand);
     return true;
   }
 
@@ -546,6 +561,7 @@ bool LoweringPass::combineFreeze(FreezeInst *Fr, BasicBlock *BB,
   if (!isBugEnabled(BugId::PR58321))
     return false;
   replaceAndErase(Fr, Fr->getSrc());
+  fireRule(RuleID::LW_FreezeFold);
   return true;
 }
 

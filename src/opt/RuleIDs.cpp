@@ -1,0 +1,78 @@
+//===- opt/RuleIDs.cpp - Stable per-rule fire IDs ---------------------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/RuleIDs.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace alive;
+
+thread_local uint64_t *alive::detail::ActiveRuleWords = nullptr;
+
+const char *alive::ruleName(RuleID R) {
+  // Frozen slugs — see the stability contract in RuleIDs.h. Indexed by the
+  // enum value; keep in exact sync with the enum order.
+  static const char *const Names[] = {
+      "instcombine.commute_const",
+      "instcombine.add_self_shl",
+      "instcombine.add_not_to_sub",
+      "instcombine.add_const_merge",
+      "instcombine.sub_of_add",
+      "instcombine.mul_pow2_shl",
+      "instcombine.mul_zext_nuw",
+      "instcombine.udiv_pow2_lshr",
+      "instcombine.urem_pow2_and",
+      "instcombine.xor_self_zero",
+      "instcombine.xor_chain_cancel",
+      "instcombine.and_absorb",
+      "instcombine.or_absorb",
+      "instcombine.lshr_shl_allones",
+      "instcombine.shl_lshr_to_and",
+      "instcombine.add_nocommon_or",
+      "instcombine.icmp_commute",
+      "instcombine.icmp_strictness",
+      "instcombine.select_neg_cond",
+      "instcombine.select_bool_id",
+      "instcombine.select_bool_not",
+      "instcombine.cast_chain",
+      "instcombine.minmax_same",
+      "instcombine.minmax_identity",
+      "instcombine.minmax_absorb",
+      "instcombine.bswap_bswap",
+      "instcombine.uadd_sat_zero",
+      "instcombine.usub_sat_fold",
+      "gvn.unify",
+      "gvn.flag_intersect",
+      "scalar.instsimplify",
+      "scalar.constfold",
+      "scalar.dce_erase",
+      "scalar.reassoc_const_right",
+      "scalar.reassoc_const_merge",
+      "scalar.cfg_fold_branch",
+      "scalar.cfg_fold_switch",
+      "scalar.cfg_remove_unreachable",
+      "scalar.cfg_merge_blocks",
+      "lowering.lshr_bitfield",
+      "lowering.ashr_sext",
+      "lowering.and_or_mask",
+      "lowering.bitfield_extract",
+      "lowering.bswap16",
+      "lowering.rotate",
+      "lowering.urem_recompose",
+      "lowering.trunc_narrow_urem",
+      "lowering.zext_trunc_mask",
+      "lowering.narrow_cmp",
+      "lowering.usub_sat_expand",
+      "lowering.abs_expand",
+      "lowering.freeze_fold",
+  };
+  static_assert(sizeof(Names) / sizeof(Names[0]) ==
+                    (std::size_t)RuleID::NumRules,
+                "ruleName table out of sync with the RuleID enum");
+  assert((unsigned)R < (unsigned)RuleID::NumRules && "invalid rule id");
+  return Names[(unsigned)R];
+}

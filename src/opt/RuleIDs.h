@@ -1,0 +1,134 @@
+//===- opt/RuleIDs.h - Stable per-rule fire IDs ----------------*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stable identifiers for the individual rewrite rules inside the seeded
+/// optimizer passes (InstCombine, GVN, ScalarPasses, Lowering), plus a
+/// thread-local ambient sink the fuzzing loop installs to collect "which
+/// rules fired" coverage for one optimize run.
+///
+/// Stability contract (relied on by the feedback subsystem, checkpoints and
+/// the run report): a RuleID's numeric value and its ruleName() slug are
+/// FROZEN once released. New rules are appended before NumRules, never
+/// inserted, renumbered or renamed — a checkpoint written by an older build
+/// must decode to the same rule set under a newer one. Removing a rule from
+/// a pass retires its ID (the slot stays reserved and simply never fires).
+///
+/// The sink follows the same ambient thread-local pattern as
+/// BugContextScope: installing a scope costs one pointer swap, and with no
+/// scope installed fireRule() is a single predictable-branch load — the
+/// blind (-feedback=off) path pays essentially nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPT_RULEIDS_H
+#define OPT_RULEIDS_H
+
+#include <cstdint>
+
+namespace alive {
+
+/// One bit per rewrite rule. Values are append-only — see the stability
+/// contract in the file comment.
+enum class RuleID : unsigned {
+  // InstCombine
+  IC_CommuteConst = 0,   ///< constant operand canonicalized to the RHS
+  IC_AddSelfShl,         ///< add x, x -> shl x, 1
+  IC_AddNotToSub,        ///< add (xor x, -1), 1 -> sub 0, x
+  IC_AddConstMerge,      ///< (x + C1) + C2 -> x + (C1+C2)
+  IC_SubOfAdd,           ///< (x + y) - y -> x
+  IC_MulPow2Shl,         ///< mul x, 2^k -> shl x, k
+  IC_MulZextNuw,         ///< (zext a) * (zext b) gets nuw (PR59836 site)
+  IC_UDivPow2LShr,       ///< udiv x, 2^k -> lshr x, k
+  IC_URemPow2And,        ///< urem x, 2^k -> and x, 2^k-1
+  IC_XorSelfZero,        ///< xor x, x -> 0
+  IC_XorChainCancel,     ///< (x ^ y) ^ y -> x
+  IC_AndAbsorb,          ///< and x, (or x, y) -> x
+  IC_OrAbsorb,           ///< or x, (and x, y) -> x
+  IC_LShrShlAllOnes,     ///< lshr (shl -1, x), x (PR50693 site)
+  IC_ShlLShrToAnd,       ///< (x << C) >>u C -> and x, mask
+  IC_AddNoCommonBitsOr,  ///< add with no common bits -> or
+  IC_ICmpCommute,        ///< icmp constant swapped to the RHS
+  IC_ICmpStrictness,     ///< uge/ule/sge/sle strictness canonicalization
+  IC_SelectNegCond,      ///< select (xor c, 1), a, b -> select c, b, a
+  IC_SelectBoolId,       ///< select c, 1, 0 -> c
+  IC_SelectBoolNot,      ///< select c, 0, 1 -> xor c, 1
+  IC_CastChain,          ///< zext/sext/trunc chain rewrite
+  IC_MinMaxSame,         ///< min/max(x, x) -> x
+  IC_MinMaxIdentity,     ///< min/max against identity constant
+  IC_MinMaxAbsorb,       ///< min/max against absorbing constant
+  IC_BswapBswap,         ///< bswap(bswap x) -> x
+  IC_UAddSatZero,        ///< uadd.sat(x, 0) -> x
+  IC_USubSatFold,        ///< usub.sat identity/self folds
+  // GVN
+  GVN_Unify,             ///< duplicate expression folded into leader
+  GVN_FlagIntersect,     ///< poison flags intersected during unification
+  // ScalarPasses
+  IS_Simplify,           ///< instsimplify replaced an instruction
+  CF_ConstFold,          ///< constfold evaluated an instruction
+  DCE_Erase,             ///< dce erased dead instructions
+  RA_ConstRight,         ///< reassociate moved a constant right
+  RA_ConstMerge,         ///< reassociate merged (x op C1) op C2
+  CFG_FoldBranch,        ///< simplifycfg folded a constant conditional br
+  CFG_FoldSwitch,        ///< simplifycfg folded a constant switch
+  CFG_RemoveUnreachable, ///< simplifycfg removed unreachable blocks
+  CFG_MergeBlocks,       ///< simplifycfg merged straight-line blocks
+  // Lowering
+  LW_LShrBitfield,       ///< lshr bitfield combine (PR55129 site)
+  LW_AShrSext,           ///< ashr sext-in-reg combine (PR55003 site)
+  LW_AndOrMask,          ///< and-of-or mask combine (PR55284 site)
+  LW_BitfieldExtract,    ///< bitfield extract formation (PR55833 site)
+  LW_Bswap16,            ///< 16-bit bswap recognition (PR55484 site)
+  LW_Rotate,             ///< rotate -> funnel shift (PR55201 site)
+  LW_URemRecompose,      ///< x - (x/y)*y -> x % y (PR55287 site)
+  LW_TruncNarrowURem,    ///< narrow urem under trunc (PR55296 site)
+  LW_ZextTruncMask,      ///< zext(trunc) -> and mask (PR58431 site)
+  LW_NarrowCmp,          ///< narrow compare promotion (PR55342 site)
+  LW_USubSatExpand,      ///< usub.sat expansion (PR58109 site)
+  LW_AbsExpand,          ///< abs expansion (PR55271 site)
+  LW_FreezeFold,         ///< freeze fold (PR58321 site)
+
+  NumRules ///< total count — always last, never a real rule
+};
+
+/// Words needed to hold one bit per rule.
+constexpr unsigned NumRuleWords = ((unsigned)RuleID::NumRules + 63) / 64;
+
+/// The frozen report/checkpoint slug for \p R (e.g. "instcombine.add_self_shl").
+const char *ruleName(RuleID R);
+
+namespace detail {
+/// The ambient coverage sink: a NumRuleWords-sized word array the current
+/// thread's optimize run ORs fired-rule bits into, or null (blind mode).
+extern thread_local uint64_t *ActiveRuleWords;
+} // namespace detail
+
+/// Records that rule \p R fired in the current optimize run. Near-free when
+/// no sink is installed.
+inline void fireRule(RuleID R) {
+  if (uint64_t *W = detail::ActiveRuleWords)
+    W[(unsigned)R >> 6] |= (uint64_t)1 << ((unsigned)R & 63);
+}
+
+/// RAII installer for the thread-local rule sink. \p Words must stay alive
+/// for the scope's duration and have NumRuleWords elements. Nests by
+/// save/restore like BugContextScope.
+class RuleCoverageScope {
+public:
+  explicit RuleCoverageScope(uint64_t *Words) : Prev(detail::ActiveRuleWords) {
+    detail::ActiveRuleWords = Words;
+  }
+  ~RuleCoverageScope() { detail::ActiveRuleWords = Prev; }
+  RuleCoverageScope(const RuleCoverageScope &) = delete;
+  RuleCoverageScope &operator=(const RuleCoverageScope &) = delete;
+
+private:
+  uint64_t *Prev;
+};
+
+} // namespace alive
+
+#endif // OPT_RULEIDS_H

@@ -15,6 +15,7 @@
 #include "opt/BugInjection.h"
 #include "opt/OptUtils.h"
 #include "opt/Pass.h"
+#include "opt/RuleIDs.h"
 
 #include <set>
 
@@ -261,6 +262,7 @@ public:
             continue;
           if (Value *V = simplifyInstruction(I, M)) {
             replaceAndErase(I, V);
+            fireRule(RuleID::IS_Simplify);
             LocalChange = Changed = true;
             --Idx;
           }
@@ -289,6 +291,7 @@ public:
           continue;
         if (Constant *C = tryConstantFold(I, M)) {
           replaceAndErase(I, C);
+          fireRule(RuleID::CF_ConstFold);
           Changed = true;
           --Idx;
         }
@@ -306,7 +309,10 @@ class DCEPass : public Pass {
 public:
   std::string getName() const override { return "dce"; }
   bool runOnFunction(Function &F) override {
-    return removeDeadInstructions(F);
+    bool Changed = removeDeadInstructions(F);
+    if (Changed)
+      fireRule(RuleID::DCE_Erase);
+    return Changed;
   }
 };
 
@@ -333,6 +339,7 @@ public:
           Value *L = B->getLHS(), *R = B->getRHS();
           B->setOperand(0, R);
           B->setOperand(1, L);
+          fireRule(RuleID::RA_ConstRight);
           Changed = true;
         }
         // (x op C1) op C2 -> x op (C1 op C2); poison flags are dropped
@@ -350,6 +357,7 @@ public:
               B->setOperand(0, Inner->getLHS());
               B->setOperand(1, Folded);
               B->clearFlags();
+              fireRule(RuleID::RA_ConstMerge);
               Changed = true;
             }
           }
@@ -407,6 +415,7 @@ private:
           removePhiEntries(NotTaken, BB);
         BB->erase(Br);
         BB->append(std::make_unique<BranchInst>(Taken, VoidTy));
+        fireRule(RuleID::CFG_FoldBranch);
         Changed = true;
       } else if (auto *Sw = dyn_cast<SwitchInst>(T)) {
         const auto *C = matchConstInt(Sw->getCondition());
@@ -427,6 +436,7 @@ private:
         }
         BB->erase(Sw);
         BB->append(std::make_unique<BranchInst>(Dest, VoidTy));
+        fireRule(RuleID::CFG_FoldSwitch);
         Changed = true;
       }
     }
@@ -477,6 +487,7 @@ private:
     // RAUW is unnecessary; erase in one sweep.
     for (BasicBlock *D : Dead)
       F.eraseBlock(D);
+    fireRule(RuleID::CFG_RemoveUnreachable);
     return true;
   }
 
@@ -517,6 +528,7 @@ private:
               Phi->setIncomingBlock(K, BB);
         }
       F.eraseBlock(Succ);
+      fireRule(RuleID::CFG_MergeBlocks);
       return true; // block list changed; restart iteration
     }
     return false;

@@ -19,6 +19,7 @@
 #include "core/Forensics.h"
 #include "core/RunReport.h"
 #include "corpus/CorpusLoader.h"
+#include "corpus/Distill.h"
 #include "opt/BugInjection.h"
 #include "tools/ToolCommon.h"
 
@@ -48,6 +49,12 @@ static void printHelp() {
       "  -tv-prescreen=<n> concrete trials before each symbolic check;\n"
       "                    cheap counterexamples skip the SAT query\n"
       "                    (default 0 = off)\n"
+      "  -feedback         feedback-directed scheduling: per-rule coverage\n"
+      "                    steers seed energy and family weights (needs -n;\n"
+      "                    -feedback=off is the default blind schedule)\n"
+      "  -feedback-epoch=<n> seed offsets per schedule epoch (default 256)\n"
+      "  -distill          after a -feedback campaign, print the minimal\n"
+      "                    corpus function set covering everything observed\n"
       "  -no-skip-unchanged verify even functions no pass modified\n"
       "  -save-dir=<dir>   write mutants to <dir> (created if missing)\n"
       "  -saveAll          save every mutant, not only failing ones\n"
@@ -146,6 +153,8 @@ int main(int Argc, char **Argv) {
       (size_t)Args.getInt("tv-cache-shards", Opts.TVCacheShards);
   Opts.TV.PrescreenTrials = (unsigned)Args.getInt("tv-prescreen", 0);
   Opts.SkipUnchanged = !Args.has("no-skip-unchanged");
+  Opts.Feedback.Enabled = Args.has("feedback") && Args.get("feedback") != "off";
+  Opts.Feedback.EpochLength = (unsigned)Args.getInt("feedback-epoch", 256);
   if (Args.has("inject-bugs"))
     Opts.Bugs.enableAll();
   Opts.BugBundleDir = Args.get("bug-bundles");
@@ -183,6 +192,47 @@ int main(int Argc, char **Argv) {
                  "error: -isolate needs an iteration-bounded campaign: "
                  "replace -t=<sec> with -n=<count> (shard partitions and "
                  "crash attribution need a fixed seed range)\n");
+    return 1;
+  }
+  if (!SV.CheckpointDir.empty() && Args.has("t")) {
+    // Time-limited campaigns have no reproducible seed schedule, so a
+    // checkpoint could not record "where the campaign was" — and the
+    // static dispatch ignores -t next to -n anyway. Reject the
+    // combination instead of silently checkpointing something else.
+    std::fprintf(stderr,
+                 "error: -checkpoint/-resume need an iteration-bounded "
+                 "campaign: replace -t=<sec> with -n=<count> (a time "
+                 "budget has no reproducible seed schedule to resume)\n");
+    return 1;
+  }
+  if (Opts.Feedback.Enabled) {
+    if (Args.has("t")) {
+      std::fprintf(stderr,
+                   "error: -feedback needs an iteration-bounded campaign: "
+                   "replace -t=<sec> with -n=<count> (the epoch schedule "
+                   "is defined over a fixed seed range)\n");
+      return 1;
+    }
+    if (SV.Isolate) {
+      std::fprintf(stderr,
+                   "error: -feedback cannot be combined with -isolate: "
+                   "isolated shards have no epoch barrier to merge "
+                   "coverage at; drop one of the two flags\n");
+      return 1;
+    }
+    if (!Opts.BugBundleDir.empty()) {
+      std::fprintf(stderr,
+                   "error: -feedback cannot be combined with -bug-bundles: "
+                   "bundle trails replay seeds without the feedback "
+                   "schedule and would not match the failing mutant; drop "
+                   "one of the two flags\n");
+      return 1;
+    }
+  }
+  if (Args.has("distill") && !Opts.Feedback.Enabled) {
+    std::fprintf(stderr,
+                 "error: -distill needs -feedback: distillation ranks the "
+                 "corpus by the coverage a feedback campaign collected\n");
     return 1;
   }
   if (SV.Isolate && Opts.TraceEnabled) {
@@ -310,6 +360,15 @@ int main(int Argc, char **Argv) {
                     "survive.isolate.crashes"),
                 (unsigned long long)Engine.registry().counterValue(
                     "survive.isolate.restarts"));
+  if (Opts.Feedback.Enabled)
+    std::printf("feedback:       %llu epoch(s), %llu coverage bit(s), "
+                "%llu energy skip(s)\n",
+                (unsigned long long)Engine.registry().counterValue(
+                    "feedback.epochs"),
+                (unsigned long long)Engine.registry().counterValue(
+                    "feedback.bits_covered"),
+                (unsigned long long)Engine.registry().counterValue(
+                    "feedback.energy_skips"));
   if (!SV.CheckpointDir.empty())
     std::printf("checkpoints:    %llu written (%llu failure(s))\n",
                 (unsigned long long)Engine.registry().counterValue(
@@ -329,6 +388,27 @@ int main(int Argc, char **Argv) {
               S.TotalSeconds, S.WorkerSeconds, S.MutateSeconds,
               S.OptimizeSeconds, S.VerifySeconds, S.OverheadSeconds);
 
+  if (Args.has("distill")) {
+    // Greedy set cover over the campaign's per-function coverage: the
+    // kept set reaches every rule/verdict bit any function reached. The
+    // ranking is total (popcount, then name), so running the distillation
+    // on an already-distilled corpus keeps exactly the same set.
+    std::vector<DistillItem> Items;
+    for (const auto &[Fn, Cov] : Engine.feedback().PerFunction) {
+      DistillItem It;
+      It.Name = Fn;
+      It.Words.assign(Cov.Words, Cov.Words + CoverageBitmap::NumWords);
+      Items.push_back(std::move(It));
+    }
+    DistillResult D = distillCover(std::move(Items));
+    std::printf("distill:        kept %zu of %zu covering function(s)\n",
+                D.Kept.size(), D.Kept.size() + D.Dropped.size());
+    for (const std::string &K : D.Kept)
+      std::printf("distill-keep:   %s\n", K.c_str());
+    for (const std::string &Dr : D.Dropped)
+      std::printf("distill-drop:   %s\n", Dr.c_str());
+  }
+
   if (Args.has("report"))
     for (const BugRecord &B : Engine.bugs()) {
       std::printf("--- %s seed=%llu %s%s\n%s\n",
@@ -347,6 +427,8 @@ int main(int Argc, char **Argv) {
     RC.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
     RC.CorpusFiles = Corpus.FilesLoaded;
     RC.CorpusSkipped = Corpus.FilesSkipped;
+    RC.FeedbackOn = Opts.Feedback.Enabled;
+    RC.FeedbackEpochLength = Opts.Feedback.EpochLength;
     RC.Jobs = Engine.jobs();
     RC.WallSeconds = S.TotalSeconds;
     RC.Interrupted = Engine.interrupted();

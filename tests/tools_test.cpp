@@ -217,6 +217,30 @@ TEST_F(ToolsTest, AliveMutateRejectsIncoherentFlagCombos) {
             1);
 }
 
+TEST_F(ToolsTest, AliveMutateRejectsTimeLimitedCheckpointAndFeedback) {
+  std::string In = " " + TmpDir + "/in.ll";
+  // The satellite bugfix: -checkpoint next to -t used to be accepted and
+  // silently checkpointed the default iteration campaign instead. Now
+  // every schedule-dependent feature demands an iteration bound.
+  EXPECT_EQ(runCmd(tool("alive-mutate") + " -t=1 -checkpoint=" + TmpDir +
+                   "/ck_t" + In),
+            1);
+  EXPECT_EQ(runCmd(tool("alive-mutate") + " -t=1 -feedback" + In), 1);
+  // Feedback's epoch barrier excludes isolation and bundle trails, and
+  // -distill is meaningless without the coverage a feedback run collects.
+  EXPECT_EQ(runCmd(tool("alive-mutate") + " -n=5 -feedback -isolate" + In),
+            1);
+  EXPECT_EQ(runCmd(tool("alive-mutate") + " -n=5 -feedback -bug-bundles=" +
+                   TmpDir + "/bb" + In),
+            1);
+  EXPECT_EQ(runCmd(tool("alive-mutate") + " -n=5 -distill" + In), 1);
+  // The coherent spellings run clean.
+  EXPECT_EQ(runCmd(tool("alive-mutate") +
+                   " -n=8 -feedback -feedback-epoch=4 -distill" + In),
+            0);
+  EXPECT_EQ(runCmd(tool("alive-mutate") + " -n=8 -feedback=off" + In), 0);
+}
+
 TEST_F(ToolsTest, AliveMutateSkipsBrokenCorpusFiles) {
   // A broken file next to a good one: warn and fuzz what loads. Only a
   // fully unusable corpus is an error.
