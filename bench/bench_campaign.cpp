@@ -33,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/CampaignEngine.h"
+#include "core/MetricsExporter.h"
 #include "core/RunReport.h"
 #include "corpus/Corpus.h"
 #include "opt/BugInjection.h"
@@ -40,11 +41,16 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace alive;
 
@@ -88,6 +94,47 @@ FuzzStats TVAgg;
 FuzzStats StatsAgg;
 StatRegistry RegistryAgg;
 std::vector<BugRecord> BugsAgg;
+
+/// One metrics server spanning every per-defect campaign (-metrics-port /
+/// AMR_CAMPAIGN_METRICS_PORT): each batch's engine is bound for its run
+/// and detached before it dies, so /status always reflects the campaign
+/// in flight.
+std::unique_ptr<MetricsServer> GMetrics;
+
+/// The engine currently running, for the SIGINT/SIGTERM path.
+std::atomic<CampaignEngine *> GEngine{nullptr};
+volatile std::sig_atomic_t GSignalSeen = 0;
+/// First signal: stop the current campaign AND skip the remaining table
+/// rows, so the stats report still flushes.
+std::atomic<bool> GStopAll{false};
+
+void onTerminateSignal(int) {
+  if (GSignalSeen) {
+    _exit(130);
+  }
+  GSignalSeen = 1;
+  GStopAll.store(true, std::memory_order_relaxed);
+  if (CampaignEngine *E = GEngine.load(std::memory_order_relaxed))
+    E->requestStop();
+}
+
+/// Scoped engine<->observer binding: metrics rebinding plus the signal
+/// target, detached on every exit path before the engine is destroyed.
+struct EngineBinding {
+  CampaignEngine &E;
+  explicit EngineBinding(CampaignEngine &E) : E(E) {
+    if (GMetrics) {
+      GMetrics->setEngine(&E);
+      E.setEventQueue(&GMetrics->events());
+    }
+    GEngine.store(&E, std::memory_order_relaxed);
+  }
+  ~EngineBinding() {
+    GEngine.store(nullptr, std::memory_order_relaxed);
+    if (GMetrics)
+      GMetrics->setEngine(nullptr);
+  }
+};
 
 void aggregateForReport(const CampaignEngine &Engine) {
   const FuzzStats &S = Engine.stats();
@@ -135,10 +182,13 @@ CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
   uint64_t Batch = 32;
   for (uint64_t Start = 0; Start < MaxIter;
        Start += Batch, Batch = std::min<uint64_t>(Batch * 2, 256)) {
+    if (GStopAll.load(std::memory_order_relaxed))
+      return R;
     Opts.BaseSeed = 1 + Start;
     Opts.Iterations = std::min<uint64_t>(Batch, MaxIter - Start);
 
     CampaignEngine Engine(Opts, Jobs);
+    EngineBinding Binding(Engine);
     std::string Err;
     auto M = parseModule(SeedIR, Err);
     if (!M || Engine.loadModule(std::move(M)) == 0)
@@ -186,6 +236,7 @@ bool runCompareCampaign(const BugInfo &Bug, const char *SeedIR,
   Opts.Feedback.EpochLength = CompareEpoch;
 
   CampaignEngine Engine(Opts, Jobs);
+  EngineBinding Binding(Engine);
   std::string Err;
   auto M = parseModule(SeedIR, Err);
   if (!M || Engine.loadModule(std::move(M)) == 0)
@@ -212,6 +263,8 @@ int runFeedbackCompare(uint64_t Budget, unsigned Jobs) {
 
   unsigned FoundBlind = 0, FoundFeedback = 0, Campaigns = 0;
   for (const BugInfo &Bug : bugTable()) {
+    if (GStopAll.load(std::memory_order_relaxed))
+      break;
     const char *SeedIR = nullptr;
     for (const NearMissSeed &S : nearMissSeeds())
       if (std::strcmp(S.IssueId, Bug.IssueId) == 0)
@@ -246,6 +299,44 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I)
     if (std::strncmp(Argv[I], "-stats-json=", 12) == 0)
       StatsPath = Argv[I] + 12;
+
+  // Live observability for long table regenerations: -metrics-port=<p>
+  // (or AMR_CAMPAIGN_METRICS_PORT). 0 binds an ephemeral port, printed
+  // on stdout.
+  {
+    std::string PortStr;
+    if (const char *P = std::getenv("AMR_CAMPAIGN_METRICS_PORT"))
+      PortStr = P;
+    for (int I = 1; I < Argc; ++I)
+      if (std::strncmp(Argv[I], "-metrics-port=", 14) == 0)
+        PortStr = Argv[I] + 14;
+    if (!PortStr.empty()) {
+      MetricsOptions MO;
+      MO.Port = (uint16_t)std::strtoul(PortStr.c_str(), nullptr, 10);
+      GMetrics = std::make_unique<MetricsServer>(MO);
+      RunReportConfig Echo;
+      Echo.Tool = "bench_campaign";
+      Echo.Passes = "per-component";
+      GMetrics->setConfigEcho(Echo);
+      std::string MetricsErr;
+      if (!GMetrics->start(MetricsErr)) {
+        std::fprintf(stderr, "error: metrics server: %s\n",
+                     MetricsErr.c_str());
+        return 1;
+      }
+      std::printf("metrics: listening on http://127.0.0.1:%u\n",
+                  (unsigned)GMetrics->port());
+      std::fflush(stdout);
+    }
+  }
+  {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = onTerminateSignal;
+    sigemptyset(&SA.sa_mask);
+    sigaction(SIGINT, &SA, nullptr);
+    sigaction(SIGTERM, &SA, nullptr);
+  }
 
   Timer Wall;
   const char *Env = std::getenv("AMR_CAMPAIGN_MAXITER");
@@ -285,6 +376,10 @@ int main(int Argc, char **Argv) {
 
   unsigned Found = 0, FoundMiscompile = 0, FoundCrash = 0;
   for (const BugInfo &Bug : bugTable()) {
+    if (GStopAll.load(std::memory_order_relaxed)) {
+      std::printf("(interrupted: remaining rows skipped)\n");
+      break;
+    }
     const char *SeedIR = nullptr;
     for (const NearMissSeed &S : nearMissSeeds())
       if (std::strcmp(S.IssueId, Bug.IssueId) == 0)

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Validate the live observability plane's endpoint payloads.
+
+Usage: check_metrics.py <metrics.txt> [<status.json>] [<healthz.json>]
+
+<metrics.txt> is a captured GET /metrics body (Prometheus text exposition
+format 0.0.4), <status.json> a captured GET /status body, <healthz.json> a
+captured GET /healthz body. The JSON files are optional; each is validated
+when given.
+
+Checks on /metrics:
+
+  - every non-comment line is `name value` or `name{labels} value` with a
+    legal Prometheus metric name ([a-zA-Z_:][a-zA-Z0-9_:]*), legal label
+    syntax, and a parseable numeric value;
+  - every sample is preceded by a `# TYPE` declaration for its family
+    (summaries declare the bare name and own the _sum/_count suffixes);
+  - declared types are one of counter/gauge/summary and no family is
+    declared twice with conflicting types;
+  - the campaign meta-series exist: alive_up (== 1),
+    alive_campaign_running, alive_iterations_done, alive_events_accepted;
+  - summary quantile samples are ordered (0.5 <= 0.9 <= 0.99 values).
+
+Checks on /status: the required keys exist with the right JSON types
+(config, running, elapsed, done, target, workers, isolated, shards,
+feedback, events, series, stats), each shard row is complete, and the
+stats dump carries both volatility classes.
+
+Checks on /healthz: healthy is a bool and stale_shards is a list.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+VALID_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def fail(msg):
+    print("check_metrics: FAIL: " + msg)
+    sys.exit(1)
+
+
+def family_of(name, types):
+    """The TYPE family a sample belongs to: its own name, or — for summary
+    _sum/_count children — the declared parent."""
+    if name in types:
+        return name
+    for suffix in ("_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def check_metrics(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail("%s: empty exposition" % path)
+
+    types = {}
+    samples = {}  # name -> [(labels-dict, value)]
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    fail("%s:%d: malformed TYPE line: %r" % (path, i, line))
+                name, mtype = parts[2], parts[3]
+                if not NAME_RE.match(name):
+                    fail("%s:%d: illegal metric name %r" % (path, i, name))
+                if mtype not in VALID_TYPES:
+                    fail("%s:%d: unknown metric type %r" % (path, i, mtype))
+                if types.get(name, mtype) != mtype:
+                    fail("%s:%d: %s re-declared as %s (was %s)"
+                         % (path, i, name, mtype, types[name]))
+                types[name] = mtype
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail("%s:%d: unparseable sample line: %r" % (path, i, line))
+        name = m.group("name")
+        labels = {}
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                if not LABEL_RE.match(pair):
+                    fail("%s:%d: illegal label %r" % (path, i, pair))
+                key, _, val = pair.partition("=")
+                labels[key] = val.strip('"')
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            fail("%s:%d: non-numeric value %r" % (path, i, m.group("value")))
+        fam = family_of(name, types)
+        if fam is None:
+            fail("%s:%d: sample %s has no preceding # TYPE" % (path, i, name))
+        samples.setdefault(name, []).append((labels, value))
+
+    for required in ("alive_up", "alive_campaign_running",
+                     "alive_iterations_done", "alive_events_accepted"):
+        if required not in samples:
+            fail("%s: missing required series %s" % (path, required))
+    if samples["alive_up"][0][1] != 1.0:
+        fail("%s: alive_up != 1" % path)
+
+    # Summary quantiles must be ordered per family.
+    for name, mtype in types.items():
+        if mtype != "summary":
+            continue
+        quantiles = {
+            labels.get("quantile"): value
+            for labels, value in samples.get(name, [])
+            if "quantile" in labels
+        }
+        if quantiles:
+            chain = [quantiles.get(q) for q in ("0.5", "0.9", "0.99")]
+            if None in chain:
+                fail("%s: summary %s missing a quantile" % (path, name))
+            if not chain[0] <= chain[1] <= chain[2]:
+                fail("%s: summary %s quantiles unordered: %r"
+                     % (path, name, chain))
+            for suffix in ("_sum", "_count"):
+                if name + suffix not in samples:
+                    fail("%s: summary %s missing %s" % (path, name, suffix))
+
+    return len(samples), len(types)
+
+
+def check_status(path):
+    with open(path) as f:
+        s = json.load(f)
+
+    schema = {
+        "running": bool,
+        "elapsed": (int, float),
+        "done": int,
+        "target": int,
+        "workers": int,
+        "isolated": bool,
+        "shards": list,
+        "feedback": dict,
+        "events": dict,
+        "series": dict,
+        "stats": dict,
+    }
+    if "config" not in s:
+        fail("%s: missing status.config" % path)
+    if s["config"] is not None and not isinstance(s["config"], dict):
+        fail("%s: status.config must be an object or null" % path)
+    for key, want in schema.items():
+        if key not in s:
+            fail("%s: missing status.%s" % (path, key))
+        if not isinstance(s[key], want):
+            fail("%s: status.%s has type %s" % (path, key, type(s[key]).__name__))
+
+    for shard in s["shards"]:
+        for key in ("index", "lo", "hi", "done", "stage_nanos",
+                    "trace_dropped_events", "live_registry"):
+            if key not in shard:
+                fail("%s: shard row missing %r: %r" % (path, key, shard))
+        for stage in ("mutate", "optimize", "verify", "overhead"):
+            if stage not in shard["stage_nanos"]:
+                fail("%s: shard stage_nanos missing %r" % (path, stage))
+
+    fb = s["feedback"]
+    for key in ("enabled", "epochs", "bits_covered", "weights"):
+        if key not in fb:
+            fail("%s: feedback missing %r" % (path, key))
+
+    ev = s["events"]
+    for key in ("accepted", "dropped", "capacity", "stream_clients"):
+        if not isinstance(ev.get(key), int) or ev[key] < 0:
+            fail("%s: events.%s missing or not a non-negative int" % (path, key))
+
+    se = s["series"]
+    for key in ("interval", "capacity", "size"):
+        if key not in se:
+            fail("%s: series missing %r" % (path, key))
+    if se["size"] > se["capacity"]:
+        fail("%s: series.size (%d) exceeds capacity (%d)"
+             % (path, se["size"], se["capacity"]))
+
+    for cls in ("deterministic", "volatile"):
+        if cls not in s["stats"]:
+            fail("%s: stats missing %r class" % (path, cls))
+        for section in ("counters", "gauges"):
+            if section not in s["stats"][cls]:
+                fail("%s: stats.%s missing %r" % (path, cls, section))
+
+    return s["done"], len(s["shards"])
+
+
+def check_healthz(path):
+    with open(path) as f:
+        h = json.load(f)
+    if not isinstance(h.get("healthy"), bool):
+        fail("%s: healthy missing or not a bool" % path)
+    if not isinstance(h.get("stale_shards"), list):
+        fail("%s: stale_shards missing or not a list" % path)
+    return h["healthy"]
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 4:
+        fail("usage: check_metrics.py <metrics.txt> [<status.json>] [<healthz.json>]")
+
+    nsamples, ntypes = check_metrics(sys.argv[1])
+    msg = "%d series across %d families" % (nsamples, ntypes)
+    if len(sys.argv) >= 3:
+        done, shards = check_status(sys.argv[2])
+        msg += "; status: %d done, %d live shards" % (done, shards)
+    if len(sys.argv) == 4:
+        msg += "; healthy: %s" % check_healthz(sys.argv[3])
+    print("check_metrics: OK (%s)" % msg)
+
+
+if __name__ == "__main__":
+    main()

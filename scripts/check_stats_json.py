@@ -20,7 +20,10 @@ invariants the telemetry subsystem guarantees:
     when enabled — the epoch/coverage counters are non-negative ints,
     every rule row's iteration count is positive, bits_covered matches
     the feedback counters in stats, and every family weight lies in the
-    schedule's [1, 16] clamp range.
+    schedule's [1, 16] clamp range;
+  - the v5 trace block is present in the volatile section, its
+    dropped_events total is a non-negative int, and it equals the sum of
+    the per-track dropped_events.
 
 With a second report, additionally asserts the two "deterministic"
 subtrees are equal — the -j4 == -j1 guarantee (run the two reports with
@@ -32,7 +35,7 @@ Exits non-zero with a message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 def fail(msg):
@@ -55,7 +58,7 @@ def check_report(path):
     for key in ("config", "summary", "per_pass", "per_family", "tv_verdicts", "feedback", "stats", "bugs"):
         if key not in det:
             fail("%s: missing deterministic.%r" % (path, key))
-    for key in ("jobs", "stage_seconds", "cache", "survivability", "stats"):
+    for key in ("jobs", "stage_seconds", "cache", "survivability", "trace", "stats"):
         if key not in vol:
             fail("%s: missing volatile.%r" % (path, key))
 
@@ -82,6 +85,16 @@ def check_report(path):
         for family, weight in fb.get("weights", {}).items():
             if not isinstance(weight, int) or not 1 <= weight <= 16:
                 fail("%s: feedback weight for %s outside [1, 16]: %r" % (path, family, weight))
+
+    trace = vol["trace"]
+    if not isinstance(trace.get("dropped_events"), int) or trace["dropped_events"] < 0:
+        fail("%s: trace.dropped_events missing or not a non-negative int" % path)
+    track_sum = sum(t.get("dropped_events", 0) for t in trace.get("tracks", []))
+    if track_sum != trace["dropped_events"]:
+        fail(
+            "%s: trace.dropped_events (%d) != per-track sum (%d)"
+            % (path, trace["dropped_events"], track_sum)
+        )
 
     surv = vol["survivability"]
     if not isinstance(surv.get("timeouts"), int) or surv["timeouts"] < 0:

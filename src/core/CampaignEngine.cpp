@@ -96,6 +96,115 @@ bool CampaignEngine::writeTrace(const std::string &Path,
   return true;
 }
 
+std::vector<std::pair<std::string, uint64_t>>
+CampaignEngine::traceDropped() const {
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  for (size_t I = 0; I != Traces.size(); ++I)
+    Out.emplace_back(I < TraceNames.size() ? TraceNames[I] : "",
+                     Traces[I]->dropped());
+  return Out;
+}
+
+void CampaignEngine::beginLive(bool Isolated, uint64_t Target,
+                               unsigned Workers, const Timer *Clock) {
+  std::lock_guard<std::mutex> Lock(LiveM);
+  Live.Running = true;
+  Live.Isolated = Isolated;
+  Live.Target = Target;
+  Live.Workers = Workers;
+  Live.Clock = Clock;
+  Live.Shards.clear();
+  Live.FeedbackEpochs = 0;
+  Live.FeedbackBits = 0;
+  Live.FamilyWeights.clear();
+}
+
+void CampaignEngine::addLiveShard(LiveShardRef R) {
+  std::lock_guard<std::mutex> Lock(LiveM);
+  Live.Shards.push_back(std::move(R));
+}
+
+void CampaignEngine::publishFeedbackLive(uint64_t Epochs, unsigned Bits,
+                                         const ScheduleState &Schedule) {
+  std::lock_guard<std::mutex> Lock(LiveM);
+  Live.FeedbackEpochs = Epochs;
+  Live.FeedbackBits = Bits;
+  Live.FamilyWeights.clear();
+  for (size_t K = 0; K != Schedule.FamilyWeights.size(); ++K)
+    Live.FamilyWeights.emplace_back(mutationKindName((MutationKind)K),
+                                    Schedule.FamilyWeights[K]);
+}
+
+void CampaignEngine::endLive() {
+  std::lock_guard<std::mutex> Lock(LiveM);
+  if (Live.Running)
+    HasRun = true;
+  Live.Running = false;
+  Live.Clock = nullptr;
+  // Revoke the borrowed pointers: the workers (or the heartbeat page)
+  // are about to be destroyed.
+  Live.Shards.clear();
+}
+
+void CampaignEngine::emitEvent(CampaignEvent::Kind K, uint64_t Seed,
+                               unsigned Shard, std::string Detail) {
+  if (!Events)
+    return;
+  CampaignEvent E;
+  E.K = K;
+  E.Seed = Seed;
+  E.Shard = Shard;
+  E.Nanos = TraceRecorder::now();
+  E.Detail = std::move(Detail);
+  Events->push(std::move(E));
+}
+
+CampaignLiveSnapshot CampaignEngine::liveSnapshot() const {
+  CampaignLiveSnapshot S;
+  std::lock_guard<std::mutex> Lock(LiveM);
+  S.Running = Live.Running;
+  S.Isolated = Live.Isolated;
+  S.Workers = Live.Running ? Live.Workers : Jobs;
+  S.Target = Live.Running ? Live.Target : Opts.Iterations;
+  S.FeedbackEnabled = Opts.Feedback.Enabled;
+  S.FeedbackEpochs = Live.FeedbackEpochs;
+  S.FeedbackBits = Live.FeedbackBits;
+  S.FamilyWeights = Live.FamilyWeights;
+  if (Live.Running) {
+    if (Live.Clock)
+      S.Elapsed = Live.Clock->seconds();
+    // Point-in-time, not linearizable: each shard's counters are relaxed
+    // atomic loads, each registry snapshot is internally consistent
+    // enough for monitoring (Telemetry.h documents the contract).
+    S.Stats = MasterLoop->registry().snapshot();
+    for (const LiveShardRef &R : Live.Shards) {
+      ShardLiveState SS;
+      SS.Index = R.Index;
+      SS.Lo = R.Lo;
+      SS.Hi = R.Hi;
+      if (R.Done)
+        SS.Done = R.Done->load(std::memory_order_relaxed);
+      if (R.StageNanos)
+        for (unsigned I = 0; I != 4; ++I)
+          SS.StageNanos[I] = R.StageNanos[I].load(std::memory_order_relaxed);
+      if (R.Loop) {
+        SS.HasRegistry = true;
+        S.Stats.merge(R.Loop->registry());
+        if (const TraceRecorder *T = R.Loop->trace())
+          SS.TraceDropped = T->dropped();
+      }
+      S.Done += SS.Done;
+      S.Shards.push_back(std::move(SS));
+    }
+  } else {
+    S.Done = TotalDone.load(std::memory_order_relaxed);
+    // After a run: the final merged registry (every worker folded in).
+    // Before the first: the master's preprocessing stats are all there is.
+    S.Stats = HasRun ? Registry.snapshot() : MasterLoop->registry().snapshot();
+  }
+  return S;
+}
+
 namespace {
 
 /// One worker: a private FuzzerLoop over a private master-module clone,
@@ -312,6 +421,12 @@ const FuzzStats &CampaignEngine::run() {
   IsolateError.clear();
   TotalDone.store(0, std::memory_order_relaxed);
 
+  emitEvent(CampaignEvent::Kind::CampaignStart, Opts.BaseSeed, 0,
+            SV.Isolate          ? "isolate"
+            : Opts.Feedback.Enabled ? "feedback"
+            : TimeLimited           ? "time-limited"
+                                    : "blind");
+
   if (SV.Isolate)
     return runIsolated(J, Testable, Total);
   if (Opts.Feedback.Enabled)
@@ -355,6 +470,8 @@ const FuzzStats &CampaignEngine::run() {
     WOpts.OnlyFunctions = Testable;
     WOpts.Progress = &W->Done;
     WOpts.StageNanos = W->StageNanos;
+    WOpts.Events = Events;
+    WOpts.WorkerIndex = I;
     if (!TimeLimited) {
       // Static contiguous partition: worker I owns seeds
       // [BaseSeed + Lo, BaseSeed + Hi) — ascending across workers, so a
@@ -388,6 +505,18 @@ const FuzzStats &CampaignEngine::run() {
     }
     Workers.push_back(std::move(W));
   }
+
+  // Open the live observer window now that every worker exists. The
+  // guard sits after the Workers vector, so on every exit path the refs
+  // are revoked before the workers they borrow from are destroyed.
+  beginLive(/*Isolated=*/false, TimeLimited ? 0 : Opts.Iterations, J, &Total);
+  for (auto &W : Workers)
+    addLiveShard({W->Index, W->Lo, W->Hi, &W->Done, W->StageNanos,
+                  W->Loop.get()});
+  struct LiveGuard {
+    CampaignEngine *E;
+    ~LiveGuard() { E->endLive(); }
+  } LG{this};
 
   // Shared seed counter for the time-limited mode (no fixed partition).
   std::atomic<uint64_t> NextOffset{0};
@@ -426,6 +555,8 @@ const FuzzStats &CampaignEngine::run() {
           ++W->Loop->mutableRegistry().counter(
               Ok ? "survive.checkpoint.writes" : "survive.checkpoint.failures",
               Volatility::Volatile);
+          emitEvent(CampaignEvent::Kind::Checkpoint, 0, W->Index,
+                    Ok ? "ok" : "failed");
         };
         for (uint64_t Off = W->Next.load(std::memory_order_relaxed);
              Off != W->Hi; ++Off) {
@@ -524,6 +655,7 @@ const FuzzStats &CampaignEngine::run() {
     DoneCV.notify_all();
     Reporter.join();
   }
+  endLive();
 
   // Deterministic merge. Stats: master preprocessing (FunctionsDropped)
   // plus every worker's counters. Bugs: worker shards are already in
@@ -543,6 +675,8 @@ const FuzzStats &CampaignEngine::run() {
   Traces.clear();
   TraceNames.clear();
   if (auto T = MasterLoop->takeTrace()) {
+    Registry.counter("trace.dropped_events", Volatility::Volatile) +=
+        T->dropped();
     Traces.push_back(std::move(T));
     TraceNames.push_back("master");
   }
@@ -570,6 +704,11 @@ const FuzzStats &CampaignEngine::run() {
     if (BundleError.empty())
       BundleError = W->Loop->bundleError();
     if (auto T = W->Loop->takeTrace()) {
+      // Satellite observability: ring overwrites are a volatile artifact
+      // of scheduling and capacity, surfaced per worker in the report's
+      // "trace" block and summed here for the registry.
+      Registry.counter("trace.dropped_events", Volatility::Volatile) +=
+          T->dropped();
       Traces.push_back(std::move(T));
       TraceNames.push_back("worker " + std::to_string(WorkerIdx));
     }
@@ -585,6 +724,8 @@ const FuzzStats &CampaignEngine::run() {
                      });
   }
   Stats.TotalSeconds = Total.seconds();
+  emitEvent(CampaignEvent::Kind::CampaignEnd, 0, 0,
+            Interrupted ? "interrupted" : "completed");
   return Stats;
 }
 
@@ -636,10 +777,21 @@ CampaignEngine::runFeedback(unsigned J,
     WOpts.OnlyFunctions = Testable;
     WOpts.Progress = &W->Done;
     WOpts.StageNanos = W->StageNanos;
+    WOpts.Events = Events;
+    WOpts.WorkerIndex = I;
     W->Loop = std::make_unique<FuzzerLoop>(WOpts);
     W->Loop->loadModule(cloneModuleSubset(*MasterLoop->module(), Testable));
     Workers.push_back(std::move(W));
   }
+
+  beginLive(/*Isolated=*/false, Opts.Iterations, J, &Total);
+  for (auto &W : Workers)
+    addLiveShard({W->Index, W->Lo, W->Hi, &W->Done, W->StageNanos,
+                  W->Loop.get()});
+  struct LiveGuard {
+    CampaignEngine *E;
+    ~LiveGuard() { E->endLive(); }
+  } LG{this};
 
   FeedbackMap Global;
   ScheduleState Schedule;
@@ -707,6 +859,9 @@ CampaignEngine::runFeedback(unsigned J,
     ++Workers[0]->Loop->mutableRegistry().counter(
         Ok ? "survive.checkpoint.writes" : "survive.checkpoint.failures",
         Volatility::Volatile);
+    emitEvent(CampaignEvent::Kind::Checkpoint, 0, 0,
+              (Ok ? std::string("ok") : std::string("failed")) + " at offset " +
+                  std::to_string(EpochStart));
   };
 
   std::vector<double> LegSeconds(J, 0.0);
@@ -757,6 +912,11 @@ CampaignEngine::runFeedback(unsigned J,
       Global.merge(W->Loop->takeFeedback());
     Schedule.update(Prev, Global);
     EpochStart = EpochEnd;
+    publishFeedbackLive((EpochStart + EpochLen - 1) / EpochLen,
+                        (unsigned)Global.Global.popcount(), Schedule);
+    emitEvent(CampaignEvent::Kind::EpochBarrier, 0, 0,
+              "offset " + std::to_string(EpochEnd) + ", bits " +
+                  std::to_string(Global.Global.popcount()));
     if (Checkpointing)
       WriteCheckpoints();
     if (ProgressInterval > 0 && ProgressFn &&
@@ -786,6 +946,7 @@ CampaignEngine::runFeedback(unsigned J,
     }
   }
   Supervisor.stop();
+  endLive();
   Interrupted = Stopped || EpochStart != Opts.Iterations;
 
   for (unsigned I = 0; I != J; ++I) {
@@ -815,6 +976,8 @@ CampaignEngine::runFeedback(unsigned J,
   Traces.clear();
   TraceNames.clear();
   if (auto T = MasterLoop->takeTrace()) {
+    Registry.counter("trace.dropped_events", Volatility::Volatile) +=
+        T->dropped();
     Traces.push_back(std::move(T));
     TraceNames.push_back("master");
   }
@@ -827,6 +990,11 @@ CampaignEngine::runFeedback(unsigned J,
     if (BundleError.empty())
       BundleError = W->Loop->bundleError();
     if (auto T = W->Loop->takeTrace()) {
+      // Satellite observability: ring overwrites are a volatile artifact
+      // of scheduling and capacity, surfaced per worker in the report's
+      // "trace" block and summed here for the registry.
+      Registry.counter("trace.dropped_events", Volatility::Volatile) +=
+          T->dropped();
       Traces.push_back(std::move(T));
       TraceNames.push_back("worker " + std::to_string(WorkerIdx));
     }
@@ -852,6 +1020,8 @@ CampaignEngine::runFeedback(unsigned J,
         FinalSchedule.FamilyWeights[K];
 
   Stats.TotalSeconds = Total.seconds();
+  emitEvent(CampaignEvent::Kind::CampaignEnd, 0, 0,
+            Interrupted ? "interrupted" : "completed");
   return Stats;
 }
 
@@ -953,6 +1123,19 @@ CampaignEngine::runIsolated(unsigned J,
   }
   const uint64_t Interval = SV.CheckpointInterval ? SV.CheckpointInterval : 16;
 
+  // Live view over the heartbeat page: Done counters only (the page has
+  // no stage split and the shard registries live in child processes).
+  // endLive() runs explicitly before each munmap — the refs must never
+  // outlive the mapping — with the guard as the exception backstop.
+  beginLive(/*Isolated=*/true, Opts.Iterations, J, &Total);
+  for (unsigned I = 0; I != J; ++I)
+    addLiveShard({I, Shards[I].Lo, Shards[I].Hi, &HB[I].Done,
+                  /*StageNanos=*/nullptr, /*Loop=*/nullptr});
+  struct LiveGuard {
+    CampaignEngine *E;
+    ~LiveGuard() { E->endLive(); }
+  } LG{this};
+
   // Initialize the merged state now: the poll loop below accounts crash
   // bugs and restart counters live, the final harvest adds the shard
   // checkpoints on top.
@@ -990,6 +1173,10 @@ CampaignEngine::runIsolated(unsigned J,
       WOpts.SelfCheckOnLoad = false;
       WOpts.OnlyFunctions = Testable;
       WOpts.Survival.Isolate = false;
+      // The event queue lives in the parent's address space; the fork's
+      // copy has no observer draining it.
+      WOpts.Events = nullptr;
+      WOpts.WorkerIndex = I;
       // The process boundary IS the crash containment; the in-process
       // guard would only hide the signal from the parent's classifier.
       WOpts.Survival.SignalGuard = false;
@@ -1058,6 +1245,7 @@ CampaignEngine::runIsolated(unsigned J,
     if (!Spawn(I)) {
       ConfigError = "-isolate: fork failed";
       Ctl->Stop.store(1, std::memory_order_relaxed);
+      endLive();
       munmap(Raw, MapSize);
       return Stats;
     }
@@ -1164,6 +1352,7 @@ CampaignEngine::runIsolated(unsigned J,
         if (!Survived)
           B.Detail += "; mutant regeneration raised " +
                       std::string(signalName(Sig)) + " in the parent too";
+        emitEvent(CampaignEvent::Kind::BugFound, Seed, I, "crash " + Why);
         S.CrashBugs.push_back(std::move(B));
       } else if (S.Stalls >= 5) {
         S.Finished = true;
@@ -1173,6 +1362,7 @@ CampaignEngine::runIsolated(unsigned J,
         continue;
       }
       ++Registry.counter("survive.isolate.restarts", Volatility::Volatile);
+      emitEvent(CampaignEvent::Kind::ShardRestart, 0, I, Why);
       double Backoff = std::min(0.1 * (double)(1ull << std::min(
                                           S.Attempts - 1, 10u)),
                                 5.0);
@@ -1233,11 +1423,14 @@ CampaignEngine::runIsolated(unsigned J,
   Stats.BundlesWritten += ParentBundles;
   Stats.BundleFailures += ParentBundleFailures;
 
+  endLive();
   munmap(Raw, MapSize);
   if (OwnDir) {
     std::error_code EC;
     fs::remove_all(Dir, EC);
   }
   Stats.TotalSeconds = Total.seconds();
+  emitEvent(CampaignEvent::Kind::CampaignEnd, 0, 0,
+            Interrupted ? "interrupted" : "completed");
   return Stats;
 }

@@ -59,11 +59,13 @@
 #define CORE_CAMPAIGNENGINE_H
 
 #include "core/FuzzerLoop.h"
+#include "core/Observability.h"
 #include "support/Timer.h"
 
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -174,6 +176,24 @@ public:
   makeMutant(uint64_t Seed,
              std::vector<std::string> *AppliedOut = nullptr) const;
 
+  /// Attaches the campaign-event stream: workers and the engine push
+  /// bug-found / epoch-barrier / checkpoint / shard-restart instants into
+  /// \p Q (bounded, drop-on-full — a slow observer never stalls the
+  /// campaign). Call before run(); pass nullptr to detach.
+  void setEventQueue(CampaignEventQueue *Q) { Events = Q; }
+
+  /// A point-in-time observer view of the campaign: per-shard progress,
+  /// merged registry snapshot, feedback state. Safe to call from any
+  /// thread at any time — before, during and after run(). Strictly
+  /// read-side (see Observability.h): it never perturbs the deterministic
+  /// report.
+  CampaignLiveSnapshot liveSnapshot() const;
+
+  /// Per-track flight-recorder ring overwrites of the finished campaign
+  /// ((track name, dropped event count) pairs; empty when tracing was
+  /// off). Feeds the run report's volatile "trace" block.
+  std::vector<std::pair<std::string, uint64_t>> traceDropped() const;
+
 private:
   /// The fork/waitpid isolation path (Survival.Isolate). \p J is the
   /// effective shard count, \p Total the campaign wall clock.
@@ -232,6 +252,56 @@ private:
   /// destroyed with run()'s scope; their recorders live on here).
   std::vector<std::unique_ptr<TraceRecorder>> Traces;
   std::vector<std::string> TraceNames;
+
+  // --- Live observability plane (observer-only; see Observability.h) ---
+
+  /// One live shard as registered by a run path: borrowed pointers into
+  /// run()-scoped worker state (or the isolation heartbeat page). Valid
+  /// only while registered — endLive() revokes them before the owners die.
+  struct LiveShardRef {
+    unsigned Index = 0;
+    uint64_t Lo = 0, Hi = 0;
+    const std::atomic<uint64_t> *Done = nullptr;
+    /// Four live stage counters (mutate/optimize/verify/overhead nanos);
+    /// null for isolated shards (the page carries no stage split).
+    const std::atomic<uint64_t> *StageNanos = nullptr;
+    /// The worker's loop, for registry/trace reads; null for isolated
+    /// shards (their state lives in another process).
+    const FuzzerLoop *Loop = nullptr;
+  };
+
+  /// Opens the live window: run() is now between setup and join.
+  void beginLive(bool Isolated, uint64_t Target, unsigned Workers,
+                 const Timer *Clock);
+  void addLiveShard(LiveShardRef R);
+  /// Publishes feedback-barrier state to observers (engine thread only).
+  void publishFeedbackLive(uint64_t Epochs, unsigned Bits,
+                           const ScheduleState &Schedule);
+  /// Closes the live window and revokes every shard ref. Idempotent —
+  /// the run paths call it explicitly before borrowed state dies, and a
+  /// scope guard repeats it on every exit path.
+  void endLive();
+  /// Streams one campaign event (no-op without a queue; never blocks).
+  void emitEvent(CampaignEvent::Kind K, uint64_t Seed, unsigned Shard,
+                 std::string Detail);
+
+  CampaignEventQueue *Events = nullptr;
+  /// Guards everything below it; liveSnapshot() copies out under it.
+  mutable std::mutex LiveM;
+  struct LiveState {
+    bool Running = false;
+    bool Isolated = false;
+    uint64_t Target = 0;
+    unsigned Workers = 0;
+    const Timer *Clock = nullptr;
+    std::vector<LiveShardRef> Shards;
+    uint64_t FeedbackEpochs = 0;
+    unsigned FeedbackBits = 0;
+    std::vector<std::pair<std::string, uint32_t>> FamilyWeights;
+  } Live;
+  /// run() has completed at least once: snapshots switch from the master
+  /// registry to the final merged one.
+  bool HasRun = false;
 };
 
 } // namespace alive

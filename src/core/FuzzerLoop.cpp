@@ -7,6 +7,7 @@
 #include "core/FuzzerLoop.h"
 
 #include "analysis/Verifier.h"
+#include "core/Observability.h"
 #include "opt/BugInjection.h"
 #include "parser/Printer.h"
 #include "support/SignalGuard.h"
@@ -300,6 +301,7 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
       R.BundlePath = writeBundle(FR, Mutant.get(), nullptr);
       Outcomes.push_back(std::move(FR));
       Bugs.push_back(std::move(R));
+      noteBugEvent(Seed, "invalid-mutant", "<mutator>");
       return;
     }
   }
@@ -355,6 +357,7 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
     R.BundlePath = writeBundle(FR, Source.get(), nullptr);
     Outcomes.push_back(std::move(FR));
     Bugs.push_back(std::move(R));
+    noteBugEvent(Seed, "crash", "");
     if (!Opts.SaveDir.empty()) {
       TraceSpan Span(Trace.get(), "save", Seed);
       saveMutant(*Source, Seed, /*Failing=*/true);
@@ -390,6 +393,7 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
     R.BundlePath = writeBundle(FR, Source.get(), nullptr);
     Outcomes.push_back(std::move(FR));
     Bugs.push_back(std::move(R));
+    noteBugEvent(Seed, "contained-signal", "");
     if (!Opts.SaveDir.empty()) {
       TraceSpan Span(Trace.get(), "save", Seed);
       saveMutant(*Source, Seed, /*Failing=*/true);
@@ -553,6 +557,7 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
                      printFunction(*Tgt);
         B.BundlePath = Bundle;
         Bugs.push_back(std::move(B));
+        noteBugEvent(Seed, "miscompile", Name);
         if (!Opts.SaveDir.empty()) {
           TraceSpan Span(Trace.get(), "save", Seed);
           saveMutant(*Source, Seed, /*Failing=*/true);
@@ -719,4 +724,17 @@ void FuzzerLoop::saveMutant(const Module &M, uint64_t Seed, bool Failing) {
     return;
   }
   ++Stats.MutantsSaved;
+}
+
+void FuzzerLoop::noteBugEvent(uint64_t Seed, const char *Slug,
+                              const std::string &Function) {
+  if (!Opts.Events)
+    return;
+  CampaignEvent E;
+  E.K = CampaignEvent::Kind::BugFound;
+  E.Seed = Seed;
+  E.Shard = Opts.WorkerIndex;
+  E.Nanos = TraceRecorder::now();
+  E.Detail = Function.empty() ? std::string(Slug) : Slug + (" " + Function);
+  Opts.Events->push(std::move(E));
 }

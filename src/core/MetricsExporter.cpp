@@ -1,0 +1,386 @@
+//===- core/MetricsExporter.cpp - Live metrics/health HTTP plane ----------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MetricsExporter.h"
+
+#include "core/CampaignEngine.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+using namespace alive;
+
+std::string alive::prometheusName(const std::string &Slug) {
+  std::string Out;
+  Out.reserve(Slug.size());
+  for (char C : Slug) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_';
+    Out.push_back(Ok ? C : '_');
+  }
+  if (Out.empty() || (Out[0] >= '0' && Out[0] <= '9'))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::string alive::formatSSE(uint64_t Id, const CampaignEvent &E) {
+  std::ostringstream OS;
+  OS << "id: " << Id << "\n";
+  OS << "event: " << campaignEventName(E.K) << "\n";
+  OS << "data: {\"kind\": ";
+  writeJSONString(OS, campaignEventName(E.K));
+  OS << ", \"seed\": " << E.Seed << ", \"shard\": " << E.Shard
+     << ", \"nanos\": " << E.Nanos << ", \"detail\": ";
+  writeJSONString(OS, E.Detail);
+  OS << "}\n\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Prometheus sample values: plain shortest-round-trip decimal (the
+/// exposition format takes Go-style floats; inf/nan never occur here
+/// because Histogram::min() folds its +inf sentinel to 0).
+std::string num(double D) {
+  std::ostringstream OS;
+  OS.precision(std::numeric_limits<double>::max_digits10);
+  OS << D;
+  return OS.str();
+}
+
+} // namespace
+
+MetricsServer::MetricsServer(const MetricsOptions &Opts)
+    : Opts(Opts), Queue(Opts.EventQueueCapacity) {
+  Series.resize(std::max<size_t>(1, Opts.SeriesCapacity));
+  Server.setHandler([this](const HttpRequest &R) { return handle(R); });
+  Server.setTick([this] { tick(); });
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::setEngine(CampaignEngine *E) {
+  std::lock_guard<std::mutex> Lock(M);
+  Engine = E;
+}
+
+void MetricsServer::setConfigEcho(const RunReportConfig &C) {
+  std::lock_guard<std::mutex> Lock(M);
+  Config = C;
+  HasConfig = true;
+}
+
+bool MetricsServer::start(std::string &Error) {
+  return Server.start(Opts.Port, Error);
+}
+
+void MetricsServer::stop() { Server.stop(); }
+
+size_t MetricsServer::seriesSize() const {
+  std::lock_guard<std::mutex> Lock(SeriesM);
+  return SeriesCount;
+}
+
+CampaignLiveSnapshot MetricsServer::snapshotNow() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Engine)
+    return CampaignLiveSnapshot();
+  return Engine->liveSnapshot();
+}
+
+void MetricsServer::tick() {
+  // Drain the bounded queue and fan the events out to every SSE client.
+  // Drained order is arrival order, so the ids are monotonic per client.
+  std::vector<CampaignEvent> Evs;
+  if (Queue.drain(Evs))
+    for (const CampaignEvent &E : Evs)
+      Server.broadcast(formatSSE(NextEventId++, E));
+
+  bool Bound;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Bound = Engine != nullptr;
+  }
+  if (!Bound)
+    return;
+  CampaignLiveSnapshot S = snapshotNow();
+  double Now = Clock.seconds();
+
+  // Track per-shard progress timestamps for /healthz staleness.
+  if (!S.Running) {
+    Seen.clear();
+  } else {
+    if (Seen.size() < S.Shards.size())
+      Seen.resize(S.Shards.size());
+    for (const ShardLiveState &Sh : S.Shards) {
+      if (Sh.Index >= Seen.size())
+        continue;
+      ShardSeen &SS = Seen[Sh.Index];
+      if (!SS.Init || SS.Done != Sh.Done)
+        SS = {Sh.Done, Now, true};
+    }
+  }
+
+  // Periodic /series sample.
+  if (Now - LastSample >= Opts.SnapshotInterval) {
+    LastSample = Now;
+    MetricsSample P;
+    P.T = Now;
+    P.Done = S.Done;
+    S.Stats.forEachCounterAll(
+        [&](const std::string &Name, uint64_t V, Volatility) {
+          P.Counters.emplace_back(Name, V);
+        });
+    size_t Cap = Series.size();
+    std::lock_guard<std::mutex> Lock(SeriesM);
+    if (SeriesCount == Cap) {
+      Series[SeriesHead] = std::move(P);
+      SeriesHead = (SeriesHead + 1) % Cap;
+    } else {
+      Series[(SeriesHead + SeriesCount) % Cap] = std::move(P);
+      ++SeriesCount;
+    }
+  }
+}
+
+HttpResponse MetricsServer::handle(const HttpRequest &Req) {
+  HttpResponse Resp;
+  if (Req.Path == "/metrics") {
+    Resp.ContentType = "text/plain; version=0.0.4; charset=utf-8";
+    Resp.Body = renderMetrics(snapshotNow());
+    return Resp;
+  }
+  if (Req.Path == "/status") {
+    Resp.ContentType = "application/json";
+    Resp.Body = renderStatus(snapshotNow());
+    return Resp;
+  }
+  if (Req.Path == "/healthz") {
+    Resp.ContentType = "application/json";
+    bool Healthy = renderHealth(snapshotNow(), Resp.Body);
+    Resp.Status = Healthy ? 200 : 503;
+    return Resp;
+  }
+  if (Req.Path == "/readyz") {
+    Resp.ContentType = "application/json";
+    bool Ready;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Ready = Engine != nullptr;
+    }
+    Resp.Status = Ready ? 200 : 503;
+    Resp.Body = Ready ? "{\"ready\": true}\n" : "{\"ready\": false}\n";
+    return Resp;
+  }
+  if (Req.Path == "/events") {
+    Resp.Stream = true;
+    // The retry hint plus a comment line: clients see bytes immediately,
+    // which flushes proxies and lets curl print something before the
+    // first real event.
+    Resp.Body = "retry: 1000\n: alive-mutate event stream\n\n";
+    return Resp;
+  }
+  if (Req.Path == "/series") {
+    Resp.ContentType = "application/json";
+    Resp.Body = renderSeries();
+    return Resp;
+  }
+  if (Req.Path == "/") {
+    Resp.Body = "alive-mutate metrics server\n"
+                "endpoints: /metrics /status /healthz /readyz /events "
+                "/series\n";
+    return Resp;
+  }
+  Resp.Status = 404;
+  Resp.Body = "not found\n";
+  return Resp;
+}
+
+std::string MetricsServer::renderMetrics(const CampaignLiveSnapshot &S) {
+  std::ostringstream OS;
+  auto Gauge = [&](const std::string &Name, const std::string &Value) {
+    OS << "# TYPE " << Name << " gauge\n" << Name << " " << Value << "\n";
+  };
+  Gauge("alive_up", "1");
+  Gauge("alive_campaign_running", S.Running ? "1" : "0");
+  Gauge("alive_campaign_elapsed_seconds", num(S.Elapsed));
+  Gauge("alive_workers", std::to_string(S.Workers));
+  OS << "# TYPE alive_iterations_done counter\nalive_iterations_done "
+     << S.Done << "\n";
+  Gauge("alive_iterations_target", std::to_string(S.Target));
+  OS << "# TYPE alive_events_accepted counter\nalive_events_accepted "
+     << Queue.accepted() << "\n";
+  OS << "# TYPE alive_events_dropped counter\nalive_events_dropped "
+     << Queue.dropped() << "\n";
+  Gauge("alive_sse_clients", std::to_string(Server.streamClients()));
+  if (S.FeedbackEnabled) {
+    OS << "# TYPE alive_feedback_epochs counter\nalive_feedback_epochs "
+       << S.FeedbackEpochs << "\n";
+    Gauge("alive_feedback_bits_covered", std::to_string(S.FeedbackBits));
+    if (!S.FamilyWeights.empty()) {
+      OS << "# TYPE alive_feedback_family_weight gauge\n";
+      for (const auto &[Name, W] : S.FamilyWeights)
+        OS << "alive_feedback_family_weight{family=\""
+           << prometheusName(Name) << "\"} " << W << "\n";
+    }
+  }
+  if (!S.Shards.empty()) {
+    OS << "# TYPE alive_shard_iterations_done counter\n";
+    for (const ShardLiveState &Sh : S.Shards)
+      OS << "alive_shard_iterations_done{shard=\"" << Sh.Index << "\"} "
+         << Sh.Done << "\n";
+    OS << "# TYPE alive_shard_trace_dropped_events counter\n";
+    for (const ShardLiveState &Sh : S.Shards)
+      OS << "alive_shard_trace_dropped_events{shard=\"" << Sh.Index
+         << "\"} " << Sh.TraceDropped << "\n";
+  }
+
+  // Registry counters and gauges: the name is a pure function of the stat
+  // slug, so dashboards survive restarts and worker-count changes.
+  S.Stats.forEachCounterAll(
+      [&](const std::string &Name, uint64_t V, Volatility) {
+        std::string N = "alive_" + prometheusName(Name);
+        OS << "# TYPE " << N << " counter\n" << N << " " << V << "\n";
+      });
+  S.Stats.forEachGauge([&](const std::string &Name, double V, Volatility) {
+    std::string N = "alive_" + prometheusName(Name);
+    OS << "# TYPE " << N << " gauge\n" << N << " " << num(V) << "\n";
+  });
+  // Histograms as Prometheus summaries: quantiles from the log2 buckets
+  // (upper-bound estimates, see Histogram::percentile) plus sum/count.
+  S.Stats.forEachHistogram([&](const std::string &Name, const Histogram &H) {
+    std::string N = "alive_" + prometheusName(Name);
+    OS << "# TYPE " << N << " summary\n";
+    OS << N << "{quantile=\"0.5\"} " << num(H.percentile(0.50)) << "\n";
+    OS << N << "{quantile=\"0.9\"} " << num(H.percentile(0.90)) << "\n";
+    OS << N << "{quantile=\"0.99\"} " << num(H.percentile(0.99)) << "\n";
+    OS << N << "_sum " << num(H.sum()) << "\n";
+    OS << N << "_count " << H.count() << "\n";
+    OS << "# TYPE " << N << "_min gauge\n"
+       << N << "_min " << num(H.min()) << "\n";
+    OS << "# TYPE " << N << "_max gauge\n"
+       << N << "_max " << num(H.max()) << "\n";
+  });
+  return OS.str();
+}
+
+std::string MetricsServer::renderStatus(const CampaignLiveSnapshot &S) {
+  std::ostringstream OS;
+  OS << "{\n";
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (HasConfig) {
+      OS << "  \"config\": {\"tool\": ";
+      writeJSONString(OS, Config.Tool);
+      OS << ", \"passes\": ";
+      writeJSONString(OS, Config.Passes);
+      OS << ", \"iterations\": " << Config.Iterations
+         << ", \"base_seed\": " << Config.BaseSeed
+         << ", \"jobs\": " << Config.Jobs << ", \"feedback\": "
+         << (Config.FeedbackOn ? "true" : "false") << "},\n";
+    } else {
+      OS << "  \"config\": null,\n";
+    }
+  }
+  OS << "  \"running\": " << (S.Running ? "true" : "false") << ",\n";
+  OS << "  \"elapsed\": ";
+  writeJSONDouble(OS, S.Elapsed);
+  OS << ",\n";
+  OS << "  \"done\": " << S.Done << ",\n";
+  OS << "  \"target\": " << S.Target << ",\n";
+  OS << "  \"workers\": " << S.Workers << ",\n";
+  OS << "  \"isolated\": " << (S.Isolated ? "true" : "false") << ",\n";
+  OS << "  \"shards\": [";
+  for (size_t I = 0; I != S.Shards.size(); ++I) {
+    const ShardLiveState &Sh = S.Shards[I];
+    OS << (I ? ", " : "") << "{\"index\": " << Sh.Index
+       << ", \"lo\": " << Sh.Lo << ", \"hi\": " << Sh.Hi
+       << ", \"done\": " << Sh.Done << ", \"stage_nanos\": {\"mutate\": "
+       << Sh.StageNanos[0] << ", \"optimize\": " << Sh.StageNanos[1]
+       << ", \"verify\": " << Sh.StageNanos[2] << ", \"overhead\": "
+       << Sh.StageNanos[3] << "}, \"trace_dropped_events\": "
+       << Sh.TraceDropped << ", \"live_registry\": "
+       << (Sh.HasRegistry ? "true" : "false") << "}";
+  }
+  OS << "],\n";
+  OS << "  \"feedback\": {\"enabled\": "
+     << (S.FeedbackEnabled ? "true" : "false")
+     << ", \"epochs\": " << S.FeedbackEpochs
+     << ", \"bits_covered\": " << S.FeedbackBits << ", \"weights\": {";
+  for (size_t I = 0; I != S.FamilyWeights.size(); ++I) {
+    OS << (I ? ", " : "");
+    writeJSONString(OS, S.FamilyWeights[I].first);
+    OS << ": " << S.FamilyWeights[I].second;
+  }
+  OS << "}},\n";
+  OS << "  \"events\": {\"accepted\": " << Queue.accepted()
+     << ", \"dropped\": " << Queue.dropped()
+     << ", \"capacity\": " << Queue.capacity()
+     << ", \"stream_clients\": " << Server.streamClients() << "},\n";
+  OS << "  \"series\": {\"interval\": ";
+  writeJSONDouble(OS, Opts.SnapshotInterval);
+  OS << ", \"capacity\": " << Series.size() << ", \"size\": " << seriesSize()
+     << "},\n";
+  // The registry dump carries the rest of the campaign state surface —
+  // survive.checkpoint.*, quarantine, feedback.* — in both classes.
+  OS << "  \"stats\": {\n    \"deterministic\": ";
+  S.Stats.writeJSON(OS, Volatility::Deterministic, "    ");
+  OS << ",\n    \"volatile\": ";
+  S.Stats.writeJSON(OS, Volatility::Volatile, "    ");
+  OS << "\n  }\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string MetricsServer::renderSeries() {
+  std::ostringstream OS;
+  OS << "{\"interval\": ";
+  writeJSONDouble(OS, Opts.SnapshotInterval);
+  OS << ", \"capacity\": " << Series.size() << ", \"points\": [";
+  size_t Cap = Series.size();
+  for (size_t I = 0; I != SeriesCount; ++I) {
+    const MetricsSample &P = Series[(SeriesHead + I) % Cap];
+    OS << (I ? ", " : "") << "{\"t\": ";
+    writeJSONDouble(OS, P.T);
+    OS << ", \"done\": " << P.Done << ", \"counters\": {";
+    for (size_t C = 0; C != P.Counters.size(); ++C) {
+      OS << (C ? ", " : "");
+      writeJSONString(OS, P.Counters[C].first);
+      OS << ": " << P.Counters[C].second;
+    }
+    OS << "}}";
+  }
+  OS << "]}\n";
+  return OS.str();
+}
+
+bool MetricsServer::renderHealth(const CampaignLiveSnapshot &S,
+                                 std::string &Body) {
+  double Now = Clock.seconds();
+  std::vector<unsigned> Stale;
+  if (S.Running && Opts.HealthStaleSeconds > 0) {
+    for (const ShardLiveState &Sh : S.Shards) {
+      if (Sh.Index >= Seen.size() || !Seen[Sh.Index].Init)
+        continue;
+      // A shard that finished its slice legitimately stops advancing.
+      if (Sh.Hi > Sh.Lo && Sh.Done >= Sh.Hi - Sh.Lo)
+        continue;
+      if (Now - Seen[Sh.Index].Since > Opts.HealthStaleSeconds)
+        Stale.push_back(Sh.Index);
+    }
+  }
+  std::ostringstream OS;
+  OS << "{\"healthy\": " << (Stale.empty() ? "true" : "false")
+     << ", \"stale_seconds\": ";
+  writeJSONDouble(OS, Opts.HealthStaleSeconds);
+  OS << ", \"stale_shards\": [";
+  for (size_t I = 0; I != Stale.size(); ++I)
+    OS << (I ? ", " : "") << Stale[I];
+  OS << "]}\n";
+  Body = OS.str();
+  return Stale.empty();
+}

@@ -1,0 +1,57 @@
+//===- core/Observability.cpp - Live campaign observation types -----------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Observability.h"
+
+using namespace alive;
+
+const char *alive::campaignEventName(CampaignEvent::Kind K) {
+  switch (K) {
+  case CampaignEvent::Kind::CampaignStart:
+    return "campaign-start";
+  case CampaignEvent::Kind::BugFound:
+    return "bug-found";
+  case CampaignEvent::Kind::EpochBarrier:
+    return "epoch-barrier";
+  case CampaignEvent::Kind::Checkpoint:
+    return "checkpoint";
+  case CampaignEvent::Kind::ShardRestart:
+    return "shard-restart";
+  case CampaignEvent::Kind::CampaignEnd:
+    return "campaign-end";
+  }
+  return "unknown";
+}
+
+CampaignEventQueue::CampaignEventQueue(size_t Capacity)
+    : Cap(Capacity ? Capacity : 1), Ring(Cap) {}
+
+bool CampaignEventQueue::push(CampaignEvent E) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (Size < Cap) {
+      Ring[(Head + Size) % Cap] = std::move(E);
+      ++Size;
+      Accepted.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Full: drop outside the lock — the producer is a fuzzing worker and
+  // must never wait on the observer side.
+  Dropped.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+size_t CampaignEventQueue::drain(std::vector<CampaignEvent> &Out) {
+  std::lock_guard<std::mutex> L(M);
+  size_t N = Size;
+  Out.reserve(Out.size() + N);
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(std::move(Ring[(Head + I) % Cap]));
+  Head = (Head + N) % Cap;
+  Size = 0;
+  return N;
+}

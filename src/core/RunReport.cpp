@@ -218,6 +218,23 @@ void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
   OS << "    \"survivability\": {\"timeouts\": " << S.Timeouts
      << ", \"interrupted\": " << (Config.Interrupted ? "true" : "false")
      << "},\n";
+  // Flight-recorder ring overwrites: always present (empty tracks when
+  // tracing was off) so consumers can key on the block unconditionally.
+  {
+    uint64_t TotalDropped = 0;
+    for (const auto &[_, N] : Config.TraceDropped)
+      TotalDropped += N;
+    OS << "    \"trace\": {\"dropped_events\": " << TotalDropped
+       << ", \"tracks\": [";
+    bool First = true;
+    for (const auto &[Name, N] : Config.TraceDropped) {
+      OS << (First ? "" : ", ") << "{\"name\": ";
+      writeJSONString(OS, Name);
+      OS << ", \"dropped_events\": " << N << "}";
+      First = false;
+    }
+    OS << "]},\n";
+  }
   OS << "    \"stats\": ";
   R.writeJSON(OS, Volatility::Volatile, "    ");
   OS << "\n  }\n";

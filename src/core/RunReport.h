@@ -45,7 +45,11 @@ namespace alive {
 /// length, epoch/coverage counters, per-rule fire table, final family
 /// weights). Feedback state is merged at epoch barriers in worker order,
 /// so the whole block is worker-count independent.
-constexpr unsigned RunReportSchemaVersion = 4;
+/// v5: the volatile section gained "trace" (flight-recorder ring
+/// overwrites, total plus per-track) — ring overflow depends on capacity
+/// and scheduling, never on the seed range, so the block is volatile by
+/// construction.
+constexpr unsigned RunReportSchemaVersion = 5;
 
 /// Report metadata that is not part of FuzzStats or the registry.
 struct RunReportConfig {
@@ -72,6 +76,10 @@ struct RunReportConfig {
   /// Campaign stopped before finishing its seed range (volatile; a resumed
   /// run that completes reports false).
   bool Interrupted = false;
+  /// Flight-recorder ring overwrites per track ((track name, dropped
+  /// count) pairs; empty when tracing was off). Volatile: how many events
+  /// a fixed-capacity ring overwrote depends on scheduling, not the seeds.
+  std::vector<std::pair<std::string, uint64_t>> TraceDropped;
 };
 
 /// Writes the full JSON run report to \p OS.

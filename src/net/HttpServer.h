@@ -1,0 +1,125 @@
+//===- net/HttpServer.h - Minimal poll()-based HTTP/1.1 server -*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free HTTP/1.1 server for the live observability
+/// plane — the same hand-rolled spirit as support/JSON: no third-party
+/// library, no feature beyond what the metrics endpoints need.
+///
+/// Shape: one background thread running a poll() loop over the listening
+/// socket plus every open connection, all non-blocking. Requests are
+/// GET/HEAD only (anything else gets 405); responses are either one-shot
+/// (write, flush, close — Connection: close keeps the state machine
+/// trivial) or *streaming* (Server-Sent Events: the response headers and
+/// initial body are written, the connection stays open, and later
+/// broadcast() calls append chunks to every streaming connection).
+///
+/// Shutdown is tied to the existing CancellationToken primitive: the
+/// server owns a token, polls it every loop, and stop() cancels it via
+/// the same serial-gated CAS the iteration watchdog uses — so an external
+/// holder of token() can also wind the server down (e.g. a signal path).
+/// On shutdown streaming connections get a final "shutdown" SSE comment
+/// before the close.
+///
+/// Threading: start() spawns the server thread; the Handler and Tick
+/// callbacks run *on that thread*. broadcast() may be called from the
+/// handler or tick only (it touches the connection list, which is server-
+/// thread-private). Everything the callbacks read from the campaign must
+/// therefore be observer-safe — which is exactly what the engine's
+/// liveSnapshot() contract provides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NET_HTTPSERVER_H
+#define NET_HTTPSERVER_H
+
+#include "support/Cancellation.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace alive {
+
+struct HttpRequest {
+  std::string Method; ///< "GET" or "HEAD" (others are rejected earlier)
+  std::string Path;   ///< decoded-enough path, query string stripped
+  std::string Query;  ///< raw query string ("" when absent)
+};
+
+struct HttpResponse {
+  int Status = 200;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+  /// Server-Sent Events mode: Content-Type is forced to text/event-stream,
+  /// Body is sent as the initial chunk and the connection stays open to
+  /// receive broadcast() chunks until shutdown or client close.
+  bool Stream = false;
+};
+
+class HttpServer {
+public:
+  using Handler = std::function<HttpResponse(const HttpRequest &)>;
+  /// Called once per poll cycle (at least every ~50ms) on the server
+  /// thread; the place to drain event queues and take periodic snapshots.
+  using Tick = std::function<void()>;
+
+  HttpServer();
+  ~HttpServer();
+  HttpServer(const HttpServer &) = delete;
+  HttpServer &operator=(const HttpServer &) = delete;
+
+  void setHandler(Handler H) { Handle = std::move(H); }
+  void setTick(Tick T) { OnTick = std::move(T); }
+
+  /// Binds 127.0.0.1:\p Port (0 = kernel-assigned ephemeral port) and
+  /// starts the server thread. \returns false with \p Error filled on
+  /// bind/listen failure.
+  bool start(uint16_t Port, std::string &Error);
+
+  /// The bound port (the resolved one when started with 0).
+  uint16_t port() const { return BoundPort; }
+
+  bool running() const { return Thread.joinable(); }
+
+  /// Graceful shutdown: cancels the token, lets the loop flush a final
+  /// SSE farewell to streaming clients, joins the thread, closes every
+  /// socket. Idempotent.
+  void stop();
+
+  /// The shutdown token; external holders may cancel it (serial-gated,
+  /// same idiom as the iteration watchdog) to wind the server down
+  /// without calling stop() first — stop() must still run to join.
+  CancellationToken &token() { return Token; }
+
+  /// Appends \p Chunk to every streaming connection's output buffer.
+  /// Server thread only (handler / tick).
+  void broadcast(const std::string &Chunk);
+
+  /// Open streaming (SSE) connections. Server thread only.
+  size_t streamClients() const;
+
+private:
+  struct Conn;
+  void loop();
+  void serviceConn(Conn &C);
+  void respond(Conn &C);
+
+  Handler Handle;
+  Tick OnTick;
+  CancellationToken Token;
+  std::thread Thread;
+  int ListenFD = -1;
+  uint16_t BoundPort = 0;
+  // Owned by the server thread once start() returns.
+  std::vector<Conn> *Conns = nullptr;
+};
+
+} // namespace alive
+
+#endif // NET_HTTPSERVER_H

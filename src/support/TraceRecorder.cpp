@@ -63,7 +63,7 @@ void TraceRecorder::push(const Event &E) {
     Ring[Head] = E;
   }
   Head = (Head + 1) % Cap;
-  ++Total;
+  Total.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TraceRecorder::span(const char *Name, uint64_t StartNanos,
@@ -81,7 +81,7 @@ void TraceRecorder::instant(const char *Name, uint64_t Seed,
 std::vector<TraceRecorder::Event> TraceRecorder::events() const {
   std::vector<Event> Out;
   Out.reserve(size());
-  if (Total <= Cap) {
+  if (Total.load(std::memory_order_relaxed) <= Cap) {
     Out.assign(Ring.begin(), Ring.end());
   } else {
     // Head is both the next write slot and the oldest retained event.

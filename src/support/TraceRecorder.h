@@ -24,6 +24,7 @@
 #ifndef SUPPORT_TRACERECORDER_H
 #define SUPPORT_TRACERECORDER_H
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 #include <set>
@@ -77,17 +78,28 @@ public:
 
   size_t capacity() const { return Cap; }
   /// Events retained right now (<= capacity()).
-  size_t size() const { return Total < Cap ? (size_t)Total : Cap; }
-  /// Events lost to ring overwrite.
-  uint64_t dropped() const { return Total < Cap ? 0 : Total - Cap; }
+  size_t size() const {
+    uint64_t T = Total.load(std::memory_order_relaxed);
+    return T < Cap ? (size_t)T : Cap;
+  }
+  /// Events lost to ring overwrite. Safe to read from an observer thread
+  /// while the owning worker records (the count is a relaxed atomic; the
+  /// ring payload itself is still single-owner).
+  uint64_t dropped() const {
+    uint64_t T = Total.load(std::memory_order_relaxed);
+    return T < Cap ? 0 : T - Cap;
+  }
 
 private:
   void push(const Event &E);
 
   std::vector<Event> Ring;
   size_t Cap;
-  size_t Head = 0;    ///< next write slot
-  uint64_t Total = 0; ///< events ever recorded
+  size_t Head = 0; ///< next write slot
+  /// Events ever recorded. Atomic so live /status reads of dropped() are
+  /// race-free against the recording worker; the single writer still
+  /// updates it with a plain relaxed increment.
+  std::atomic<uint64_t> Total{0};
   /// Interned dynamic labels. std::set nodes never move, so the stored
   /// strings' c_str() stays stable across inserts.
   std::set<std::string> Labels;

@@ -17,15 +17,22 @@
 
 #include "core/CampaignEngine.h"
 #include "core/Forensics.h"
+#include "core/MetricsExporter.h"
 #include "core/RunReport.h"
 #include "corpus/CorpusLoader.h"
 #include "corpus/Distill.h"
 #include "opt/BugInjection.h"
 #include "tools/ToolCommon.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace alive;
 
@@ -77,6 +84,14 @@ static void printHelp() {
       "  -checkpoint-interval=<n> iterations between checkpoints\n"
       "  -resume           resume the campaign recorded in -checkpoint\n"
       "  -progress=<sec>   print campaign progress every <sec> seconds\n"
+      "  -metrics-port=<p> serve live observability HTTP endpoints on\n"
+      "                    127.0.0.1:<p> (/metrics /status /healthz /readyz\n"
+      "                    /events /series; 0 = ephemeral port, printed on\n"
+      "                    stdout). Observer-only: the report stays byte-\n"
+      "                    identical with or without the server\n"
+      "  -metrics-interval=<s> seconds between /series samples (default 1)\n"
+      "  -health-stale=<s> /healthz flips to 503 when a live shard makes no\n"
+      "                    progress for <s> seconds (default 10; 0 = off)\n"
       "  -stats-json=<file> write a schema-versioned JSON run report\n"
       "  -trace-json=<file> write a Chrome trace (flight recorder, one\n"
       "                    track per worker; open in Perfetto)\n"
@@ -86,6 +101,34 @@ static void printHelp() {
       "                    recorded verdict reproduces\n"
       "  -report           print bug records at the end\n"
       "  -help             this text");
+}
+
+// SIGINT/SIGTERM wind the campaign down at the next iteration boundary:
+// run() returns normally, so -stats-json, the final checkpoint and the
+// interrupted-note all still happen. A second signal gives up and exits
+// with the conventional 128+SIGINT code. Everything the handler touches
+// is async-signal-safe (atomic load, atomic store, _exit).
+static std::atomic<alive::CampaignEngine *> GSignalEngine{nullptr};
+static volatile std::sig_atomic_t GSignalSeen = 0;
+
+static void onTerminateSignal(int) {
+  if (GSignalSeen) {
+    _exit(130);
+  }
+  GSignalSeen = 1;
+  if (alive::CampaignEngine *E =
+          GSignalEngine.load(std::memory_order_relaxed))
+    E->requestStop();
+}
+
+static void installTerminateHandler(alive::CampaignEngine *E) {
+  GSignalEngine.store(E, std::memory_order_relaxed);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onTerminateSignal;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
 }
 
 /// The -replay mode: everything the iteration needs is inside the bundle.
@@ -284,6 +327,42 @@ int main(int Argc, char **Argv) {
   if (Testable == 0)
     return 0;
 
+  // The live observability plane (-metrics-port): strictly observer-only,
+  // so attaching it cannot perturb the deterministic report. The resolved
+  // port goes to stdout so scripts can use -metrics-port=0.
+  std::unique_ptr<MetricsServer> Metrics;
+  if (Args.has("metrics-port")) {
+    MetricsOptions MO;
+    MO.Port = (uint16_t)Args.getInt("metrics-port", 0);
+    if (std::string V = Args.get("metrics-interval"); !V.empty())
+      MO.SnapshotInterval = std::atof(V.c_str());
+    if (std::string V = Args.get("health-stale"); !V.empty())
+      MO.HealthStaleSeconds = std::atof(V.c_str());
+    Metrics = std::make_unique<MetricsServer>(MO);
+    Metrics->setEngine(&Engine);
+    RunReportConfig Echo;
+    Echo.Tool = "alive-mutate";
+    Echo.Passes = Opts.Passes;
+    Echo.Iterations = Opts.Iterations;
+    Echo.BaseSeed = Opts.BaseSeed;
+    Echo.FeedbackOn = Opts.Feedback.Enabled;
+    Echo.Jobs = Engine.jobs();
+    Metrics->setConfigEcho(Echo);
+    Engine.setEventQueue(&Metrics->events());
+    std::string MetricsErr;
+    if (!Metrics->start(MetricsErr)) {
+      std::fprintf(stderr, "error: metrics server: %s\n", MetricsErr.c_str());
+      return 1;
+    }
+    std::printf("metrics: listening on http://127.0.0.1:%u\n",
+                (unsigned)Metrics->port());
+    std::fflush(stdout);
+  }
+
+  // From here a SIGINT/SIGTERM stops the campaign cleanly instead of
+  // killing the process: checkpoints and -stats-json still flush.
+  installTerminateHandler(&Engine);
+
   // On a TTY the progress line rewrites itself in place; redirected
   // stderr (CI logs) gets plain periodic lines instead.
   ProgressPrinter Printer;
@@ -315,6 +394,7 @@ int main(int Argc, char **Argv) {
     });
 
   const FuzzStats &S = Engine.run();
+  GSignalEngine.store(nullptr, std::memory_order_relaxed);
   Printer.finish();
   if (!Engine.configError().empty()) {
     std::fprintf(stderr, "error: %s\n", Engine.configError().c_str());
@@ -432,6 +512,7 @@ int main(int Argc, char **Argv) {
     RC.Jobs = Engine.jobs();
     RC.WallSeconds = S.TotalSeconds;
     RC.Interrupted = Engine.interrupted();
+    RC.TraceDropped = Engine.traceDropped();
     std::string ReportErr;
     if (!writeRunReportFile(StatsPath, RC, S, Engine.bugs(),
                             Engine.registry(), ReportErr))

@@ -1,0 +1,678 @@
+//===- tests/observability_test.cpp - Live observability plane tests --------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests for the live observability plane: the bounded drop-on-full
+/// CampaignEventQueue, SSE frame formatting, Prometheus name derivation,
+/// the poll()-based HttpServer (raw-socket round trips, method rejection,
+/// SSE broadcast), the MetricsServer endpoints end-to-end against a real
+/// campaign, concurrent StatRegistry snapshots under writer load, and the
+/// headline invariant: attaching a metrics server to a campaign leaves the
+/// deterministic report section byte-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CampaignEngine.h"
+#include "core/MetricsExporter.h"
+#include "core/Observability.h"
+#include "core/RunReport.h"
+#include "net/HttpServer.h"
+#include "opt/BugInjection.h"
+#include "parser/Parser.h"
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace alive;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  std::string Err;
+  auto M = parseModule(Src, Err);
+  EXPECT_NE(M, nullptr) << Err;
+  return M;
+}
+
+/// The same near-miss corpus campaign_test uses: one InstCombine crash
+/// (PR52884) and one miscompilation (PR50693) within a few hundred seeds.
+const char *TwoBugCorpus = R"(
+define i8 @smax_offset(i8 %x) {
+  %1 = add nuw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}
+
+define i8 @opposite_shifts(i8 %x) {
+  %a = shl i8 -2, %x
+  %b = lshr i8 %a, %x
+  ret i8 %b
+}
+)";
+
+FuzzOptions twoBugOptions(uint64_t Iterations) {
+  FuzzOptions Opts;
+  Opts.Passes = "instsimplify,constfold,instcombine,dce";
+  Opts.Iterations = Iterations;
+  Opts.BaseSeed = 1;
+  Opts.TV.ConcreteTrials = 16;
+  Opts.Bugs.enable(BugId::PR52884);
+  Opts.Bugs.enable(BugId::PR50693);
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// A tiny blocking HTTP client for round-trip tests.
+//===----------------------------------------------------------------------===//
+
+int connectLoopback(uint16_t Port) {
+  int FD = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (FD < 0)
+    return -1;
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  if (::connect(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(FD);
+    return -1;
+  }
+  return FD;
+}
+
+bool sendAll(int FD, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(FD, Data.data() + Off, Data.size() - Off);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads from \p FD until EOF or \p TimeoutS elapses.
+std::string readToEOF(int FD, double TimeoutS = 5.0) {
+  std::string Out;
+  Timer Deadline;
+  char Buf[4096];
+  while (Deadline.seconds() < TimeoutS) {
+    pollfd P = {FD, POLLIN, 0};
+    int R = ::poll(&P, 1, 100);
+    if (R < 0)
+      break;
+    if (R == 0)
+      continue;
+    ssize_t N = ::read(FD, Buf, sizeof(Buf));
+    if (N <= 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+  return Out;
+}
+
+/// Reads from \p FD until \p Pattern appears in the accumulated stream (or
+/// EOF / timeout). For SSE connections that never close on their own.
+std::string readUntil(int FD, const std::string &Pattern,
+                      double TimeoutS = 10.0) {
+  std::string Out;
+  Timer Deadline;
+  char Buf[4096];
+  while (Deadline.seconds() < TimeoutS &&
+         Out.find(Pattern) == std::string::npos) {
+    pollfd P = {FD, POLLIN, 0};
+    int R = ::poll(&P, 1, 100);
+    if (R < 0)
+      break;
+    if (R == 0)
+      continue;
+    ssize_t N = ::read(FD, Buf, sizeof(Buf));
+    if (N <= 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+  return Out;
+}
+
+/// One-shot request; returns the whole response (headers + body).
+std::string httpGet(uint16_t Port, const std::string &Path,
+                    const std::string &Method = "GET") {
+  int FD = connectLoopback(Port);
+  EXPECT_GE(FD, 0);
+  if (FD < 0)
+    return "";
+  std::string Req = Method + " " + Path +
+                    " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  EXPECT_TRUE(sendAll(FD, Req));
+  std::string Resp = readToEOF(FD);
+  ::close(FD);
+  return Resp;
+}
+
+std::string statusLine(const std::string &Resp) {
+  return Resp.substr(0, Resp.find("\r\n"));
+}
+
+std::string body(const std::string &Resp) {
+  size_t Pos = Resp.find("\r\n\r\n");
+  return Pos == std::string::npos ? "" : Resp.substr(Pos + 4);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CampaignEventQueue: bounded, drop-on-full, FIFO.
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, EventQueuePushDrainPreservesOrder) {
+  CampaignEventQueue Q(8);
+  for (uint64_t I = 0; I != 3; ++I) {
+    CampaignEvent E;
+    E.K = CampaignEvent::Kind::BugFound;
+    E.Seed = 100 + I;
+    E.Shard = static_cast<unsigned>(I);
+    E.Detail = "d" + std::to_string(I);
+    EXPECT_TRUE(Q.push(std::move(E)));
+  }
+  EXPECT_EQ(Q.accepted(), 3u);
+  EXPECT_EQ(Q.dropped(), 0u);
+
+  std::vector<CampaignEvent> Out;
+  EXPECT_EQ(Q.drain(Out), 3u);
+  ASSERT_EQ(Out.size(), 3u);
+  for (uint64_t I = 0; I != 3; ++I) {
+    EXPECT_EQ(Out[I].Seed, 100 + I);
+    EXPECT_EQ(Out[I].Detail, "d" + std::to_string(I));
+  }
+  // Drained: a second drain finds nothing, and drain() appends.
+  EXPECT_EQ(Q.drain(Out), 0u);
+  EXPECT_EQ(Out.size(), 3u);
+}
+
+TEST(ObservabilityTest, EventQueueDropsWhenFullAndCounts) {
+  CampaignEventQueue Q(4);
+  EXPECT_EQ(Q.capacity(), 4u);
+  for (uint64_t I = 0; I != 6; ++I) {
+    CampaignEvent E;
+    E.Seed = I;
+    bool Accepted = Q.push(std::move(E));
+    EXPECT_EQ(Accepted, I < 4) << I;
+  }
+  EXPECT_EQ(Q.accepted(), 4u);
+  EXPECT_EQ(Q.dropped(), 2u);
+
+  // The oldest four survive; the overflow was dropped, not overwritten.
+  std::vector<CampaignEvent> Out;
+  EXPECT_EQ(Q.drain(Out), 4u);
+  for (uint64_t I = 0; I != 4; ++I)
+    EXPECT_EQ(Out[I].Seed, I);
+
+  // Draining frees capacity again.
+  CampaignEvent E;
+  E.Seed = 99;
+  EXPECT_TRUE(Q.push(std::move(E)));
+  EXPECT_EQ(Q.accepted(), 5u);
+}
+
+TEST(ObservabilityTest, EventQueueConcurrentProducersLoseNothingUnderCap) {
+  // 4 producers x 100 events into a queue big enough for all of them:
+  // every event must arrive exactly once (MPSC correctness, not drops).
+  CampaignEventQueue Q(512);
+  constexpr unsigned Producers = 4, PerProducer = 100;
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P != Producers; ++P)
+    Threads.emplace_back([&Q, P] {
+      for (unsigned I = 0; I != PerProducer; ++I) {
+        CampaignEvent E;
+        E.Shard = P;
+        E.Seed = I;
+        Q.push(std::move(E));
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Q.accepted(), uint64_t(Producers) * PerProducer);
+  EXPECT_EQ(Q.dropped(), 0u);
+  std::vector<CampaignEvent> Out;
+  EXPECT_EQ(Q.drain(Out), size_t(Producers) * PerProducer);
+  unsigned Seen[Producers] = {};
+  for (const CampaignEvent &E : Out)
+    ++Seen[E.Shard];
+  for (unsigned P = 0; P != Producers; ++P)
+    EXPECT_EQ(Seen[P], PerProducer);
+}
+
+TEST(ObservabilityTest, CampaignEventNamesAreKebab) {
+  EXPECT_STREQ(campaignEventName(CampaignEvent::Kind::CampaignStart),
+               "campaign-start");
+  EXPECT_STREQ(campaignEventName(CampaignEvent::Kind::BugFound), "bug-found");
+  EXPECT_STREQ(campaignEventName(CampaignEvent::Kind::EpochBarrier),
+               "epoch-barrier");
+  EXPECT_STREQ(campaignEventName(CampaignEvent::Kind::Checkpoint),
+               "checkpoint");
+  EXPECT_STREQ(campaignEventName(CampaignEvent::Kind::ShardRestart),
+               "shard-restart");
+  EXPECT_STREQ(campaignEventName(CampaignEvent::Kind::CampaignEnd),
+               "campaign-end");
+}
+
+//===----------------------------------------------------------------------===//
+// SSE frames and Prometheus naming.
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, FormatSSEFrameShape) {
+  CampaignEvent E;
+  E.K = CampaignEvent::Kind::BugFound;
+  E.Seed = 42;
+  E.Shard = 3;
+  E.Nanos = 7;
+  E.Detail = "miscompile @opposite_shifts";
+  std::string Frame = formatSSE(9, E);
+  // id then event then a single-line JSON data field, blank-line terminated.
+  EXPECT_EQ(Frame.rfind("id: 9\n", 0), 0u) << Frame;
+  EXPECT_NE(Frame.find("event: bug-found\n"), std::string::npos) << Frame;
+  EXPECT_NE(Frame.find("data: {"), std::string::npos) << Frame;
+  EXPECT_NE(Frame.find("\"seed\": 42"), std::string::npos) << Frame;
+  EXPECT_NE(Frame.find("\"shard\": 3"), std::string::npos) << Frame;
+  EXPECT_NE(Frame.find("miscompile @opposite_shifts"), std::string::npos);
+  EXPECT_EQ(Frame.substr(Frame.size() - 2), "\n\n");
+  // The data line must stay a single line even with hostile detail text —
+  // a raw newline would terminate the SSE field early.
+  CampaignEvent Evil = E;
+  Evil.Detail = "line1\nline2\"quoted\"";
+  std::string EvilFrame = formatSSE(10, Evil);
+  size_t DataPos = EvilFrame.find("data: ");
+  ASSERT_NE(DataPos, std::string::npos);
+  std::string DataLine =
+      EvilFrame.substr(DataPos, EvilFrame.find('\n', DataPos) - DataPos);
+  EXPECT_NE(DataLine.find("\\n"), std::string::npos) << DataLine;
+  EXPECT_NE(DataLine.find("\\\"quoted\\\""), std::string::npos) << DataLine;
+}
+
+TEST(ObservabilityTest, PrometheusNameIsDeterministicSanitization) {
+  EXPECT_EQ(prometheusName("bug.crash"), "bug_crash");
+  EXPECT_EQ(prometheusName("mutation.add-inst.applied"),
+            "mutation_add_inst_applied");
+  EXPECT_EQ(prometheusName("already_fine_123"), "already_fine_123");
+  // Leading digit is illegal in Prometheus names; empty must not be empty.
+  EXPECT_EQ(prometheusName("2fast"), "_2fast");
+  EXPECT_EQ(prometheusName(""), "_");
+  // Distinct slugs used by the registry map to distinct metric names for
+  // every real slug family (dots vs dashes both become '_', so this is a
+  // convention check, not an injectivity proof).
+  EXPECT_NE(prometheusName("stage.mutate.seconds"),
+            prometheusName("stage.verify.seconds"));
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent StatRegistry snapshots under writer load (satellite 3).
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, ConcurrentSnapshotHammerKeepsExactTotals) {
+  StatRegistry R;
+  constexpr unsigned Writers = 4;
+  constexpr uint64_t PerWriter = 50000;
+  std::atomic<bool> Go{false}, Done{false};
+
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W != Writers; ++W)
+    Threads.emplace_back([&R, &Go, W] {
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      // First iteration creates the slots under the structure lock while
+      // snapshots walk the same maps; later iterations are lock-free.
+      std::atomic<uint64_t> &Mine =
+          R.counter("hammer.t" + std::to_string(W));
+      std::atomic<uint64_t> &Shared = R.counter("hammer.shared");
+      Histogram &H = R.histogram("hammer.lat");
+      for (uint64_t I = 0; I != PerWriter; ++I) {
+        ++Mine;
+        ++Shared;
+        if (I % 64 == 0)
+          H.record(1e-6 * double(1 + (I & 1023)));
+      }
+    });
+
+  // Snapshot continuously while the writers run; every snapshot must be a
+  // plausible point-in-time view (monotone shared counter, never above the
+  // final total).
+  std::thread Snapshotter([&R, &Done] {
+    uint64_t Prev = 0;
+    while (!Done.load(std::memory_order_acquire)) {
+      StatRegistry S = R.snapshot();
+      uint64_t Shared = S.counterValue("hammer.shared");
+      EXPECT_GE(Shared, Prev);
+      EXPECT_LE(Shared, uint64_t(Writers) * PerWriter);
+      Prev = Shared;
+      // Serialization of a live snapshot must not crash or deadlock.
+      std::ostringstream OS;
+      S.writeJSON(OS, Volatility::Volatile);
+    }
+  });
+
+  Go.store(true, std::memory_order_release);
+  for (auto &T : Threads)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Snapshotter.join();
+
+  // After the join the totals are exact — no lost increments despite the
+  // concurrent snapshot walks.
+  EXPECT_EQ(R.counterValue("hammer.shared"), uint64_t(Writers) * PerWriter);
+  for (unsigned W = 0; W != Writers; ++W)
+    EXPECT_EQ(R.counterValue("hammer.t" + std::to_string(W)), PerWriter);
+  uint64_t ExpectedSamples = uint64_t(Writers) * ((PerWriter + 63) / 64);
+  EXPECT_EQ(R.histogram("hammer.lat").count(), ExpectedSamples);
+}
+
+TEST(ObservabilityTest, HistogramPercentilesStayOrderedMidUpdate) {
+  // A writer records a bimodal distribution while a reader repeatedly
+  // copies the histogram and checks the percentile chain. A mid-update
+  // copy may see count ahead of the bucket sums; percentile() must still
+  // produce ordered, range-clamped estimates (never 0 > p50 > p99 > max).
+  Histogram H;
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&H, &Stop] {
+    uint64_t I = 0;
+    while (!Stop.load(std::memory_order_acquire)) {
+      H.record((I & 7) ? 3e-6 : 0.25);
+      ++I;
+    }
+  });
+
+  Timer T;
+  uint64_t Checks = 0;
+  while (T.seconds() < 0.3) {
+    Histogram Copy(H); // relaxed field-by-field copy of a live histogram
+    double P50 = Copy.percentile(0.5), P90 = Copy.percentile(0.9),
+           P99 = Copy.percentile(0.99);
+    EXPECT_LE(P50, P90);
+    EXPECT_LE(P90, P99);
+    EXPECT_LE(P99, Copy.max());
+    if (Copy.count()) {
+      EXPECT_GT(P50, 0.0);
+      EXPECT_GE(P50, Copy.min());
+    }
+    ++Checks;
+  }
+  Stop.store(true, std::memory_order_release);
+  Writer.join();
+  EXPECT_GT(Checks, 0u);
+  // Quiesced: the invariant count == bucket sum holds exactly.
+  uint64_t BucketSum = 0;
+  for (unsigned I = 0; I != Histogram::NumBuckets; ++I)
+    BucketSum += H.bucketCount(I);
+  EXPECT_EQ(BucketSum, H.count());
+}
+
+//===----------------------------------------------------------------------===//
+// HttpServer: raw-socket round trips.
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, HttpServerServesRoutesAndRejectsMethods) {
+  HttpServer S;
+  S.setHandler([](const HttpRequest &Req) {
+    HttpResponse R;
+    if (Req.Path == "/ok") {
+      R.Body = "hello " + Req.Query;
+      return R;
+    }
+    R.Status = 404;
+    R.Body = "nope";
+    return R;
+  });
+  std::string Err;
+  ASSERT_TRUE(S.start(0, Err)) << Err;
+  ASSERT_NE(S.port(), 0);
+
+  std::string Ok = httpGet(S.port(), "/ok?x=1");
+  EXPECT_NE(statusLine(Ok).find("200"), std::string::npos) << Ok;
+  EXPECT_EQ(body(Ok), "hello x=1");
+  EXPECT_NE(Ok.find("Content-Length:"), std::string::npos);
+
+  std::string Missing = httpGet(S.port(), "/no-such");
+  EXPECT_NE(statusLine(Missing).find("404"), std::string::npos) << Missing;
+
+  std::string Post = httpGet(S.port(), "/ok", "POST");
+  EXPECT_NE(statusLine(Post).find("405"), std::string::npos) << Post;
+
+  // HEAD gets the same status but an empty body.
+  std::string Head = httpGet(S.port(), "/ok", "HEAD");
+  EXPECT_NE(statusLine(Head).find("200"), std::string::npos) << Head;
+  EXPECT_EQ(body(Head), "");
+
+  S.stop();
+  EXPECT_FALSE(S.running());
+  S.stop(); // idempotent
+}
+
+TEST(ObservabilityTest, HttpServerBroadcastReachesStreamClients) {
+  HttpServer S;
+  std::atomic<bool> Fire{false};
+  std::atomic<bool> Sent{false};
+  S.setHandler([](const HttpRequest &Req) {
+    HttpResponse R;
+    if (Req.Path == "/stream") {
+      R.Stream = true;
+      R.Body = ": welcome\n\n";
+      return R;
+    }
+    R.Status = 404;
+    return R;
+  });
+  // broadcast() is server-thread-only; the tick is that thread.
+  S.setTick([&S, &Fire, &Sent] {
+    if (Fire.load(std::memory_order_acquire) &&
+        !Sent.exchange(true, std::memory_order_acq_rel))
+      S.broadcast("data: ping\n\n");
+  });
+  std::string Err;
+  ASSERT_TRUE(S.start(0, Err)) << Err;
+
+  int FD = connectLoopback(S.port());
+  ASSERT_GE(FD, 0);
+  ASSERT_TRUE(sendAll(FD, "GET /stream HTTP/1.1\r\nHost: x\r\n\r\n"));
+  std::string Preamble = readUntil(FD, ": welcome", 5.0);
+  EXPECT_NE(Preamble.find("text/event-stream"), std::string::npos) << Preamble;
+
+  Fire.store(true, std::memory_order_release);
+  std::string Pushed = readUntil(FD, "data: ping", 5.0);
+  EXPECT_NE(Pushed.find("data: ping"), std::string::npos) << Pushed;
+
+  ::close(FD);
+  S.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsServer endpoints.
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, MetricsServerReadinessFollowsEngineBinding) {
+  MetricsOptions MO;
+  MO.SnapshotInterval = 0.01;
+  MetricsServer M(MO);
+  std::string Err;
+  ASSERT_TRUE(M.start(Err)) << Err;
+  ASSERT_NE(M.port(), 0);
+
+  // No engine bound yet: not ready, but alive and serving.
+  std::string NotReady = httpGet(M.port(), "/readyz");
+  EXPECT_NE(statusLine(NotReady).find("503"), std::string::npos) << NotReady;
+  std::string Metrics = httpGet(M.port(), "/metrics");
+  EXPECT_NE(body(Metrics).find("alive_up 1"), std::string::npos) << Metrics;
+  std::string Index = httpGet(M.port(), "/");
+  EXPECT_NE(statusLine(Index).find("200"), std::string::npos);
+  std::string Missing = httpGet(M.port(), "/no-such-endpoint");
+  EXPECT_NE(statusLine(Missing).find("404"), std::string::npos);
+
+  FuzzOptions Opts = twoBugOptions(10);
+  CampaignEngine Engine(Opts, 1);
+  M.setEngine(&Engine);
+  std::string Ready = httpGet(M.port(), "/readyz");
+  EXPECT_NE(statusLine(Ready).find("200"), std::string::npos) << Ready;
+  // An idle engine (never run) is healthy: nothing can be stale.
+  std::string Health = httpGet(M.port(), "/healthz");
+  EXPECT_NE(statusLine(Health).find("200"), std::string::npos) << Health;
+
+  M.setEngine(nullptr);
+  M.stop();
+  EXPECT_FALSE(M.running());
+}
+
+TEST(ObservabilityTest, MetricsServerEndToEndCampaign) {
+  FuzzOptions Opts = twoBugOptions(300);
+  CampaignEngine Engine(Opts, 2);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+
+  MetricsOptions MO;
+  MO.SnapshotInterval = 0.005;
+  MetricsServer M(MO);
+  M.setEngine(&Engine);
+  RunReportConfig Echo;
+  Echo.Tool = "observability_test";
+  Echo.Passes = Opts.Passes;
+  Echo.Iterations = Opts.Iterations;
+  Echo.BaseSeed = Opts.BaseSeed;
+  Echo.Jobs = 2;
+  M.setConfigEcho(Echo);
+  Engine.setEventQueue(&M.events());
+  std::string Err;
+  ASSERT_TRUE(M.start(Err)) << Err;
+
+  // Subscribe to /events before the campaign so the bug-found frames land
+  // in this connection's stream.
+  int SSE = connectLoopback(M.port());
+  ASSERT_GE(SSE, 0);
+  ASSERT_TRUE(sendAll(SSE, "GET /events HTTP/1.1\r\nHost: x\r\n\r\n"));
+  std::string Preamble = readUntil(SSE, "text/event-stream", 5.0);
+  ASSERT_NE(Preamble.find("text/event-stream"), std::string::npos);
+
+  const FuzzStats &S = Engine.run();
+  ASSERT_GT(S.MutantsGenerated, 0u);
+  ASSERT_GT(Engine.bugs().size(), 0u);
+
+  // The acceptance criterion: a bug-found event is delivered over SSE.
+  std::string Stream = readUntil(SSE, "event: bug-found", 10.0);
+  EXPECT_NE(Stream.find("event: campaign-start"), std::string::npos) << Stream;
+  EXPECT_NE(Stream.find("event: bug-found"), std::string::npos) << Stream;
+  EXPECT_NE(Stream.find("\"seed\":"), std::string::npos);
+  ::close(SSE);
+
+  // /metrics exposes the campaign counters under derived names.
+  std::string Metrics = body(httpGet(M.port(), "/metrics"));
+  EXPECT_NE(Metrics.find("alive_up 1"), std::string::npos);
+  EXPECT_NE(Metrics.find("alive_iterations_done"), std::string::npos);
+  EXPECT_NE(Metrics.find("# TYPE alive_iterations_done counter"),
+            std::string::npos)
+      << Metrics;
+  // Registry slugs surface deterministically: bug.crash -> alive_bug_crash.
+  EXPECT_NE(Metrics.find("alive_bug_"), std::string::npos) << Metrics;
+  // Histograms render as summaries with ordered quantiles.
+  EXPECT_NE(Metrics.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(Metrics.find("_sum"), std::string::npos);
+  EXPECT_NE(Metrics.find("_count"), std::string::npos);
+
+  // /status carries the config echo, shard progress and event accounting.
+  std::string Status = body(httpGet(M.port(), "/status"));
+  for (const char *Key :
+       {"\"config\"", "\"running\"", "\"done\"", "\"workers\"", "\"shards\"",
+        "\"feedback\"", "\"events\"", "\"series\"", "\"stats\"",
+        "observability_test"})
+    EXPECT_NE(Status.find(Key), std::string::npos) << Key << "\n" << Status;
+  EXPECT_NE(Status.find("\"accepted\""), std::string::npos);
+
+  // The post-run snapshot still reports the merged totals: done == target.
+  EXPECT_NE(Status.find("\"done\": 300"), std::string::npos) << Status;
+
+  // /series accumulated at least one sample at the 5ms cadence.
+  Timer Wait;
+  while (M.seriesSize() == 0 && Wait.seconds() < 5.0)
+    std::this_thread::yield();
+  EXPECT_GT(M.seriesSize(), 0u);
+  std::string Series = body(httpGet(M.port(), "/series"));
+  EXPECT_NE(Series.find("\"points\""), std::string::npos) << Series;
+  EXPECT_NE(Series.find("\"done\""), std::string::npos) << Series;
+
+  // /healthz: the campaign is over, nothing is stale.
+  std::string Health = httpGet(M.port(), "/healthz");
+  EXPECT_NE(statusLine(Health).find("200"), std::string::npos) << Health;
+
+  M.setEngine(nullptr);
+  M.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// The headline invariant: the metrics server never perturbs determinism.
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, DeterministicReportUnaffectedByMetricsServer) {
+  FuzzOptions Opts = twoBugOptions(200);
+
+  auto ReportFor = [&](bool WithMetrics) {
+    CampaignEngine Engine(Opts, 2);
+    Engine.loadModule(parseOk(TwoBugCorpus));
+
+    std::unique_ptr<MetricsServer> M;
+    std::thread Hammer;
+    std::atomic<bool> Stop{false};
+    if (WithMetrics) {
+      MetricsOptions MO;
+      MO.SnapshotInterval = 0.001; // snapshot aggressively during the run
+      M.reset(new MetricsServer(MO));
+      M->setEngine(&Engine);
+      Engine.setEventQueue(&M->events());
+      std::string Err;
+      EXPECT_TRUE(M->start(Err)) << Err;
+      // Hammer the observer endpoints from a second thread while the
+      // campaign runs: concurrent liveSnapshot() + renders.
+      uint16_t Port = M->port();
+      Hammer = std::thread([Port, &Stop] {
+        while (!Stop.load(std::memory_order_acquire)) {
+          httpGet(Port, "/metrics");
+          httpGet(Port, "/status");
+          httpGet(Port, "/healthz");
+        }
+      });
+    }
+
+    const FuzzStats &S = Engine.run();
+    if (WithMetrics) {
+      Stop.store(true, std::memory_order_release);
+      Hammer.join();
+      M->setEngine(nullptr);
+      M->stop();
+    }
+
+    RunReportConfig RC;
+    RC.Tool = "observability_test";
+    RC.Passes = Opts.Passes;
+    RC.Iterations = Opts.Iterations;
+    RC.BaseSeed = Opts.BaseSeed;
+    RC.Jobs = 2;
+    RC.WallSeconds = S.TotalSeconds;
+    RC.TraceDropped = Engine.traceDropped();
+    std::ostringstream OS;
+    writeRunReport(OS, RC, S, Engine.bugs(), Engine.registry());
+    return OS.str();
+  };
+
+  std::string Plain = ReportFor(false), Observed = ReportFor(true);
+  auto DeterministicPart = [](const std::string &R) {
+    size_t Pos = R.find("\"volatile\"");
+    EXPECT_NE(Pos, std::string::npos);
+    return R.substr(0, Pos);
+  };
+  EXPECT_EQ(DeterministicPart(Plain), DeterministicPart(Observed));
+  // v5 volatile block is present either way.
+  EXPECT_NE(Plain.find("\"trace\""), std::string::npos);
+  EXPECT_NE(Observed.find("\"dropped_events\""), std::string::npos);
+}

@@ -148,7 +148,7 @@ TEST(TelemetryTest, HistogramMergeSumsBuckets) {
 TEST(TelemetryTest, CountersGaugesAndLookup) {
   StatRegistry R;
   EXPECT_EQ(R.counterValue("absent"), 0u);
-  uint64_t &C = R.counter("c");
+  std::atomic<uint64_t> &C = R.counter("c");
   C += 3;
   ++R.counter("c"); // same slot
   EXPECT_EQ(R.counterValue("c"), 4u);
