@@ -125,6 +125,10 @@ int main(int argc, char **argv) {
     double InProcess;
     double NoMemo;
     double Discrete;
+    /// The file's most expensive TV query (cost attribution of the
+    /// memoized condition); HasTop false when nothing was tracked.
+    bool HasTop = false;
+    QueryCost Top;
   };
   std::vector<Row> Rows;
   FuzzStats Agg; // skip/cache counters of the memoized condition, summed
@@ -166,6 +170,14 @@ int main(int argc, char **argv) {
       Opts.SharedCache = &ProcessCache; // spans all files, not per-engine
       Opts.TV.PrescreenTrials = 4; // cheap concrete race before the solver
     }
+    // Cost attribution on the memoized condition: the per-file top query
+    // names what dominates that file's verify time in the JSON report.
+    // The tracker rides the verify path (a mutex-guarded map update per
+    // function); the slight drag lands on the in-process condition only,
+    // which can only understate the reported speedups.
+    Opts.Profile.Enabled = true;
+    Opts.Profile.TopK = 8;
+    Opts.Profile.SamplingIntervalMs = 25;
 
     // --- Condition 1: alive-mutate (in-process), memoization on. ---
     CampaignEngine Fuzzer(Opts, Jobs);
@@ -209,10 +221,31 @@ int main(int argc, char **argv) {
     }
     double Discrete = T2.stop();
 
-    Rows.push_back({Name, InProc, NoMemo, Discrete});
+    Row R;
+    R.Name = Name;
+    R.InProcess = InProc;
+    R.NoMemo = NoMemo;
+    R.Discrete = Discrete;
+    if (const CampaignProfile &P = Fuzzer.profile();
+        P.Enabled && !P.TopQueries.empty()) {
+      R.HasTop = true;
+      R.Top = P.TopQueries.front();
+    }
+    Rows.push_back(std::move(R));
     std::printf("%-12s in-process %8.3fs   no-memo %8.3fs   discrete %8.3fs"
                 "   speedup %7.2fx\n",
                 Name.c_str(), InProc, NoMemo, Discrete, Discrete / InProc);
+    if (Rows.back().HasTop) {
+      const QueryCost &Q = Rows.back().Top;
+      std::printf("             top query: %s (%s) cost %llu (%llu dec, "
+                  "%llu prop, %llu confl) x%llu\n",
+                  Q.Function.c_str(), Q.Verdict.c_str(),
+                  (unsigned long long)Q.costUnits(),
+                  (unsigned long long)Q.Decisions,
+                  (unsigned long long)Q.Propagations,
+                  (unsigned long long)Q.Conflicts,
+                  (unsigned long long)Q.Count);
+    }
   }
 
   // Summary in the shape the paper reports.
@@ -307,11 +340,22 @@ int main(int argc, char **argv) {
                     "    {\"name\": \"%s\", \"in_process_s\": %.6f, "
                     "\"no_memo_s\": %.6f, \"discrete_s\": %.6f, "
                     "\"speedup_vs_discrete\": %.4f, "
-                    "\"speedup_vs_no_memo\": %.4f}%s\n",
+                    "\"speedup_vs_no_memo\": %.4f, ",
                     R.Name.c_str(), R.InProcess, R.NoMemo, R.Discrete,
-                    R.Discrete / R.InProcess, R.NoMemo / R.InProcess,
-                    I + 1 != Rows.size() ? "," : "");
-      J << Buf;
+                    R.Discrete / R.InProcess, R.NoMemo / R.InProcess);
+      J << Buf << "\"top_query\": ";
+      if (R.HasTop) {
+        const QueryCost &Q = R.Top;
+        J << "{\"function\": \"" << Q.Function << "\", \"verdict\": \""
+          << Q.Verdict << "\", \"cost\": " << Q.costUnits()
+          << ", \"decisions\": " << Q.Decisions
+          << ", \"propagations\": " << Q.Propagations
+          << ", \"conflicts\": " << Q.Conflicts << ", \"count\": " << Q.Count
+          << ", \"symbolic\": " << (Q.Symbolic ? "true" : "false") << "}";
+      } else {
+        J << "null";
+      }
+      J << "}" << (I + 1 != Rows.size() ? "," : "") << "\n";
     }
     std::snprintf(Buf, sizeof(Buf),
                   "  \"avg_speedup_vs_discrete\": %.4f,\n"
@@ -332,6 +376,32 @@ int main(int argc, char **argv) {
     LatencyJSON("no_memo", HNoMemo, false);
     LatencyJSON("discrete", HDiscrete, true);
     J << "  },\n";
+    // Cost attribution headline: the slowest in-process file (the p99
+    // tail's dominator) and the query its verify time went to.
+    {
+      const Row *Slowest = nullptr;
+      for (const Row &R : Rows)
+        if (!Slowest || R.InProcess > Slowest->InProcess)
+          Slowest = &R;
+      J << "  \"profile\": {\"enabled\": true, \"p99_file\": ";
+      if (Slowest) {
+        J << "\"" << Slowest->Name << "\", \"dominant_query\": ";
+        if (Slowest->HasTop) {
+          const QueryCost &Q = Slowest->Top;
+          J << "{\"function\": \"" << Q.Function << "\", \"verdict\": \""
+            << Q.Verdict << "\", \"cost\": " << Q.costUnits()
+            << ", \"decisions\": " << Q.Decisions
+            << ", \"propagations\": " << Q.Propagations
+            << ", \"conflicts\": " << Q.Conflicts
+            << ", \"count\": " << Q.Count << "}";
+        } else {
+          J << "null";
+        }
+      } else {
+        J << "null, \"dominant_query\": null";
+      }
+      J << "},\n";
+    }
     std::snprintf(Buf, sizeof(Buf), "%.4f",
                   Lookups ? (double)Agg.TVCacheHits / Lookups : 0.0);
     J << "  \"totals\": {\"verified\": " << Agg.Verified

@@ -20,12 +20,71 @@ def fail(msg):
 
 def key_shape(value):
     """Recursive key structure; lists are described by their first element
-    (rows all share one schema)."""
+    (rows all share one schema). The cost-attribution fields (top_query,
+    dominant_query) are null-or-object by design — which file happens to
+    track a query is timing-dependent — so they are shape-checked
+    separately in check_profile, not here."""
     if isinstance(value, dict):
-        return {k: key_shape(v) for k, v in sorted(value.items())}
+        return {
+            k: "top_query" if k in ("top_query", "dominant_query") else key_shape(v)
+            for k, v in sorted(value.items())
+        }
     if isinstance(value, list):
         return [key_shape(value[0])] if value else []
     return type(value).__name__
+
+
+QUERY_FIELDS = ("function", "verdict", "cost", "decisions", "propagations",
+                "conflicts", "count")
+
+
+def check_query(where, q):
+    """One top_query/dominant_query object: required fields, counters
+    consistent (cost is by definition decisions+propagations+conflicts)."""
+    for k in QUERY_FIELDS:
+        if k not in q:
+            fail("%s: top_query missing field %r" % (where, k))
+    for k in ("cost", "decisions", "propagations", "conflicts", "count"):
+        if not isinstance(q[k], int) or q[k] < 0:
+            fail("%s: top_query.%s is %r, not a non-negative int" % (where, k, q[k]))
+    if q["count"] == 0:
+        fail("%s: top_query seen zero times" % where)
+    if q["cost"] != q["decisions"] + q["propagations"] + q["conflicts"]:
+        fail(
+            "%s: top_query cost %d != decisions %d + propagations %d + "
+            "conflicts %d"
+            % (where, q["cost"], q["decisions"], q["propagations"], q["conflicts"])
+        )
+
+
+def check_profile(fresh):
+    prof = fresh.get("profile")
+    if not isinstance(prof, dict) or prof.get("enabled") is not True:
+        fail("profile block missing or disabled")
+    if prof.get("p99_file"):
+        if prof["p99_file"] not in {r["name"] for r in fresh["rows"]}:
+            fail("profile.p99_file %r is not a benchmark row" % prof["p99_file"])
+        dq = prof.get("dominant_query")
+        if isinstance(dq, dict):
+            check_query("profile.dominant_query", dq)
+    attributed = 0
+    for row in fresh["rows"]:
+        if "top_query" not in row:
+            fail("%s: row lacks the top_query field" % row["name"])
+        q = row["top_query"]
+        if q is None:
+            continue
+        check_query(row["name"], q)
+        attributed += 1
+        # test3.ll is the corpus's heavy tail: its dominant query must show
+        # actual solver effort, or the attribution is not measuring.
+        if row["name"] == "test3.ll" and q["cost"] == 0:
+            fail("test3.ll dominant query reports zero solver effort")
+    if attributed == 0:
+        fail("no row carries a top_query cost attribution")
+    for row in fresh["rows"]:
+        if row["name"] == "test3.ll" and row["top_query"] is None:
+            fail("test3.ll (the p99 dominator) has no top_query")
 
 
 def main():
@@ -78,6 +137,8 @@ def main():
                 "%s latency percentiles not monotone: p50 %r > p90 %r or "
                 "p90 %r > p99 %r" % (name, p50, p90, p90, p99)
             )
+
+    check_profile(fresh)
 
     print(
         "check_bench_json: OK (%d rows, %d verified, %d skipped, "

@@ -2,11 +2,12 @@
 """Validate the live observability plane's endpoint payloads.
 
 Usage: check_metrics.py <metrics.txt> [<status.json>] [<healthz.json>]
+                        [<profile.json>] [<flamegraph.json>] [<series.json>]
 
 <metrics.txt> is a captured GET /metrics body (Prometheus text exposition
-format 0.0.4), <status.json> a captured GET /status body, <healthz.json> a
-captured GET /healthz body. The JSON files are optional; each is validated
-when given.
+format 0.0.4); the rest are captured JSON bodies of the named endpoints.
+Everything past <metrics.txt> is optional and positional; pass "-" to
+skip a slot.
 
 Checks on /metrics:
 
@@ -14,12 +15,16 @@ Checks on /metrics:
     legal Prometheus metric name ([a-zA-Z_:][a-zA-Z0-9_:]*), legal label
     syntax, and a parseable numeric value;
   - every sample is preceded by a `# TYPE` declaration for its family
-    (summaries declare the bare name and own the _sum/_count suffixes);
-  - declared types are one of counter/gauge/summary and no family is
-    declared twice with conflicting types;
+    (summaries declare the bare name and own the _sum/_count suffixes;
+    histograms additionally own _bucket);
+  - declared types are one of counter/gauge/summary/histogram and no
+    family is declared twice with conflicting types;
   - the campaign meta-series exist: alive_up (== 1),
     alive_campaign_running, alive_iterations_done, alive_events_accepted;
-  - summary quantile samples are ordered (0.5 <= 0.9 <= 0.99 values).
+  - summary quantile samples are ordered (0.5 <= 0.9 <= 0.99 values);
+  - histogram _bucket samples carry an le label, are cumulative
+    (non-decreasing in le order), end with an le="+Inf" bucket, and the
+    +Inf count equals the family's _count.
 
 Checks on /status: the required keys exist with the right JSON types
 (config, running, elapsed, done, target, workers, isolated, shards,
@@ -27,6 +32,19 @@ feedback, events, series, stats), each shard row is complete, and the
 stats dump carries both volatility classes.
 
 Checks on /healthz: healthy is a bool and stale_shards is a list.
+
+Checks on /profile.json: enabled is a bool; when true, the top-K query
+table rows are internally consistent (cost == decisions + propagations +
+conflicts, dense ranks) and the volatile block carries sampling and
+cache-shard data with non-negative counters.
+
+Checks on /flamegraph.json: interval_ms/samples are non-negative numbers
+and every stack row is a non-empty semicolon-joined frame string with a
+positive count (the collapsed-stack format flamegraph.pl consumes).
+
+Checks on /series (the standalone endpoint, not the /status summary):
+interval/capacity/size invariants plus every sample row carrying t, done
+and a counters object.
 
 Exits non-zero with a message on the first violation.
 """
@@ -52,10 +70,10 @@ def fail(msg):
 
 def family_of(name, types):
     """The TYPE family a sample belongs to: its own name, or — for summary
-    _sum/_count children — the declared parent."""
+    and histogram _sum/_count/_bucket children — the declared parent."""
     if name in types:
         return name
-    for suffix in ("_sum", "_count"):
+    for suffix in ("_sum", "_count", "_bucket"):
         if name.endswith(suffix) and name[: -len(suffix)] in types:
             return name[: -len(suffix)]
     return None
@@ -134,6 +152,35 @@ def check_metrics(path):
                 if name + suffix not in samples:
                     fail("%s: summary %s missing %s" % (path, name, suffix))
 
+    # Histogram buckets must be cumulative, le-labelled, and +Inf-capped.
+    for name, mtype in types.items():
+        if mtype != "histogram":
+            continue
+        buckets = samples.get(name + "_bucket", [])
+        if not buckets:
+            fail("%s: histogram %s has no _bucket samples" % (path, name))
+        prev = -1.0
+        inf = None
+        for labels, value in buckets:  # emission order is le-ascending
+            if "le" not in labels:
+                fail("%s: histogram %s bucket without le label" % (path, name))
+            if value < prev:
+                fail("%s: histogram %s buckets not cumulative at le=%s"
+                     % (path, name, labels["le"]))
+            prev = value
+            if labels["le"] == "+Inf":
+                inf = value
+        if inf is None:
+            fail("%s: histogram %s missing le=\"+Inf\" bucket" % (path, name))
+        counts = samples.get(name + "_count")
+        if not counts:
+            fail("%s: histogram %s missing _count" % (path, name))
+        if counts[0][1] != inf:
+            fail("%s: histogram %s +Inf bucket (%g) != _count (%g)"
+                 % (path, name, inf, counts[0][1]))
+        if name + "_sum" not in samples:
+            fail("%s: histogram %s missing _sum" % (path, name))
+
     return len(samples), len(types)
 
 
@@ -211,17 +258,116 @@ def check_healthz(path):
     return h["healthy"]
 
 
-def main():
-    if len(sys.argv) < 2 or len(sys.argv) > 4:
-        fail("usage: check_metrics.py <metrics.txt> [<status.json>] [<healthz.json>]")
+def check_stacks(path, where, stacks):
+    """Collapsed-stack rows: "frame;frame;..." strings with positive
+    counts — the exact format flamegraph.pl folds."""
+    if not isinstance(stacks, list):
+        fail("%s: %s.stacks missing or not a list" % (path, where))
+    for row in stacks:
+        stack = row.get("stack")
+        if not isinstance(stack, str) or not stack:
+            fail("%s: %s stack row without a stack string: %r" % (path, where, row))
+        if any(not frame for frame in stack.split(";")):
+            fail("%s: %s stack %r has an empty frame" % (path, where, stack))
+        if not isinstance(row.get("count"), int) or row["count"] <= 0:
+            fail("%s: %s stack %r lacks a positive count" % (path, where, stack))
 
-    nsamples, ntypes = check_metrics(sys.argv[1])
+
+def check_profile_json(path):
+    with open(path) as f:
+        p = json.load(f)
+    if not isinstance(p.get("enabled"), bool):
+        fail("%s: enabled missing or not a bool" % path)
+    if not p["enabled"]:
+        return 0
+    if not isinstance(p.get("topk"), int) or p["topk"] <= 0:
+        fail("%s: topk missing or not a positive int" % path)
+    queries = p.get("queries")
+    if not isinstance(queries, list) or len(queries) > p["topk"]:
+        fail("%s: queries missing or longer than topk" % path)
+    for i, q in enumerate(queries):
+        if q.get("rank") != i + 1:
+            fail("%s: query ranks not dense from 1" % path)
+        for key in ("cost", "decisions", "propagations", "conflicts", "count"):
+            if not isinstance(q.get(key), int) or q[key] < 0:
+                fail("%s: query %d field %s not a non-negative int" % (path, i, key))
+        if q["cost"] != q["decisions"] + q["propagations"] + q["conflicts"]:
+            fail("%s: query %d cost != decisions+propagations+conflicts" % (path, i))
+    vol = p.get("volatile")
+    if not isinstance(vol, dict):
+        fail("%s: volatile block missing" % path)
+    samp = vol.get("sampling", {})
+    if not isinstance(samp.get("samples"), int) or samp["samples"] < 0:
+        fail("%s: sampling.samples not a non-negative int" % path)
+    check_stacks(path, "sampling", samp.get("stacks", []))
+    for sh in vol.get("cache_shards", []):
+        for key in ("hits", "misses", "evictions", "inserts", "lock_waits"):
+            if not isinstance(sh.get(key), int) or sh[key] < 0:
+                fail("%s: cache shard field %s not a non-negative int" % (path, key))
+    return len(queries)
+
+
+def check_flamegraph(path):
+    with open(path) as f:
+        fg = json.load(f)
+    for key in ("interval_ms", "samples"):
+        if not isinstance(fg.get(key), (int, float)) or fg[key] < 0:
+            fail("%s: %s missing or negative" % (path, key))
+    check_stacks(path, "flamegraph", fg.get("stacks"))
+    total = sum(row["count"] for row in fg["stacks"])
+    if total > fg["samples"]:
+        fail("%s: folded counts (%d) exceed samples taken (%d)"
+             % (path, total, fg["samples"]))
+    return len(fg["stacks"])
+
+
+def check_series(path):
+    with open(path) as f:
+        se = json.load(f)
+    if not isinstance(se.get("interval"), (int, float)) or se["interval"] < 0:
+        fail("%s: interval missing or negative" % path)
+    if not isinstance(se.get("capacity"), int) or se["capacity"] <= 0:
+        fail("%s: capacity missing or not positive" % path)
+    points = se.get("points")
+    if not isinstance(points, list):
+        fail("%s: points missing or not a list" % path)
+    if len(points) > se["capacity"]:
+        fail("%s: %d points exceed ring capacity %d"
+             % (path, len(points), se["capacity"]))
+    prev_t = -1.0
+    for row in points:
+        if not isinstance(row.get("t"), (int, float)) or row["t"] < prev_t:
+            fail("%s: sample timestamps missing or not monotone" % path)
+        prev_t = row["t"]
+        if not isinstance(row.get("done"), int) or row["done"] < 0:
+            fail("%s: sample done missing or negative" % path)
+        if not isinstance(row.get("counters"), dict):
+            fail("%s: sample counters missing" % path)
+    return len(points)
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 7:
+        fail("usage: check_metrics.py <metrics.txt> [<status.json>] "
+             "[<healthz.json>] [<profile.json>] [<flamegraph.json>] "
+             "[<series.json>]")
+
+    args = sys.argv[1:] + [None] * (6 - len(sys.argv) + 1)
+    args = [None if a == "-" else a for a in args]
+
+    nsamples, ntypes = check_metrics(args[0])
     msg = "%d series across %d families" % (nsamples, ntypes)
-    if len(sys.argv) >= 3:
-        done, shards = check_status(sys.argv[2])
+    if args[1]:
+        done, shards = check_status(args[1])
         msg += "; status: %d done, %d live shards" % (done, shards)
-    if len(sys.argv) == 4:
-        msg += "; healthy: %s" % check_healthz(sys.argv[3])
+    if args[2]:
+        msg += "; healthy: %s" % check_healthz(args[2])
+    if args[3]:
+        msg += "; profile: %d tracked queries" % check_profile_json(args[3])
+    if args[4]:
+        msg += "; flamegraph: %d stacks" % check_flamegraph(args[4])
+    if args[5]:
+        msg += "; series: %d points" % check_series(args[5])
     print("check_metrics: OK (%s)" % msg)
 
 

@@ -23,7 +23,14 @@ invariants the telemetry subsystem guarantees:
     schedule's [1, 16] clamp range;
   - the v5 trace block is present in the volatile section, its
     dropped_events total is a non-negative int, and it equals the sum of
-    the per-track dropped_events.
+    the per-track dropped_events;
+  - the v6 profile blocks are present in BOTH sections with a bool
+    enabled flag; when enabled, every deterministic top-K query row is
+    internally consistent (cost == decisions + propagations + conflicts,
+    count positive, rank dense from 1) and the rows are sorted by the
+    documented total order (cost desc, then key asc), while the volatile
+    side carries the sampling/cache-shard data with non-negative
+    counters.
 
 With a second report, additionally asserts the two "deterministic"
 subtrees are equal — the -j4 == -j1 guarantee (run the two reports with
@@ -35,7 +42,7 @@ Exits non-zero with a message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 def fail(msg):
@@ -55,10 +62,10 @@ def check_report(path):
 
     det = r["deterministic"]
     vol = r["volatile"]
-    for key in ("config", "summary", "per_pass", "per_family", "tv_verdicts", "feedback", "stats", "bugs"):
+    for key in ("config", "summary", "per_pass", "per_family", "tv_verdicts", "feedback", "profile", "stats", "bugs"):
         if key not in det:
             fail("%s: missing deterministic.%r" % (path, key))
-    for key in ("jobs", "stage_seconds", "cache", "survivability", "trace", "stats"):
+    for key in ("jobs", "stage_seconds", "cache", "survivability", "trace", "profile", "stats"):
         if key not in vol:
             fail("%s: missing volatile.%r" % (path, key))
 
@@ -95,6 +102,57 @@ def check_report(path):
             "%s: trace.dropped_events (%d) != per-track sum (%d)"
             % (path, trace["dropped_events"], track_sum)
         )
+
+    prof = det["profile"]
+    vprof = vol["profile"]
+    for where, block in (("deterministic", prof), ("volatile", vprof)):
+        if not isinstance(block.get("enabled"), bool):
+            fail("%s: %s.profile.enabled missing or not a bool" % (path, where))
+    if prof["enabled"] != vprof["enabled"]:
+        fail("%s: profile.enabled disagrees between sections" % path)
+    if prof["enabled"]:
+        if not isinstance(prof.get("topk"), int) or prof["topk"] <= 0:
+            fail("%s: profile.topk missing or not a positive int" % path)
+        queries = prof.get("queries")
+        if not isinstance(queries, list):
+            fail("%s: profile.queries missing" % path)
+        if len(queries) > prof["topk"]:
+            fail("%s: %d profile queries exceed topk %d" % (path, len(queries), prof["topk"]))
+        prev = None
+        for i, q in enumerate(queries):
+            for key in ("cost", "decisions", "propagations", "conflicts",
+                        "learned_clauses", "learned_literals", "restarts",
+                        "count", "first_seed"):
+                if not isinstance(q.get(key), int) or q[key] < 0:
+                    fail("%s: profile query %d field %s not a non-negative int" % (path, i, key))
+            if q["rank"] != i + 1:
+                fail("%s: profile query ranks not dense from 1" % path)
+            if q["count"] == 0:
+                fail("%s: profile query %d seen zero times" % (path, i))
+            if q["cost"] != q["decisions"] + q["propagations"] + q["conflicts"]:
+                fail(
+                    "%s: profile query %d cost %d != decisions+propagations+conflicts"
+                    % (path, i, q["cost"])
+                )
+            # The documented total order: cost desc, key-hash asc (the
+            # merge-determinism proof depends on this being total).
+            this = (-q["cost"], q["key"])
+            if prev is not None and this < prev:
+                fail("%s: profile queries not sorted by (cost desc, key asc)" % path)
+            prev = this
+        data = vprof.get("data")
+        if not isinstance(data, dict):
+            fail("%s: volatile.profile.data missing" % path)
+        samp = data.get("sampling", {})
+        if not isinstance(samp.get("samples"), int) or samp["samples"] < 0:
+            fail("%s: profile sampling.samples not a non-negative int" % path)
+        for st in samp.get("stacks", []):
+            if not isinstance(st.get("stack"), str) or st.get("count", 0) <= 0:
+                fail("%s: malformed collapsed stack row %r" % (path, st))
+        for sh in data.get("cache_shards", []):
+            for key in ("hits", "misses", "evictions", "inserts", "lock_waits"):
+                if not isinstance(sh.get(key), int) or sh[key] < 0:
+                    fail("%s: cache shard field %s not a non-negative int" % (path, key))
 
     surv = vol["survivability"]
     if not isinstance(surv.get("timeouts"), int) or surv["timeouts"] < 0:

@@ -205,6 +205,60 @@ CampaignLiveSnapshot CampaignEngine::liveSnapshot() const {
   return S;
 }
 
+void CampaignEngine::finishProfile(
+    const std::vector<const QueryCostTracker *> &Trackers) {
+  std::lock_guard<std::mutex> Lock(LiveM);
+  Profile = CampaignProfile();
+  Profile.Enabled = Opts.Profile.Enabled;
+  if (!Profile.Enabled) {
+    Sampler.reset();
+    return;
+  }
+  Profile.TopK = Opts.Profile.TopK;
+  Profile.SamplingIntervalMs = Opts.Profile.SamplingIntervalMs;
+  // Worker-order merge of the K-bounded trackers yields the exact global
+  // top-K (Profiler.h has the proof sketch), so this block lands in the
+  // report's deterministic section.
+  QueryCostTracker Merged(Opts.Profile.TopK);
+  for (const QueryCostTracker *T : Trackers)
+    Merged.merge(*T);
+  Profile.TopQueries = Merged.top();
+  if (Sampler) {
+    Sampler->stop();
+    Profile.Collapsed = Sampler->collapsed();
+    Profile.Samples = Sampler->samples();
+    Sampler.reset();
+  }
+  if (SharedCache)
+    Profile.CacheShards = SharedCache->shardHeat();
+}
+
+CampaignProfile CampaignEngine::profileSnapshot() const {
+  std::lock_guard<std::mutex> Lock(LiveM);
+  if (!Live.Running || !Opts.Profile.Enabled)
+    return Profile;
+  // Mid-run: merge the live shards' trackers (observer-side, same rules
+  // as the final merge — just a point-in-time prefix of it) and copy the
+  // sampler's current folds.
+  CampaignProfile P;
+  P.Enabled = true;
+  P.TopK = Opts.Profile.TopK;
+  P.SamplingIntervalMs = Opts.Profile.SamplingIntervalMs;
+  QueryCostTracker Merged(Opts.Profile.TopK);
+  for (const LiveShardRef &R : Live.Shards)
+    if (R.Loop)
+      if (const QueryCostTracker *T = R.Loop->queryCosts())
+        Merged.merge(*T);
+  P.TopQueries = Merged.top();
+  if (Sampler) {
+    P.Collapsed = Sampler->collapsed();
+    P.Samples = Sampler->samples();
+  }
+  if (SharedCache)
+    P.CacheShards = SharedCache->shardHeat();
+  return P;
+}
+
 namespace {
 
 /// One worker: a private FuzzerLoop over a private master-module clone,
@@ -407,6 +461,13 @@ const FuzzStats &CampaignEngine::run() {
                   "child processes; drop tracing or -isolate";
     return Stats;
   }
+  if (SV.Isolate && Opts.Profile.Enabled) {
+    // Same process boundary as tracing: the trackers and live span stacks
+    // live in the children, where the parent can neither sample nor merge.
+    ConfigError = "-isolate cannot profile child processes; drop -profile "
+                  "or -isolate";
+    return Stats;
+  }
 
   Timer Total;
   const std::vector<std::string> Testable = MasterLoop->testableFunctions();
@@ -420,6 +481,7 @@ const FuzzStats &CampaignEngine::run() {
   Interrupted = false;
   IsolateError.clear();
   TotalDone.store(0, std::memory_order_relaxed);
+  Profile = CampaignProfile();
 
   emitEvent(CampaignEvent::Kind::CampaignStart, Opts.BaseSeed, 0,
             SV.Isolate          ? "isolate"
@@ -517,6 +579,19 @@ const FuzzStats &CampaignEngine::run() {
     CampaignEngine *E;
     ~LiveGuard() { E->endLive(); }
   } LG{this};
+
+  // The wall-clock sampler rides the workers' live span stacks for the
+  // whole run window. Created under LiveM so profileSnapshot() never sees
+  // a half-built sampler.
+  if (Opts.Profile.Enabled) {
+    auto SP =
+        std::make_unique<SamplingProfiler>(Opts.Profile.SamplingIntervalMs);
+    for (auto &W : Workers)
+      SP->attach("w" + std::to_string(W->Index), W->Loop->trace());
+    SP->start();
+    std::lock_guard<std::mutex> G(LiveM);
+    Sampler = std::move(SP);
+  }
 
   // Shared seed counter for the time-limited mode (no fixed partition).
   std::atomic<uint64_t> NextOffset{0};
@@ -655,6 +730,8 @@ const FuzzStats &CampaignEngine::run() {
     DoneCV.notify_all();
     Reporter.join();
   }
+  if (Sampler)
+    Sampler->stop();
   endLive();
 
   // Deterministic merge. Stats: master preprocessing (FunctionsDropped)
@@ -681,7 +758,10 @@ const FuzzStats &CampaignEngine::run() {
     TraceNames.push_back("master");
   }
   unsigned WorkerIdx = 0;
+  std::vector<const QueryCostTracker *> CostTrackers;
   for (const auto &W : Workers) {
+    if (const QueryCostTracker *QT = W->Loop->queryCosts())
+      CostTrackers.push_back(QT);
     const FuzzStats &WS = W->Loop->stats();
     accumulate(Stats, WS);
     if (TimeLimited) {
@@ -716,6 +796,7 @@ const FuzzStats &CampaignEngine::run() {
     const std::vector<BugRecord> &WB = W->Loop->bugs();
     Bugs.insert(Bugs.end(), WB.begin(), WB.end());
   }
+  finishProfile(CostTrackers);
   if (TimeLimited) {
     Interrupted = StopReq.load(std::memory_order_relaxed);
     std::stable_sort(Bugs.begin(), Bugs.end(),
@@ -792,6 +873,18 @@ CampaignEngine::runFeedback(unsigned J,
     CampaignEngine *E;
     ~LiveGuard() { E->endLive(); }
   } LG{this};
+
+  // Workers persist across epochs, so one sampler spans the whole epoch
+  // loop (the barrier gaps just sample empty stacks, i.e. nothing).
+  if (Opts.Profile.Enabled) {
+    auto SP =
+        std::make_unique<SamplingProfiler>(Opts.Profile.SamplingIntervalMs);
+    for (auto &W : Workers)
+      SP->attach("w" + std::to_string(W->Index), W->Loop->trace());
+    SP->start();
+    std::lock_guard<std::mutex> G(LiveM);
+    Sampler = std::move(SP);
+  }
 
   FeedbackMap Global;
   ScheduleState Schedule;
@@ -946,6 +1039,8 @@ CampaignEngine::runFeedback(unsigned J,
     }
   }
   Supervisor.stop();
+  if (Sampler)
+    Sampler->stop();
   endLive();
   Interrupted = Stopped || EpochStart != Opts.Iterations;
 
@@ -982,7 +1077,10 @@ CampaignEngine::runFeedback(unsigned J,
     TraceNames.push_back("master");
   }
   unsigned WorkerIdx = 0;
+  std::vector<const QueryCostTracker *> CostTrackers;
   for (const auto &W : Workers) {
+    if (const QueryCostTracker *QT = W->Loop->queryCosts())
+      CostTrackers.push_back(QT);
     accumulate(Stats, W->Loop->stats());
     Registry.merge(W->Loop->registry());
     if (SaveDirError.empty())
@@ -1002,6 +1100,7 @@ CampaignEngine::runFeedback(unsigned J,
     const std::vector<BugRecord> &WB = W->Loop->bugs();
     Bugs.insert(Bugs.end(), WB.begin(), WB.end());
   }
+  finishProfile(CostTrackers);
   std::stable_sort(Bugs.begin(), Bugs.end(),
                    [](const BugRecord &A, const BugRecord &B) {
                      return A.MutantSeed < B.MutantSeed;

@@ -190,9 +190,22 @@ public:
   CampaignLiveSnapshot liveSnapshot() const;
 
   /// Per-track flight-recorder ring overwrites of the finished campaign
-  /// ((track name, dropped event count) pairs; empty when tracing was
+  /// ((track name, dropped count) pairs; empty when tracing was
   /// off). Feeds the run report's volatile "trace" block.
   std::vector<std::pair<std::string, uint64_t>> traceDropped() const;
+
+  /// The finished campaign's cost-attribution profile (Opts.Profile):
+  /// deterministic merged top-K queries plus the volatile sampling folds
+  /// and cache shard heat. Enabled=false when profiling was off (and
+  /// always under -isolate: worker state lives in child processes the
+  /// parent cannot sample or merge from).
+  const CampaignProfile &profile() const { return Profile; }
+
+  /// A point-in-time profile for the live endpoints (/profile.json,
+  /// /flamegraph.json): mid-run it snapshots the live workers' trackers
+  /// and the sampler's current folds; after run() it returns the final
+  /// merged profile. Safe from any thread, like liveSnapshot().
+  CampaignProfile profileSnapshot() const;
 
 private:
   /// The fork/waitpid isolation path (Survival.Isolate). \p J is the
@@ -252,6 +265,15 @@ private:
   /// destroyed with run()'s scope; their recorders live on here).
   std::vector<std::unique_ptr<TraceRecorder>> Traces;
   std::vector<std::string> TraceNames;
+  /// The finished campaign's merged cost-attribution profile.
+  CampaignProfile Profile;
+  /// The wall-clock sampler, alive only while workers run (guarded by
+  /// LiveM for profileSnapshot()); its folds are moved into Profile at
+  /// teardown.
+  std::unique_ptr<SamplingProfiler> Sampler;
+  /// Merges worker trackers (worker order) + sampler folds + shard heat
+  /// into Profile after a run path joins its workers.
+  void finishProfile(const std::vector<const QueryCostTracker *> &Trackers);
 
   // --- Live observability plane (observer-only; see Observability.h) ---
 

@@ -35,10 +35,17 @@ FuzzerLoop::FuzzerLoop(const FuzzOptions &Opts) : Opts(Opts) {
     ConfigError = "empty pass pipeline '" + this->Opts.Passes + "'";
   PM.setBugContext(&this->Opts.Bugs);
   PM.setTelemetry(&Registry);
-  if (this->Opts.TraceEnabled) {
+  // Profiling rides the flight recorder's span sites: enabling -profile
+  // implicitly attaches a recorder (for the live span stack) even when
+  // -trace-json was not requested.
+  if (this->Opts.TraceEnabled || this->Opts.Profile.Enabled) {
     Trace = std::make_unique<TraceRecorder>(this->Opts.TraceCapacity);
     PM.setTrace(Trace.get());
+    if (this->Opts.Profile.Enabled)
+      Trace->setLiveStack(true);
   }
+  if (this->Opts.Profile.Enabled)
+    QueryCosts = std::make_unique<QueryCostTracker>(this->Opts.Profile.TopK);
   if (this->Opts.UseSharedTVCache && this->Opts.TVCacheSize > 0) {
     // Shared mode replaces the private memo. A standalone loop owns its
     // cache; campaign workers get the engine's instance instead.
@@ -517,7 +524,8 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
     // Per-verdict breakdown, counted per *established* verdict: a cache
     // hit replays the identical verdict, so these counters are
     // worker-count independent (unlike the hit/miss split).
-    ++Registry.counter("tv.verdict." + tvVerdictReason(R));
+    std::string VerdictSlug = tvVerdictReason(R);
+    ++Registry.counter("tv.verdict." + VerdictSlug);
     if (FB) {
       switch (R.Verdict) {
       case TVVerdict::Correct:
@@ -531,6 +539,7 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
         break;
       }
     }
+    std::string Bundle;
     if (R.Verdict != TVVerdict::Correct) {
       // Every non-Correct verdict leaves a forensic record (and, when
       // enabled, a bundle) — inconclusive/unsupported outcomes matter
@@ -539,10 +548,10 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
       FR.K = ForensicRecord::Verdict;
       FR.Seed = Seed;
       FR.Function = Name;
-      FR.VerdictSlug = tvVerdictReason(R);
+      FR.VerdictSlug = VerdictSlug;
       FR.Detail = R.Detail;
       FR.CounterExample = renderCounterexampleTable(*Src, R);
-      std::string Bundle = writeBundle(FR, Source.get(), Mutant.get());
+      Bundle = writeBundle(FR, Source.get(), Mutant.get());
       if (R.Verdict == TVVerdict::Incorrect) {
         ++Stats.RefinementFailures;
         ++Registry.counter("bug.miscompile");
@@ -566,6 +575,31 @@ void FuzzerLoop::runIteration(uint64_t Seed) {
         ++Stats.Inconclusive;
       }
       Outcomes.push_back(std::move(FR));
+    }
+    if (QueryCosts) {
+      // Cost attribution, recorded per established verdict (cache hits
+      // replay their first computation's SolverStats byte-for-byte, so
+      // every field below except the wall seconds is a pure function of
+      // the key — the foundation of the -j1 == -jN profile block).
+      QueryCostSample QS;
+      QS.KeyHash = !Key.empty()
+                       ? fnv1a64(Key)
+                       : fnv1a64(printFunction(*Src) + '\x1f' +
+                                 printFunction(*Tgt));
+      QS.Function = Name;
+      QS.Verdict = VerdictSlug;
+      QS.Seed = Seed;
+      QS.Symbolic = R.EncodeSeconds > 0;
+      QS.BundlePath = Bundle;
+      QS.Decisions = R.SolverStats.Decisions;
+      QS.Propagations = R.SolverStats.Propagations;
+      QS.Conflicts = R.SolverStats.Conflicts;
+      QS.LearnedClauses = R.SolverStats.LearnedClauses;
+      QS.LearnedLiterals = R.SolverStats.LearnedLiterals;
+      QS.Restarts = R.SolverStats.Restarts;
+      QS.EncodeSeconds = R.EncodeSeconds;
+      QS.SolveSeconds = R.SolveSeconds;
+      QueryCosts->record(QS);
     }
   }
   CommitFeedback();

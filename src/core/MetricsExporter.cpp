@@ -52,6 +52,90 @@ std::string num(double D) {
   return OS.str();
 }
 
+/// The /dashboard page: one self-contained HTML document, no external
+/// scripts/styles/fonts (works on an air-gapped CI box). It polls
+/// /status and /profile.json, and follows the /events SSE stream.
+const char *dashboardHTML() {
+  return R"HTML(<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>alive-mutate dashboard</title>
+<style>
+ body{font:13px/1.4 ui-monospace,Menlo,Consolas,monospace;margin:1.2em;
+      background:#111;color:#ddd}
+ h1{font-size:16px} h2{font-size:13px;margin:1.2em 0 .3em;color:#9cf}
+ table{border-collapse:collapse} td,th{padding:.15em .7em;text-align:right;
+      border-bottom:1px solid #333} th{color:#888} td:first-child,
+ th:first-child{text-align:left}
+ .bar{background:#247;height:10px;display:inline-block}
+ #events div{color:#8a8} .err{color:#f88}
+ small{color:#777}
+</style></head><body>
+<h1>alive-mutate <small id="meta"></small></h1>
+<div id="summary">loading&hellip;</div>
+<h2>shards</h2><table id="shards"></table>
+<h2>top queries <small>(deterministic cost attribution)</small></h2>
+<table id="queries"></table>
+<h2>hot stacks <small>(wall-clock samples)</small></h2>
+<table id="stacks"></table>
+<h2>events</h2><div id="events"></div>
+<script>
+"use strict";
+const $=id=>document.getElementById(id);
+function row(cells,tag){return "<tr>"+cells.map(c=>"<"+(tag||"td")+">"+c+
+  "</"+(tag||"td")+">").join("")+"</tr>";}
+async function refresh(){
+ try{
+  const s=await (await fetch("/status")).json();
+  const cfg=s.config||{};
+  $("meta").textContent=(cfg.tool||"")+" "+(cfg.passes||"")+
+    " seed="+(cfg.base_seed??"?")+" j"+(s.workers||0);
+  $("summary").innerHTML=(s.running?"RUNNING":"idle")+
+    " &mdash; "+s.done+(s.target?"/"+s.target:"")+" mutants, "+
+    (s.elapsed||0).toFixed(1)+"s"+
+    (s.elapsed>0?", "+(s.done/s.elapsed).toFixed(0)+"/s":"");
+  $("shards").innerHTML=row(["shard","done","range","mutate","optimize",
+    "verify","overhead"],"th")+ (s.shards||[]).map(sh=>{
+    const n=sh.stage_nanos||{},t=(n.mutate||0)+(n.optimize||0)+
+      (n.verify||0)+(n.overhead||0)||1;
+    const pct=v=>((100*v/t)|0)+"%";
+    return row([sh.index,sh.done,sh.lo+"&ndash;"+sh.hi,pct(n.mutate||0),
+      pct(n.optimize||0),pct(n.verify||0),pct(n.overhead||0)]);}).join("");
+  const p=await (await fetch("/profile.json")).json();
+  if(p.enabled){
+   const qs=p.queries||[];
+   $("queries").innerHTML=row(["#","function","verdict","cost","dec",
+     "prop","confl","seen","first seed"],"th")+qs.slice(0,12).map(q=>
+     row([q.rank,q["function"],q.verdict,q.cost,q.decisions,
+       q.propagations,q.conflicts,q.count,q.first_seed])).join("");
+   const fg=await (await fetch("/flamegraph.json")).json();
+   const st=(fg.stacks||[]).slice().sort((a,b)=>b.count-a.count);
+   const tot=fg.samples||1;
+   $("stacks").innerHTML=row(["stack","samples",""],"th")+
+     st.slice(0,15).map(x=>row([x.stack,x.count,
+       '<span class="bar" style="width:'+
+       Math.max(1,120*x.count/tot)+'px"></span>'])).join("");
+  } else {
+   $("queries").innerHTML=row(["profiling off &mdash; rerun with -profile"]);
+   $("stacks").innerHTML="";
+  }
+ }catch(e){$("summary").innerHTML='<span class="err">'+e+"</span>";}
+}
+refresh(); setInterval(refresh,2000);
+try{
+ const es=new EventSource("/events");
+ es.onmessage=es.onerror=null;
+ ["campaign-start","campaign-end","bug-found","epoch-barrier","checkpoint",
+  "shard-restart","shutdown"].forEach(k=>es.addEventListener(k,ev=>{
+   const d=document.createElement("div");
+   d.textContent=new Date().toLocaleTimeString()+" "+k+" "+(ev.data||"");
+   const log=$("events"); log.prepend(d);
+   while(log.childElementCount>50) log.lastChild.remove();
+ }));
+}catch(e){}
+</script></body></html>
+)HTML";
+}
+
 } // namespace
 
 MetricsServer::MetricsServer(const MetricsOptions &Opts)
@@ -90,6 +174,13 @@ CampaignLiveSnapshot MetricsServer::snapshotNow() {
   if (!Engine)
     return CampaignLiveSnapshot();
   return Engine->liveSnapshot();
+}
+
+CampaignProfile MetricsServer::profileNow() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Engine)
+    return CampaignProfile(); // Enabled=false
+  return Engine->profileSnapshot();
 }
 
 void MetricsServer::tick() {
@@ -189,10 +280,25 @@ HttpResponse MetricsServer::handle(const HttpRequest &Req) {
     Resp.Body = renderSeries();
     return Resp;
   }
+  if (Req.Path == "/profile.json") {
+    Resp.ContentType = "application/json";
+    Resp.Body = renderProfile();
+    return Resp;
+  }
+  if (Req.Path == "/flamegraph.json") {
+    Resp.ContentType = "application/json";
+    Resp.Body = renderFlamegraph();
+    return Resp;
+  }
+  if (Req.Path == "/dashboard") {
+    Resp.ContentType = "text/html; charset=utf-8";
+    Resp.Body = dashboardHTML();
+    return Resp;
+  }
   if (Req.Path == "/") {
     Resp.Body = "alive-mutate metrics server\n"
                 "endpoints: /metrics /status /healthz /readyz /events "
-                "/series\n";
+                "/series /profile.json /flamegraph.json /dashboard\n";
     return Resp;
   }
   Resp.Status = 404;
@@ -264,6 +370,25 @@ std::string MetricsServer::renderMetrics(const CampaignLiveSnapshot &S) {
        << N << "_min " << num(H.min()) << "\n";
     OS << "# TYPE " << N << "_max gauge\n"
        << N << "_max " << num(H.max()) << "\n";
+    // Native histogram exposition alongside the summary. One family
+    // cannot be both types, so the cumulative buckets live under
+    // "<name>_hist". Totals are derived from the bucket reads themselves
+    // (not H.count()) so the family stays internally monotone even when
+    // a record() lands between the two loads.
+    uint64_t BC[Histogram::NumBuckets];
+    uint64_t Total = 0;
+    for (unsigned I = 0; I != Histogram::NumBuckets; ++I)
+      Total += BC[I] = H.bucketCount(I);
+    OS << "# TYPE " << N << "_hist histogram\n";
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I != Histogram::NumBuckets && Cum != Total; ++I) {
+      Cum += BC[I];
+      OS << N << "_hist_bucket{le=\"" << num(Histogram::bucketUpperBound(I))
+         << "\"} " << Cum << "\n";
+    }
+    OS << N << "_hist_bucket{le=\"+Inf\"} " << Total << "\n";
+    OS << N << "_hist_sum " << num(H.sum()) << "\n";
+    OS << N << "_hist_count " << Total << "\n";
   });
   return OS.str();
 }
@@ -333,6 +458,26 @@ std::string MetricsServer::renderStatus(const CampaignLiveSnapshot &S) {
   S.Stats.writeJSON(OS, Volatility::Volatile, "    ");
   OS << "\n  }\n";
   OS << "}\n";
+  return OS.str();
+}
+
+std::string MetricsServer::renderProfile() {
+  CampaignProfile P = profileNow();
+  std::ostringstream OS;
+  OS << "{\"enabled\": " << (P.Enabled ? "true" : "false");
+  if (P.Enabled) {
+    OS << ",\n \"topk\": " << P.TopK << ",\n \"queries\": ";
+    writeTopQueriesJSON(OS, P.TopQueries, " ");
+    OS << ",\n \"volatile\": ";
+    writeProfileVolatileJSON(OS, P, " ");
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string MetricsServer::renderFlamegraph() {
+  std::ostringstream OS;
+  writeFlamegraphJSON(OS, profileNow());
   return OS.str();
 }
 

@@ -28,6 +28,15 @@
 ///                 CampaignEventQueue so workers never block.
 ///   GET /series   JSON time series: periodic registry samples in a
 ///                 fixed-capacity ring (oldest evicted first).
+///   GET /profile.json    Cost-attribution snapshot (-profile): the
+///                 merged top-K most-expensive-query table plus the
+///                 volatile sampling/cache-shard data; {"enabled": false}
+///                 when profiling is off. Live mid-run, final after run().
+///   GET /flamegraph.json Collapsed-stack flamegraph export of the
+///                 sampling profiler ({"stacks": [{"stack", "count"}]}).
+///   GET /dashboard       A dependency-free live HTML dashboard polling
+///                 /status, /series and /profile.json and following the
+///                 /events SSE stream. Everything inline; no CDN.
 ///
 /// Observer-only invariant: everything here runs on the server thread and
 /// reads the campaign exclusively through CampaignEngine::liveSnapshot()
@@ -116,10 +125,13 @@ private:
   HttpResponse handle(const HttpRequest &Req);
   void tick();
   CampaignLiveSnapshot snapshotNow();
+  CampaignProfile profileNow();
 
   std::string renderMetrics(const CampaignLiveSnapshot &S);
   std::string renderStatus(const CampaignLiveSnapshot &S);
   std::string renderSeries();
+  std::string renderProfile();
+  std::string renderFlamegraph();
   /// \returns true when healthy; fills \p Body with the JSON verdict.
   bool renderHealth(const CampaignLiveSnapshot &S, std::string &Body);
 

@@ -63,7 +63,9 @@ void writeTable(std::ostream &OS, const std::map<std::string, TableRow> &Rows,
 void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
                            const FuzzStats &S,
                            const std::vector<BugRecord> &Bugs,
-                           const StatRegistry &R) {
+                           const StatRegistry &R,
+                           const CampaignProfile *Profile) {
+  const bool Profiling = Profile && Profile->Enabled;
   OS << "{\n";
   OS << "  \"schema_version\": " << RunReportSchemaVersion << ",\n";
   OS << "  \"tool\": ";
@@ -161,6 +163,18 @@ void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
   }
   OS << "},\n";
 
+  // The cost-attribution block: the merged top-K most-expensive queries.
+  // Solver counters are replayed byte-for-byte on cache hits and the
+  // per-worker trackers merge exactly in worker order, so the table is
+  // worker-count independent (the wall-clock side lives in the volatile
+  // profile block below).
+  OS << "    \"profile\": {\"enabled\": " << (Profiling ? "true" : "false");
+  if (Profiling) {
+    OS << ", \"topk\": " << Profile->TopK << ", \"queries\": ";
+    writeTopQueriesJSON(OS, Profile->TopQueries, "    ");
+  }
+  OS << "},\n";
+
   OS << "    \"stats\": ";
   R.writeJSON(OS, Volatility::Deterministic, "    ");
   OS << ",\n";
@@ -235,6 +249,14 @@ void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
     }
     OS << "]},\n";
   }
+  // The volatile half of the profile: wall-clock per query, sampling
+  // folds, cache shard heat — all scheduling artifacts.
+  OS << "    \"profile\": {\"enabled\": " << (Profiling ? "true" : "false");
+  if (Profiling) {
+    OS << ", \"data\": ";
+    writeProfileVolatileJSON(OS, *Profile, "    ");
+  }
+  OS << "},\n";
   OS << "    \"stats\": ";
   R.writeJSON(OS, Volatility::Volatile, "    ");
   OS << "\n  }\n";
@@ -246,13 +268,14 @@ bool alive::writeRunReportFile(const std::string &Path,
                                const FuzzStats &Stats,
                                const std::vector<BugRecord> &Bugs,
                                const StatRegistry &Registry,
-                               std::string &Error) {
+                               std::string &Error,
+                               const CampaignProfile *Profile) {
   std::ofstream Out(Path);
   if (!Out) {
     Error = "cannot write stats report '" + Path + "'";
     return false;
   }
-  writeRunReport(Out, Config, Stats, Bugs, Registry);
+  writeRunReport(Out, Config, Stats, Bugs, Registry, Profile);
   Out.close();
   if (!Out) {
     Error = "I/O error writing stats report '" + Path + "'";

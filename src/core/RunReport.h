@@ -49,7 +49,14 @@ namespace alive {
 /// overwrites, total plus per-track) — ring overflow depends on capacity
 /// and scheduling, never on the seed range, so the block is volatile by
 /// construction.
-constexpr unsigned RunReportSchemaVersion = 5;
+/// v6: both sections gained "profile" (-profile cost attribution). The
+/// deterministic side carries the merged top-K most-expensive-query table
+/// — solver counters are a pure function of the canonical query key, and
+/// the worker-order merge of per-worker trackers is exact (Profiler.h),
+/// so -j1 == -jN holds. The volatile side carries the wall-clock split
+/// per query, the sampling-profiler collapsed stacks and the shared-cache
+/// shard heat. Both report {"enabled": false} when profiling is off.
+constexpr unsigned RunReportSchemaVersion = 6;
 
 /// Report metadata that is not part of FuzzStats or the registry.
 struct RunReportConfig {
@@ -82,18 +89,21 @@ struct RunReportConfig {
   std::vector<std::pair<std::string, uint64_t>> TraceDropped;
 };
 
-/// Writes the full JSON run report to \p OS.
+/// Writes the full JSON run report to \p OS. \p Profile may be null (or
+/// disabled): both profile blocks then collapse to {"enabled": false}.
 void writeRunReport(std::ostream &OS, const RunReportConfig &Config,
                     const FuzzStats &Stats,
                     const std::vector<BugRecord> &Bugs,
-                    const StatRegistry &Registry);
+                    const StatRegistry &Registry,
+                    const CampaignProfile *Profile = nullptr);
 
 /// Writes the report to \p Path. \returns false (and fills \p Error) when
 /// the file cannot be written.
 bool writeRunReportFile(const std::string &Path,
                         const RunReportConfig &Config, const FuzzStats &Stats,
                         const std::vector<BugRecord> &Bugs,
-                        const StatRegistry &Registry, std::string &Error);
+                        const StatRegistry &Registry, std::string &Error,
+                        const CampaignProfile *Profile = nullptr);
 
 } // namespace alive
 

@@ -6,6 +6,8 @@
 
 #include "net/HttpServer.h"
 
+#include "support/Timer.h"
+
 #include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
@@ -42,6 +44,8 @@ const char *statusText(int Status) {
     return "Not Found";
   case 405:
     return "Method Not Allowed";
+  case 408:
+    return "Request Timeout";
   case 431:
     return "Request Header Fields Too Large";
   case 503:
@@ -61,6 +65,9 @@ struct HttpServer::Conn {
   bool Streaming = false;
   bool CloseWhenFlushed = false;
   bool Dead = false;
+  /// Loop-clock second the connection was accepted at; a connection still
+  /// reading its request head past the deadline gets a 408.
+  double AcceptedAt = 0;
 };
 
 HttpServer::HttpServer() = default;
@@ -185,6 +192,8 @@ void HttpServer::loop() {
   std::vector<Conn> Connections;
   Conns = &Connections;
 
+  Timer LoopClock;
+  double LastPing = 0;
   std::vector<pollfd> PFDs;
   while (!Token.cancelled()) {
     if (OnTick)
@@ -220,6 +229,7 @@ void HttpServer::loop() {
         ::setsockopt(FD, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
         Conn C;
         C.FD = FD;
+        C.AcceptedAt = LoopClock.seconds();
         Connections.push_back(std::move(C));
       }
     }
@@ -233,6 +243,27 @@ void HttpServer::loop() {
       if (PFDs[I].revents & (POLLIN | POLLOUT))
         serviceConn(C);
     }
+
+    double Now = LoopClock.seconds();
+    // SSE keep-alive: a comment frame every KeepAliveSeconds. EventSource
+    // parsers discard it; a hung-up client's next flush attempt surfaces
+    // the close even when POLLHUP never fired.
+    if (KeepAliveSeconds > 0 && Now - LastPing >= KeepAliveSeconds) {
+      LastPing = Now;
+      broadcast(": ping\n\n");
+    }
+    // Read deadline: a connection still dribbling (or withholding) its
+    // request head past the deadline is answered 408 and closed, freeing
+    // its MaxConns slot.
+    if (ReadDeadlineSeconds > 0)
+      for (Conn &C : Connections)
+        if (!C.Streaming && !C.CloseWhenFlushed && !C.Dead &&
+            Now - C.AcceptedAt > ReadDeadlineSeconds) {
+          C.Out += "HTTP/1.1 408 Request Timeout\r\nContent-Length: 0\r\n"
+                   "Connection: close\r\n\r\n";
+          C.CloseWhenFlushed = true;
+          C.In.clear();
+        }
 
     Connections.erase(
         std::remove_if(Connections.begin(), Connections.end(),

@@ -77,6 +77,19 @@ public:
   void setHandler(Handler H) { Handle = std::move(H); }
   void setTick(Tick T) { OnTick = std::move(T); }
 
+  /// Seconds between ": ping" SSE keep-alive comments to streaming
+  /// clients (<= 0 disables). Comments are ignored by EventSource parsers
+  /// but keep idle connections alive through proxies/NATs — and make a
+  /// silently hung-up client fail its next send, so the POLLHUP reaper
+  /// gets a second trigger. Call before start().
+  void setKeepAliveSeconds(double S) { KeepAliveSeconds = S; }
+
+  /// Per-connection read deadline: a connection that has not delivered a
+  /// complete request head within \p S seconds of being accepted gets a
+  /// 408 and is closed (<= 0 disables). Slowloris-style stalls cannot pin
+  /// one of the MaxConns slots forever. Call before start().
+  void setReadDeadlineSeconds(double S) { ReadDeadlineSeconds = S; }
+
   /// Binds 127.0.0.1:\p Port (0 = kernel-assigned ephemeral port) and
   /// starts the server thread. \returns false with \p Error filled on
   /// bind/listen failure.
@@ -112,6 +125,8 @@ private:
 
   Handler Handle;
   Tick OnTick;
+  double KeepAliveSeconds = 15;
+  double ReadDeadlineSeconds = 10;
   CancellationToken Token;
   std::thread Thread;
   int ListenFD = -1;

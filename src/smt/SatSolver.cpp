@@ -350,6 +350,7 @@ SatSolver::Result SatSolver::solve(uint64_t ConflictBudget,
       analyze(Conflict, Learnt, BTLevel);
       backtrack(BTLevel);
 
+      Statistics.LearnedLiterals += Learnt.size();
       if (Learnt.size() == 1) {
         enqueue(Learnt[0], -1);
       } else {

@@ -43,12 +43,19 @@ public:
     Cancelled,      ///< the iteration watchdog cancelled the search
   };
 
-  /// Cumulative search statistics (for the bench_tv harness).
+  /// Cumulative search statistics (for the bench_tv harness and the
+  /// per-query cost-attribution profiler). All counters are deterministic
+  /// functions of the formula and budget: identical queries yield
+  /// identical stats whatever thread or worker ran them.
   struct Stats {
     uint64_t Decisions = 0;
     uint64_t Propagations = 0;
     uint64_t Conflicts = 0;
     uint64_t LearnedClauses = 0;
+    /// Total literals across learned clauses, unit learnts included —
+    /// learned-clause *size* is the memory-pressure signal LearnedClauses
+    /// alone hides.
+    uint64_t LearnedLiterals = 0;
     uint64_t Restarts = 0;
   };
 

@@ -1,0 +1,290 @@
+//===- support/Profiler.cpp - Cost attribution & sampling profiler ---------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Profiler.h"
+
+#include "support/Telemetry.h"
+#include "support/TraceRecorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace alive;
+
+uint64_t alive::fnv1a64(std::string_view S) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+bool alive::queryCostRanksBefore(const QueryCost &A, const QueryCost &B) {
+  uint64_t CA = A.costUnits(), CB = B.costUnits();
+  if (CA != CB)
+    return CA > CB;
+  return A.KeyHash < B.KeyHash;
+}
+
+//===----------------------------------------------------------------------===//
+// QueryCostTracker
+//===----------------------------------------------------------------------===//
+
+QueryCostTracker::QueryCostTracker(unsigned K) : K(K ? K : 1) {}
+
+void QueryCostTracker::record(const QueryCostSample &S) {
+  std::lock_guard<std::mutex> L(M);
+  auto [It, Inserted] = ByKey.try_emplace(S.KeyHash);
+  QueryCost &Q = It->second;
+  if (Inserted) {
+    Q.KeyHash = S.KeyHash;
+    Q.Function = std::string(S.Function);
+    Q.BundlePath = std::string(S.BundlePath);
+    Q.Verdict = std::string(S.Verdict);
+    Q.FirstSeed = S.Seed;
+    Q.Symbolic = S.Symbolic;
+    Q.Decisions = S.Decisions;
+    Q.Propagations = S.Propagations;
+    Q.Conflicts = S.Conflicts;
+    Q.LearnedClauses = S.LearnedClauses;
+    Q.LearnedLiterals = S.LearnedLiterals;
+    Q.Restarts = S.Restarts;
+  } else if (S.Seed < Q.FirstSeed) {
+    // Min-seed attribution keeps function/bundle deterministic whatever
+    // order the workers saw this key in.
+    Q.FirstSeed = S.Seed;
+    Q.Function = std::string(S.Function);
+    Q.BundlePath = std::string(S.BundlePath);
+  }
+  ++Q.Count;
+  Q.EncodeSeconds += S.EncodeSeconds;
+  Q.SolveSeconds += S.SolveSeconds;
+  if (ByKey.size() > K)
+    evictWorstLocked();
+}
+
+void QueryCostTracker::merge(const QueryCostTracker &O) {
+  std::vector<QueryCost> Other;
+  {
+    std::lock_guard<std::mutex> L(O.M);
+    Other.reserve(O.ByKey.size());
+    for (const auto &[_, Q] : O.ByKey)
+      Other.push_back(Q);
+  }
+  std::lock_guard<std::mutex> L(M);
+  for (const QueryCost &In : Other) {
+    auto [It, Inserted] = ByKey.try_emplace(In.KeyHash, In);
+    if (!Inserted) {
+      QueryCost &Q = It->second;
+      if (In.FirstSeed < Q.FirstSeed) {
+        Q.FirstSeed = In.FirstSeed;
+        Q.Function = In.Function;
+        Q.BundlePath = In.BundlePath;
+      }
+      Q.Count += In.Count;
+      Q.EncodeSeconds += In.EncodeSeconds;
+      Q.SolveSeconds += In.SolveSeconds;
+    }
+    if (ByKey.size() > K)
+      evictWorstLocked();
+  }
+}
+
+void QueryCostTracker::evictWorstLocked() {
+  auto Worst = ByKey.end();
+  for (auto It = ByKey.begin(); It != ByKey.end(); ++It)
+    if (Worst == ByKey.end() || queryCostRanksBefore(Worst->second, It->second))
+      Worst = It;
+  if (Worst != ByKey.end()) {
+    ByKey.erase(Worst);
+    ++Evicted;
+  }
+}
+
+std::vector<QueryCost> QueryCostTracker::top() const {
+  std::vector<QueryCost> Out;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Out.reserve(ByKey.size());
+    for (const auto &[_, Q] : ByKey)
+      Out.push_back(Q);
+  }
+  std::sort(Out.begin(), Out.end(), queryCostRanksBefore);
+  return Out;
+}
+
+uint64_t QueryCostTracker::evicted() const {
+  std::lock_guard<std::mutex> L(M);
+  return Evicted;
+}
+
+//===----------------------------------------------------------------------===//
+// SamplingProfiler
+//===----------------------------------------------------------------------===//
+
+SamplingProfiler::SamplingProfiler(unsigned IntervalMs)
+    : IntervalMs(IntervalMs ? IntervalMs : 1) {}
+
+SamplingProfiler::~SamplingProfiler() { stop(); }
+
+void SamplingProfiler::attach(const std::string &Label,
+                              const TraceRecorder *R) {
+  Tracks.emplace_back(Label, R);
+}
+
+void SamplingProfiler::start() {
+  if (Running)
+    return;
+  Running = true;
+  Stopping = false;
+  Th = std::thread([this] { run(); });
+}
+
+void SamplingProfiler::stop() {
+  if (!Running)
+    return;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stopping = true;
+  }
+  CV.notify_all();
+  Th.join();
+  Running = false;
+}
+
+void SamplingProfiler::run() {
+  std::unique_lock<std::mutex> L(M);
+  for (;;) {
+    if (CV.wait_for(L, std::chrono::milliseconds(IntervalMs),
+                    [this] { return Stopping; }))
+      return;
+    // One sample per tick per track that has a non-empty live stack: an
+    // idle worker (between iterations, or already joined) contributes
+    // nothing rather than a misleading "idle" frame.
+    for (const auto &[Label, R] : Tracks) {
+      const char *Frames[TraceRecorder::MaxLiveDepth];
+      unsigned D = R->sampleLiveStack(Frames, TraceRecorder::MaxLiveDepth);
+      if (D == 0)
+        continue;
+      std::string Stack = Label;
+      for (unsigned I = 0; I != D; ++I) {
+        Stack += ';';
+        Stack += Frames[I];
+      }
+      ++Folded[Stack];
+      Samples.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::map<std::string, uint64_t> SamplingProfiler::collapsed() const {
+  std::lock_guard<std::mutex> L(M);
+  return Folded;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// 16-hex-digit rendering of the key hash ("0000654a88..."), fixed width
+/// so the report's lexicographic diffs stay aligned.
+std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)V);
+  return Buf;
+}
+
+} // namespace
+
+void alive::writeTopQueriesJSON(std::ostream &OS,
+                                const std::vector<QueryCost> &Top,
+                                const std::string &Indent) {
+  OS << "[";
+  for (size_t I = 0; I != Top.size(); ++I) {
+    const QueryCost &Q = Top[I];
+    OS << (I ? ",\n" : "\n") << Indent << "  {\"rank\": " << (I + 1)
+       << ", \"key\": ";
+    writeJSONString(OS, hex16(Q.KeyHash));
+    OS << ", \"function\": ";
+    writeJSONString(OS, Q.Function);
+    OS << ", \"verdict\": ";
+    writeJSONString(OS, Q.Verdict);
+    OS << ", \"count\": " << Q.Count << ", \"first_seed\": " << Q.FirstSeed
+       << ", \"symbolic\": " << (Q.Symbolic ? "true" : "false")
+       << ", \"cost\": " << Q.costUnits()
+       << ", \"decisions\": " << Q.Decisions
+       << ", \"propagations\": " << Q.Propagations
+       << ", \"conflicts\": " << Q.Conflicts
+       << ", \"learned_clauses\": " << Q.LearnedClauses
+       << ", \"learned_literals\": " << Q.LearnedLiterals
+       << ", \"restarts\": " << Q.Restarts << ", \"bundle\": ";
+    writeJSONString(OS, Q.BundlePath);
+    OS << "}";
+  }
+  OS << (Top.empty() ? "" : "\n" + Indent) << "]";
+}
+
+void alive::writeProfileVolatileJSON(std::ostream &OS,
+                                     const CampaignProfile &P,
+                                     const std::string &Indent) {
+  OS << "{\"sampling\": {\"interval_ms\": " << P.SamplingIntervalMs
+     << ", \"samples\": " << P.Samples << ", \"stacks\": [";
+  bool First = true;
+  for (const auto &[Stack, Count] : P.Collapsed) {
+    OS << (First ? "\n" : ",\n") << Indent << "   {\"stack\": ";
+    First = false;
+    writeJSONString(OS, Stack);
+    OS << ", \"count\": " << Count << "}";
+  }
+  OS << (First ? "" : "\n" + Indent + " ") << "]},\n"
+     << Indent << " \"query_seconds\": [";
+  First = true;
+  for (const QueryCost &Q : P.TopQueries) {
+    OS << (First ? "\n" : ",\n") << Indent << "   {\"key\": ";
+    First = false;
+    writeJSONString(OS, hex16(Q.KeyHash));
+    OS << ", \"encode_s\": ";
+    writeJSONDouble(OS, Q.EncodeSeconds);
+    OS << ", \"solve_s\": ";
+    writeJSONDouble(OS, Q.SolveSeconds);
+    OS << "}";
+  }
+  OS << (First ? "" : "\n" + Indent + " ") << "],\n"
+     << Indent << " \"cache_shards\": [";
+  First = true;
+  for (size_t I = 0; I != P.CacheShards.size(); ++I) {
+    const ShardHeat &H = P.CacheShards[I];
+    OS << (First ? "\n" : ",\n") << Indent << "   {\"shard\": " << I
+       << ", \"hits\": " << H.Hits << ", \"misses\": " << H.Misses
+       << ", \"evictions\": " << H.Evictions << ", \"inserts\": " << H.Inserts
+       << ", \"lock_waits\": " << H.LockWaits << "}";
+    First = false;
+  }
+  OS << (First ? "" : "\n" + Indent + " ") << "]}";
+}
+
+void alive::writeFlamegraphJSON(std::ostream &OS, const CampaignProfile &P) {
+  OS << "{\"interval_ms\": " << P.SamplingIntervalMs
+     << ", \"samples\": " << P.Samples << ", \"stacks\": [";
+  bool First = true;
+  for (const auto &[Stack, Count] : P.Collapsed) {
+    OS << (First ? "\n" : ",\n") << "  {\"stack\": ";
+    First = false;
+    writeJSONString(OS, Stack);
+    OS << ", \"count\": " << Count << "}";
+  }
+  OS << (First ? "" : "\n") << "]}\n";
+}
+
+void alive::writeCollapsedStacks(
+    std::ostream &OS, const std::map<std::string, uint64_t> &Folded) {
+  for (const auto &[Stack, Count] : Folded)
+    OS << Stack << " " << Count << "\n";
+}

@@ -1,0 +1,253 @@
+//===- support/Profiler.h - Cost attribution & sampling profiler -*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deep cost-attribution layer: "where did the time go, per query".
+/// Two complementary instruments, split by the repo's deterministic-vs-
+/// volatile telemetry contract:
+///
+///   1. QueryCostTracker — a deterministic top-K ranking of the most
+///      expensive TV queries by solver effort. Each query is keyed by a
+///      stable 64-bit hash of its canonical cache key (or printed pair
+///      text when uncacheable), and its cost counters (decisions,
+///      propagations, conflicts, learned clauses/literals, restarts) are
+///      a pure function of that key: the verdict cache replays them
+///      byte-for-byte on a hit, and the solver is deterministic on a
+///      miss. Ranking therefore uses the *per-occurrence* cost — never
+///      the occurrence-weighted total — under the total order
+///      (CostUnits desc, KeyHash asc), which makes per-worker K-bounded
+///      trackers merge exactly: any key in the global top-K outranks all
+///      but at most K-1 keys everywhere, so no worker that saw it ever
+///      evicted it, and the merged counts are exact. A -j4 campaign's
+///      merged top-K is byte-identical to -j1's.
+///
+///   2. SamplingProfiler — a volatile wall-clock profiler: a background
+///      thread periodically reads each worker's live span stack (pushed/
+///      popped by the existing TraceSpan RAII sites when enabled) and
+///      folds the samples into flamegraph-compatible collapsed stacks
+///      ("w0;iteration;optimize;pass:gvn 128"). Approximate by design —
+///      a torn read mid-push attributes one sample to a parent frame —
+///      and entirely lock-free on the worker side (relaxed/release
+///      atomics only), so the hot path stays unperturbed and TSan stays
+///      quiet.
+///
+/// CampaignProfile bundles both (plus the shared TV cache's per-shard
+/// heat counters) for the run report, /profile.json, /flamegraph.json
+/// and the dashboard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_PROFILER_H
+#define SUPPORT_PROFILER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace alive {
+
+class TraceRecorder;
+
+/// 64-bit FNV-1a. Used for the query key hash instead of std::hash so the
+/// profile block is stable across standard libraries and platforms.
+uint64_t fnv1a64(std::string_view S);
+
+/// Profiling knobs, threaded through FuzzOptions (one copy per worker).
+struct ProfileOptions {
+  /// Master switch (-profile). Off = zero-cost: no tracker, no recorder
+  /// live stack, no sampler thread.
+  bool Enabled = false;
+  /// Top-K most-expensive-query tracker capacity (-profile-topk).
+  unsigned TopK = 16;
+  /// Wall-clock sampler period in milliseconds (-profile-interval).
+  unsigned SamplingIntervalMs = 10;
+};
+
+/// One TV query observation, as recorded by the fuzzing loop's verify
+/// path. The solver counters are deterministic per key (cache hits replay
+/// them); the wall-clock seconds are volatile.
+struct QueryCostSample {
+  uint64_t KeyHash = 0;
+  std::string_view Function;
+  std::string_view Verdict; ///< tvVerdictReason slug
+  uint64_t Seed = 0;
+  bool Symbolic = false;
+  std::string_view BundlePath; ///< forensics cross-link ("" when none)
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Conflicts = 0;
+  uint64_t LearnedClauses = 0;
+  uint64_t LearnedLiterals = 0;
+  uint64_t Restarts = 0;
+  double EncodeSeconds = 0; ///< volatile
+  double SolveSeconds = 0;  ///< volatile
+};
+
+/// One tracked query's accumulated state.
+struct QueryCost {
+  uint64_t KeyHash = 0;
+  /// Function name / bundle path of the smallest seed that produced this
+  /// key (canonicalization can map differently-named functions onto one
+  /// key, so the min-seed rule keeps the attribution deterministic).
+  std::string Function;
+  std::string BundlePath;
+  std::string Verdict;
+  uint64_t FirstSeed = 0;
+  uint64_t Count = 0; ///< occurrences, cache hits included
+  bool Symbolic = false;
+  // Per-occurrence solver effort (identical on every recurrence).
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Conflicts = 0;
+  uint64_t LearnedClauses = 0;
+  uint64_t LearnedLiterals = 0;
+  uint64_t Restarts = 0;
+  // Accumulated wall clock across occurrences (volatile; a cache hit
+  // contributes the first computation's split).
+  double EncodeSeconds = 0;
+  double SolveSeconds = 0;
+
+  /// The deterministic ranking metric: total search steps of one
+  /// evaluation. Concrete-only queries cost 0 (they never enter the
+  /// solver) but are still tracked.
+  uint64_t costUnits() const { return Decisions + Propagations + Conflicts; }
+};
+
+/// The deterministic ranking order: (costUnits desc, KeyHash asc). A
+/// strict total order — KeyHash collisions aside — so sorts and evictions
+/// are unambiguous.
+bool queryCostRanksBefore(const QueryCost &A, const QueryCost &B);
+
+/// Per-worker bounded tracker of the K most expensive queries. The owning
+/// worker records; an observer thread may snapshot concurrently (the map
+/// is mutex-guarded — the verify path it rides is milliseconds per entry,
+/// so the lock is invisible next to the work it attributes).
+class QueryCostTracker {
+public:
+  explicit QueryCostTracker(unsigned K = 16);
+
+  void record(const QueryCostSample &S);
+
+  /// Merges \p O into this tracker (same accumulation rules as record,
+  /// entry-wise). Merging workers in worker order after the join yields
+  /// the exact global top-K; see the file comment for the proof sketch.
+  void merge(const QueryCostTracker &O);
+
+  /// The tracked queries, best first under queryCostRanksBefore. Safe to
+  /// call while the owning worker records.
+  std::vector<QueryCost> top() const;
+
+  unsigned capacity() const { return K; }
+  /// Queries that fell off the bottom of the tracker (volatile-ish: the
+  /// count is exact per worker but depends on arrival order).
+  uint64_t evicted() const;
+
+private:
+  void evictWorstLocked();
+
+  mutable std::mutex M;
+  unsigned K;
+  std::unordered_map<uint64_t, QueryCost> ByKey;
+  uint64_t Evicted = 0;
+};
+
+/// Per-shard heat counters of the shared TV cache (always volatile:
+/// which worker hit which shard is pure scheduling).
+struct ShardHeat {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t Inserts = 0;
+  uint64_t LockWaits = 0; ///< lock acquisitions that found the lock held
+};
+
+/// Background wall-clock sampler over the workers' live span stacks.
+/// attach() recorders (one per worker) before start(); the sampler folds
+/// every tick into collapsed stacks "label;span;span..." -> sample count.
+/// Workers push/pop their stacks lock-free; the sampler's fold map is
+/// guarded for concurrent collapsed() snapshots (the live /flamegraph.json
+/// endpoint reads it mid-campaign).
+class SamplingProfiler {
+public:
+  explicit SamplingProfiler(unsigned IntervalMs = 10);
+  ~SamplingProfiler();
+
+  /// Registers \p R 's live stack under \p Label ("w0", "w1", ...). Call
+  /// before start(); the recorder must outlive stop().
+  void attach(const std::string &Label, const TraceRecorder *R);
+
+  void start();
+  /// Stops and joins the sampler thread. Idempotent.
+  void stop();
+
+  /// Point-in-time copy of the folded stacks.
+  std::map<std::string, uint64_t> collapsed() const;
+  uint64_t samples() const { return Samples.load(std::memory_order_relaxed); }
+  unsigned intervalMs() const { return IntervalMs; }
+
+private:
+  void run();
+
+  unsigned IntervalMs;
+  std::vector<std::pair<std::string, const TraceRecorder *>> Tracks;
+  mutable std::mutex M; ///< guards Folded (and CV waits)
+  std::map<std::string, uint64_t> Folded;
+  std::atomic<uint64_t> Samples{0};
+  std::condition_variable CV;
+  bool Stopping = false;
+  bool Running = false;
+  std::thread Th;
+};
+
+/// Everything the profiling subsystem produced for one campaign, split
+/// along the usual deterministic/volatile seam.
+struct CampaignProfile {
+  bool Enabled = false;
+  unsigned TopK = 0;
+  /// Deterministic: merged top-K, best first.
+  std::vector<QueryCost> TopQueries;
+  /// Volatile: collapsed flamegraph stacks and sample accounting.
+  std::map<std::string, uint64_t> Collapsed;
+  uint64_t Samples = 0;
+  unsigned SamplingIntervalMs = 0;
+  /// Volatile: shared TV cache shard heat (empty when the shared cache
+  /// was off).
+  std::vector<ShardHeat> CacheShards;
+};
+
+/// Serializes the deterministic top-K as a JSON array of query objects
+/// (rank, key hex, function, verdict, count, first_seed, the six solver
+/// counters, cost, symbolic flag, bundle link). Byte-identical for any
+/// worker count — the run report embeds it in the deterministic section.
+void writeTopQueriesJSON(std::ostream &OS, const std::vector<QueryCost> &Top,
+                         const std::string &Indent = "");
+
+/// Serializes the volatile side (sampling + shard heat + per-query wall
+/// seconds) as a JSON object.
+void writeProfileVolatileJSON(std::ostream &OS, const CampaignProfile &P,
+                              const std::string &Indent = "");
+
+/// The flamegraph export: {"interval_ms", "samples", "stacks": [{"stack",
+/// "count"}]} with stacks in lexicographic order.
+void writeFlamegraphJSON(std::ostream &OS, const CampaignProfile &P);
+
+/// The classic collapsed-stack text format ("frame;frame;frame count"
+/// per line, lexicographic), directly consumable by flamegraph.pl /
+/// speedscope.
+void writeCollapsedStacks(std::ostream &OS,
+                          const std::map<std::string, uint64_t> &Folded);
+
+} // namespace alive
+
+#endif // SUPPORT_PROFILER_H

@@ -51,6 +51,11 @@ public:
   /// DurNanos sentinel distinguishing instant events from spans.
   static constexpr uint64_t Instant = ~uint64_t(0);
 
+  /// Live span stack depth visible to the sampling profiler. Deeper
+  /// nesting still records ring events; the sampler just sees the top
+  /// clamped at this depth.
+  static constexpr unsigned MaxLiveDepth = 8;
+
   explicit TraceRecorder(size_t Capacity = DefaultCapacity);
 
   /// Nanoseconds since the process-wide trace epoch. The epoch is shared
@@ -90,6 +95,53 @@ public:
     return T < Cap ? 0 : T - Cap;
   }
 
+  /// Enables the live span stack: TraceSpan sites start pushing/popping
+  /// their labels so the sampling profiler can read "what is this worker
+  /// doing right now". Off by default — a disabled site costs one relaxed
+  /// bool load on top of the usual recording.
+  void setLiveStack(bool On) { LiveOn.store(On, std::memory_order_relaxed); }
+  bool liveStackEnabled() const {
+    return LiveOn.load(std::memory_order_relaxed);
+  }
+
+  /// Owning-worker side: pushes/pops the current span label. Lock-free;
+  /// labels must be static or interned in this recorder (the sampler
+  /// dereferences them concurrently).
+  void enterSpan(const char *Name) {
+    if (!LiveOn.load(std::memory_order_relaxed))
+      return;
+    unsigned D = LiveDepth.load(std::memory_order_relaxed);
+    if (D < MaxLiveDepth)
+      LiveStack[D].store(Name, std::memory_order_release);
+    LiveDepth.store(D + 1, std::memory_order_release);
+  }
+  void exitSpan() {
+    if (!LiveOn.load(std::memory_order_relaxed))
+      return;
+    unsigned D = LiveDepth.load(std::memory_order_relaxed);
+    if (D)
+      LiveDepth.store(D - 1, std::memory_order_release);
+  }
+
+  /// Sampler side: copies the live stack (outermost first) into \p Out,
+  /// returning the number of frames. A read racing a push/pop may see a
+  /// slightly stale prefix — fine for a statistical profiler; every
+  /// returned pointer is valid (static/interned) whatever the interleave.
+  unsigned sampleLiveStack(const char *Out[], unsigned MaxOut) const {
+    unsigned D = LiveDepth.load(std::memory_order_acquire);
+    if (D > MaxLiveDepth)
+      D = MaxLiveDepth;
+    if (D > MaxOut)
+      D = MaxOut;
+    for (unsigned I = 0; I != D; ++I) {
+      const char *F = LiveStack[I].load(std::memory_order_acquire);
+      if (!F)
+        return I;
+      Out[I] = F;
+    }
+    return D;
+  }
+
 private:
   void push(const Event &E);
 
@@ -103,6 +155,11 @@ private:
   /// Interned dynamic labels. std::set nodes never move, so the stored
   /// strings' c_str() stays stable across inserts.
   std::set<std::string> Labels;
+  /// Live span stack for the sampling profiler: single writer (the owning
+  /// worker), any number of lock-free readers.
+  std::atomic<bool> LiveOn{false};
+  std::atomic<unsigned> LiveDepth{0};
+  std::atomic<const char *> LiveStack[MaxLiveDepth] = {};
 };
 
 /// RAII span recorder: reads the clock only when \p R is non-null, so a
@@ -112,10 +169,15 @@ public:
   TraceSpan(TraceRecorder *R, const char *Name, uint64_t Seed = 0,
             const char *Detail = nullptr)
       : R(R), Name(Name), Detail(Detail), Seed(Seed),
-        Start(R ? TraceRecorder::now() : 0) {}
-  ~TraceSpan() {
+        Start(R ? TraceRecorder::now() : 0) {
     if (R)
+      R->enterSpan(Name);
+  }
+  ~TraceSpan() {
+    if (R) {
+      R->exitSpan();
       R->span(Name, Start, TraceRecorder::now(), Seed, Detail);
+    }
   }
   TraceSpan(const TraceSpan &) = delete;
   TraceSpan &operator=(const TraceSpan &) = delete;

@@ -86,12 +86,21 @@ static void printHelp() {
       "  -progress=<sec>   print campaign progress every <sec> seconds\n"
       "  -metrics-port=<p> serve live observability HTTP endpoints on\n"
       "                    127.0.0.1:<p> (/metrics /status /healthz /readyz\n"
-      "                    /events /series; 0 = ephemeral port, printed on\n"
-      "                    stdout). Observer-only: the report stays byte-\n"
-      "                    identical with or without the server\n"
+      "                    /events /series /dashboard, plus /profile.json\n"
+      "                    and /flamegraph.json with -profile; 0 = ephemeral\n"
+      "                    port, printed on stdout). Observer-only: the\n"
+      "                    report stays byte-identical with or without the\n"
+      "                    server\n"
       "  -metrics-interval=<s> seconds between /series samples (default 1)\n"
       "  -health-stale=<s> /healthz flips to 503 when a live shard makes no\n"
       "                    progress for <s> seconds (default 10; 0 = off)\n"
+      "  -profile          deep cost attribution: per-query solver effort\n"
+      "                    (top-K table in the report, -j invariant), a\n"
+      "                    wall-clock sampling profiler over the worker\n"
+      "                    span stacks, and cache shard heat\n"
+      "  -profile-topk=<n> most-expensive-query tracker capacity "
+      "(default 16)\n"
+      "  -profile-interval=<ms> sampling profiler period (default 10)\n"
       "  -stats-json=<file> write a schema-versioned JSON run report\n"
       "  -trace-json=<file> write a Chrome trace (flight recorder, one\n"
       "                    track per worker; open in Perfetto)\n"
@@ -205,6 +214,16 @@ int main(int Argc, char **Argv) {
   Opts.TraceEnabled = !TracePath.empty();
   Opts.TraceCapacity =
       (size_t)Args.getInt("trace-capacity", TraceRecorder::DefaultCapacity);
+  Opts.Profile.Enabled = Args.has("profile");
+  Opts.Profile.TopK = (unsigned)Args.getInt("profile-topk", 16);
+  Opts.Profile.SamplingIntervalMs =
+      (unsigned)Args.getInt("profile-interval", 10);
+  if (!Opts.Profile.Enabled &&
+      (Args.has("profile-topk") || Args.has("profile-interval"))) {
+    std::fprintf(stderr, "error: -profile-topk/-profile-interval tune "
+                         "-profile; add -profile or drop them\n");
+    return 1;
+  }
 
   // Survivability. The in-process signal guard is on by default for the
   // fuzzing tool — a real optimizer abort should be a recorded crash bug,
@@ -283,6 +302,13 @@ int main(int Argc, char **Argv) {
                  "error: -trace-json cannot cross the -isolate process "
                  "boundary: the flight recorder lives in shard memory; "
                  "drop one of the two flags\n");
+    return 1;
+  }
+  if (SV.Isolate && Opts.Profile.Enabled) {
+    std::fprintf(stderr,
+                 "error: -profile cannot cross the -isolate process "
+                 "boundary: the cost trackers and span stacks live in "
+                 "shard memory; drop one of the two flags\n");
     return 1;
   }
 
@@ -467,6 +493,23 @@ int main(int Argc, char **Argv) {
               "%.3fs, verify %.3fs, overhead %.3fs)\n",
               S.TotalSeconds, S.WorkerSeconds, S.MutateSeconds,
               S.OptimizeSeconds, S.VerifySeconds, S.OverheadSeconds);
+  if (const CampaignProfile &P = Engine.profile(); P.Enabled) {
+    std::printf("profile:        %zu tracked quer%s, %llu sample(s) at "
+                "%ums\n",
+                P.TopQueries.size(), P.TopQueries.size() == 1 ? "y" : "ies",
+                (unsigned long long)P.Samples, P.SamplingIntervalMs);
+    if (!P.TopQueries.empty()) {
+      const QueryCost &Q = P.TopQueries.front();
+      std::printf("profile-top:    %s (%s): cost %llu (%llu dec, %llu "
+                  "prop, %llu confl) x%llu\n",
+                  Q.Function.c_str(), Q.Verdict.c_str(),
+                  (unsigned long long)Q.costUnits(),
+                  (unsigned long long)Q.Decisions,
+                  (unsigned long long)Q.Propagations,
+                  (unsigned long long)Q.Conflicts,
+                  (unsigned long long)Q.Count);
+    }
+  }
 
   if (Args.has("distill")) {
     // Greedy set cover over the campaign's per-function coverage: the
@@ -515,7 +558,7 @@ int main(int Argc, char **Argv) {
     RC.TraceDropped = Engine.traceDropped();
     std::string ReportErr;
     if (!writeRunReportFile(StatsPath, RC, S, Engine.bugs(),
-                            Engine.registry(), ReportErr))
+                            Engine.registry(), ReportErr, &Engine.profile()))
       std::fprintf(stderr, "warning: %s\n", ReportErr.c_str());
   }
 

@@ -350,6 +350,7 @@ TVResult checkConcrete(const Function &Src, const Function &Tgt,
 TVResult checkSymbolic(const Function &Src, const Function &Tgt,
                        const TVOptions &Opts, StatRegistry *Stats) {
   TVResult Res;
+  Timer EncodeT;
   TermBuilder B;
   FunctionEncoder Enc(B);
 
@@ -375,8 +376,16 @@ TVResult checkSymbolic(const Function &Src, const Function &Tgt,
   SatSolver Solver;
   BitBlaster BB(Solver);
   BB.assertTrue(Violation);
+  Res.EncodeSeconds = EncodeT.seconds();
+
+  Timer SolveT;
   SatSolver::Result R = Solver.solve(Opts.SolverConflictBudget, Opts.Token);
+  Res.SolveSeconds = SolveT.seconds();
   Res.SolverStats = Solver.stats();
+  if (Stats) {
+    Stats->histogram("tv.encode.seconds").record(Res.EncodeSeconds);
+    Stats->histogram("tv.solve.seconds").record(Res.SolveSeconds);
+  }
 
   if (R == SatSolver::Result::Unsat) {
     Res.Verdict = TVVerdict::Correct;
@@ -573,6 +582,12 @@ TVResult alive::checkRefinement(const Function &Src, const Function &Tgt,
       if (Stats)
         ++Stats->counter("tv.symbolic.fallback", Volatility::Volatile);
       TVResult CR = instrumentedConcrete(Src, Tgt, Opts, Stats);
+      // Carry the abandoned symbolic attempt's cost into the final
+      // result: the budget-exhausted search is exactly what the profiler
+      // must attribute to this query.
+      CR.SolverStats = R.SolverStats;
+      CR.EncodeSeconds = R.EncodeSeconds;
+      CR.SolveSeconds = R.SolveSeconds;
       if (CR.Verdict == TVVerdict::Incorrect)
         return CR;
       CR.Verdict = TVVerdict::Inconclusive;

@@ -97,6 +97,12 @@ struct TVResult {
   bool UsedConcretePath = false;
   /// Solver statistics (symbolic path only).
   SatSolver::Stats SolverStats;
+  /// Wall-clock split of the symbolic path: term construction + bit
+  /// blasting vs. the SAT search itself. Wall-clock, so volatile — and a
+  /// cache hit replays the *first* computation's numbers, which is exactly
+  /// what cost attribution wants (the price of the query, paid once).
+  double EncodeSeconds = 0;
+  double SolveSeconds = 0;
 };
 
 /// A telemetry slug for \p R: "correct", "incorrect",

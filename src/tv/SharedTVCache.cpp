@@ -49,12 +49,24 @@ SharedTVCache::Shard &SharedTVCache::shardFor(const std::string &Key) {
   return *Shards[std::hash<std::string_view>()(Key) & (Shards.size() - 1)];
 }
 
+std::unique_lock<std::mutex> SharedTVCache::lockShard(Shard &S) {
+  std::unique_lock<std::mutex> G(S.Lock, std::try_to_lock);
+  if (!G.owns_lock()) {
+    S.LockWaits.fetch_add(1, std::memory_order_relaxed);
+    G.lock();
+  }
+  return G;
+}
+
 bool SharedTVCache::lookup(const std::string &Key, TVResult &Out) {
   Shard &S = shardFor(Key);
-  std::lock_guard<std::mutex> G(S.Lock);
+  auto G = lockShard(S);
   auto It = S.Map.find(std::string_view(Key));
-  if (It == S.Map.end())
+  if (It == S.Map.end()) {
+    S.Misses.fetch_add(1, std::memory_order_relaxed);
     return false;
+  }
+  S.Hits.fetch_add(1, std::memory_order_relaxed);
   S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
   Out = It->second->second; // by value: safe past a concurrent eviction
   return true;
@@ -62,7 +74,7 @@ bool SharedTVCache::lookup(const std::string &Key, TVResult &Out) {
 
 bool SharedTVCache::insert(const std::string &Key, const TVResult &R) {
   Shard &S = shardFor(Key);
-  std::lock_guard<std::mutex> G(S.Lock);
+  auto G = lockShard(S);
   if (S.Map.count(std::string_view(Key)))
     return false;
   bool Evicted = false;
@@ -71,9 +83,11 @@ bool SharedTVCache::insert(const std::string &Key, const TVResult &R) {
     S.Map.erase(std::string_view(Old.first));
     S.LRU.pop_back();
     Evicted = true;
+    S.Evictions.fetch_add(1, std::memory_order_relaxed);
   }
   S.LRU.emplace_front(Key, R);
   S.Map.emplace(std::string_view(S.LRU.front().first), S.LRU.begin());
+  S.Inserts.fetch_add(1, std::memory_order_relaxed);
   return Evicted;
 }
 
@@ -84,4 +98,19 @@ size_t SharedTVCache::size() const {
     N += S->Map.size();
   }
   return N;
+}
+
+std::vector<ShardHeat> SharedTVCache::shardHeat() const {
+  std::vector<ShardHeat> Out;
+  Out.reserve(Shards.size());
+  for (const auto &S : Shards) {
+    ShardHeat H;
+    H.Hits = S->Hits.load(std::memory_order_relaxed);
+    H.Misses = S->Misses.load(std::memory_order_relaxed);
+    H.Evictions = S->Evictions.load(std::memory_order_relaxed);
+    H.Inserts = S->Inserts.load(std::memory_order_relaxed);
+    H.LockWaits = S->LockWaits.load(std::memory_order_relaxed);
+    Out.push_back(H);
+  }
+  return Out;
 }

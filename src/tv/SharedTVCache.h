@@ -32,8 +32,10 @@
 #ifndef TV_SHAREDTVCACHE_H
 #define TV_SHAREDTVCACHE_H
 
+#include "support/Profiler.h"
 #include "tv/RefinementChecker.h"
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -77,6 +79,12 @@ public:
   /// Total resident entries (takes every shard lock; diagnostics only).
   size_t size() const;
 
+  /// Point-in-time per-shard heat counters (hits/misses/evictions/inserts/
+  /// lock-waits), indexed by shard. Lock-free relaxed reads — safe while
+  /// workers hammer the cache. All volatile: which worker touched which
+  /// shard when is pure scheduling.
+  std::vector<ShardHeat> shardHeat() const;
+
 private:
   using Entry = std::pair<std::string, TVResult>;
   struct Shard {
@@ -85,7 +93,15 @@ private:
     /// own key string (stable for the entry's lifetime).
     std::list<Entry> LRU;
     std::unordered_map<std::string_view, std::list<Entry>::iterator> Map;
+    /// Heat counters (relaxed: read by the profile endpoints mid-run).
+    std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0}, Inserts{0};
+    /// Lock acquisitions that found the mutex held (try_lock failed first)
+    /// — the contention signal of the heat map.
+    std::atomic<uint64_t> LockWaits{0};
   };
+
+  /// Locks \p S, counting a LockWait when the uncontended fast path fails.
+  static std::unique_lock<std::mutex> lockShard(Shard &S);
 
   Shard &shardFor(const std::string &Key);
 

@@ -580,6 +580,11 @@ TEST(ObservabilityTest, MetricsServerEndToEndCampaign) {
   EXPECT_NE(Metrics.find("quantile=\"0.5\""), std::string::npos);
   EXPECT_NE(Metrics.find("_sum"), std::string::npos);
   EXPECT_NE(Metrics.find("_count"), std::string::npos);
+  // ... and as a native histogram family (_hist) with cumulative
+  // le-labelled buckets capped by +Inf.
+  EXPECT_NE(Metrics.find("_hist histogram"), std::string::npos) << Metrics;
+  EXPECT_NE(Metrics.find("_hist_bucket{le=\""), std::string::npos) << Metrics;
+  EXPECT_NE(Metrics.find("le=\"+Inf\""), std::string::npos) << Metrics;
 
   // /status carries the config echo, shard progress and event accounting.
   std::string Status = body(httpGet(M.port(), "/status"));
@@ -675,4 +680,178 @@ TEST(ObservabilityTest, DeterministicReportUnaffectedByMetricsServer) {
   // v5 volatile block is present either way.
   EXPECT_NE(Plain.find("\"trace\""), std::string::npos);
   EXPECT_NE(Observed.find("\"dropped_events\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Cost-attribution endpoints: /profile.json, /flamegraph.json, /dashboard.
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, ProfileEndpointsRoundTrip) {
+  FuzzOptions Opts = twoBugOptions(150);
+  Opts.UseSharedTVCache = true;
+  Opts.Profile.Enabled = true;
+  Opts.Profile.TopK = 8;
+  Opts.Profile.SamplingIntervalMs = 5;
+  CampaignEngine Engine(Opts, 2);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+
+  MetricsServer M;
+  M.setEngine(&Engine);
+  Engine.setEventQueue(&M.events());
+  std::string Err;
+  ASSERT_TRUE(M.start(Err)) << Err;
+
+  // Before the run the endpoint answers (enabled, but nothing tracked or
+  // everything zero) rather than erroring.
+  std::string Early = httpGet(M.port(), "/profile.json");
+  EXPECT_NE(statusLine(Early).find("200"), std::string::npos) << Early;
+  EXPECT_NE(body(Early).find("\"enabled\""), std::string::npos);
+
+  Engine.run();
+
+  std::string Profile = body(httpGet(M.port(), "/profile.json"));
+  EXPECT_NE(Profile.find("\"enabled\": true"), std::string::npos) << Profile;
+  EXPECT_NE(Profile.find("\"topk\": 8"), std::string::npos) << Profile;
+  EXPECT_NE(Profile.find("\"queries\""), std::string::npos) << Profile;
+  EXPECT_NE(Profile.find("\"rank\": 1"), std::string::npos) << Profile;
+  EXPECT_NE(Profile.find("\"decisions\""), std::string::npos);
+  EXPECT_NE(Profile.find("\"volatile\""), std::string::npos);
+  // The shared cache was on, so shard heat rows are present.
+  EXPECT_NE(Profile.find("\"cache_shards\""), std::string::npos);
+  EXPECT_NE(Profile.find("\"lock_waits\""), std::string::npos);
+
+  std::string FG = httpGet(M.port(), "/flamegraph.json");
+  EXPECT_NE(statusLine(FG).find("200"), std::string::npos) << FG;
+  EXPECT_NE(FG.find("application/json"), std::string::npos);
+  EXPECT_NE(body(FG).find("\"interval_ms\": 5"), std::string::npos) << FG;
+  EXPECT_NE(body(FG).find("\"samples\""), std::string::npos);
+  EXPECT_NE(body(FG).find("\"stacks\""), std::string::npos);
+
+  std::string Dash = httpGet(M.port(), "/dashboard");
+  EXPECT_NE(statusLine(Dash).find("200"), std::string::npos) << Dash;
+  EXPECT_NE(Dash.find("text/html"), std::string::npos);
+  EXPECT_NE(body(Dash).find("<title>"), std::string::npos);
+  EXPECT_NE(body(Dash).find("EventSource"), std::string::npos);
+  EXPECT_NE(body(Dash).find("/profile.json"), std::string::npos);
+
+  // The index advertises the new endpoints.
+  std::string Index = body(httpGet(M.port(), "/"));
+  EXPECT_NE(Index.find("/profile.json"), std::string::npos) << Index;
+  EXPECT_NE(Index.find("/flamegraph.json"), std::string::npos);
+  EXPECT_NE(Index.find("/dashboard"), std::string::npos);
+
+  M.setEngine(nullptr);
+  M.stop();
+}
+
+TEST(ObservabilityTest, ProfileEndpointDisabledWithoutFlag) {
+  FuzzOptions Opts = twoBugOptions(20);
+  CampaignEngine Engine(Opts, 1);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  MetricsServer M;
+  M.setEngine(&Engine);
+  std::string Err;
+  ASSERT_TRUE(M.start(Err)) << Err;
+  Engine.run();
+  EXPECT_NE(body(httpGet(M.port(), "/profile.json")).find("\"enabled\": false"),
+            std::string::npos);
+  M.setEngine(nullptr);
+  M.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// HttpServer hardening: read deadline and SSE keep-alive.
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, HttpServerReadDeadlineAnswers408) {
+  HttpServer S;
+  S.setHandler([](const HttpRequest &) { return HttpResponse(); });
+  S.setReadDeadlineSeconds(0.2);
+  std::string Err;
+  ASSERT_TRUE(S.start(0, Err)) << Err;
+
+  // A slow-loris client: opens the connection, sends half a request line,
+  // then stalls. The server must answer 408 and close instead of holding
+  // the MaxConns slot forever.
+  int FD = connectLoopback(S.port());
+  ASSERT_GE(FD, 0);
+  ASSERT_TRUE(sendAll(FD, "GET /slow HTTP/1.1\r\n"));
+  std::string Resp = readToEOF(FD, 5.0);
+  EXPECT_NE(Resp.find("408 Request Timeout"), std::string::npos) << Resp;
+  ::close(FD);
+
+  // A prompt client on the same server is unaffected.
+  std::string Ok = httpGet(S.port(), "/ok");
+  EXPECT_NE(statusLine(Ok).find("200"), std::string::npos) << Ok;
+  S.stop();
+}
+
+TEST(ObservabilityTest, SSEKeepAlivePingReachesIdleStreams) {
+  HttpServer S;
+  S.setHandler([](const HttpRequest &Req) {
+    HttpResponse R;
+    if (Req.Path == "/stream") {
+      R.Stream = true;
+      R.Body = ": welcome\n\n";
+    }
+    return R;
+  });
+  S.setKeepAliveSeconds(0.05);
+  std::string Err;
+  ASSERT_TRUE(S.start(0, Err)) << Err;
+
+  int FD = connectLoopback(S.port());
+  ASSERT_GE(FD, 0);
+  ASSERT_TRUE(sendAll(FD, "GET /stream HTTP/1.1\r\nHost: x\r\n\r\n"));
+  // With no events at all, the comment-frame heartbeat still arrives (an
+  // EventSource parser discards it; proxies see traffic).
+  std::string Got = readUntil(FD, ": ping", 5.0);
+  EXPECT_NE(Got.find(": ping"), std::string::npos) << Got;
+  ::close(FD);
+  S.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Run report schema v6: the profile blocks.
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, RunReportV6ProfileBlocks) {
+  FuzzOptions Opts = twoBugOptions(100);
+  Opts.Profile.Enabled = true;
+  Opts.Profile.TopK = 8;
+  CampaignEngine Engine(Opts, 2);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Engine.run();
+
+  RunReportConfig RC;
+  RC.Tool = "observability_test";
+  RC.Passes = Opts.Passes;
+  RC.Iterations = Opts.Iterations;
+  RC.BaseSeed = Opts.BaseSeed;
+  RC.Jobs = 2;
+  RC.WallSeconds = S.TotalSeconds;
+  std::ostringstream OS;
+  writeRunReport(OS, RC, S, Engine.bugs(), Engine.registry(),
+                 &Engine.profile());
+  std::string R = OS.str();
+
+  EXPECT_NE(R.find("\"schema_version\": 6"), std::string::npos);
+  // Both sections carry a profile block: the deterministic top-K table
+  // and the volatile sampling/shard-heat data.
+  size_t Det = R.find("\"profile\": {\"enabled\": true, \"topk\": 8");
+  ASSERT_NE(Det, std::string::npos) << R;
+  EXPECT_NE(R.find("\"queries\"", Det), std::string::npos);
+  size_t Vol = R.find("\"profile\": {\"enabled\": true, \"data\"", Det + 1);
+  ASSERT_NE(Vol, std::string::npos) << R;
+  EXPECT_NE(R.find("\"sampling\"", Vol), std::string::npos);
+  EXPECT_NE(R.find("\"query_seconds\"", Vol), std::string::npos);
+
+  // Without a profile, both blocks collapse to {"enabled": false}.
+  std::ostringstream OS2;
+  writeRunReport(OS2, RC, S, Engine.bugs(), Engine.registry());
+  std::string Plain = OS2.str();
+  size_t First = Plain.find("\"profile\": {\"enabled\": false}");
+  EXPECT_NE(First, std::string::npos);
+  EXPECT_NE(Plain.find("\"profile\": {\"enabled\": false}", First + 1),
+            std::string::npos);
 }

@@ -1,0 +1,346 @@
+//===- tests/profiler_test.cpp - Cost-attribution profiler tests ------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the deep cost-attribution layer: the stable FNV key
+/// hash, the (cost desc, key asc) total order, the bounded top-K tracker's
+/// record/evict/merge semantics and its exact-merge guarantee, the
+/// sampling profiler folding synthetic live-span stacks into collapsed
+/// stacks, the JSON/flamegraph serializers, and — at engine scale — the
+/// headline invariant that a -j4 campaign's merged top-K table serializes
+/// byte-identically to -j1's. The concurrent record/snapshot tests double
+/// as the TSan targets for the lock-free live-stack path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Profiler.h"
+
+#include "core/CampaignEngine.h"
+#include "opt/BugInjection.h"
+#include "parser/Parser.h"
+#include "support/TraceRecorder.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+#include <thread>
+
+using namespace alive;
+
+namespace {
+
+QueryCostSample sample(uint64_t Key, uint64_t Seed, uint64_t Decisions,
+                       uint64_t Propagations = 0, uint64_t Conflicts = 0) {
+  QueryCostSample S;
+  S.KeyHash = Key;
+  S.Function = "f";
+  S.Verdict = "refines";
+  S.Seed = Seed;
+  S.Symbolic = Decisions + Propagations + Conflicts > 0;
+  S.Decisions = Decisions;
+  S.Propagations = Propagations;
+  S.Conflicts = Conflicts;
+  return S;
+}
+
+std::string topJSON(const std::vector<QueryCost> &Top) {
+  std::ostringstream OS;
+  writeTopQueriesJSON(OS, Top);
+  return OS.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Key hash and ranking order.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfilerTest, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a 64 test vectors: the key hash must be stable across
+  // platforms and standard libraries (std::hash is neither).
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(ProfilerTest, RankingIsCostDescThenKeyAsc) {
+  QueryCost A, B;
+  A.KeyHash = 10;
+  A.Decisions = 5;
+  B.KeyHash = 2;
+  B.Decisions = 3;
+  EXPECT_TRUE(queryCostRanksBefore(A, B));  // higher cost wins
+  EXPECT_FALSE(queryCostRanksBefore(B, A));
+  B.Decisions = 5;
+  EXPECT_TRUE(queryCostRanksBefore(B, A));  // tie -> lower key wins
+  EXPECT_FALSE(queryCostRanksBefore(A, B));
+  EXPECT_FALSE(queryCostRanksBefore(A, A)); // strict
+}
+
+//===----------------------------------------------------------------------===//
+// QueryCostTracker.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfilerTest, TrackerAccumulatesOccurrencesNotCost) {
+  QueryCostTracker T(4);
+  T.record(sample(7, 100, 10, 20, 30));
+  T.record(sample(7, 101, 10, 20, 30)); // cache-hit replay: same counters
+  auto Top = T.top();
+  ASSERT_EQ(Top.size(), 1u);
+  EXPECT_EQ(Top[0].Count, 2u);
+  // Per-occurrence cost, never occurrence-weighted: this is what makes
+  // the per-worker trackers merge exactly.
+  EXPECT_EQ(Top[0].costUnits(), 60u);
+  EXPECT_EQ(Top[0].FirstSeed, 100u);
+}
+
+TEST(ProfilerTest, TrackerMinSeedAttribution) {
+  QueryCostTracker T(4);
+  QueryCostSample Late = sample(7, 200, 5);
+  Late.Function = "late";
+  QueryCostSample Early = sample(7, 50, 5);
+  Early.Function = "early";
+  T.record(Late);
+  T.record(Early);
+  auto Top = T.top();
+  ASSERT_EQ(Top.size(), 1u);
+  EXPECT_EQ(Top[0].Function, "early");
+  EXPECT_EQ(Top[0].FirstSeed, 50u);
+}
+
+TEST(ProfilerTest, TrackerEvictsWorstAtCapacity) {
+  QueryCostTracker T(2);
+  T.record(sample(1, 1, 100));
+  T.record(sample(2, 2, 50));
+  T.record(sample(3, 3, 75)); // evicts key 2 (the cheapest)
+  EXPECT_EQ(T.evicted(), 1u);
+  auto Top = T.top();
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_EQ(Top[0].KeyHash, 1u);
+  EXPECT_EQ(Top[1].KeyHash, 3u);
+  // A cheap newcomer is itself the eviction victim.
+  T.record(sample(4, 4, 1));
+  EXPECT_EQ(T.evicted(), 2u);
+  EXPECT_EQ(T.top().size(), 2u);
+}
+
+TEST(ProfilerTest, ShardedTrackersMergeToTheGlobalTopK) {
+  // 40 keys with distinct costs, dealt round-robin across 4 "workers"
+  // with K=8 trackers; every key recurs on every worker that saw it.
+  // The merged top-8 must equal the unsharded tracker's top-8, entry for
+  // entry — the -j1 == -jN guarantee at unit scale.
+  constexpr unsigned K = 8;
+  QueryCostTracker Whole(K);
+  QueryCostTracker Shards[4] = {QueryCostTracker(K), QueryCostTracker(K),
+                                QueryCostTracker(K), QueryCostTracker(K)};
+  for (uint64_t I = 0; I != 40; ++I) {
+    QueryCostSample S = sample(1000 + I, 10 + I, (I * 37) % 101, I % 7);
+    Whole.record(S);
+    Whole.record(S);
+    Shards[I % 4].record(S);
+    Shards[I % 4].record(S);
+  }
+  // Merge in two different orders; both must serialize identically.
+  QueryCostTracker MergedFwd(K), MergedRev(K);
+  for (int I = 0; I != 4; ++I)
+    MergedFwd.merge(Shards[I]);
+  for (int I = 3; I >= 0; --I)
+    MergedRev.merge(Shards[I]);
+  std::string Expect = topJSON(Whole.top());
+  EXPECT_EQ(topJSON(MergedFwd.top()), Expect);
+  EXPECT_EQ(topJSON(MergedRev.top()), Expect);
+}
+
+TEST(ProfilerTest, ConcurrentRecordAndSnapshot) {
+  // TSan target: four recording threads against a snapshotting observer.
+  QueryCostTracker T(16);
+  std::atomic<bool> Stop{false};
+  std::thread Observer([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      auto Top = T.top();
+      for (size_t I = 1; I < Top.size(); ++I)
+        EXPECT_TRUE(queryCostRanksBefore(Top[I - 1], Top[I]));
+    }
+  });
+  std::vector<std::thread> Writers;
+  for (int W = 0; W != 4; ++W)
+    Writers.emplace_back([&T, W] {
+      for (uint64_t I = 0; I != 2000; ++I)
+        T.record(sample(I % 64, W * 10000 + I, I % 13, I % 5));
+    });
+  for (auto &Th : Writers)
+    Th.join();
+  Stop.store(true, std::memory_order_relaxed);
+  Observer.join();
+  EXPECT_EQ(T.top().size(), 16u);
+}
+
+//===----------------------------------------------------------------------===//
+// SamplingProfiler.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfilerTest, SamplerFoldsSyntheticSpans) {
+  TraceRecorder R;
+  R.setLiveStack(true);
+  R.enterSpan("iteration");
+  R.enterSpan("verify");
+
+  SamplingProfiler SP(1);
+  SP.attach("w0", &R);
+  SP.start();
+  while (SP.samples() < 5)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  SP.stop();
+  R.exitSpan();
+  R.exitSpan();
+
+  auto Folded = SP.collapsed();
+  ASSERT_EQ(Folded.size(), 1u);
+  EXPECT_EQ(Folded.begin()->first, "w0;iteration;verify");
+  EXPECT_GE(Folded.begin()->second, 5u);
+  // Every sample landed in some stack.
+  uint64_t Total = 0;
+  for (const auto &[_, N] : Folded)
+    Total += N;
+  EXPECT_EQ(Total, SP.samples());
+}
+
+TEST(ProfilerTest, SamplerSkipsIdleWorkers) {
+  // An attached recorder with an empty live stack must produce no "idle"
+  // frames and no samples: the flamegraph shows work, not waiting.
+  TraceRecorder R;
+  R.setLiveStack(true);
+  SamplingProfiler SP(1);
+  SP.attach("w0", &R);
+  SP.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  SP.stop();
+  EXPECT_TRUE(SP.collapsed().empty());
+  EXPECT_EQ(SP.samples(), 0u);
+}
+
+TEST(ProfilerTest, SamplerConcurrentWithSpanChurn) {
+  // TSan target: the sampler reads the live stack lock-free while the
+  // owning thread pushes and pops at full speed.
+  TraceRecorder R;
+  R.setLiveStack(true);
+  SamplingProfiler SP(1);
+  SP.attach("w0", &R);
+  SP.start();
+  std::thread Worker([&R] {
+    for (int I = 0; I != 20000; ++I) {
+      R.enterSpan("iteration");
+      R.enterSpan(I % 2 ? "optimize" : "verify");
+      R.exitSpan();
+      R.exitSpan();
+    }
+  });
+  Worker.join();
+  SP.stop();
+  // Whatever was sampled must be a prefix-consistent stack rooted at the
+  // worker label.
+  for (const auto &[Stack, N] : SP.collapsed()) {
+    EXPECT_EQ(Stack.rfind("w0;iteration", 0), 0u) << Stack;
+    EXPECT_GT(N, 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfilerTest, TopQueriesJSONShape) {
+  QueryCostTracker T(4);
+  T.record(sample(0xabcdef, 42, 3, 2, 1));
+  std::string J = topJSON(T.top());
+  EXPECT_NE(J.find("\"rank\": 1"), std::string::npos);
+  EXPECT_NE(J.find("\"key\": \"0000000000abcdef\""), std::string::npos);
+  EXPECT_NE(J.find("\"cost\": 6"), std::string::npos);
+  EXPECT_NE(J.find("\"decisions\": 3"), std::string::npos);
+  EXPECT_NE(J.find("\"propagations\": 2"), std::string::npos);
+  EXPECT_NE(J.find("\"conflicts\": 1"), std::string::npos);
+  EXPECT_NE(J.find("\"first_seed\": 42"), std::string::npos);
+  EXPECT_NE(J.find("\"symbolic\": true"), std::string::npos);
+}
+
+TEST(ProfilerTest, FlamegraphAndCollapsedFormats) {
+  CampaignProfile P;
+  P.Enabled = true;
+  P.SamplingIntervalMs = 5;
+  P.Collapsed = {{"w0;iteration;verify", 7}, {"w1;iteration;optimize", 3}};
+  P.Samples = 10;
+
+  std::ostringstream FG;
+  writeFlamegraphJSON(FG, P);
+  EXPECT_NE(FG.str().find("\"interval_ms\": 5"), std::string::npos);
+  EXPECT_NE(FG.str().find("\"samples\": 10"), std::string::npos);
+  EXPECT_NE(FG.str().find("{\"stack\": \"w0;iteration;verify\", \"count\": 7}"),
+            std::string::npos);
+
+  std::ostringstream CS;
+  writeCollapsedStacks(CS, P.Collapsed);
+  EXPECT_EQ(CS.str(), "w0;iteration;verify 7\nw1;iteration;optimize 3\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Engine scale: the -j1 == -j4 byte-identity of the merged table.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *ProfiledCorpus = R"(
+define i8 @smax_offset(i8 %x) {
+  %1 = add nuw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}
+
+define i8 @opposite_shifts(i8 %x) {
+  %a = shl i8 -2, %x
+  %b = lshr i8 %a, %x
+  ret i8 %b
+}
+)";
+
+std::string runProfiledCampaign(unsigned Jobs) {
+  std::string Err;
+  auto M = parseModule(ProfiledCorpus, Err);
+  EXPECT_NE(M, nullptr) << Err;
+  FuzzOptions Opts;
+  Opts.Passes = "instsimplify,constfold,instcombine,dce";
+  Opts.Iterations = 60;
+  Opts.BaseSeed = 1;
+  Opts.TV.ConcreteTrials = 16;
+  Opts.Bugs.enable(BugId::PR52884);
+  Opts.Bugs.enable(BugId::PR50693);
+  Opts.Profile.Enabled = true;
+  Opts.Profile.TopK = 8;
+  Opts.Profile.SamplingIntervalMs = 5;
+  CampaignEngine Engine(Opts, Jobs);
+  EXPECT_GT(Engine.loadModule(std::move(M)), 0u);
+  Engine.run();
+  const CampaignProfile &P = Engine.profile();
+  EXPECT_TRUE(P.Enabled);
+  EXPECT_FALSE(P.TopQueries.empty());
+  // Whatever got tracked is internally consistent and strictly ordered.
+  for (size_t I = 0; I < P.TopQueries.size(); ++I) {
+    const QueryCost &Q = P.TopQueries[I];
+    EXPECT_GT(Q.Count, 0u);
+    EXPECT_FALSE(Q.Function.empty());
+    if (I) {
+      EXPECT_TRUE(queryCostRanksBefore(P.TopQueries[I - 1], Q));
+    }
+  }
+  std::ostringstream OS;
+  writeTopQueriesJSON(OS, P.TopQueries);
+  return OS.str();
+}
+
+} // namespace
+
+TEST(ProfilerTest, MergedTopKIsByteIdenticalAcrossWorkerCounts) {
+  std::string J1 = runProfiledCampaign(1);
+  std::string J4 = runProfiledCampaign(4);
+  EXPECT_EQ(J1, J4);
+}
