@@ -18,6 +18,12 @@
 /// iteration is identical for every worker count) and AMR_CAMPAIGN_NOCACHE
 /// (disable change-tracking skips and the TV verdict cache — found-at
 /// columns must not move, only the verification-call counts).
+/// AMR_CAMPAIGN_FANOUT=<n> runs every campaign batch under the -fanout
+/// process supervisor (shard leases, heartbeat deadlines, backoff
+/// restarts), and AMR_CAMPAIGN_INJECT_FAULT arms the deterministic fault
+/// plane (same grammar as -inject-fault) — together they are CI's chaos
+/// matrix: found-at columns must survive injected child kills, and
+/// degraded accounting must be exact when a lease is permanently lost.
 /// `-stats-json=<file>` (or AMR_CAMPAIGN_STATS_JSON) writes the merged
 /// telemetry of every campaign batch as one schema-versioned run report.
 ///
@@ -38,6 +44,7 @@
 #include "corpus/Corpus.h"
 #include "opt/BugInjection.h"
 #include "parser/Parser.h"
+#include "support/FaultPlane.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -94,6 +101,15 @@ FuzzStats TVAgg;
 FuzzStats StatsAgg;
 StatRegistry RegistryAgg;
 std::vector<BugRecord> BugsAgg;
+
+/// AMR_CAMPAIGN_FANOUT: supervised child processes per campaign batch
+/// (0 = in-process workers, the default).
+unsigned GFanout = 0;
+/// Degradation ladder aggregation across every batch: any batch that
+/// permanently lost a shard lease marks the whole table run degraded,
+/// with its exact lost-iteration accounting appended.
+bool DegradedAgg = false;
+std::vector<std::pair<unsigned, uint64_t>> LostAgg;
 
 /// One metrics server spanning every per-defect campaign (-metrics-port /
 /// AMR_CAMPAIGN_METRICS_PORT): each batch's engine is bound for its run
@@ -159,6 +175,11 @@ void aggregateForReport(const CampaignEngine &Engine) {
   StatsAgg.OverheadSeconds += S.OverheadSeconds;
   StatsAgg.WorkerSeconds += S.WorkerSeconds;
   RegistryAgg.merge(Engine.registry());
+  if (Engine.degraded()) {
+    DegradedAgg = true;
+    for (const auto &L : Engine.lostShards())
+      LostAgg.push_back(L);
+  }
 }
 
 CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
@@ -168,6 +189,7 @@ CampaignResult runCampaign(const BugInfo &Bug, const char *SeedIR,
   Opts.TV.ConcreteTrials = 16;
   Opts.TV.SolverConflictBudget = 30000;
   Opts.Bugs.enable(Bug.Id);
+  Opts.Survival.Fanout = GFanout;
   if (NoCache) {
     Opts.SkipUnchanged = false;
     Opts.TVCacheSize = 0;
@@ -346,6 +368,15 @@ int main(int Argc, char **Argv) {
   if (Jobs == 0)
     Jobs = 1;
   bool NoCache = std::getenv("AMR_CAMPAIGN_NOCACHE") != nullptr;
+  if (const char *F = std::getenv("AMR_CAMPAIGN_FANOUT"))
+    GFanout = (unsigned)std::strtoul(F, nullptr, 10);
+  if (const char *F = std::getenv("AMR_CAMPAIGN_INJECT_FAULT")) {
+    std::string FaultErr;
+    if (!FaultPlane::instance().arm(F, FaultErr)) {
+      std::fprintf(stderr, "error: %s\n", FaultErr.c_str());
+      return 1;
+    }
+  }
 
   bool Compare = false;
   for (int I = 1; I < Argc; ++I)
@@ -364,10 +395,13 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("=== Fuzzing campaign: regenerating Table I ===\n");
+  char FanoutNote[48] = "";
+  if (GFanout)
+    std::snprintf(FanoutNote, sizeof(FanoutNote), ", fanout=%u", GFanout);
   std::printf("(each row: one seeded defect, campaign over its near-miss "
-              "seed, cap %llu mutants, %u worker(s)%s)\n\n",
+              "seed, cap %llu mutants, %u worker(s)%s%s)\n\n",
               (unsigned long long)MaxIter, Jobs,
-              NoCache ? ", memoization off" : "");
+              NoCache ? ", memoization off" : "", FanoutNote);
   std::printf("%-8s %-26s %-7s %-15s %10s  %s\n", "Issue", "Component",
               "Status", "Type", "found@", "Description");
   std::printf("%.120s\n",
@@ -416,6 +450,30 @@ int main(int Argc, char **Argv) {
               (unsigned long long)TVAgg.TVCacheHits,
               (unsigned long long)Lookups,
               (unsigned long long)TVAgg.TVCacheEvictions);
+  if (GFanout)
+    std::printf("supervision: %llu restart(s), %llu wedge kill(s), %llu "
+                "fork failure(s)%s\n",
+                (unsigned long long)RegistryAgg.counterValue(
+                    "survive.supervisor.restarts"),
+                (unsigned long long)RegistryAgg.counterValue(
+                    "survive.supervisor.wedges"),
+                (unsigned long long)RegistryAgg.counterValue(
+                    "survive.supervisor.fork_failures"),
+                DegradedAgg ? " [DEGRADED]" : "");
+  if (DegradedAgg) {
+    uint64_t LostIters = 0;
+    for (const auto &L : LostAgg)
+      LostIters += L.second;
+    std::printf("degraded: %zu shard lease(s) permanently lost, %llu "
+                "iteration(s) never ran\n",
+                LostAgg.size(), (unsigned long long)LostIters);
+  }
+  if (FaultPlane::instance().armed())
+    for (const FaultPointCounters &FC : FaultPlane::instance().counters())
+      std::printf("fault: %s (%s): %llu trigger(s) in %llu call(s)\n",
+                  FC.Point.c_str(), FC.Spec.c_str(),
+                  (unsigned long long)FC.Triggers,
+                  (unsigned long long)FC.Calls);
 
   if (!StatsPath.empty()) {
     RunReportConfig RC;
@@ -426,6 +484,9 @@ int main(int Argc, char **Argv) {
     RC.MaxMutationsPerFunction = MutationOptions().MaxMutationsPerFunction;
     RC.Jobs = Jobs;
     RC.WallSeconds = Wall.seconds();
+    RC.Degraded = DegradedAgg;
+    RC.FanOut = GFanout;
+    RC.LostShards = LostAgg;
     std::string ReportErr;
     if (writeRunReportFile(StatsPath, RC, StatsAgg, BugsAgg, RegistryAgg,
                            ReportErr))

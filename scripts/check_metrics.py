@@ -27,11 +27,12 @@ Checks on /metrics:
     +Inf count equals the family's _count.
 
 Checks on /status: the required keys exist with the right JSON types
-(config, running, elapsed, done, target, workers, isolated, shards,
-feedback, events, series, stats), each shard row is complete, and the
-stats dump carries both volatility classes.
+(config, running, elapsed, done, target, workers, isolated, degraded,
+fault_injection, shards, feedback, events, series, stats), each shard
+row is complete, and the stats dump carries both volatility classes.
 
-Checks on /healthz: healthy is a bool and stale_shards is a list.
+Checks on /healthz: healthy and degraded are bools, stale_shards is a
+list, and a degraded campaign never reports healthy.
 
 Checks on /profile.json: enabled is a bool; when true, the top-K query
 table rows are internally consistent (cost == decisions + propagations +
@@ -195,6 +196,8 @@ def check_status(path):
         "target": int,
         "workers": int,
         "isolated": bool,
+        "degraded": bool,
+        "fault_injection": dict,
         "shards": list,
         "feedback": dict,
         "events": dict,
@@ -230,6 +233,15 @@ def check_status(path):
         if not isinstance(ev.get(key), int) or ev[key] < 0:
             fail("%s: events.%s missing or not a non-negative int" % (path, key))
 
+    fi = s["fault_injection"]
+    if not isinstance(fi.get("armed"), bool):
+        fail("%s: fault_injection.armed missing or not a bool" % path)
+    for pt in fi.get("points", []):
+        for key in ("calls", "triggers"):
+            if not isinstance(pt.get(key), int) or pt[key] < 0:
+                fail("%s: fault point %r field %s not a non-negative int"
+                     % (path, pt.get("point"), key))
+
     se = s["series"]
     for key in ("interval", "capacity", "size"):
         if key not in se:
@@ -255,6 +267,10 @@ def check_healthz(path):
         fail("%s: healthy missing or not a bool" % path)
     if not isinstance(h.get("stale_shards"), list):
         fail("%s: stale_shards missing or not a list" % path)
+    if not isinstance(h.get("degraded"), bool):
+        fail("%s: degraded missing or not a bool" % path)
+    if h["degraded"] and h["healthy"]:
+        fail("%s: degraded campaign cannot report healthy" % path)
     return h["healthy"]
 
 

@@ -24,6 +24,12 @@ invariants the telemetry subsystem guarantees:
   - the v5 trace block is present in the volatile section, its
     dropped_events total is a non-negative int, and it equals the sum of
     the per-track dropped_events;
+  - the v7 degradation ladder: survivability carries a bool degraded
+    flag, a non-negative fanout child count, and a lost_shards list whose
+    rows name a shard index and a non-negative lost-iteration count (a
+    non-empty list forces degraded == true); the volatile fault_injection
+    block carries a bool armed flag and, per armed point, call/trigger
+    counters with triggers <= calls;
   - the v6 profile blocks are present in BOTH sections with a bool
     enabled flag; when enabled, every deterministic top-K query row is
     internally consistent (cost == decisions + propagations + conflicts,
@@ -42,7 +48,7 @@ Exits non-zero with a message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 
 def fail(msg):
@@ -159,6 +165,39 @@ def check_report(path):
         fail("%s: survivability.timeouts missing or not a non-negative int" % path)
     if not isinstance(surv.get("interrupted"), bool):
         fail("%s: survivability.interrupted missing or not a bool" % path)
+    if not isinstance(surv.get("degraded"), bool):
+        fail("%s: survivability.degraded missing or not a bool" % path)
+    if not isinstance(surv.get("fanout"), int) or surv["fanout"] < 0:
+        fail("%s: survivability.fanout missing or not a non-negative int" % path)
+    lost = surv.get("lost_shards")
+    if not isinstance(lost, list):
+        fail("%s: survivability.lost_shards missing or not a list" % path)
+    for row in lost:
+        if not isinstance(row.get("shard"), int) or row["shard"] < 0:
+            fail("%s: lost_shards row missing non-negative 'shard': %r" % (path, row))
+        if not isinstance(row.get("lost_iterations"), int) or row["lost_iterations"] < 0:
+            fail(
+                "%s: lost_shards row missing non-negative 'lost_iterations': %r"
+                % (path, row)
+            )
+    if lost and not surv["degraded"]:
+        fail("%s: lost_shards non-empty but survivability.degraded is false" % path)
+
+    faults = vol.get("fault_injection")
+    if not isinstance(faults, dict) or not isinstance(faults.get("armed"), bool):
+        fail("%s: volatile.fault_injection missing or armed not a bool" % path)
+    points = faults.get("points", [])
+    if faults["armed"] and not isinstance(points, list):
+        fail("%s: fault_injection.points missing" % path)
+    for pt in points:
+        for key in ("calls", "triggers"):
+            if not isinstance(pt.get(key), int) or pt[key] < 0:
+                fail("%s: fault point %r field %s not a non-negative int" % (path, pt.get("point"), key))
+        if pt["triggers"] > pt["calls"]:
+            fail(
+                "%s: fault point %r fired %d times in only %d calls"
+                % (path, pt.get("point"), pt["triggers"], pt["calls"])
+            )
 
     s = det["summary"]
 

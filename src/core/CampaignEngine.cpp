@@ -7,7 +7,9 @@
 #include "core/CampaignEngine.h"
 
 #include "core/Checkpoint.h"
+#include "core/Supervisor.h"
 #include "parser/Printer.h"
+#include "support/FaultPlane.h"
 #include "support/SignalGuard.h"
 #include "support/Timer.h"
 
@@ -164,6 +166,7 @@ CampaignLiveSnapshot CampaignEngine::liveSnapshot() const {
   std::lock_guard<std::mutex> Lock(LiveM);
   S.Running = Live.Running;
   S.Isolated = Live.Isolated;
+  S.Degraded = DegradedFlag;
   S.Workers = Live.Running ? Live.Workers : Jobs;
   S.Target = Live.Running ? Live.Target : Opts.Iterations;
   S.FeedbackEnabled = Opts.Feedback.Enabled;
@@ -418,16 +421,41 @@ const FuzzStats &CampaignEngine::run() {
   const SurvivalOptions &SV = Opts.Survival;
   const bool TimeLimited = Opts.Iterations == 0;
   const bool Checkpointing = !SV.CheckpointDir.empty();
-  if ((Checkpointing || SV.Isolate) &&
+  if ((Checkpointing || SV.Isolate || SV.Fanout) &&
       (TimeLimited || Opts.TimeLimitSeconds > 0)) {
     // A time-limited campaign has no reproducible seed schedule: neither a
     // resumed run nor a harvested shard could reconstruct "where it was".
     // That includes -n combined with -t: the static dispatch ignores the
     // time limit, so accepting the combination would silently checkpoint
     // a campaign whose advertised bound is not the one being enforced.
-    ConfigError = "checkpointing and -isolate require an iteration-bounded "
-                  "campaign: replace -t with -n";
+    ConfigError = "checkpointing, -isolate and -fanout require an "
+                  "iteration-bounded campaign: replace -t with -n";
     return Stats;
+  }
+  if (SV.Fanout) {
+    // The supervised fan-out shares -isolate's process-boundary coherence
+    // matrix (shard state lives in children the parent cannot trace,
+    // profile or epoch-merge) and is itself a process supervisor.
+    if (SV.Isolate) {
+      ConfigError = "-fanout and -isolate are both process supervisors: "
+                    "pick one";
+      return Stats;
+    }
+    if (Opts.Feedback.Enabled) {
+      ConfigError = "-feedback cannot run with -fanout: supervised shards "
+                    "have no epoch barrier to merge coverage at";
+      return Stats;
+    }
+    if (Opts.TraceEnabled) {
+      ConfigError = "-fanout cannot collect flight-recorder traces from "
+                    "child processes; drop tracing or -fanout";
+      return Stats;
+    }
+    if (Opts.Profile.Enabled) {
+      ConfigError = "-fanout cannot profile child processes; drop "
+                    "-profile or -fanout";
+      return Stats;
+    }
   }
   if (Opts.Feedback.Enabled) {
     // Feedback's own coherence matrix. The schedule makes a mutant a
@@ -480,15 +508,20 @@ const FuzzStats &CampaignEngine::run() {
 
   Interrupted = false;
   IsolateError.clear();
+  DegradedFlag = false;
+  LostShardsV.clear();
   TotalDone.store(0, std::memory_order_relaxed);
   Profile = CampaignProfile();
 
   emitEvent(CampaignEvent::Kind::CampaignStart, Opts.BaseSeed, 0,
-            SV.Isolate          ? "isolate"
+            SV.Fanout               ? "fanout"
+            : SV.Isolate            ? "isolate"
             : Opts.Feedback.Enabled ? "feedback"
             : TimeLimited           ? "time-limited"
                                     : "blind");
 
+  if (SV.Fanout)
+    return runSupervised(Testable, Total);
   if (SV.Isolate)
     return runIsolated(J, Testable, Total);
   if (Opts.Feedback.Enabled)
@@ -1189,7 +1222,9 @@ CampaignEngine::runIsolated(unsigned J,
   const size_t MapSize = sizeof(IsoControl) + J * sizeof(Heartbeat);
   void *Raw = mmap(nullptr, MapSize, PROT_READ | PROT_WRITE,
                    MAP_SHARED | MAP_ANONYMOUS, -1, 0);
-  if (Raw == MAP_FAILED) {
+  if (Raw == MAP_FAILED || faultAt("isolate.mmap")) {
+    if (Raw != MAP_FAILED)
+      munmap(Raw, MapSize);
     ConfigError = "-isolate: cannot map the shared heartbeat page";
     return Stats;
   }
@@ -1251,6 +1286,9 @@ CampaignEngine::runIsolated(unsigned J,
   auto Spawn = [&](unsigned I) -> bool {
     Shard &S = Shards[I];
     HB[I].Cur.store(IdleOffset, std::memory_order_relaxed);
+    // Parent-side injection so the counter persists across respawns.
+    if (faultAt("isolate.fork"))
+      return false;
     pid_t Pid = fork();
     if (Pid < 0)
       return false;
@@ -1531,5 +1569,359 @@ CampaignEngine::runIsolated(unsigned J,
   Stats.TotalSeconds = Total.seconds();
   emitEvent(CampaignEvent::Kind::CampaignEnd, 0, 0,
             Interrupted ? "interrupted" : "completed");
+  return Stats;
+}
+
+const FuzzStats &
+CampaignEngine::runSupervised(const std::vector<std::string> &Testable,
+                              Timer &Total) {
+  const SurvivalOptions &SV = Opts.Survival;
+  namespace fs = std::filesystem;
+
+  // As in runIsolated, the checkpoint directory is the harvest channel:
+  // children persist their state there, the parent merges from it (and a
+  // lost lease's last checkpoint is still harvested — partial results are
+  // degraded, never discarded). Without a user-provided directory, use
+  // (and afterwards remove) a private one.
+  std::string Dir = SV.CheckpointDir;
+  const bool OwnDir = Dir.empty();
+  if (OwnDir) {
+    std::error_code EC;
+    Dir = (fs::temp_directory_path(EC) /
+           ("alive-mutate-fanout-" + std::to_string(getpid())))
+              .string();
+  }
+
+  // The lease partition must match the checkpoint identity, so clamp the
+  // fanout before writing the meta.
+  const unsigned N =
+      (unsigned)std::min<uint64_t>(std::max(1u, SV.Fanout), Opts.Iterations);
+  {
+    CheckpointMeta Cur;
+    Cur.Passes = Opts.Passes;
+    Cur.Iterations = Opts.Iterations;
+    Cur.BaseSeed = Opts.BaseSeed;
+    Cur.Jobs = N;
+    Cur.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
+    Cur.InjectBugs = !Opts.Bugs.empty();
+    Cur.ModuleHash = hashModuleText(printModule(*MasterLoop->module()));
+    std::string Err;
+    if (SV.Resume) {
+      CheckpointMeta Stored;
+      if (!readCheckpointMeta(Dir, Stored, Err) ||
+          !checkpointMetaMatches(Stored, Cur, Err)) {
+        ConfigError = "cannot resume: " + Err;
+        return Stats;
+      }
+    } else if (!writeCheckpointMeta(Dir, Cur, Err)) {
+      ConfigError = Err;
+      return Stats;
+    }
+  }
+
+  const uint64_t Interval = SV.CheckpointInterval ? SV.CheckpointInterval : 16;
+
+  SupervisorConfig SC;
+  SC.Fanout = N;
+  SC.Iterations = Opts.Iterations;
+  SC.Retry.MaxAttempts = SV.RetryMaxAttempts;
+  SC.Retry.BaseDelaySeconds = SV.RetryBaseDelay;
+  SC.Retry.MaxDelaySeconds = SV.RetryMaxDelay;
+  SC.LeaseHeartbeatSeconds = SV.LeaseHeartbeatSeconds;
+
+  Supervisor Sup(SC, [&](const Supervisor::ShardContext &Ctx) -> int {
+    // ------- child: one lease, sequential, in a disposable process. The
+    // address space is a copy-on-write snapshot of the parent, so the
+    // preprocessed master module is already here.
+    if (SV.IsolateMemMB) {
+      rlimit R{SV.IsolateMemMB << 20, SV.IsolateMemMB << 20};
+      setrlimit(RLIMIT_AS, &R);
+    }
+    if (SV.IsolateCpuSeconds) {
+      rlimit R{SV.IsolateCpuSeconds, SV.IsolateCpuSeconds};
+      setrlimit(RLIMIT_CPU, &R);
+    }
+    FuzzOptions WOpts = Opts;
+    WOpts.SelfCheckOnLoad = false;
+    WOpts.OnlyFunctions = Testable;
+    WOpts.Survival.Fanout = 0;
+    WOpts.Survival.Isolate = false;
+    // The process boundary IS the crash containment; an in-process guard
+    // would only hide the signal from the parent's classifier. The event
+    // queue lives in the parent's address space.
+    WOpts.Survival.SignalGuard = false;
+    WOpts.Events = nullptr;
+    WOpts.WorkerIndex = Ctx.Index;
+    WOpts.BaseSeed = Opts.BaseSeed + Ctx.Lo;
+    WOpts.Iterations = Ctx.Hi - Ctx.Lo;
+    FuzzerLoop Loop(WOpts);
+    Loop.loadModule(cloneModuleSubset(*MasterLoop->module(), Testable));
+    uint64_t Cursor = Ctx.Lo;
+    {
+      WorkerCheckpoint WC;
+      std::string Err;
+      if (readWorkerCheckpoint(Dir, Ctx.Index, WC, Err) && WC.Lo == Ctx.Lo &&
+          WC.Hi == Ctx.Hi) {
+        restoreWorker(WC, Loop);
+        Cursor = WC.Next;
+      }
+    }
+    // First beat before the loop: module cloning and restore are done,
+    // the wedge clock should measure iteration progress only.
+    Ctx.Next->store(Cursor, std::memory_order_relaxed);
+    Ctx.Beat->fetch_add(1, std::memory_order_relaxed);
+    if (faultAt("supervisor.wedge")) {
+      // Chaos hook: hang without beating until the wedge detector reaps
+      // us (or the campaign stops).
+      while (!Ctx.Stop->load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      return 0;
+    }
+    // The parent cannot see into this address space, so the wall-clock
+    // backstop runs as a thread of the child itself.
+    WallClockSupervisor WallSup({&Loop}, SV.WallTimeoutSeconds);
+    Timer Leg;
+    uint64_t Since = 0;
+    std::string CkptErr;
+    while (Cursor != Ctx.Hi) {
+      if (Ctx.Stop->load(std::memory_order_relaxed))
+        break;
+      uint64_t Off = Cursor;
+      if (std::find(Ctx.Skip->begin(), Ctx.Skip->end(), Off) !=
+          Ctx.Skip->end()) {
+        ++Cursor;
+        Ctx.Next->store(Cursor, std::memory_order_relaxed);
+        Ctx.Done->fetch_add(1, std::memory_order_relaxed);
+        Ctx.Beat->fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Ctx.Cur->store(Off, std::memory_order_release);
+      Loop.runIteration(Opts.BaseSeed + Off);
+      Ctx.Cur->store(Supervisor::IdleOffset, std::memory_order_release);
+      ++Cursor;
+      Ctx.Next->store(Cursor, std::memory_order_relaxed);
+      Ctx.Done->fetch_add(1, std::memory_order_relaxed);
+      Ctx.Beat->fetch_add(1, std::memory_order_relaxed);
+      if (++Since >= Interval) {
+        Since = 0;
+        writeWorkerCheckpoint(
+            Dir, snapshotWorker(Ctx.Index, Ctx.Lo, Ctx.Hi, Cursor, Loop),
+            CkptErr);
+      }
+    }
+    settleWorkerSeconds(Loop, Leg.seconds());
+    bool Ok = writeWorkerCheckpoint(
+        Dir, snapshotWorker(Ctx.Index, Ctx.Lo, Ctx.Hi, Cursor, Loop),
+        CkptErr);
+    WallSup.stop();
+    // Exit 3 = "results could not be written": the parent marks the
+    // lease Lost instead of retrying forever.
+    return Ok ? 0 : 3;
+  });
+
+  std::string InitErr;
+  if (!Sup.init(InitErr)) {
+    ConfigError = InitErr;
+    if (OwnDir) {
+      std::error_code EC;
+      fs::remove_all(Dir, EC);
+    }
+    return Stats;
+  }
+
+  // Initialize the merged state now: the crash hook accounts bugs live,
+  // the final harvest adds the shard checkpoints on top.
+  Stats = FuzzStats();
+  Stats.FunctionsDropped = MasterLoop->stats().FunctionsDropped;
+  Bugs.clear();
+  SaveDirError.clear();
+  BundleError.clear();
+  Registry = StatRegistry();
+  Registry.merge(MasterLoop->registry());
+  Traces.clear();
+  TraceNames.clear();
+
+  uint64_t ParentBundles = 0, ParentBundleFailures = 0;
+  Sup.setCrashHook([&](unsigned I, uint64_t Off,
+                       const std::string &Why) -> BugRecord {
+    // The offset took the process down repeatedly: a crash bug of the
+    // compiler-under-test. Record it from the parent side — the mutant
+    // regenerates deterministically from its seed.
+    uint64_t Seed = Opts.BaseSeed + Off;
+    BugRecord B;
+    B.Kind = BugRecord::Crash;
+    B.MutantSeed = Seed;
+    B.Detail = "optimizer process " + Why + " (supervised shard " +
+               std::to_string(I) + ", contained by process isolation)";
+    ForensicRecord FR;
+    FR.K = ForensicRecord::Crash;
+    FR.Seed = Seed;
+    FR.VerdictSlug = "crash";
+    FR.Detail = B.Detail;
+    int Sig = 0;
+    bool Survived = runWithSignalGuard(
+        [&] {
+          MutationTrail Trail;
+          std::unique_ptr<Module> Mutant = MasterLoop->makeMutant(Seed, Trail);
+          B.MutantIR = printModule(*Mutant);
+          if (!Opts.BugBundleDir.empty()) {
+            BundleInputs In{Opts,         Testable, *MasterLoop->module(),
+                            Mutant.get(), nullptr,  &Trail,
+                            FR};
+            std::string Err;
+            B.BundlePath = writeBugBundle(Opts.BugBundleDir, In, Err);
+            if (B.BundlePath.empty()) {
+              ++ParentBundleFailures;
+              if (BundleError.empty())
+                BundleError = Err;
+            } else {
+              ++ParentBundles;
+            }
+          }
+        },
+        Sig);
+    if (!Survived)
+      B.Detail += "; mutant regeneration raised " +
+                  std::string(signalName(Sig)) + " in the parent too";
+    emitEvent(CampaignEvent::Kind::BugFound, Seed, I, "crash " + Why);
+    return B;
+  });
+
+  Sup.setStopCheck([&](uint64_t DoneTotal) {
+    TotalDone.store(DoneTotal, std::memory_order_relaxed);
+    uint64_t After = StopAfter.load(std::memory_order_relaxed);
+    return StopReq.load(std::memory_order_relaxed) ||
+           (After && DoneTotal >= After);
+  });
+  if (ProgressInterval > 0 && ProgressFn)
+    Sup.setTick(
+        [&](uint64_t Done, double Elapsed) {
+          CampaignProgress P;
+          P.Done = Done;
+          P.Target = Opts.Iterations;
+          P.Elapsed = Elapsed;
+          P.Workers = N;
+          if (P.Elapsed > 0)
+            P.Rate = (double)P.Done / P.Elapsed;
+          if (P.Rate > 0)
+            P.EtaSeconds = (double)(P.Target - P.Done) / P.Rate;
+          ProgressFn(P);
+        },
+        ProgressInterval);
+
+  // Live view over the supervisor's heartbeat page: Done counters only
+  // (shard registries live in child processes).
+  beginLive(/*Isolated=*/true, Opts.Iterations, N, &Total);
+  for (unsigned I = 0; I != Sup.shards(); ++I)
+    addLiveShard({I, Sup.shardLo(I), Sup.shardHi(I), Sup.doneCounter(I),
+                  /*StageNanos=*/nullptr, /*Loop=*/nullptr});
+  struct LiveGuard {
+    CampaignEngine *E;
+    ~LiveGuard() { E->endLive(); }
+  } LG{this};
+
+  SupervisorOutcome SO = Sup.run(Total);
+  endLive();
+  if (!SO.Error.empty()) {
+    ConfigError = SO.Error;
+    if (OwnDir) {
+      std::error_code EC;
+      fs::remove_all(Dir, EC);
+    }
+    return Stats;
+  }
+
+  Registry.counter("survive.supervisor.restarts", Volatility::Volatile) +=
+      SO.Restarts;
+  Registry.counter("survive.supervisor.wedges", Volatility::Volatile) +=
+      SO.Wedges;
+  Registry.counter("survive.supervisor.fork_failures", Volatility::Volatile) +=
+      SO.ForkFailures;
+  Registry.counter("survive.supervisor.lease_extensions",
+                   Volatility::Volatile) += SO.LeaseExtensions;
+
+  auto NoteIncident = [&](const std::string &Msg) {
+    if (!IsolateError.empty())
+      IsolateError += "; ";
+    IsolateError += Msg;
+  };
+
+  // Harvest: every lease's last durable checkpoint, merged exactly like
+  // the isolate path, plus the parent-recorded crash bugs spliced into
+  // each shard's list in seed order. Lost leases still contribute
+  // whatever their last checkpoint holds — and exact lost-iteration
+  // accounting is computed against that checkpoint, never estimated.
+  for (const ShardOutcome &S : SO.Shards) {
+    WorkerCheckpoint WC;
+    std::string Err;
+    bool Read = readWorkerCheckpoint(Dir, S.Index, WC, Err) &&
+                WC.Lo == S.Lo && WC.Hi == S.Hi;
+    bool ShardLost = S.Lost;
+    uint64_t LostIters = 0;
+    if (ShardLost) {
+      LostIters =
+          Read ? S.Hi - std::min(std::max(WC.Next, S.Lo), S.Hi) : S.Hi - S.Lo;
+    } else if (!Read) {
+      // Lease finished but its results cannot be read back: a lost shard
+      // by any other name. Count it the same way, never drop it silently.
+      ShardLost = true;
+      LostIters = S.Hi - S.Lo;
+      NoteIncident("shard " + std::to_string(S.Index) +
+                   " results lost: " + Err);
+    }
+    if (ShardLost) {
+      DegradedFlag = true;
+      LostShardsV.emplace_back(S.Index, LostIters);
+      Interrupted = true;
+      if (!S.Note.empty())
+        NoteIncident(S.Note + " (" + std::to_string(LostIters) +
+                     " iterations lost)");
+    } else if (!S.Note.empty()) {
+      NoteIncident(S.Note);
+    }
+    if (!Read)
+      continue;
+    accumulate(Stats, WC.Stats);
+    StatRegistry Tmp;
+    for (const WorkerCheckpoint::Counter &C : WC.Counters)
+      Tmp.counter(C.Name, C.IsVolatile ? Volatility::Volatile
+                                       : Volatility::Deterministic) = C.Value;
+    Registry.merge(Tmp);
+    std::vector<BugRecord> ShardBugs = WC.Bugs;
+    ShardBugs.insert(ShardBugs.end(), S.CrashBugs.begin(), S.CrashBugs.end());
+    std::stable_sort(ShardBugs.begin(), ShardBugs.end(),
+                     [](const BugRecord &A, const BugRecord &B) {
+                       return A.MutantSeed < B.MutantSeed;
+                     });
+    Bugs.insert(Bugs.end(), ShardBugs.begin(), ShardBugs.end());
+    if (!ShardLost && WC.Next != WC.Hi)
+      Interrupted = true;
+    uint64_t NCrash = S.CrashBugs.size();
+    if (NCrash) {
+      Stats.Crashes += NCrash;
+      Registry.counter("bug.crash") += NCrash;
+    }
+  }
+  Stats.BundlesWritten += ParentBundles;
+  Stats.BundleFailures += ParentBundleFailures;
+  if (DegradedFlag) {
+    uint64_t LostTotal = 0;
+    for (const auto &LS : LostShardsV)
+      LostTotal += LS.second;
+    Registry.counter("survive.degraded.shards", Volatility::Volatile) +=
+        LostShardsV.size();
+    Registry.counter("survive.degraded.lost_iterations",
+                     Volatility::Volatile) += LostTotal;
+  }
+
+  if (OwnDir) {
+    std::error_code EC;
+    fs::remove_all(Dir, EC);
+  }
+  Stats.TotalSeconds = Total.seconds();
+  emitEvent(CampaignEvent::Kind::CampaignEnd, 0, 0,
+            DegradedFlag  ? "degraded"
+            : Interrupted ? "interrupted"
+                          : "completed");
   return Stats;
 }

@@ -145,6 +145,19 @@ public:
   /// The campaign still completes with every other shard's results.
   const std::string &isolateError() const { return IsolateError; }
 
+  /// True when the last run() permanently lost at least one shard lease
+  /// (-fanout: retry budget exhausted or results unwritable). The run
+  /// report then carries `degraded: true` with exact lost-shard
+  /// accounting, and /healthz turns 503 — a lost shard is never a silent
+  /// gap in the merged results.
+  bool degraded() const { return DegradedFlag; }
+
+  /// (shard index, lost iteration count) for every permanently lost
+  /// lease of the last run, in shard order. Empty when not degraded.
+  const std::vector<std::pair<unsigned, uint64_t>> &lostShards() const {
+    return LostShardsV;
+  }
+
   const FuzzStats &stats() const { return Stats; }
   const std::vector<BugRecord> &bugs() const { return Bugs; }
 
@@ -228,6 +241,14 @@ private:
                                const std::vector<std::string> &Testable,
                                Timer &Total);
 
+  /// The supervised multi-process path (Survival.Fanout): shard leases
+  /// under a core/Supervisor control loop — heartbeat deadlines, retry
+  /// with bounded exponential backoff, retry-then-skip crash attribution
+  /// and lost-shard degradation accounting. The merged deterministic
+  /// section is byte-identical to -j1 whenever no lease ends Lost.
+  const FuzzStats &runSupervised(const std::vector<std::string> &Testable,
+                                 Timer &Total);
+
   /// The final merged feedback state of a finished feedback campaign
   /// (used by -distill and the run report).
   FeedbackMap FinalFeedback;
@@ -247,6 +268,9 @@ private:
   std::atomic<uint64_t> TotalDone{0};
   bool Interrupted = false;
   std::string IsolateError;
+  /// Degradation state of the last -fanout run (degraded()/lostShards()).
+  bool DegradedFlag = false;
+  std::vector<std::pair<unsigned, uint64_t>> LostShardsV;
   /// Preprocesses once, serves testableFunctions() and makeMutant();
   /// never iterates itself.
   std::unique_ptr<FuzzerLoop> MasterLoop;

@@ -6,6 +6,7 @@
 
 #include "core/Checkpoint.h"
 
+#include "support/AtomicFile.h"
 #include "support/JSON.h"
 #include "support/Telemetry.h"
 
@@ -30,30 +31,12 @@ double bitsDouble(uint64_t Bits) {
   return D;
 }
 
-/// Atomic write: tmp file in the same directory, then rename. A kill at
-/// any point leaves either the old snapshot or the new one, never a torn
-/// file.
+/// Atomic + durable write (tmp, fsync, rename) under the "checkpoint.*"
+/// fault points. A kill at any point leaves either the old snapshot or
+/// the new one, never a torn file.
 bool writeFileAtomic(const std::string &Path, const std::string &Content,
                      std::string &Error) {
-  namespace fs = std::filesystem;
-  std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (Out)
-      Out << Content;
-    Out.close();
-    if (!Out) {
-      Error = "cannot write '" + Tmp + "'";
-      return false;
-    }
-  }
-  std::error_code EC;
-  fs::rename(Tmp, Path, EC);
-  if (EC) {
-    Error = "cannot rename '" + Tmp + "' to '" + Path + "': " + EC.message();
-    return false;
-  }
-  return true;
+  return writeFileAtomicDurable(Path, Content, "checkpoint", Error);
 }
 
 bool slurp(const std::string &Path, std::string &Out, std::string &Error) {
@@ -289,12 +272,23 @@ bool alive::writeWorkerCheckpoint(const std::string &Dir,
 
 bool alive::readWorkerCheckpoint(const std::string &Dir, unsigned Index,
                                  WorkerCheckpoint &W, std::string &Error) {
+  std::string Path = shardPath(Dir, Index);
   std::string Text;
-  if (!slurp(shardPath(Dir, Index), Text, Error))
+  if (!slurp(Path, Text, Error))
     return false;
   JSONValue J;
   if (!parseJSON(Text, J, Error)) {
-    Error = "shard-" + std::to_string(Index) + ".json: " + Error;
+    // A parse failure whose offset sits at end-of-input is a truncation
+    // (a torn or partial write); anything else is corruption. Either way
+    // the message must name the file and the byte offset so the operator
+    // knows exactly which artifact to discard.
+    bool Truncated =
+        Error.find("unexpected end of input") != std::string::npos ||
+        Error.find("at offset " + std::to_string(Text.size()) + ":") !=
+            std::string::npos;
+    Error = std::string(Truncated ? "truncated" : "corrupt") +
+            " checkpoint '" + Path + "' (" + std::to_string(Text.size()) +
+            " bytes): " + Error;
     return false;
   }
   W.Index = (unsigned)J.getUInt("index");
@@ -302,8 +296,8 @@ bool alive::readWorkerCheckpoint(const std::string &Dir, unsigned Index,
   W.Hi = J.getUInt("hi");
   W.Next = J.getUInt("next");
   if (W.Index != Index || W.Next < W.Lo || W.Next > W.Hi) {
-    Error = "shard-" + std::to_string(Index) +
-            ".json: inconsistent index or seed cursor";
+    Error = "corrupt checkpoint '" + Path +
+            "': inconsistent index or seed cursor";
     return false;
   }
   if (const JSONValue *S = J.find("stats"))

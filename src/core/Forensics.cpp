@@ -10,6 +10,7 @@
 #include "opt/BugInjection.h"
 #include "parser/Parser.h"
 #include "parser/Printer.h"
+#include "support/AtomicFile.h"
 #include "support/JSON.h"
 #include "support/Telemetry.h"
 
@@ -185,17 +186,12 @@ std::string alive::writeBugBundle(const std::string &Dir,
     return "";
   }
 
+  // Every bundle file goes through the durable tmp+fsync+rename path
+  // (the manifest is written last, so a bundle with a manifest is always
+  // complete — -replay never sees a torn artifact).
   auto writeFile = [&](const char *Name, const std::string &Content) {
     fs::path P = Bundle / Name;
-    std::ofstream Out(P, std::ios::binary);
-    if (Out)
-      Out << Content;
-    Out.close();
-    if (!Out) {
-      Error = "cannot write '" + P.string() + "'";
-      return false;
-    }
-    return true;
+    return writeFileAtomicDurable(P.string(), Content, "forensics", Error);
   };
 
   if (!writeFile("original.ll", printModule(In.Original)))

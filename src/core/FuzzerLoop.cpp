@@ -10,6 +10,7 @@
 #include "core/Observability.h"
 #include "opt/BugInjection.h"
 #include "parser/Printer.h"
+#include "support/AtomicFile.h"
 #include "support/SignalGuard.h"
 #include "support/Timer.h"
 #include "tv/Canonicalize.h"
@@ -647,6 +648,14 @@ std::string FuzzerLoop::writeBundle(const ForensicRecord &R,
                                     bool VolatileAccounting) {
   if (Opts.BugBundleDir.empty())
     return "";
+  if (BundlesDegraded) {
+    // A previous bundle hit ENOSPC: writing more would only fail the same
+    // way (or worsen the disk). Skip — the campaign keeps fuzzing, each
+    // elided bundle is counted, and the run report flags the degradation.
+    ++Registry.counter("survive.degraded.bundle-skips",
+                       Volatility::Volatile);
+    return "";
+  }
   // The trail is regenerated lazily, only on the bug path: recording is
   // RNG-silent, so this replays the exact mutant while the hot loop paid
   // nothing for it.
@@ -665,6 +674,10 @@ std::string FuzzerLoop::writeBundle(const ForensicRecord &R,
       ++Stats.BundleFailures;
     if (BundleError.empty())
       BundleError = Error;
+    if (isNoSpaceError(Error)) {
+      BundlesDegraded = true;
+      ++Registry.counter("survive.degraded.enospc", Volatility::Volatile);
+    }
   } else {
     if (VolatileAccounting)
       ++Registry.counter("survive.timeout.bundles", Volatility::Volatile);

@@ -7,6 +7,7 @@
 #include "core/MetricsExporter.h"
 
 #include "core/CampaignEngine.h"
+#include "support/FaultPlane.h"
 
 #include <algorithm>
 #include <limits>
@@ -419,6 +420,23 @@ std::string MetricsServer::renderStatus(const CampaignLiveSnapshot &S) {
   OS << "  \"target\": " << S.Target << ",\n";
   OS << "  \"workers\": " << S.Workers << ",\n";
   OS << "  \"isolated\": " << (S.Isolated ? "true" : "false") << ",\n";
+  OS << "  \"degraded\": " << (S.Degraded ? "true" : "false") << ",\n";
+  {
+    // Chaos accounting: per-point call/trigger counters of the armed
+    // fault-injection table (empty when nothing is armed).
+    std::vector<FaultPointCounters> FC = FaultPlane::instance().counters();
+    OS << "  \"fault_injection\": {\"armed\": "
+       << (FC.empty() ? "false" : "true") << ", \"points\": [";
+    for (size_t I = 0; I != FC.size(); ++I) {
+      OS << (I ? ", " : "") << "{\"point\": ";
+      writeJSONString(OS, FC[I].Point);
+      OS << ", \"spec\": ";
+      writeJSONString(OS, FC[I].Spec);
+      OS << ", \"calls\": " << FC[I].Calls
+         << ", \"triggers\": " << FC[I].Triggers << "}";
+    }
+    OS << "]},\n";
+  }
   OS << "  \"shards\": [";
   for (size_t I = 0; I != S.Shards.size(); ++I) {
     const ShardLiveState &Sh = S.Shards[I];
@@ -518,8 +536,12 @@ bool MetricsServer::renderHealth(const CampaignLiveSnapshot &S,
         Stale.push_back(Sh.Index);
     }
   }
+  // A degraded campaign (permanently lost shard lease) is unhealthy even
+  // when every surviving shard is making progress: the gap is permanent.
+  bool Healthy = Stale.empty() && !S.Degraded;
   std::ostringstream OS;
-  OS << "{\"healthy\": " << (Stale.empty() ? "true" : "false")
+  OS << "{\"healthy\": " << (Healthy ? "true" : "false")
+     << ", \"degraded\": " << (S.Degraded ? "true" : "false")
      << ", \"stale_seconds\": ";
   writeJSONDouble(OS, Opts.HealthStaleSeconds);
   OS << ", \"stale_shards\": [";
@@ -527,5 +549,5 @@ bool MetricsServer::renderHealth(const CampaignLiveSnapshot &S,
     OS << (I ? ", " : "") << Stale[I];
   OS << "]}\n";
   Body = OS.str();
-  return Stale.empty();
+  return Healthy;
 }

@@ -110,6 +110,9 @@ struct CampaignLiveSnapshot {
   uint64_t Target = 0;       ///< planned iterations (0 = time-limited)
   unsigned Workers = 0;
   bool Isolated = false;     ///< shards are child processes
+  /// The campaign permanently lost a shard lease (-fanout retry budget
+  /// exhausted): /healthz reports 503 until a clean run replaces this.
+  bool Degraded = false;
   std::vector<ShardLiveState> Shards;
   /// Merged registry view: the engine's own registry plus a snapshot of
   /// every live worker registry (always safe: worker stat values are

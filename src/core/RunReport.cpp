@@ -6,8 +6,11 @@
 
 #include "core/RunReport.h"
 
-#include <fstream>
+#include "support/AtomicFile.h"
+#include "support/FaultPlane.h"
+
 #include <map>
+#include <sstream>
 
 using namespace alive;
 
@@ -229,9 +232,42 @@ void alive::writeRunReport(std::ostream &OS, const RunReportConfig &Config,
      << ", \"evictions\": " << S.TVCacheEvictions << "},\n";
   // Timeouts depend on the step budget or wall clock in force, and an
   // interrupted run is by definition a scheduling artifact — volatile.
+  // The degradation ladder lives here too: whether a supervised lease
+  // exhausted its retries (and exactly which iterations were lost) is a
+  // property of this run's fault history, never of the seed range.
   OS << "    \"survivability\": {\"timeouts\": " << S.Timeouts
      << ", \"interrupted\": " << (Config.Interrupted ? "true" : "false")
-     << "},\n";
+     << ", \"degraded\": " << (Config.Degraded ? "true" : "false")
+     << ", \"fanout\": " << Config.FanOut << ", \"lost_shards\": [";
+  {
+    bool First = true;
+    for (const auto &[Shard, Lost] : Config.LostShards) {
+      OS << (First ? "" : ", ") << "{\"shard\": " << Shard
+         << ", \"lost_iterations\": " << Lost << "}";
+      First = false;
+    }
+  }
+  OS << "]},\n";
+  // Fault-injection accounting: which -inject-fault points were armed and
+  // how often each edge was reached/failed. {"armed": false} (with an
+  // empty table) in production, so consumers can key on the block
+  // unconditionally.
+  {
+    std::vector<FaultPointCounters> Faults = FaultPlane::instance().counters();
+    OS << "    \"fault_injection\": {\"armed\": "
+       << (Faults.empty() ? "false" : "true") << ", \"points\": [";
+    bool First = true;
+    for (const FaultPointCounters &F : Faults) {
+      OS << (First ? "\n" : ",\n") << "      {\"point\": ";
+      First = false;
+      writeJSONString(OS, F.Point);
+      OS << ", \"spec\": ";
+      writeJSONString(OS, F.Spec);
+      OS << ", \"calls\": " << F.Calls << ", \"triggers\": " << F.Triggers
+         << "}";
+    }
+    OS << (First ? "" : "\n    ") << "]},\n";
+  }
   // Flight-recorder ring overwrites: always present (empty tracks when
   // tracing was off) so consumers can key on the block unconditionally.
   {
@@ -270,15 +306,13 @@ bool alive::writeRunReportFile(const std::string &Path,
                                const StatRegistry &Registry,
                                std::string &Error,
                                const CampaignProfile *Profile) {
-  std::ofstream Out(Path);
-  if (!Out) {
-    Error = "cannot write stats report '" + Path + "'";
-    return false;
-  }
-  writeRunReport(Out, Config, Stats, Bugs, Registry, Profile);
-  Out.close();
-  if (!Out) {
-    Error = "I/O error writing stats report '" + Path + "'";
+  // tmp+fsync+rename under the "report.*" fault points: a kill mid-write
+  // leaves the previous report (or nothing), never a torn JSON document.
+  std::ostringstream OS;
+  writeRunReport(OS, Config, Stats, Bugs, Registry, Profile);
+  std::string WriteError;
+  if (!writeFileAtomicDurable(Path, OS.str(), "report", WriteError)) {
+    Error = "cannot write stats report '" + Path + "': " + WriteError;
     return false;
   }
   return true;

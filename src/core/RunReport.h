@@ -56,7 +56,15 @@ namespace alive {
 /// so -j1 == -jN holds. The volatile side carries the wall-clock split
 /// per query, the sampling-profiler collapsed stacks and the shared-cache
 /// shard heat. Both report {"enabled": false} when profiling is off.
-constexpr unsigned RunReportSchemaVersion = 6;
+/// v7: the volatile "survivability" block gained the degradation ladder —
+/// "degraded" flag, "fanout" (supervised child count, 0 when off), and
+/// "lost_shards" (exact per-shard lost-iteration accounting when a
+/// supervised lease exhausted its retry budget) — and the volatile
+/// section gained "fault_injection" (per-point call/trigger counters for
+/// every armed -inject-fault point; {"armed": false} in production).
+/// Lost work and injected faults are scheduling artifacts by definition,
+/// so none of this can enter the deterministic section.
+constexpr unsigned RunReportSchemaVersion = 7;
 
 /// Report metadata that is not part of FuzzStats or the registry.
 struct RunReportConfig {
@@ -83,6 +91,15 @@ struct RunReportConfig {
   /// Campaign stopped before finishing its seed range (volatile; a resumed
   /// run that completes reports false).
   bool Interrupted = false;
+  /// The degradation ladder (volatile): true when the campaign finished
+  /// with known-lost work — a supervised shard exhausted its retry budget,
+  /// or artifact writing was disabled after ENOSPC.
+  bool Degraded = false;
+  /// Supervised fan-out child count (-fanout; 0 when off).
+  unsigned FanOut = 0;
+  /// Exact lost-work accounting: (shard index, iterations never run)
+  /// for every permanently-lost supervised lease.
+  std::vector<std::pair<unsigned, uint64_t>> LostShards;
   /// Flight-recorder ring overwrites per track ((track name, dropped
   /// count) pairs; empty when tracing was off). Volatile: how many events
   /// a fixed-capacity ring overwrote depends on scheduling, not the seeds.

@@ -1,0 +1,258 @@
+//===- core/Supervisor.h - Multi-process shard lease supervisor -*- C++ -*-===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-process campaign runner behind -fanout=N: a from-scratch
+/// control loop that promotes the -isolate prototype into real lease
+/// management. The engine partitions the seed range into N *shard leases*;
+/// the Supervisor forks one child per lease and owns everything that can
+/// go wrong on the process boundary:
+///
+///   - **Heartbeats.** Every child publishes (current offset, cursor,
+///     done count, beat tick) into a MAP_SHARED control page. A running
+///     lease whose beat tick stops advancing for LeaseHeartbeatSeconds is
+///     a wedge *suspect* — but silence alone cannot distinguish a wedge
+///     (deadlock, hung syscall) from one legitimately long solver query
+///     on an oversubscribed host, so the detector consults the child's
+///     CPU clock (/proc/<pid>/stat): meaningful CPU progress over the
+///     silent window extends the lease; a child that sat idle through it
+///     is *wedged* — SIGKILLed, and the death treated like any other (the
+///     restarted child resumes from its checkpoint).
+///
+///   - **Restarts.** A dead or wedged child is restarted under a
+///     support/Retry bounded-exponential-backoff policy (deterministic
+///     jitter, per-lease stream). Checkpoint progress refills the budget:
+///     only a lease that keeps dying *without advancing* exhausts it.
+///
+///   - **Crash attribution.** A death with a seed in flight is retried
+///     first — an externally killed child (chaos fault, OOM killer) must
+///     not perturb the deterministic report. Only when the *same* offset
+///     takes the process down SeedDeathThreshold times is it skipped and
+///     handed to the parent-side CrashHook, which synthesizes the crash
+///     BugRecord exactly like the -isolate path.
+///
+///   - **Degradation, never silence.** A lease whose budget is exhausted
+///     (or whose results cannot be written) becomes *Lost*: counted with
+///     its exact missing iteration range, surfaced as Degraded in the
+///     outcome — the run report flags `degraded: true` and /healthz turns
+///     503, but the campaign completes with every other shard's results.
+///
+/// Determinism: the merged deterministic report section is byte-identical
+/// to -j1 whenever no lease ends Lost — restarts, backoff and external
+/// kills only cost wall clock, never outcomes.
+///
+/// The Supervisor is deliberately generic: it knows processes, leases,
+/// heartbeats and retries, but not fuzzing. The child's work is a
+/// ShardBody callback (run after fork, returns the exit code) and crash
+/// bugs come from the CrashHook — CampaignEngine::runSupervised wires
+/// both to FuzzerLoop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORE_SUPERVISOR_H
+#define CORE_SUPERVISOR_H
+
+#include "core/FuzzerLoop.h"
+#include "support/Retry.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace alive {
+
+/// Supervisor tunables (the -fanout / -retry-* / -lease-deadline knobs).
+struct SupervisorConfig {
+  /// Number of shard leases == child processes.
+  unsigned Fanout = 2;
+  /// Total iteration range [0, Iterations) to partition across leases.
+  uint64_t Iterations = 0;
+  /// Restart policy per lease (budget, backoff bounds, jitter).
+  RetryPolicy Retry;
+  /// A running lease whose beat tick stalls this long is declared wedged
+  /// and killed (<= 0 disables wedge detection).
+  double LeaseHeartbeatSeconds = 30;
+  /// Same offset killing the process this many times => skip it and
+  /// record a crash bug. The first death(s) retry the seed, so external
+  /// kills cannot perturb the deterministic report.
+  unsigned SeedDeathThreshold = 2;
+  /// Parent poll cadence.
+  double PollSeconds = 0.01;
+};
+
+/// Final accounting for one shard lease.
+struct ShardOutcome {
+  unsigned Index = 0;
+  uint64_t Lo = 0, Hi = 0;
+  /// Lease permanently lost: retry budget exhausted or results
+  /// unwritable. LostIterations = Hi - last known cursor.
+  bool Lost = false;
+  uint64_t LostIterations = 0;
+  /// Child processes forked for this lease (1 == clean single run).
+  unsigned Spawns = 0;
+  /// Crash bugs the parent synthesized (seed-attributed deaths past the
+  /// threshold), in seed order.
+  std::vector<BugRecord> CrashBugs;
+  /// Human-readable incident note ("" when clean).
+  std::string Note;
+};
+
+/// What the control loop observed, campaign-wide.
+struct SupervisorOutcome {
+  /// Fatal setup error (mmap/initial state); "" when the loop ran.
+  std::string Error;
+  /// At least one lease was permanently lost.
+  bool Degraded = false;
+  uint64_t Restarts = 0;        ///< child respawns (all causes)
+  uint64_t Wedges = 0;          ///< heartbeat-deadline kills
+  uint64_t ForkFailures = 0;    ///< failed/injected fork attempts
+  uint64_t LeaseExtensions = 0; ///< beat-silent children spared for CPU progress
+  std::vector<ShardOutcome> Shards;
+
+  /// (shard index, lost iteration count) for every Lost lease — the run
+  /// report's `lost_shards` array.
+  std::vector<std::pair<unsigned, uint64_t>> lostShards() const;
+};
+
+/// Forks, watches, restarts and accounts shard leases.
+class Supervisor {
+public:
+  /// The idle sentinel a child stores in Cur between iterations.
+  static constexpr uint64_t IdleOffset = ~0ull;
+
+  /// The child's view of its lease: the slice to run, offsets to skip
+  /// (previously attributed crashes), and its slots in the shared
+  /// control page. All pointers live in the MAP_SHARED page except Skip
+  /// (copy-on-write snapshot of the parent's list at fork time).
+  struct ShardContext {
+    unsigned Index = 0;
+    uint64_t Lo = 0, Hi = 0;
+    const std::vector<uint64_t> *Skip = nullptr;
+    /// Offset in flight (IdleOffset between iterations). Release-stored
+    /// by the child, acquire-read by the parent's crash attributor.
+    std::atomic<uint64_t> *Cur = nullptr;
+    /// Resume cursor: first offset NOT yet completed. The parent's lost-
+    /// iteration accounting reads this when a lease dies for good.
+    std::atomic<uint64_t> *Next = nullptr;
+    /// Iterations completed by this lease across all of its processes.
+    std::atomic<uint64_t> *Done = nullptr;
+    /// Liveness tick: bump at least once per iteration (and once at
+    /// body start); the wedge detector watches it.
+    std::atomic<uint64_t> *Beat = nullptr;
+    /// Cooperative stop flag, set by the parent.
+    const std::atomic<uint32_t> *Stop = nullptr;
+  };
+
+  /// Runs in the forked child; its return value becomes the exit code.
+  /// Exit 0 = lease complete (or cooperatively stopped) with results
+  /// written; exit 3 = results could not be written (lease => Lost).
+  using ShardBody = std::function<int(const ShardContext &)>;
+
+  /// Parent-side crash-bug synthesis: called when \p Offset killed shard
+  /// \p Index SeedDeathThreshold times (\p Why describes the last death).
+  using CrashHook =
+      std::function<BugRecord(unsigned Index, uint64_t Offset,
+                              const std::string &Why)>;
+
+  /// Polled each loop turn with the campaign-wide done count; returning
+  /// true raises the cooperative stop flag (children checkpoint + exit 0).
+  using StopCheck = std::function<bool(uint64_t DoneTotal)>;
+
+  /// Observer tick (progress lines, event drains), called every
+  /// \p TickSeconds with (done total, elapsed).
+  using TickFn = std::function<void(uint64_t DoneTotal, double Elapsed)>;
+
+  Supervisor(SupervisorConfig C, ShardBody Body);
+  ~Supervisor();
+  Supervisor(const Supervisor &) = delete;
+  Supervisor &operator=(const Supervisor &) = delete;
+
+  /// Maps the control page and computes the lease partition. \returns
+  /// false with \p Error filled when the page cannot be mapped; run() on
+  /// an uninitialized supervisor fails the same way.
+  bool init(std::string &Error);
+
+  unsigned shards() const { return (unsigned)Leases.size(); }
+  uint64_t shardLo(unsigned I) const { return Leases[I].Lo; }
+  uint64_t shardHi(unsigned I) const { return Leases[I].Hi; }
+
+  /// The lease's live done counter in the control page (for the engine's
+  /// observability shard refs). Valid between init() and destruction.
+  const std::atomic<uint64_t> *doneCounter(unsigned I) const;
+
+  void setCrashHook(CrashHook H) { OnCrash = std::move(H); }
+  void setStopCheck(StopCheck S) { ShouldStop = std::move(S); }
+  void setTick(TickFn T, double Seconds) {
+    OnTick = std::move(T);
+    TickSeconds = Seconds;
+  }
+
+  /// Runs the control loop to completion: every lease Done or Lost.
+  /// \p Total is the campaign wall clock (backoff deadlines and the
+  /// outcome's timing are expressed against it).
+  SupervisorOutcome run(Timer &Total);
+
+private:
+  struct Lease {
+    enum class State { Pending, Running, Done, Lost };
+    unsigned Index = 0;
+    uint64_t Lo = 0, Hi = 0;
+    State St = State::Pending;
+    pid_t Pid = -1;
+    unsigned Spawns = 0;
+    /// Restart budget + backoff schedule (support/Retry).
+    RetryState Retry;
+    /// Backoff gate: do not respawn before this Total.seconds() stamp.
+    double RestartAt = 0;
+    /// Wedge detection: last beat tick observed and when it changed.
+    uint64_t LastBeat = 0;
+    double LastBeatAt = 0;
+    /// Child CPU seconds at the last beat (or lease extension): the wedge
+    /// detector's second signal. A beat-silent child that keeps burning
+    /// CPU is mid-solver-query, not wedged.
+    double CpuAtBeat = 0;
+    /// Done count at the previous death, for progress-based budget refill.
+    uint64_t DoneAtDeath = 0;
+    /// True when the parent itself sent SIGKILL (wedge or injected chaos
+    /// kill): the death must not be attributed to the seed in flight.
+    bool KilledByUs = false;
+    /// Per-offset death counts driving the retry-then-skip policy.
+    std::map<uint64_t, unsigned> DeathsAt;
+    /// Offsets attributed as crashes; the respawned child skips them.
+    std::vector<uint64_t> Skip;
+    std::vector<BugRecord> CrashBugs;
+    std::string Note;
+
+    explicit Lease(const RetryPolicy &P, uint64_t Tag) : Retry(P, Tag) {}
+  };
+
+  bool spawn(Lease &L, double Now);
+  void markLost(Lease &L, const std::string &Why, SupervisorOutcome &Out);
+  void appendNote(Lease &L, const std::string &Msg);
+
+  SupervisorConfig Cfg;
+  ShardBody Body;
+  CrashHook OnCrash;
+  StopCheck ShouldStop;
+  TickFn OnTick;
+  double TickSeconds = 0;
+
+  /// The MAP_SHARED control page: Control block + one HeartbeatSlot per
+  /// lease (layout in Supervisor.cpp).
+  void *Page = nullptr;
+  size_t PageSize = 0;
+  std::vector<Lease> Leases;
+  bool Initialized = false;
+};
+
+} // namespace alive
+
+#endif // CORE_SUPERVISOR_H

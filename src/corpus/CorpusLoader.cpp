@@ -7,6 +7,7 @@
 #include "corpus/CorpusLoader.h"
 
 #include "parser/Parser.h"
+#include "support/FaultPlane.h"
 
 #include <fstream>
 #include <sstream>
@@ -34,12 +35,16 @@ CorpusLoadResult alive::loadCorpus(const std::vector<std::string> &Paths) {
   std::vector<std::unique_ptr<Module>> Parsed;
   for (const std::string &Path : Paths) {
     std::ifstream In(Path, std::ios::binary);
-    if (!In) {
+    if (!In || faultAt("corpus.open")) {
       Skip(Path, "cannot read file");
       continue;
     }
     std::ostringstream SS;
     SS << In.rdbuf();
+    if (In.bad() || faultAt("corpus.read")) {
+      Skip(Path, "read error");
+      continue;
+    }
     std::string Text = SS.str();
     if (isBlank(Text)) {
       Skip(Path, "file is empty");

@@ -6,6 +6,7 @@
 
 #include "net/HttpServer.h"
 
+#include "support/FaultPlane.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -68,6 +69,11 @@ struct HttpServer::Conn {
   /// Loop-clock second the connection was accepted at; a connection still
   /// reading its request head past the deadline gets a 408.
   double AcceptedAt = 0;
+  /// Loop-clock second queued output first stalled (0 = not stalled).
+  /// Stamped by the loop when bytes are pending, cleared by serviceConn on
+  /// any send() progress; a connection stalled past the write deadline is
+  /// dropped.
+  double WriteStalledSince = 0;
 };
 
 HttpServer::HttpServer() = default;
@@ -221,6 +227,12 @@ void HttpServer::loop() {
         int FD = ::accept(ListenFD, nullptr, nullptr);
         if (FD < 0)
           break;
+        if (faultAt("http.accept")) {
+          // Injected accept failure: the client sees a refused/reset
+          // connection, exactly like an accept() hitting EMFILE.
+          ::close(FD);
+          continue;
+        }
         if (Connections.size() >= MaxConns || !setNonBlocking(FD)) {
           ::close(FD);
           continue;
@@ -264,6 +276,22 @@ void HttpServer::loop() {
           C.CloseWhenFlushed = true;
           C.In.clear();
         }
+    // Write deadline: queued bytes that make no send() progress for the
+    // whole window mean the peer stopped draining (zero receive window,
+    // half-dead NAT) — a one-shot response or an SSE stream would pin its
+    // slot indefinitely. Drop the connection; there is no way to send an
+    // error to a client that is not reading.
+    if (WriteDeadlineSeconds > 0)
+      for (Conn &C : Connections) {
+        if (C.Dead || C.OutPos >= C.Out.size()) {
+          C.WriteStalledSince = 0;
+          continue;
+        }
+        if (C.WriteStalledSince == 0)
+          C.WriteStalledSince = Now;
+        else if (Now - C.WriteStalledSince > WriteDeadlineSeconds)
+          C.Dead = true;
+      }
 
     Connections.erase(
         std::remove_if(Connections.begin(), Connections.end(),
@@ -330,10 +358,13 @@ void HttpServer::serviceConn(Conn &C) {
 
   // Flush pending output (non-blocking; the rest goes next POLLOUT).
   while (C.OutPos < C.Out.size()) {
+    if (faultAt("http.send"))
+      return; // injected stall: behaves like a send() returning EAGAIN
     ssize_t W = ::send(C.FD, C.Out.data() + C.OutPos, C.Out.size() - C.OutPos,
                        MSG_NOSIGNAL);
     if (W > 0) {
       C.OutPos += (size_t)W;
+      C.WriteStalledSince = 0; // forward progress re-arms the deadline
     } else {
       if (W < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
         return;

@@ -90,6 +90,14 @@ public:
   /// one of the MaxConns slots forever. Call before start().
   void setReadDeadlineSeconds(double S) { ReadDeadlineSeconds = S; }
 
+  /// Per-connection write deadline: a connection with queued response
+  /// bytes that makes no send() progress for \p S seconds is dropped
+  /// (<= 0 disables). The mirror of the read deadline — a client that
+  /// accepts its request but never drains the response (zero receive
+  /// window) would otherwise pin a one-shot response, or a slot, forever.
+  /// Call before start().
+  void setWriteDeadlineSeconds(double S) { WriteDeadlineSeconds = S; }
+
   /// Binds 127.0.0.1:\p Port (0 = kernel-assigned ephemeral port) and
   /// starts the server thread. \returns false with \p Error filled on
   /// bind/listen failure.
@@ -127,6 +135,7 @@ private:
   Tick OnTick;
   double KeepAliveSeconds = 15;
   double ReadDeadlineSeconds = 10;
+  double WriteDeadlineSeconds = 10;
   CancellationToken Token;
   std::thread Thread;
   int ListenFD = -1;

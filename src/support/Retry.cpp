@@ -1,0 +1,36 @@
+//===- support/Retry.cpp - Bounded exponential backoff policy --------------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Retry.h"
+
+#include "support/FaultPlane.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace alive;
+
+RetryState::RetryState(const RetryPolicy &Policy, uint64_t StreamTag)
+    : Policy(Policy), Stream(Policy.JitterSeed ^ (StreamTag * 0x9E3779B97F4A7C15ULL)) {}
+
+double RetryState::nextDelaySeconds() {
+  ++Attempts;
+  unsigned Exp = std::min(Attempts - 1, 10u);
+  double Delay = std::min(Policy.BaseDelaySeconds * (double)(1ULL << Exp),
+                          Policy.MaxDelaySeconds);
+  // Deterministic jitter in [-JitterFraction, +JitterFraction].
+  double U = (double)(splitmix64(Stream) >> 11) * 0x1.0p-53; // [0,1)
+  return Delay * (1.0 + Policy.JitterFraction * (2.0 * U - 1.0));
+}
+
+std::string alive::describeRetryPolicy(const RetryPolicy &Policy) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof Buf,
+                "%u attempts, %.3gs..%.3gs backoff, %.0f%% jitter",
+                Policy.MaxAttempts, Policy.BaseDelaySeconds,
+                Policy.MaxDelaySeconds, Policy.JitterFraction * 100.0);
+  return Buf;
+}

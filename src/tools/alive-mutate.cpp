@@ -22,6 +22,7 @@
 #include "corpus/CorpusLoader.h"
 #include "corpus/Distill.h"
 #include "opt/BugInjection.h"
+#include "support/FaultPlane.h"
 #include "tools/ToolCommon.h"
 
 #include <atomic>
@@ -80,6 +81,25 @@ static void printHelp() {
       "  -no-signal-guard  do not contain optimizer SIGABRT/SIGSEGV/...\n"
       "                    in-process (guard is on by default; -isolate\n"
       "                    supersedes it with process isolation)\n"
+      "  -fanout=<n>       supervised multi-process campaign: <n> shard\n"
+      "                    leases with heartbeat deadlines, bounded-backoff\n"
+      "                    restart of dead/wedged children and partial-\n"
+      "                    result harvest (requires -n; the deterministic\n"
+      "                    report stays byte-identical to -j1 unless a\n"
+      "                    lease is permanently lost)\n"
+      "  -retry-max=<n>    restart budget per shard lease; checkpoint\n"
+      "                    progress refills it (default 5)\n"
+      "  -retry-base=<s>   first restart backoff delay, doubling per\n"
+      "                    consecutive failure (default 0.05)\n"
+      "  -retry-cap=<s>    restart backoff ceiling (default 5)\n"
+      "  -lease-deadline=<s> heartbeat deadline after which a wedged child\n"
+      "                    is killed and its lease retried (default 30)\n"
+      "  -inject-fault=<pt>:<spec>[,...] arm deterministic fault injection\n"
+      "                    at named syscall edges; spec is nth:<n> (exactly\n"
+      "                    the nth call), every:<k>, or p:<prob> (dedicated\n"
+      "                    RNG stream — campaign randomness and the\n"
+      "                    deterministic report are never perturbed)\n"
+      "  -fault-seed=<n>   reseed the fault-injection probability streams\n"
       "  -checkpoint=<dir> write periodic campaign checkpoints to <dir>\n"
       "  -checkpoint-interval=<n> iterations between checkpoints\n"
       "  -resume           resume the campaign recorded in -checkpoint\n"
@@ -238,10 +258,36 @@ int main(int Argc, char **Argv) {
   SV.Isolate = Args.has("isolate");
   SV.IsolateMemMB = Args.getInt("isolate-mem-mb", 0);
   SV.IsolateCpuSeconds = Args.getInt("isolate-cpu-s", 0);
-  SV.SignalGuard = !Args.has("no-signal-guard") && !SV.Isolate;
+  SV.Fanout = (unsigned)Args.getInt("fanout", 0);
+  SV.RetryMaxAttempts =
+      (unsigned)Args.getInt("retry-max", SV.RetryMaxAttempts);
+  if (std::string V = Args.get("retry-base"); !V.empty())
+    SV.RetryBaseDelay = std::atof(V.c_str());
+  if (std::string V = Args.get("retry-cap"); !V.empty())
+    SV.RetryMaxDelay = std::atof(V.c_str());
+  if (std::string V = Args.get("lease-deadline"); !V.empty())
+    SV.LeaseHeartbeatSeconds = std::atof(V.c_str());
+  SV.SignalGuard = !Args.has("no-signal-guard") && !SV.Isolate && !SV.Fanout;
   SV.CheckpointDir = Args.get("checkpoint");
   SV.CheckpointInterval = Args.getInt("checkpoint-interval", 0);
   SV.Resume = Args.has("resume");
+
+  // The fault plane arms before anything it guards can run. Unknown point
+  // names and malformed specs are config errors, not warnings: a chaos
+  // test that silently armed nothing would prove nothing.
+  if (std::string Faults = Args.get("inject-fault"); !Faults.empty()) {
+    if (Args.has("fault-seed"))
+      FaultPlane::instance().setSeed((uint64_t)Args.getInt("fault-seed", 0));
+    std::string FaultErr;
+    if (!FaultPlane::instance().arm(Faults, FaultErr)) {
+      std::fprintf(stderr, "error: %s\n", FaultErr.c_str());
+      return 1;
+    }
+  } else if (Args.has("fault-seed")) {
+    std::fprintf(stderr, "error: -fault-seed tunes -inject-fault; add "
+                         "-inject-fault=<point>:<spec> or drop it\n");
+    return 1;
+  }
 
   if (SV.Resume && SV.CheckpointDir.empty()) {
     std::fprintf(stderr,
@@ -255,6 +301,44 @@ int main(int Argc, char **Argv) {
                  "replace -t=<sec> with -n=<count> (shard partitions and "
                  "crash attribution need a fixed seed range)\n");
     return 1;
+  }
+  if (SV.Fanout) {
+    if (Args.has("t")) {
+      std::fprintf(stderr,
+                   "error: -fanout needs an iteration-bounded campaign: "
+                   "replace -t=<sec> with -n=<count> (shard leases and "
+                   "lost-work accounting need a fixed seed range)\n");
+      return 1;
+    }
+    if (SV.Isolate) {
+      std::fprintf(stderr,
+                   "error: -isolate and -fanout are both process "
+                   "supervisors: pick one (-fanout adds shard leases, "
+                   "retry budgets and partial-result harvest on top of "
+                   "the same child-process isolation)\n");
+      return 1;
+    }
+    if (Opts.Feedback.Enabled) {
+      std::fprintf(stderr,
+                   "error: -feedback cannot be combined with -fanout: "
+                   "supervised shards have no epoch barrier to merge "
+                   "coverage at; drop one of the two flags\n");
+      return 1;
+    }
+    if (Opts.TraceEnabled) {
+      std::fprintf(stderr,
+                   "error: -trace-json cannot cross the -fanout process "
+                   "boundary: the flight recorder lives in shard memory; "
+                   "drop one of the two flags\n");
+      return 1;
+    }
+    if (Opts.Profile.Enabled) {
+      std::fprintf(stderr,
+                   "error: -profile cannot cross the -fanout process "
+                   "boundary: the cost trackers and span stacks live in "
+                   "shard memory; drop one of the two flags\n");
+      return 1;
+    }
   }
   if (!SV.CheckpointDir.empty() && Args.has("t")) {
     // Time-limited campaigns have no reproducible seed schedule, so a
@@ -342,10 +426,15 @@ int main(int Argc, char **Argv) {
   }
 
   unsigned Testable = Engine.loadModule(std::move(Corpus.M));
+  char Mode[32] = "";
+  if (SV.Isolate)
+    std::snprintf(Mode, sizeof(Mode), " [isolated]");
+  else if (SV.Fanout)
+    std::snprintf(Mode, sizeof(Mode), " [fanout=%u]", SV.Fanout);
   std::printf("alive-mutate: %u testable function(s) from %u corpus "
               "file(s), pipeline '%s', %u worker(s)%s\n",
               Testable, Corpus.FilesLoaded, Opts.Passes.c_str(),
-              Engine.jobs(), SV.Isolate ? " [isolated]" : "");
+              Engine.jobs(), Mode);
   if (Corpus.FilesSkipped)
     std::printf("corpus:         %u file(s) skipped, %u function(s) "
                 "renamed\n",
@@ -466,6 +555,23 @@ int main(int Argc, char **Argv) {
                     "survive.isolate.crashes"),
                 (unsigned long long)Engine.registry().counterValue(
                     "survive.isolate.restarts"));
+  if (SV.Fanout)
+    std::printf("supervision:    %llu restart(s), %llu wedge kill(s), "
+                "%llu fork failure(s), %zu lost shard(s)\n",
+                (unsigned long long)Engine.registry().counterValue(
+                    "survive.supervisor.restarts"),
+                (unsigned long long)Engine.registry().counterValue(
+                    "survive.supervisor.wedges"),
+                (unsigned long long)Engine.registry().counterValue(
+                    "survive.supervisor.fork_failures"),
+                Engine.lostShards().size());
+  if (FaultPlane::instance().armed())
+    for (const FaultPointCounters &FC : FaultPlane::instance().counters())
+      std::printf("fault:          %s (%s): %llu trigger(s) in %llu "
+                  "call(s)\n",
+                  FC.Point.c_str(), FC.Spec.c_str(),
+                  (unsigned long long)FC.Triggers,
+                  (unsigned long long)FC.Calls);
   if (Opts.Feedback.Enabled)
     std::printf("feedback:       %llu epoch(s), %llu coverage bit(s), "
                 "%llu energy skip(s)\n",
@@ -555,6 +661,9 @@ int main(int Argc, char **Argv) {
     RC.Jobs = Engine.jobs();
     RC.WallSeconds = S.TotalSeconds;
     RC.Interrupted = Engine.interrupted();
+    RC.Degraded = Engine.degraded();
+    RC.FanOut = SV.Fanout;
+    RC.LostShards = Engine.lostShards();
     RC.TraceDropped = Engine.traceDropped();
     std::string ReportErr;
     if (!writeRunReportFile(StatsPath, RC, S, Engine.bugs(),
@@ -579,6 +688,12 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "warning: %llu mutant(s) could not be saved to '%s'\n",
                  (unsigned long long)S.SaveFailures, Opts.SaveDir.c_str());
+  if (Engine.degraded())
+    std::fprintf(stderr,
+                 "warning: campaign degraded: %zu shard lease(s) "
+                 "permanently lost after exhausting retries; results are "
+                 "incomplete and flagged degraded in the report\n",
+                 Engine.lostShards().size());
   if (Engine.interrupted())
     std::fprintf(stderr,
                  "note: campaign interrupted before finishing; rerun with "

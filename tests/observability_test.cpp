@@ -835,7 +835,7 @@ TEST(ObservabilityTest, RunReportV6ProfileBlocks) {
                  &Engine.profile());
   std::string R = OS.str();
 
-  EXPECT_NE(R.find("\"schema_version\": 6"), std::string::npos);
+  EXPECT_NE(R.find("\"schema_version\": 7"), std::string::npos);
   // Both sections carry a profile block: the deterministic top-K table
   // and the volatile sampling/shard-heat data.
   size_t Det = R.find("\"profile\": {\"enabled\": true, \"topk\": 8");

@@ -1,0 +1,274 @@
+//===- tests/supervisor_test.cpp - Multi-process campaign supervisor --------===//
+//
+// Part of the alive-mutate reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end tests for the -fanout supervisor: shard leases with
+/// heartbeat deadlines, bounded-backoff restarts of killed and wedged
+/// children, crash attribution through retry-then-skip, and the
+/// degradation ladder — a permanently lost lease is counted and flagged,
+/// never a silent gap, while every recovered fault leaves the
+/// deterministic report section byte-identical to an undisturbed -j1 run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CampaignEngine.h"
+#include "core/RunReport.h"
+#include "opt/BugInjection.h"
+#include "parser/Parser.h"
+#include "support/FaultPlane.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace alive;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  std::string Err;
+  auto M = parseModule(Src, Err);
+  EXPECT_NE(M, nullptr) << Err;
+  return M;
+}
+
+const char *TwoBugCorpus = R"(
+define i8 @smax_offset(i8 %x) {
+  %1 = add nuw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}
+
+define i8 @opposite_shifts(i8 %x) {
+  %a = shl i8 -2, %x
+  %b = lshr i8 %a, %x
+  ret i8 %b
+}
+)";
+
+FuzzOptions twoBugOptions(uint64_t Iterations) {
+  FuzzOptions Opts;
+  Opts.Passes = "instsimplify,constfold,instcombine,dce";
+  Opts.Iterations = Iterations;
+  Opts.BaseSeed = 1;
+  Opts.TV.ConcreteTrials = 16;
+  Opts.Bugs.enable(BugId::PR52884);
+  Opts.Bugs.enable(BugId::PR50693);
+  return Opts;
+}
+
+std::string deterministicReportPart(const CampaignEngine &Engine,
+                                    const FuzzOptions &Opts) {
+  RunReportConfig RC;
+  RC.Tool = "supervisor_test";
+  RC.Passes = Opts.Passes;
+  RC.Iterations = Opts.Iterations;
+  RC.BaseSeed = Opts.BaseSeed;
+  RC.MaxMutationsPerFunction = Opts.Mutation.MaxMutationsPerFunction;
+  std::ostringstream OS;
+  writeRunReport(OS, RC, Engine.stats(), Engine.bugs(), Engine.registry());
+  std::string R = OS.str();
+  size_t Pos = R.find("\"volatile\"");
+  EXPECT_NE(Pos, std::string::npos);
+  return R.substr(0, Pos);
+}
+
+/// Every test starts and ends with the process-global fault plane
+/// disarmed, so the suite stays order-independent.
+struct SupervisorTest : ::testing::Test {
+  void SetUp() override { FaultPlane::instance().reset(); }
+  void TearDown() override { FaultPlane::instance().reset(); }
+
+  /// Fast-retry fanout options so injected deaths cost milliseconds.
+  static FuzzOptions fanoutOptions(uint64_t Iterations, unsigned Fanout) {
+    FuzzOptions Opts = twoBugOptions(Iterations);
+    Opts.Survival.Fanout = Fanout;
+    Opts.Survival.RetryBaseDelay = 0.005;
+    Opts.Survival.RetryMaxDelay = 0.05;
+    return Opts;
+  }
+};
+
+} // namespace
+
+TEST_F(SupervisorTest, FanoutMatchesThreadedDeterministicSection) {
+  // With nothing failing, the supervisor must be invisible in the
+  // deterministic report: children checkpoint their shard slices and the
+  // harvest merges them exactly like the threaded engine.
+  const uint64_t Iterations = 60;
+  FuzzOptions Plain = twoBugOptions(Iterations);
+  CampaignEngine Ref(Plain, 1);
+  Ref.loadModule(parseOk(TwoBugCorpus));
+  Ref.run();
+  ASSERT_TRUE(Ref.configError().empty()) << Ref.configError();
+  ASSERT_GT(Ref.bugs().size(), 0u);
+
+  FuzzOptions Fan = fanoutOptions(Iterations, 3);
+  CampaignEngine Engine(Fan, 1);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+  EXPECT_FALSE(Engine.degraded());
+  EXPECT_FALSE(Engine.interrupted());
+  EXPECT_TRUE(Engine.lostShards().empty());
+  EXPECT_EQ(deterministicReportPart(Engine, Fan),
+            deterministicReportPart(Ref, Plain));
+}
+
+TEST_F(SupervisorTest, InjectedChildKillIsReLeasedByteForByte) {
+  // The acceptance scenario: SIGKILL one child mid-campaign. The lease
+  // must be retried with backoff and the completed report must be
+  // byte-identical to the undisturbed -j1 run — an external kill is never
+  // attributed to the seed that happened to be in flight.
+  const uint64_t Iterations = 60;
+  FuzzOptions Plain = twoBugOptions(Iterations);
+  CampaignEngine Ref(Plain, 1);
+  Ref.loadModule(parseOk(TwoBugCorpus));
+  Ref.run();
+  ASSERT_TRUE(Ref.configError().empty()) << Ref.configError();
+
+  std::string Err;
+  ASSERT_TRUE(FaultPlane::instance().arm("supervisor.kill:nth:1", Err))
+      << Err;
+  FuzzOptions Fan = fanoutOptions(Iterations, 3);
+  CampaignEngine Engine(Fan, 1);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+  EXPECT_FALSE(Engine.degraded());
+  EXPECT_TRUE(Engine.lostShards().empty());
+  EXPECT_GE(Engine.registry().counterValue("survive.supervisor.restarts"),
+            1u);
+  EXPECT_EQ(deterministicReportPart(Engine, Fan),
+            deterministicReportPart(Ref, Plain));
+
+  // The fault verifiably fired exactly once.
+  auto C = FaultPlane::instance().counters();
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0].Triggers, 1u);
+}
+
+TEST_F(SupervisorTest, WedgedChildIsKilledByHeartbeatDeadline) {
+  // supervisor.wedge makes the child hang without beating; the lease
+  // deadline must reap it. Children re-arm from the parent's table at
+  // every fork, so each respawn wedges again and every lease eventually
+  // exhausts its budget: the campaign must still complete — degraded,
+  // with exact accounting, never hung.
+  std::string Err;
+  ASSERT_TRUE(FaultPlane::instance().arm("supervisor.wedge:nth:1", Err))
+      << Err;
+  FuzzOptions Fan = fanoutOptions(30, 2);
+  Fan.Survival.RetryMaxAttempts = 2;
+  Fan.Survival.LeaseHeartbeatSeconds = 0.2;
+  CampaignEngine Engine(Fan, 1);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+  EXPECT_GE(Engine.registry().counterValue("survive.supervisor.wedges"),
+            1u);
+  EXPECT_TRUE(Engine.degraded());
+  EXPECT_EQ(Engine.lostShards().size(), 2u);
+}
+
+TEST_F(SupervisorTest, ExhaustedRetriesDegradeWithExactAccounting) {
+  // Fork failure on every attempt: every lease dies without running a
+  // single iteration. The ladder demands exact accounting — each shard
+  // flagged lost with its full slice, the engine degraded, the campaign
+  // interrupted — and an incident note for the operator, never a silent
+  // gap or a hang.
+  std::string Err;
+  ASSERT_TRUE(FaultPlane::instance().arm("supervisor.fork:every:1", Err))
+      << Err;
+  const uint64_t Iterations = 40;
+  FuzzOptions Fan = fanoutOptions(Iterations, 3);
+  Fan.Survival.RetryMaxAttempts = 2;
+  CampaignEngine Engine(Fan, 1);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  const FuzzStats &S = Engine.run();
+  ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+  EXPECT_TRUE(Engine.degraded());
+  EXPECT_TRUE(Engine.interrupted());
+  ASSERT_EQ(Engine.lostShards().size(), 3u);
+  uint64_t Lost = 0;
+  for (const auto &[Shard, Iters] : Engine.lostShards())
+    Lost += Iters;
+  EXPECT_EQ(Lost, Iterations);
+  EXPECT_EQ(S.MutantsGenerated, 0u);
+  const StatRegistry &R = Engine.registry();
+  EXPECT_EQ(R.counterValue("survive.degraded.shards"), 3u);
+  EXPECT_EQ(R.counterValue("survive.degraded.lost_iterations"),
+            Iterations);
+  EXPECT_GE(R.counterValue("survive.supervisor.fork_failures"), 3u);
+  EXPECT_NE(Engine.isolateError().find("lost"), std::string::npos)
+      << Engine.isolateError();
+}
+
+TEST_F(SupervisorTest, RepeatedChildDeathSkipsSeedAndRecordsCrashBug) {
+  // A pass that SIGSEGVs deterministically: the first death at a seed is
+  // retried (it could have been an external kill), the second pins it,
+  // skips the seed and synthesizes a crash bug — so the campaign
+  // completes with every crashing seed recorded and nothing lost.
+  FuzzOptions Opts;
+  Opts.Passes = "test-crash,dce";
+  Opts.Iterations = 3;
+  Opts.BaseSeed = 1;
+  Opts.Survival.Fanout = 1;
+  Opts.Survival.RetryBaseDelay = 0.005;
+  Opts.Survival.RetryMaxDelay = 0.05;
+  CampaignEngine Engine(Opts, 1);
+  Engine.loadModule(parseOk(R"(
+define i8 @crashme(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+)"));
+  const FuzzStats &S = Engine.run();
+  ASSERT_TRUE(Engine.configError().empty()) << Engine.configError();
+  EXPECT_FALSE(Engine.degraded());
+  EXPECT_EQ(S.Crashes, 3u);
+  ASSERT_EQ(Engine.bugs().size(), 3u);
+  for (const BugRecord &B : Engine.bugs()) {
+    EXPECT_EQ(B.Kind, BugRecord::Crash);
+    EXPECT_NE(B.Detail.find("SIGSEGV"), std::string::npos) << B.Detail;
+    EXPECT_NE(B.Detail.find("supervised shard"), std::string::npos)
+        << B.Detail;
+    EXPECT_FALSE(B.MutantIR.empty());
+  }
+  EXPECT_EQ(Engine.registry().counterValue("bug.crash"), 3u);
+  // Two deaths per seed before the skip.
+  EXPECT_GE(Engine.registry().counterValue("survive.supervisor.restarts"),
+            3u);
+}
+
+TEST_F(SupervisorTest, FanoutRejectsIncompatibleConfigs) {
+  // Time-limited fan-out has no fixed lease partition.
+  FuzzOptions Timed = twoBugOptions(0);
+  Timed.TimeLimitSeconds = 0.1;
+  Timed.Survival.Fanout = 2;
+  CampaignEngine T(Timed, 1);
+  T.loadModule(parseOk(TwoBugCorpus));
+  T.run();
+  EXPECT_NE(T.configError().find("iteration-bounded"), std::string::npos)
+      << T.configError();
+
+  // Two process supervisors cannot share the children.
+  FuzzOptions Both = twoBugOptions(20);
+  Both.Survival.Fanout = 2;
+  Both.Survival.Isolate = true;
+  CampaignEngine B(Both, 1);
+  B.loadModule(parseOk(TwoBugCorpus));
+  B.run();
+  EXPECT_NE(B.configError().find("-fanout"), std::string::npos)
+      << B.configError();
+
+  // Feedback has no epoch barrier across supervised children.
+  FuzzOptions Fb = twoBugOptions(20);
+  Fb.Survival.Fanout = 2;
+  Fb.Feedback.Enabled = true;
+  CampaignEngine F(Fb, 1);
+  F.loadModule(parseOk(TwoBugCorpus));
+  F.run();
+  EXPECT_NE(F.configError().find("-feedback"), std::string::npos)
+      << F.configError();
+}

@@ -19,10 +19,14 @@
 #include "parser/Parser.h"
 #include "parser/Printer.h"
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
 #include <sstream>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace alive;
 
@@ -360,6 +364,164 @@ TEST(SurvivabilityTest, CheckpointMetaMismatchIsActionable) {
   // A missing directory is an error, not a crash.
   EXPECT_FALSE(readCheckpointMeta(Dir.Path + "/nope", R, Err));
   EXPECT_FALSE(Err.empty());
+}
+
+TEST(SurvivabilityTest, TruncatedCheckpointErrorNamesFileAndByteCount) {
+  // A torn or partial shard file must produce an error naming the exact
+  // file and its byte count — the operator needs to know which artifact
+  // to discard, not just that "resume failed".
+  ScratchDir Dir("ckpt_truncated");
+  WorkerCheckpoint W;
+  W.Index = 0;
+  W.Lo = 0;
+  W.Hi = 50;
+  W.Next = 25;
+  W.Stats.MutantsGenerated = 25;
+  std::string Err;
+  ASSERT_TRUE(writeWorkerCheckpoint(Dir.Path, W, Err)) << Err;
+
+  // Truncate mid-file: drop the second half of the JSON.
+  std::string Shard = Dir.Path + "/shard-0.json";
+  std::string Full;
+  {
+    std::ifstream In(Shard, std::ios::binary);
+    Full.assign(std::istreambuf_iterator<char>(In),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(Full.size(), 10u);
+  size_t Cut = Full.size() / 2;
+  {
+    std::ofstream Out(Shard, std::ios::binary | std::ios::trunc);
+    Out.write(Full.data(), (std::streamsize)Cut);
+  }
+
+  WorkerCheckpoint R;
+  Err.clear();
+  EXPECT_FALSE(readWorkerCheckpoint(Dir.Path, 0, R, Err));
+  EXPECT_NE(Err.find("truncated checkpoint"), std::string::npos) << Err;
+  EXPECT_NE(Err.find(Shard), std::string::npos) << Err;
+  EXPECT_NE(Err.find(std::to_string(Cut) + " bytes"), std::string::npos)
+      << Err;
+
+  // Garbage (not a prefix of valid JSON) is reported as corruption, with
+  // the same file-and-size identification.
+  {
+    std::ofstream Out(Shard, std::ios::binary | std::ios::trunc);
+    Out << "{\"index\": 0, ]]garbage[[";
+  }
+  Err.clear();
+  EXPECT_FALSE(readWorkerCheckpoint(Dir.Path, 0, R, Err));
+  EXPECT_NE(Err.find("corrupt checkpoint"), std::string::npos) << Err;
+  EXPECT_NE(Err.find(Shard), std::string::npos) << Err;
+}
+
+TEST(SurvivabilityTest, ResumeFailsCleanlyOnTruncatedCheckpoint) {
+  // The regression the atomic writer exists to prevent, exercised from
+  // the resume path: a mid-file-truncated shard checkpoint must fail the
+  // -resume with a config error naming the damage — never parse as
+  // half a campaign.
+  ScratchDir Dir("ckpt_resume_truncated");
+  FuzzOptions Opts = twoBugOptions(50);
+  Opts.Survival.CheckpointDir = Dir.Path;
+  Opts.Survival.CheckpointInterval = 8;
+  CampaignEngine First(Opts, 1);
+  First.loadModule(parseOk(TwoBugCorpus));
+  First.stopAfterIterations(20);
+  First.run();
+  ASSERT_TRUE(First.configError().empty()) << First.configError();
+  ASSERT_TRUE(First.interrupted());
+
+  std::string Shard = Dir.Path + "/shard-0.json";
+  ASSERT_TRUE(std::filesystem::exists(Shard));
+  std::string Full;
+  {
+    std::ifstream In(Shard, std::ios::binary);
+    Full.assign(std::istreambuf_iterator<char>(In),
+                std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream Out(Shard, std::ios::binary | std::ios::trunc);
+    Out.write(Full.data(), (std::streamsize)(Full.size() / 2));
+  }
+
+  FuzzOptions ResumeOpts = Opts;
+  ResumeOpts.Survival.Resume = true;
+  CampaignEngine Engine(ResumeOpts, 1);
+  Engine.loadModule(parseOk(TwoBugCorpus));
+  Engine.run();
+  EXPECT_NE(Engine.configError().find("cannot resume"), std::string::npos)
+      << Engine.configError();
+  EXPECT_NE(Engine.configError().find("truncated checkpoint"),
+            std::string::npos)
+      << Engine.configError();
+}
+
+TEST(SurvivabilityTest, KilledCheckpointWriteLeavesOldOrNewNeverTorn) {
+  // A SIGTERM/SIGKILL landing mid-checkpoint-write must leave either the
+  // previous snapshot or the new one under shard-<i>.json, byte-exact —
+  // never a torn hybrid. The child below rewrites the same shard file in
+  // a tight loop, alternating between two known states, until the parent
+  // kills it at an arbitrary moment.
+  ScratchDir Dir("ckpt_torn_kill");
+  ScratchDir RefDir("ckpt_torn_ref");
+  WorkerCheckpoint A;
+  A.Index = 0;
+  A.Lo = 0;
+  A.Hi = 1000;
+  A.Next = 100;
+  BugRecord Pad;
+  Pad.Kind = BugRecord::Miscompile;
+  Pad.FunctionName = "padder";
+  // A large record keeps each write multiple pages long, widening the
+  // window a torn write would need to survive in.
+  Pad.MutantIR = std::string(64 * 1024, 'x');
+  A.Bugs.push_back(Pad);
+  WorkerCheckpoint B = A;
+  B.Next = 200;
+
+  // Reference bytes for both states, from an undisturbed writer.
+  std::string Err;
+  ASSERT_TRUE(writeWorkerCheckpoint(RefDir.Path, A, Err)) << Err;
+  std::string BytesA = [&] {
+    std::ifstream In(RefDir.Path + "/shard-0.json", std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(In),
+                       std::istreambuf_iterator<char>());
+  }();
+  ASSERT_TRUE(writeWorkerCheckpoint(RefDir.Path, B, Err)) << Err;
+  std::string BytesB = [&] {
+    std::ifstream In(RefDir.Path + "/shard-0.json", std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(In),
+                       std::istreambuf_iterator<char>());
+  }();
+  ASSERT_NE(BytesA, BytesB);
+
+  ASSERT_TRUE(writeWorkerCheckpoint(Dir.Path, A, Err)) << Err;
+  pid_t Child = fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    std::string E;
+    for (;;) {
+      writeWorkerCheckpoint(Dir.Path, B, E);
+      writeWorkerCheckpoint(Dir.Path, A, E);
+    }
+  }
+  usleep(50 * 1000);
+  kill(Child, SIGKILL);
+  int Status = 0;
+  waitpid(Child, &Status, 0);
+
+  std::string Bytes = [&] {
+    std::ifstream In(Dir.Path + "/shard-0.json", std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(In),
+                       std::istreambuf_iterator<char>());
+  }();
+  EXPECT_TRUE(Bytes == BytesA || Bytes == BytesB)
+      << "torn checkpoint: " << Bytes.size() << " bytes (want "
+      << BytesA.size() << " or " << BytesB.size() << ")";
+  // And it still parses as a complete snapshot.
+  WorkerCheckpoint R;
+  EXPECT_TRUE(readWorkerCheckpoint(Dir.Path, 0, R, Err)) << Err;
+  EXPECT_TRUE(R.Next == A.Next || R.Next == B.Next);
 }
 
 //===----------------------------------------------------------------------===//
